@@ -1,0 +1,93 @@
+// Feature-group ablation for the GNN branch (Section IV.A): retrains the
+// GNN-only model with one feature group zeroed at a time — net distance,
+// cell driving strength, gate type, pin capacitance — and reports the test
+// endpoint R². Quantifies the DESIGN.md "which feature matters" question.
+
+#include <cstdio>
+
+#include "core/log.hpp"
+#include "eval/experiments.hpp"
+#include "eval/table.hpp"
+
+namespace {
+
+enum class Ablation { kNone, kNetDistance, kDrive, kGateType, kPinCap };
+
+const char* ablation_name(Ablation a) {
+  switch (a) {
+    case Ablation::kNone: return "all features";
+    case Ablation::kNetDistance: return "- net distance";
+    case Ablation::kDrive: return "- driving strength";
+    case Ablation::kGateType: return "- gate type";
+    case Ablation::kPinCap: return "- pin capacitance";
+  }
+  return "?";
+}
+
+double avg_test_r2(const rtp::eval::DatasetBundle& dataset,
+                   rtp::model::ModelConfig config, Ablation ablation) {
+  rtp::model::FusionModel model(config);
+  auto prepare = [&](const rtp::flow::DesignData& d) {
+    rtp::model::PreparedDesign p = rtp::model::prepare_design(d, config);
+    switch (ablation) {
+      case Ablation::kNone: break;
+      case Ablation::kNetDistance: rtp::model::ablate_net_distance(p.features); break;
+      case Ablation::kDrive:
+        rtp::model::ablate_cell_feature(p.features, rtp::model::CellFeature::kDrive);
+        break;
+      case Ablation::kGateType:
+        rtp::model::ablate_cell_feature(p.features, rtp::model::CellFeature::kGateType);
+        break;
+      case Ablation::kPinCap:
+        rtp::model::ablate_cell_feature(p.features, rtp::model::CellFeature::kPinCap);
+        break;
+    }
+    return p;
+  };
+  std::vector<rtp::model::PreparedDesign> train, test;
+  for (const auto* d : dataset.train_designs()) train.push_back(prepare(*d));
+  for (const auto* d : dataset.test_designs()) test.push_back(prepare(*d));
+  std::vector<rtp::model::PreparedDesign*> view;
+  for (auto& p : train) view.push_back(&p);
+  rtp::model::TrainOptions options;
+  options.epochs = config.epochs;
+  rtp::model::train_model(model, view, options);
+
+  const auto test_ptrs = dataset.test_designs();
+  double avg = 0.0;
+  for (std::size_t t = 0; t < test.size(); ++t) {
+    const rtp::nn::Tensor pred = model.predict(test[t]);
+    std::vector<double> p(pred.numel());
+    for (std::size_t i = 0; i < pred.numel(); ++i) p[i] = pred[i];
+    avg += rtp::eval::design_r2(test_ptrs[t]->label_arrival, p) / test.size();
+  }
+  return avg;
+}
+
+}  // namespace
+
+int main() {
+  using rtp::eval::Table;
+  rtp::set_log_level(rtp::LogLevel::kInfo);
+
+  rtp::eval::ExperimentConfig config = rtp::eval::ExperimentConfig::ci();
+  config.train_augment = 2;   // lighter runs: 5 ablation trainings
+  config.model.epochs = 100;
+  config.model.use_cnn = false;  // isolate the netlist features
+  const rtp::eval::DatasetBundle dataset = rtp::eval::build_dataset(config);
+
+  std::printf("Feature ablation — GNN-only, avg endpoint R^2 on the test split\n\n");
+  Table table({"variant", "avg test R^2"});
+  for (Ablation a : {Ablation::kNone, Ablation::kNetDistance, Ablation::kDrive,
+                     Ablation::kGateType, Ablation::kPinCap}) {
+    RTP_LOG_INFO("ablation: training variant '%s'", ablation_name(a));
+    table.add_row({ablation_name(a), Table::fmt(avg_test_r2(dataset, config.model, a))});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: net distance should matter most by far (it carries the wire\n"
+      "delay signal). Drive strength and pin capacitance are deterministic\n"
+      "functions of the library cell, so individually they are near-redundant\n"
+      "with the gate-type one-hot and dropping one can act as regularization.\n");
+  return 0;
+}

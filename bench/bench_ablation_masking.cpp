@@ -1,0 +1,79 @@
+// Ablation of the endpoint-wise masking technique (Section V.B): the full
+// model with critical-region masks vs the same model where every endpoint
+// consumes the identical global layout map. The paper motivates masking by
+// arguing a shared layout embedding "does not make sense"; this bench
+// quantifies that argument on our substrate.
+
+#include <cstdio>
+
+#include "core/log.hpp"
+#include "eval/experiments.hpp"
+#include "eval/table.hpp"
+
+namespace {
+
+std::vector<double> test_r2(const rtp::eval::DatasetBundle& dataset,
+                            rtp::model::ModelConfig config) {
+  rtp::model::FusionModel model(config);
+  std::vector<rtp::model::PreparedDesign> train, test;
+  for (const auto* d : dataset.train_designs()) {
+    train.push_back(rtp::model::prepare_design(*d, config));
+  }
+  for (const auto* d : dataset.test_designs()) {
+    test.push_back(rtp::model::prepare_design(*d, config));
+  }
+  std::vector<rtp::model::PreparedDesign*> view;
+  for (auto& p : train) view.push_back(&p);
+  rtp::model::TrainOptions options;
+  options.epochs = config.epochs;
+  rtp::model::train_model(model, view, options);
+
+  std::vector<double> scores;
+  const auto test_ptrs = dataset.test_designs();
+  for (std::size_t t = 0; t < test.size(); ++t) {
+    const rtp::nn::Tensor pred = model.predict(test[t]);
+    std::vector<double> p(pred.numel());
+    for (std::size_t i = 0; i < pred.numel(); ++i) p[i] = pred[i];
+    scores.push_back(rtp::eval::design_r2(test_ptrs[t]->label_arrival, p));
+  }
+  return scores;
+}
+
+}  // namespace
+
+int main() {
+  using rtp::eval::Table;
+  rtp::set_log_level(rtp::LogLevel::kInfo);
+
+  const rtp::eval::ExperimentConfig config = rtp::eval::ExperimentConfig::ci();
+  const rtp::eval::DatasetBundle dataset = rtp::eval::build_dataset(config);
+
+  rtp::model::ModelConfig with_mask = config.model;
+  rtp::model::ModelConfig without_mask = config.model;
+  without_mask.use_masking = false;
+
+  RTP_LOG_INFO("ablation: training full model WITH endpoint-wise masking");
+  const std::vector<double> masked = test_r2(dataset, with_mask);
+  RTP_LOG_INFO("ablation: training full model WITHOUT masking (shared global map)");
+  const std::vector<double> unmasked = test_r2(dataset, without_mask);
+
+  std::printf("\nAblation — endpoint-wise masking (endpoint arrival R^2 on test)\n\n");
+  Table table({"bench", "with masking", "without masking", "delta"});
+  const auto test_ptrs = dataset.test_designs();
+  double am = 0.0, au = 0.0;
+  for (std::size_t t = 0; t < masked.size(); ++t) {
+    table.add_row({test_ptrs[t]->name, Table::fmt(masked[t]), Table::fmt(unmasked[t]),
+                   Table::fmt(masked[t] - unmasked[t])});
+    am += masked[t] / masked.size();
+    au += unmasked[t] / masked.size();
+  }
+  table.add_row({"avg", Table::fmt(am), Table::fmt(au), Table::fmt(am - au)});
+  table.print();
+  std::printf(
+      "\nPaper expectation (Section V.B): masking helps. Caveat at this scale:\n"
+      "the CI config rasterizes masks at %d x %d (paper: 128 x 128), where a\n"
+      "deep path's critical region covers most bins, so masking mainly removes\n"
+      "the global map's design-level calibration signal. See EXPERIMENTS.md.\n",
+      config.model.grid / 4, config.model.grid / 4);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Microbenchmarks of the preprocessing pipeline that TABLE III's "pre" column
+// aggregates: timing-graph construction + leveling, endpoint longest paths,
+// critical-region masks, feature maps, and one sign-off STA pass — across two
+// design scales.
+
+#include <benchmark/benchmark.h>
+
+#include "flow/dataset_flow.hpp"
+#include "gen/circuit_generator.hpp"
+#include "layout/feature_maps.hpp"
+#include "model/fusion.hpp"
+#include "place/placer.hpp"
+#include "sta/sta.hpp"
+#include "timing/longest_path.hpp"
+
+namespace {
+
+using namespace rtp;
+
+/// One placed design shared by all benchmarks of a given scale.
+struct Fixture {
+  nl::CellLibrary library = nl::CellLibrary::standard();
+  nl::Netlist netlist;
+  layout::Placement placement;
+
+  explicit Fixture(double scale) {
+    const auto specs = gen::paper_benchmarks();
+    const gen::BenchmarkSpec& spec = gen::benchmark_by_name(specs, "rocket");
+    gen::CircuitGenerator generator(library);
+    gen::GeneratedCircuit circuit = generator.generate(spec, scale);
+    netlist = std::move(circuit.netlist);
+    place::PlacerConfig config;
+    config.utilization = spec.utilization;
+    config.num_macros = spec.num_macros;
+    config.seed = spec.seed;
+    placement = place::Placer(config).place(netlist);
+  }
+};
+
+Fixture& fixture(double scale) {
+  static Fixture small(0.01);
+  static Fixture medium(0.04);
+  return scale < 0.02 ? small : medium;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  Fixture& f = fixture(state.range(0) / 1000.0);
+  for (auto _ : state) {
+    tg::TimingGraph graph(f.netlist);
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_LongestPaths(benchmark::State& state) {
+  Fixture& f = fixture(state.range(0) / 1000.0);
+  tg::TimingGraph graph(f.netlist);
+  tg::LongestPathFinder finder(graph);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.find_all(rng).size());
+  }
+}
+BENCHMARK(BM_LongestPaths)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_CriticalMasks(benchmark::State& state) {
+  Fixture& f = fixture(state.range(0) / 1000.0);
+  tg::TimingGraph graph(f.netlist);
+  tg::LongestPathFinder finder(graph);
+  Rng rng(7);
+  const auto paths = finder.find_all(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::build_endpoint_masks(graph, f.placement, paths, 16).bins.size());
+  }
+}
+BENCHMARK(BM_CriticalMasks)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureMaps(benchmark::State& state) {
+  Fixture& f = fixture(state.range(0) / 1000.0);
+  for (auto _ : state) {
+    const auto density = layout::make_density_map(f.netlist, f.placement, 64, 64);
+    const auto rudy = layout::make_rudy_map(f.netlist, f.placement, 64, 64);
+    const auto macros = layout::make_macro_map(f.placement, 64, 64);
+    benchmark::DoNotOptimize(layout::stack_feature_maps(density, rudy, macros).numel());
+  }
+}
+BENCHMARK(BM_FeatureMaps)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_SignoffSta(benchmark::State& state) {
+  Fixture& f = fixture(state.range(0) / 1000.0);
+  tg::TimingGraph graph(f.netlist);
+  const layout::GridMap congestion = flow::make_congestion_map(f.netlist, f.placement, 64);
+  sta::StaConfig config;
+  config.delay.wire_model = sta::WireModel::kSignOff;
+  config.delay.congestion = &congestion;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sta(graph, f.placement, config).wns);
+  }
+}
+BENCHMARK(BM_SignoffSta)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_GnnForward(benchmark::State& state) {
+  Fixture& f = fixture(state.range(0) / 1000.0);
+  tg::TimingGraph graph(f.netlist);
+  const model::NodeFeatures features = model::extract_node_features(graph, f.placement);
+  model::ModelConfig config;
+  Rng rng(3);
+  model::EndpointGNN gnn(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnn.forward(graph, features).h.numel());
+  }
+}
+BENCHMARK(BM_GnnForward)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

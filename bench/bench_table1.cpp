@@ -1,0 +1,65 @@
+// Reproduces TABLE I: dataset statistics (input information) and the impact
+// of timing optimization on sign-off metrics, for all 10 benchmarks.
+//
+// Paper reference (scale 1.0, Cadence flow):
+//   avg train: Δwns 92.9%, Δtns 98.2%, nets 36.6% replaced / Δ55.3%,
+//              cells 18.9% replaced / Δ31.0%
+//   avg test : Δwns 90.4%, Δtns 92.8%, nets 43.7% replaced / Δ63.9%,
+//              cells 22.8% replaced / Δ35.5%
+
+#include <cstdio>
+
+#include "core/log.hpp"
+#include "eval/experiments.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using rtp::eval::Table;
+  rtp::set_log_level(rtp::LogLevel::kWarn);
+
+  rtp::eval::ExperimentConfig config = rtp::eval::ExperimentConfig::ci();
+  config.train_augment = 1;  // TABLE I reports the 10 originals only
+  const rtp::eval::DatasetBundle dataset = rtp::eval::build_dataset(config);
+
+  std::printf("TABLE I — dataset statistics and timing-optimization impact\n");
+  std::printf("(synthetic reproduction at scale %.3f of the paper's design sizes)\n\n",
+              config.scale);
+
+  Table table({"split", "bench", "#pin", "#edp", "#e_n", "#e_c", "dwns", "dtns",
+               "net repl", "net ddelay", "cell repl", "cell ddelay"});
+  struct Acc {
+    double dwns = 0, dtns = 0, nrep = 0, ndd = 0, crep = 0, cdd = 0;
+    int n = 0;
+  } train_acc, test_acc;
+  for (const auto& d : dataset.designs) {
+    const rtp::nl::Netlist& nl = d.input_netlist;
+    table.add_row({d.is_train ? "train" : "test", d.name, std::to_string(nl.num_pins()),
+                   std::to_string(d.endpoints.size()),
+                   std::to_string(nl.num_net_edges()), std::to_string(nl.num_cell_edges()),
+                   Table::pct(d.delta_wns_ratio), Table::pct(d.delta_tns_ratio),
+                   Table::pct(d.replaced_net_ratio), Table::pct(d.delta_net_delay_ratio),
+                   Table::pct(d.replaced_cell_ratio), Table::pct(d.delta_cell_delay_ratio)});
+    Acc& acc = d.is_train ? train_acc : test_acc;
+    acc.dwns += d.delta_wns_ratio;
+    acc.dtns += d.delta_tns_ratio;
+    acc.nrep += d.replaced_net_ratio;
+    acc.ndd += d.delta_net_delay_ratio;
+    acc.crep += d.replaced_cell_ratio;
+    acc.cdd += d.delta_cell_delay_ratio;
+    ++acc.n;
+  }
+  for (const auto* acc : {&train_acc, &test_acc}) {
+    table.add_row({"avg", acc == &train_acc ? "train" : "test", "", "", "", "",
+                   Table::pct(acc->dwns / acc->n), Table::pct(acc->dtns / acc->n),
+                   Table::pct(acc->nrep / acc->n), Table::pct(acc->ndd / acc->n),
+                   Table::pct(acc->crep / acc->n), Table::pct(acc->cdd / acc->n)});
+  }
+  table.print();
+
+  std::printf(
+      "\npaper avg train: dwns 92.9%%  dtns 98.2%%  net repl 36.6%% / d55.3%%  "
+      "cell repl 18.9%% / d31.0%%\n"
+      "paper avg test : dwns 90.4%%  dtns 92.8%%  net repl 43.7%% / d63.9%%  "
+      "cell repl 22.8%% / d35.5%%\n");
+  return 0;
+}

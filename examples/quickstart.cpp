@@ -1,0 +1,85 @@
+// Quickstart: the whole library in one file.
+//
+// Builds a small netlist by hand, places it, runs pre-route and sign-off STA,
+// lets the timing optimizer restructure it, and finally trains the
+// restructure-tolerant predictor on a generated design and predicts sign-off
+// endpoint arrival times from the pre-routing snapshot.
+//
+//   ./quickstart
+
+#include <cstdio>
+
+#include "core/log.hpp"
+#include "eval/metrics.hpp"
+#include "flow/dataset_flow.hpp"
+#include "model/trainer.hpp"
+#include "opt/optimizer.hpp"
+
+int main() {
+  using namespace rtp;
+  set_log_level(LogLevel::kWarn);
+
+  // ---- 1. a netlist by hand: PI -> NAND2 -> DFF -> INV -> PO ----
+  const nl::CellLibrary library = nl::CellLibrary::standard();
+  nl::Netlist netlist(&library);
+  const nl::PinId pi1 = netlist.add_primary_input();
+  const nl::PinId pi2 = netlist.add_primary_input();
+  const nl::PinId po = netlist.add_primary_output();
+  const nl::CellId nand2 = netlist.add_cell(library.find(nl::GateKind::kNand2, 1));
+  const nl::CellId dff = netlist.add_cell(library.find(nl::GateKind::kDff, 1));
+  const nl::CellId inv = netlist.add_cell(library.find(nl::GateKind::kInv, 1));
+  netlist.add_sink(netlist.add_net(pi1), netlist.cell(nand2).inputs[0]);
+  netlist.add_sink(netlist.add_net(pi2), netlist.cell(nand2).inputs[1]);
+  netlist.add_sink(netlist.add_net(netlist.cell(nand2).output), netlist.cell(dff).inputs[0]);
+  netlist.add_sink(netlist.add_net(netlist.cell(dff).output), netlist.cell(inv).inputs[0]);
+  netlist.add_sink(netlist.add_net(netlist.cell(inv).output), po);
+  netlist.validate();
+  std::printf("hand-built netlist: %s\n", netlist.summary().c_str());
+
+  // ---- 2. place it and run STA ----
+  layout::Placement placement(layout::Die{30.0, 30.0}, netlist.num_cell_slots(),
+                              netlist.num_pin_slots());
+  placement.set_port_pos(pi1, {0.0, 10.0});
+  placement.set_port_pos(pi2, {0.0, 20.0});
+  placement.set_cell_pos(nand2, {10.0, 15.0});
+  placement.set_cell_pos(dff, {18.0, 15.0});
+  placement.set_cell_pos(inv, {24.0, 15.0});
+  placement.set_port_pos(po, {30.0, 15.0});
+
+  tg::TimingGraph graph(netlist);
+  sta::StaConfig sta_config;
+  const sta::StaResult timing = run_sta(graph, placement, sta_config);
+  std::printf("pre-route STA: %zu endpoints, wns %.1f ps\n", timing.endpoints.size(),
+              timing.wns);
+  for (std::size_t i = 0; i < timing.endpoints.size(); ++i) {
+    std::printf("  endpoint pin %d: arrival %.1f ps, slack %.1f ps\n",
+                timing.endpoints[i], timing.endpoint_arrival[i], timing.endpoint_slack[i]);
+  }
+
+  // ---- 3. the full data flow + the predictor on a generated benchmark ----
+  flow::FlowConfig flow_config;
+  flow_config.scale = 0.05;
+  flow::DatasetFlow flow(library, flow_config);
+  const auto specs = gen::paper_benchmarks();
+  const flow::DesignData train_design = flow.run(gen::benchmark_by_name(specs, "steelcore"));
+  std::printf("\nflow on steelcore: clock %.0f ps, %.0f%% nets replaced by the optimizer\n",
+              train_design.clock_period, 100.0 * train_design.replaced_net_ratio);
+
+  model::ModelConfig model_config;
+  model_config.grid = 32;
+  model_config.epochs = 60;
+  model::PreparedDesign prepared = model::prepare_design(train_design, model_config);
+  model::FusionModel model(model_config);
+  std::vector<model::PreparedDesign*> train_set = {&prepared};
+  const model::TrainResult tr = model::train_model(model, train_set, {.epochs = 60});
+  std::printf("trained %d epochs in %.1fs, final loss %.4f\n", model_config.epochs,
+              tr.seconds, tr.epoch_loss.back());
+
+  const nn::Tensor pred = model.predict(prepared);
+  std::vector<double> p(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i) p[i] = pred[i];
+  std::printf("train-design endpoint arrival R^2 = %.3f\n",
+              eval::r2_score(train_design.label_arrival, p));
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

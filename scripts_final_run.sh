@@ -1,0 +1,6 @@
+#!/bin/sh
+# Final verification runs (DESIGN.md / EXPERIMENTS.md reproduction recipe).
+set -x
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do [ -x "$b" ] && [ -f "$b" ] && "$b"; done 2>&1 | tee /root/repo/bench_output.txt

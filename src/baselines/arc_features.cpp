@@ -1,0 +1,81 @@
+#include "baselines/arc_features.hpp"
+
+#include <cmath>
+
+namespace rtp::baselines {
+
+ArcFeatures extract_arc_features(const flow::DesignData& data,
+                                 const tg::TimingGraph& graph,
+                                 const ArcFeatureConfig& config) {
+  const nl::Netlist& netlist = data.input_netlist;
+  const layout::Placement& placement = data.input_placement;
+
+  // Pre-route congestion context for the look-ahead variant.
+  const layout::GridMap congestion = flow::make_congestion_map(netlist, placement, 32);
+
+  // Pre-route Elmore reference delays (already available from the flow).
+  const std::vector<double>& preroute_delay = data.preroute.edge_delay;
+
+  sta::DelayModelConfig dm_config;
+  dm_config.wire_model = sta::WireModel::kPreRoute;
+  sta::DelayModel model(netlist, placement, dm_config);
+
+  int net_count = 0, cell_count = 0;
+  for (const tg::Edge& e : graph.edges()) (e.is_net ? net_count : cell_count)++;
+
+  ArcFeatures f;
+  f.net_feat = nn::Tensor({std::max(1, net_count), kNetArcFeatDim});
+  f.cell_feat = nn::Tensor({std::max(1, cell_count), kCellArcFeatDim});
+  f.net_row.assign(static_cast<std::size_t>(graph.num_edges()), -1);
+  f.cell_row.assign(static_cast<std::size_t>(graph.num_edges()), -1);
+
+  int net_i = 0, cell_i = 0;
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const tg::Edge& edge = graph.edge(e);
+    const layout::Point a = placement.pin_pos(netlist, edge.from);
+    const layout::Point b = placement.pin_pos(netlist, edge.to);
+    const float cong = config.lookahead
+                           ? congestion.value_at({(a.x + b.x) / 2, (a.y + b.y) / 2})
+                           : 0.0f;
+    if (edge.is_net) {
+      f.net_row[static_cast<std::size_t>(e)] = net_i;
+      const nl::Net& net = netlist.net(static_cast<nl::NetId>(edge.ref));
+      const double len = layout::manhattan(a, b);
+      const nl::Pin& dpin = netlist.pin(edge.from);
+      const double drive_res =
+          dpin.cell != nl::kInvalidId ? netlist.lib_cell(dpin.cell).drive_res : 1.0;
+      float* row = &f.net_feat.at(net_i, 0);
+      row[0] = static_cast<float>(len / 200.0);
+      row[1] = static_cast<float>(model.sink_cap(edge.to) / 10.0);
+      row[2] = static_cast<float>(net.sinks.size()) / 10.0f;
+      row[3] = static_cast<float>(drive_res / 10.0);
+      row[4] = static_cast<float>(preroute_delay[static_cast<std::size_t>(e)] / 100.0);
+      if (config.lookahead) {
+        row[5] = cong;
+        // Look-ahead routed-length estimate: base detour plus congestion term.
+        row[6] = static_cast<float>(len * (1.08 + 0.9 * cong) / 200.0);
+      }
+      ++net_i;
+    } else {
+      f.cell_row[static_cast<std::size_t>(e)] = cell_i;
+      const nl::CellId cell = static_cast<nl::CellId>(edge.ref);
+      const nl::LibCell& lib = netlist.lib_cell(cell);
+      const nl::NetId out_net = netlist.pin(netlist.cell(cell).output).net;
+      const double load = out_net != nl::kInvalidId ? model.net_load(out_net) : 0.0;
+      float* row = &f.cell_feat.at(cell_i, 0);
+      row[0] = static_cast<float>(lib.drive_res / 10.0);
+      row[1] = static_cast<float>(lib.input_cap / 10.0);
+      row[2] = static_cast<float>(lib.intrinsic / 50.0);
+      row[3] = static_cast<float>(load / 20.0);
+      row[4] = static_cast<float>(preroute_delay[static_cast<std::size_t>(e)] / 100.0);
+      if (config.lookahead) {
+        row[5] = cong;
+        row[6] = static_cast<float>(load * (1.0 + 0.35 * cong) / 20.0);
+      }
+      ++cell_i;
+    }
+  }
+  return f;
+}
+
+}  // namespace rtp::baselines

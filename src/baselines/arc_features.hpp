@@ -1,0 +1,40 @@
+#pragma once
+// Per-arc feature extraction for the local-view baselines.
+//
+// DAC19 [2] (Barboza et al.): hand features of the placed arc — geometric
+// wire estimate, fanout, driver strength, pin loads, and the Elmore pre-route
+// delay the flow already computes.
+//
+// DAC22-he [3]: the same plus "look-ahead RC network" features — a routing-
+// aware length estimate (congestion-scaled detour) and local congestion
+// context, which is what made that work more accurate at placement stage.
+
+#include "flow/dataset_flow.hpp"
+#include "nn/tensor.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::baselines {
+
+constexpr int kNetArcFeatDim = 7;
+constexpr int kCellArcFeatDim = 7;
+
+struct ArcFeatureConfig {
+  bool lookahead = false;  ///< add DAC22-he's routing-aware features
+};
+
+struct ArcFeatures {
+  /// Row per timing-graph edge (net and cell arcs in separate matrices, with
+  /// -1 row indices where the edge is of the other type).
+  nn::Tensor net_feat;                 ///< (#net arcs, kNetArcFeatDim)
+  nn::Tensor cell_feat;                ///< (#cell arcs, kCellArcFeatDim)
+  std::vector<std::int32_t> net_row;   ///< per edge: row in net_feat or -1
+  std::vector<std::int32_t> cell_row;  ///< per edge: row in cell_feat or -1
+};
+
+/// Extracts features for every edge of the design's input timing graph. The
+/// congestion field is recomputed from the input placement (pre-route state).
+ArcFeatures extract_arc_features(const flow::DesignData& data,
+                                 const tg::TimingGraph& graph,
+                                 const ArcFeatureConfig& config);
+
+}  // namespace rtp::baselines

@@ -1,0 +1,200 @@
+#include "baselines/guo_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtp::baselines {
+
+namespace {
+
+model::ModelConfig gnn_config_of(const GuoConfig& config) {
+  model::ModelConfig mc;
+  mc.gnn_hidden = config.gnn_hidden;
+  mc.gnn_embed = config.gnn_embed;
+  return mc;
+}
+
+struct Moments {
+  double sum = 0.0, sq = 0.0;
+  std::size_t n = 0;
+  void add(double x) {
+    sum += x;
+    sq += x * x;
+    ++n;
+  }
+  std::pair<float, float> finish() const {
+    const double mean = n ? sum / static_cast<double>(n) : 0.0;
+    const double var = n ? std::max(1e-6, sq / static_cast<double>(n) - mean * mean) : 1.0;
+    return {static_cast<float>(mean), static_cast<float>(std::sqrt(var))};
+  }
+};
+
+}  // namespace
+
+GuoPrepared prepare_guo(const flow::DesignData& data) {
+  GuoPrepared gp(tg::TimingGraph{data.input_netlist});
+  gp.data = &data;
+  gp.features = model::extract_node_features(gp.graph, data.input_placement);
+  gp.endpoints = data.endpoints;
+
+  const std::size_t n = static_cast<std::size_t>(gp.graph.num_nodes());
+  gp.node_delay_label.assign(n, -1.0f);
+  gp.pin_arrival_label.assign(n, -1.0f);
+  gp.pin_slew_label.assign(n, -1.0f);
+  for (std::size_t p = 0; p < n; ++p) {
+    gp.pin_arrival_label[p] = static_cast<float>(data.signoff_pin_arrival[p]);
+    gp.pin_slew_label[p] = static_cast<float>(data.signoff_pin_slew[p]);
+  }
+  // Incoming-arc delay per node; our delay model gives every input arc of a
+  // cell the same delay, so the per-node target is well defined.
+  for (int e = 0; e < gp.graph.num_edges(); ++e) {
+    const double label = data.arc_label[static_cast<std::size_t>(e)];
+    if (label < 0.0) continue;
+    gp.node_delay_label[static_cast<std::size_t>(gp.graph.edge(e).to)] =
+        static_cast<float>(label);
+  }
+  return gp;
+}
+
+GuoModel::GuoModel(const GuoConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      gnn_(gnn_config_of(config), rng_),
+      arrival_head_({config.gnn_embed, config.head_hidden, 1}, rng_),
+      delay_head_({config.gnn_embed, config.head_hidden, 1}, rng_),
+      slew_head_({config.gnn_embed, config.head_hidden, 1}, rng_) {
+  nn::AdamConfig adam_config;
+  adam_config.lr = config.learning_rate;
+  adam_config.weight_decay = config.weight_decay;
+  adam_config.grad_clip = 5.0f;
+  std::vector<nn::Param*> params = gnn_.params();
+  adam_ = std::make_unique<nn::Adam>(params, adam_config);
+  adam_->add_params(arrival_head_.params());
+  adam_->add_params(delay_head_.params());
+  adam_->add_params(slew_head_.params());
+}
+
+float GuoModel::train_step(GuoPrepared& design) {
+  model::EndpointGNN::ForwardState state = gnn_.forward(design.graph, design.features);
+  const int d = config_.gnn_embed;
+  nn::Tensor grad_h({design.graph.num_nodes(), d});
+  float total_loss = 0.0f;
+
+  // One head pass: gather supervised rows, weighted MSE, scatter input grads.
+  auto run_head = [&](nn::Mlp& head, const std::vector<float>& labels, float mean,
+                      float stddev, float weight, const std::vector<float>* extra_weight) {
+    std::vector<nl::PinId> pins;
+    for (nl::PinId p = 0; p < design.graph.num_nodes(); ++p) {
+      if (labels[static_cast<std::size_t>(p)] >= 0.0f) pins.push_back(p);
+    }
+    if (pins.empty()) return;
+    const int b = static_cast<int>(pins.size());
+    nn::Tensor x({b, d});
+    for (int i = 0; i < b; ++i) {
+      for (int k = 0; k < d; ++k) x.at(i, k) = state.h.at(pins[static_cast<std::size_t>(i)], k);
+    }
+    const nn::Tensor pred = head.forward(x);
+    // Weighted MSE: grad = 2 w_i (pred - y) / B.
+    nn::Tensor grad({b, 1});
+    double loss = 0.0;
+    for (int i = 0; i < b; ++i) {
+      const float y = (labels[static_cast<std::size_t>(pins[static_cast<std::size_t>(i)])] - mean) / stddev;
+      const float w = weight * (extra_weight
+                                    ? (*extra_weight)[static_cast<std::size_t>(pins[static_cast<std::size_t>(i)])]
+                                    : 1.0f);
+      const float diff = pred.at(i, 0) - y;
+      loss += static_cast<double>(w) * diff * diff;
+      grad.at(i, 0) = 2.0f * w * diff / static_cast<float>(b);
+    }
+    total_loss += static_cast<float>(loss / b);
+    const nn::Tensor gx = head.backward(grad);
+    for (int i = 0; i < b; ++i) {
+      for (int k = 0; k < d; ++k) {
+        grad_h.at(pins[static_cast<std::size_t>(i)], k) += gx.at(i, k);
+      }
+    }
+  };
+
+  // Arrival head: every supervised pin at aux weight, endpoints at full weight
+  // (they are the primary target).
+  std::vector<float> arrival_weight(static_cast<std::size_t>(design.graph.num_nodes()),
+                                    config_.aux_arrival_weight);
+  for (nl::PinId ep : design.endpoints) {
+    arrival_weight[static_cast<std::size_t>(ep)] = 1.0f;
+  }
+  run_head(arrival_head_, design.pin_arrival_label, arr_mean_, arr_std_, 1.0f,
+           &arrival_weight);
+  run_head(delay_head_, design.node_delay_label, delay_mean_, delay_std_,
+           config_.aux_delay_weight, nullptr);
+  run_head(slew_head_, design.pin_slew_label, slew_mean_, slew_std_,
+           config_.aux_slew_weight, nullptr);
+
+  gnn_.backward(design.graph, design.features, state, grad_h);
+  adam_->step();
+  adam_->zero_grad();
+  return total_loss;
+}
+
+void GuoModel::train(std::vector<GuoPrepared*> train_set) {
+  RTP_CHECK(!train_set.empty());
+  Moments arr, del, slw;
+  for (const GuoPrepared* gp : train_set) {
+    for (float v : gp->pin_arrival_label) {
+      if (v >= 0.0f) arr.add(v);
+    }
+    for (float v : gp->node_delay_label) {
+      if (v >= 0.0f) del.add(v);
+    }
+    for (float v : gp->pin_slew_label) {
+      if (v >= 0.0f) slw.add(v);
+    }
+  }
+  std::tie(arr_mean_, arr_std_) = arr.finish();
+  std::tie(delay_mean_, delay_std_) = del.finish();
+  std::tie(slew_mean_, slew_std_) = slw.finish();
+
+  const int decay1 = config_.epochs * 3 / 5, decay2 = config_.epochs * 17 / 20;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (epoch == decay1 || epoch == decay2) adam_->config().lr *= config_.lr_decay;
+    rng_.shuffle(train_set);
+    for (GuoPrepared* gp : train_set) train_step(*gp);
+  }
+}
+
+std::vector<double> GuoModel::predict_endpoints(GuoPrepared& design) {
+  const model::EndpointGNN::ForwardState state =
+      gnn_.forward(design.graph, design.features);
+  const int e = static_cast<int>(design.endpoints.size());
+  const int d = config_.gnn_embed;
+  nn::Tensor x({e, d});
+  for (int i = 0; i < e; ++i) {
+    for (int k = 0; k < d; ++k) {
+      x.at(i, k) = state.h.at(design.endpoints[static_cast<std::size_t>(i)], k);
+    }
+  }
+  const nn::Tensor pred = arrival_head_.forward(x);
+  std::vector<double> result(static_cast<std::size_t>(e));
+  for (int i = 0; i < e; ++i) result[static_cast<std::size_t>(i)] = pred.at(i, 0) * arr_std_ + arr_mean_;
+  return result;
+}
+
+std::vector<double> GuoModel::predict_edge_delays(GuoPrepared& design) {
+  const model::EndpointGNN::ForwardState state =
+      gnn_.forward(design.graph, design.features);
+  const int n = design.graph.num_nodes();
+  const int d = config_.gnn_embed;
+  nn::Tensor x({n, d});
+  for (int p = 0; p < n; ++p) {
+    for (int k = 0; k < d; ++k) x.at(p, k) = state.h.at(p, k);
+  }
+  const nn::Tensor pred = delay_head_.forward(x);
+  std::vector<double> delays(static_cast<std::size_t>(design.graph.num_edges()), 0.0);
+  for (int e = 0; e < design.graph.num_edges(); ++e) {
+    const nl::PinId to = design.graph.edge(e).to;
+    delays[static_cast<std::size_t>(e)] =
+        std::max(0.0, static_cast<double>(pred.at(to, 0)) * delay_std_ + delay_mean_);
+  }
+  return delays;
+}
+
+}  // namespace rtp::baselines

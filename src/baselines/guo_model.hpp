@@ -1,0 +1,76 @@
+#pragma once
+// DAC22-guo [4]: end-to-end timing-engine-inspired GNN baseline.
+//
+// Propagates embeddings in topological order like our GNN, but follows the
+// reference's local-view recipe: auxiliary supervision on net/cell delay, pin
+// slew and pin arrival time — targets that only exist for the arcs/pins that
+// survive optimization, so the auxiliary losses are semi-supervised. Under
+// netlist restructuring these local targets are mismatched with the input
+// features (the paper's feature-mismatch argument), which is exactly the
+// failure mode TABLE II exposes.
+
+#include "flow/dataset_flow.hpp"
+#include "model/gnn.hpp"
+#include "nn/adam.hpp"
+
+namespace rtp::baselines {
+
+struct GuoConfig {
+  int gnn_hidden = 32;
+  int gnn_embed = 16;
+  int head_hidden = 32;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  float lr_decay = 0.4f;
+  int epochs = 160;
+  // Loss = endpoint-arrival MSE + these weights times the auxiliary MSEs.
+  float aux_arrival_weight = 0.5f;
+  float aux_delay_weight = 0.5f;
+  float aux_slew_weight = 0.25f;
+  std::uint64_t seed = 2022;
+};
+
+struct GuoPrepared {
+  const flow::DesignData* data = nullptr;
+  tg::TimingGraph graph;
+  model::NodeFeatures features;
+  std::vector<nl::PinId> endpoints;
+
+  // Per pin slot; < 0 where unsupervised (replaced / dead in sign-off).
+  std::vector<float> node_delay_label;  ///< sign-off delay of the incoming arc
+  std::vector<float> pin_arrival_label;
+  std::vector<float> pin_slew_label;
+
+  explicit GuoPrepared(tg::TimingGraph g) : graph(std::move(g)) {}
+};
+
+GuoPrepared prepare_guo(const flow::DesignData& data);
+
+class GuoModel {
+ public:
+  explicit GuoModel(const GuoConfig& config);
+
+  /// Computes normalization stats and trains for config.epochs.
+  void train(std::vector<GuoPrepared*> train_set);
+
+  /// Endpoint arrival predictions, ps.
+  std::vector<double> predict_endpoints(GuoPrepared& design);
+
+  /// Local delay predictions per edge of the design's graph (for the local-R²
+  /// columns); value is the delay head applied to the edge's sink node.
+  std::vector<double> predict_edge_delays(GuoPrepared& design);
+
+ private:
+  float train_step(GuoPrepared& design);
+
+  GuoConfig config_;
+  Rng rng_;
+  model::EndpointGNN gnn_;
+  nn::Mlp arrival_head_, delay_head_, slew_head_;
+  std::unique_ptr<nn::Adam> adam_;
+  float arr_mean_ = 0.0f, arr_std_ = 1.0f;
+  float delay_mean_ = 0.0f, delay_std_ = 1.0f;
+  float slew_mean_ = 0.0f, slew_std_ = 1.0f;
+};
+
+}  // namespace rtp::baselines

@@ -1,0 +1,123 @@
+#include "baselines/local_delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtp::baselines {
+
+PreparedArcs prepare_arcs(const flow::DesignData& data, const ArcFeatureConfig& config) {
+  PreparedArcs pa(tg::TimingGraph{data.input_netlist});
+  pa.data = &data;
+  pa.features = extract_arc_features(data, pa.graph, config);
+  return pa;
+}
+
+LocalDelayModel::LocalDelayModel(const LocalModelConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      net_mlp_({kNetArcFeatDim, config.hidden, config.hidden, 1}, rng_),
+      cell_mlp_({kCellArcFeatDim, config.hidden, config.hidden, 1}, rng_) {}
+
+namespace {
+
+/// Labeled training rows of one arc type pooled over designs.
+struct Pool {
+  std::vector<const float*> rows;  ///< feature row pointers
+  std::vector<float> labels;
+};
+
+void collect(const PreparedArcs& design, Pool& net_pool, Pool& cell_pool) {
+  const auto& arc_label = design.data->arc_label;
+  for (int e = 0; e < design.graph.num_edges(); ++e) {
+    const double label = arc_label[static_cast<std::size_t>(e)];
+    if (label < 0.0) continue;  // replaced: unlabeled (Fig. 1)
+    if (design.graph.edge(e).is_net) {
+      const std::int32_t row = design.features.net_row[static_cast<std::size_t>(e)];
+      net_pool.rows.push_back(design.features.net_feat.data() +
+                              static_cast<std::size_t>(row) * kNetArcFeatDim);
+      net_pool.labels.push_back(static_cast<float>(label));
+    } else {
+      const std::int32_t row = design.features.cell_row[static_cast<std::size_t>(e)];
+      cell_pool.rows.push_back(design.features.cell_feat.data() +
+                               static_cast<std::size_t>(row) * kCellArcFeatDim);
+      cell_pool.labels.push_back(static_cast<float>(label));
+    }
+  }
+}
+
+std::pair<float, float> moments(const std::vector<float>& v) {
+  double sum = 0.0, sq = 0.0;
+  for (float x : v) {
+    sum += x;
+    sq += static_cast<double>(x) * x;
+  }
+  const double mean = sum / std::max<std::size_t>(1, v.size());
+  const double var = std::max(1e-6, sq / std::max<std::size_t>(1, v.size()) - mean * mean);
+  return {static_cast<float>(mean), static_cast<float>(std::sqrt(var))};
+}
+
+void train_pool(nn::Mlp& mlp, const Pool& pool, int feat_dim, float mean, float stddev,
+                const LocalModelConfig& config, Rng& rng) {
+  if (pool.rows.empty()) return;
+  nn::AdamConfig adam_config;
+  adam_config.lr = config.learning_rate;
+  nn::Adam adam(mlp.params(), adam_config);
+  std::vector<std::size_t> order(pool.rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config.batch)) {
+      const std::size_t count =
+          std::min<std::size_t>(config.batch, order.size() - start);
+      nn::Tensor x({static_cast<int>(count), feat_dim});
+      nn::Tensor y({static_cast<int>(count), 1});
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t j = order[start + i];
+        for (int k = 0; k < feat_dim; ++k) x.at(static_cast<int>(i), k) = pool.rows[j][k];
+        y.at(static_cast<int>(i), 0) = (pool.labels[j] - mean) / stddev;
+      }
+      const nn::Tensor pred = mlp.forward(x);
+      const nn::Tensor grad = nn::mse_backward(pred, y);
+      mlp.backward(grad);
+      adam.step();
+      adam.zero_grad();
+    }
+  }
+}
+
+}  // namespace
+
+void LocalDelayModel::train(const std::vector<const PreparedArcs*>& designs) {
+  Pool net_pool, cell_pool;
+  for (const PreparedArcs* d : designs) collect(*d, net_pool, cell_pool);
+  std::tie(net_mean_, net_std_) = moments(net_pool.labels);
+  std::tie(cell_mean_, cell_std_) = moments(cell_pool.labels);
+  train_pool(net_mlp_, net_pool, kNetArcFeatDim, net_mean_, net_std_, config_, rng_);
+  train_pool(cell_mlp_, cell_pool, kCellArcFeatDim, cell_mean_, cell_std_, config_, rng_);
+}
+
+std::vector<double> LocalDelayModel::predict_edges(const PreparedArcs& design) {
+  const nn::Tensor net_pred = net_mlp_.forward(design.features.net_feat);
+  const nn::Tensor cell_pred = cell_mlp_.forward(design.features.cell_feat);
+  std::vector<double> delays(static_cast<std::size_t>(design.graph.num_edges()), 0.0);
+  for (int e = 0; e < design.graph.num_edges(); ++e) {
+    const std::int32_t nr = design.features.net_row[static_cast<std::size_t>(e)];
+    const std::int32_t cr = design.features.cell_row[static_cast<std::size_t>(e)];
+    double d;
+    if (nr >= 0) {
+      d = net_pred.at(nr, 0) * net_std_ + net_mean_;
+    } else {
+      RTP_CHECK(cr >= 0);
+      d = cell_pred.at(cr, 0) * cell_std_ + cell_mean_;
+    }
+    delays[static_cast<std::size_t>(e)] = std::max(0.0, d);
+  }
+  return delays;
+}
+
+std::vector<double> LocalDelayModel::predict_endpoints(const PreparedArcs& design) {
+  return pert_endpoint_arrival(design.graph, predict_edges(design));
+}
+
+}  // namespace rtp::baselines

@@ -1,0 +1,62 @@
+#pragma once
+// Two-stage local-view baselines (DAC19 [2], DAC22-he [3]).
+//
+// Stage 1: MLPs predict each arc's sign-off delay from local placed features
+// (one MLP per arc type). Netlist restructuring makes labels unavailable for
+// replaced arcs, so — exactly as the paper adapts these baselines — training
+// is semi-supervised on the unreplaced arcs only.
+// Stage 2: PERT traversal of the predicted delays yields endpoint arrival.
+//
+// The two published methods differ here only in their feature set (DAC22-he
+// adds look-ahead RC features), which mirrors their actual delta.
+
+#include "baselines/arc_features.hpp"
+#include "baselines/pert.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+
+namespace rtp::baselines {
+
+struct LocalModelConfig {
+  ArcFeatureConfig features;
+  int hidden = 64;
+  int epochs = 20;
+  int batch = 2048;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 31;
+};
+
+/// One design's arcs, prepared for the two-stage baselines.
+struct PreparedArcs {
+  const flow::DesignData* data = nullptr;
+  tg::TimingGraph graph;
+  ArcFeatures features;
+
+  explicit PreparedArcs(tg::TimingGraph g) : graph(std::move(g)) {}
+};
+
+PreparedArcs prepare_arcs(const flow::DesignData& data, const ArcFeatureConfig& config);
+
+class LocalDelayModel {
+ public:
+  explicit LocalDelayModel(const LocalModelConfig& config);
+
+  /// Semi-supervised training over all labeled arcs of the given designs.
+  void train(const std::vector<const PreparedArcs*>& designs);
+
+  /// Predicted sign-off delay for every edge of the design (clamped >= 0).
+  std::vector<double> predict_edges(const PreparedArcs& design);
+
+  /// Endpoint arrival via PERT over the predicted delays.
+  std::vector<double> predict_endpoints(const PreparedArcs& design);
+
+ private:
+  LocalModelConfig config_;
+  Rng rng_;
+  nn::Mlp net_mlp_;
+  nn::Mlp cell_mlp_;
+  float net_mean_ = 0.0f, net_std_ = 1.0f;
+  float cell_mean_ = 0.0f, cell_std_ = 1.0f;
+};
+
+}  // namespace rtp::baselines

@@ -1,0 +1,34 @@
+#include "baselines/pert.hpp"
+
+#include <algorithm>
+
+namespace rtp::baselines {
+
+std::vector<double> pert_endpoint_arrival(const tg::TimingGraph& graph,
+                                          const std::vector<double>& edge_delay) {
+  RTP_CHECK(static_cast<int>(edge_delay.size()) == graph.num_edges());
+  const nl::Netlist& netlist = graph.netlist();
+  std::vector<double> arrival(static_cast<std::size_t>(netlist.num_pin_slots()), 0.0);
+  for (nl::PinId p : graph.launch_points()) {
+    const nl::Pin& pin = netlist.pin(p);
+    arrival[static_cast<std::size_t>(p)] =
+        pin.cell != nl::kInvalidId ? netlist.lib_cell(pin.cell).intrinsic : 0.0;
+  }
+  for (nl::PinId v : graph.topo_order()) {
+    double best = arrival[static_cast<std::size_t>(v)];
+    for (std::int32_t e : graph.fanin(v)) {
+      const double a = arrival[static_cast<std::size_t>(graph.edge(e).from)] +
+                       edge_delay[static_cast<std::size_t>(e)];
+      best = std::max(best, a);
+    }
+    arrival[static_cast<std::size_t>(v)] = best;
+  }
+  std::vector<double> result;
+  result.reserve(graph.endpoints().size());
+  for (nl::PinId ep : graph.endpoints()) {
+    result.push_back(arrival[static_cast<std::size_t>(ep)]);
+  }
+  return result;
+}
+
+}  // namespace rtp::baselines

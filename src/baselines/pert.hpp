@@ -1,0 +1,18 @@
+#pragma once
+// PERT traversal over externally supplied per-edge delays (reference [5]).
+// This is the second stage of the two-stage baselines: local ML delay
+// prediction followed by a worst-arrival propagation to the endpoints.
+
+#include <vector>
+
+#include "timing/timing_graph.hpp"
+
+namespace rtp::baselines {
+
+/// arrival(v) = max over fanin edges (arrival(u) + delay[e]); launch points
+/// start at their clock-to-Q. Returns arrival per endpoint (aligned with
+/// graph.endpoints()).
+std::vector<double> pert_endpoint_arrival(const tg::TimingGraph& graph,
+                                          const std::vector<double>& edge_delay);
+
+}  // namespace rtp::baselines

@@ -1,0 +1,38 @@
+#pragma once
+// Lightweight runtime checking for invariants and preconditions.
+//
+// RTP_CHECK is always on (it guards library invariants whose violation would
+// otherwise corrupt downstream state); RTP_DCHECK compiles out in NDEBUG
+// builds and is meant for hot loops.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtp::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "RTP_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace rtp::detail
+
+#define RTP_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) ::rtp::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RTP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::rtp::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define RTP_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define RTP_DCHECK(cond) RTP_CHECK(cond)
+#endif

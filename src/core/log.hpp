@@ -1,0 +1,23 @@
+#pragma once
+// Minimal leveled logger. Experiments print their own tables; this is for
+// progress and diagnostics only, so it stays deliberately tiny.
+
+#include <string>
+
+namespace rtp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Thread-safe at line granularity.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace rtp
+
+#define RTP_LOG_DEBUG(...) ::rtp::logf(::rtp::LogLevel::kDebug, __VA_ARGS__)
+#define RTP_LOG_INFO(...) ::rtp::logf(::rtp::LogLevel::kInfo, __VA_ARGS__)
+#define RTP_LOG_WARN(...) ::rtp::logf(::rtp::LogLevel::kWarn, __VA_ARGS__)
+#define RTP_LOG_ERROR(...) ::rtp::logf(::rtp::LogLevel::kError, __VA_ARGS__)

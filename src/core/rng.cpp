@@ -1,0 +1,87 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rtp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zeros from any seed, but keep the guard as documentation.
+  RTP_CHECK(s_[0] | s_[1] | s_[2] | s_[3]);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::index(std::uint64_t n) {
+  RTP_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  RTP_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(index(span));
+}
+
+double Rng::normal() {
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    RTP_CHECK(w >= 0.0);
+    total += w;
+  }
+  RTP_CHECK(total > 0.0);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slop: fall through to last.
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace rtp

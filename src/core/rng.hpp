@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the repository (circuit generation, placement,
+// optimizer tie-breaking, NN initialization, minibatch shuffling) draws from an
+// rtp::Rng seeded explicitly, so a whole experiment is a pure function of its
+// seeds. The engine is xoshiro256**, which is fast, high-quality, and — unlike
+// std::mt19937 + std::uniform_*_distribution — has a bit-stable output across
+// standard library implementations.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace rtp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Sample an index according to non-negative weights (at least one positive).
+  std::size_t weighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    RTP_CHECK(!v.empty());
+    return v[static_cast<std::size_t>(index(v.size()))];
+  }
+
+  /// Derive an independent child stream (for parallel or per-module use).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace rtp

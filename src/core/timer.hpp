@@ -1,0 +1,36 @@
+#pragma once
+// Wall-clock timing for the runtime tables (TABLE III) and microbenchmarks.
+
+#include <chrono>
+
+namespace rtp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations (e.g. "pre", "infer") across calls.
+class PhaseTimer {
+ public:
+  void add(double seconds) { total_ += seconds; ++count_; }
+  double total() const { return total_; }
+  int count() const { return count_; }
+
+ private:
+  double total_ = 0.0;
+  int count_ = 0;
+};
+
+}  // namespace rtp

@@ -1,0 +1,241 @@
+#include "eval/experiments.hpp"
+
+#include <cmath>
+
+#include "core/log.hpp"
+#include "core/timer.hpp"
+
+namespace rtp::eval {
+
+std::vector<const flow::DesignData*> DatasetBundle::train_designs() const {
+  std::vector<const flow::DesignData*> out;
+  for (const auto& d : designs) {
+    if (d.is_train) out.push_back(&d);
+  }
+  for (const auto& d : augmented) out.push_back(&d);
+  return out;
+}
+
+std::vector<const flow::DesignData*> DatasetBundle::test_designs() const {
+  std::vector<const flow::DesignData*> out;
+  for (const auto& d : designs) {
+    if (!d.is_train) out.push_back(&d);
+  }
+  return out;
+}
+
+DatasetBundle build_dataset(const ExperimentConfig& config) {
+  DatasetBundle bundle;
+  bundle.library = std::make_unique<nl::CellLibrary>(nl::CellLibrary::standard());
+  flow::FlowConfig flow_config = config.flow;
+  flow_config.scale = config.scale;
+  flow::DatasetFlow flow(*bundle.library, flow_config);
+  for (const gen::BenchmarkSpec& spec : gen::paper_benchmarks()) {
+    bundle.designs.push_back(flow.run(spec));
+    if (spec.is_train) {
+      for (int a = 1; a < config.train_augment; ++a) {
+        gen::BenchmarkSpec reseeded = spec;
+        reseeded.seed += 1000ull * static_cast<unsigned>(a);
+        bundle.augmented.push_back(flow.run(reseeded));
+      }
+    }
+  }
+  return bundle;
+}
+
+double design_r2(const std::vector<double>& labels, const std::vector<double>& pred) {
+  return r2_score(labels, pred);
+}
+
+namespace {
+
+/// Local-delay R² of predicted edge delays vs sign-off labels on unreplaced
+/// arcs; `which` filters by arc type (-1 = both).
+double local_r2(const tg::TimingGraph& graph, const std::vector<double>& arc_label,
+                const std::vector<double>& pred, int which) {
+  std::vector<double> y, p;
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    if (arc_label[static_cast<std::size_t>(e)] < 0.0) continue;
+    const bool is_net = graph.edge(e).is_net;
+    if (which == 0 && !is_net) continue;
+    if (which == 1 && is_net) continue;
+    y.push_back(arc_label[static_cast<std::size_t>(e)]);
+    p.push_back(pred[static_cast<std::size_t>(e)]);
+  }
+  if (y.size() < 2) return 0.0;
+  return r2_score(y, p);
+}
+
+model::ModelConfig variant(const model::ModelConfig& base, bool gnn, bool cnn) {
+  model::ModelConfig v = base;
+  v.use_gnn = gnn;
+  v.use_cnn = cnn;
+  // A layout-only model has no netlist branch to derive critical regions
+  // from, so it degrades to the shared global layout map (Section VI.B).
+  if (!gnn) v.use_masking = false;
+  return v;
+}
+
+}  // namespace
+
+TableTwoResult run_table2(const DatasetBundle& dataset, const ExperimentConfig& config) {
+  TableTwoResult result;
+  const auto train_ptrs = dataset.train_designs();
+  const auto test_ptrs = dataset.test_designs();
+
+  // ---- two-stage baselines: DAC19 and DAC22-he ----
+  baselines::LocalModelConfig dac19_config = config.local;
+  dac19_config.features.lookahead = false;
+  baselines::LocalModelConfig he_config = config.local;
+  he_config.features.lookahead = true;
+
+  auto run_two_stage = [&](const baselines::LocalModelConfig& lm_config,
+                           std::vector<std::vector<double>>& ep_pred,
+                           std::vector<double>& local_scores) {
+    std::vector<baselines::PreparedArcs> train_arcs, test_arcs;
+    for (const flow::DesignData* d : train_ptrs) {
+      train_arcs.push_back(baselines::prepare_arcs(*d, lm_config.features));
+    }
+    for (const flow::DesignData* d : test_ptrs) {
+      test_arcs.push_back(baselines::prepare_arcs(*d, lm_config.features));
+    }
+    baselines::LocalDelayModel lm(lm_config);
+    std::vector<const baselines::PreparedArcs*> train_view;
+    for (const auto& a : train_arcs) train_view.push_back(&a);
+    lm.train(train_view);
+    for (auto& a : test_arcs) {
+      const std::vector<double> delays = lm.predict_edges(a);
+      local_scores.push_back(local_r2(a.graph, a.data->arc_label, delays, -1));
+      ep_pred.push_back(baselines::pert_endpoint_arrival(a.graph, delays));
+    }
+  };
+
+  std::vector<std::vector<double>> dac19_pred, he_pred;
+  std::vector<double> dac19_local, he_local;
+  RTP_LOG_INFO("table2: training DAC19 baseline");
+  run_two_stage(dac19_config, dac19_pred, dac19_local);
+  RTP_LOG_INFO("table2: training DAC22-he baseline");
+  run_two_stage(he_config, he_pred, he_local);
+
+  // ---- end-to-end baseline: DAC22-guo ----
+  RTP_LOG_INFO("table2: training DAC22-guo baseline");
+  std::vector<baselines::GuoPrepared> guo_train, guo_test;
+  for (const flow::DesignData* d : train_ptrs) guo_train.push_back(baselines::prepare_guo(*d));
+  for (const flow::DesignData* d : test_ptrs) guo_test.push_back(baselines::prepare_guo(*d));
+  baselines::GuoModel guo(config.guo);
+  {
+    std::vector<baselines::GuoPrepared*> view;
+    for (auto& g : guo_train) view.push_back(&g);
+    guo.train(view);
+  }
+
+  // ---- ours: CNN-only / GNN-only / full ----
+  struct OursVariant {
+    model::ModelConfig config;
+    std::unique_ptr<model::FusionModel> model;
+    std::vector<model::PreparedDesign> train, test;
+  };
+  auto run_ours = [&](const model::ModelConfig& mc, const char* tag) {
+    RTP_LOG_INFO("table2: training ours (%s)", tag);
+    OursVariant v{mc, std::make_unique<model::FusionModel>(mc), {}, {}};
+    for (const flow::DesignData* d : train_ptrs) {
+      v.train.push_back(model::prepare_design(*d, mc));
+    }
+    for (const flow::DesignData* d : test_ptrs) {
+      v.test.push_back(model::prepare_design(*d, mc));
+    }
+    std::vector<model::PreparedDesign*> view;
+    for (auto& p : v.train) view.push_back(&p);
+    model::TrainOptions options;
+    options.epochs = mc.epochs;
+    const model::TrainResult tr = model::train_model(*v.model, view, options);
+    if (mc.use_gnn && mc.use_cnn) result.full_train_seconds = tr.seconds;
+    return v;
+  };
+  OursVariant cnn_only = run_ours(variant(config.model, false, true), "CNN-only");
+  OursVariant gnn_only = run_ours(variant(config.model, true, false), "GNN-only");
+  OursVariant full = run_ours(variant(config.model, true, true), "full");
+
+  // ---- evaluation per test design ----
+  TableTwoRow avg;
+  avg.name = "avg";
+  for (std::size_t t = 0; t < test_ptrs.size(); ++t) {
+    const flow::DesignData& d = *test_ptrs[t];
+    TableTwoRow row;
+    row.name = d.name;
+    row.local_dac19 = dac19_local[t];
+    row.local_he = he_local[t];
+    {
+      const std::vector<double> delays = guo.predict_edge_delays(guo_test[t]);
+      row.local_guo_net = local_r2(guo_test[t].graph, d.arc_label, delays, 0);
+      row.local_guo_cell = local_r2(guo_test[t].graph, d.arc_label, delays, 1);
+      row.ep_guo = design_r2(d.label_arrival, guo.predict_endpoints(guo_test[t]));
+    }
+    row.ep_dac19 = design_r2(d.label_arrival, dac19_pred[t]);
+    row.ep_he = design_r2(d.label_arrival, he_pred[t]);
+    auto eval_ours = [&](OursVariant& v) {
+      const nn::Tensor pred = v.model->predict(v.test[t]);
+      std::vector<double> p(pred.numel());
+      for (std::size_t i = 0; i < pred.numel(); ++i) p[i] = pred[i];
+      return design_r2(d.label_arrival, p);
+    };
+    row.ep_cnn_only = eval_ours(cnn_only);
+    row.ep_gnn_only = eval_ours(gnn_only);
+    row.ep_full = eval_ours(full);
+
+    avg.local_dac19 += row.local_dac19 / test_ptrs.size();
+    avg.local_he += row.local_he / test_ptrs.size();
+    avg.local_guo_net += row.local_guo_net / test_ptrs.size();
+    avg.local_guo_cell += row.local_guo_cell / test_ptrs.size();
+    avg.ep_dac19 += row.ep_dac19 / test_ptrs.size();
+    avg.ep_he += row.ep_he / test_ptrs.size();
+    avg.ep_guo += row.ep_guo / test_ptrs.size();
+    avg.ep_cnn_only += row.ep_cnn_only / test_ptrs.size();
+    avg.ep_gnn_only += row.ep_gnn_only / test_ptrs.size();
+    avg.ep_full += row.ep_full / test_ptrs.size();
+    result.rows.push_back(row);
+  }
+  result.rows.push_back(avg);
+  return result;
+}
+
+std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
+                                      model::FusionModel& model,
+                                      const ExperimentConfig& config) {
+  std::vector<TableThreeRow> rows;
+  TableThreeRow avg;
+  avg.name = "avg.";
+  for (const flow::DesignData& d : dataset.designs) {
+    TableThreeRow row;
+    row.name = d.name;
+    row.opt_s = d.timings.opt;
+    row.route_s = d.timings.route;
+    row.sta_s = d.timings.sta;
+    row.commercial_total_s = d.timings.total_commercial();
+
+    // "pre": graph construction, leveling, feature extraction, longest paths,
+    // critical-region masks — everything prepare_design does.
+    WallTimer timer;
+    model::PreparedDesign prepared = model::prepare_design(d, config.model);
+    row.pre_s = timer.seconds();
+    timer.reset();
+    (void)model.predict(prepared);
+    row.infer_s = timer.seconds();
+    row.ours_total_s = row.pre_s + row.infer_s;
+    row.speedup = row.ours_total_s > 0.0 ? row.commercial_total_s / row.ours_total_s : 0.0;
+
+    avg.opt_s += row.opt_s / dataset.designs.size();
+    avg.route_s += row.route_s / dataset.designs.size();
+    avg.sta_s += row.sta_s / dataset.designs.size();
+    avg.commercial_total_s += row.commercial_total_s / dataset.designs.size();
+    avg.pre_s += row.pre_s / dataset.designs.size();
+    avg.infer_s += row.infer_s / dataset.designs.size();
+    avg.ours_total_s += row.ours_total_s / dataset.designs.size();
+    rows.push_back(row);
+  }
+  avg.speedup = avg.ours_total_s > 0.0 ? avg.commercial_total_s / avg.ours_total_s : 0.0;
+  rows.push_back(avg);
+  return rows;
+}
+
+}  // namespace rtp::eval

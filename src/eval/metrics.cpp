@@ -1,0 +1,59 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace rtp::eval {
+
+double r2_score(std::span<const double> target, std::span<const double> pred) {
+  RTP_CHECK(target.size() == pred.size());
+  RTP_CHECK(target.size() >= 2);
+  double mean = 0.0;
+  for (double y : target) mean += y;
+  mean /= static_cast<double>(target.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    ss_res += (target[i] - pred[i]) * (target[i] - pred[i]);
+    ss_tot += (target[i] - mean) * (target[i] - mean);
+  }
+  RTP_CHECK_MSG(ss_tot > 0.0, "R^2 undefined for constant targets");
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mae(std::span<const double> target, std::span<const double> pred) {
+  RTP_CHECK(target.size() == pred.size() && !target.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) acc += std::abs(target[i] - pred[i]);
+  return acc / static_cast<double>(target.size());
+}
+
+double rmse(std::span<const double> target, std::span<const double> pred) {
+  RTP_CHECK(target.size() == pred.size() && !target.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    acc += (target[i] - pred[i]) * (target[i] - pred[i]);
+  }
+  return std::sqrt(acc / static_cast<double>(target.size()));
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  RTP_CHECK(a.size() == b.size() && a.size() >= 2);
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(a.size());
+  mb /= static_cast<double>(a.size());
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  RTP_CHECK(va > 0.0 && vb > 0.0);
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace rtp::eval

@@ -1,0 +1,20 @@
+#pragma once
+// Regression metrics. The paper evaluates with the R² score (coefficient of
+// determination): R² = 1 - SS_res / SS_tot, computed per design.
+
+#include <span>
+#include <vector>
+
+namespace rtp::eval {
+
+/// R² of predictions vs targets. 1 is perfect; 0 matches the mean predictor;
+/// negative is worse than predicting the mean. Requires >= 2 samples with
+/// non-zero target variance.
+double r2_score(std::span<const double> target, std::span<const double> pred);
+
+double mae(std::span<const double> target, std::span<const double> pred);
+double rmse(std::span<const double> target, std::span<const double> pred);
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace rtp::eval

@@ -1,0 +1,32 @@
+#pragma once
+// Plain-text table rendering for the paper-reproduction benches, so each
+// bench binary prints rows directly comparable to the paper's tables.
+
+#include <string>
+#include <vector>
+
+namespace rtp::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; cells beyond the header count are dropped, missing cells
+  /// render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 4);
+  static std::string pct(double v, int precision = 1);  ///< 0.123 -> "12.3%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtp::eval

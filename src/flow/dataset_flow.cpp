@@ -1,0 +1,218 @@
+#include "flow/dataset_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/log.hpp"
+#include "core/timer.hpp"
+#include "layout/feature_maps.hpp"
+#include "route/global_router.hpp"
+
+namespace rtp::flow {
+
+using layout::GridMap;
+using layout::Placement;
+
+GridMap make_congestion_map(const nl::Netlist& netlist, const Placement& placement,
+                            int grid) {
+  GridMap rudy = layout::make_rudy_map(netlist, placement, grid, grid);
+  GridMap density = layout::make_density_map(netlist, placement, grid, grid);
+  rudy.normalize();
+  density.normalize();
+  // Routing pressure: wire demand dominates, local pin density contributes.
+  GridMap blended(grid, grid, placement.die());
+  for (int r = 0; r < grid; ++r) {
+    for (int c = 0; c < grid; ++c) {
+      blended.at(r, c) = 0.65f * rudy.at(r, c) + 0.35f * density.at(r, c);
+    }
+  }
+  return blended;
+}
+
+namespace {
+
+sta::StaConfig make_signoff_config(const nl::Technology& tech, double period,
+                                   const GridMap* congestion) {
+  sta::StaConfig config;
+  config.delay.tech = tech;
+  config.delay.tech.clock_period = period;
+  config.delay.wire_model = sta::WireModel::kSignOff;
+  config.delay.congestion = congestion;
+  return config;
+}
+
+/// Mean relative delay change over labeled arcs; pairs (base, changed).
+double mean_relative_change(const std::vector<std::pair<double, double>>& pairs) {
+  if (pairs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [base, changed] : pairs) {
+    acc += std::abs(changed - base) / std::max(base, 1e-3);
+  }
+  return acc / static_cast<double>(pairs.size());
+}
+
+}  // namespace
+
+DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec) const {
+  WallTimer stage;
+
+  // ---- generate + place (the predictor's input state) ----
+  gen::CircuitGenerator generator(*library_);
+  gen::GeneratedCircuit circuit = generator.generate(spec, config_.scale);
+
+  place::PlacerConfig placer_config;
+  placer_config.utilization = spec.utilization;
+  placer_config.num_macros = spec.num_macros;
+  placer_config.seed = spec.seed;
+  place::Placer placer(placer_config);
+  stage.reset();
+  Placement input_placement = placer.place(circuit.netlist);
+  const double place_seconds = stage.seconds();
+
+  DesignData data;
+  data.name = spec.name;
+  data.is_train = spec.is_train;
+  data.input_netlist = circuit.netlist;
+  data.input_placement = input_placement;
+  data.timings.place = place_seconds;
+
+  // ---- clock constraint: a fixed fraction of the unoptimized sign-off WNS
+  // path, so the optimizer has real violations to fix ----
+  GridMap input_congestion =
+      make_congestion_map(data.input_netlist, input_placement, config_.congestion_grid);
+  tg::TimingGraph input_graph(data.input_netlist);
+  {
+    sta::StaConfig probe = make_signoff_config(config_.tech, 1e9, &input_congestion);
+    const sta::StaResult unconstrained = run_sta(input_graph, input_placement, probe);
+    double max_arrival = 0.0;
+    for (double a : unconstrained.endpoint_arrival) max_arrival = std::max(max_arrival, a);
+    data.clock_period = std::max(50.0, config_.clock_period_factor * max_arrival);
+  }
+
+  // ---- pre-route STA on the input design (Elmore reference / features) ----
+  {
+    sta::StaConfig pre;
+    pre.delay.tech = config_.tech;
+    pre.delay.tech.clock_period = data.clock_period;
+    pre.delay.wire_model = sta::WireModel::kPreRoute;
+    data.preroute = run_sta(input_graph, input_placement, pre);
+  }
+
+  // ---- no-opt flow: route + sign-off STA on the unoptimized design ----
+  route::GlobalRouter router{route::RouterConfig{}};
+  const route::RouteResult noopt_route = router.route(data.input_netlist, input_placement);
+  sta::StaConfig noopt_config =
+      make_signoff_config(config_.tech, data.clock_period, &noopt_route.usage);
+  noopt_config.delay.routed_length = &noopt_route.routed_length;
+  const sta::StaResult noopt_sta = run_sta(input_graph, input_placement, noopt_config);
+
+  // ---- timing optimization (mutates a copy of netlist + placement) ----
+  nl::Netlist opt_netlist = data.input_netlist;
+  Placement opt_placement = input_placement;
+  opt::OptimizerConfig opt_config;
+  opt_config.sta.delay.tech = config_.tech;
+  opt_config.sta.delay.tech.clock_period = data.clock_period;
+  opt_config.max_passes = config_.opt_max_passes;
+  opt_config.sizing_rate = spec.sizing_rate;
+  opt_config.recovery_sizing_rate = spec.recovery_sizing_rate;
+  opt_config.target_net_replaced = spec.target_net_replaced;
+  opt_config.target_cell_replaced = spec.target_cell_replaced;
+  opt_config.buffer_rate = 0.45;
+  opt_config.seed = spec.seed ^ config_.seed;
+  opt::TimingOptimizer optimizer(opt_config);
+  stage.reset();
+  data.opt_report = optimizer.optimize(opt_netlist, opt_placement);
+  data.timings.opt = stage.seconds();
+
+  // ---- routing: global route of the optimized design ----
+  stage.reset();
+  const route::RouteResult opt_route = router.route(opt_netlist, opt_placement);
+  data.timings.route = stage.seconds();
+
+  // ---- sign-off STA on routed parasitics ----
+  stage.reset();
+  tg::TimingGraph signoff_graph(opt_netlist);
+  sta::StaConfig signoff_config =
+      make_signoff_config(config_.tech, data.clock_period, &opt_route.usage);
+  signoff_config.delay.routed_length = &opt_route.routed_length;
+  const sta::StaResult signoff_sta = run_sta(signoff_graph, opt_placement, signoff_config);
+  data.timings.sta = stage.seconds();
+
+  // ---- endpoint labels (endpoints are never replaced: same PinIds) ----
+  data.endpoints = data.input_netlist.endpoints();
+  data.label_arrival.reserve(data.endpoints.size());
+  data.noopt_arrival.reserve(data.endpoints.size());
+  for (nl::PinId ep : data.endpoints) {
+    RTP_CHECK_MSG(opt_netlist.pin_alive(ep), "optimizer replaced an endpoint");
+    data.label_arrival.push_back(signoff_sta.arrival_at(ep));
+    data.noopt_arrival.push_back(noopt_sta.arrival_at(ep));
+  }
+
+  // ---- local arc labels for the semi-supervised baselines ----
+  sta::DelayModel signoff_model(opt_netlist, opt_placement, signoff_config.delay);
+  sta::DelayModel noopt_model(data.input_netlist, input_placement, noopt_config.delay);
+  data.arc_label.assign(static_cast<std::size_t>(input_graph.num_edges()), -1.0);
+  std::vector<std::pair<double, double>> net_deltas, cell_deltas;
+  for (int e = 0; e < input_graph.num_edges(); ++e) {
+    const tg::Edge& edge = input_graph.edge(e);
+    if (edge.is_net) {
+      const nl::NetId net = static_cast<nl::NetId>(edge.ref);
+      const bool replaced = net < data.opt_report.original_net_slots &&
+                            data.opt_report.net_replaced[static_cast<std::size_t>(net)];
+      if (replaced || !opt_netlist.net_alive(net)) continue;
+      const double d = signoff_model.net_edge_delay(edge.from, edge.to);
+      data.arc_label[static_cast<std::size_t>(e)] = d;
+      net_deltas.emplace_back(noopt_model.net_edge_delay(edge.from, edge.to), d);
+    } else {
+      const nl::CellId cell = static_cast<nl::CellId>(edge.ref);
+      const bool replaced = cell < data.opt_report.original_cell_slots &&
+                            data.opt_report.cell_replaced[static_cast<std::size_t>(cell)];
+      if (replaced || !opt_netlist.cell_alive(cell)) continue;
+      const double d = signoff_model.cell_edge_delay(cell);
+      data.arc_label[static_cast<std::size_t>(e)] = d;
+      cell_deltas.emplace_back(noopt_model.cell_edge_delay(cell), d);
+    }
+  }
+
+  // ---- sign-off pin-level supervision (DAC22-guo auxiliary tasks) ----
+  const std::size_t pin_slots = static_cast<std::size_t>(data.input_netlist.num_pin_slots());
+  data.signoff_pin_arrival.assign(pin_slots, -1.0);
+  data.signoff_pin_slew.assign(pin_slots, -1.0);
+  for (std::size_t p = 0; p < pin_slots; ++p) {
+    if (opt_netlist.pin_alive(static_cast<nl::PinId>(p))) {
+      data.signoff_pin_arrival[p] = signoff_sta.arrival[p];
+      data.signoff_pin_slew[p] = signoff_sta.slew[p];
+    }
+  }
+
+  // ---- TABLE I impact metrics ----
+  const auto ratio = [](double with_opt, double without) {
+    return std::abs(without) > 1e-9 ? std::abs(with_opt - without) / std::abs(without)
+                                    : 0.0;
+  };
+  data.delta_wns_ratio = ratio(signoff_sta.wns, noopt_sta.wns);
+  data.delta_tns_ratio = ratio(signoff_sta.tns, noopt_sta.tns);
+  data.replaced_net_ratio = data.opt_report.replaced_net_edge_ratio(data.input_netlist);
+  data.replaced_cell_ratio = data.opt_report.replaced_cell_edge_ratio(data.input_netlist);
+  data.delta_net_delay_ratio = mean_relative_change(net_deltas);
+  data.delta_cell_delay_ratio = mean_relative_change(cell_deltas);
+
+  data.signoff_netlist = std::move(opt_netlist);
+  data.signoff_placement = std::move(opt_placement);
+
+  RTP_LOG_INFO("flow %-10s %s period=%.0fps wns %.0f->%.0f repl(n/c)=%.0f%%/%.0f%%",
+               data.name.c_str(), data.input_netlist.summary().c_str(),
+               data.clock_period, data.opt_report.wns_before, data.opt_report.wns_after,
+               100 * data.replaced_net_ratio, 100 * data.replaced_cell_ratio);
+  return data;
+}
+
+std::vector<DesignData> DatasetFlow::run_suite() const {
+  std::vector<DesignData> suite;
+  for (const gen::BenchmarkSpec& spec : gen::paper_benchmarks()) {
+    suite.push_back(run(spec));
+  }
+  return suite;
+}
+
+}  // namespace rtp::flow

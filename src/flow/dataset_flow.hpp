@@ -1,0 +1,116 @@
+#pragma once
+// End-to-end dataset generation flow (the paper's Section VI.A pipeline):
+//
+//   generate (≈ RTL + Genus synthesis)
+//   -> place (≈ Innovus placement)                      [predictor input state]
+//   -> timing optimization (≈ Innovus optDesign)        [restructures netlist]
+//   -> routing model + sign-off STA                     [ground-truth labels]
+//
+// and, for TABLE I's right columns, a parallel flow *without* the optimizer.
+//
+// The predictor consumes the pre-routing, pre-optimization snapshot (netlist +
+// placement) and is supervised by post-optimization sign-off endpoint arrival
+// times. Because endpoints are never replaced, the input netlist's endpoint
+// PinIds index directly into the optimized design's results.
+
+#include <string>
+#include <vector>
+
+#include "gen/circuit_generator.hpp"
+#include "opt/optimizer.hpp"
+#include "place/placer.hpp"
+#include "sta/sta.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::flow {
+
+struct FlowConfig {
+  double scale = 0.02;  ///< fraction of the paper's TABLE I design sizes
+  int map_grid = 64;    ///< M = N feature-map resolution (paper: 512)
+  int congestion_grid = 64;
+  /// Clock period is set per design to this fraction of the unoptimized
+  /// sign-off worst arrival, so every design starts with violations for the
+  /// optimizer to chew on.
+  double clock_period_factor = 0.68;
+  nl::Technology tech;
+  int opt_max_passes = 8;
+  std::uint64_t seed = 7;
+};
+
+/// Wall-clock seconds per flow stage (TABLE III's "commercial" columns).
+struct FlowTimings {
+  double place = 0.0;
+  double opt = 0.0;
+  double route = 0.0;  ///< routing model: congestion map construction
+  double sta = 0.0;    ///< final sign-off STA
+  double total_commercial() const { return opt + route + sta; }
+};
+
+/// Everything a learned model (ours or a baseline) needs for one design.
+struct DesignData {
+  std::string name;
+  bool is_train = false;
+  double clock_period = 0.0;
+
+  // Predictor input: placed, pre-optimization design.
+  nl::Netlist input_netlist;
+  layout::Placement input_placement;
+
+  // Optimized design (for analysis; models must not peek).
+  nl::Netlist signoff_netlist;
+  layout::Placement signoff_placement;
+  opt::OptimizerReport opt_report;
+
+  // Endpoint supervision, aligned with input_netlist.endpoints().
+  std::vector<nl::PinId> endpoints;
+  std::vector<double> label_arrival;  ///< sign-off arrival, optimized flow
+  std::vector<double> noopt_arrival;  ///< sign-off arrival, no-opt flow
+
+  // Pre-route STA on the input design (baseline feature / Elmore reference).
+  sta::StaResult preroute;
+
+  // Local supervision for the semi-supervised baselines, aligned with the
+  // edges of TimingGraph(input_netlist): sign-off arc delay, or <0 where the
+  // arc was replaced by optimization and cannot be labeled (Fig. 1).
+  std::vector<double> arc_label;
+
+  // Sign-off pin arrival/slew on surviving pins (<0 where the pin died);
+  // auxiliary supervision for the DAC22-guo baseline.
+  std::vector<double> signoff_pin_arrival;
+  std::vector<double> signoff_pin_slew;
+
+  // TABLE I "impact" metrics.
+  double delta_wns_ratio = 0.0;
+  double delta_tns_ratio = 0.0;
+  double replaced_net_ratio = 0.0;
+  double replaced_cell_ratio = 0.0;
+  double delta_net_delay_ratio = 0.0;   ///< mean |Δ|/base over unreplaced net arcs
+  double delta_cell_delay_ratio = 0.0;  ///< same over unreplaced cell arcs
+
+  FlowTimings timings;
+};
+
+/// Blended routability map (RUDY + density) used as the sign-off congestion
+/// field; also what the "route" stage of the flow produces.
+layout::GridMap make_congestion_map(const nl::Netlist& netlist,
+                                    const layout::Placement& placement, int grid);
+
+class DatasetFlow {
+ public:
+  DatasetFlow(const nl::CellLibrary& library, FlowConfig config)
+      : library_(&library), config_(config) {}
+
+  /// Runs the full flow for one benchmark spec.
+  DesignData run(const gen::BenchmarkSpec& spec) const;
+
+  /// Runs the whole suite (all 10 paper benchmarks).
+  std::vector<DesignData> run_suite() const;
+
+  const FlowConfig& config() const { return config_; }
+
+ private:
+  const nl::CellLibrary* library_;
+  FlowConfig config_;
+};
+
+}  // namespace rtp::flow

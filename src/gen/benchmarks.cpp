@@ -1,0 +1,63 @@
+#include "gen/benchmarks.hpp"
+
+#include "core/check.hpp"
+
+namespace rtp::gen {
+
+namespace {
+
+BenchmarkSpec make(const char* name, bool train, int pins, int edp, int en, int ec,
+                   double depth_bias, int max_depth, int macros, double util,
+                   double net_repl, double cell_repl, std::uint64_t seed) {
+  BenchmarkSpec s;
+  s.name = name;
+  s.is_train = train;
+  s.target_pins = pins;
+  s.target_endpoints = edp;
+  s.target_net_edges = en;
+  s.target_cell_edges = ec;
+  s.depth_bias = depth_bias;
+  s.max_stage_depth = max_depth;
+  s.num_macros = macros;
+  s.utilization = util;
+  s.target_net_replaced = net_repl;
+  s.target_cell_replaced = cell_repl;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace
+
+std::vector<BenchmarkSpec> paper_benchmarks() {
+  // Input-information targets are TABLE I verbatim; the restructure knob is
+  // steered so the optimizer's replacement ratios land near the paper's
+  // per-design #replaced columns (nets 28–50%, cells 8–40%).
+  std::vector<BenchmarkSpec> specs;
+  // Replacement targets are TABLE I's #replaced columns verbatim.
+  // name        train   pins     edp     e_n     e_c    depth mxd mac util  net%  cell%  seed
+  // Logic depths stay in a tight band (30–44 stages): all ten designs target
+  // the same 7-nm node and methodology, so their stage counts — and sign-off
+  // arrival scales — are comparable, as in the paper's suite.
+  specs.push_back(make("jpeg", true, 932842, 40801, 650878, 607795, 1.2, 40, 4, 0.68, 0.325, 0.354, 101));
+  specs.push_back(make("rocket", true, 698347, 52731, 490499, 432068, 1.1, 38, 6, 0.64, 0.285, 0.080, 102));
+  specs.push_back(make("smallboom", true, 694441, 61764, 488052, 423344, 1.1, 38, 5, 0.65, 0.409, 0.156, 103));
+  specs.push_back(make("steelcore", true, 26598, 1662, 19439, 17732, 1.0, 32, 0, 0.70, 0.498, 0.184, 104));
+  specs.push_back(make("xgate", true, 20842, 684, 14653, 13010, 1.0, 30, 0, 0.66, 0.313, 0.169, 105));
+  specs.push_back(make("arm9", false, 44469, 2500, 33065, 29287, 1.1, 36, 1, 0.69, 0.467, 0.240, 106));
+  specs.push_back(make("chacha", false, 35687, 1986, 25117, 23083, 1.3, 40, 0, 0.70, 0.471, 0.388, 107));
+  specs.push_back(make("hwacha", false, 1357798, 61313, 985057, 922085, 1.2, 42, 6, 0.66, 0.451, 0.220, 108));
+  specs.push_back(make("or1200", false, 1165114, 172401, 844443, 658961, 1.1, 38, 5, 0.68, 0.491, 0.208, 109));
+  specs.push_back(make("sha3", false, 794720, 60323, 552021, 485596, 1.2, 44, 3, 0.64, 0.303, 0.083, 110));
+  return specs;
+}
+
+const BenchmarkSpec& benchmark_by_name(const std::vector<BenchmarkSpec>& specs,
+                                       const std::string& name) {
+  for (const BenchmarkSpec& s : specs) {
+    if (s.name == name) return s;
+  }
+  RTP_CHECK_MSG(false, "unknown benchmark name");
+  __builtin_unreachable();
+}
+
+}  // namespace rtp::gen

@@ -1,0 +1,52 @@
+#pragma once
+// The paper's 10-design benchmark suite (TABLE I), as generator specs.
+//
+// We cannot run Cadence Genus/Innovus on the original RTL, so each benchmark
+// is a synthetic circuit whose structural statistics are matched to TABLE I's
+// input-information columns at a configurable scale factor. Structure knobs
+// (depth bias, fanout skew, macro count, placement utilization, optimizer
+// aggressiveness) are tuned per design so the downstream flow reproduces the
+// paper's qualitative behaviour (e.g. chacha restructures heavily).
+
+#include <string>
+#include <vector>
+
+namespace rtp::gen {
+
+struct BenchmarkSpec {
+  std::string name;
+  bool is_train = false;
+
+  // TABLE I "input information" targets at scale = 1.0.
+  int target_pins = 0;
+  int target_endpoints = 0;
+  int target_net_edges = 0;
+  int target_cell_edges = 0;
+
+  // Structure knobs.
+  double depth_bias = 1.0;   ///< >1 favours deeper logic cones
+  int max_stage_depth = 48;  ///< cap on logic stages per cone
+  double fanout_skew = 0.4;  ///< 0 = uniform driver reuse, 1 = heavy-tailed
+  int num_macros = 0;
+  double utilization = 0.65;  ///< placed area / die area
+
+  // Optimizer steering (drives TABLE I's right columns). The targets are the
+  // paper's per-design #replaced percentages; the optimizer's DRV/recovery
+  // phase keeps making (space-gated) destructive moves until it reaches them
+  // or runs out of legal sites.
+  double target_net_replaced = 0.40;
+  double target_cell_replaced = 0.20;
+  double sizing_rate = 0.5;          ///< critical-path sizing appetite
+  double recovery_sizing_rate = 0.35;  ///< fraction of all cells resized in recovery
+
+  std::uint64_t seed = 1;
+};
+
+/// All 10 designs; 5 train + 5 test, matching TABLE I's split.
+std::vector<BenchmarkSpec> paper_benchmarks();
+
+/// Lookup by name; aborts if unknown.
+const BenchmarkSpec& benchmark_by_name(const std::vector<BenchmarkSpec>& specs,
+                                       const std::string& name);
+
+}  // namespace rtp::gen

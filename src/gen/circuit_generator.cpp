@@ -1,0 +1,216 @@
+#include "gen/circuit_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/log.hpp"
+
+namespace rtp::gen {
+
+namespace {
+
+using nl::GateKind;
+
+struct KindWeight {
+  GateKind kind;
+  double weight;
+};
+
+// Post-synthesis gate mix typical of technology-mapped RISC-V cores:
+// NAND/NOR/INV dominate, with a tail of complex gates. Average fanin ≈ 2.05.
+constexpr KindWeight kGateMix[] = {
+    {GateKind::kInv, 0.14},   {GateKind::kBuf, 0.06},   {GateKind::kNand2, 0.16},
+    {GateKind::kNor2, 0.10},  {GateKind::kAnd2, 0.10},  {GateKind::kOr2, 0.08},
+    {GateKind::kXor2, 0.07},  {GateKind::kXnor2, 0.04}, {GateKind::kAoi21, 0.06},
+    {GateKind::kOai21, 0.05}, {GateKind::kMux2, 0.06},  {GateKind::kNand3, 0.04},
+    {GateKind::kNor3, 0.02},  {GateKind::kAnd3, 0.01},  {GateKind::kOr3, 0.01},
+};
+
+GateKind sample_kind(Rng& rng) {
+  double total = 0.0;
+  for (const auto& kw : kGateMix) total += kw.weight;
+  double r = rng.uniform() * total;
+  for (const auto& kw : kGateMix) {
+    r -= kw.weight;
+    if (r <= 0.0) return kw.kind;
+  }
+  return GateKind::kNand2;
+}
+
+/// A net driver available for new connections.
+struct Driver {
+  nl::PinId pin = nl::kInvalidId;
+  nl::NetId net = nl::kInvalidId;  ///< lazily created on first use
+  int depth = 0;                   ///< logic stages from launch
+  int uses = 0;
+};
+
+class DriverPool {
+ public:
+  DriverPool(nl::Netlist& netlist, const BenchmarkSpec& spec, Rng& rng)
+      : netlist_(&netlist), spec_(&spec), rng_(&rng) {}
+
+  void add(nl::PinId pin, int depth) { drivers_.push_back(Driver{pin, nl::kInvalidId, depth, 0}); }
+
+  std::size_t size() const { return drivers_.size(); }
+  const Driver& at(std::size_t i) const { return drivers_[i]; }
+
+  /// Tournament-sample a driver index. Weight grows with depth (depth_bias),
+  /// with reuse count (fanout_skew, preferential attachment) and gets a bonus
+  /// while unused so nearly every output ends up connected.
+  std::size_t sample(int depth_cap) {
+    constexpr int kTournament = 16;
+    double weights[kTournament];
+    std::size_t picks[kTournament];
+    double total = 0.0;
+    for (int t = 0; t < kTournament; ++t) {
+      const std::size_t i = static_cast<std::size_t>(rng_->index(drivers_.size()));
+      const Driver& d = drivers_[i];
+      double w = std::pow(1.0 + d.depth, spec_->depth_bias);
+      w *= 1.0 + spec_->fanout_skew * d.uses;
+      if (d.uses == 0) w *= 3.0;
+      if (d.depth >= depth_cap) w *= 0.05;  // discourage, don't forbid
+      picks[t] = i;
+      weights[t] = w;
+      total += w;
+    }
+    double r = rng_->uniform() * total;
+    for (int t = 0; t < kTournament; ++t) {
+      r -= weights[t];
+      if (r <= 0.0) return picks[t];
+    }
+    return picks[kTournament - 1];
+  }
+
+  /// Connects `sink` to driver `i`'s net (created on demand). Updates usage.
+  void connect(std::size_t i, nl::PinId sink) {
+    Driver& d = drivers_[i];
+    if (d.net == nl::kInvalidId) d.net = netlist_->add_net(d.pin);
+    netlist_->add_sink(d.net, sink);
+    ++d.uses;
+  }
+
+  /// Indices of still-unused drivers (shuffled).
+  std::vector<std::size_t> unused_indices() {
+    std::vector<std::size_t> result;
+    for (std::size_t i = 0; i < drivers_.size(); ++i) {
+      if (drivers_[i].uses == 0) result.push_back(i);
+    }
+    rng_->shuffle(result);
+    return result;
+  }
+
+ private:
+  nl::Netlist* netlist_;
+  const BenchmarkSpec* spec_;
+  Rng* rng_;
+  std::vector<Driver> drivers_;
+};
+
+}  // namespace
+
+GeneratedCircuit CircuitGenerator::generate(const BenchmarkSpec& spec, double scale) const {
+  RTP_CHECK(scale > 0.0);
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 7);
+  nl::Netlist netlist(library_);
+
+  const auto scaled = [&](int target, int floor_value) {
+    return std::max(floor_value, static_cast<int>(std::lround(target * scale)));
+  };
+  const int num_endpoints = scaled(spec.target_endpoints, 8);
+  const int num_po = std::max(2, num_endpoints / 25);
+  const int num_dff = num_endpoints - num_po;
+  const int num_pi = std::max(4, num_po * 3 / 2);
+  // Combinational fanin edges left after DFF D pins; mix averages ~2.05.
+  const int comb_edges = std::max(16, scaled(spec.target_cell_edges, 32) - num_dff);
+  const int num_comb = std::max(8, static_cast<int>(comb_edges / 2.05));
+
+  DriverPool pool(netlist, spec, rng);
+
+  for (int i = 0; i < num_pi; ++i) pool.add(netlist.add_primary_input(), 0);
+
+  const nl::LibCellId dff_x1 = library_->find(GateKind::kDff, 1);
+  RTP_CHECK(dff_x1 != nl::kInvalidId);
+  std::vector<nl::CellId> dffs;
+  dffs.reserve(static_cast<std::size_t>(num_dff));
+  for (int i = 0; i < num_dff; ++i) {
+    const nl::CellId c = netlist.add_cell(dff_x1);
+    dffs.push_back(c);
+    pool.add(netlist.cell(c).output, 0);  // Q launches new cones
+  }
+
+  // Combinational fabric, built in topological (creation) order.
+  std::vector<nl::CellId> comb_cells;
+  comb_cells.reserve(static_cast<std::size_t>(num_comb));
+  for (int i = 0; i < num_comb; ++i) {
+    const GateKind kind = sample_kind(rng);
+    const int drive = rng.chance(0.25) ? 2 : 1;
+    const nl::LibCellId lib = library_->find(kind, drive);
+    const nl::CellId cell = netlist.add_cell(lib);
+    int depth = 0;
+    for (nl::PinId in : netlist.cell(cell).inputs) {
+      const std::size_t di = pool.sample(spec.max_stage_depth);
+      depth = std::max(depth, pool.at(di).depth);
+      pool.connect(di, in);
+    }
+    pool.add(netlist.cell(cell).output, depth + 1);
+    comb_cells.push_back(cell);
+  }
+
+  // Endpoint hookup: drain unused outputs first (deep ones preferred), then
+  // sample the pool so cone depths spread from trivial to max_stage_depth.
+  std::vector<nl::PinId> endpoint_sinks;
+  for (nl::CellId c : dffs) endpoint_sinks.push_back(netlist.cell(c).inputs[0]);
+  for (int i = 0; i < num_po; ++i) endpoint_sinks.push_back(netlist.add_primary_output());
+  rng.shuffle(endpoint_sinks);
+
+  // unused_indices() is shuffled: endpoints drain unused outputs across the
+  // whole depth range, so fanin-cone depths (and therefore arrival times)
+  // spread from trivial to max_stage_depth as in the paper's designs.
+  std::vector<std::size_t> unused = pool.unused_indices();
+  std::size_t next_unused = 0;
+  for (nl::PinId sink : endpoint_sinks) {
+    if (next_unused < unused.size()) {
+      pool.connect(unused[next_unused++], sink);
+    } else {
+      pool.connect(pool.sample(spec.max_stage_depth + 8), sink);
+    }
+  }
+
+  // Cleanup: combinational cells whose output never got used are dissolved,
+  // iterating because removals can orphan upstream outputs. Reverse creation
+  // order ensures a cell's consumers are visited before its producers.
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = comb_cells.rbegin(); it != comb_cells.rend(); ++it) {
+      const nl::CellId c = *it;
+      if (!netlist.cell_alive(c)) continue;
+      const nl::Pin& out = netlist.pin(netlist.cell(c).output);
+      if (out.net != nl::kInvalidId && !netlist.net(out.net).sinks.empty()) continue;
+      if (out.net != nl::kInvalidId) netlist.remove_net(out.net);
+      for (nl::PinId in : netlist.cell(c).inputs) {
+        if (netlist.pin(in).net != nl::kInvalidId) {
+          const nl::NetId n = netlist.pin(in).net;
+          netlist.disconnect_sink(in);
+          if (netlist.net(n).sinks.empty()) changed = true;  // may orphan driver
+        }
+      }
+      netlist.remove_cell(c);
+      ++removed;
+    }
+  }
+  // Nets left with zero sinks whose drivers are PIs or DFF Q pins are
+  // harmless stubs; drop them for cleanliness.
+  for (nl::NetId n = 0; n < netlist.num_net_slots(); ++n) {
+    if (netlist.net_alive(n) && netlist.net(n).sinks.empty()) netlist.remove_net(n);
+  }
+
+  netlist.validate();
+  RTP_LOG_DEBUG("gen %s scale=%.4f: %s (removed %d dangling cells)", spec.name.c_str(),
+                scale, netlist.summary().c_str(), removed);
+  return GeneratedCircuit{std::move(netlist), spec.name};
+}
+
+}  // namespace rtp::gen

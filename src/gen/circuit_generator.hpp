@@ -1,0 +1,33 @@
+#pragma once
+// Synthetic gate-level circuit generator.
+//
+// Stands in for "RTL + Cadence Genus synthesis" in the paper's data flow.
+// Emits a register-rich DAG whose pin / endpoint / edge counts track a
+// BenchmarkSpec's TABLE I targets at a given scale, with realistic fanin-cone
+// depth variation (the paper reports endpoint cone depths from 2 to 400+
+// topological levels) and a heavy-tailed fanout distribution.
+
+#include "core/rng.hpp"
+#include "gen/benchmarks.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtp::gen {
+
+struct GeneratedCircuit {
+  nl::Netlist netlist;
+  std::string name;
+};
+
+class CircuitGenerator {
+ public:
+  explicit CircuitGenerator(const nl::CellLibrary& library) : library_(&library) {}
+
+  /// Generates `spec` scaled by `scale` (1.0 = paper-size). Deterministic in
+  /// spec.seed. Scale must keep at least a handful of cells.
+  GeneratedCircuit generate(const BenchmarkSpec& spec, double scale) const;
+
+ private:
+  const nl::CellLibrary* library_;
+};
+
+}  // namespace rtp::gen

@@ -1,0 +1,157 @@
+#include "layout/feature_maps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rtp::layout {
+
+void GridMap::splat_rect(double x0, double y0, double x1, double y1, double amount) {
+  if (x1 < x0) std::swap(x0, x1);
+  if (y1 < y0) std::swap(y0, y1);
+  x0 = std::clamp(x0, 0.0, die_.width);
+  x1 = std::clamp(x1, 0.0, die_.width);
+  y0 = std::clamp(y0, 0.0, die_.height);
+  y1 = std::clamp(y1, 0.0, die_.height);
+  const double area = (x1 - x0) * (y1 - y0);
+  const double bw = bin_width(), bh = bin_height();
+  const int c0 = col_of(x0), c1 = col_of(x1);
+  const int r0 = row_of(y0), r1 = row_of(y1);
+  if (area <= 0.0) {
+    // Degenerate rectangle: deposit everything into the bins the segment or
+    // point touches, split evenly.
+    const int bins = (c1 - c0 + 1) * (r1 - r0 + 1);
+    const float share = static_cast<float>(amount / bins);
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) at(r, c) += share;
+    }
+    return;
+  }
+  for (int r = r0; r <= r1; ++r) {
+    const double by0 = r * bh, by1 = by0 + bh;
+    const double oy = std::min(y1, by1) - std::max(y0, by0);
+    if (oy <= 0.0) continue;
+    for (int c = c0; c <= c1; ++c) {
+      const double bx0 = c * bw, bx1 = bx0 + bw;
+      const double ox = std::min(x1, bx1) - std::max(x0, bx0);
+      if (ox <= 0.0) continue;
+      at(r, c) += static_cast<float>(amount * (ox * oy) / area);
+    }
+  }
+}
+
+float GridMap::max_value() const {
+  float best = 0.0f;
+  for (float v : values_) best = std::max(best, v);
+  return best;
+}
+
+float GridMap::mean_value() const {
+  double acc = 0.0;
+  for (float v : values_) acc += v;
+  return static_cast<float>(acc / static_cast<double>(values_.size()));
+}
+
+void GridMap::normalize() {
+  const float m = max_value();
+  if (m <= 0.0f) return;
+  for (float& v : values_) v /= m;
+}
+
+void GridMap::write_pgm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  RTP_CHECK_MSG(f != nullptr, "cannot open PGM output file");
+  std::fprintf(f, "P5\n%d %d\n255\n", cols_, rows_);
+  const float m = std::max(max_value(), 1e-12f);
+  for (int r = rows_ - 1; r >= 0; --r) {  // image row 0 at top = max y
+    for (int c = 0; c < cols_; ++c) {
+      const int v = std::clamp(static_cast<int>(255.0f * at(r, c) / m), 0, 255);
+      std::fputc(v, f);
+    }
+  }
+  std::fclose(f);
+}
+
+GridMap make_density_map(const nl::Netlist& netlist, const Placement& placement,
+                         int rows, int cols) {
+  GridMap map(rows, cols, placement.die());
+  const double bin_area = map.bin_width() * map.bin_height();
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (!netlist.cell_alive(c)) continue;
+    const double area = netlist.lib_cell(c).area;
+    const double side = std::sqrt(area);
+    const Point p = placement.cell_pos(c);
+    map.splat_rect(p.x - side / 2, p.y - side / 2, p.x + side / 2, p.y + side / 2,
+                   area / bin_area);
+  }
+  return map;
+}
+
+GridMap make_rudy_map(const nl::Netlist& netlist, const Placement& placement,
+                      int rows, int cols) {
+  GridMap map(rows, cols, placement.die());
+  for (nl::NetId id = 0; id < netlist.num_net_slots(); ++id) {
+    if (!netlist.net_alive(id)) continue;
+    const nl::Net& net = netlist.net(id);
+    if (net.sinks.empty()) continue;
+    Point lo = placement.pin_pos(netlist, net.driver);
+    Point hi = lo;
+    for (nl::PinId s : net.sinks) {
+      const Point p = placement.pin_pos(netlist, s);
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+    const double hpwl = (hi.x - lo.x) + (hi.y - lo.y);
+    if (hpwl <= 0.0) continue;
+    // RUDY: wire area (HPWL x 1 unit width) uniformly over the bounding box.
+    map.splat_rect(lo.x, lo.y, hi.x, hi.y, hpwl);
+  }
+  return map;
+}
+
+GridMap make_macro_map(const Placement& placement, int rows, int cols) {
+  GridMap map(rows, cols, placement.die());
+  const double bin_area = map.bin_width() * map.bin_height();
+  for (const Macro& m : placement.macros()) {
+    map.splat_rect(m.x, m.y, m.x + m.w, m.y + m.h, (m.w * m.h) / bin_area);
+  }
+  // Coverage fraction saturates at 1 even where macros overlap.
+  for (float& v : map.values()) v = std::min(v, 1.0f);
+  return map;
+}
+
+nn::Tensor stack_feature_maps(const GridMap& density, const GridMap& rudy,
+                              const GridMap& macros) {
+  const int rows = density.rows(), cols = density.cols();
+  RTP_CHECK(rudy.rows() == rows && macros.rows() == rows);
+  RTP_CHECK(rudy.cols() == cols && macros.cols() == cols);
+  nn::Tensor x({3, rows, cols});
+  const GridMap* maps[3] = {&density, &rudy, &macros};
+  for (int ch = 0; ch < 3; ++ch) {
+    GridMap normalized = *maps[ch];
+    normalized.normalize();
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) x.at(ch, r, c) = normalized.at(r, c);
+    }
+  }
+  return x;
+}
+
+GridMap rasterize_boxes(const std::vector<std::pair<Point, Point>>& boxes, int rows,
+                        int cols, Die die) {
+  GridMap mask(rows, cols, die);
+  for (const auto& [a, b] : boxes) {
+    const int c0 = mask.col_of(std::min(a.x, b.x));
+    const int c1 = mask.col_of(std::max(a.x, b.x));
+    const int r0 = mask.row_of(std::min(a.y, b.y));
+    const int r1 = mask.row_of(std::max(a.y, b.y));
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) mask.at(r, c) = 1.0f;
+    }
+  }
+  return mask;
+}
+
+}  // namespace rtp::layout

@@ -1,0 +1,97 @@
+#pragma once
+// Optimization-related layout feature maps (Section V.A, Fig. 4/5).
+//
+// The layout is divided into M x N bins; three maps are derived from the
+// placed design and stacked as the CNN input:
+//   1. cell density — occupied area fraction per bin,
+//   2. RUDY        — rectangular uniform wire density (per-net HPWL smeared
+//                    uniformly over the net's bounding box),
+//   3. macro map   — fraction of the bin covered by hard macros.
+// A GridMap is also the raster for the endpoint-wise critical-region masks
+// (Eq. 4–6), at the CNN's output resolution M/4 x N/4.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "layout/placement.hpp"
+#include "nn/tensor.hpp"
+
+namespace rtp::layout {
+
+/// A scalar field over an M x N binning of the die. Row-major, [row][col],
+/// row 0 at y = 0.
+class GridMap {
+ public:
+  GridMap(int rows, int cols, Die die)
+      : rows_(rows), cols_(cols), die_(die),
+        values_(static_cast<std::size_t>(rows) * cols, 0.0f) {
+    RTP_CHECK(rows > 0 && cols > 0 && die.width > 0 && die.height > 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  const Die& die() const { return die_; }
+
+  float& at(int r, int c) { return values_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const { return values_[static_cast<std::size_t>(r) * cols_ + c]; }
+
+  double bin_width() const { return die_.width / cols_; }
+  double bin_height() const { return die_.height / rows_; }
+
+  int col_of(double x) const {
+    return std::clamp(static_cast<int>(x / bin_width()), 0, cols_ - 1);
+  }
+  int row_of(double y) const {
+    return std::clamp(static_cast<int>(y / bin_height()), 0, rows_ - 1);
+  }
+
+  float value_at(Point p) const { return at(row_of(p.y), col_of(p.x)); }
+
+  /// Adds `amount`, spread uniformly over the rectangle [x0,x1]x[y0,y1],
+  /// clipped to the die. Each bin receives amount * overlap_area / rect_area.
+  void splat_rect(double x0, double y0, double x1, double y1, double amount);
+
+  float max_value() const;
+  float mean_value() const;
+
+  /// Normalize to [0, 1] by the max (no-op if all zero).
+  void normalize();
+
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& values() { return values_; }
+
+  /// 8-bit PGM image (for Fig. 5 style dumps), scaled by the map maximum.
+  void write_pgm(const std::string& path) const;
+
+ private:
+  int rows_;
+  int cols_;
+  Die die_;
+  std::vector<float> values_;
+};
+
+/// Occupied-area fraction per bin (cell area splatted over each footprint).
+GridMap make_density_map(const nl::Netlist& netlist, const Placement& placement,
+                         int rows, int cols);
+
+/// RUDY congestion estimate: per net, HPWL x unit wire width smeared over the
+/// net bounding box; values are per-bin wire-area density.
+GridMap make_rudy_map(const nl::Netlist& netlist, const Placement& placement,
+                      int rows, int cols);
+
+/// Macro coverage fraction per bin.
+GridMap make_macro_map(const Placement& placement, int rows, int cols);
+
+/// Stacks the three normalized maps into a (3, rows, cols) CNN input tensor.
+nn::Tensor stack_feature_maps(const GridMap& density, const GridMap& rudy,
+                              const GridMap& macros);
+
+/// Rasterizes the union of axis-aligned boxes into a binary mask (Eq. 4–5).
+/// Boxes are given as (lo, hi) corner pairs in µm; the result has 1.0f in
+/// every bin the union touches. Degenerate (zero-area) boxes still mark the
+/// bins their segment crosses.
+GridMap rasterize_boxes(const std::vector<std::pair<Point, Point>>& boxes, int rows,
+                        int cols, Die die);
+
+}  // namespace rtp::layout

@@ -1,0 +1,6 @@
+#include "layout/placement.hpp"
+
+// Placement is header-only today; this translation unit anchors the library
+// and keeps room for out-of-line growth (e.g. DEF-style serialization).
+
+namespace rtp::layout {}

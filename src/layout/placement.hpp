@@ -1,0 +1,99 @@
+#pragma once
+// Physical layout model: die, macros, and cell/port positions.
+//
+// Positions are cell centers in µm. Pins take the position of their owning
+// cell (pre-routing, pin-level offsets are below the resolution that matters
+// to the models); port pins carry their own position on the die boundary.
+
+#include <string>
+#include <vector>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtp::layout {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+struct Die {
+  double width = 0.0;   ///< µm
+  double height = 0.0;  ///< µm
+};
+
+/// A hard macro block: its footprint is unusable for standard cells and for
+/// timing-optimization gate insertion (Section V.A, feature 3).
+struct Macro {
+  double x = 0.0;  ///< lower-left corner
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  bool contains(Point p) const {
+    return p.x >= x && p.x <= x + w && p.y >= y && p.y <= y + h;
+  }
+};
+
+class Placement {
+ public:
+  /// Empty placement; only useful as a data-holder default before assignment.
+  Placement() = default;
+
+  Placement(Die die, int num_cell_slots, int num_pin_slots)
+      : die_(die),
+        cell_pos_(static_cast<std::size_t>(num_cell_slots)),
+        port_pos_(static_cast<std::size_t>(num_pin_slots)) {}
+
+  const Die& die() const { return die_; }
+
+  void set_cell_pos(nl::CellId c, Point p) { cell_pos_[static_cast<std::size_t>(c)] = p; }
+  Point cell_pos(nl::CellId c) const { return cell_pos_[static_cast<std::size_t>(c)]; }
+
+  void set_port_pos(nl::PinId p, Point pt) { port_pos_[static_cast<std::size_t>(p)] = pt; }
+
+  /// Position of any pin: owning cell center, or the port location.
+  Point pin_pos(const nl::Netlist& netlist, nl::PinId p) const {
+    const nl::Pin& pin = netlist.pin(p);
+    if (pin.cell != nl::kInvalidId) return cell_pos(pin.cell);
+    return port_pos_[static_cast<std::size_t>(p)];
+  }
+
+  void add_macro(Macro m) { macros_.push_back(m); }
+  const std::vector<Macro>& macros() const { return macros_; }
+
+  bool inside_macro(Point p) const {
+    for (const Macro& m : macros_) {
+      if (m.contains(p)) return true;
+    }
+    return false;
+  }
+
+  /// Grow position arrays after netlist mutation added cells/pins.
+  void resize(int num_cell_slots, int num_pin_slots) {
+    RTP_CHECK(num_cell_slots >= static_cast<int>(cell_pos_.size()));
+    RTP_CHECK(num_pin_slots >= static_cast<int>(port_pos_.size()));
+    cell_pos_.resize(static_cast<std::size_t>(num_cell_slots));
+    port_pos_.resize(static_cast<std::size_t>(num_pin_slots));
+  }
+
+  Point clamp(Point p) const {
+    return Point{std::clamp(p.x, 0.0, die_.width), std::clamp(p.y, 0.0, die_.height)};
+  }
+
+ private:
+  Die die_;
+  std::vector<Point> cell_pos_;
+  std::vector<Point> port_pos_;
+  std::vector<Macro> macros_;
+};
+
+}  // namespace rtp::layout

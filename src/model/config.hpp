@@ -1,0 +1,56 @@
+#pragma once
+// Hyper-parameters of the endpoint-embedding framework (Section VI.A).
+
+namespace rtp::model {
+
+struct ModelConfig {
+  // GNN (Section IV.B): f_c1 / f_c2 / f_n are 3-layer MLPs.
+  int gnn_hidden = 32;  ///< paper: 256
+  int gnn_embed = 16;   ///< netlist embedding dimension; paper: 128
+
+  // Layout branch (Section V): CNN over the 3-channel feature-map stack,
+  // output map at grid/4 x grid/4, then a shared FC layer to the embedding.
+  int grid = 64;          ///< M = N; paper: 512
+  int layout_embed = 16;  ///< paper: 128
+  int conv1_channels = 8;
+  int conv2_channels = 16;
+
+  // Regression head: 3-layer MLP over the fused embedding.
+  int reg_hidden = 64;  ///< paper: 512
+
+  // Ablation switches (TABLE II's "our CNN-only" / "our GNN-only" columns and
+  // the masking ablation).
+  bool use_gnn = true;
+  bool use_cnn = true;
+  bool use_masking = true;
+
+  // Training (Section VI.A: lr 0.001, 200 epochs, batch = all endpoints of a
+  // design per step at our scale).
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  /// Dropout on the layout embedding during training: the netlist branch must
+  /// carry the prediction while layout acts as a refinement, which is what
+  /// stops the position-specific FC layer from overfitting the 5 train dies.
+  float layout_dropout = 0.3f;
+  int epochs = 160;
+  /// Learning rate is multiplied by lr_decay at 60% and 85% of the epochs.
+  float lr_decay = 0.4f;
+  unsigned long long seed = 2023;
+
+  /// The paper's exact hyper-parameters (needs serious hardware).
+  static ModelConfig paper() {
+    ModelConfig c;
+    c.gnn_hidden = 256;
+    c.gnn_embed = 128;
+    c.grid = 512;
+    c.layout_embed = 128;
+    c.reg_hidden = 512;
+    c.epochs = 200;
+    return c;
+  }
+
+  /// CPU-friendly configuration used by the reproduction benches.
+  static ModelConfig ci() { return ModelConfig{}; }
+};
+
+}  // namespace rtp::model

@@ -1,0 +1,66 @@
+#include "model/features.hpp"
+
+#include <cmath>
+
+namespace rtp::model {
+
+NodeFeatures extract_node_features(const tg::TimingGraph& graph,
+                                   const layout::Placement& placement) {
+  const nl::Netlist& netlist = graph.netlist();
+  const int n = netlist.num_pin_slots();
+  NodeFeatures f;
+  f.kind.assign(static_cast<std::size_t>(n), NodeKind::kCellNode);
+  f.cell_feat = nn::Tensor({n, kCellFeatDim});
+  f.net_feat = nn::Tensor({n, kNetFeatDim});
+
+  // Absolute distance scale, shared across designs: delay depends on µm, not
+  // on the fraction of the die a net spans, and the model must transfer
+  // between designs whose dies differ by an order of magnitude.
+  constexpr double dist_scale = 200.0;  // µm
+
+  for (nl::PinId p = 0; p < n; ++p) {
+    if (!netlist.pin_alive(p)) continue;
+    const auto& fanin = graph.fanin(p);
+    const bool is_net_node = !fanin.empty() && graph.edge(fanin[0]).is_net;
+    if (is_net_node) {
+      f.kind[static_cast<std::size_t>(p)] = NodeKind::kNetNode;
+      RTP_DCHECK(fanin.size() == 1);  // one driver per net sink
+      const tg::Edge& edge = graph.edge(fanin[0]);
+      const double dist = layout::manhattan(placement.pin_pos(netlist, edge.from),
+                                            placement.pin_pos(netlist, edge.to));
+      f.net_feat.at(p, 0) = static_cast<float>(dist / dist_scale);
+      continue;
+    }
+    // Cell node (cell outputs; also launch sources). Port sources keep zeros.
+    const nl::Pin& pin = netlist.pin(p);
+    if (pin.cell == nl::kInvalidId) continue;
+    const nl::LibCell& lib = netlist.lib_cell(pin.cell);
+    f.cell_feat.at(p, 0) = std::log2(static_cast<float>(lib.drive)) / 3.0f;
+    f.cell_feat.at(p, 1) = static_cast<float>(lib.input_cap) / 10.0f;
+    f.cell_feat.at(p, 2 + static_cast<int>(lib.kind)) = 1.0f;
+  }
+  return f;
+}
+
+void ablate_cell_feature(NodeFeatures& features, CellFeature which) {
+  const int rows = features.cell_feat.dim(0);
+  for (int r = 0; r < rows; ++r) {
+    switch (which) {
+      case CellFeature::kDrive:
+        features.cell_feat.at(r, 0) = 0.0f;
+        break;
+      case CellFeature::kPinCap:
+        features.cell_feat.at(r, 1) = 0.0f;
+        break;
+      case CellFeature::kGateType:
+        for (int k = 0; k < nl::kNumGateKinds; ++k) features.cell_feat.at(r, 2 + k) = 0.0f;
+        break;
+    }
+  }
+}
+
+void ablate_net_distance(NodeFeatures& features) {
+  features.net_feat.zero();
+}
+
+}  // namespace rtp::model

@@ -1,0 +1,43 @@
+#pragma once
+// GNN node features (Section IV.A).
+//
+// Pin nodes come in two flavours determined by their fanin arc type:
+//   cell nodes (outputs of cell edges) carry cell features:
+//     driving strength, gate-type one-hot, pin capacitance;
+//   net nodes (sinks of net edges) carry net features:
+//     net distance (driver->sink Manhattan distance).
+// Launch-point sources (PIs, register Q pins) are treated as cell nodes whose
+// neighbourhood max-aggregation is empty; port sources have zero features.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/placement.hpp"
+#include "nn/tensor.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::model {
+
+enum class NodeKind : std::uint8_t { kCellNode, kNetNode };
+
+constexpr int kCellFeatDim = 2 + nl::kNumGateKinds;  ///< drive, pin cap, one-hot
+constexpr int kNetFeatDim = 1;                       ///< normalized net distance
+
+struct NodeFeatures {
+  std::vector<NodeKind> kind;  ///< per pin slot
+  nn::Tensor cell_feat;        ///< (pin slots, kCellFeatDim); rows valid for cell nodes
+  nn::Tensor net_feat;         ///< (pin slots, kNetFeatDim); rows valid for net nodes
+};
+
+/// Extracts features for every live pin of the graph's netlist.
+/// Feature scaling: drive strength as log2(drive)/3, pin capacitance in
+/// fF / 10, net distance as Manhattan length / die half-perimeter.
+NodeFeatures extract_node_features(const tg::TimingGraph& graph,
+                                   const layout::Placement& placement);
+
+/// Zeroes one feature group in place (feature-ablation experiments).
+enum class CellFeature { kDrive, kGateType, kPinCap };
+void ablate_cell_feature(NodeFeatures& features, CellFeature which);
+void ablate_net_distance(NodeFeatures& features);
+
+}  // namespace rtp::model

@@ -1,0 +1,204 @@
+#include "model/fusion.hpp"
+
+#include <cmath>
+
+#include "core/timer.hpp"
+#include "nn/serialize.hpp"
+
+namespace rtp::model {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& config) {
+  WallTimer timer;
+  PreparedDesign pd(tg::TimingGraph{data.input_netlist});
+  pd.name = data.name;
+  pd.is_train = data.is_train;
+
+  pd.features = extract_node_features(pd.graph, data.input_placement);
+
+  const layout::GridMap density = layout::make_density_map(
+      data.input_netlist, data.input_placement, config.grid, config.grid);
+  const layout::GridMap rudy = layout::make_rudy_map(
+      data.input_netlist, data.input_placement, config.grid, config.grid);
+  const layout::GridMap macros =
+      layout::make_macro_map(data.input_placement, config.grid, config.grid);
+  pd.layout_input = layout::stack_feature_maps(density, rudy, macros);
+
+  const int coarse = config.grid / 4;
+  if (config.use_masking) {
+    Rng rng(config.seed ^ fnv1a(data.name));
+    const tg::LongestPathFinder finder(pd.graph);
+    const std::vector<tg::LongestPath> paths = finder.find_all(rng);
+    pd.masks = build_endpoint_masks(pd.graph, data.input_placement, paths, coarse);
+  } else {
+    // Masking ablation: every endpoint sees the full global map (Section V.B's
+    // "identical for all the endpoints" strawman).
+    pd.masks.coarse_grid = coarse;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(coarse) * coarse);
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::int32_t>(i);
+    pd.masks.bins.assign(data.endpoints.size(), all);
+  }
+
+  pd.endpoints = data.endpoints;
+  pd.labels = nn::Tensor({static_cast<int>(data.endpoints.size()), 1});
+  for (std::size_t i = 0; i < data.endpoints.size(); ++i) {
+    pd.labels.at(static_cast<int>(i), 0) = static_cast<float>(data.label_arrival[i]);
+  }
+  pd.prep_seconds = timer.seconds();
+  return pd;
+}
+
+FusionModel::FusionModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  RTP_CHECK_MSG(config.use_gnn || config.use_cnn, "model needs at least one branch");
+  int fused_dim = 0;
+  if (config_.use_gnn) {
+    gnn_ = std::make_unique<EndpointGNN>(config_, rng_);
+    fused_dim += config_.gnn_embed;
+  }
+  if (config_.use_cnn) {
+    layout_ = std::make_unique<LayoutEncoder>(config_, rng_);
+    fused_dim += config_.layout_embed;
+  }
+  regressor_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{fused_dim, config_.reg_hidden, config_.reg_hidden, 1}, rng_);
+
+  nn::AdamConfig adam_config;
+  adam_config.lr = config_.learning_rate;
+  adam_config.weight_decay = config_.weight_decay;
+  adam_config.grad_clip = 5.0f;
+  std::vector<nn::Param*> params = regressor_->params();
+  adam_ = std::make_unique<nn::Adam>(params, adam_config);
+  if (gnn_) adam_->add_params(gnn_->params());
+  if (layout_) adam_->add_params(layout_->params());
+}
+
+std::vector<nn::Param*> FusionModel::params() {
+  std::vector<nn::Param*> out = regressor_->params();
+  if (gnn_) {
+    for (nn::Param* p : gnn_->params()) out.push_back(p);
+  }
+  if (layout_) {
+    for (nn::Param* p : layout_->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void FusionModel::save(const std::string& path) {
+  nn::save_params(path, params(), {label_mean_, label_std_});
+}
+
+void FusionModel::load(const std::string& path) {
+  const std::vector<float> extra = nn::load_params(path, params());
+  RTP_CHECK_MSG(extra.size() == 2, "checkpoint missing label statistics");
+  label_mean_ = extra[0];
+  label_std_ = extra[1];
+}
+
+void FusionModel::set_label_stats(float mean, float stddev) {
+  RTP_CHECK(stddev > 0.0f);
+  label_mean_ = mean;
+  label_std_ = stddev;
+}
+
+nn::Tensor FusionModel::forward(PreparedDesign& design) {
+  const int e = static_cast<int>(design.endpoints.size());
+  const int d = config_.use_gnn ? config_.gnn_embed : 0;
+  const int l = config_.use_cnn ? config_.layout_embed : 0;
+  nn::Tensor z({e, d + l});
+  if (config_.use_gnn) {
+    gnn_state_ = gnn_->forward(design.graph, design.features);
+    for (int i = 0; i < e; ++i) {
+      const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
+      for (int k = 0; k < d; ++k) z.at(i, k) = gnn_state_.h.at(ep, k);
+    }
+  }
+  if (config_.use_cnn) {
+    layout_map_ = layout_->forward(design.layout_input);
+    const nn::Tensor vl = layout_->embed(layout_map_, design.masks);
+    const float p = config_.layout_dropout;
+    const bool drop = training_ && p > 0.0f;
+    if (drop) layout_keep_.assign(static_cast<std::size_t>(e) * l, true);
+    for (int i = 0; i < e; ++i) {
+      for (int k = 0; k < l; ++k) {
+        float v = vl.at(i, k);
+        if (drop) {
+          if (rng_.chance(p)) {
+            layout_keep_[static_cast<std::size_t>(i) * l + k] = false;
+            v = 0.0f;
+          } else {
+            v /= (1.0f - p);  // inverted dropout keeps inference unscaled
+          }
+        }
+        z.at(i, d + k) = v;
+      }
+    }
+  }
+  return regressor_->forward(z);
+}
+
+nn::Tensor FusionModel::predict(PreparedDesign& design) {
+  training_ = false;
+  nn::Tensor pred = forward(design);
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    pred[i] = pred[i] * label_std_ + label_mean_;
+  }
+  return pred;
+}
+
+float FusionModel::train_step(PreparedDesign& design) {
+  training_ = true;
+  const nn::Tensor pred = forward(design);
+  nn::Tensor target = design.labels;
+  for (std::size_t i = 0; i < target.numel(); ++i) {
+    target[i] = (target[i] - label_mean_) / label_std_;
+  }
+  const float loss = nn::mse_loss(pred, target);
+  const nn::Tensor grad = nn::mse_backward(pred, target);
+
+  const nn::Tensor gz = regressor_->backward(grad);
+  const int e = gz.dim(0);
+  const int d = config_.use_gnn ? config_.gnn_embed : 0;
+  const int l = config_.use_cnn ? config_.layout_embed : 0;
+  if (config_.use_cnn) {
+    const float p = config_.layout_dropout;
+    nn::Tensor gvl({e, l});
+    for (int i = 0; i < e; ++i) {
+      for (int k = 0; k < l; ++k) {
+        float g = gz.at(i, d + k);
+        if (p > 0.0f) {
+          g = layout_keep_[static_cast<std::size_t>(i) * l + k] ? g / (1.0f - p) : 0.0f;
+        }
+        gvl.at(i, k) = g;
+      }
+    }
+    const nn::Tensor gmap = layout_->embed_backward(gvl, design.masks);
+    layout_->backward(gmap);
+  }
+  if (config_.use_gnn) {
+    nn::Tensor grad_h({design.graph.num_nodes(), d});
+    for (int i = 0; i < e; ++i) {
+      const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
+      for (int k = 0; k < d; ++k) grad_h.at(ep, k) += gz.at(i, k);
+    }
+    gnn_->backward(design.graph, design.features, gnn_state_, grad_h);
+  }
+
+  adam_->step();
+  adam_->zero_grad();
+  return loss;
+}
+
+}  // namespace rtp::model

@@ -1,0 +1,90 @@
+#pragma once
+// The paper's end-to-end endpoint-embedding model (Fig. 2):
+//
+//   netlist --EndpointGNN--> v_n  ┐
+//                                 ├─ concat ─ MLP regressor ─> arrival time
+//   layout --CNN+mask+FC--> v_l   ┘
+//
+// plus the single-modality ablations of TABLE II (CNN-only / GNN-only) and
+// the masking ablation (shared global layout embedding for every endpoint).
+
+#include <memory>
+#include <vector>
+
+#include "flow/dataset_flow.hpp"
+#include "model/gnn.hpp"
+#include "model/layout_encoder.hpp"
+#include "nn/adam.hpp"
+
+namespace rtp::model {
+
+/// Everything precomputed once per design before training / inference:
+/// timing graph, node features, the CNN input stack, the endpoint masks and
+/// the supervision targets. Building this is the "pre" stage of TABLE III.
+struct PreparedDesign {
+  std::string name;
+  bool is_train = false;
+  tg::TimingGraph graph;
+  NodeFeatures features;
+  nn::Tensor layout_input;  ///< (3, grid, grid)
+  EndpointMasks masks;
+  std::vector<nl::PinId> endpoints;
+  nn::Tensor labels;  ///< (E, 1) sign-off arrival, ps
+  double prep_seconds = 0.0;
+
+  explicit PreparedDesign(tg::TimingGraph g) : graph(std::move(g)) {}
+};
+
+/// Runs the preprocessing pipeline (graph already built by the caller since
+/// TimingGraph is immutable): features, maps, longest paths, masks, labels.
+PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& config);
+
+class FusionModel {
+ public:
+  explicit FusionModel(const ModelConfig& config);
+
+  /// Predictions in picoseconds, shape (E, 1).
+  nn::Tensor predict(PreparedDesign& design);
+
+  /// One full-design training step (forward, MSE on normalized labels,
+  /// backward, Adam update). Returns the step's loss.
+  float train_step(PreparedDesign& design);
+
+  /// Label normalization, set from the training split before training.
+  void set_label_stats(float mean, float stddev);
+  float label_mean() const { return label_mean_; }
+  float label_std() const { return label_std_; }
+
+  /// All trainable parameters (ordered deterministically by branch).
+  std::vector<nn::Param*> params();
+
+  /// Checkpointing: weights + label stats. load() aborts if the file was
+  /// written by a model with a different architecture (shape mismatch).
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+  const ModelConfig& config() const { return config_; }
+  nn::Adam& optimizer() { return *adam_; }
+
+ private:
+  /// Forward to normalized predictions; caches activations for backward.
+  nn::Tensor forward(PreparedDesign& design);
+
+  ModelConfig config_;
+  Rng rng_;
+  std::unique_ptr<EndpointGNN> gnn_;
+  std::unique_ptr<LayoutEncoder> layout_;
+  std::unique_ptr<nn::Mlp> regressor_;
+  std::unique_ptr<nn::Adam> adam_;
+
+  float label_mean_ = 0.0f;
+  float label_std_ = 1.0f;
+
+  // Per-forward caches.
+  EndpointGNN::ForwardState gnn_state_;
+  nn::Tensor layout_map_;  ///< (1, P)
+  bool training_ = false;
+  std::vector<bool> layout_keep_;  ///< dropout mask over (E, layout_embed)
+};
+
+}  // namespace rtp::model

@@ -1,0 +1,142 @@
+#include "model/gnn.hpp"
+
+#include <limits>
+
+namespace rtp::model {
+
+EndpointGNN::EndpointGNN(const ModelConfig& config, Rng& rng)
+    : embed_(config.gnn_embed),
+      f_c1_({config.gnn_embed, config.gnn_hidden, config.gnn_hidden, config.gnn_embed},
+            rng),
+      f_c2_({kCellFeatDim, config.gnn_hidden, config.gnn_hidden, config.gnn_embed}, rng),
+      f_n_({kNetFeatDim, config.gnn_hidden, config.gnn_hidden, config.gnn_embed}, rng) {}
+
+EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
+                                               const NodeFeatures& features) {
+  const int d = embed_;
+  ForwardState state;
+  state.h = nn::Tensor({graph.num_nodes(), d});
+  state.levels.reserve(graph.nodes_by_level().size());
+
+  for (const std::vector<nl::PinId>& level_nodes : graph.nodes_by_level()) {
+    LevelCache cache;
+    for (nl::PinId p : level_nodes) {
+      if (features.kind[static_cast<std::size_t>(p)] == NodeKind::kNetNode) {
+        cache.net_nodes.push_back(p);
+        cache.net_drivers.push_back(graph.edge(graph.fanin(p)[0]).from);
+      } else {
+        cache.cell_nodes.push_back(p);
+      }
+    }
+
+    // ---- cell nodes: max-aggregate predecessors, two MLP branches ----
+    if (!cache.cell_nodes.empty()) {
+      const int b = static_cast<int>(cache.cell_nodes.size());
+      cache.max_agg = nn::Tensor({b, d});
+      cache.argmax.assign(static_cast<std::size_t>(b) * d, -1);
+      nn::Tensor feat({b, kCellFeatDim});
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
+        for (int k = 0; k < kCellFeatDim; ++k) feat.at(i, k) = features.cell_feat.at(p, k);
+        bool first = true;
+        for (std::int32_t e : graph.fanin(p)) {
+          const nl::PinId u = graph.edge(e).from;
+          for (int k = 0; k < d; ++k) {
+            const float hu = state.h.at(u, k);
+            if (first || hu > cache.max_agg.at(i, k)) {
+              cache.max_agg.at(i, k) = hu;
+              cache.argmax[static_cast<std::size_t>(i) * d + k] = u;
+            }
+          }
+          first = false;
+        }
+        // No predecessors (launch source): max over the empty set is zero and
+        // contributes no gradient (argmax stays -1).
+      }
+      nn::Tensor u1 = f_c1_.forward(cache.max_agg, &cache.c1_cache);
+      nn::Tensor u2 = f_c2_.forward(feat, &cache.c2_cache);
+      u1.add_(u2);
+      const nn::Tensor out = nn::ReLU::forward(u1, &cache.cell_relu);
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
+      }
+    }
+
+    // ---- net nodes: identity message from the single driver + f_n ----
+    if (!cache.net_nodes.empty()) {
+      const int b = static_cast<int>(cache.net_nodes.size());
+      nn::Tensor feat({b, kNetFeatDim});
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
+        for (int k = 0; k < kNetFeatDim; ++k) feat.at(i, k) = features.net_feat.at(p, k);
+      }
+      nn::Tensor un = f_n_.forward(feat, &cache.n_cache);
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId drv = cache.net_drivers[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) un.at(i, k) += state.h.at(drv, k);
+      }
+      const nn::Tensor out = nn::ReLU::forward(un, &cache.net_relu);
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
+      }
+    }
+
+    state.levels.push_back(std::move(cache));
+  }
+  return state;
+}
+
+void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
+                           const ForwardState& state, nn::Tensor& grad_h) {
+  RTP_CHECK(grad_h.dim(0) == graph.num_nodes() && grad_h.dim(1) == embed_);
+  const int d = embed_;
+  for (std::size_t li = state.levels.size(); li-- > 0;) {
+    const LevelCache& cache = state.levels[li];
+
+    if (!cache.net_nodes.empty()) {
+      const int b = static_cast<int>(cache.net_nodes.size());
+      nn::Tensor g({b, d});
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
+      }
+      g = nn::ReLU::backward(g, cache.net_relu);
+      // Identity branch to the driver; MLP branch to f_n (input grads unused).
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId drv = cache.net_drivers[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) grad_h.at(drv, k) += g.at(i, k);
+      }
+      f_n_.backward(g, cache.n_cache);
+    }
+
+    if (!cache.cell_nodes.empty()) {
+      const int b = static_cast<int>(cache.cell_nodes.size());
+      nn::Tensor g({b, d});
+      for (int i = 0; i < b; ++i) {
+        const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
+      }
+      g = nn::ReLU::backward(g, cache.cell_relu);
+      const nn::Tensor g_max = f_c1_.backward(g, cache.c1_cache);
+      for (int i = 0; i < b; ++i) {
+        for (int k = 0; k < d; ++k) {
+          const std::int32_t u = cache.argmax[static_cast<std::size_t>(i) * d + k];
+          if (u >= 0) grad_h.at(u, k) += g_max.at(i, k);
+        }
+      }
+      f_c2_.backward(g, cache.c2_cache);
+    }
+  }
+}
+
+std::vector<nn::Param*> EndpointGNN::params() {
+  std::vector<nn::Param*> out;
+  for (nn::Mlp* m : {&f_c1_, &f_c2_, &f_n_}) {
+    for (nn::Param* p : m->params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rtp::model

@@ -1,0 +1,66 @@
+#pragma once
+// Customized graph neural network for endpoint netlist embeddings
+// (Section IV.B, Fig. 3, Eq. 3).
+//
+// Message passing follows the delay-propagation order: level-synchronous,
+// from the launch points to the endpoints, visiting every live pin exactly
+// once. Two aggregation schemes alternate:
+//   cell node v: h_v = ReLU( f_c1( max_{u in N(v)} h_u ) + f_c2(x_v^cell) )
+//   net  node v: h_v = ReLU( h_driver + f_n(x_v^net) )
+// where f_c1, f_c2, f_n are 3-layer MLPs shared across the whole graph. The
+// elementwise max mirrors worst-arrival propagation in STA; its backward
+// routes gradient to the argmax predecessor per embedding dimension.
+//
+// Unlike a fixed-K-layer GNN, one forward pass spans the full topological
+// depth of the netlist, so each endpoint's embedding summarizes its entire
+// fanin cone — the paper's "receptive field".
+
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/features.hpp"
+#include "nn/mlp.hpp"
+
+namespace rtp::model {
+
+class EndpointGNN {
+ public:
+  EndpointGNN(const ModelConfig& config, Rng& rng);
+
+  /// All per-level activations needed by backward().
+  struct LevelCache {
+    std::vector<nl::PinId> cell_nodes;
+    std::vector<nl::PinId> net_nodes;
+    std::vector<nl::PinId> net_drivers;      ///< aligned with net_nodes
+    nn::Tensor max_agg;                      ///< (#cell, D) pre-f_c1 input
+    std::vector<std::int32_t> argmax;        ///< (#cell * D) winning pred pin, -1 if none
+    nn::MlpCache c1_cache, c2_cache, n_cache;
+    std::vector<bool> cell_relu, net_relu;   ///< output activation masks
+  };
+
+  struct ForwardState {
+    nn::Tensor h;  ///< (pin slots, D) final embedding per pin
+    std::vector<LevelCache> levels;
+  };
+
+  /// Full-graph forward pass.
+  ForwardState forward(const tg::TimingGraph& graph, const NodeFeatures& features);
+
+  /// Backpropagates `grad_h` (pin slots, D; typically nonzero only at
+  /// endpoints) through the message-passing schedule, accumulating parameter
+  /// gradients. `grad_h` is consumed (used as the running gradient buffer).
+  void backward(const tg::TimingGraph& graph, const NodeFeatures& features,
+                const ForwardState& state, nn::Tensor& grad_h);
+
+  std::vector<nn::Param*> params();
+
+  int embed_dim() const { return embed_; }
+
+ private:
+  int embed_;
+  nn::Mlp f_c1_;  ///< D -> D over the max-aggregated message
+  nn::Mlp f_c2_;  ///< cell features -> D
+  nn::Mlp f_n_;   ///< net features -> D
+};
+
+}  // namespace rtp::model

@@ -1,0 +1,116 @@
+#include "model/layout_encoder.hpp"
+
+namespace rtp::model {
+
+EndpointMasks build_endpoint_masks(const tg::TimingGraph& graph,
+                                   const layout::Placement& placement,
+                                   const std::vector<tg::LongestPath>& paths,
+                                   int coarse_grid) {
+  const nl::Netlist& netlist = graph.netlist();
+  EndpointMasks masks;
+  masks.coarse_grid = coarse_grid;
+  masks.bins.reserve(paths.size());
+  layout::GridMap raster(coarse_grid, coarse_grid, placement.die());
+  for (const tg::LongestPath& path : paths) {
+    std::vector<std::pair<layout::Point, layout::Point>> boxes;
+    for (std::int32_t e : path.net_edges(graph)) {
+      const tg::Edge& edge = graph.edge(e);
+      boxes.emplace_back(placement.pin_pos(netlist, edge.from),
+                         placement.pin_pos(netlist, edge.to));
+    }
+    std::vector<std::int32_t> bins;
+    if (boxes.empty()) {
+      // Degenerate cone (endpoint fed directly by a launch pin at the same
+      // spot): fall back to the endpoint's own bin.
+      const layout::Point p = placement.pin_pos(netlist, path.endpoint);
+      bins.push_back(raster.row_of(p.y) * coarse_grid + raster.col_of(p.x));
+    } else {
+      const layout::GridMap mask =
+          layout::rasterize_boxes(boxes, coarse_grid, coarse_grid, placement.die());
+      for (int r = 0; r < coarse_grid; ++r) {
+        for (int c = 0; c < coarse_grid; ++c) {
+          if (mask.at(r, c) > 0.0f) bins.push_back(r * coarse_grid + c);
+        }
+      }
+    }
+    masks.bins.push_back(std::move(bins));
+  }
+  return masks;
+}
+
+LayoutEncoder::LayoutEncoder(const ModelConfig& config, Rng& rng)
+    : grid_(config.grid),
+      map_pixels_((config.grid / 4) * (config.grid / 4)),
+      conv1_(3, config.conv1_channels, 3, 1, rng),
+      conv2_(config.conv1_channels, config.conv2_channels, 3, 1, rng),
+      conv3_(config.conv2_channels, 1, 1, 0, rng),
+      pool1_(2),
+      pool2_(2),
+      fc_(map_pixels_, config.layout_embed, rng) {
+  RTP_CHECK_MSG(config.grid % 4 == 0, "grid must be divisible by 4 (two 2x pools)");
+}
+
+nn::Tensor LayoutEncoder::forward(const nn::Tensor& x) {
+  RTP_CHECK(x.ndim() == 3 && x.dim(0) == 3 && x.dim(1) == grid_ && x.dim(2) == grid_);
+  nn::Tensor h = conv1_.forward(x);
+  h = nn::ReLU::forward(h, &relu1_);
+  h = pool1_.forward(h);
+  h = conv2_.forward(h);
+  h = nn::ReLU::forward(h, &relu2_);
+  h = pool2_.forward(h);
+  h = conv3_.forward(h);  // (1, grid/4, grid/4)
+  nn::Tensor flat({1, map_pixels_});
+  for (int i = 0; i < map_pixels_; ++i) flat.at(0, i) = h[static_cast<std::size_t>(i)];
+  return flat;
+}
+
+void LayoutEncoder::backward(const nn::Tensor& grad_map) {
+  RTP_CHECK(grad_map.ndim() == 2 && grad_map.dim(1) == map_pixels_);
+  const int side = grid_ / 4;
+  nn::Tensor g({1, side, side});
+  for (int i = 0; i < map_pixels_; ++i) g[static_cast<std::size_t>(i)] = grad_map.at(0, i);
+  nn::Tensor gh = conv3_.backward(g);
+  gh = pool2_.backward(gh);
+  gh = nn::ReLU::backward(gh, relu2_);
+  gh = conv2_.backward(gh);
+  gh = pool1_.backward(gh);
+  gh = nn::ReLU::backward(gh, relu1_);
+  conv1_.backward(gh);
+}
+
+nn::Tensor LayoutEncoder::embed(const nn::Tensor& map, const EndpointMasks& masks) {
+  RTP_CHECK(map.ndim() == 2 && map.dim(0) == 1 && map.dim(1) == map_pixels_);
+  const int e = static_cast<int>(masks.bins.size());
+  nn::Tensor masked({e, map_pixels_});
+  for (int i = 0; i < e; ++i) {
+    for (std::int32_t bin : masks.bins[static_cast<std::size_t>(i)]) {
+      masked.at(i, bin) = map.at(0, bin);
+    }
+  }
+  return fc_.forward(masked);
+}
+
+nn::Tensor LayoutEncoder::embed_backward(const nn::Tensor& grad_embed,
+                                         const EndpointMasks& masks) {
+  const nn::Tensor grad_masked = fc_.backward(grad_embed);
+  nn::Tensor grad_map({1, map_pixels_});
+  const int e = static_cast<int>(masks.bins.size());
+  RTP_CHECK(grad_masked.dim(0) == e);
+  for (int i = 0; i < e; ++i) {
+    for (std::int32_t bin : masks.bins[static_cast<std::size_t>(i)]) {
+      grad_map.at(0, bin) += grad_masked.at(i, bin);
+    }
+  }
+  return grad_map;
+}
+
+std::vector<nn::Param*> LayoutEncoder::params() {
+  std::vector<nn::Param*> out;
+  for (nn::Param* p : conv1_.params()) out.push_back(p);
+  for (nn::Param* p : conv2_.params()) out.push_back(p);
+  for (nn::Param* p : conv3_.params()) out.push_back(p);
+  for (nn::Param* p : fc_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace rtp::model

@@ -1,0 +1,66 @@
+#pragma once
+// Layout branch of the framework (Section V, Fig. 4):
+//
+//   (3, M, N) feature-map stack --CNN--> global layout map M^L (M/4 x N/4)
+//   per endpoint e: masked map M^L_e = M^e ⊙ M^L  (Eq. 6)
+//   shared FC layer: flatten(M^L_e) -> layout embedding v_l
+//
+// The critical mask M^e rasterizes the union of net-edge bounding boxes along
+// the endpoint's longest path (Eq. 4–5) at the CNN's output resolution.
+
+#include <vector>
+
+#include "layout/feature_maps.hpp"
+#include "model/config.hpp"
+#include "nn/conv.hpp"
+#include "nn/mlp.hpp"
+#include "timing/longest_path.hpp"
+
+namespace rtp::model {
+
+/// Sparse per-endpoint critical-region masks over the coarse (grid/4) raster.
+struct EndpointMasks {
+  int coarse_grid = 0;
+  /// Per endpoint (aligned with graph.endpoints()): indices of mask-1 bins.
+  std::vector<std::vector<std::int32_t>> bins;
+};
+
+/// Builds masks from each endpoint's longest path (Section V.B). Only net
+/// edges contribute boxes — optimization cares about the space *between*
+/// cells, not inside them.
+EndpointMasks build_endpoint_masks(const tg::TimingGraph& graph,
+                                   const layout::Placement& placement,
+                                   const std::vector<tg::LongestPath>& paths,
+                                   int coarse_grid);
+
+class LayoutEncoder {
+ public:
+  LayoutEncoder(const ModelConfig& config, Rng& rng);
+
+  /// x: (3, grid, grid) -> flattened global layout map (1, (grid/4)^2).
+  nn::Tensor forward(const nn::Tensor& x);
+
+  /// grad wrt the flattened map; backpropagates through the CNN.
+  void backward(const nn::Tensor& grad_map);
+
+  /// Masked-map -> embedding for a batch of endpoints.
+  /// map: (1, P) flattened M^L; returns (E, layout_embed).
+  nn::Tensor embed(const nn::Tensor& map, const EndpointMasks& masks);
+
+  /// Backward of embed(): returns grad wrt the flattened map (1, P).
+  nn::Tensor embed_backward(const nn::Tensor& grad_embed, const EndpointMasks& masks);
+
+  std::vector<nn::Param*> params();
+
+  int map_pixels() const { return map_pixels_; }
+
+ private:
+  int grid_;
+  int map_pixels_;  ///< (grid/4)^2
+  nn::Conv2d conv1_, conv2_, conv3_;
+  nn::MaxPool2d pool1_, pool2_;
+  std::vector<bool> relu1_, relu2_;
+  nn::Linear fc_;  ///< shared FC: map_pixels -> layout_embed (caches internally)
+};
+
+}  // namespace rtp::model

@@ -1,0 +1,55 @@
+#include "model/trainer.hpp"
+
+#include <cmath>
+
+#include "core/log.hpp"
+#include "core/timer.hpp"
+
+namespace rtp::model {
+
+std::pair<float, float> label_stats(const std::vector<PreparedDesign*>& designs) {
+  double sum = 0.0, sq = 0.0;
+  std::size_t n = 0;
+  for (const PreparedDesign* d : designs) {
+    for (std::size_t i = 0; i < d->labels.numel(); ++i) {
+      sum += d->labels[i];
+      sq += static_cast<double>(d->labels[i]) * d->labels[i];
+      ++n;
+    }
+  }
+  RTP_CHECK(n > 0);
+  const double mean = sum / static_cast<double>(n);
+  const double var = std::max(1e-6, sq / static_cast<double>(n) - mean * mean);
+  return {static_cast<float>(mean), static_cast<float>(std::sqrt(var))};
+}
+
+TrainResult train_model(FusionModel& model, std::vector<PreparedDesign*> train_set,
+                        const TrainOptions& options) {
+  RTP_CHECK(!train_set.empty());
+  const auto [mean, stddev] = label_stats(train_set);
+  model.set_label_stats(mean, stddev);
+
+  Rng rng(options.seed);
+  TrainResult result;
+  WallTimer timer;
+  const int decay1 = options.epochs * 3 / 5, decay2 = options.epochs * 17 / 20;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (epoch == decay1 || epoch == decay2) {
+      model.optimizer().config().lr *= model.config().lr_decay;
+    }
+    if (options.shuffle) rng.shuffle(train_set);
+    double loss_acc = 0.0;
+    for (PreparedDesign* design : train_set) {
+      loss_acc += model.train_step(*design);
+    }
+    const float epoch_loss = static_cast<float>(loss_acc / train_set.size());
+    result.epoch_loss.push_back(epoch_loss);
+    if (options.verbose && (epoch % 5 == 0 || epoch == options.epochs - 1)) {
+      RTP_LOG_INFO("epoch %3d  loss %.5f", epoch, epoch_loss);
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace rtp::model

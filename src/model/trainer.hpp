@@ -1,0 +1,31 @@
+#pragma once
+// Training loop for the fusion model and utilities shared with the baselines.
+
+#include <vector>
+
+#include "model/fusion.hpp"
+
+namespace rtp::model {
+
+struct TrainOptions {
+  int epochs = 40;
+  bool shuffle = true;
+  bool verbose = false;
+  std::uint64_t seed = 17;
+};
+
+struct TrainResult {
+  std::vector<float> epoch_loss;  ///< mean per-design loss per epoch
+  double seconds = 0.0;
+};
+
+/// Label mean / stddev over a set of designs (for normalization).
+std::pair<float, float> label_stats(const std::vector<PreparedDesign*>& designs);
+
+/// Trains in place: one Adam step per design per epoch (the designs are large;
+/// a design's endpoint set is the batch, as in the paper's batch size 1024 at
+/// full scale).
+TrainResult train_model(FusionModel& model, std::vector<PreparedDesign*> train_set,
+                        const TrainOptions& options);
+
+}  // namespace rtp::model

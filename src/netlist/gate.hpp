@@ -1,0 +1,91 @@
+#pragma once
+// Gate kinds and strong index types for the netlist data model.
+
+#include <cstdint>
+#include <string_view>
+
+namespace rtp::nl {
+
+/// Logic function of a library cell. The paper one-hot encodes gate type as a
+/// GNN node feature (Section IV.A feature 3).
+enum class GateKind : std::uint8_t {
+  kInv = 0,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kAoi21,   // AND-OR-invert, 3 inputs
+  kOai21,   // OR-AND-invert, 3 inputs
+  kMux2,    // 2:1 mux, 3 inputs
+  kNand3,
+  kNor3,
+  kAnd3,
+  kOr3,
+  kDff,     // sequential element; D input, Q output
+  kCount
+};
+
+constexpr int kNumGateKinds = static_cast<int>(GateKind::kCount);
+
+constexpr std::string_view gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInv: return "INV";
+    case GateKind::kBuf: return "BUF";
+    case GateKind::kNand2: return "NAND2";
+    case GateKind::kNor2: return "NOR2";
+    case GateKind::kAnd2: return "AND2";
+    case GateKind::kOr2: return "OR2";
+    case GateKind::kXor2: return "XOR2";
+    case GateKind::kXnor2: return "XNOR2";
+    case GateKind::kAoi21: return "AOI21";
+    case GateKind::kOai21: return "OAI21";
+    case GateKind::kMux2: return "MUX2";
+    case GateKind::kNand3: return "NAND3";
+    case GateKind::kNor3: return "NOR3";
+    case GateKind::kAnd3: return "AND3";
+    case GateKind::kOr3: return "OR3";
+    case GateKind::kDff: return "DFF";
+    case GateKind::kCount: break;
+  }
+  return "?";
+}
+
+constexpr int gate_kind_inputs(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInv:
+    case GateKind::kBuf:
+    case GateKind::kDff:
+      return 1;
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      return 2;
+    case GateKind::kAoi21:
+    case GateKind::kOai21:
+    case GateKind::kMux2:
+    case GateKind::kNand3:
+    case GateKind::kNor3:
+    case GateKind::kAnd3:
+    case GateKind::kOr3:
+      return 3;
+    case GateKind::kCount:
+      break;
+  }
+  return 0;
+}
+
+// Index types. Plain int32 wrappers would add ceremony without payoff here;
+// we use distinct typedef names and the sentinel kInvalidId for clarity.
+using CellId = std::int32_t;
+using NetId = std::int32_t;
+using PinId = std::int32_t;
+using LibCellId = std::int32_t;
+constexpr std::int32_t kInvalidId = -1;
+
+}  // namespace rtp::nl

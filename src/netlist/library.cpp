@@ -1,0 +1,104 @@
+#include "netlist/library.hpp"
+
+#include "core/check.hpp"
+
+namespace rtp::nl {
+
+namespace {
+
+struct KindBase {
+  GateKind kind;
+  double res;        // x1 output resistance, kΩ
+  double cap;        // x1 per-input capacitance, fF
+  double intrinsic;  // intrinsic delay, ps
+  double area;       // x1 area, µm²
+};
+
+// Values loosely track ASAP7 7.5-track RVT cells: more complex gates have
+// larger intrinsic delay, input load and footprint.
+constexpr KindBase kBases[] = {
+    {GateKind::kInv, 6.0, 0.7, 4.0, 0.5},
+    {GateKind::kBuf, 5.0, 0.8, 7.0, 0.7},
+    {GateKind::kNand2, 7.5, 0.9, 6.0, 0.8},
+    {GateKind::kNor2, 9.0, 0.9, 7.0, 0.8},
+    {GateKind::kAnd2, 8.0, 0.8, 10.0, 1.0},
+    {GateKind::kOr2, 9.5, 0.8, 11.0, 1.0},
+    {GateKind::kXor2, 11.0, 1.3, 14.0, 1.6},
+    {GateKind::kXnor2, 11.0, 1.3, 14.5, 1.6},
+    {GateKind::kAoi21, 9.5, 1.0, 9.0, 1.2},
+    {GateKind::kOai21, 10.0, 1.0, 9.5, 1.2},
+    {GateKind::kMux2, 10.5, 1.1, 12.0, 1.5},
+    {GateKind::kNand3, 9.0, 1.0, 8.0, 1.1},
+    {GateKind::kNor3, 11.5, 1.0, 9.5, 1.1},
+    {GateKind::kAnd3, 9.5, 0.9, 12.0, 1.3},
+    {GateKind::kOr3, 11.0, 0.9, 13.0, 1.3},
+    {GateKind::kDff, 7.0, 1.2, 35.0, 3.0},
+};
+
+}  // namespace
+
+CellLibrary CellLibrary::standard() {
+  CellLibrary lib;
+  for (const KindBase& base : kBases) {
+    for (int drive : {1, 2, 4, 8}) {
+      LibCell c;
+      c.kind = base.kind;
+      c.drive = drive;
+      c.name = std::string(gate_kind_name(base.kind)) + "_X" + std::to_string(drive);
+      // Larger drive: resistance scales down ~1/drive; input cap and area grow
+      // sub-linearly (shared diffusion), intrinsic delay roughly constant.
+      c.drive_res = base.res / drive;
+      c.input_cap = base.cap * (1.0 + 0.55 * (drive - 1));
+      c.intrinsic = base.intrinsic * (1.0 + 0.03 * (drive - 1));
+      c.area = base.area * (1.0 + 0.65 * (drive - 1));
+      lib.add(c);
+    }
+  }
+  return lib;
+}
+
+LibCellId CellLibrary::add(LibCell cell) {
+  RTP_CHECK(cell.drive > 0 && cell.drive_res > 0 && cell.input_cap > 0);
+  const LibCellId id = static_cast<LibCellId>(cells_.size());
+  by_kind_[static_cast<std::size_t>(cell.kind)].push_back(id);
+  cells_.push_back(std::move(cell));
+  // Keep variants sorted by drive strength.
+  auto& v = by_kind_[static_cast<std::size_t>(cells_.back().kind)];
+  for (std::size_t i = v.size(); i > 1 && cells_[static_cast<std::size_t>(v[i - 1])].drive <
+                                              cells_[static_cast<std::size_t>(v[i - 2])].drive;
+       --i) {
+    std::swap(v[i - 1], v[i - 2]);
+  }
+  return id;
+}
+
+const std::vector<LibCellId>& CellLibrary::variants(GateKind kind) const {
+  return by_kind_[static_cast<std::size_t>(kind)];
+}
+
+LibCellId CellLibrary::find(GateKind kind, int drive) const {
+  for (LibCellId id : variants(kind)) {
+    if (cell(id).drive == drive) return id;
+  }
+  return kInvalidId;
+}
+
+LibCellId CellLibrary::upsize(LibCellId id) const {
+  const LibCell& c = cell(id);
+  const auto& v = variants(c.kind);
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    if (v[i] == id) return v[i + 1];
+  }
+  return kInvalidId;
+}
+
+LibCellId CellLibrary::downsize(LibCellId id) const {
+  const LibCell& c = cell(id);
+  const auto& v = variants(c.kind);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] == id) return v[i - 1];
+  }
+  return kInvalidId;
+}
+
+}  // namespace rtp::nl

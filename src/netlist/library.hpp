@@ -1,0 +1,68 @@
+#pragma once
+// Standard-cell library in the spirit of ASAP7 (the paper's 7-nm PDK).
+//
+// Units are chosen so arithmetic is unit-consistent without conversion
+// factors:   resistance kΩ, capacitance fF, delay ps (kΩ·fF = ps),
+//            distance µm, area µm².
+//
+// Each GateKind comes in several drive strengths (x1, x2, x4, x8 — larger
+// drive ⇒ lower output resistance, higher input capacitance and area), which
+// is what the optimizer's gate-sizing move selects between and what the GNN's
+// "cell driving strength" feature encodes.
+
+#include <string>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace rtp::nl {
+
+struct LibCell {
+  std::string name;        ///< e.g. "NAND2_X2"
+  GateKind kind = GateKind::kInv;
+  int drive = 1;           ///< drive strength multiplier (1, 2, 4, 8)
+  double drive_res = 0.0;  ///< output resistance, kΩ
+  double input_cap = 0.0;  ///< capacitance per input pin, fF
+  double intrinsic = 0.0;  ///< intrinsic (parasitic) delay, ps
+  double area = 0.0;       ///< footprint, µm²
+
+  int num_inputs() const { return gate_kind_inputs(kind); }
+  bool is_sequential() const { return kind == GateKind::kDff; }
+};
+
+class CellLibrary {
+ public:
+  /// Build the default ASAP7-flavoured library (every kind × 4 drives).
+  static CellLibrary standard();
+
+  LibCellId add(LibCell cell);
+
+  const LibCell& cell(LibCellId id) const { return cells_.at(static_cast<std::size_t>(id)); }
+  int size() const { return static_cast<int>(cells_.size()); }
+
+  /// All variants of a kind, sorted by drive strength ascending.
+  const std::vector<LibCellId>& variants(GateKind kind) const;
+
+  /// The variant of `kind` with the given drive, or kInvalidId.
+  LibCellId find(GateKind kind, int drive) const;
+
+  /// Next larger / smaller drive variant of the same kind (kInvalidId at ends).
+  LibCellId upsize(LibCellId id) const;
+  LibCellId downsize(LibCellId id) const;
+
+ private:
+  std::vector<LibCell> cells_;
+  std::vector<std::vector<LibCellId>> by_kind_{static_cast<std::size_t>(kNumGateKinds)};
+};
+
+/// Interconnect technology constants (per-µm wire parasitics and layout
+/// geometry) shared by the placer, router model and STA.
+struct Technology {
+  double wire_res_per_um = 0.03;  ///< kΩ/µm
+  double wire_cap_per_um = 0.08;  ///< fF/µm
+  double row_height = 1.0;        ///< µm, standard-cell row pitch
+  double site_width = 0.25;       ///< µm, placement site pitch
+  double clock_period = 800.0;    ///< ps, timing constraint for slack
+};
+
+}  // namespace rtp::nl

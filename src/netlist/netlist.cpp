@@ -1,0 +1,228 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rtp::nl {
+
+PinId Netlist::new_pin(Pin p) {
+  const PinId id = static_cast<PinId>(pins_.size());
+  pins_.push_back(p);
+  return id;
+}
+
+PinId Netlist::add_primary_input() {
+  const PinId id = new_pin(Pin{PinType::kPrimaryInput, kInvalidId, -1, kInvalidId, false});
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+PinId Netlist::add_primary_output() {
+  const PinId id = new_pin(Pin{PinType::kPrimaryOutput, kInvalidId, -1, kInvalidId, false});
+  primary_outputs_.push_back(id);
+  return id;
+}
+
+CellId Netlist::add_cell(LibCellId lib) {
+  const LibCell& lc = library_->cell(lib);
+  const CellId id = static_cast<CellId>(cells_.size());
+  Cell c;
+  c.lib = lib;
+  for (int i = 0; i < lc.num_inputs(); ++i) {
+    c.inputs.push_back(new_pin(Pin{PinType::kCellInput, id, i, kInvalidId, false}));
+  }
+  c.output = new_pin(Pin{PinType::kCellOutput, id, -1, kInvalidId, false});
+  cells_.push_back(std::move(c));
+  return id;
+}
+
+NetId Netlist::add_net(PinId driver) {
+  Pin& d = pins_[static_cast<std::size_t>(driver)];
+  RTP_CHECK_MSG(!d.dead, "net driver pin is dead");
+  RTP_CHECK_MSG(d.type == PinType::kPrimaryInput || d.type == PinType::kCellOutput,
+                "net driver must be a PI or a cell output");
+  RTP_CHECK_MSG(d.net == kInvalidId, "driver pin already drives a net");
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(Net{driver, {}, false});
+  d.net = id;
+  return id;
+}
+
+void Netlist::add_sink(NetId net, PinId sink) {
+  Net& n = nets_[static_cast<std::size_t>(net)];
+  RTP_CHECK(!n.dead);
+  Pin& s = pins_[static_cast<std::size_t>(sink)];
+  RTP_CHECK_MSG(!s.dead, "sink pin is dead");
+  RTP_CHECK_MSG(s.type == PinType::kPrimaryOutput || s.type == PinType::kCellInput,
+                "net sink must be a PO or a cell input");
+  RTP_CHECK_MSG(s.net == kInvalidId, "sink pin already connected");
+  n.sinks.push_back(sink);
+  s.net = net;
+}
+
+void Netlist::disconnect_sink(PinId sink) {
+  Pin& s = pins_[static_cast<std::size_t>(sink)];
+  RTP_CHECK_MSG(s.net != kInvalidId, "pin not connected");
+  Net& n = nets_[static_cast<std::size_t>(s.net)];
+  auto it = std::find(n.sinks.begin(), n.sinks.end(), sink);
+  RTP_CHECK(it != n.sinks.end());
+  n.sinks.erase(it);
+  s.net = kInvalidId;
+}
+
+void Netlist::resize_cell(CellId cell_id, LibCellId new_lib) {
+  Cell& c = cells_[static_cast<std::size_t>(cell_id)];
+  RTP_CHECK(!c.dead);
+  RTP_CHECK_MSG(library_->cell(c.lib).kind == library_->cell(new_lib).kind,
+                "resize must keep the gate kind");
+  c.lib = new_lib;
+}
+
+void Netlist::remap_cell(CellId cell_id, LibCellId new_lib) {
+  Cell& c = cells_[static_cast<std::size_t>(cell_id)];
+  RTP_CHECK(!c.dead);
+  RTP_CHECK_MSG(library_->cell(c.lib).num_inputs() == library_->cell(new_lib).num_inputs(),
+                "remap must keep the input count");
+  RTP_CHECK_MSG(!library_->cell(c.lib).is_sequential() &&
+                    !library_->cell(new_lib).is_sequential(),
+                "cannot remap sequential cells");
+  c.lib = new_lib;
+}
+
+void Netlist::remove_cell(CellId cell_id) {
+  Cell& c = cells_[static_cast<std::size_t>(cell_id)];
+  RTP_CHECK(!c.dead);
+  for (PinId p : c.inputs) {
+    RTP_CHECK_MSG(pins_[static_cast<std::size_t>(p)].net == kInvalidId,
+                  "remove_cell: input pin still connected");
+    pins_[static_cast<std::size_t>(p)].dead = true;
+  }
+  RTP_CHECK_MSG(pins_[static_cast<std::size_t>(c.output)].net == kInvalidId,
+                "remove_cell: output pin still connected");
+  pins_[static_cast<std::size_t>(c.output)].dead = true;
+  c.dead = true;
+}
+
+void Netlist::remove_net(NetId net_id) {
+  Net& n = nets_[static_cast<std::size_t>(net_id)];
+  RTP_CHECK(!n.dead);
+  RTP_CHECK_MSG(n.sinks.empty(), "remove_net: net still has sinks");
+  pins_[static_cast<std::size_t>(n.driver)].net = kInvalidId;
+  n.driver = kInvalidId;
+  n.dead = true;
+}
+
+int Netlist::num_pins() const {
+  int count = 0;
+  for (const Pin& p : pins_) count += !p.dead;
+  return count;
+}
+
+int Netlist::num_cells() const {
+  int count = 0;
+  for (const Cell& c : cells_) count += !c.dead;
+  return count;
+}
+
+int Netlist::num_nets() const {
+  int count = 0;
+  for (const Net& n : nets_) count += !n.dead;
+  return count;
+}
+
+int Netlist::num_net_edges() const {
+  int count = 0;
+  for (const Net& n : nets_) {
+    if (!n.dead) count += static_cast<int>(n.sinks.size());
+  }
+  return count;
+}
+
+int Netlist::num_cell_edges() const {
+  int count = 0;
+  for (const Cell& c : cells_) {
+    if (!c.dead) count += static_cast<int>(c.inputs.size());
+  }
+  return count;
+}
+
+std::vector<PinId> Netlist::endpoints() const {
+  std::vector<PinId> eps;
+  for (PinId p : primary_outputs_) {
+    if (!pin(p).dead) eps.push_back(p);
+  }
+  for (CellId c = 0; c < num_cell_slots(); ++c) {
+    const Cell& cc = cell(c);
+    if (cc.dead || !library_->cell(cc.lib).is_sequential()) continue;
+    eps.push_back(cc.inputs[0]);  // D pin
+  }
+  return eps;
+}
+
+std::vector<PinId> Netlist::launch_points() const {
+  std::vector<PinId> lps;
+  for (PinId p : primary_inputs_) {
+    if (!pin(p).dead) lps.push_back(p);
+  }
+  for (CellId c = 0; c < num_cell_slots(); ++c) {
+    const Cell& cc = cell(c);
+    if (cc.dead || !library_->cell(cc.lib).is_sequential()) continue;
+    lps.push_back(cc.output);  // Q pin
+  }
+  return lps;
+}
+
+bool Netlist::is_endpoint(PinId id) const {
+  const Pin& p = pin(id);
+  if (p.dead) return false;
+  if (p.type == PinType::kPrimaryOutput) return true;
+  return p.type == PinType::kCellInput && lib_cell(p.cell).is_sequential();
+}
+
+void Netlist::validate() const {
+  for (PinId id = 0; id < num_pin_slots(); ++id) {
+    const Pin& p = pin(id);
+    if (p.dead) {
+      RTP_CHECK_MSG(p.net == kInvalidId, "dead pin still on a net");
+      continue;
+    }
+    if (p.net != kInvalidId) {
+      const Net& n = net(p.net);
+      RTP_CHECK_MSG(!n.dead, "live pin on dead net");
+      const bool is_driver = n.driver == id;
+      const bool is_sink = std::find(n.sinks.begin(), n.sinks.end(), id) != n.sinks.end();
+      RTP_CHECK_MSG(is_driver != is_sink, "pin must be exactly one of driver/sink");
+    }
+    if (p.cell != kInvalidId) {
+      const Cell& c = cell(p.cell);
+      RTP_CHECK_MSG(!c.dead, "live pin owned by dead cell");
+      if (p.type == PinType::kCellInput) {
+        RTP_CHECK(c.inputs.at(static_cast<std::size_t>(p.index)) == id);
+      } else {
+        RTP_CHECK(p.type == PinType::kCellOutput && c.output == id);
+      }
+    }
+  }
+  for (NetId id = 0; id < num_net_slots(); ++id) {
+    const Net& n = net(id);
+    if (n.dead) continue;
+    RTP_CHECK_MSG(n.driver != kInvalidId, "live net without driver");
+    RTP_CHECK(pin(n.driver).net == id);
+    for (PinId s : n.sinks) RTP_CHECK(pin(s).net == id);
+  }
+  for (CellId id = 0; id < num_cell_slots(); ++id) {
+    const Cell& c = cell(id);
+    if (c.dead) continue;
+    RTP_CHECK(static_cast<int>(c.inputs.size()) == library_->cell(c.lib).num_inputs());
+  }
+}
+
+std::string Netlist::summary() const {
+  std::ostringstream os;
+  os << "pins=" << num_pins() << " cells=" << num_cells() << " nets=" << num_nets()
+     << " net_edges=" << num_net_edges() << " cell_edges=" << num_cell_edges()
+     << " endpoints=" << endpoints().size();
+  return os.str();
+}
+
+}  // namespace rtp::nl

@@ -1,0 +1,132 @@
+#pragma once
+// Mutable gate-level netlist.
+//
+// Pins are the primary entities (the paper's timing graph is pin-level);
+// cells and nets reference them. The timing optimizer rewrites netlists in
+// place (sizing, buffering, restructuring), so removal uses tombstones:
+// ids stay stable across mutation, which is what lets the dataset flow track
+// exactly which original nets/cells were replaced (TABLE I's #replaced).
+
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+#include "netlist/library.hpp"
+
+namespace rtp::nl {
+
+enum class PinType : std::uint8_t { kPrimaryInput, kPrimaryOutput, kCellInput, kCellOutput };
+
+struct Pin {
+  PinType type = PinType::kCellInput;
+  CellId cell = kInvalidId;  ///< owning cell; kInvalidId for ports
+  int index = -1;            ///< input pin index within the cell; -1 for outputs
+  NetId net = kInvalidId;    ///< connected net (a pin is on at most one net)
+  bool dead = false;
+};
+
+struct Cell {
+  LibCellId lib = kInvalidId;
+  std::vector<PinId> inputs;
+  PinId output = kInvalidId;
+  bool dead = false;
+};
+
+struct Net {
+  PinId driver = kInvalidId;
+  std::vector<PinId> sinks;
+  bool dead = false;
+};
+
+class Netlist {
+ public:
+  /// Empty netlist bound to no library; only useful as a data-holder default
+  /// before assignment. Any structural operation requires a bound library.
+  Netlist() = default;
+
+  explicit Netlist(const CellLibrary* library) : library_(library) {
+    RTP_CHECK(library != nullptr);
+  }
+
+  // ---- construction ----
+  PinId add_primary_input();
+  PinId add_primary_output();
+  /// Creates the cell and its pins (unconnected).
+  CellId add_cell(LibCellId lib);
+  /// Creates an empty net driven by `driver` (a PI or cell output pin).
+  NetId add_net(PinId driver);
+  /// Attaches `sink` (a PO or cell input pin, currently unconnected) to `net`.
+  void add_sink(NetId net, PinId sink);
+
+  // ---- mutation (used by the timing optimizer) ----
+  /// Detaches `sink` from its net.
+  void disconnect_sink(PinId sink);
+  /// Swap the cell's library variant; the new variant must have the same kind.
+  void resize_cell(CellId cell, LibCellId new_lib);
+  /// Replace the cell's logic function (e.g. NAND2 -> NOR2). The new variant
+  /// must have the same input count so all connections stay valid; unlike
+  /// resize_cell this is a structure-destructed edit (the cell is replaced).
+  void remap_cell(CellId cell, LibCellId new_lib);
+  /// Tombstones a cell; all its pins must already be disconnected.
+  void remove_cell(CellId cell);
+  /// Tombstones a net; it must have no sinks. The driver pin is detached.
+  void remove_net(NetId net);
+
+  // ---- access ----
+  const CellLibrary& library() const {
+    RTP_CHECK_MSG(library_ != nullptr, "netlist has no bound cell library");
+    return *library_;
+  }
+  const Pin& pin(PinId id) const { return pins_[static_cast<std::size_t>(id)]; }
+  const Cell& cell(CellId id) const { return cells_[static_cast<std::size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+  const LibCell& lib_cell(CellId id) const { return library_->cell(cell(id).lib); }
+
+  int num_pin_slots() const { return static_cast<int>(pins_.size()); }
+  int num_cell_slots() const { return static_cast<int>(cells_.size()); }
+  int num_net_slots() const { return static_cast<int>(nets_.size()); }
+
+  bool pin_alive(PinId id) const { return !pin(id).dead; }
+  bool cell_alive(CellId id) const { return !cell(id).dead; }
+  bool net_alive(NetId id) const { return !net(id).dead; }
+
+  /// Live-entity counts (TABLE I's input-information columns use these).
+  int num_pins() const;
+  int num_cells() const;
+  int num_nets() const;
+  /// Net edges: one per (driver, sink) pair over live nets.
+  int num_net_edges() const;
+  /// Cell edges: one per (input pin, output pin) pair over live combinational
+  /// and sequential cells; sequential cell edges are cut by the timing graph,
+  /// not by the netlist.
+  int num_cell_edges() const;
+
+  const std::vector<PinId>& primary_inputs() const { return primary_inputs_; }
+  const std::vector<PinId>& primary_outputs() const { return primary_outputs_; }
+
+  /// Timing endpoints: PO pins plus D-input pins of sequential cells.
+  std::vector<PinId> endpoints() const;
+  /// Launch points: PI pins plus Q-output pins of sequential cells.
+  std::vector<PinId> launch_points() const;
+
+  bool is_endpoint(PinId id) const;
+
+  /// Structural consistency check; aborts with a message on violation.
+  /// Intended for tests and post-mutation validation, not hot paths.
+  void validate() const;
+
+  /// Human-readable summary line.
+  std::string summary() const;
+
+ private:
+  PinId new_pin(Pin p);
+
+  const CellLibrary* library_ = nullptr;
+  std::vector<Pin> pins_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<PinId> primary_inputs_;
+  std::vector<PinId> primary_outputs_;
+};
+
+}  // namespace rtp::nl

@@ -1,0 +1,41 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace rtp::nn {
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+void Adam::step() {
+  ++t_;
+  if (config_.grad_clip > 0.0f) {
+    double sq = 0.0;
+    for (Param* p : params_) {
+      for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+        sq += static_cast<double>(p->grad[i]) * p->grad[i];
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > config_.grad_clip) {
+      const float scale = config_.grad_clip / static_cast<float>(norm);
+      for (Param* p : params_) p->grad.scale_(scale);
+    }
+  }
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (Param* p : params_) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      p->m[i] = config_.beta1 * p->m[i] + (1.0f - config_.beta1) * g;
+      p->v[i] = config_.beta2 * p->v[i] + (1.0f - config_.beta2) * g * g;
+      const float mhat = p->m[i] / bc1;
+      const float vhat = p->v[i] / bc2;
+      p->value[i] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) +
+                                   config_.weight_decay * p->value[i]);
+    }
+  }
+}
+
+}  // namespace rtp::nn

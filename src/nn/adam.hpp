@@ -1,0 +1,46 @@
+#pragma once
+// Adam optimizer (Kingma & Ba) over a flat list of Param*.
+//
+// The paper trains with lr = 0.001 for 200 epochs; defaults here match the
+// paper's optimizer settings.
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace rtp::nn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float grad_clip = 0.0f;     ///< L2 clip per step over all params; 0 = off.
+  float weight_decay = 0.0f;  ///< decoupled (AdamW-style) decay per step
+};
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, AdamConfig config = {})
+      : params_(std::move(params)), config_(config) {}
+
+  /// Append more parameters (e.g. when composing sub-models).
+  void add_params(const std::vector<Param*>& more) {
+    params_.insert(params_.end(), more.begin(), more.end());
+  }
+
+  void zero_grad();
+
+  /// One update using accumulated gradients (with bias correction).
+  void step();
+
+  int step_count() const { return t_; }
+  AdamConfig& config() { return config_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  int t_ = 0;
+};
+
+}  // namespace rtp::nn

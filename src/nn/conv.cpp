@@ -1,0 +1,131 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+namespace rtp::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int padding, Rng& rng)
+    : weight_(Tensor::uniform(
+          {out_channels, in_channels, kernel, kernel},
+          std::sqrt(6.0f / static_cast<float>(in_channels * kernel * kernel)), rng)),
+      bias_(Tensor::zeros({out_channels})),
+      padding_(padding) {
+  RTP_CHECK(kernel >= 1 && padding >= 0);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  RTP_CHECK(x.ndim() == 3 && x.dim(0) == in_channels());
+  cached_input_ = x;
+  const int ci = in_channels(), co = out_channels(), k = kernel(), p = padding_;
+  const int h = x.dim(1), w = x.dim(2);
+  const int oh = h + 2 * p - k + 1, ow = w + 2 * p - k + 1;
+  RTP_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
+  Tensor y({co, oh, ow});
+  for (int f = 0; f < co; ++f) {
+    const float b = bias_.value.at(f);
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) y.at(f, i, j) = b;
+    }
+    for (int c = 0; c < ci; ++c) {
+      for (int ki = 0; ki < k; ++ki) {
+        for (int kj = 0; kj < k; ++kj) {
+          const float wv = weight_.value.at(f, c, ki, kj);
+          if (wv == 0.0f) continue;
+          // Output (i,j) reads input (i+ki-p, j+kj-p); clamp to valid rows/cols.
+          const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
+          const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
+          for (int i = i0; i < i1; ++i) {
+            const float* xrow = x.row3(c, i + ki - p);
+            float* yrow = y.row3(f, i);
+            for (int j = j0; j < j1; ++j) yrow[j] += wv * xrow[j + kj - p];
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  RTP_CHECK_MSG(!cached_input_.empty(), "Conv2d::backward before forward");
+  const Tensor& x = cached_input_;
+  const int ci = in_channels(), co = out_channels(), k = kernel(), p = padding_;
+  const int h = x.dim(1), w = x.dim(2);
+  const int oh = h + 2 * p - k + 1, ow = w + 2 * p - k + 1;
+  RTP_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == co && grad_out.dim(1) == oh &&
+            grad_out.dim(2) == ow);
+  Tensor gx({ci, h, w});
+  for (int f = 0; f < co; ++f) {
+    double gb = 0.0;
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) gb += grad_out.at(f, i, j);
+    }
+    bias_.grad.at(f) += static_cast<float>(gb);
+    for (int c = 0; c < ci; ++c) {
+      for (int ki = 0; ki < k; ++ki) {
+        for (int kj = 0; kj < k; ++kj) {
+          const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
+          const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
+          double gw = 0.0;
+          const float wv = weight_.value.at(f, c, ki, kj);
+          for (int i = i0; i < i1; ++i) {
+            const float* xrow = x.row3(c, i + ki - p);
+            float* gxrow = gx.row3(c, i + ki - p);
+            const float* grow = grad_out.row3(f, i);
+            for (int j = j0; j < j1; ++j) {
+              gw += static_cast<double>(grow[j]) * xrow[j + kj - p];
+              gxrow[j + kj - p] += wv * grow[j];
+            }
+          }
+          weight_.grad.at(f, c, ki, kj) += static_cast<float>(gw);
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  RTP_CHECK(x.ndim() == 3);
+  const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
+  RTP_CHECK_MSG(h % window_ == 0 && w % window_ == 0,
+                "MaxPool2d requires H, W divisible by window");
+  const int oh = h / window_, ow = w / window_;
+  in_shape_ = {c, h, w};
+  Tensor y({c, oh, ow});
+  argmax_.assign(y.numel(), -1);
+  std::size_t out_idx = 0;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j, ++out_idx) {
+        float best = x.at(ch, i * window_, j * window_);
+        int best_idx = (ch * h + i * window_) * w + j * window_;
+        for (int di = 0; di < window_; ++di) {
+          for (int dj = 0; dj < window_; ++dj) {
+            const int ii = i * window_ + di, jj = j * window_ + dj;
+            const float v = x.at(ch, ii, jj);
+            if (v > best) {
+              best = v;
+              best_idx = (ch * h + ii) * w + jj;
+            }
+          }
+        }
+        y.at(ch, i, j) = best;
+        argmax_[out_idx] = best_idx;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  RTP_CHECK_MSG(!in_shape_.empty(), "MaxPool2d::backward before forward");
+  RTP_CHECK(grad_out.numel() == argmax_.size());
+  Tensor gx(in_shape_);
+  for (std::size_t o = 0; o < argmax_.size(); ++o) {
+    gx[static_cast<std::size_t>(argmax_[o])] += grad_out[o];
+  }
+  return gx;
+}
+
+}  // namespace rtp::nn

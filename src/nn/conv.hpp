@@ -1,0 +1,56 @@
+#pragma once
+// 2-D convolution and max-pooling for the layout encoder (Fig. 4).
+//
+// The layout CNN processes one design at a time (its output map M^L is shared
+// by all endpoints of that design), so these layers operate on single samples
+// of shape (C, H, W) — no batch dimension.
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace rtp::nn {
+
+/// 2-D convolution, stride 1, symmetric zero padding.
+class Conv2d {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int padding, Rng& rng);
+
+  /// x: (C_in, H, W) -> (C_out, H + 2p - k + 1, W + 2p - k + 1).
+  Tensor forward(const Tensor& x);
+
+  /// grad_out matches forward's output shape; returns grad wrt x.
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+
+  int in_channels() const { return weight_.value.dim(1); }
+  int out_channels() const { return weight_.value.dim(0); }
+  int kernel() const { return weight_.value.dim(2); }
+  int padding() const { return padding_; }
+
+ private:
+  Param weight_;  ///< (C_out, C_in, k, k)
+  Param bias_;    ///< (C_out)
+  int padding_;
+  Tensor cached_input_;
+};
+
+/// Non-overlapping max pooling with square window (window == stride).
+class MaxPool2d {
+ public:
+  explicit MaxPool2d(int window) : window_(window) { RTP_CHECK(window >= 1); }
+
+  /// x: (C, H, W) -> (C, H/window, W/window). H and W must divide evenly.
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  int window() const { return window_; }
+
+ private:
+  int window_;
+  std::vector<int> argmax_;  ///< flat input index per output element
+  std::vector<int> in_shape_;
+};
+
+}  // namespace rtp::nn

@@ -1,0 +1,96 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace rtp::nn {
+
+namespace {
+Tensor kaiming_uniform(int out_features, int in_features, Rng& rng) {
+  // He-style bound for ReLU networks: sqrt(6 / fan_in).
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+  return Tensor::uniform({out_features, in_features}, bound, rng);
+}
+}  // namespace
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : weight_(kaiming_uniform(out_features, in_features, rng)),
+      bias_(Tensor::zeros({out_features})) {}
+
+Tensor Linear::forward(const Tensor& x, Tensor* saved) const {
+  RTP_CHECK(x.ndim() == 2 && x.dim(1) == in_features());
+  *saved = x;
+  Tensor y = matmul_bt(x, weight_.value);  // (N,in) * (out,in)^T
+  const int n = y.dim(0), out = y.dim(1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out; ++j) y.at(i, j) += bias_.value.at(j);
+  }
+  return y;
+}
+
+Tensor Linear::forward(const Tensor& x) { return forward(x, &cached_input_); }
+
+Tensor Linear::backward(const Tensor& grad_out, const Tensor& saved) {
+  RTP_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == out_features());
+  RTP_CHECK_MSG(!saved.empty(), "Linear::backward before forward");
+  RTP_CHECK(grad_out.dim(0) == saved.dim(0));
+  // dW = grad_out^T x ; db = column sums of grad_out ; dX = grad_out W.
+  weight_.grad.add_(matmul_at(grad_out, saved));
+  const int n = grad_out.dim(0), out = out_features();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out; ++j) bias_.grad.at(j) += grad_out.at(i, j);
+  }
+  return matmul(grad_out, weight_.value);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  return backward(grad_out, cached_input_);
+}
+
+Tensor ReLU::forward(const Tensor& x, std::vector<bool>* saved_mask) {
+  Tensor y = x;
+  saved_mask->assign(x.numel(), false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      (*saved_mask)[i] = true;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::forward(const Tensor& x) { return forward(x, &mask_); }
+
+Tensor ReLU::backward(const Tensor& grad_out, const std::vector<bool>& saved_mask) {
+  RTP_CHECK(grad_out.numel() == saved_mask.size());
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    if (!saved_mask[i]) g[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) { return backward(grad_out, mask_); }
+
+float mse_loss(const Tensor& pred, const Tensor& target) {
+  RTP_CHECK(pred.same_shape(target));
+  RTP_CHECK(pred.numel() > 0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.numel()));
+}
+
+Tensor mse_backward(const Tensor& pred, const Tensor& target) {
+  RTP_CHECK(pred.same_shape(target));
+  Tensor g(pred.shape());
+  const float scale = 2.0f / static_cast<float>(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    g[i] = scale * (pred[i] - target[i]);
+  }
+  return g;
+}
+
+}  // namespace rtp::nn

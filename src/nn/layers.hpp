@@ -1,0 +1,85 @@
+#pragma once
+// Trainable layers with explicit forward/backward.
+//
+// Convention: forward(x) caches whatever backward needs; backward(grad_out)
+// accumulates into parameter .grad tensors and returns grad wrt the input.
+// A layer therefore holds per-call state — reuse one instance per logical
+// position in the network, exactly as with torch.nn modules.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace rtp::nn {
+
+/// A trainable tensor with its gradient and Adam moment buffers.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  Tensor m;  ///< Adam first moment.
+  Tensor v;  ///< Adam second moment.
+
+  explicit Param(Tensor init)
+      : value(std::move(init)),
+        grad(Tensor::zeros(value.shape())),
+        m(Tensor::zeros(value.shape())),
+        v(Tensor::zeros(value.shape())) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Fully connected layer: y = x W^T + b, x is (N, in), W is (out, in).
+///
+/// Two call styles:
+///  - stateful: forward(x) caches internally, backward(g) consumes the cache.
+///    Fine when the layer runs exactly once between optimizer steps.
+///  - stateless: forward(x, &saved) / backward(g, saved) keep the cache with
+///    the caller, so one layer instance (one set of weights) can be applied
+///    many times per step — e.g. once per topological level in the GNN — and
+///    backpropagated through every application.
+class Linear {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  /// x: (N, in) -> (N, out). Caches x for backward.
+  Tensor forward(const Tensor& x);
+  /// Stateless variant: stores the input in *saved instead.
+  Tensor forward(const Tensor& x, Tensor* saved) const;
+
+  /// grad_out: (N, out) -> grad wrt x (N, in); accumulates dW, db.
+  Tensor backward(const Tensor& grad_out);
+  /// Stateless variant using an externally saved input.
+  Tensor backward(const Tensor& grad_out, const Tensor& saved);
+
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+
+  int in_features() const { return weight_.value.dim(1); }
+  int out_features() const { return weight_.value.dim(0); }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+/// Elementwise ReLU.
+class ReLU {
+ public:
+  Tensor forward(const Tensor& x);
+  static Tensor forward(const Tensor& x, std::vector<bool>* saved_mask);
+  Tensor backward(const Tensor& grad_out);
+  static Tensor backward(const Tensor& grad_out, const std::vector<bool>& saved_mask);
+
+ private:
+  std::vector<bool> mask_;
+};
+
+/// Mean squared error over all elements. Returns loss; grad wrt pred has the
+/// 2/n factor folded in so trainer code is just pred_grad = mse_backward(...).
+float mse_loss(const Tensor& pred, const Tensor& target);
+Tensor mse_backward(const Tensor& pred, const Tensor& target);
+
+}  // namespace rtp::nn

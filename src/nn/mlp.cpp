@@ -1,0 +1,45 @@
+#include "nn/mlp.hpp"
+
+namespace rtp::nn {
+
+Mlp::Mlp(const std::vector<int>& dims, Rng& rng) {
+  RTP_CHECK_MSG(dims.size() >= 2, "Mlp needs at least {in, out}");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x, MlpCache* cache) {
+  cache->linear_inputs.resize(layers_.size());
+  cache->relu_masks.resize(layers_.size() - 1);
+  Tensor h = layers_[0]->forward(x, &cache->linear_inputs[0]);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    h = ReLU::forward(h, &cache->relu_masks[i - 1]);
+    h = layers_[i]->forward(h, &cache->linear_inputs[i]);
+  }
+  return h;
+}
+
+Tensor Mlp::forward(const Tensor& x) { return forward(x, &stateful_cache_); }
+
+Tensor Mlp::backward(const Tensor& grad_out, const MlpCache& cache) {
+  RTP_CHECK(cache.linear_inputs.size() == layers_.size());
+  Tensor g = layers_.back()->backward(grad_out, cache.linear_inputs.back());
+  for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+    g = ReLU::backward(g, cache.relu_masks[i]);
+    g = layers_[i]->backward(g, cache.linear_inputs[i]);
+  }
+  return g;
+}
+
+Tensor Mlp::backward(const Tensor& grad_out) { return backward(grad_out, stateful_cache_); }
+
+std::vector<Param*> Mlp::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rtp::nn

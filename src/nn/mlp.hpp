@@ -1,0 +1,48 @@
+#pragma once
+// Multi-layer perceptron: Linear(+ReLU) stacks. Used for the GNN aggregation
+// functions f_c1 / f_c2 / f_n (Eq. 3), the regression head, and the shared
+// fully connected layout-embedding layer (Fig. 4).
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace rtp::nn {
+
+/// Per-application activation cache for the stateless Mlp API; lets one Mlp
+/// (one weight set) run many times per optimizer step (e.g. once per GNN
+/// topological level) with correct gradient accumulation.
+struct MlpCache {
+  std::vector<Tensor> linear_inputs;
+  std::vector<std::vector<bool>> relu_masks;
+};
+
+class Mlp {
+ public:
+  /// dims = {in, hidden..., out}; ReLU between layers, linear output.
+  /// The paper's GNN MLPs are "3 layers with hidden dimension 256", i.e.
+  /// dims = {in, 256, 256, out}.
+  Mlp(const std::vector<int>& dims, Rng& rng);
+
+  /// x: (N, dims.front()) -> (N, dims.back()). Stateful single-use cache.
+  Tensor forward(const Tensor& x);
+  /// Stateless variant writing activations into *cache.
+  Tensor forward(const Tensor& x, MlpCache* cache);
+
+  /// grad_out: (N, dims.back()) -> grad wrt input.
+  Tensor backward(const Tensor& grad_out);
+  /// Stateless variant consuming a cache from forward(x, &cache).
+  Tensor backward(const Tensor& grad_out, const MlpCache& cache);
+
+  std::vector<Param*> params();
+
+  int in_features() const { return layers_.front()->in_features(); }
+  int out_features() const { return layers_.back()->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  MlpCache stateful_cache_;
+};
+
+}  // namespace rtp::nn

@@ -1,0 +1,83 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace rtp::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'T', 'P', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_u32(std::FILE* f, std::uint32_t v) {
+  RTP_CHECK(std::fwrite(&v, sizeof v, 1, f) == 1);
+}
+
+std::uint32_t read_u32(std::FILE* f) {
+  std::uint32_t v = 0;
+  RTP_CHECK_MSG(std::fread(&v, sizeof v, 1, f) == 1, "checkpoint truncated");
+  return v;
+}
+
+void write_tensor(std::FILE* f, const Tensor& t) {
+  write_u32(f, static_cast<std::uint32_t>(t.ndim()));
+  for (int d = 0; d < t.ndim(); ++d) write_u32(f, static_cast<std::uint32_t>(t.dim(d)));
+  RTP_CHECK(std::fwrite(t.data(), sizeof(float), t.numel(), f) == t.numel());
+}
+
+void read_tensor_into(std::FILE* f, Tensor& t) {
+  const std::uint32_t ndim = read_u32(f);
+  RTP_CHECK_MSG(static_cast<int>(ndim) == t.ndim(), "checkpoint shape rank mismatch");
+  for (int d = 0; d < t.ndim(); ++d) {
+    RTP_CHECK_MSG(read_u32(f) == static_cast<std::uint32_t>(t.dim(d)),
+                  "checkpoint shape mismatch — was the model built with the "
+                  "same ModelConfig?");
+  }
+  RTP_CHECK_MSG(std::fread(t.data(), sizeof(float), t.numel(), f) == t.numel(),
+                "checkpoint truncated");
+}
+
+}  // namespace
+
+void save_params(const std::string& path, const std::vector<Param*>& params,
+                 const std::vector<float>& extra_scalars) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  RTP_CHECK_MSG(f != nullptr, "cannot open checkpoint for writing");
+  RTP_CHECK(std::fwrite(kMagic, 1, 4, f.get()) == 4);
+  write_u32(f.get(), kVersion);
+  write_u32(f.get(), static_cast<std::uint32_t>(params.size()));
+  write_u32(f.get(), static_cast<std::uint32_t>(extra_scalars.size()));
+  for (const Param* p : params) write_tensor(f.get(), p->value);
+  if (!extra_scalars.empty()) {
+    RTP_CHECK(std::fwrite(extra_scalars.data(), sizeof(float), extra_scalars.size(),
+                          f.get()) == extra_scalars.size());
+  }
+}
+
+std::vector<float> load_params(const std::string& path,
+                               const std::vector<Param*>& params) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  RTP_CHECK_MSG(f != nullptr, "cannot open checkpoint for reading");
+  char magic[4] = {};
+  RTP_CHECK(std::fread(magic, 1, 4, f.get()) == 4);
+  RTP_CHECK_MSG(std::memcmp(magic, kMagic, 4) == 0, "not an rtp checkpoint");
+  RTP_CHECK_MSG(read_u32(f.get()) == kVersion, "unsupported checkpoint version");
+  RTP_CHECK_MSG(read_u32(f.get()) == params.size(),
+                "checkpoint param count mismatch");
+  const std::uint32_t num_extra = read_u32(f.get());
+  for (Param* p : params) read_tensor_into(f.get(), p->value);
+  std::vector<float> extra(num_extra);
+  if (num_extra > 0) {
+    RTP_CHECK(std::fread(extra.data(), sizeof(float), num_extra, f.get()) == num_extra);
+  }
+  return extra;
+}
+
+}  // namespace rtp::nn

@@ -1,0 +1,25 @@
+#pragma once
+// Parameter checkpointing: a minimal binary format for saving and restoring
+// the trainable state of a model (train once, predict forever).
+//
+// Format: magic "RTPW", u32 version, u32 tensor count, then per tensor:
+// u32 ndim, u32 dims..., f32 data. Extra scalars (e.g. label normalization)
+// travel as 1-element tensors appended by the caller.
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace rtp::nn {
+
+/// Writes every param's value tensor. Aborts on I/O failure.
+void save_params(const std::string& path, const std::vector<Param*>& params,
+                 const std::vector<float>& extra_scalars = {});
+
+/// Restores values in the same order; shapes must match exactly. Returns the
+/// extra scalars stored at save time. Aborts on mismatch or I/O failure.
+std::vector<float> load_params(const std::string& path,
+                               const std::vector<Param*>& params);
+
+}  // namespace rtp::nn

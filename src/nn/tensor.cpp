@@ -1,0 +1,112 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rtp::nn {
+
+Tensor Tensor::uniform(std::vector<int> shape, float bound, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  return t;
+}
+
+void Tensor::add_(const Tensor& other) {
+  RTP_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  RTP_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale_(float alpha) {
+  for (float& x : data_) x *= alpha;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::max() const {
+  RTP_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_mean() const {
+  if (data_.empty()) return 0.0f;
+  double acc = 0.0;
+  for (float x : data_) acc += std::fabs(x);
+  return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  // i-k-j order: streams through b and c rows, cache-friendly for row-major.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    float* crow = c.data() + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+    float* crow = c.data() + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.data() + static_cast<std::size_t>(j) * k;
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a.data() + static_cast<std::size_t>(kk) * m;
+    const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace rtp::nn

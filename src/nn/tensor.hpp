@@ -1,0 +1,119 @@
+#pragma once
+// Dense float32 tensor for the from-scratch neural-network substrate.
+//
+// The paper's stack (PyTorch + DGL) is replaced by explicit forward/backward
+// implementations; Tensor is the storage type they share. Row-major, up to
+// 4 dimensions, value semantics. Shapes use int (all realistic sizes fit).
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+
+namespace rtp::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+    std::size_t n = 1;
+    for (int d : shape_) {
+      RTP_CHECK(d > 0);
+      n *= static_cast<std::size_t>(d);
+    }
+    data_.assign(n, 0.0f);
+  }
+
+  Tensor(std::initializer_list<int> shape) : Tensor(std::vector<int>(shape)) {}
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  static Tensor full(std::vector<int> shape, float value) {
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+  }
+
+  /// Uniform in [-bound, bound]; used by Kaiming-style initializers.
+  static Tensor uniform(std::vector<int> shape, float bound, Rng& rng);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Indexed access; dimensionality checked in debug builds.
+  float& at(int i) {
+    RTP_DCHECK(ndim() == 1);
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float& at(int i, int j) {
+    RTP_DCHECK(ndim() == 2);
+    return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+  }
+  float& at(int c, int h, int w) {
+    RTP_DCHECK(ndim() == 3);
+    return data_[(static_cast<std::size_t>(c) * shape_[1] + h) * shape_[2] + w];
+  }
+  float& at(int n, int c, int h, int w) {
+    RTP_DCHECK(ndim() == 4);
+    return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                     shape_[3] +
+                 w];
+  }
+  float at(int i) const { return const_cast<Tensor*>(this)->at(i); }
+  float at(int i, int j) const { return const_cast<Tensor*>(this)->at(i, j); }
+  float at(int c, int h, int w) const { return const_cast<Tensor*>(this)->at(c, h, w); }
+  float at(int n, int c, int h, int w) const {
+    return const_cast<Tensor*>(this)->at(n, c, h, w);
+  }
+
+  /// Pointer to the start of row (c, h, ·) of a 3-D tensor.
+  float* row3(int c, int h) {
+    RTP_DCHECK(ndim() == 3);
+    return data_.data() + (static_cast<std::size_t>(c) * shape_[1] + h) * shape_[2];
+  }
+  const float* row3(int c, int h) const { return const_cast<Tensor*>(this)->row3(c, h); }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+  void zero() { fill(0.0f); }
+
+  /// this += other (same shape).
+  void add_(const Tensor& other);
+  /// this += alpha * other (same shape).
+  void axpy_(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale_(float alpha);
+
+  float sum() const;
+  float max() const;
+  /// Mean absolute value; handy for diagnostics and tests.
+  float abs_mean() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// C = A(MxK) * B(KxN).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A(MxK) * B(NxK)^T — fused to avoid materializing transposes.
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+/// C = A(KxM)^T * B(KxN).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+}  // namespace rtp::nn

@@ -1,0 +1,95 @@
+#pragma once
+// Timing-optimization engine (stand-in for the Innovus optimizer step).
+//
+// Implements the two technique classes of Section II.A:
+//   structure-preserved : gate sizing (upsize drivers on critical paths);
+//   structure-destructed: buffer insertion on long critical nets, and
+//                         Boolean restructuring — a critical cell plus its
+//                         single-fanout fanin region is dissolved and
+//                         re-implemented as a balanced tree of stronger
+//                         gates (Fig. 1's sub-netlist replacement).
+//
+// Key properties mirrored from the paper:
+//   * timing endpoints are never replaced;
+//   * structure-destructed moves need layout space — they are gated on local
+//     placement density and rejected inside macros, which couples optimizer
+//     efficacy to the layout (the signal the CNN branch learns);
+//   * every original net/cell that a destructive move touches is recorded, so
+//     the flow can report TABLE I's #replaced columns and train baselines
+//     semi-supervised on the unreplaced remainder.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sta/sta.hpp"
+
+namespace rtp::opt {
+
+struct OptimizerConfig {
+  sta::StaConfig sta;            ///< sign-off STA settings used to drive moves
+  int max_passes = 8;
+  double endpoint_fraction = 0.5;  ///< worst endpoints targeted per pass
+  double sizing_rate = 0.5;        ///< per-arc probability knobs
+  double buffer_rate = 0.45;
+  double restructure_rate = 0.4;
+  double min_buffer_length = 8.0;  ///< µm; shorter nets are not buffered
+
+  // DRV-fixing / recovery phase: after timing passes, keep making space-gated
+  // destructive moves across the whole design (slew/cap fixing, area and
+  // leakage recovery — the bulk of a production optimizer's netlist churn)
+  // until the replacement ratios reach these targets or legal sites run out.
+  double target_net_replaced = 0.40;
+  double target_cell_replaced = 0.20;
+  double recovery_sizing_rate = 0.35;  ///< fraction of cells resized in recovery
+  int max_region_size = 5;          ///< cells dissolved per restructure
+  /// Destructive moves are allowed only outside macros and in bins below this
+  /// quantile of the design's occupied-bin density distribution: the densest
+  /// neighbourhoods have no room for new gates, wherever they are on the die.
+  double density_quantile = 0.85;
+  int density_grid = 32;
+  std::uint64_t seed = 1;
+};
+
+struct OptimizerReport {
+  // Snapshot of the pre-optimization entity ranges; replacement flags are
+  // indexed against these.
+  int original_net_slots = 0;
+  int original_cell_slots = 0;
+  std::vector<bool> net_replaced;
+  std::vector<bool> cell_replaced;
+
+  double wns_before = 0.0, tns_before = 0.0;
+  double wns_after = 0.0, tns_after = 0.0;
+
+  int moves_sizing = 0;
+  int moves_buffer = 0;
+  int moves_restructure = 0;
+  int moves_rejected_space = 0;
+  int passes_run = 0;
+
+  /// Fraction of original net edges whose source net got structurally edited.
+  double replaced_net_edge_ratio(const nl::Netlist& before_counts_netlist) const;
+  /// Same for original cell edges.
+  double replaced_cell_edge_ratio(const nl::Netlist& before_counts_netlist) const;
+
+  // Original edge totals captured before optimization (for the ratios).
+  int original_net_edges = 0;
+  int original_cell_edges = 0;
+  int replaced_net_edges = 0;
+  int replaced_cell_edges = 0;
+};
+
+class TimingOptimizer {
+ public:
+  explicit TimingOptimizer(OptimizerConfig config) : config_(config) {}
+
+  /// Optimizes `netlist`/`placement` in place against the sign-off model.
+  /// The congestion map inside config_.sta.delay is re-derived each pass from
+  /// the evolving placement, so moves see up-to-date routability.
+  OptimizerReport optimize(nl::Netlist& netlist, layout::Placement& placement) const;
+
+ private:
+  OptimizerConfig config_;
+};
+
+}  // namespace rtp::opt

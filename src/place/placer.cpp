@@ -1,0 +1,208 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/log.hpp"
+
+namespace rtp::place {
+
+using layout::Die;
+using layout::Macro;
+using layout::Placement;
+using layout::Point;
+
+double Placer::total_cell_area(const nl::Netlist& netlist) {
+  double area = 0.0;
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (netlist.cell_alive(c)) area += netlist.lib_cell(c).area;
+  }
+  return area;
+}
+
+namespace {
+
+/// Push a point just outside any macro containing it (to the nearest edge).
+Point eject_from_macros(const Placement& placement, Point p) {
+  for (const Macro& m : placement.macros()) {
+    if (!m.contains(p)) continue;
+    const double dl = p.x - m.x, dr = m.x + m.w - p.x;
+    const double db = p.y - m.y, dt = m.y + m.h - p.y;
+    const double best = std::min({dl, dr, db, dt});
+    constexpr double kMargin = 0.5;
+    if (best == dl) {
+      p.x = m.x - kMargin;
+    } else if (best == dr) {
+      p.x = m.x + m.w + kMargin;
+    } else if (best == db) {
+      p.y = m.y - kMargin;
+    } else {
+      p.y = m.y + m.h + kMargin;
+    }
+    p = placement.clamp(p);
+  }
+  return p;
+}
+
+void place_macros(Placement& placement, int count, Rng& rng) {
+  const Die& die = placement.die();
+  // Corners first, then edge midpoints; sizes jittered per macro.
+  const Point anchors[] = {
+      {0.02, 0.02}, {0.72, 0.02}, {0.02, 0.72}, {0.72, 0.72},
+      {0.38, 0.02}, {0.02, 0.38}, {0.72, 0.38}, {0.38, 0.72},
+  };
+  for (int i = 0; i < count && i < 8; ++i) {
+    const double w = die.width * rng.uniform(0.14, 0.24);
+    const double h = die.height * rng.uniform(0.14, 0.24);
+    Macro m;
+    m.x = std::min(anchors[i].x * die.width, die.width - w);
+    m.y = std::min(anchors[i].y * die.height, die.height - h);
+    m.w = w;
+    m.h = h;
+    placement.add_macro(m);
+  }
+}
+
+void place_ports(const nl::Netlist& netlist, Placement& placement) {
+  const Die& die = placement.die();
+  const auto& pis = netlist.primary_inputs();
+  const auto& pos = netlist.primary_outputs();
+  // PIs spread along the left edge, POs along the right.
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const double frac = (i + 0.5) / static_cast<double>(pis.size());
+    placement.set_port_pos(pis[i], Point{0.0, frac * die.height});
+  }
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const double frac = (i + 0.5) / static_cast<double>(pos.size());
+    placement.set_port_pos(pos[i], Point{die.width, frac * die.height});
+  }
+}
+
+/// One grid-based spreading pass: cells in overfull bins migrate toward the
+/// emptiest neighbouring bin.
+void spread(const nl::Netlist& netlist, Placement& placement, int grid,
+            double max_bin_util, Rng& rng) {
+  const Die& die = placement.die();
+  const double bw = die.width / grid, bh = die.height / grid;
+  std::vector<double> occupancy(static_cast<std::size_t>(grid) * grid, 0.0);
+  std::vector<std::vector<nl::CellId>> members(occupancy.size());
+  auto bin_of = [&](Point p) {
+    const int cx = std::clamp(static_cast<int>(p.x / bw), 0, grid - 1);
+    const int cy = std::clamp(static_cast<int>(p.y / bh), 0, grid - 1);
+    return cy * grid + cx;
+  };
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (!netlist.cell_alive(c)) continue;
+    const int b = bin_of(placement.cell_pos(c));
+    occupancy[static_cast<std::size_t>(b)] += netlist.lib_cell(c).area;
+    members[static_cast<std::size_t>(b)].push_back(c);
+  }
+  const double capacity = bw * bh * max_bin_util;
+  for (int by = 0; by < grid; ++by) {
+    for (int bx = 0; bx < grid; ++bx) {
+      const std::size_t b = static_cast<std::size_t>(by) * grid + bx;
+      while (occupancy[b] > capacity && !members[b].empty()) {
+        // Emptiest 4-neighbour receives one random member.
+        int best_bx = bx, best_by = by;
+        double best_occ = occupancy[b];
+        const int dxs[] = {1, -1, 0, 0}, dys[] = {0, 0, 1, -1};
+        for (int k = 0; k < 4; ++k) {
+          const int nx = bx + dxs[k], ny = by + dys[k];
+          if (nx < 0 || ny < 0 || nx >= grid || ny >= grid) continue;
+          const double occ = occupancy[static_cast<std::size_t>(ny) * grid + nx];
+          if (occ < best_occ) {
+            best_occ = occ;
+            best_bx = nx;
+            best_by = ny;
+          }
+        }
+        if (best_bx == bx && best_by == by) break;  // local plateau
+        const std::size_t pick = static_cast<std::size_t>(rng.index(members[b].size()));
+        const nl::CellId c = members[b][pick];
+        members[b][pick] = members[b].back();
+        members[b].pop_back();
+        const double area = netlist.lib_cell(c).area;
+        occupancy[b] -= area;
+        const std::size_t nb = static_cast<std::size_t>(best_by) * grid + best_bx;
+        occupancy[nb] += area;
+        members[nb].push_back(c);
+        Point p{(best_bx + rng.uniform(0.15, 0.85)) * bw,
+                (best_by + rng.uniform(0.15, 0.85)) * bh};
+        placement.set_cell_pos(c, eject_from_macros(placement, placement.clamp(p)));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Placement Placer::place(const nl::Netlist& netlist) const {
+  Rng rng(config_.seed * 0x51b5c1a9d3f0e7b3ULL + 11);
+  const double cell_area = total_cell_area(netlist);
+  // Macros consume die area on top of the standard-cell region.
+  const double macro_budget = config_.num_macros > 0 ? 0.30 : 0.0;
+  const double die_area = cell_area / std::max(0.15, config_.utilization * (1.0 - macro_budget));
+  const double side = std::max(12.0, std::sqrt(die_area));
+  Placement placement(Die{side, side}, netlist.num_cell_slots(), netlist.num_pin_slots());
+
+  place_macros(placement, config_.num_macros, rng);
+  place_ports(netlist, placement);
+
+  // Random initial spread (macro-aware).
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (!netlist.cell_alive(c)) continue;
+    Point p{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    placement.set_cell_pos(c, eject_from_macros(placement, p));
+  }
+
+  // Force-directed refinement: each cell moves toward the mean of its nets'
+  // centroids; temperature-scaled noise keeps early iterations exploratory.
+  std::vector<Point> net_centroid(static_cast<std::size_t>(netlist.num_net_slots()));
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    const double temp = 1.0 - static_cast<double>(iter) / config_.iterations;
+    for (nl::NetId n = 0; n < netlist.num_net_slots(); ++n) {
+      if (!netlist.net_alive(n)) continue;
+      const nl::Net& net = netlist.net(n);
+      Point acc = placement.pin_pos(netlist, net.driver);
+      int count = 1;
+      for (nl::PinId s : net.sinks) {
+        const Point p = placement.pin_pos(netlist, s);
+        acc.x += p.x;
+        acc.y += p.y;
+        ++count;
+      }
+      net_centroid[static_cast<std::size_t>(n)] = Point{acc.x / count, acc.y / count};
+    }
+    for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+      if (!netlist.cell_alive(c)) continue;
+      const nl::Cell& cell = netlist.cell(c);
+      Point acc{0.0, 0.0};
+      int count = 0;
+      auto accumulate = [&](nl::PinId pin) {
+        const nl::NetId n = netlist.pin(pin).net;
+        if (n == nl::kInvalidId) return;
+        acc.x += net_centroid[static_cast<std::size_t>(n)].x;
+        acc.y += net_centroid[static_cast<std::size_t>(n)].y;
+        ++count;
+      };
+      for (nl::PinId in : cell.inputs) accumulate(in);
+      accumulate(cell.output);
+      if (count == 0) continue;
+      const Point target{acc.x / count, acc.y / count};
+      const Point old = placement.cell_pos(c);
+      constexpr double kPull = 0.6;
+      Point next{old.x + kPull * (target.x - old.x) + rng.normal(0.0, 0.01 * side * temp),
+                 old.y + kPull * (target.y - old.y) + rng.normal(0.0, 0.01 * side * temp)};
+      placement.set_cell_pos(c, eject_from_macros(placement, placement.clamp(next)));
+    }
+    spread(netlist, placement, config_.spread_grid, config_.max_bin_util, rng);
+  }
+  // Final legalization sweeps tighten density after the last force pass;
+  // deep piles need several passes to drain through the 4-neighbour moves.
+  for (int k = 0; k < 10; ++k) {
+    spread(netlist, placement, config_.spread_grid, config_.max_bin_util, rng);
+  }
+  return placement;
+}
+
+}  // namespace rtp::place

@@ -1,0 +1,38 @@
+#pragma once
+// Global placement: force-directed iterations with grid-based spreading.
+//
+// Stands in for Cadence Innovus placement in the paper's data flow. The goal
+// is not competitive wirelength but a layout with the spatial structure the
+// downstream models consume: connected cells cluster (short nets, realistic
+// RUDY), macros carve out dead regions, and density varies across the die —
+// the three signals of Fig. 5.
+
+#include "core/rng.hpp"
+#include "layout/placement.hpp"
+
+namespace rtp::place {
+
+struct PlacerConfig {
+  double utilization = 0.65;  ///< target cell-area / free-die-area
+  int num_macros = 0;
+  int iterations = 14;     ///< force-directed passes
+  int spread_grid = 24;    ///< legalization grid resolution
+  double max_bin_util = 0.82;
+  std::uint64_t seed = 1;
+};
+
+class Placer {
+ public:
+  explicit Placer(PlacerConfig config) : config_(config) {}
+
+  /// Places all live cells and ports of `netlist` on a freshly sized die.
+  layout::Placement place(const nl::Netlist& netlist) const;
+
+  /// Total placed standard-cell area, µm².
+  static double total_cell_area(const nl::Netlist& netlist);
+
+ private:
+  PlacerConfig config_;
+};
+
+}  // namespace rtp::place

@@ -1,0 +1,202 @@
+#include "route/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace rtp::route {
+
+namespace {
+
+struct Segment {
+  nl::PinId driver = nl::kInvalidId;
+  nl::PinId sink = nl::kInvalidId;
+  int from_bin = 0;
+  int to_bin = 0;
+  double manhattan = 0.0;
+};
+
+/// A* node record for the open set.
+struct OpenNode {
+  float f = 0.0f;
+  int bin = 0;
+  bool operator<(const OpenNode& other) const { return f > other.f; }  // min-heap
+};
+
+}  // namespace
+
+RouteResult GlobalRouter::route(const nl::Netlist& netlist,
+                                const layout::Placement& placement) const {
+  const int g = config_.grid;
+  const int bins = g * g;
+  const layout::Die& die = placement.die();
+  const double bw = die.width / g, bh = die.height / g;
+  // Half-perimeter µm per grid step, used to convert path hops to length.
+  const double step_len = (bw + bh) / 2.0;
+
+  auto bin_of = [&](layout::Point p) {
+    const int cx = std::clamp(static_cast<int>(p.x / bw), 0, g - 1);
+    const int cy = std::clamp(static_cast<int>(p.y / bh), 0, g - 1);
+    return cy * g + cx;
+  };
+
+  // Collect two-pin segments, longest first (hardest to route, claim tracks
+  // early; deterministic order).
+  std::vector<Segment> segments;
+  double total_demand = 0.0;
+  for (nl::NetId n = 0; n < netlist.num_net_slots(); ++n) {
+    if (!netlist.net_alive(n)) continue;
+    const nl::Net& net = netlist.net(n);
+    const layout::Point dp = placement.pin_pos(netlist, net.driver);
+    for (nl::PinId s : net.sinks) {
+      const layout::Point sp = placement.pin_pos(netlist, s);
+      Segment seg;
+      seg.driver = net.driver;
+      seg.sink = s;
+      seg.from_bin = bin_of(dp);
+      seg.to_bin = bin_of(sp);
+      seg.manhattan = layout::manhattan(dp, sp);
+      total_demand += std::max(1.0, seg.manhattan / step_len);
+      segments.push_back(seg);
+    }
+  }
+  std::stable_sort(segments.begin(), segments.end(),
+                   [](const Segment& a, const Segment& b) { return a.manhattan > b.manhattan; });
+
+  const float capacity = static_cast<float>(
+      std::max(1.0, config_.capacity_scale * total_demand / bins));
+
+  RouteResult result;
+  result.routed_length.assign(static_cast<std::size_t>(netlist.num_pin_slots()), -1.0);
+  result.usage = layout::GridMap(g, g, die);
+
+  std::vector<float> usage(static_cast<std::size_t>(bins), 0.0f);
+  std::vector<float> history(static_cast<std::size_t>(bins), 0.0f);
+  std::vector<int> path_hops(segments.size(), 0);
+
+  // Scratch buffers reused across A* runs; `stamp` avoids clearing.
+  std::vector<float> best_g(static_cast<std::size_t>(bins), 0.0f);
+  std::vector<int> parent(static_cast<std::size_t>(bins), -1);
+  std::vector<int> visit_stamp(static_cast<std::size_t>(bins), -1);
+  int stamp = 0;
+
+  auto bin_cost = [&](int bin) {
+    const float over = usage[static_cast<std::size_t>(bin)] / capacity;
+    const float present =
+        over > 1.0f ? static_cast<float>(config_.present_penalty) * (over - 1.0f) * 4.0f
+                    : static_cast<float>(config_.present_penalty) * over * 0.25f;
+    return 1.0f + present + history[static_cast<std::size_t>(bin)];
+  };
+
+  auto heuristic = [&](int bin, int target) {
+    const int dx = std::abs(bin % g - target % g);
+    const int dy = std::abs(bin / g - target / g);
+    return static_cast<float>(dx + dy);
+  };
+
+  // Routes one segment; returns hop count and marks usage along the path.
+  auto route_segment = [&](const Segment& seg) {
+    if (seg.from_bin == seg.to_bin) {
+      usage[static_cast<std::size_t>(seg.to_bin)] += 1.0f;
+      return 1;
+    }
+    ++stamp;
+    std::priority_queue<OpenNode> open;
+    best_g[static_cast<std::size_t>(seg.from_bin)] = 0.0f;
+    visit_stamp[static_cast<std::size_t>(seg.from_bin)] = stamp;
+    parent[static_cast<std::size_t>(seg.from_bin)] = -1;
+    open.push({heuristic(seg.from_bin, seg.to_bin), seg.from_bin});
+    int expansions = 0;
+    bool found = false;
+    while (!open.empty()) {
+      const OpenNode node = open.top();
+      open.pop();
+      if (node.bin == seg.to_bin) {
+        found = true;
+        break;
+      }
+      if (++expansions > config_.max_expansions) break;
+      const float gcur = best_g[static_cast<std::size_t>(node.bin)];
+      if (node.f - heuristic(node.bin, seg.to_bin) > gcur + 1e-4f) continue;  // stale
+      const int x = node.bin % g, y = node.bin / g;
+      const int neighbours[4] = {x > 0 ? node.bin - 1 : -1, x < g - 1 ? node.bin + 1 : -1,
+                                 y > 0 ? node.bin - g : -1, y < g - 1 ? node.bin + g : -1};
+      for (int nb : neighbours) {
+        if (nb < 0) continue;
+        const float tentative = gcur + bin_cost(nb);
+        if (visit_stamp[static_cast<std::size_t>(nb)] != stamp ||
+            tentative < best_g[static_cast<std::size_t>(nb)]) {
+          visit_stamp[static_cast<std::size_t>(nb)] = stamp;
+          best_g[static_cast<std::size_t>(nb)] = tentative;
+          parent[static_cast<std::size_t>(nb)] = node.bin;
+          open.push({tentative + heuristic(nb, seg.to_bin), nb});
+        }
+      }
+    }
+    int hops = 0;
+    if (found) {
+      for (int b = seg.to_bin; b != -1; b = parent[static_cast<std::size_t>(b)]) {
+        usage[static_cast<std::size_t>(b)] += 1.0f;
+        ++hops;
+        if (b == seg.from_bin) break;
+      }
+    } else {
+      // Maze abort: fall back to an L-shaped route.
+      ++result.maze_fallbacks;
+      int b = seg.from_bin;
+      const int tx = seg.to_bin % g, ty = seg.to_bin / g;
+      while (b % g != tx) {
+        usage[static_cast<std::size_t>(b)] += 1.0f;
+        ++hops;
+        b += (b % g < tx) ? 1 : -1;
+      }
+      while (b / g != ty) {
+        usage[static_cast<std::size_t>(b)] += 1.0f;
+        ++hops;
+        b += (b / g < ty) ? g : -g;
+      }
+      usage[static_cast<std::size_t>(b)] += 1.0f;
+      ++hops;
+    }
+    return hops;
+  };
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    if (round > 0) {
+      // Rip-up everything; remember congestion via the history term.
+      for (int b = 0; b < bins; ++b) {
+        const float over = usage[static_cast<std::size_t>(b)] / capacity;
+        if (over > 1.0f) {
+          history[static_cast<std::size_t>(b)] +=
+              static_cast<float>(config_.history_increment) * (over - 1.0f);
+        }
+        usage[static_cast<std::size_t>(b)] = 0.0f;
+      }
+    }
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      path_hops[i] = route_segment(segments[i]);
+    }
+  }
+
+  // Finalize lengths and statistics.
+  result.segments_routed = static_cast<int>(segments.size());
+  int overflowed = 0;
+  for (int b = 0; b < bins; ++b) {
+    result.usage.values()[static_cast<std::size_t>(b)] =
+        usage[static_cast<std::size_t>(b)] / capacity;
+    overflowed += usage[static_cast<std::size_t>(b)] > capacity;
+  }
+  result.overflow_ratio = static_cast<double>(overflowed) / bins;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    // Hop count - 1 full steps plus in-bin escape; never shorter than the
+    // Manhattan estimate (routing cannot beat the straight line).
+    const double len =
+        std::max(segments[i].manhattan,
+                 (std::max(1, path_hops[i] - 1)) * step_len * 0.9);
+    result.routed_length[static_cast<std::size_t>(segments[i].sink)] = len;
+    result.total_wirelength += len;
+  }
+  return result;
+}
+
+}  // namespace rtp::route

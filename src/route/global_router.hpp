@@ -1,0 +1,56 @@
+#pragma once
+// Negotiated-congestion global router (PathFinder-style).
+//
+// Stands in for Cadence Innovus routing in the data flow. Every net is
+// decomposed into driver->sink two-pin segments; each segment is routed on a
+// uniform G x G grid with A*, paying a cost per g-cell that grows with
+// present congestion and with a history term accumulated across rip-up
+// rounds. Outputs per-sink routed lengths (which the sign-off STA consumes
+// instead of the pre-route Manhattan estimate) and the final track-usage map
+// (the sign-off coupling/congestion field).
+//
+// This is deliberately the expensive stage of the flow — as in the paper,
+// where routing dominates the commercial runtime that TABLE III compares
+// against.
+
+#include <vector>
+
+#include "layout/feature_maps.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtp::route {
+
+struct RouterConfig {
+  int grid = 96;            ///< g-cells per die edge
+  int rounds = 3;           ///< rip-up and re-route iterations
+  double capacity_scale = 1.6;  ///< bin capacity = scale * avg demand
+  double present_penalty = 2.0;
+  double history_increment = 0.6;
+  int max_expansions = 20000;  ///< A* abort threshold (falls back to L-route)
+};
+
+struct RouteResult {
+  /// Routed length per sink pin (µm), indexed by PinId; < 0 where unrouted
+  /// (pin is not a net sink).
+  std::vector<double> routed_length;
+  /// Final per-bin track usage, normalized to capacity (1.0 = full).
+  layout::GridMap usage;
+  double total_wirelength = 0.0;  ///< µm
+  double overflow_ratio = 0.0;    ///< fraction of bins above capacity
+  int segments_routed = 0;
+  int maze_fallbacks = 0;  ///< segments that hit max_expansions
+
+  RouteResult() : usage(1, 1, layout::Die{1.0, 1.0}) {}
+};
+
+class GlobalRouter {
+ public:
+  explicit GlobalRouter(RouterConfig config) : config_(config) {}
+
+  RouteResult route(const nl::Netlist& netlist, const layout::Placement& placement) const;
+
+ private:
+  RouterConfig config_;
+};
+
+}  // namespace rtp::route

@@ -1,0 +1,78 @@
+#include <algorithm>
+
+#include "sta/delay_model.hpp"
+
+namespace rtp::sta {
+
+DelayModel::DelayModel(const nl::Netlist& netlist, const layout::Placement& placement,
+                       DelayModelConfig config)
+    : netlist_(&netlist), placement_(&placement), config_(config) {
+  if (config_.wire_model == WireModel::kSignOff) {
+    RTP_CHECK_MSG(config_.congestion != nullptr,
+                  "sign-off delay model needs a congestion map");
+  }
+}
+
+double DelayModel::detour_factor(layout::Point a, layout::Point b) const {
+  if (config_.wire_model == WireModel::kPreRoute) return 1.0;
+  // Sample congestion at the segment bounding-box center: congested regions
+  // force the router to detour.
+  const layout::Point mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+  const double cong = std::clamp<double>(config_.congestion->value_at(mid), 0.0, 1.5);
+  return config_.detour_base + config_.detour_congestion * cong;
+}
+
+double DelayModel::cap_scale(layout::Point a, layout::Point b) const {
+  if (config_.wire_model == WireModel::kPreRoute) return 1.0;
+  const layout::Point mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+  const double cong = std::clamp<double>(config_.congestion->value_at(mid), 0.0, 1.5);
+  return 1.0 + config_.coupling_cap_factor * cong;  // coupling to neighbours
+}
+
+double DelayModel::segment_length(nl::PinId driver, nl::PinId sink) const {
+  if (config_.wire_model == WireModel::kSignOff && config_.routed_length != nullptr) {
+    const double routed = (*config_.routed_length)[static_cast<std::size_t>(sink)];
+    if (routed >= 0.0) return routed;
+  }
+  const layout::Point a = placement_->pin_pos(*netlist_, driver);
+  const layout::Point b = placement_->pin_pos(*netlist_, sink);
+  return layout::manhattan(a, b) * detour_factor(a, b);
+}
+
+double DelayModel::sink_cap(nl::PinId pin) const {
+  const nl::Pin& p = netlist_->pin(pin);
+  if (p.type == nl::PinType::kPrimaryOutput) return config_.po_pin_cap;
+  RTP_CHECK(p.type == nl::PinType::kCellInput);
+  return netlist_->lib_cell(p.cell).input_cap;
+}
+
+double DelayModel::net_edge_delay(nl::PinId driver, nl::PinId sink) const {
+  const layout::Point a = placement_->pin_pos(*netlist_, driver);
+  const layout::Point b = placement_->pin_pos(*netlist_, sink);
+  const double len = segment_length(driver, sink);
+  const double rw = config_.tech.wire_res_per_um * len;
+  const double cw = config_.tech.wire_cap_per_um * len * cap_scale(a, b);
+  return rw * (cw / 2.0 + sink_cap(sink));
+}
+
+double DelayModel::net_load(nl::NetId net_id) const {
+  const nl::Net& net = netlist_->net(net_id);
+  double cap = 0.0;
+  const layout::Point a = placement_->pin_pos(*netlist_, net.driver);
+  for (nl::PinId s : net.sinks) {
+    const layout::Point b = placement_->pin_pos(*netlist_, s);
+    const double len = segment_length(net.driver, s);
+    cap += sink_cap(s) + config_.tech.wire_cap_per_um * len * cap_scale(a, b);
+  }
+  return cap;
+}
+
+double DelayModel::cell_edge_delay(nl::CellId cell_id) const {
+  const nl::LibCell& lc = netlist_->lib_cell(cell_id);
+  const nl::Cell& cell = netlist_->cell(cell_id);
+  const nl::NetId out_net = netlist_->pin(cell.output).net;
+  const double load = out_net != nl::kInvalidId ? net_load(out_net) : 0.0;
+  return lc.intrinsic + lc.drive_res * load;
+}
+
+}  // namespace rtp::sta

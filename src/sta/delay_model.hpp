@@ -1,0 +1,70 @@
+#pragma once
+// RC delay models shared by the STA engine and the timing optimizer's what-if
+// evaluation.
+//
+// Pre-routing, wire length is the Manhattan distance between driver and sink
+// (the linear-RC Elmore regime the paper cites as the classic pre-routing
+// estimator). Sign-off mode models the routed wire: the Manhattan length is
+// inflated by a congestion-dependent detour factor derived from the RUDY map,
+// which is how routing congestion couples layout state into ground-truth
+// timing — the signal the CNN branch of the predictor must recover.
+
+#include "layout/feature_maps.hpp"
+#include "layout/placement.hpp"
+#include "netlist/library.hpp"
+
+namespace rtp::sta {
+
+enum class WireModel {
+  kPreRoute,  ///< Elmore on Manhattan length; no layout coupling
+  kSignOff,   ///< routed detour + congestion-scaled parasitics
+};
+
+struct DelayModelConfig {
+  nl::Technology tech;
+  WireModel wire_model = WireModel::kPreRoute;
+  /// Normalized congestion map (values ~[0,1]); required for kSignOff.
+  const layout::GridMap* congestion = nullptr;
+  /// Actual routed length per sink PinId (global-router output). When set,
+  /// sign-off wire length comes from here instead of the detour heuristic;
+  /// entries < 0 fall back to the heuristic.
+  const std::vector<double>* routed_length = nullptr;
+  double detour_base = 1.08;       ///< minimum routed/Manhattan length ratio
+  double detour_congestion = 0.9;  ///< extra detour at full congestion
+  double coupling_cap_factor = 0.35;  ///< extra cap at full congestion
+  double po_pin_cap = 2.0;            ///< fF, load presented by a primary output
+};
+
+class DelayModel {
+ public:
+  DelayModel(const nl::Netlist& netlist, const layout::Placement& placement,
+             DelayModelConfig config);
+
+  /// Routed (or estimated) length of the two-pin segment driver->sink, µm.
+  double segment_length(nl::PinId driver, nl::PinId sink) const;
+
+  /// Elmore delay of the net edge driver->sink (Eq. of reference [1]):
+  /// r_w L (c_w L / 2 + C_sink), ps.
+  double net_edge_delay(nl::PinId driver, nl::PinId sink) const;
+
+  /// Capacitive load a driver sees on `net`: sink pin caps + wire cap, fF.
+  double net_load(nl::NetId net) const;
+
+  /// Cell arc delay input->output: intrinsic + R_drive * C_load(output net).
+  double cell_edge_delay(nl::CellId cell) const;
+
+  /// Capacitance of a sink pin (cell input pin cap, or the PO load).
+  double sink_cap(nl::PinId pin) const;
+
+  const DelayModelConfig& config() const { return config_; }
+
+ private:
+  double detour_factor(layout::Point a, layout::Point b) const;
+  double cap_scale(layout::Point a, layout::Point b) const;
+
+  const nl::Netlist* netlist_;
+  const layout::Placement* placement_;
+  DelayModelConfig config_;
+};
+
+}  // namespace rtp::sta

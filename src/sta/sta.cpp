@@ -1,0 +1,105 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rtp::sta {
+
+StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
+                  const StaConfig& config) {
+  const nl::Netlist& netlist = graph.netlist();
+  DelayModel model(netlist, placement, config.delay);
+
+  StaResult result;
+  const std::size_t n = static_cast<std::size_t>(netlist.num_pin_slots());
+  result.arrival.assign(n, 0.0);
+  result.slew.assign(n, 0.0);
+  result.edge_delay.assign(static_cast<std::size_t>(graph.num_edges()), 0.0);
+
+  // Seed launch points. Q pins launch at clock-to-Q (the DFF intrinsic).
+  for (nl::PinId p : graph.launch_points()) {
+    const nl::Pin& pin = netlist.pin(p);
+    const double clk_to_q =
+        pin.cell != nl::kInvalidId ? netlist.lib_cell(pin.cell).intrinsic : 0.0;
+    result.arrival[static_cast<std::size_t>(p)] = clk_to_q;
+    result.slew[static_cast<std::size_t>(p)] = config.launch_slew;
+  }
+
+  // PERT: one pass in topological order; every fanin is final when visited.
+  for (nl::PinId v : graph.topo_order()) {
+    double best = result.arrival[static_cast<std::size_t>(v)];
+    double best_slew = result.slew[static_cast<std::size_t>(v)];
+    for (std::int32_t e : graph.fanin(v)) {
+      const tg::Edge& edge = graph.edge(e);
+      double d;
+      double slew_out;
+      const double slew_in = result.slew[static_cast<std::size_t>(edge.from)];
+      if (edge.is_net) {
+        d = model.net_edge_delay(edge.from, edge.to);
+        // Wire degrades the transition proportionally to its RC delay.
+        slew_out = slew_in + 0.8 * d;
+      } else {
+        d = model.cell_edge_delay(static_cast<nl::CellId>(edge.ref));
+        // The driver restores the edge rate towards its own RC time constant.
+        slew_out = 0.35 * slew_in + 0.9 * d;
+      }
+      result.edge_delay[static_cast<std::size_t>(e)] = d;
+      const double a = result.arrival[static_cast<std::size_t>(edge.from)] + d;
+      if (a > best) {
+        best = a;
+        best_slew = slew_out;
+      }
+    }
+    result.arrival[static_cast<std::size_t>(v)] = best;
+    result.slew[static_cast<std::size_t>(v)] = best_slew;
+  }
+
+  // Endpoint metrics.
+  result.endpoints = graph.endpoints();
+  result.endpoint_arrival.reserve(result.endpoints.size());
+  result.endpoint_slack.reserve(result.endpoints.size());
+  const double period = config.delay.tech.clock_period;
+  double wns = 0.0, tns = 0.0;
+  for (nl::PinId ep : result.endpoints) {
+    const double arrival = result.arrival[static_cast<std::size_t>(ep)];
+    const bool is_reg = netlist.pin(ep).type == nl::PinType::kCellInput;
+    const double required = period - (is_reg ? config.setup_margin : 0.0);
+    const double slack = required - arrival;
+    result.endpoint_arrival.push_back(arrival);
+    result.endpoint_slack.push_back(slack);
+    if (slack < 0.0) {
+      tns += slack;
+      wns = std::min(wns, slack);
+    }
+  }
+  result.wns = wns;
+  result.tns = tns;
+
+  // Backward (required-time) pass: required(v) = min over fanout arcs of
+  // required(head) - delay(arc); endpoints seed their own required time.
+  // Pins that reach no endpoint keep +inf required (infinite slack).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  result.required.assign(n, kInf);
+  for (std::size_t i = 0; i < result.endpoints.size(); ++i) {
+    const std::size_t ep = static_cast<std::size_t>(result.endpoints[i]);
+    result.required[ep] = result.endpoint_arrival[i] + result.endpoint_slack[i];
+  }
+  const auto& order = graph.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const nl::PinId v = *it;
+    for (std::int32_t e : graph.fanout(v)) {
+      const tg::Edge& edge = graph.edge(e);
+      result.required[static_cast<std::size_t>(v)] =
+          std::min(result.required[static_cast<std::size_t>(v)],
+                   result.required[static_cast<std::size_t>(edge.to)] -
+                       result.edge_delay[static_cast<std::size_t>(e)]);
+    }
+  }
+  result.slack.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    result.slack[p] = result.required[p] - result.arrival[p];
+  }
+  return result;
+}
+
+}  // namespace rtp::sta

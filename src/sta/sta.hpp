@@ -1,0 +1,47 @@
+#pragma once
+// Static timing analysis: PERT (block-based) arrival-time propagation over
+// the pin-level timing graph, plus slack/WNS/TNS reporting.
+//
+// Launch points start at their clock-to-Q delay (registers) or 0 (PIs);
+// arrival propagates as a(v) = max over fanin edges (a(u) + d(e)). Endpoint
+// slack is measured against the clock period (with register setup margin),
+// giving the sign-off global timing metrics of the paper: endpoint arrival
+// time, WNS and TNS. A crude slew propagation is included because one
+// baseline (DAC22-guo) uses pin slew as an auxiliary supervision target.
+
+#include <vector>
+
+#include "sta/delay_model.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::sta {
+
+struct StaResult {
+  std::vector<double> arrival;     ///< per pin slot, ps (0 where undefined)
+  std::vector<double> slew;        ///< per pin slot, ps
+  std::vector<double> edge_delay;  ///< per timing-graph edge, ps
+  std::vector<double> required;    ///< per pin slot, ps (+inf off any endpoint cone)
+  std::vector<double> slack;       ///< per pin slot: required - arrival
+
+  std::vector<nl::PinId> endpoints;
+  std::vector<double> endpoint_arrival;  ///< aligned with `endpoints`
+  std::vector<double> endpoint_slack;
+
+  double wns = 0.0;  ///< worst negative slack (min endpoint slack, <= 0 clamped)
+  double tns = 0.0;  ///< total negative slack (sum of negative endpoint slacks)
+
+  double arrival_at(nl::PinId p) const { return arrival[static_cast<std::size_t>(p)]; }
+  double slack_at(nl::PinId p) const { return slack[static_cast<std::size_t>(p)]; }
+};
+
+struct StaConfig {
+  DelayModelConfig delay;
+  double setup_margin = 10.0;  ///< ps subtracted from the period at register D pins
+  double launch_slew = 20.0;   ///< ps initial transition at launch points
+};
+
+/// Runs one full forward STA pass.
+StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
+                  const StaConfig& config);
+
+}  // namespace rtp::sta

@@ -1,0 +1,51 @@
+#include "timing/longest_path.hpp"
+
+#include <algorithm>
+
+namespace rtp::tg {
+
+std::vector<std::int32_t> LongestPath::net_edges(const TimingGraph& graph) const {
+  std::vector<std::int32_t> result;
+  for (std::int32_t e : edges) {
+    if (graph.edge(e).is_net) result.push_back(e);
+  }
+  return result;
+}
+
+LongestPath LongestPathFinder::find(PinId endpoint, Rng& rng) const {
+  const TimingGraph& g = *graph_;
+  LongestPath path;
+  path.endpoint = endpoint;
+
+  PinId v = endpoint;
+  path.pins.push_back(v);
+  while (g.level(v) > 0) {
+    const int want = g.level(v) - 1;
+    // Collect fanin edges whose source sits exactly one level up the cone.
+    std::int32_t chosen = nl::kInvalidId;
+    int num_candidates = 0;
+    for (std::int32_t e : g.fanin(v)) {
+      if (g.level(g.edge(e).from) != want) continue;
+      ++num_candidates;
+      // Reservoir sampling of size 1: uniform among candidates in one pass.
+      if (rng.index(static_cast<std::uint64_t>(num_candidates)) == 0) chosen = e;
+    }
+    RTP_CHECK_MSG(chosen != nl::kInvalidId,
+                  "leveling invariant violated: no fanin at level-1");
+    path.edges.push_back(chosen);
+    v = g.edge(chosen).from;
+    path.pins.push_back(v);
+  }
+  std::reverse(path.pins.begin(), path.pins.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::vector<LongestPath> LongestPathFinder::find_all(Rng& rng) const {
+  std::vector<LongestPath> paths;
+  paths.reserve(graph_->endpoints().size());
+  for (PinId ep : graph_->endpoints()) paths.push_back(find(ep, rng));
+  return paths;
+}
+
+}  // namespace rtp::tg

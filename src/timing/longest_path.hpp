@@ -1,0 +1,42 @@
+#pragma once
+// Per-endpoint longest-path extraction (Section V.B, Fig. 6).
+//
+// The paper walks backwards from each endpoint, at each step moving to a
+// predecessor whose topological level is exactly one less — such a
+// predecessor always exists because level(v) = 1 + max level over fanins —
+// breaking ties randomly, until a level-0 source is reached. The visited
+// nodes form (one of) the longest path(s) from the launch points to the
+// endpoint, measured in hops.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::tg {
+
+struct LongestPath {
+  PinId endpoint = nl::kInvalidId;
+  std::vector<PinId> pins;          ///< source ... endpoint, in forward order
+  std::vector<std::int32_t> edges;  ///< edge indices along the path (pins.size()-1)
+
+  /// Net edges along the path; their bounding boxes form the critical region.
+  std::vector<std::int32_t> net_edges(const TimingGraph& graph) const;
+};
+
+class LongestPathFinder {
+ public:
+  explicit LongestPathFinder(const TimingGraph& graph) : graph_(&graph) {}
+
+  /// Longest (max-hop) path ending at `endpoint`. Ties broken via `rng`.
+  LongestPath find(PinId endpoint, Rng& rng) const;
+
+  /// Paths for every endpoint of the graph (the preprocessing step timed in
+  /// TABLE III's "pre" column).
+  std::vector<LongestPath> find_all(Rng& rng) const;
+
+ private:
+  const TimingGraph* graph_;
+};
+
+}  // namespace rtp::tg

@@ -1,0 +1,73 @@
+#include "timing/timing_graph.hpp"
+
+#include <algorithm>
+
+namespace rtp::tg {
+
+TimingGraph::TimingGraph(const nl::Netlist& netlist) : netlist_(&netlist) {
+  const int n = netlist.num_pin_slots();
+  fanin_.resize(static_cast<std::size_t>(n));
+  fanout_.resize(static_cast<std::size_t>(n));
+  level_.assign(static_cast<std::size_t>(n), 0);
+
+  auto add_edge = [&](PinId from, PinId to, bool is_net, std::int32_t ref) {
+    const std::int32_t e = static_cast<std::int32_t>(edges_.size());
+    edges_.push_back(Edge{from, to, is_net, ref});
+    fanout_[static_cast<std::size_t>(from)].push_back(e);
+    fanin_[static_cast<std::size_t>(to)].push_back(e);
+  };
+
+  for (NetId id = 0; id < netlist.num_net_slots(); ++id) {
+    const nl::Net& net = netlist.net(id);
+    if (net.dead) continue;
+    for (PinId sink : net.sinks) add_edge(net.driver, sink, /*is_net=*/true, id);
+  }
+  for (CellId id = 0; id < netlist.num_cell_slots(); ++id) {
+    const nl::Cell& cell = netlist.cell(id);
+    if (cell.dead || netlist.lib_cell(id).is_sequential()) continue;
+    for (PinId in : cell.inputs) add_edge(in, cell.output, /*is_net=*/false, id);
+  }
+
+  // Kahn's algorithm over fanin counts; level = longest hop distance from a
+  // source. Dead pins have no edges and stay at level 0 but are excluded from
+  // topo_order.
+  std::vector<int> pending(static_cast<std::size_t>(n), 0);
+  std::vector<PinId> frontier;
+  int live_count = 0;
+  for (PinId p = 0; p < n; ++p) {
+    if (!netlist.pin_alive(p)) continue;
+    ++live_count;
+    pending[static_cast<std::size_t>(p)] = static_cast<int>(fanin_[static_cast<std::size_t>(p)].size());
+    if (pending[static_cast<std::size_t>(p)] == 0) frontier.push_back(p);
+  }
+
+  topo_order_.reserve(static_cast<std::size_t>(live_count));
+  std::size_t head = 0;
+  std::vector<PinId> queue = std::move(frontier);
+  while (head < queue.size()) {
+    const PinId p = queue[head++];
+    topo_order_.push_back(p);
+    max_level_ = std::max(max_level_, level_[static_cast<std::size_t>(p)]);
+    for (std::int32_t e : fanout_[static_cast<std::size_t>(p)]) {
+      const PinId q = edges_[static_cast<std::size_t>(e)].to;
+      auto& lq = level_[static_cast<std::size_t>(q)];
+      lq = std::max(lq, level_[static_cast<std::size_t>(p)] + 1);
+      if (--pending[static_cast<std::size_t>(q)] == 0) queue.push_back(q);
+    }
+  }
+  RTP_CHECK_MSG(static_cast<int>(topo_order_.size()) == live_count,
+                "timing graph contains a combinational cycle");
+
+  // Kahn's output is already a valid topological order, but we want stable
+  // level-ascending order for the GNN's level-synchronous schedule.
+  std::stable_sort(topo_order_.begin(), topo_order_.end(), [&](PinId a, PinId b) {
+    return level_[static_cast<std::size_t>(a)] < level_[static_cast<std::size_t>(b)];
+  });
+  by_level_.resize(static_cast<std::size_t>(max_level_) + 1);
+  for (PinId p : topo_order_) by_level_[static_cast<std::size_t>(level_[static_cast<std::size_t>(p)])].push_back(p);
+
+  endpoints_ = netlist.endpoints();
+  launch_points_ = netlist.launch_points();
+}
+
+}  // namespace rtp::tg

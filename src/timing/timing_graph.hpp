@@ -1,0 +1,78 @@
+#pragma once
+// Pin-level heterogeneous timing graph (Section IV.A of the paper).
+//
+// Nodes are pins. Two directed edge types:
+//   - net edge:  net driver pin -> one sink pin  (one edge per sink),
+//   - cell edge: one cell input pin -> the cell output pin.
+// Cell edges of sequential elements are cut, so the graph is a DAG: paths run
+// from launch points (PIs, register Q pins) to endpoints (POs, register D
+// pins). Node ids coincide with netlist PinIds; dead pins are isolated nodes.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rtp::tg {
+
+using nl::CellId;
+using nl::NetId;
+using nl::PinId;
+
+struct Edge {
+  PinId from = nl::kInvalidId;
+  PinId to = nl::kInvalidId;
+  bool is_net = false;            ///< net edge vs cell edge
+  std::int32_t ref = nl::kInvalidId;  ///< NetId for net edges, CellId for cell edges
+};
+
+class TimingGraph {
+ public:
+  /// Builds the graph from the current (live) netlist state.
+  explicit TimingGraph(const nl::Netlist& netlist);
+
+  int num_nodes() const { return static_cast<int>(fanin_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(int e) const { return edges_[static_cast<std::size_t>(e)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Incoming / outgoing edge indices of a pin.
+  const std::vector<std::int32_t>& fanin(PinId p) const {
+    return fanin_[static_cast<std::size_t>(p)];
+  }
+  const std::vector<std::int32_t>& fanout(PinId p) const {
+    return fanout_[static_cast<std::size_t>(p)];
+  }
+
+  /// Topological level: 0 for sources, else 1 + max over fanin levels.
+  /// Matches the paper's Fig. 3/6 leveling; used by both the GNN propagation
+  /// schedule and the longest-path finder.
+  int level(PinId p) const { return level_[static_cast<std::size_t>(p)]; }
+  int max_level() const { return max_level_; }
+
+  /// Live pins sorted by level ascending (stable within a level).
+  const std::vector<PinId>& topo_order() const { return topo_order_; }
+
+  /// Live pins grouped per level.
+  const std::vector<std::vector<PinId>>& nodes_by_level() const { return by_level_; }
+
+  const std::vector<PinId>& endpoints() const { return endpoints_; }
+  const std::vector<PinId>& launch_points() const { return launch_points_; }
+
+  const nl::Netlist& netlist() const { return *netlist_; }
+
+ private:
+  const nl::Netlist* netlist_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::int32_t>> fanin_;
+  std::vector<std::vector<std::int32_t>> fanout_;
+  std::vector<int> level_;
+  std::vector<PinId> topo_order_;
+  std::vector<std::vector<PinId>> by_level_;
+  std::vector<PinId> endpoints_;
+  std::vector<PinId> launch_points_;
+  int max_level_ = 0;
+};
+
+}  // namespace rtp::tg

@@ -1,0 +1,133 @@
+// Baseline tests: arc features, the two-stage local-delay models, PERT
+// consistency with the STA engine, and the DAC22-guo end-to-end baseline.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/guo_model.hpp"
+#include "baselines/local_delay_model.hpp"
+#include "eval/metrics.hpp"
+
+namespace rtp::baselines {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static const flow::DesignData& design(const char* name) {
+    static nl::CellLibrary lib = nl::CellLibrary::standard();
+    static std::map<std::string, flow::DesignData> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      flow::FlowConfig config;
+      config.scale = 0.05;
+      const auto specs = gen::paper_benchmarks();
+      it = cache.emplace(name, flow::DatasetFlow(lib, config)
+                                   .run(gen::benchmark_by_name(specs, name)))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(BaselineFixture, ArcFeaturesCoverEveryEdge) {
+  const flow::DesignData& d = design("steelcore");
+  PreparedArcs arcs = prepare_arcs(d, ArcFeatureConfig{});
+  int net = 0, cell = 0;
+  for (int e = 0; e < arcs.graph.num_edges(); ++e) {
+    const bool has_net = arcs.features.net_row[static_cast<std::size_t>(e)] >= 0;
+    const bool has_cell = arcs.features.cell_row[static_cast<std::size_t>(e)] >= 0;
+    EXPECT_NE(has_net, has_cell);
+    net += has_net;
+    cell += has_cell;
+  }
+  EXPECT_EQ(net, arcs.features.net_feat.dim(0));
+  EXPECT_EQ(cell, arcs.features.cell_feat.dim(0));
+}
+
+TEST_F(BaselineFixture, LookaheadAddsCongestionFeatures) {
+  const flow::DesignData& d = design("steelcore");
+  ArcFeatureConfig base, lookahead;
+  lookahead.lookahead = true;
+  const PreparedArcs a = prepare_arcs(d, base);
+  const PreparedArcs b = prepare_arcs(d, lookahead);
+  // Base variant leaves the look-ahead columns zero; the he variant fills them.
+  double base_col5 = 0.0, look_col5 = 0.0;
+  for (int r = 0; r < a.features.net_feat.dim(0); ++r) {
+    base_col5 += std::abs(a.features.net_feat.at(r, 5));
+    look_col5 += std::abs(b.features.net_feat.at(r, 6));
+  }
+  EXPECT_EQ(base_col5, 0.0);
+  EXPECT_GT(look_col5, 0.0);
+}
+
+TEST_F(BaselineFixture, LocalModelLearnsUnreplacedDelays) {
+  const flow::DesignData& d = design("steelcore");
+  PreparedArcs arcs = prepare_arcs(d, ArcFeatureConfig{});
+  LocalModelConfig config;
+  config.epochs = 30;
+  LocalDelayModel model(config);
+  model.train({&arcs});
+  const std::vector<double> pred = model.predict_edges(arcs);
+  std::vector<double> y, p;
+  for (int e = 0; e < arcs.graph.num_edges(); ++e) {
+    if (d.arc_label[static_cast<std::size_t>(e)] < 0.0) continue;
+    y.push_back(d.arc_label[static_cast<std::size_t>(e)]);
+    p.push_back(pred[static_cast<std::size_t>(e)]);
+  }
+  // Training design: the model must beat the mean predictor comfortably.
+  EXPECT_GT(eval::r2_score(y, p), 0.3);
+}
+
+TEST_F(BaselineFixture, PertMatchesStaOnIdenticalDelays) {
+  const flow::DesignData& d = design("xgate");
+  tg::TimingGraph graph(d.input_netlist);
+  // Feed the pre-route STA's own edge delays: PERT must reproduce arrivals.
+  const std::vector<double> arrivals =
+      pert_endpoint_arrival(graph, d.preroute.edge_delay);
+  ASSERT_EQ(arrivals.size(), d.endpoints.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_NEAR(arrivals[i],
+                d.preroute.arrival[static_cast<std::size_t>(d.endpoints[i])], 1e-9);
+  }
+}
+
+TEST_F(BaselineFixture, PredictEndpointsRunsPert) {
+  const flow::DesignData& d = design("steelcore");
+  PreparedArcs arcs = prepare_arcs(d, ArcFeatureConfig{});
+  LocalModelConfig config;
+  config.epochs = 5;
+  LocalDelayModel model(config);
+  model.train({&arcs});
+  const std::vector<double> ep = model.predict_endpoints(arcs);
+  EXPECT_EQ(ep.size(), d.endpoints.size());
+  for (double a : ep) EXPECT_GE(a, 0.0);
+}
+
+TEST_F(BaselineFixture, GuoPreparedLabelsSemiSupervised) {
+  const flow::DesignData& d = design("steelcore");
+  const GuoPrepared gp = prepare_guo(d);
+  int delay_supervised = 0, unsupervised = 0;
+  for (float v : gp.node_delay_label) (v >= 0.0f ? delay_supervised : unsupervised)++;
+  EXPECT_GT(delay_supervised, 0);
+  EXPECT_GT(unsupervised, 0);  // replaced arcs have no labels
+}
+
+TEST_F(BaselineFixture, GuoTrainsAndPredicts) {
+  const flow::DesignData& d = design("steelcore");
+  GuoPrepared gp = prepare_guo(d);
+  GuoConfig config;
+  config.epochs = 30;
+  GuoModel model(config);
+  std::vector<GuoPrepared*> train = {&gp};
+  model.train(train);
+  const std::vector<double> ep = model.predict_endpoints(gp);
+  ASSERT_EQ(ep.size(), d.endpoints.size());
+  // On its own training design the end-to-end baseline should fit reasonably.
+  EXPECT_GT(eval::r2_score(d.label_arrival, ep), 0.3);
+  const std::vector<double> delays = model.predict_edge_delays(gp);
+  EXPECT_EQ(delays.size(), static_cast<std::size_t>(gp.graph.num_edges()));
+}
+
+}  // namespace
+}  // namespace rtp::baselines

@@ -1,0 +1,134 @@
+// Dataset-flow integration tests: label consistency, semi-supervised arc
+// labels, TABLE I metrics, and determinism of the whole pipeline.
+
+#include <gtest/gtest.h>
+
+#include "flow/dataset_flow.hpp"
+
+namespace rtp::flow {
+namespace {
+
+class FlowTest : public ::testing::Test {
+ protected:
+  static const DesignData& design() {
+    static nl::CellLibrary lib = nl::CellLibrary::standard();
+    static DesignData data = [] {
+      FlowConfig config;
+      config.scale = 0.05;
+      DatasetFlow flow(lib, config);
+      const auto specs = gen::paper_benchmarks();
+      return DatasetFlow(lib, config).run(gen::benchmark_by_name(specs, "steelcore"));
+    }();
+    return data;
+  }
+};
+
+TEST_F(FlowTest, EndpointLabelsAligned) {
+  const DesignData& d = design();
+  EXPECT_EQ(d.endpoints.size(), d.label_arrival.size());
+  EXPECT_EQ(d.endpoints.size(), d.noopt_arrival.size());
+  EXPECT_FALSE(d.endpoints.empty());
+  for (double a : d.label_arrival) EXPECT_GT(a, 0.0);
+}
+
+TEST_F(FlowTest, OptimizationShiftsLabels) {
+  const DesignData& d = design();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < d.label_arrival.size(); ++i) {
+    diff += std::abs(d.label_arrival[i] - d.noopt_arrival[i]);
+  }
+  EXPECT_GT(diff / d.label_arrival.size(), 1.0);  // ps
+}
+
+TEST_F(FlowTest, EndpointsAliveInBothNetlists) {
+  const DesignData& d = design();
+  for (nl::PinId ep : d.endpoints) {
+    EXPECT_TRUE(d.input_netlist.pin_alive(ep));
+    EXPECT_TRUE(d.signoff_netlist.pin_alive(ep));
+  }
+}
+
+TEST_F(FlowTest, ArcLabelsOnlyOnUnreplacedArcs) {
+  const DesignData& d = design();
+  tg::TimingGraph graph(d.input_netlist);
+  ASSERT_EQ(d.arc_label.size(), static_cast<std::size_t>(graph.num_edges()));
+  int labeled = 0, unlabeled = 0;
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const tg::Edge& edge = graph.edge(e);
+    const double label = d.arc_label[static_cast<std::size_t>(e)];
+    if (label < 0.0) {
+      ++unlabeled;
+      continue;
+    }
+    ++labeled;
+    EXPECT_GE(label, 0.0);
+    if (edge.is_net) {
+      const nl::NetId n = static_cast<nl::NetId>(edge.ref);
+      EXPECT_TRUE(d.signoff_netlist.net_alive(n));
+      EXPECT_FALSE(d.opt_report.net_replaced[static_cast<std::size_t>(n)]);
+    } else {
+      EXPECT_TRUE(d.signoff_netlist.cell_alive(static_cast<nl::CellId>(edge.ref)));
+    }
+  }
+  EXPECT_GT(labeled, 0);
+  EXPECT_GT(unlabeled, 0);  // the optimizer did restructure something
+}
+
+TEST_F(FlowTest, TableOneMetricsInRange) {
+  const DesignData& d = design();
+  EXPECT_GT(d.delta_wns_ratio, 0.0);
+  EXPECT_GT(d.delta_tns_ratio, 0.0);
+  EXPECT_GT(d.replaced_net_ratio, 0.05);
+  EXPECT_LT(d.replaced_net_ratio, 0.9);
+  EXPECT_GT(d.replaced_cell_ratio, 0.0);
+  EXPECT_GT(d.delta_net_delay_ratio, 0.0);
+  EXPECT_GT(d.delta_cell_delay_ratio, 0.0);
+}
+
+TEST_F(FlowTest, TimingsPopulated) {
+  const DesignData& d = design();
+  EXPECT_GT(d.timings.route, 0.0);
+  EXPECT_GT(d.timings.total_commercial(), 0.0);
+}
+
+TEST_F(FlowTest, SignoffPinSupervisionCoversSurvivingPins) {
+  const DesignData& d = design();
+  int supervised = 0;
+  for (std::size_t p = 0; p < d.signoff_pin_arrival.size(); ++p) {
+    const bool alive = d.signoff_netlist.pin_alive(static_cast<nl::PinId>(p));
+    EXPECT_EQ(d.signoff_pin_arrival[p] >= 0.0, alive);
+    supervised += d.signoff_pin_arrival[p] >= 0.0;
+  }
+  EXPECT_GT(supervised, 0);
+}
+
+TEST(FlowDeterminism, SameConfigSameLabels) {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  FlowConfig config;
+  config.scale = 0.05;
+  const auto specs = gen::paper_benchmarks();
+  const auto& spec = gen::benchmark_by_name(specs, "xgate");
+  const DesignData a = DatasetFlow(lib, config).run(spec);
+  const DesignData b = DatasetFlow(lib, config).run(spec);
+  ASSERT_EQ(a.label_arrival.size(), b.label_arrival.size());
+  for (std::size_t i = 0; i < a.label_arrival.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.label_arrival[i], b.label_arrival[i]);
+  }
+}
+
+TEST(FlowConfigTest, ClockPeriodScalesWithFactor) {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  const auto& spec = gen::benchmark_by_name(specs, "xgate");
+  FlowConfig tight;
+  tight.scale = 0.05;
+  tight.clock_period_factor = 0.5;
+  FlowConfig loose = tight;
+  loose.clock_period_factor = 0.9;
+  const DesignData dt = DatasetFlow(lib, tight).run(spec);
+  const DesignData dl = DatasetFlow(lib, loose).run(spec);
+  EXPECT_LT(dt.clock_period, dl.clock_period);
+}
+
+}  // namespace
+}  // namespace rtp::flow

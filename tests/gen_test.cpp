@@ -1,0 +1,106 @@
+// Circuit-generator tests: determinism, structural health, statistic
+// targeting, and the benchmark-suite definitions.
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit_generator.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::gen {
+namespace {
+
+TEST(Benchmarks, SuiteMatchesPaperSplit) {
+  const auto specs = paper_benchmarks();
+  ASSERT_EQ(specs.size(), 10u);
+  int train = 0;
+  for (const auto& s : specs) train += s.is_train;
+  EXPECT_EQ(train, 5);
+  EXPECT_EQ(benchmark_by_name(specs, "chacha").is_train, false);
+  EXPECT_EQ(benchmark_by_name(specs, "jpeg").is_train, true);
+  // TABLE I input-information targets are stored verbatim.
+  EXPECT_EQ(benchmark_by_name(specs, "hwacha").target_pins, 1357798);
+  EXPECT_EQ(benchmark_by_name(specs, "or1200").target_endpoints, 172401);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  nl::CellLibrary lib_ = nl::CellLibrary::standard();
+  CircuitGenerator gen_{lib_};
+  std::vector<BenchmarkSpec> specs_ = paper_benchmarks();
+};
+
+TEST_F(GeneratorTest, DeterministicForFixedSeed) {
+  const auto a = gen_.generate(benchmark_by_name(specs_, "xgate"), 0.05);
+  const auto b = gen_.generate(benchmark_by_name(specs_, "xgate"), 0.05);
+  EXPECT_EQ(a.netlist.summary(), b.netlist.summary());
+  EXPECT_EQ(a.netlist.num_pin_slots(), b.netlist.num_pin_slots());
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  BenchmarkSpec spec = benchmark_by_name(specs_, "xgate");
+  const auto a = gen_.generate(spec, 0.05);
+  spec.seed += 1000;
+  const auto b = gen_.generate(spec, 0.05);
+  EXPECT_NE(a.netlist.summary(), b.netlist.summary());
+}
+
+TEST_F(GeneratorTest, NoDanglingOutputsAndValid) {
+  const auto circuit = gen_.generate(benchmark_by_name(specs_, "steelcore"), 0.1);
+  circuit.netlist.validate();
+  for (nl::CellId c = 0; c < circuit.netlist.num_cell_slots(); ++c) {
+    if (!circuit.netlist.cell_alive(c)) continue;
+    if (circuit.netlist.lib_cell(c).is_sequential()) continue;  // Q may idle
+    const nl::Pin& out = circuit.netlist.pin(circuit.netlist.cell(c).output);
+    ASSERT_NE(out.net, nl::kInvalidId);
+    EXPECT_FALSE(circuit.netlist.net(out.net).sinks.empty());
+  }
+}
+
+TEST_F(GeneratorTest, AllCombInputsConnected) {
+  const auto circuit = gen_.generate(benchmark_by_name(specs_, "chacha"), 0.05);
+  for (nl::CellId c = 0; c < circuit.netlist.num_cell_slots(); ++c) {
+    if (!circuit.netlist.cell_alive(c)) continue;
+    for (nl::PinId in : circuit.netlist.cell(c).inputs) {
+      EXPECT_NE(circuit.netlist.pin(in).net, nl::kInvalidId);
+    }
+  }
+}
+
+class GeneratorScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneratorScaleTest, CountsTrackTargetsAcrossScales) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = paper_benchmarks();
+  const BenchmarkSpec& spec = benchmark_by_name(specs, "rocket");
+  CircuitGenerator gen(lib);
+  const double scale = GetParam();
+  const auto circuit = gen.generate(spec, scale);
+  const double expected_edp = spec.target_endpoints * scale;
+  const double got_edp = static_cast<double>(circuit.netlist.endpoints().size());
+  EXPECT_NEAR(got_edp, expected_edp, 0.25 * expected_edp + 10);
+  const double expected_ec = spec.target_cell_edges * scale;
+  EXPECT_NEAR(circuit.netlist.num_cell_edges(), expected_ec, 0.35 * expected_ec + 30);
+  // Pin-count proportionality is looser (cleanup removes dangling logic).
+  const double expected_pins = spec.target_pins * scale;
+  EXPECT_NEAR(circuit.netlist.num_pins(), expected_pins, 0.45 * expected_pins + 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GeneratorScaleTest,
+                         ::testing::Values(0.002, 0.01, 0.03));
+
+TEST_F(GeneratorTest, ConeDepthsSpreadWide) {
+  const auto circuit = gen_.generate(benchmark_by_name(specs_, "rocket"), 0.02);
+  tg::TimingGraph graph(circuit.netlist);
+  int shallow = 0, deep = 0;
+  for (nl::PinId ep : graph.endpoints()) {
+    if (graph.level(ep) <= 6) ++shallow;
+    if (graph.level(ep) >= graph.max_level() / 2) ++deep;
+  }
+  // The paper reports receptive fields from <10 pins to thousands; our
+  // endpoint depths must likewise cover both extremes.
+  EXPECT_GT(shallow, 0);
+  EXPECT_GT(deep, 0);
+}
+
+}  // namespace
+}  // namespace rtp::gen

@@ -1,0 +1,76 @@
+// End-to-end integration tests: dataset bundle construction, a miniature
+// TABLE II style train/evaluate round trip, and TABLE III accounting.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiments.hpp"
+
+namespace rtp::eval {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.scale = 0.01;
+  config.train_augment = 1;
+  config.model.epochs = 30;
+  config.model.grid = 32;
+  config.guo.epochs = 20;
+  config.local.epochs = 8;
+  return config;
+}
+
+TEST(Experiments, DatasetBundleHasPaperSplit) {
+  const ExperimentConfig config = tiny_config();
+  const DatasetBundle dataset = build_dataset(config);
+  EXPECT_EQ(dataset.designs.size(), 10u);
+  EXPECT_EQ(dataset.train_designs().size(), 5u);
+  EXPECT_EQ(dataset.test_designs().size(), 5u);
+  for (const auto* d : dataset.test_designs()) EXPECT_FALSE(d->is_train);
+}
+
+TEST(Experiments, AugmentationAddsTrainOnlyDesigns) {
+  ExperimentConfig config = tiny_config();
+  config.train_augment = 2;
+  const DatasetBundle dataset = build_dataset(config);
+  EXPECT_EQ(dataset.augmented.size(), 5u);
+  EXPECT_EQ(dataset.train_designs().size(), 10u);
+  EXPECT_EQ(dataset.test_designs().size(), 5u);
+  for (const auto& d : dataset.augmented) EXPECT_TRUE(d.is_train);
+}
+
+TEST(Experiments, MiniTableTwoProducesFiniteScores) {
+  const ExperimentConfig config = tiny_config();
+  const DatasetBundle dataset = build_dataset(config);
+  const TableTwoResult result = run_table2(dataset, config);
+  ASSERT_EQ(result.rows.size(), 6u);  // 5 test designs + avg
+  EXPECT_EQ(result.rows.back().name, "avg");
+  for (const TableTwoRow& row : result.rows) {
+    for (double v : {row.ep_dac19, row.ep_he, row.ep_guo, row.ep_cnn_only,
+                     row.ep_gnn_only, row.ep_full}) {
+      EXPECT_TRUE(std::isfinite(v)) << row.name;
+      EXPECT_LE(v, 1.0) << row.name;
+    }
+  }
+  // Our full model must fit its own training data far better than chance;
+  // at this miniature scale we only smoke-test the test-set plumbing.
+}
+
+TEST(Experiments, TableThreeAccountingConsistent) {
+  const ExperimentConfig config = tiny_config();
+  const DatasetBundle dataset = build_dataset(config);
+  model::FusionModel model(config.model);
+  model.set_label_stats(1000.0f, 300.0f);
+  const auto rows = run_table3(dataset, model, config);
+  ASSERT_EQ(rows.size(), dataset.designs.size() + 1);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.opt_s, 0.0);
+    EXPECT_GT(row.route_s, 0.0);
+    EXPECT_GT(row.ours_total_s, 0.0);
+    EXPECT_NEAR(row.commercial_total_s, row.opt_s + row.route_s + row.sta_s, 1e-9);
+    EXPECT_NEAR(row.ours_total_s, row.pre_s + row.infer_s, 1e-9);
+    EXPECT_GT(row.speedup, 1.0) << row.name << ": routing must dominate";
+  }
+}
+
+}  // namespace
+}  // namespace rtp::eval

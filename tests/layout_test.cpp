@@ -1,0 +1,147 @@
+// Layout tests: grid map arithmetic, feature-map construction, mask
+// rasterization, and PGM export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "layout/feature_maps.hpp"
+
+namespace rtp::layout {
+namespace {
+
+TEST(GridMap, BinLookupsClampToEdges) {
+  GridMap m(4, 8, Die{80.0, 40.0});
+  EXPECT_EQ(m.col_of(-5.0), 0);
+  EXPECT_EQ(m.col_of(79.9), 7);
+  EXPECT_EQ(m.col_of(1000.0), 7);
+  EXPECT_EQ(m.row_of(39.9), 3);
+  EXPECT_DOUBLE_EQ(m.bin_width(), 10.0);
+  EXPECT_DOUBLE_EQ(m.bin_height(), 10.0);
+}
+
+TEST(GridMap, SplatConservesMass) {
+  GridMap m(8, 8, Die{80.0, 80.0});
+  m.splat_rect(13.0, 27.0, 57.0, 63.0, 5.0);
+  double total = 0.0;
+  for (float v : m.values()) total += v;
+  EXPECT_NEAR(total, 5.0, 1e-5);
+}
+
+TEST(GridMap, SplatDegenerateRectStillDeposits) {
+  GridMap m(8, 8, Die{80.0, 80.0});
+  m.splat_rect(20.0, 20.0, 20.0, 20.0, 3.0);  // a point
+  double total = 0.0;
+  for (float v : m.values()) total += v;
+  EXPECT_NEAR(total, 3.0, 1e-5);
+}
+
+TEST(GridMap, NormalizeBoundsToUnit) {
+  GridMap m(2, 2, Die{2.0, 2.0});
+  m.at(0, 0) = 4.0f;
+  m.at(1, 1) = 2.0f;
+  m.normalize();
+  EXPECT_FLOAT_EQ(m.max_value(), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.5f);
+}
+
+TEST(GridMap, PgmRoundTripHeader) {
+  GridMap m(4, 4, Die{4.0, 4.0});
+  m.at(2, 2) = 1.0f;
+  const std::string path = "layout_test_tmp.pgm";
+  m.write_pgm(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fscanf(f, "%2s", magic), 1);
+  EXPECT_STREQ(magic, "P5");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+class MapFixture : public ::testing::Test {
+ protected:
+  nl::CellLibrary lib_ = nl::CellLibrary::standard();
+  nl::Netlist netlist_{&lib_};
+  Placement placement_{Die{40.0, 40.0}, 0, 0};
+
+  void SetUp() override {
+    const nl::PinId pi = netlist_.add_primary_input();
+    const nl::PinId po = netlist_.add_primary_output();
+    const nl::CellId inv = netlist_.add_cell(lib_.find(nl::GateKind::kInv, 1));
+    netlist_.add_sink(netlist_.add_net(pi), netlist_.cell(inv).inputs[0]);
+    netlist_.add_sink(netlist_.add_net(netlist_.cell(inv).output), po);
+    placement_ = Placement(Die{40.0, 40.0}, netlist_.num_cell_slots(),
+                           netlist_.num_pin_slots());
+    placement_.set_port_pos(pi, {0.0, 20.0});
+    placement_.set_cell_pos(inv, {20.0, 20.0});
+    placement_.set_port_pos(po, {40.0, 20.0});
+  }
+};
+
+TEST_F(MapFixture, DensityMassMatchesCellArea) {
+  const GridMap density = make_density_map(netlist_, placement_, 16, 16);
+  const double bin_area = density.bin_width() * density.bin_height();
+  double total = 0.0;
+  for (float v : density.values()) total += v * bin_area;
+  EXPECT_NEAR(total, lib_.cell(lib_.find(nl::GateKind::kInv, 1)).area, 1e-4);
+}
+
+TEST_F(MapFixture, RudyCoversNetBoundingBoxes) {
+  const GridMap rudy = make_rudy_map(netlist_, placement_, 16, 16);
+  // Both nets run along y = 20; the row holding y=20 must be loaded.
+  const int r = rudy.row_of(20.0);
+  double row_sum = 0.0;
+  for (int c = 0; c < 16; ++c) row_sum += rudy.at(r, c);
+  EXPECT_GT(row_sum, 0.0);
+  // Far corner untouched.
+  EXPECT_FLOAT_EQ(rudy.at(15, 15), 0.0f);
+}
+
+TEST_F(MapFixture, MacroMapSaturatesAtOne) {
+  placement_.add_macro(Macro{0.0, 0.0, 20.0, 20.0});
+  placement_.add_macro(Macro{0.0, 0.0, 20.0, 20.0});  // overlapping
+  const GridMap macro = make_macro_map(placement_, 8, 8);
+  EXPECT_FLOAT_EQ(macro.max_value(), 1.0f);
+  EXPECT_FLOAT_EQ(macro.at(7, 7), 0.0f);
+  EXPECT_TRUE(placement_.inside_macro({5.0, 5.0}));
+  EXPECT_FALSE(placement_.inside_macro({30.0, 30.0}));
+}
+
+TEST_F(MapFixture, StackedTensorIsNormalizedPerChannel) {
+  const GridMap d = make_density_map(netlist_, placement_, 8, 8);
+  const GridMap r = make_rudy_map(netlist_, placement_, 8, 8);
+  const GridMap m = make_macro_map(placement_, 8, 8);
+  const nn::Tensor x = stack_feature_maps(d, r, m);
+  EXPECT_EQ(x.dim(0), 3);
+  EXPECT_EQ(x.dim(1), 8);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_GE(x[i], 0.0f);
+    EXPECT_LE(x[i], 1.0f);
+  }
+}
+
+TEST(RasterizeBoxes, MarksExactlyTheUnion) {
+  std::vector<std::pair<Point, Point>> boxes = {
+      {{0.0, 0.0}, {10.0, 10.0}},   // lower-left quadrant bins
+      {{30.0, 30.0}, {39.0, 39.0}}  // upper-right corner
+  };
+  const GridMap mask = rasterize_boxes(boxes, 4, 4, Die{40.0, 40.0});
+  EXPECT_FLOAT_EQ(mask.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(0, 1), 1.0f);  // box touches x = 10 = bin 1 boundary
+  EXPECT_FLOAT_EQ(mask.at(3, 3), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(mask.at(0, 3), 0.0f);
+}
+
+TEST(RasterizeBoxes, DegenerateSegmentMarksItsBins) {
+  // Vertical zero-width segment spanning two rows.
+  std::vector<std::pair<Point, Point>> boxes = {{{5.0, 5.0}, {5.0, 15.0}}};
+  const GridMap mask = rasterize_boxes(boxes, 4, 4, Die{40.0, 40.0});
+  EXPECT_FLOAT_EQ(mask.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(2, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace rtp::layout

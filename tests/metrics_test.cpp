@@ -1,0 +1,78 @@
+// Metric and table-formatting tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+
+namespace rtp::eval {
+namespace {
+
+TEST(R2, PerfectPredictionIsOne) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, y), 1.0);
+}
+
+TEST(R2, MeanPredictorIsZero) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> p(4, 2.5);
+  EXPECT_NEAR(r2_score(y, p), 0.0, 1e-12);
+}
+
+TEST(R2, WorseThanMeanIsNegative) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const std::vector<double> p = {3.0, 2.0, 1.0};  // anti-correlated
+  EXPECT_LT(r2_score(y, p), 0.0);
+}
+
+TEST(R2, InvariantToTargetShift) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 5.0};
+  const std::vector<double> p = {1.1, 1.9, 3.2, 4.9};
+  std::vector<double> y2, p2;
+  for (double v : y) y2.push_back(v + 100.0);
+  for (double v : p) p2.push_back(v + 100.0);
+  EXPECT_NEAR(r2_score(y, p), r2_score(y2, p2), 1e-12);
+}
+
+TEST(Mae, HandValue) {
+  const std::vector<double> y = {0.0, 2.0};
+  const std::vector<double> p = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(mae(y, p), 1.5);
+}
+
+TEST(Rmse, HandValue) {
+  const std::vector<double> y = {0.0, 0.0};
+  const std::vector<double> p = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(y, p), std::sqrt(12.5));
+}
+
+TEST(Pearson, PerfectAndAnti) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, ScaleFreeUnlikeR2) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const std::vector<double> p = {10.0, 20.0, 30.0};  // right shape, wrong scale
+  EXPECT_NEAR(pearson(y, p), 1.0, 1e-12);
+  EXPECT_LT(r2_score(y, p), 0.0);
+}
+
+TEST(TableFormat, AlignsAndFormats) {
+  Table t({"a", "long_header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("yyyy"), std::string::npos);
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.1234), "12.3%");
+}
+
+}  // namespace
+}  // namespace rtp::eval

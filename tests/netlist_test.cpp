@@ -1,0 +1,202 @@
+// Unit tests for the cell library and the mutable netlist data model.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtp::nl {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = CellLibrary::standard();
+};
+
+TEST_F(NetlistTest, LibraryHasAllKindsInFourDrives) {
+  for (int k = 0; k < kNumGateKinds; ++k) {
+    const auto& variants = lib_.variants(static_cast<GateKind>(k));
+    ASSERT_EQ(variants.size(), 4u) << gate_kind_name(static_cast<GateKind>(k));
+    for (std::size_t i = 1; i < variants.size(); ++i) {
+      EXPECT_GT(lib_.cell(variants[i]).drive, lib_.cell(variants[i - 1]).drive);
+    }
+  }
+}
+
+TEST_F(NetlistTest, UpsizeLowersResistanceRaisesCapAndArea) {
+  const LibCellId x1 = lib_.find(GateKind::kNand2, 1);
+  const LibCellId x2 = lib_.upsize(x1);
+  ASSERT_NE(x2, kInvalidId);
+  EXPECT_LT(lib_.cell(x2).drive_res, lib_.cell(x1).drive_res);
+  EXPECT_GT(lib_.cell(x2).input_cap, lib_.cell(x1).input_cap);
+  EXPECT_GT(lib_.cell(x2).area, lib_.cell(x1).area);
+  EXPECT_EQ(lib_.downsize(x2), x1);
+}
+
+TEST_F(NetlistTest, UpsizeAtTopReturnsInvalid) {
+  const LibCellId x8 = lib_.find(GateKind::kInv, 8);
+  EXPECT_EQ(lib_.upsize(x8), kInvalidId);
+  const LibCellId x1 = lib_.find(GateKind::kInv, 1);
+  EXPECT_EQ(lib_.downsize(x1), kInvalidId);
+}
+
+TEST_F(NetlistTest, BuildTinyCircuitAndValidate) {
+  // PI -> INV -> PO
+  Netlist nl(&lib_);
+  const PinId pi = nl.add_primary_input();
+  const PinId po = nl.add_primary_output();
+  const CellId inv = nl.add_cell(lib_.find(GateKind::kInv, 1));
+  const NetId n1 = nl.add_net(pi);
+  nl.add_sink(n1, nl.cell(inv).inputs[0]);
+  const NetId n2 = nl.add_net(nl.cell(inv).output);
+  nl.add_sink(n2, po);
+  nl.validate();
+  EXPECT_EQ(nl.num_cells(), 1);
+  EXPECT_EQ(nl.num_nets(), 2);
+  EXPECT_EQ(nl.num_net_edges(), 2);
+  EXPECT_EQ(nl.num_cell_edges(), 1);
+  EXPECT_EQ(nl.num_pins(), 4);
+}
+
+TEST_F(NetlistTest, EndpointsAreDffDPinsAndPrimaryOutputs) {
+  Netlist nl(&lib_);
+  const PinId pi = nl.add_primary_input();
+  const PinId po = nl.add_primary_output();
+  const CellId dff = nl.add_cell(lib_.find(GateKind::kDff, 1));
+  const NetId n1 = nl.add_net(pi);
+  nl.add_sink(n1, nl.cell(dff).inputs[0]);
+  const NetId n2 = nl.add_net(nl.cell(dff).output);
+  nl.add_sink(n2, po);
+  nl.validate();
+  const auto endpoints = nl.endpoints();
+  ASSERT_EQ(endpoints.size(), 2u);  // PO + DFF D pin
+  EXPECT_TRUE(nl.is_endpoint(po));
+  EXPECT_TRUE(nl.is_endpoint(nl.cell(dff).inputs[0]));
+  EXPECT_FALSE(nl.is_endpoint(nl.cell(dff).output));
+  const auto launches = nl.launch_points();
+  ASSERT_EQ(launches.size(), 2u);  // PI + DFF Q pin
+}
+
+TEST_F(NetlistTest, DisconnectAndRemoveTombstones) {
+  Netlist nl(&lib_);
+  const PinId pi = nl.add_primary_input();
+  const CellId inv = nl.add_cell(lib_.find(GateKind::kInv, 1));
+  const NetId n1 = nl.add_net(pi);
+  nl.add_sink(n1, nl.cell(inv).inputs[0]);
+  nl.disconnect_sink(nl.cell(inv).inputs[0]);
+  EXPECT_TRUE(nl.net(n1).sinks.empty());
+  nl.remove_cell(inv);
+  EXPECT_FALSE(nl.cell_alive(inv));
+  EXPECT_FALSE(nl.pin_alive(nl.cell(inv).output));
+  nl.remove_net(n1);
+  EXPECT_FALSE(nl.net_alive(n1));
+  EXPECT_EQ(nl.pin(pi).net, kInvalidId);
+  nl.validate();
+  EXPECT_EQ(nl.num_cells(), 0);
+}
+
+TEST_F(NetlistTest, ResizeKeepsKindRemapKeepsArity) {
+  Netlist nl(&lib_);
+  const CellId c = nl.add_cell(lib_.find(GateKind::kNand2, 1));
+  nl.resize_cell(c, lib_.find(GateKind::kNand2, 4));
+  EXPECT_EQ(nl.lib_cell(c).drive, 4);
+  nl.remap_cell(c, lib_.find(GateKind::kXor2, 4));
+  EXPECT_EQ(nl.lib_cell(c).kind, GateKind::kXor2);
+  EXPECT_EQ(static_cast<int>(nl.cell(c).inputs.size()), 2);
+  nl.validate();
+}
+
+TEST_F(NetlistTest, MultiSinkNetCountsEdges) {
+  Netlist nl(&lib_);
+  const PinId pi = nl.add_primary_input();
+  const NetId n = nl.add_net(pi);
+  for (int i = 0; i < 3; ++i) nl.add_sink(n, nl.add_primary_output());
+  EXPECT_EQ(nl.num_net_edges(), 3);
+  nl.validate();
+}
+
+TEST_F(NetlistTest, SummaryMentionsCounts) {
+  Netlist nl(&lib_);
+  nl.add_primary_input();
+  EXPECT_NE(nl.summary().find("pins=1"), std::string::npos);
+}
+
+/// Property: a random sequence of legal mutations keeps the netlist valid and
+/// keeps the edge-count bookkeeping consistent with first-principles recount.
+class NetlistFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetlistFuzzTest, RandomMutationSequencesStayConsistent) {
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib);
+  rtp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  std::vector<PinId> drivers;   // pins that may drive a (possibly new) net
+  std::vector<CellId> cells;
+  for (int i = 0; i < 5; ++i) drivers.push_back(nl.add_primary_input());
+
+  for (int step = 0; step < 200; ++step) {
+    const int op = static_cast<int>(rng.index(5));
+    if (op == 0) {  // add a gate fed by random existing drivers
+      const GateKind kind = static_cast<GateKind>(rng.index(kNumGateKinds - 1));
+      const CellId c = nl.add_cell(lib.find(kind, 1 << rng.index(4)));
+      cells.push_back(c);
+      for (PinId in : nl.cell(c).inputs) {
+        const PinId d = drivers[static_cast<std::size_t>(rng.index(drivers.size()))];
+        if (!nl.pin_alive(d)) continue;
+        NetId net = nl.pin(d).net;
+        if (net == kInvalidId) net = nl.add_net(d);
+        nl.add_sink(net, in);
+      }
+      drivers.push_back(nl.cell(c).output);
+    } else if (op == 1 && !cells.empty()) {  // resize
+      const CellId c = cells[static_cast<std::size_t>(rng.index(cells.size()))];
+      if (nl.cell_alive(c)) {
+        const LibCellId up = lib.upsize(nl.cell(c).lib);
+        if (up != kInvalidId) nl.resize_cell(c, up);
+      }
+    } else if (op == 2 && !cells.empty()) {  // remap same-arity
+      const CellId c = cells[static_cast<std::size_t>(rng.index(cells.size()))];
+      if (nl.cell_alive(c) && !nl.lib_cell(c).is_sequential() &&
+          nl.lib_cell(c).num_inputs() == 2) {
+        nl.remap_cell(c, lib.find(GateKind::kXor2, nl.lib_cell(c).drive));
+      }
+    } else if (op == 3) {  // attach a fresh PO to a random driver
+      const PinId d = drivers[static_cast<std::size_t>(rng.index(drivers.size()))];
+      if (nl.pin_alive(d)) {
+        NetId net = nl.pin(d).net;
+        if (net == kInvalidId) net = nl.add_net(d);
+        nl.add_sink(net, nl.add_primary_output());
+      }
+    } else if (op == 4 && !cells.empty()) {  // delete a cell with unused output
+      const CellId c = cells[static_cast<std::size_t>(rng.index(cells.size()))];
+      if (nl.cell_alive(c)) {
+        const Pin& out = nl.pin(nl.cell(c).output);
+        const bool out_free =
+            out.net == kInvalidId || nl.net(out.net).sinks.empty();
+        if (out_free) {
+          if (out.net != kInvalidId) nl.remove_net(out.net);
+          for (PinId in : nl.cell(c).inputs) {
+            if (nl.pin(in).net != kInvalidId) nl.disconnect_sink(in);
+          }
+          nl.remove_cell(c);
+        }
+      }
+    }
+  }
+  nl.validate();
+  // Recount edges from first principles.
+  int net_edges = 0, cell_edges = 0;
+  for (NetId n = 0; n < nl.num_net_slots(); ++n) {
+    if (nl.net_alive(n)) net_edges += static_cast<int>(nl.net(n).sinks.size());
+  }
+  for (CellId c = 0; c < nl.num_cell_slots(); ++c) {
+    if (nl.cell_alive(c)) cell_edges += static_cast<int>(nl.cell(c).inputs.size());
+  }
+  EXPECT_EQ(net_edges, nl.num_net_edges());
+  EXPECT_EQ(cell_edges, nl.num_cell_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetlistFuzzTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rtp::nl

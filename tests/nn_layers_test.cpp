@@ -1,0 +1,246 @@
+// Gradient checks (central finite differences) for every trainable layer,
+// plus optimizer behaviour tests. These pin down the from-scratch backprop
+// that the whole model stack relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "nn/adam.hpp"
+#include "nn/conv.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+
+namespace rtp::nn {
+namespace {
+
+/// Numerically checks d(sum of f(x)) / d(param or input) against an analytic
+/// gradient. The network is piecewise linear (ReLU, max), so a perturbation
+/// can cross a kink; the analytic gradient is accepted if it lies within the
+/// bracket of the two one-sided slopes (with tolerance) — at a kink the true
+/// subgradient is anywhere between them.
+void check_grad(const std::function<float()>& loss, Tensor& values,
+                const Tensor& analytic, float eps = 1e-2f, float tol = 0.08f) {
+  ASSERT_EQ(values.numel(), analytic.numel());
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < analytic.numel(); ++i) {
+    max_abs = std::max(max_abs, std::abs(analytic[i]));
+  }
+  const float mid = loss();
+  for (std::size_t i = 0; i < values.numel(); i += std::max<std::size_t>(1, values.numel() / 24)) {
+    const float saved = values[i];
+    values[i] = saved + eps;
+    const float up = loss();
+    values[i] = saved - eps;
+    const float down = loss();
+    values[i] = saved;
+    const float slope_fwd = (up - mid) / eps;
+    const float slope_bwd = (mid - down) / eps;
+    const float lo = std::min(slope_fwd, slope_bwd);
+    const float hi = std::max(slope_fwd, slope_bwd);
+    const float slack = tol * std::max(1.0f, max_abs);
+    EXPECT_GE(analytic[i], lo - slack) << "at flat index " << i;
+    EXPECT_LE(analytic[i], hi + slack) << "at flat index " << i;
+  }
+}
+
+Tensor ones_like(const Tensor& t) { return Tensor::full(t.shape(), 1.0f); }
+
+TEST(Linear, GradientCheck) {
+  Rng rng(1);
+  Linear layer(5, 3, rng);
+  const Tensor x = Tensor::uniform({4, 5}, 1.0f, rng);
+  auto loss = [&] { return Linear(layer).forward(x).sum(); };
+  Tensor out = layer.forward(x);
+  const Tensor gx = layer.backward(ones_like(out));
+  check_grad(loss, layer.weight().value, layer.weight().grad);
+  check_grad(loss, layer.bias().value, layer.bias().grad);
+  // Input gradient: loss as function of x.
+  Tensor x_mut = x;
+  auto loss_x = [&] { return layer.forward(x_mut).sum(); };
+  check_grad(loss_x, x_mut, gx);
+}
+
+TEST(ReLULayer, ForwardBackward) {
+  ReLU relu;
+  Tensor x({4});
+  x.at(0) = -1.0f;
+  x.at(1) = 0.0f;
+  x.at(2) = 2.0f;
+  x.at(3) = -0.5f;
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 2.0f);
+  const Tensor g = relu.backward(Tensor::full({4}, 1.0f));
+  EXPECT_FLOAT_EQ(g.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(2), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(3), 0.0f);
+}
+
+TEST(MlpLayer, GradientCheckThroughTwoHiddenLayers) {
+  Rng rng(2);
+  Mlp mlp({4, 8, 8, 2}, rng);
+  Tensor x = Tensor::uniform({3, 4}, 1.0f, rng);
+  auto loss = [&] {
+    MlpCache cache;
+    return mlp.forward(x, &cache).sum();
+  };
+  MlpCache cache;
+  Tensor out = mlp.forward(x, &cache);
+  const Tensor gx = mlp.backward(ones_like(out), cache);
+  for (Param* p : mlp.params()) {
+    check_grad(loss, p->value, p->grad);
+    p->zero_grad();
+  }
+  auto loss_x = [&] {
+    MlpCache c;
+    return mlp.forward(x, &c).sum();
+  };
+  check_grad(loss_x, x, gx);
+}
+
+TEST(MlpLayer, StatelessCachesAccumulateAcrossTwoApplications) {
+  // One Mlp applied twice (as in the level-synchronous GNN); total gradient
+  // must equal the sum of both applications' gradients.
+  Rng rng(3);
+  Mlp mlp({3, 6, 2}, rng);
+  const Tensor x1 = Tensor::uniform({2, 3}, 1.0f, rng);
+  const Tensor x2 = Tensor::uniform({2, 3}, 1.0f, rng);
+  auto loss = [&] {
+    MlpCache c1, c2;
+    return mlp.forward(x1, &c1).sum() + mlp.forward(x2, &c2).sum();
+  };
+  MlpCache c1, c2;
+  Tensor o1 = mlp.forward(x1, &c1);
+  Tensor o2 = mlp.forward(x2, &c2);
+  mlp.backward(ones_like(o1), c1);
+  mlp.backward(ones_like(o2), c2);
+  for (Param* p : mlp.params()) check_grad(loss, p->value, p->grad);
+}
+
+TEST(Conv2dLayer, GradientCheck) {
+  Rng rng(4);
+  Conv2d conv(2, 3, 3, 1, rng);
+  Tensor x = Tensor::uniform({2, 6, 6}, 1.0f, rng);
+  auto loss = [&] { return Conv2d(conv).forward(x).sum(); };
+  Tensor out = conv.forward(x);
+  const Tensor gx = conv.backward(ones_like(out));
+  for (Param* p : conv.params()) check_grad(loss, p->value, p->grad);
+  auto loss_x = [&] { return conv.forward(x).sum(); };
+  check_grad(loss_x, x, gx);
+}
+
+TEST(Conv2dLayer, OutputShapeWithPadding) {
+  Rng rng(5);
+  Conv2d conv(3, 8, 3, 1, rng);
+  const Tensor y = conv.forward(Tensor({3, 16, 16}));
+  EXPECT_EQ(y.dim(0), 8);
+  EXPECT_EQ(y.dim(1), 16);
+  EXPECT_EQ(y.dim(2), 16);
+}
+
+TEST(MaxPool2dLayer, ForwardSelectsMaxAndRoutesGradient) {
+  MaxPool2d pool(2);
+  Tensor x({1, 2, 2});
+  x.at(0, 0, 0) = 1.0f;
+  x.at(0, 0, 1) = 5.0f;
+  x.at(0, 1, 0) = 2.0f;
+  x.at(0, 1, 1) = 3.0f;
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 5.0f);
+  const Tensor g = pool.backward(Tensor::full({1, 1, 1}, 2.0f));
+  EXPECT_FLOAT_EQ(g.at(0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 0, 0), 0.0f);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor pred({2, 1}), target({2, 1});
+  pred.at(0, 0) = 1.0f;
+  pred.at(1, 0) = 3.0f;
+  target.at(0, 0) = 0.0f;
+  target.at(1, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(mse_loss(pred, target), (1.0f + 4.0f) / 2.0f);
+  const Tensor g = mse_backward(pred, target);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 1.0f);    // 2 * 1 / 2
+  EXPECT_FLOAT_EQ(g.at(1, 0), -2.0f);   // 2 * -2 / 2
+}
+
+TEST(AdamOptimizer, FitsLinearRegression) {
+  Rng rng(6);
+  Linear layer(2, 1, rng);
+  Adam adam(layer.params());
+  adam.config().lr = 0.05f;
+  // Target function y = 2 x0 - x1 + 0.5.
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::uniform({16, 2}, 1.0f, rng);
+    Tensor y({16, 1});
+    for (int i = 0; i < 16; ++i) y.at(i, 0) = 2.0f * x.at(i, 0) - x.at(i, 1) + 0.5f;
+    const Tensor pred = layer.forward(x);
+    layer.backward(mse_backward(pred, y));
+    adam.step();
+    adam.zero_grad();
+  }
+  EXPECT_NEAR(layer.weight().value.at(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(layer.weight().value.at(0, 1), -1.0f, 0.05f);
+  EXPECT_NEAR(layer.bias().value.at(0), 0.5f, 0.05f);
+}
+
+TEST(AdamOptimizer, WeightDecayShrinksWeights) {
+  Rng rng(7);
+  Linear layer(4, 4, rng);
+  AdamConfig config;
+  config.weight_decay = 0.1f;
+  Adam adam(layer.params(), config);
+  const float before = layer.weight().value.abs_mean();
+  for (int i = 0; i < 50; ++i) adam.step();  // zero gradients, decay only
+  EXPECT_LT(layer.weight().value.abs_mean(), before);
+}
+
+TEST(AdamOptimizer, GradClipBoundsUpdate) {
+  Rng rng(8);
+  Linear layer(2, 2, rng);
+  AdamConfig config;
+  config.grad_clip = 1.0f;
+  Adam adam(layer.params(), config);
+  layer.weight().grad.fill(1000.0f);
+  const Tensor before = layer.weight().value;
+  adam.step();
+  // Clipped first step magnitude is lr * mhat/sqrt(vhat) ~ lr.
+  for (std::size_t i = 0; i < before.numel(); ++i) {
+    EXPECT_LE(std::abs(layer.weight().value[i] - before[i]), 2e-3f);
+  }
+}
+
+TEST(Serialize, RoundTripRestoresWeightsAndScalars) {
+  Rng rng(9);
+  Mlp a({3, 5, 2}, rng);
+  const std::string path = "nn_serialize_test.ckpt";
+  save_params(path, a.params(), {42.0f, -1.5f});
+
+  Mlp b({3, 5, 2}, rng);  // different init
+  const std::vector<float> extra = load_params(path, b.params());
+  ASSERT_EQ(extra.size(), 2u);
+  EXPECT_FLOAT_EQ(extra[0], 42.0f);
+  EXPECT_FLOAT_EQ(extra[1], -1.5f);
+  const Tensor x = Tensor::uniform({4, 3}, 1.0f, rng);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeDeathTest, ShapeMismatchAborts) {
+  Rng rng(10);
+  Mlp a({3, 5, 2}, rng);
+  const std::string path = "nn_serialize_mismatch.ckpt";
+  save_params(path, a.params());
+  Mlp wrong({3, 6, 2}, rng);
+  EXPECT_DEATH(load_params(path, wrong.params()), "mismatch");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtp::nn

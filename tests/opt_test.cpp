@@ -1,0 +1,142 @@
+// Timing-optimizer tests: the paper's key structural guarantees — endpoints
+// are never replaced, the netlist stays a valid DAG, timing improves, and
+// the replacement ratios land near the calibrated targets — swept over
+// benchmarks (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit_generator.hpp"
+#include "opt/optimizer.hpp"
+#include "place/placer.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::opt {
+namespace {
+
+struct OptCase {
+  const char* name;
+  double scale;
+};
+
+class OptimizerTest : public ::testing::TestWithParam<OptCase> {
+ protected:
+  struct Run {
+    nl::Netlist netlist;
+    layout::Placement placement;
+    std::vector<nl::PinId> endpoints_before;
+    OptimizerReport report;
+    gen::BenchmarkSpec spec;
+  };
+
+  Run run_optimizer() {
+    const nl::CellLibrary& lib = library();
+    const auto specs = gen::paper_benchmarks();
+    const gen::BenchmarkSpec spec = gen::benchmark_by_name(specs, GetParam().name);
+    gen::CircuitGenerator generator(lib);
+    Run r{generator.generate(spec, GetParam().scale).netlist, layout::Placement{}, {},
+          {}, spec};
+    place::PlacerConfig pc;
+    pc.utilization = spec.utilization;
+    pc.num_macros = spec.num_macros;
+    pc.seed = spec.seed;
+    r.placement = place::Placer(pc).place(r.netlist);
+    r.endpoints_before = r.netlist.endpoints();
+
+    OptimizerConfig config;
+    config.sta.delay.tech.clock_period = 600.0;  // force violations
+    config.target_net_replaced = spec.target_net_replaced;
+    config.target_cell_replaced = spec.target_cell_replaced;
+    config.seed = 9;
+    r.report = TimingOptimizer(config).optimize(r.netlist, r.placement);
+    return r;
+  }
+
+  static const nl::CellLibrary& library() {
+    static nl::CellLibrary lib = nl::CellLibrary::standard();
+    return lib;
+  }
+};
+
+TEST_P(OptimizerTest, EndpointsNeverReplaced) {
+  const Run r = run_optimizer();
+  const std::vector<nl::PinId> after = r.netlist.endpoints();
+  ASSERT_EQ(after.size(), r.endpoints_before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_TRUE(r.netlist.pin_alive(r.endpoints_before[i]));
+  }
+}
+
+TEST_P(OptimizerTest, NetlistStaysValidDag) {
+  const Run r = run_optimizer();
+  r.netlist.validate();
+  // TimingGraph construction aborts on combinational cycles.
+  tg::TimingGraph graph(r.netlist);
+  EXPECT_GT(graph.num_edges(), 0);
+}
+
+TEST_P(OptimizerTest, TimingImproves) {
+  const Run r = run_optimizer();
+  EXPECT_GE(r.report.wns_after, r.report.wns_before);
+  EXPECT_GE(r.report.tns_after, r.report.tns_before);
+  EXPECT_LT(r.report.wns_before, 0.0);  // the clock did force violations
+}
+
+TEST_P(OptimizerTest, ReplacementRatiosNearTargets) {
+  const Run r = run_optimizer();
+  const double net_ratio = r.report.replaced_net_edge_ratio(r.netlist);
+  const double cell_ratio = r.report.replaced_cell_edge_ratio(r.netlist);
+  // Moves are space-gated, so undershoot is possible; gross overshoot is not.
+  EXPECT_LE(net_ratio, r.spec.target_net_replaced + 0.15);
+  EXPECT_LE(cell_ratio, r.spec.target_cell_replaced + 0.15);
+  EXPECT_GT(net_ratio, 0.3 * r.spec.target_net_replaced);
+  EXPECT_GT(cell_ratio, 0.3 * r.spec.target_cell_replaced);
+}
+
+TEST_P(OptimizerTest, ReplacedFlagsConsistentWithCounts) {
+  const Run r = run_optimizer();
+  int net_edges = 0;
+  for (nl::NetId n = 0; n < r.report.original_net_slots; ++n) {
+    if (r.report.net_replaced[static_cast<std::size_t>(n)]) ++net_edges;
+  }
+  EXPECT_GT(r.report.replaced_net_edges, 0);
+  EXPECT_GE(r.report.replaced_net_edges, net_edges);  // edges >= nets flagged
+  EXPECT_GT(r.report.moves_restructure + r.report.moves_buffer, 0);
+}
+
+TEST_P(OptimizerTest, DeterministicForFixedSeed) {
+  const Run a = run_optimizer();
+  const Run b = run_optimizer();
+  EXPECT_EQ(a.netlist.summary(), b.netlist.summary());
+  EXPECT_EQ(a.report.moves_sizing, b.report.moves_sizing);
+  EXPECT_EQ(a.report.moves_restructure, b.report.moves_restructure);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, OptimizerTest,
+                         ::testing::Values(OptCase{"xgate", 0.1},
+                                           OptCase{"steelcore", 0.1},
+                                           OptCase{"chacha", 0.05},
+                                           OptCase{"rocket", 0.01}));
+
+TEST(OptimizerUnits, NewCellsGetPlacedInsideDie) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  gen::CircuitGenerator generator(lib);
+  nl::Netlist netlist =
+      generator.generate(gen::benchmark_by_name(specs, "xgate"), 0.1).netlist;
+  place::PlacerConfig pc;
+  layout::Placement placement = place::Placer(pc).place(netlist);
+  OptimizerConfig config;
+  config.sta.delay.tech.clock_period = 500.0;
+  TimingOptimizer(config).optimize(netlist, placement);
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (!netlist.cell_alive(c)) continue;
+    const layout::Point p = placement.cell_pos(c);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, placement.die().width);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, placement.die().height);
+  }
+}
+
+}  // namespace
+}  // namespace rtp::opt

@@ -1,0 +1,122 @@
+// Placer tests: legality (inside die, outside macros), determinism, and
+// clustering quality (placement beats random on wirelength).
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit_generator.hpp"
+#include "layout/feature_maps.hpp"
+#include "place/placer.hpp"
+
+namespace rtp::place {
+namespace {
+
+class PlacerTest : public ::testing::Test {
+ protected:
+  nl::CellLibrary lib_ = nl::CellLibrary::standard();
+  std::vector<gen::BenchmarkSpec> specs_ = gen::paper_benchmarks();
+
+  nl::Netlist make_design(const char* name, double scale) {
+    gen::CircuitGenerator generator(lib_);
+    return generator.generate(gen::benchmark_by_name(specs_, name), scale).netlist;
+  }
+
+  static double total_hpwl(const nl::Netlist& netlist, const layout::Placement& p) {
+    double total = 0.0;
+    for (nl::NetId n = 0; n < netlist.num_net_slots(); ++n) {
+      if (!netlist.net_alive(n)) continue;
+      const nl::Net& net = netlist.net(n);
+      layout::Point lo = p.pin_pos(netlist, net.driver), hi = lo;
+      for (nl::PinId s : net.sinks) {
+        const layout::Point q = p.pin_pos(netlist, s);
+        lo.x = std::min(lo.x, q.x);
+        lo.y = std::min(lo.y, q.y);
+        hi.x = std::max(hi.x, q.x);
+        hi.y = std::max(hi.y, q.y);
+      }
+      total += (hi.x - lo.x) + (hi.y - lo.y);
+    }
+    return total;
+  }
+};
+
+TEST_F(PlacerTest, AllCellsInsideDieAndOutsideMacros) {
+  const nl::Netlist netlist = make_design("steelcore", 0.2);
+  PlacerConfig config;
+  config.num_macros = 2;
+  const layout::Placement placement = Placer(config).place(netlist);
+  EXPECT_EQ(placement.macros().size(), 2u);
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (!netlist.cell_alive(c)) continue;
+    const layout::Point p = placement.cell_pos(c);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, placement.die().width);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, placement.die().height);
+    EXPECT_FALSE(placement.inside_macro(p));
+  }
+}
+
+TEST_F(PlacerTest, DeterministicForFixedSeed) {
+  const nl::Netlist netlist = make_design("xgate", 0.2);
+  PlacerConfig config;
+  config.seed = 5;
+  const layout::Placement a = Placer(config).place(netlist);
+  const layout::Placement b = Placer(config).place(netlist);
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (!netlist.cell_alive(c)) continue;
+    EXPECT_DOUBLE_EQ(a.cell_pos(c).x, b.cell_pos(c).x);
+    EXPECT_DOUBLE_EQ(a.cell_pos(c).y, b.cell_pos(c).y);
+  }
+}
+
+TEST_F(PlacerTest, BeatsRandomPlacementOnWirelength) {
+  const nl::Netlist netlist = make_design("steelcore", 0.3);
+  PlacerConfig config;
+  const layout::Placement placed = Placer(config).place(netlist);
+  // Random reference on the same die.
+  layout::Placement random_p = placed;
+  Rng rng(123);
+  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
+    if (!netlist.cell_alive(c)) continue;
+    random_p.set_cell_pos(c, {rng.uniform(0.0, placed.die().width),
+                              rng.uniform(0.0, placed.die().height)});
+  }
+  EXPECT_LT(total_hpwl(netlist, placed), 0.8 * total_hpwl(netlist, random_p));
+}
+
+TEST_F(PlacerTest, UtilizationControlsDieArea) {
+  const nl::Netlist netlist = make_design("xgate", 0.2);
+  PlacerConfig dense, sparse;
+  dense.utilization = 0.8;
+  sparse.utilization = 0.4;
+  const layout::Placement pd = Placer(dense).place(netlist);
+  const layout::Placement ps = Placer(sparse).place(netlist);
+  EXPECT_LT(pd.die().width, ps.die().width);
+}
+
+TEST_F(PlacerTest, PortsLieOnDieBoundary) {
+  const nl::Netlist netlist = make_design("xgate", 0.1);
+  const layout::Placement p = Placer(PlacerConfig{}).place(netlist);
+  for (nl::PinId pi : netlist.primary_inputs()) {
+    EXPECT_DOUBLE_EQ(p.pin_pos(netlist, pi).x, 0.0);
+  }
+  for (nl::PinId po : netlist.primary_outputs()) {
+    EXPECT_DOUBLE_EQ(p.pin_pos(netlist, po).x, p.die().width);
+  }
+}
+
+TEST_F(PlacerTest, SpreadingBoundsPeakDensity) {
+  const nl::Netlist netlist = make_design("steelcore", 0.3);
+  PlacerConfig config;
+  config.max_bin_util = 0.8;
+  const layout::Placement p = Placer(config).place(netlist);
+  const layout::GridMap density =
+      layout::make_density_map(netlist, p, config.spread_grid, config.spread_grid);
+  // The legalization grid guarantees no bin is wildly over capacity. (The
+  // bound is loose: spreading moves whole cells through 4-neighbour bins and
+  // plateaus can strand a modest surplus.)
+  EXPECT_LT(density.max_value(), 4.0f * config.max_bin_util);
+}
+
+}  // namespace
+}  // namespace rtp::place

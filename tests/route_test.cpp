@@ -1,0 +1,115 @@
+// Global-router tests: coverage, length lower bounds, congestion response,
+// and determinism.
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit_generator.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+
+namespace rtp::route {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  nl::CellLibrary lib_ = nl::CellLibrary::standard();
+
+  struct Placed {
+    nl::Netlist netlist;
+    layout::Placement placement;
+  };
+
+  Placed make_placed(const char* name, double scale) {
+    const auto specs = gen::paper_benchmarks();
+    gen::CircuitGenerator generator(lib_);
+    Placed out{generator.generate(gen::benchmark_by_name(specs, name), scale).netlist,
+               layout::Placement{}};
+    place::PlacerConfig config;
+    config.seed = 3;
+    out.placement = place::Placer(config).place(out.netlist);
+    return out;
+  }
+};
+
+TEST_F(RouterTest, EverySinkGetsARoutedLength) {
+  Placed d = make_placed("xgate", 0.2);
+  const RouteResult r = GlobalRouter(RouterConfig{}).route(d.netlist, d.placement);
+  int sinks = 0;
+  for (nl::NetId n = 0; n < d.netlist.num_net_slots(); ++n) {
+    if (!d.netlist.net_alive(n)) continue;
+    for (nl::PinId s : d.netlist.net(n).sinks) {
+      ++sinks;
+      EXPECT_GE(r.routed_length[static_cast<std::size_t>(s)], 0.0);
+    }
+  }
+  EXPECT_EQ(r.segments_routed, sinks);
+  EXPECT_GT(r.total_wirelength, 0.0);
+}
+
+TEST_F(RouterTest, RoutedLengthAtLeastManhattan) {
+  Placed d = make_placed("steelcore", 0.2);
+  const RouteResult r = GlobalRouter(RouterConfig{}).route(d.netlist, d.placement);
+  for (nl::NetId n = 0; n < d.netlist.num_net_slots(); ++n) {
+    if (!d.netlist.net_alive(n)) continue;
+    const nl::Net& net = d.netlist.net(n);
+    const layout::Point dp = d.placement.pin_pos(d.netlist, net.driver);
+    for (nl::PinId s : net.sinks) {
+      const double manhattan =
+          layout::manhattan(dp, d.placement.pin_pos(d.netlist, s));
+      EXPECT_GE(r.routed_length[static_cast<std::size_t>(s)], manhattan - 1e-9);
+    }
+  }
+}
+
+TEST_F(RouterTest, Deterministic) {
+  Placed d = make_placed("xgate", 0.2);
+  const RouteResult a = GlobalRouter(RouterConfig{}).route(d.netlist, d.placement);
+  const RouteResult b = GlobalRouter(RouterConfig{}).route(d.netlist, d.placement);
+  EXPECT_EQ(a.total_wirelength, b.total_wirelength);
+  EXPECT_EQ(a.routed_length, b.routed_length);
+}
+
+TEST_F(RouterTest, UsageMapReflectsDemand) {
+  Placed d = make_placed("steelcore", 0.2);
+  const RouteResult r = GlobalRouter(RouterConfig{}).route(d.netlist, d.placement);
+  float peak = 0.0f;
+  double total = 0.0;
+  for (float v : r.usage.values()) {
+    EXPECT_GE(v, 0.0f);
+    peak = std::max(peak, v);
+    total += v;
+  }
+  EXPECT_GT(peak, 0.0f);
+  EXPECT_GT(total, 0.0);
+  EXPECT_GE(r.overflow_ratio, 0.0);
+  EXPECT_LE(r.overflow_ratio, 1.0);
+}
+
+TEST_F(RouterTest, TighterCapacityIncreasesDetours) {
+  Placed d = make_placed("steelcore", 0.3);
+  RouterConfig loose;
+  loose.capacity_scale = 8.0;
+  RouterConfig tight;
+  tight.capacity_scale = 0.4;
+  const RouteResult a = GlobalRouter(loose).route(d.netlist, d.placement);
+  const RouteResult b = GlobalRouter(tight).route(d.netlist, d.placement);
+  // Congested tracks force longer paths (or at least never shorter).
+  EXPECT_GE(b.total_wirelength, a.total_wirelength * 0.999);
+}
+
+TEST(Router, SingleSegmentStraightLine) {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  nl::Netlist netlist(&lib);
+  const nl::PinId pi = netlist.add_primary_input();
+  const nl::PinId po = netlist.add_primary_output();
+  netlist.add_sink(netlist.add_net(pi), po);
+  layout::Placement placement(layout::Die{96.0, 96.0}, 0, netlist.num_pin_slots());
+  placement.set_port_pos(pi, {1.0, 48.0});
+  placement.set_port_pos(po, {95.0, 48.0});
+  const RouteResult r = GlobalRouter(RouterConfig{}).route(netlist, placement);
+  const double routed = r.routed_length[static_cast<std::size_t>(po)];
+  EXPECT_NEAR(routed, 94.0, 20.0);  // near-straight route on an empty die
+}
+
+}  // namespace
+}  // namespace rtp::route

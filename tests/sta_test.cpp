@@ -1,0 +1,217 @@
+// STA engine tests: hand-checked arrivals on a tiny circuit, Elmore
+// monotonicity properties, PERT-equals-path-enumeration on generated designs,
+// and pre-route vs sign-off ordering.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "flow/dataset_flow.hpp"
+#include "gen/circuit_generator.hpp"
+#include "sta/sta.hpp"
+
+namespace rtp::sta {
+namespace {
+
+struct Fixture {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  nl::Netlist netlist{&lib};
+  nl::PinId pi, po;
+  nl::CellId inv;
+
+  layout::Placement make_placement(double wire_len) {
+    layout::Placement p(layout::Die{100.0, 100.0}, netlist.num_cell_slots(),
+                        netlist.num_pin_slots());
+    p.set_port_pos(pi, {0.0, 50.0});
+    p.set_cell_pos(inv, {wire_len, 50.0});
+    p.set_port_pos(po, {2.0 * wire_len, 50.0});
+    return p;
+  }
+
+  Fixture() {
+    pi = netlist.add_primary_input();
+    po = netlist.add_primary_output();
+    inv = netlist.add_cell(lib.find(nl::GateKind::kInv, 1));
+    netlist.add_sink(netlist.add_net(pi), netlist.cell(inv).inputs[0]);
+    netlist.add_sink(netlist.add_net(netlist.cell(inv).output), po);
+    netlist.validate();
+  }
+};
+
+TEST(Sta, HandComputedArrivalOnInverterChain) {
+  Fixture f;
+  const layout::Placement placement = f.make_placement(10.0);
+  tg::TimingGraph graph(f.netlist);
+  StaConfig config;
+  const StaResult r = run_sta(graph, placement, config);
+
+  const nl::Technology& tech = config.delay.tech;
+  const nl::LibCell& inv = f.lib.cell(f.netlist.cell(f.inv).lib);
+  // Net 1: 10 µm from PI to the inverter input.
+  const double wire_r1 = tech.wire_res_per_um * 10.0;
+  const double wire_c1 = tech.wire_cap_per_um * 10.0;
+  const double d_net1 = wire_r1 * (wire_c1 / 2.0 + inv.input_cap);
+  // Cell arc: intrinsic + R * (PO pin cap + wire cap of output net).
+  const double wire_c2 = tech.wire_cap_per_um * 10.0;
+  const double load = config.delay.po_pin_cap + wire_c2;
+  const double d_cell = inv.intrinsic + inv.drive_res * load;
+  const double wire_r2 = tech.wire_res_per_um * 10.0;
+  const double d_net2 = wire_r2 * (wire_c2 / 2.0 + config.delay.po_pin_cap);
+
+  EXPECT_NEAR(r.arrival_at(f.po), d_net1 + d_cell + d_net2, 1e-9);
+  ASSERT_EQ(r.endpoints.size(), 1u);
+  EXPECT_NEAR(r.endpoint_slack[0], tech.clock_period - r.endpoint_arrival[0], 1e-9);
+}
+
+TEST(Sta, ElmoreDelayMonotonicInWireLength) {
+  double prev = -1.0;
+  for (double len : {1.0, 5.0, 10.0, 20.0, 40.0}) {
+    Fixture f;
+    const layout::Placement placement = f.make_placement(len);
+    tg::TimingGraph graph(f.netlist);
+    const StaResult r = run_sta(graph, placement, StaConfig{});
+    EXPECT_GT(r.arrival_at(f.po), prev) << "len=" << len;
+    prev = r.arrival_at(f.po);
+  }
+}
+
+TEST(Sta, CellDelayMonotonicInDriveStrength) {
+  // Stronger driver -> lower resistance -> earlier arrival at PO.
+  double prev = 1e18;
+  for (int drive : {1, 2, 4, 8}) {
+    Fixture f;
+    f.netlist.resize_cell(f.inv, f.lib.find(nl::GateKind::kInv, drive));
+    const layout::Placement placement = f.make_placement(20.0);
+    tg::TimingGraph graph(f.netlist);
+    const StaResult r = run_sta(graph, placement, StaConfig{});
+    EXPECT_LT(r.arrival_at(f.po), prev);
+    prev = r.arrival_at(f.po);
+  }
+}
+
+TEST(Sta, SignOffSlowerThanPreRoute) {
+  Fixture f;
+  const layout::Placement placement = f.make_placement(20.0);
+  tg::TimingGraph graph(f.netlist);
+  StaConfig pre;
+  const StaResult r_pre = run_sta(graph, placement, pre);
+  layout::GridMap congestion(8, 8, placement.die());
+  for (float& v : congestion.values()) v = 0.5f;
+  StaConfig sign;
+  sign.delay.wire_model = WireModel::kSignOff;
+  sign.delay.congestion = &congestion;
+  const StaResult r_sign = run_sta(graph, placement, sign);
+  EXPECT_GT(r_sign.arrival_at(f.po), r_pre.arrival_at(f.po));
+}
+
+TEST(Sta, RoutedLengthOverridesHeuristic) {
+  Fixture f;
+  const layout::Placement placement = f.make_placement(20.0);
+  tg::TimingGraph graph(f.netlist);
+  layout::GridMap congestion(8, 8, placement.die());
+  std::vector<double> routed(static_cast<std::size_t>(f.netlist.num_pin_slots()), -1.0);
+  routed[static_cast<std::size_t>(f.po)] = 200.0;  // force a huge detour
+  StaConfig sign;
+  sign.delay.wire_model = WireModel::kSignOff;
+  sign.delay.congestion = &congestion;
+  StaConfig sign_routed = sign;
+  sign_routed.delay.routed_length = &routed;
+  const double base = run_sta(graph, placement, sign).arrival_at(f.po);
+  const double with_routed = run_sta(graph, placement, sign_routed).arrival_at(f.po);
+  EXPECT_GT(with_routed, base);
+}
+
+TEST(Sta, WnsTnsConsistentWithEndpointSlacks) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  gen::CircuitGenerator generator(lib);
+  nl::Netlist netlist =
+      generator.generate(gen::benchmark_by_name(specs, "xgate"), 0.05).netlist;
+  layout::Placement placement =
+      place::Placer(place::PlacerConfig{}).place(netlist);
+  tg::TimingGraph graph(netlist);
+  StaConfig config;
+  config.delay.tech.clock_period = 200.0;  // force violations
+  const StaResult r = run_sta(graph, placement, config);
+  double wns = 0.0, tns = 0.0;
+  for (double s : r.endpoint_slack) {
+    if (s < 0) {
+      tns += s;
+      wns = std::min(wns, s);
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.wns, wns);
+  EXPECT_DOUBLE_EQ(r.tns, tns);
+  EXPECT_LT(r.tns, 0.0);
+}
+
+TEST(Sta, RequiredTimeBackwardPass) {
+  Fixture f;
+  const layout::Placement placement = f.make_placement(15.0);
+  tg::TimingGraph graph(f.netlist);
+  const StaResult r = run_sta(graph, placement, StaConfig{});
+  // Single path: every pin on it carries the endpoint's slack.
+  const double endpoint_slack = r.endpoint_slack[0];
+  for (nl::PinId p : {f.pi, f.netlist.cell(f.inv).inputs[0],
+                      f.netlist.cell(f.inv).output, f.po}) {
+    EXPECT_NEAR(r.slack_at(p), endpoint_slack, 1e-9);
+  }
+}
+
+TEST(Sta, NodeSlackNeverBelowWns) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  gen::CircuitGenerator generator(lib);
+  nl::Netlist netlist =
+      generator.generate(gen::benchmark_by_name(specs, "steelcore"), 0.1).netlist;
+  layout::Placement placement = place::Placer(place::PlacerConfig{}).place(netlist);
+  tg::TimingGraph graph(netlist);
+  StaConfig config;
+  config.delay.tech.clock_period = 300.0;
+  const StaResult r = run_sta(graph, placement, config);
+  ASSERT_LT(r.wns, 0.0);
+  for (nl::PinId v : graph.topo_order()) {
+    EXPECT_GE(r.slack_at(v), r.wns - 1e-6);
+  }
+  // Endpoint node slack agrees with the endpoint table.
+  for (std::size_t i = 0; i < r.endpoints.size(); ++i) {
+    EXPECT_NEAR(r.slack_at(r.endpoints[i]), r.endpoint_slack[i], 1e-9);
+  }
+}
+
+/// Exhaustively enumerates all launch->endpoint paths on a small design and
+/// checks PERT's arrival equals the max path sum.
+TEST(Sta, ArrivalEqualsMaxOverEnumeratedPaths) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  gen::CircuitGenerator generator(lib);
+  nl::Netlist netlist =
+      generator.generate(gen::benchmark_by_name(specs, "xgate"), 0.02).netlist;
+  layout::Placement placement = place::Placer(place::PlacerConfig{}).place(netlist);
+  tg::TimingGraph graph(netlist);
+  const StaResult r = run_sta(graph, placement, StaConfig{});
+
+  // Recursive max-arrival from scratch (memoized), independent of PERT order.
+  std::vector<double> memo(static_cast<std::size_t>(netlist.num_pin_slots()), -1.0);
+  std::function<double(nl::PinId)> best_arrival = [&](nl::PinId v) -> double {
+    double& m = memo[static_cast<std::size_t>(v)];
+    if (m >= 0.0) return m;
+    const nl::Pin& pin = netlist.pin(v);
+    double base = 0.0;
+    if (graph.fanin(v).empty() && pin.cell != nl::kInvalidId) {
+      base = netlist.lib_cell(pin.cell).intrinsic;  // clock-to-Q
+    }
+    double best = base;
+    for (std::int32_t e : graph.fanin(v)) {
+      best = std::max(best, best_arrival(graph.edge(e).from) +
+                                r.edge_delay[static_cast<std::size_t>(e)]);
+    }
+    return m = best;
+  };
+  for (std::size_t i = 0; i < r.endpoints.size(); ++i) {
+    EXPECT_NEAR(r.endpoint_arrival[i], best_arrival(r.endpoints[i]), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace rtp::sta

@@ -1,0 +1,107 @@
+// Unit tests for the dense tensor and its matrix kernels.
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+
+namespace rtp::nn {
+namespace {
+
+TEST(Tensor, ShapeAndZeroInit) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.numel(), 24u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, IndexedAccessRoundTrip) {
+  Tensor t({3, 4});
+  t.at(2, 1) = 5.0f;
+  EXPECT_EQ(t.at(2, 1), 5.0f);
+  EXPECT_EQ(t[2 * 4 + 1], 5.0f);
+}
+
+TEST(Tensor, Row3PointsIntoStorage) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.row3(1, 2)[3], 9.0f);
+}
+
+TEST(Tensor, FillAndScale) {
+  Tensor t({4});
+  t.fill(2.0f);
+  t.scale_(0.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 1.0f);
+}
+
+TEST(Tensor, AddAndAxpy) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  Tensor b = Tensor::full({3}, 2.0f);
+  a.add_(b);
+  a.axpy_(3.0f, b);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a.at(i), 9.0f);
+}
+
+TEST(Tensor, SumMaxAbsMean) {
+  Tensor t({3});
+  t.at(0) = -2.0f;
+  t.at(1) = 1.0f;
+  t.at(2) = 4.0f;
+  EXPECT_FLOAT_EQ(t.sum(), 3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_NEAR(t.abs_mean(), 7.0f / 3.0f, 1e-6);
+}
+
+TEST(Tensor, UniformWithinBound) {
+  Rng rng(3);
+  const Tensor t = Tensor::uniform({1000}, 0.25f, rng);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::abs(t[i]), 0.25f);
+  }
+  EXPECT_GT(t.abs_mean(), 0.05f);  // not all zero
+}
+
+TEST(Matmul, MatchesHandComputedProduct) {
+  Tensor a({2, 3}), b({3, 2});
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  for (int i = 0; i < 6; ++i) a[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+  for (int i = 0; i < 6; ++i) b[static_cast<std::size_t>(i)] = static_cast<float>(i + 7);
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+class MatmulIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulIdentityTest, TransposedVariantsAgreeWithPlainMatmul) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int m = 2 + GetParam() % 5, k = 3 + GetParam() % 4, n = 1 + GetParam() % 6;
+  const Tensor a = Tensor::uniform({m, k}, 1.0f, rng);
+  const Tensor b = Tensor::uniform({k, n}, 1.0f, rng);
+  // matmul_bt(a, b') where b' = b^T stored as (n, k).
+  Tensor bt({n, k});
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Tensor c = matmul(a, b);
+  const Tensor c_bt = matmul_bt(a, bt);
+  // matmul_at(a', b) where a' = a^T stored as (k, m).
+  Tensor at({k, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Tensor c_at = matmul_at(at, b);
+  ASSERT_TRUE(c.same_shape(c_bt));
+  ASSERT_TRUE(c.same_shape(c_at));
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], c_bt[i], 1e-4);
+    EXPECT_NEAR(c[i], c_at[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulIdentityTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace rtp::nn

@@ -1,0 +1,142 @@
+// Unit + property tests for the pin-level timing graph: leveling invariants,
+// DAG structure, and the per-endpoint longest-path finder, swept over
+// generated circuits of several benchmarks and scales.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/circuit_generator.hpp"
+#include "timing/longest_path.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::tg {
+namespace {
+
+nl::Netlist tiny_pipeline(const nl::CellLibrary& lib) {
+  // PI -> AND2 -> DFF -> INV -> PO ; second AND2 input from PI2.
+  nl::Netlist nl(&lib);
+  const nl::PinId pi1 = nl.add_primary_input();
+  const nl::PinId pi2 = nl.add_primary_input();
+  const nl::PinId po = nl.add_primary_output();
+  const nl::CellId and2 = nl.add_cell(lib.find(nl::GateKind::kAnd2, 1));
+  const nl::CellId dff = nl.add_cell(lib.find(nl::GateKind::kDff, 1));
+  const nl::CellId inv = nl.add_cell(lib.find(nl::GateKind::kInv, 1));
+  nl.add_sink(nl.add_net(pi1), nl.cell(and2).inputs[0]);
+  nl.add_sink(nl.add_net(pi2), nl.cell(and2).inputs[1]);
+  nl.add_sink(nl.add_net(nl.cell(and2).output), nl.cell(dff).inputs[0]);
+  nl.add_sink(nl.add_net(nl.cell(dff).output), nl.cell(inv).inputs[0]);
+  nl.add_sink(nl.add_net(nl.cell(inv).output), po);
+  nl.validate();
+  return nl;
+}
+
+TEST(TimingGraph, TinyPipelineStructure) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const nl::Netlist nl = tiny_pipeline(lib);
+  TimingGraph g(nl);
+  // net edges: 5; cell edges: AND2 (2) + INV (1); DFF cut.
+  EXPECT_EQ(g.num_edges(), 8);
+  EXPECT_EQ(g.endpoints().size(), 2u);
+  EXPECT_EQ(g.launch_points().size(), 3u);
+  // Q pin launches a fresh cone at level 0.
+  const nl::PinId q = nl.cell(1).output;
+  EXPECT_EQ(g.level(q), 0);
+  // PI -> and2 input (1) -> and2 output (2) -> dff D (3).
+  EXPECT_EQ(g.level(nl.cell(1).inputs[0]), 3);
+}
+
+TEST(TimingGraph, SequentialCellEdgeIsCut) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const nl::Netlist nl = tiny_pipeline(lib);
+  TimingGraph g(nl);
+  const nl::CellId dff = 1;
+  EXPECT_TRUE(g.fanin(nl.cell(dff).output).empty());
+  EXPECT_TRUE(g.fanout(nl.cell(dff).inputs[0]).empty());
+}
+
+struct SweepParam {
+  const char* name;
+  double scale;
+};
+
+class GraphPropertyTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GraphPropertyTest, LevelingAndTopoInvariants) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  gen::CircuitGenerator generator(lib);
+  const nl::Netlist netlist =
+      generator.generate(gen::benchmark_by_name(specs, GetParam().name), GetParam().scale)
+          .netlist;
+  TimingGraph g(netlist);
+
+  // Every edge increases level; level(v) == 1 + max fanin level for non-sources.
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(g.level(e.from), g.level(e.to));
+  }
+  for (nl::PinId v : g.topo_order()) {
+    if (g.fanin(v).empty()) {
+      EXPECT_EQ(g.level(v), 0);
+    } else {
+      int max_in = -1;
+      for (std::int32_t e : g.fanin(v)) max_in = std::max(max_in, g.level(g.edge(e).from));
+      EXPECT_EQ(g.level(v), max_in + 1);
+    }
+  }
+  // topo_order contains each live pin exactly once, level-ascending.
+  std::set<nl::PinId> seen;
+  int prev_level = 0;
+  for (nl::PinId v : g.topo_order()) {
+    EXPECT_TRUE(seen.insert(v).second);
+    EXPECT_GE(g.level(v), prev_level);
+    prev_level = g.level(v);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), netlist.num_pins());
+  // Net sinks have exactly one fanin (their driver).
+  for (nl::PinId v : g.topo_order()) {
+    if (!g.fanin(v).empty() && g.edge(g.fanin(v)[0]).is_net) {
+      EXPECT_EQ(g.fanin(v).size(), 1u);
+    }
+  }
+}
+
+TEST_P(GraphPropertyTest, LongestPathsDescendOneLevelPerHop) {
+  const nl::CellLibrary lib = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  gen::CircuitGenerator generator(lib);
+  const nl::Netlist netlist =
+      generator.generate(gen::benchmark_by_name(specs, GetParam().name), GetParam().scale)
+          .netlist;
+  TimingGraph g(netlist);
+  LongestPathFinder finder(g);
+  Rng rng(77);
+  for (nl::PinId ep : g.endpoints()) {
+    const LongestPath path = finder.find(ep, rng);
+    ASSERT_FALSE(path.pins.empty());
+    EXPECT_EQ(path.pins.back(), ep);
+    EXPECT_EQ(g.level(path.pins.front()), 0);
+    EXPECT_EQ(path.pins.size(), static_cast<std::size_t>(g.level(ep)) + 1);
+    for (std::size_t i = 0; i + 1 < path.pins.size(); ++i) {
+      EXPECT_EQ(g.level(path.pins[i]) + 1, g.level(path.pins[i + 1]));
+    }
+    // Edges connect consecutive pins.
+    ASSERT_EQ(path.edges.size() + 1, path.pins.size());
+    for (std::size_t i = 0; i < path.edges.size(); ++i) {
+      EXPECT_EQ(g.edge(path.edges[i]).from, path.pins[i]);
+      EXPECT_EQ(g.edge(path.edges[i]).to, path.pins[i + 1]);
+    }
+    // net_edges() filters to net arcs only.
+    for (std::int32_t e : path.net_edges(g)) EXPECT_TRUE(g.edge(e).is_net);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, GraphPropertyTest,
+                         ::testing::Values(SweepParam{"xgate", 0.05},
+                                           SweepParam{"steelcore", 0.05},
+                                           SweepParam{"chacha", 0.03},
+                                           SweepParam{"arm9", 0.02},
+                                           SweepParam{"rocket", 0.005}));
+
+}  // namespace
+}  // namespace rtp::tg
