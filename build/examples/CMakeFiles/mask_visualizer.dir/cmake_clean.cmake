@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mask_visualizer.dir/mask_visualizer.cpp.o"
+  "CMakeFiles/mask_visualizer.dir/mask_visualizer.cpp.o.d"
+  "mask_visualizer"
+  "mask_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mask_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

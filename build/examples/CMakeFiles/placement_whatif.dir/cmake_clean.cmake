@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_whatif.dir/placement_whatif.cpp.o"
+  "CMakeFiles/placement_whatif.dir/placement_whatif.cpp.o.d"
+  "placement_whatif"
+  "placement_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

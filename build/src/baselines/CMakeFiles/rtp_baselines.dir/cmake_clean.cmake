@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_baselines.dir/arc_features.cpp.o"
+  "CMakeFiles/rtp_baselines.dir/arc_features.cpp.o.d"
+  "CMakeFiles/rtp_baselines.dir/guo_model.cpp.o"
+  "CMakeFiles/rtp_baselines.dir/guo_model.cpp.o.d"
+  "CMakeFiles/rtp_baselines.dir/local_delay_model.cpp.o"
+  "CMakeFiles/rtp_baselines.dir/local_delay_model.cpp.o.d"
+  "CMakeFiles/rtp_baselines.dir/pert.cpp.o"
+  "CMakeFiles/rtp_baselines.dir/pert.cpp.o.d"
+  "librtp_baselines.a"
+  "librtp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

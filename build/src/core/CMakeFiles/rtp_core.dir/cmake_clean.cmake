@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_core.dir/log.cpp.o"
+  "CMakeFiles/rtp_core.dir/log.cpp.o.d"
+  "CMakeFiles/rtp_core.dir/rng.cpp.o"
+  "CMakeFiles/rtp_core.dir/rng.cpp.o.d"
+  "librtp_core.a"
+  "librtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_eval.dir/experiments.cpp.o"
+  "CMakeFiles/rtp_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/rtp_eval.dir/metrics.cpp.o"
+  "CMakeFiles/rtp_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/rtp_eval.dir/table.cpp.o"
+  "CMakeFiles/rtp_eval.dir/table.cpp.o.d"
+  "librtp_eval.a"
+  "librtp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

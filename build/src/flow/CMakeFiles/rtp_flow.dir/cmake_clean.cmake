@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_flow.dir/dataset_flow.cpp.o"
+  "CMakeFiles/rtp_flow.dir/dataset_flow.cpp.o.d"
+  "librtp_flow.a"
+  "librtp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

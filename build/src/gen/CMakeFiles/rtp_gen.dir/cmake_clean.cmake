@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_gen.dir/benchmarks.cpp.o"
+  "CMakeFiles/rtp_gen.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/rtp_gen.dir/circuit_generator.cpp.o"
+  "CMakeFiles/rtp_gen.dir/circuit_generator.cpp.o.d"
+  "librtp_gen.a"
+  "librtp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

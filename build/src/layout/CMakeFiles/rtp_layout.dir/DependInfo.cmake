@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/feature_maps.cpp" "src/layout/CMakeFiles/rtp_layout.dir/feature_maps.cpp.o" "gcc" "src/layout/CMakeFiles/rtp_layout.dir/feature_maps.cpp.o.d"
+  "/root/repo/src/layout/placement.cpp" "src/layout/CMakeFiles/rtp_layout.dir/placement.cpp.o" "gcc" "src/layout/CMakeFiles/rtp_layout.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rtp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

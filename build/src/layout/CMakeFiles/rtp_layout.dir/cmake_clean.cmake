@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_layout.dir/feature_maps.cpp.o"
+  "CMakeFiles/rtp_layout.dir/feature_maps.cpp.o.d"
+  "CMakeFiles/rtp_layout.dir/placement.cpp.o"
+  "CMakeFiles/rtp_layout.dir/placement.cpp.o.d"
+  "librtp_layout.a"
+  "librtp_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

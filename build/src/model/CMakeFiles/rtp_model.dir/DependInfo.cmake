@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/features.cpp" "src/model/CMakeFiles/rtp_model.dir/features.cpp.o" "gcc" "src/model/CMakeFiles/rtp_model.dir/features.cpp.o.d"
+  "/root/repo/src/model/fusion.cpp" "src/model/CMakeFiles/rtp_model.dir/fusion.cpp.o" "gcc" "src/model/CMakeFiles/rtp_model.dir/fusion.cpp.o.d"
+  "/root/repo/src/model/gnn.cpp" "src/model/CMakeFiles/rtp_model.dir/gnn.cpp.o" "gcc" "src/model/CMakeFiles/rtp_model.dir/gnn.cpp.o.d"
+  "/root/repo/src/model/layout_encoder.cpp" "src/model/CMakeFiles/rtp_model.dir/layout_encoder.cpp.o" "gcc" "src/model/CMakeFiles/rtp_model.dir/layout_encoder.cpp.o.d"
+  "/root/repo/src/model/trainer.cpp" "src/model/CMakeFiles/rtp_model.dir/trainer.cpp.o" "gcc" "src/model/CMakeFiles/rtp_model.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rtp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/rtp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rtp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/rtp_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rtp_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/rtp_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rtp_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/rtp_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/rtp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_model.dir/features.cpp.o"
+  "CMakeFiles/rtp_model.dir/features.cpp.o.d"
+  "CMakeFiles/rtp_model.dir/fusion.cpp.o"
+  "CMakeFiles/rtp_model.dir/fusion.cpp.o.d"
+  "CMakeFiles/rtp_model.dir/gnn.cpp.o"
+  "CMakeFiles/rtp_model.dir/gnn.cpp.o.d"
+  "CMakeFiles/rtp_model.dir/layout_encoder.cpp.o"
+  "CMakeFiles/rtp_model.dir/layout_encoder.cpp.o.d"
+  "CMakeFiles/rtp_model.dir/trainer.cpp.o"
+  "CMakeFiles/rtp_model.dir/trainer.cpp.o.d"
+  "librtp_model.a"
+  "librtp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

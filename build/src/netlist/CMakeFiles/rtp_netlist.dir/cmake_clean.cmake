@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_netlist.dir/library.cpp.o"
+  "CMakeFiles/rtp_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/rtp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rtp_netlist.dir/netlist.cpp.o.d"
+  "librtp_netlist.a"
+  "librtp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/rtp_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/rtp_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/rtp_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/rtp_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/rtp_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/rtp_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/rtp_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/rtp_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/rtp_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/rtp_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/rtp_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/rtp_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_nn.dir/adam.cpp.o"
+  "CMakeFiles/rtp_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/rtp_nn.dir/conv.cpp.o"
+  "CMakeFiles/rtp_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/rtp_nn.dir/layers.cpp.o"
+  "CMakeFiles/rtp_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/rtp_nn.dir/mlp.cpp.o"
+  "CMakeFiles/rtp_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/rtp_nn.dir/serialize.cpp.o"
+  "CMakeFiles/rtp_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/rtp_nn.dir/tensor.cpp.o"
+  "CMakeFiles/rtp_nn.dir/tensor.cpp.o.d"
+  "librtp_nn.a"
+  "librtp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

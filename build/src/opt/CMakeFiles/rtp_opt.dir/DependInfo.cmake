@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/optimizer.cpp" "src/opt/CMakeFiles/rtp_opt.dir/optimizer.cpp.o" "gcc" "src/opt/CMakeFiles/rtp_opt.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/rtp_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rtp_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/rtp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rtp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

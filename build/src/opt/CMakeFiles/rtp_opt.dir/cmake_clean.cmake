@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/rtp_opt.dir/optimizer.cpp.o.d"
+  "librtp_opt.a"
+  "librtp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_place.dir/placer.cpp.o"
+  "CMakeFiles/rtp_place.dir/placer.cpp.o.d"
+  "librtp_place.a"
+  "librtp_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

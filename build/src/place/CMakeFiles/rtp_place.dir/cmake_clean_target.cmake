@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtp_place.a"
+)

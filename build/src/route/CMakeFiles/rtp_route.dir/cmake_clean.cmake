@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_route.dir/global_router.cpp.o"
+  "CMakeFiles/rtp_route.dir/global_router.cpp.o.d"
+  "librtp_route.a"
+  "librtp_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

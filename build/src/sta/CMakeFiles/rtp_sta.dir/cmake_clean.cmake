@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_sta.dir/delay_model.cpp.o"
+  "CMakeFiles/rtp_sta.dir/delay_model.cpp.o.d"
+  "CMakeFiles/rtp_sta.dir/sta.cpp.o"
+  "CMakeFiles/rtp_sta.dir/sta.cpp.o.d"
+  "librtp_sta.a"
+  "librtp_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/longest_path.cpp" "src/timing/CMakeFiles/rtp_timing.dir/longest_path.cpp.o" "gcc" "src/timing/CMakeFiles/rtp_timing.dir/longest_path.cpp.o.d"
+  "/root/repo/src/timing/timing_graph.cpp" "src/timing/CMakeFiles/rtp_timing.dir/timing_graph.cpp.o" "gcc" "src/timing/CMakeFiles/rtp_timing.dir/timing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

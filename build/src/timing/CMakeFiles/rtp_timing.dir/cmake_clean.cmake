@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_timing.dir/longest_path.cpp.o"
+  "CMakeFiles/rtp_timing.dir/longest_path.cpp.o.d"
+  "CMakeFiles/rtp_timing.dir/timing_graph.cpp.o"
+  "CMakeFiles/rtp_timing.dir/timing_graph.cpp.o.d"
+  "librtp_timing.a"
+  "librtp_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
