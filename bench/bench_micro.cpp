@@ -5,10 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
 #include "gen/circuit_generator.hpp"
 #include "layout/feature_maps.hpp"
 #include "model/fusion.hpp"
+#include "nn/conv.hpp"
 #include "place/placer.hpp"
 #include "sta/sta.hpp"
 #include "timing/longest_path.hpp"
@@ -112,6 +114,49 @@ void BM_GnnForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GnnForward)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+// ---- Thread-count sweeps -------------------------------------------------
+// Arg is the RTP_THREADS-equivalent worker count; the 1-thread row is the
+// serial baseline the parallel substrate's speedup is tracked against.
+
+void BM_MatmulThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const nn::Tensor a = nn::Tensor::uniform({512, 512}, 1.0f, rng);
+  const nn::Tensor b = nn::Tensor::uniform({512, 512}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b).numel());
+  }
+  core::set_num_threads(0);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ConvForwardThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  nn::Conv2d conv(8, 16, 3, 1, rng);
+  const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x).numel());
+  }
+  core::set_num_threads(0);
+}
+BENCHMARK(BM_ConvForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_GnnForwardThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<int>(state.range(0)));
+  Fixture& f = fixture(0.01);
+  tg::TimingGraph graph(f.netlist);
+  const model::NodeFeatures features = model::extract_node_features(graph, f.placement);
+  model::ModelConfig config;
+  Rng rng(3);
+  model::EndpointGNN gnn(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnn.forward(graph, features).h.numel());
+  }
+  core::set_num_threads(0);
+}
+BENCHMARK(BM_GnnForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,177 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/check.hpp"
+
+namespace rtp::core {
+
+namespace {
+
+/// Set while a thread (worker or caller) is executing inside a parallel
+/// region; nested parallel_for calls then run inline instead of deadlocking
+/// on the single shared job slot.
+thread_local bool tl_in_parallel = false;
+
+int env_thread_count() {
+  if (const char* env = std::getenv("RTP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;  ///< workers wait here for a new job
+  std::condition_variable cv_done;  ///< the caller waits here for completion
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  // One job at a time; generation counter tells workers a new one is posted.
+  std::uint64_t job_id = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::int64_t begin = 0, end = 0, grain = 1, n_chunks = 0;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::atomic<std::int64_t> chunks_done{0};
+  int active_workers = 0;  ///< workers currently inside the chunk loop
+  std::exception_ptr error;
+
+  /// Claims and runs chunks of the current job until none remain.
+  void drain() {
+    for (;;) {
+      const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) return;
+      const std::int64_t b = begin + c * grain;
+      const std::int64_t e = std::min(end, b + grain);
+      try {
+        (*fn)(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      chunks_done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_work.wait(lock, [&] { return shutdown || job_id != seen; });
+      if (shutdown) return;
+      seen = job_id;
+      ++active_workers;
+      lock.unlock();
+
+      tl_in_parallel = true;
+      drain();
+      tl_in_parallel = false;
+
+      lock.lock();
+      if (--active_workers == 0) cv_done.notify_all();
+    }
+  }
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl), num_threads_(0) { set_num_threads(0); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::set_num_threads(int n) {
+  RTP_CHECK_MSG(!tl_in_parallel, "set_num_threads inside a parallel region");
+  if (n < 1) n = env_thread_count();
+  if (n == num_threads_ && static_cast<int>(impl_->workers.size()) == n - 1) return;
+  // Join the old workers (any in-flight job has completed: run_chunked blocks
+  // until done, and we checked we are not inside one).
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  impl_->workers.clear();
+  impl_->shutdown = false;
+  num_threads_ = n;
+  // The caller participates in every loop, so spawn n - 1 workers; a count of
+  // 1 keeps the process single-threaded.
+  impl_->workers.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                             const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t n_chunks = (end - begin + grain - 1) / grain;
+
+  // Serial fallback: one chunk of work, a 1-thread pool, or a nested call.
+  // Chunk boundaries are identical to the parallel path, so results are too.
+  if (n_chunks == 1 || num_threads_ == 1 || tl_in_parallel) {
+    for (std::int64_t b = begin; b < end; b += grain) {
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  Impl& s = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.fn = &fn;
+    s.begin = begin;
+    s.end = end;
+    s.grain = grain;
+    s.n_chunks = n_chunks;
+    s.next_chunk.store(0, std::memory_order_relaxed);
+    s.chunks_done.store(0, std::memory_order_relaxed);
+    s.error = nullptr;
+    ++s.job_id;
+  }
+  s.cv_work.notify_all();
+
+  tl_in_parallel = true;
+  s.drain();
+  tl_in_parallel = false;
+
+  // Wait until every chunk ran AND every worker left the chunk loop, so the
+  // job slot can be safely reused by the next call.
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv_done.wait(lock, [&] {
+    return s.chunks_done.load(std::memory_order_acquire) == s.n_chunks &&
+           s.active_workers == 0;
+  });
+  s.fn = nullptr;
+  if (s.error) {
+    std::exception_ptr e = s.error;
+    s.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace rtp::core

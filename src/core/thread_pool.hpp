@@ -1,0 +1,96 @@
+#pragma once
+// Process-wide thread pool with deterministic chunked parallel loops.
+//
+// Every parallelized hot path in the repo (nn kernels, GNN levels, STA
+// levels, feature-map splatting, global routing) routes through the two
+// free functions below rather than spawning threads ad hoc.
+//
+// Determinism contract: chunk boundaries depend only on (begin, end, grain)
+// — never on the thread count or on which worker claims which chunk — and
+// parallel_reduce combines per-chunk partials in ascending chunk order on the
+// calling thread. Any float accumulation confined to a single chunk (or done
+// in the ordered combine step) therefore produces bit-identical results under
+// RTP_THREADS=1 and RTP_THREADS=N.
+//
+// Thread count: RTP_THREADS env var, read once at first use; unset or invalid
+// means hardware_concurrency. A count of 1 is a true serial fallback — no
+// worker threads are ever spawned, and parallel_for degenerates to an inline
+// loop, so single-threaded runs (the test default) carry zero pool overhead.
+// Tests and benchmarks may switch the count at runtime via set_num_threads.
+//
+// Nested calls (a parallel_for issued from inside a chunk body, e.g. a GNN
+// level loop invoking a parallel matmul) run inline on the calling thread;
+// only the outermost loop is distributed.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rtp::core {
+
+class ThreadPool {
+ public:
+  /// The lazily-created global pool. First call reads RTP_THREADS.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Reconfigures the worker count (joins existing workers first). Must not
+  /// be called while a parallel loop is running. n < 1 restores the
+  /// RTP_THREADS / hardware default.
+  void set_num_threads(int n);
+
+  /// Runs fn(chunk_begin, chunk_end) once per grain-sized chunk of
+  /// [begin, end), distributing chunks across the pool (the calling thread
+  /// participates). Blocks until the whole range is processed. Empty ranges
+  /// return immediately; single-chunk ranges and nested calls run inline.
+  void run_chunked(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  ThreadPool();
+
+  struct Impl;
+  Impl* impl_;       ///< worker/job state (hidden so this header stays light)
+  int num_threads_;  ///< configured count, >= 1
+};
+
+/// Configured thread count of the global pool (creates it on first use).
+inline int num_threads() { return ThreadPool::instance().num_threads(); }
+
+/// See ThreadPool::set_num_threads.
+inline void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }
+
+/// Chunked parallel loop; see ThreadPool::run_chunked for the contract.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain, Fn&& fn) {
+  ThreadPool::instance().run_chunked(
+      begin, end, grain, std::function<void(std::int64_t, std::int64_t)>(fn));
+}
+
+/// Deterministic parallel reduction. `chunk_fn(chunk_begin, chunk_end)`
+/// produces one partial per chunk (computed in parallel); `combine(acc,
+/// partial)` folds the partials into `init` in ascending chunk order on the
+/// calling thread, so the float accumulation order is independent of the
+/// thread count.
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain, T init,
+                  ChunkFn&& chunk_fn, Combine&& combine) {
+  if (end <= begin) return init;
+  if (grain < 1) grain = 1;
+  const std::int64_t n_chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partials(static_cast<std::size_t>(n_chunks));
+  parallel_for(begin, end, grain, [&](std::int64_t b, std::int64_t e) {
+    partials[static_cast<std::size_t>((b - begin) / grain)] = chunk_fn(b, e);
+  });
+  T acc = std::move(init);
+  for (T& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace rtp::core

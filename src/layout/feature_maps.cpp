@@ -4,9 +4,42 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/thread_pool.hpp"
+
 namespace rtp::layout {
 
+namespace {
+
+/// One pending splat_rect call; amount == 0 marks a dead/skipped slot.
+struct SplatItem {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+  double amount = 0.0;
+};
+
+/// Applies every item to the map, tile-partitioned by bin-row bands: each
+/// band walks the item list in order and writes only its own rows, so bands
+/// run concurrently and every bin still accumulates contributions in item
+/// order — bit-identical to a serial splat loop for any thread count.
+void splat_items(GridMap& map, const std::vector<SplatItem>& items) {
+  const int rows = map.rows();
+  const int band = std::max(1, (rows + 7) / 8);  // at most 8 fixed bands
+  core::parallel_for(0, rows, band, [&](std::int64_t r0, std::int64_t r1) {
+    for (const SplatItem& it : items) {
+      if (it.amount == 0.0) continue;
+      map.splat_rect_rows(it.x0, it.y0, it.x1, it.y1, it.amount,
+                          static_cast<int>(r0), static_cast<int>(r1));
+    }
+  });
+}
+
+}  // namespace
+
 void GridMap::splat_rect(double x0, double y0, double x1, double y1, double amount) {
+  splat_rect_rows(x0, y0, x1, y1, amount, 0, rows_);
+}
+
+void GridMap::splat_rect_rows(double x0, double y0, double x1, double y1,
+                              double amount, int row_begin, int row_end) {
   if (x1 < x0) std::swap(x0, x1);
   if (y1 < y0) std::swap(y0, y1);
   x0 = std::clamp(x0, 0.0, die_.width);
@@ -17,17 +50,21 @@ void GridMap::splat_rect(double x0, double y0, double x1, double y1, double amou
   const double bw = bin_width(), bh = bin_height();
   const int c0 = col_of(x0), c1 = col_of(x1);
   const int r0 = row_of(y0), r1 = row_of(y1);
+  // Per-bin weights come from the full rectangle; the band only limits which
+  // rows are written, so banded splats sum to exactly one full splat.
+  const int rb = std::max(r0, row_begin);
+  const int re = std::min(r1, row_end - 1);
   if (area <= 0.0) {
     // Degenerate rectangle: deposit everything into the bins the segment or
     // point touches, split evenly.
     const int bins = (c1 - c0 + 1) * (r1 - r0 + 1);
     const float share = static_cast<float>(amount / bins);
-    for (int r = r0; r <= r1; ++r) {
+    for (int r = rb; r <= re; ++r) {
       for (int c = c0; c <= c1; ++c) at(r, c) += share;
     }
     return;
   }
-  for (int r = r0; r <= r1; ++r) {
+  for (int r = rb; r <= re; ++r) {
     const double by0 = r * bh, by1 = by0 + bh;
     const double oy = std::min(y1, by1) - std::max(y0, by0);
     if (oy <= 0.0) continue;
@@ -76,38 +113,52 @@ GridMap make_density_map(const nl::Netlist& netlist, const Placement& placement,
                          int rows, int cols) {
   GridMap map(rows, cols, placement.die());
   const double bin_area = map.bin_width() * map.bin_height();
-  for (nl::CellId c = 0; c < netlist.num_cell_slots(); ++c) {
-    if (!netlist.cell_alive(c)) continue;
-    const double area = netlist.lib_cell(c).area;
-    const double side = std::sqrt(area);
-    const Point p = placement.cell_pos(c);
-    map.splat_rect(p.x - side / 2, p.y - side / 2, p.x + side / 2, p.y + side / 2,
-                   area / bin_area);
-  }
+  // Stage 1: per-cell footprints, parallel over cells (slot c writes item c).
+  const std::int64_t n = netlist.num_cell_slots();
+  std::vector<SplatItem> items(static_cast<std::size_t>(n));
+  core::parallel_for(0, n, 512, [&](std::int64_t b, std::int64_t e) {
+    for (nl::CellId c = static_cast<nl::CellId>(b); c < e; ++c) {
+      if (!netlist.cell_alive(c)) continue;
+      const double area = netlist.lib_cell(c).area;
+      const double side = std::sqrt(area);
+      const Point p = placement.cell_pos(c);
+      items[static_cast<std::size_t>(c)] = {p.x - side / 2, p.y - side / 2,
+                                            p.x + side / 2, p.y + side / 2,
+                                            area / bin_area};
+    }
+  });
+  // Stage 2: band-parallel accumulation.
+  splat_items(map, items);
   return map;
 }
 
 GridMap make_rudy_map(const nl::Netlist& netlist, const Placement& placement,
                       int rows, int cols) {
   GridMap map(rows, cols, placement.die());
-  for (nl::NetId id = 0; id < netlist.num_net_slots(); ++id) {
-    if (!netlist.net_alive(id)) continue;
-    const nl::Net& net = netlist.net(id);
-    if (net.sinks.empty()) continue;
-    Point lo = placement.pin_pos(netlist, net.driver);
-    Point hi = lo;
-    for (nl::PinId s : net.sinks) {
-      const Point p = placement.pin_pos(netlist, s);
-      lo.x = std::min(lo.x, p.x);
-      lo.y = std::min(lo.y, p.y);
-      hi.x = std::max(hi.x, p.x);
-      hi.y = std::max(hi.y, p.y);
+  // Stage 1: per-net bounding boxes, parallel over nets.
+  const std::int64_t n = netlist.num_net_slots();
+  std::vector<SplatItem> items(static_cast<std::size_t>(n));
+  core::parallel_for(0, n, 256, [&](std::int64_t b, std::int64_t e) {
+    for (nl::NetId id = static_cast<nl::NetId>(b); id < e; ++id) {
+      if (!netlist.net_alive(id)) continue;
+      const nl::Net& net = netlist.net(id);
+      if (net.sinks.empty()) continue;
+      Point lo = placement.pin_pos(netlist, net.driver);
+      Point hi = lo;
+      for (nl::PinId s : net.sinks) {
+        const Point p = placement.pin_pos(netlist, s);
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+      }
+      const double hpwl = (hi.x - lo.x) + (hi.y - lo.y);
+      if (hpwl <= 0.0) continue;
+      // RUDY: wire area (HPWL x 1 unit width) uniformly over the bounding box.
+      items[static_cast<std::size_t>(id)] = {lo.x, lo.y, hi.x, hi.y, hpwl};
     }
-    const double hpwl = (hi.x - lo.x) + (hi.y - lo.y);
-    if (hpwl <= 0.0) continue;
-    // RUDY: wire area (HPWL x 1 unit width) uniformly over the bounding box.
-    map.splat_rect(lo.x, lo.y, hi.x, hi.y, hpwl);
-  }
+  });
+  splat_items(map, items);
   return map;
 }
 

@@ -52,6 +52,14 @@ class GridMap {
   /// clipped to the die. Each bin receives amount * overlap_area / rect_area.
   void splat_rect(double x0, double y0, double x1, double y1, double amount);
 
+  /// splat_rect restricted to bin rows in [row_begin, row_end): deposits
+  /// exactly the contributions splat_rect would make to those rows (weights
+  /// are still computed from the full rectangle). Lets map construction
+  /// partition the grid into row bands and splat every item into each band
+  /// concurrently without write conflicts.
+  void splat_rect_rows(double x0, double y0, double x1, double y1, double amount,
+                       int row_begin, int row_end);
+
   float max_value() const;
   float mean_value() const;
 

@@ -2,7 +2,18 @@
 
 #include <limits>
 
+#include "core/thread_pool.hpp"
+
 namespace rtp::model {
+
+namespace {
+
+// Nodes per parallel chunk in the per-level gather/scatter loops. Each node
+// is independent (it owns its own row of the batch tensors and of h), so any
+// chunking is deterministic; the grain just keeps chunks ~4k floats.
+std::int64_t node_grain(int d) { return std::max<std::int64_t>(1, 4096 / std::max(d, 1)); }
+
+}  // namespace
 
 EndpointGNN::EndpointGNN(const ModelConfig& config, Rng& rng)
     : embed_(config.gnn_embed),
@@ -35,52 +46,68 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
       cache.max_agg = nn::Tensor({b, d});
       cache.argmax.assign(static_cast<std::size_t>(b) * d, -1);
       nn::Tensor feat({b, kCellFeatDim});
-      for (int i = 0; i < b; ++i) {
-        const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
-        for (int k = 0; k < kCellFeatDim; ++k) feat.at(i, k) = features.cell_feat.at(p, k);
-        bool first = true;
-        for (std::int32_t e : graph.fanin(p)) {
-          const nl::PinId u = graph.edge(e).from;
-          for (int k = 0; k < d; ++k) {
-            const float hu = state.h.at(u, k);
-            if (first || hu > cache.max_agg.at(i, k)) {
-              cache.max_agg.at(i, k) = hu;
-              cache.argmax[static_cast<std::size_t>(i) * d + k] = u;
+      // Gather runs parallel over the level's nodes: node i writes only row i
+      // of feat/max_agg/argmax and reads h of strictly earlier levels.
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < kCellFeatDim; ++k)
+            feat.at(i, k) = features.cell_feat.at(p, k);
+          bool first = true;
+          for (std::int32_t e : graph.fanin(p)) {
+            const nl::PinId u = graph.edge(e).from;
+            for (int k = 0; k < d; ++k) {
+              const float hu = state.h.at(u, k);
+              if (first || hu > cache.max_agg.at(i, k)) {
+                cache.max_agg.at(i, k) = hu;
+                cache.argmax[static_cast<std::size_t>(i) * d + k] = u;
+              }
             }
+            first = false;
           }
-          first = false;
+          // No predecessors (launch source): max over the empty set is zero
+          // and contributes no gradient (argmax stays -1).
         }
-        // No predecessors (launch source): max over the empty set is zero and
-        // contributes no gradient (argmax stays -1).
-      }
+      });
       nn::Tensor u1 = f_c1_.forward(cache.max_agg, &cache.c1_cache);
       nn::Tensor u2 = f_c2_.forward(feat, &cache.c2_cache);
       u1.add_(u2);
       const nn::Tensor out = nn::ReLU::forward(u1, &cache.cell_relu);
-      for (int i = 0; i < b; ++i) {
-        const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
-        for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
-      }
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
+        }
+      });
     }
 
     // ---- net nodes: identity message from the single driver + f_n ----
     if (!cache.net_nodes.empty()) {
       const int b = static_cast<int>(cache.net_nodes.size());
       nn::Tensor feat({b, kNetFeatDim});
-      for (int i = 0; i < b; ++i) {
-        const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
-        for (int k = 0; k < kNetFeatDim; ++k) feat.at(i, k) = features.net_feat.at(p, k);
-      }
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < kNetFeatDim; ++k)
+            feat.at(i, k) = features.net_feat.at(p, k);
+        }
+      });
       nn::Tensor un = f_n_.forward(feat, &cache.n_cache);
-      for (int i = 0; i < b; ++i) {
-        const nl::PinId drv = cache.net_drivers[static_cast<std::size_t>(i)];
-        for (int k = 0; k < d; ++k) un.at(i, k) += state.h.at(drv, k);
-      }
+      // Drivers live on strictly earlier levels (a net node's level is at
+      // least driver level + 1), so their h rows are already final.
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId drv = cache.net_drivers[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) un.at(i, k) += state.h.at(drv, k);
+        }
+      });
       const nn::Tensor out = nn::ReLU::forward(un, &cache.net_relu);
-      for (int i = 0; i < b; ++i) {
-        const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
-        for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
-      }
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
+        }
+      });
     }
 
     state.levels.push_back(std::move(cache));
@@ -98,12 +125,18 @@ void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
     if (!cache.net_nodes.empty()) {
       const int b = static_cast<int>(cache.net_nodes.size());
       nn::Tensor g({b, d});
-      for (int i = 0; i < b; ++i) {
-        const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
-        for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
-      }
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
+        }
+      });
       g = nn::ReLU::backward(g, cache.net_relu);
       // Identity branch to the driver; MLP branch to f_n (input grads unused).
+      // The driver scatter stays serial: several sinks of one net share a
+      // driver row, and the serial order keeps the accumulation deterministic.
+      // It is O(level * D) against the O(level * D * hidden) MLP backward,
+      // whose matmuls are parallel.
       for (int i = 0; i < b; ++i) {
         const nl::PinId drv = cache.net_drivers[static_cast<std::size_t>(i)];
         for (int k = 0; k < d; ++k) grad_h.at(drv, k) += g.at(i, k);
@@ -114,12 +147,16 @@ void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
     if (!cache.cell_nodes.empty()) {
       const int b = static_cast<int>(cache.cell_nodes.size());
       nn::Tensor g({b, d});
-      for (int i = 0; i < b; ++i) {
-        const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
-        for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
-      }
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
+        }
+      });
       g = nn::ReLU::backward(g, cache.cell_relu);
       const nn::Tensor g_max = f_c1_.backward(g, cache.c1_cache);
+      // Serial for the same reason as the driver scatter: distinct nodes may
+      // share an argmax predecessor row.
       for (int i = 0; i < b; ++i) {
         for (int k = 0; k < d; ++k) {
           const std::int32_t u = cache.argmax[static_cast<std::size_t>(i) * d + k];

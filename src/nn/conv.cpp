@@ -2,7 +2,22 @@
 
 #include <cmath>
 
+#include "core/thread_pool.hpp"
+
 namespace rtp::nn {
+
+namespace {
+
+// Output channels per parallel chunk, sized so one chunk is ~64k mul-adds.
+// Depends only on the layer shape, never on the thread count, which keeps the
+// backward pass's ordered partial reduction bit-identical across RTP_THREADS.
+std::int64_t channel_grain(int ci, int k, int oh, int ow) {
+  const std::int64_t per_channel =
+      static_cast<std::int64_t>(ci) * k * k * oh * ow;
+  return std::max<std::int64_t>(1, 65536 / std::max<std::int64_t>(per_channel, 1));
+}
+
+}  // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int padding, Rng& rng)
     : weight_(Tensor::uniform(
@@ -21,28 +36,33 @@ Tensor Conv2d::forward(const Tensor& x) {
   const int oh = h + 2 * p - k + 1, ow = w + 2 * p - k + 1;
   RTP_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
   Tensor y({co, oh, ow});
-  for (int f = 0; f < co; ++f) {
-    const float b = bias_.value.at(f);
-    for (int i = 0; i < oh; ++i) {
-      for (int j = 0; j < ow; ++j) y.at(f, i, j) = b;
-    }
-    for (int c = 0; c < ci; ++c) {
-      for (int ki = 0; ki < k; ++ki) {
-        for (int kj = 0; kj < k; ++kj) {
-          const float wv = weight_.value.at(f, c, ki, kj);
-          if (wv == 0.0f) continue;
-          // Output (i,j) reads input (i+ki-p, j+kj-p); clamp to valid rows/cols.
-          const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
-          const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
-          for (int i = i0; i < i1; ++i) {
-            const float* xrow = x.row3(c, i + ki - p);
-            float* yrow = y.row3(f, i);
-            for (int j = j0; j < j1; ++j) yrow[j] += wv * xrow[j + kj - p];
+  // Each chunk owns a range of output channels; writes to y are disjoint.
+  core::parallel_for(
+      0, co, channel_grain(ci, k, oh, ow), [&](std::int64_t f0, std::int64_t f1) {
+        for (int f = static_cast<int>(f0); f < f1; ++f) {
+          const float b = bias_.value.at(f);
+          for (int i = 0; i < oh; ++i) {
+            for (int j = 0; j < ow; ++j) y.at(f, i, j) = b;
+          }
+          for (int c = 0; c < ci; ++c) {
+            for (int ki = 0; ki < k; ++ki) {
+              for (int kj = 0; kj < k; ++kj) {
+                const float wv = weight_.value.at(f, c, ki, kj);
+                if (wv == 0.0f) continue;
+                // Output (i,j) reads input (i+ki-p, j+kj-p); clamp to valid
+                // rows/cols.
+                const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
+                const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
+                for (int i = i0; i < i1; ++i) {
+                  const float* xrow = x.row3(c, i + ki - p);
+                  float* yrow = y.row3(f, i);
+                  for (int j = j0; j < j1; ++j) yrow[j] += wv * xrow[j + kj - p];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
   return y;
 }
 
@@ -54,34 +74,50 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const int oh = h + 2 * p - k + 1, ow = w + 2 * p - k + 1;
   RTP_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == co && grad_out.dim(1) == oh &&
             grad_out.dim(2) == ow);
-  Tensor gx({ci, h, w});
-  for (int f = 0; f < co; ++f) {
-    double gb = 0.0;
-    for (int i = 0; i < oh; ++i) {
-      for (int j = 0; j < ow; ++j) gb += grad_out.at(f, i, j);
-    }
-    bias_.grad.at(f) += static_cast<float>(gb);
-    for (int c = 0; c < ci; ++c) {
-      for (int ki = 0; ki < k; ++ki) {
-        for (int kj = 0; kj < k; ++kj) {
-          const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
-          const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
-          double gw = 0.0;
-          const float wv = weight_.value.at(f, c, ki, kj);
-          for (int i = i0; i < i1; ++i) {
-            const float* xrow = x.row3(c, i + ki - p);
-            float* gxrow = gx.row3(c, i + ki - p);
-            const float* grow = grad_out.row3(f, i);
-            for (int j = j0; j < j1; ++j) {
-              gw += static_cast<double>(grow[j]) * xrow[j + kj - p];
-              gxrow[j + kj - p] += wv * grow[j];
+  // Weight and bias gradients are indexed by output channel f, so chunks over
+  // f write them race-free. The input gradient gx receives contributions from
+  // every f; each chunk accumulates into its own scratch tensor and the
+  // partials are reduced in ascending chunk order. Chunk boundaries depend
+  // only on the layer shape (capped at 16 partials to bound scratch memory),
+  // so the float accumulation order — and thus the result — is identical for
+  // every RTP_THREADS setting.
+  std::int64_t grain = channel_grain(ci, k, oh, ow);
+  grain = std::max(grain, static_cast<std::int64_t>((co + 15) / 16));
+  const std::size_t n_chunks = static_cast<std::size_t>((co + grain - 1) / grain);
+  std::vector<Tensor> gx_partial(n_chunks);
+  core::parallel_for(0, co, grain, [&](std::int64_t f0, std::int64_t f1) {
+    Tensor& gxp = gx_partial[static_cast<std::size_t>(f0 / grain)];
+    gxp = Tensor({ci, h, w});
+    for (int f = static_cast<int>(f0); f < f1; ++f) {
+      double gb = 0.0;
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j) gb += grad_out.at(f, i, j);
+      }
+      bias_.grad.at(f) += static_cast<float>(gb);
+      for (int c = 0; c < ci; ++c) {
+        for (int ki = 0; ki < k; ++ki) {
+          for (int kj = 0; kj < k; ++kj) {
+            const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
+            const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
+            double gw = 0.0;
+            const float wv = weight_.value.at(f, c, ki, kj);
+            for (int i = i0; i < i1; ++i) {
+              const float* xrow = x.row3(c, i + ki - p);
+              float* gxrow = gxp.row3(c, i + ki - p);
+              const float* grow = grad_out.row3(f, i);
+              for (int j = j0; j < j1; ++j) {
+                gw += static_cast<double>(grow[j]) * xrow[j + kj - p];
+                gxrow[j + kj - p] += wv * grow[j];
+              }
             }
+            weight_.grad.at(f, c, ki, kj) += static_cast<float>(gw);
           }
-          weight_.grad.at(f, c, ki, kj) += static_cast<float>(gw);
         }
       }
     }
-  }
+  });
+  Tensor gx({ci, h, w});
+  for (const Tensor& gxp : gx_partial) gx.add_(gxp);
   return gx;
 }
 

@@ -4,6 +4,18 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/thread_pool.hpp"
+
+namespace {
+
+// Rows per parallel chunk so each chunk carries at least ~64k mul-adds;
+// small matrices collapse to one chunk and run inline with no pool dispatch.
+std::int64_t row_grain(int per_row_work) {
+  return std::max<std::int64_t>(1, 65536 / std::max(per_row_work, 1));
+}
+
+}  // namespace
+
 namespace rtp::nn {
 
 Tensor Tensor::uniform(std::vector<int> shape, float bound, Rng& rng) {
@@ -15,13 +27,21 @@ Tensor Tensor::uniform(std::vector<int> shape, float bound, Rng& rng) {
 }
 
 void Tensor::add_(const Tensor& other) {
+  // Always-on: a mismatch here would silently read out of bounds below.
   RTP_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  core::parallel_for(0, static_cast<std::int64_t>(data_.size()), 1 << 16,
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i) data_[i] += other.data_[i];
+                     });
 }
 
 void Tensor::axpy_(float alpha, const Tensor& other) {
   RTP_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  core::parallel_for(0, static_cast<std::int64_t>(data_.size()), 1 << 16,
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i)
+                         data_[i] += alpha * other.data_[i];
+                     });
 }
 
 void Tensor::scale_(float alpha) {
@@ -57,21 +77,26 @@ std::string Tensor::shape_str() const {
   return os.str();
 }
 
+// All three products are parallel over output rows: each chunk owns a row
+// range of c, so writes are disjoint and every row is accumulated in the same
+// k-order regardless of thread count (bit-identical results).
 Tensor matmul(const Tensor& a, const Tensor& b) {
   RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  // i-k-j order: streams through b and c rows, cache-friendly for row-major.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
-    float* crow = c.data() + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  core::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    // i-k-j order: streams through b and c rows, cache-friendly for row-major.
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+      float* crow = c.data() + static_cast<std::size_t>(i) * n;
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -79,16 +104,18 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.data() + static_cast<std::size_t>(i) * k;
-    float* crow = c.data() + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.data() + static_cast<std::size_t>(j) * k;
-      double acc = 0.0;
-      for (int kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      crow[j] = static_cast<float>(acc);
+  core::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = a.data() + static_cast<std::size_t>(i) * k;
+      float* crow = c.data() + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b.data() + static_cast<std::size_t>(j) * k;
+        double acc = 0.0;
+        for (int kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+        crow[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -96,16 +123,20 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a.data() + static_cast<std::size_t>(kk) * m;
-    const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.data() + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+  core::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    // k stays outermost so a's rows stream; each chunk touches only its own
+    // slice of every a row and its own c rows.
+    for (int kk = 0; kk < k; ++kk) {
+      const float* arow = a.data() + static_cast<std::size_t>(kk) * m;
+      const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f) continue;
+        float* crow = c.data() + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 

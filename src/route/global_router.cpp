@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "core/thread_pool.hpp"
+
 namespace rtp::route {
 
 namespace {
@@ -22,6 +24,26 @@ struct OpenNode {
   int bin = 0;
   bool operator<(const OpenNode& other) const { return f > other.f; }  // min-heap
 };
+
+/// Per-thread A* working set, reused across segments; `stamp` avoids
+/// clearing between searches.
+struct AStarScratch {
+  std::vector<float> best_g;
+  std::vector<int> parent;
+  std::vector<int> visit_stamp;
+  int stamp = 0;
+};
+
+AStarScratch& astar_scratch(int bins) {
+  static thread_local AStarScratch s;
+  if (static_cast<int>(s.visit_stamp.size()) != bins) {
+    s.best_g.assign(static_cast<std::size_t>(bins), 0.0f);
+    s.parent.assign(static_cast<std::size_t>(bins), -1);
+    s.visit_stamp.assign(static_cast<std::size_t>(bins), -1);
+    s.stamp = 0;
+  }
+  return s;
+}
 
 }  // namespace
 
@@ -72,16 +94,15 @@ RouteResult GlobalRouter::route(const nl::Netlist& netlist,
 
   std::vector<float> usage(static_cast<std::size_t>(bins), 0.0f);
   std::vector<float> history(static_cast<std::size_t>(bins), 0.0f);
-  std::vector<int> path_hops(segments.size(), 0);
-
-  // Scratch buffers reused across A* runs; `stamp` avoids clearing.
-  std::vector<float> best_g(static_cast<std::size_t>(bins), 0.0f);
-  std::vector<int> parent(static_cast<std::size_t>(bins), -1);
-  std::vector<int> visit_stamp(static_cast<std::size_t>(bins), -1);
-  int stamp = 0;
+  // Congestion snapshot the current round prices against: the previous
+  // round's final usage. Immutable while segments route, which is what lets
+  // them run concurrently and keeps every path independent of RTP_THREADS.
+  std::vector<float> snapshot(static_cast<std::size_t>(bins), 0.0f);
+  std::vector<std::vector<int>> paths(segments.size());
+  std::vector<unsigned char> fell_back(segments.size(), 0);
 
   auto bin_cost = [&](int bin) {
-    const float over = usage[static_cast<std::size_t>(bin)] / capacity;
+    const float over = snapshot[static_cast<std::size_t>(bin)] / capacity;
     const float present =
         over > 1.0f ? static_cast<float>(config_.present_penalty) * (over - 1.0f) * 4.0f
                     : static_cast<float>(config_.present_penalty) * over * 0.25f;
@@ -94,17 +115,21 @@ RouteResult GlobalRouter::route(const nl::Netlist& netlist,
     return static_cast<float>(dx + dy);
   };
 
-  // Routes one segment; returns hop count and marks usage along the path.
-  auto route_segment = [&](const Segment& seg) {
+  // Routes one segment against the snapshot costs; writes the chosen path
+  // (every bin it occupies) into `path` and returns true on a maze abort.
+  // Touches only thread-local scratch, so segments route concurrently.
+  auto route_segment = [&](const Segment& seg, std::vector<int>& path) {
+    path.clear();
     if (seg.from_bin == seg.to_bin) {
-      usage[static_cast<std::size_t>(seg.to_bin)] += 1.0f;
-      return 1;
+      path.push_back(seg.to_bin);
+      return false;
     }
-    ++stamp;
+    AStarScratch& sc = astar_scratch(bins);
+    ++sc.stamp;
     std::priority_queue<OpenNode> open;
-    best_g[static_cast<std::size_t>(seg.from_bin)] = 0.0f;
-    visit_stamp[static_cast<std::size_t>(seg.from_bin)] = stamp;
-    parent[static_cast<std::size_t>(seg.from_bin)] = -1;
+    sc.best_g[static_cast<std::size_t>(seg.from_bin)] = 0.0f;
+    sc.visit_stamp[static_cast<std::size_t>(seg.from_bin)] = sc.stamp;
+    sc.parent[static_cast<std::size_t>(seg.from_bin)] = -1;
     open.push({heuristic(seg.from_bin, seg.to_bin), seg.from_bin});
     int expansions = 0;
     bool found = false;
@@ -116,7 +141,7 @@ RouteResult GlobalRouter::route(const nl::Netlist& netlist,
         break;
       }
       if (++expansions > config_.max_expansions) break;
-      const float gcur = best_g[static_cast<std::size_t>(node.bin)];
+      const float gcur = sc.best_g[static_cast<std::size_t>(node.bin)];
       if (node.f - heuristic(node.bin, seg.to_bin) > gcur + 1e-4f) continue;  // stale
       const int x = node.bin % g, y = node.bin / g;
       const int neighbours[4] = {x > 0 ? node.bin - 1 : -1, x < g - 1 ? node.bin + 1 : -1,
@@ -124,41 +149,35 @@ RouteResult GlobalRouter::route(const nl::Netlist& netlist,
       for (int nb : neighbours) {
         if (nb < 0) continue;
         const float tentative = gcur + bin_cost(nb);
-        if (visit_stamp[static_cast<std::size_t>(nb)] != stamp ||
-            tentative < best_g[static_cast<std::size_t>(nb)]) {
-          visit_stamp[static_cast<std::size_t>(nb)] = stamp;
-          best_g[static_cast<std::size_t>(nb)] = tentative;
-          parent[static_cast<std::size_t>(nb)] = node.bin;
+        if (sc.visit_stamp[static_cast<std::size_t>(nb)] != sc.stamp ||
+            tentative < sc.best_g[static_cast<std::size_t>(nb)]) {
+          sc.visit_stamp[static_cast<std::size_t>(nb)] = sc.stamp;
+          sc.best_g[static_cast<std::size_t>(nb)] = tentative;
+          sc.parent[static_cast<std::size_t>(nb)] = node.bin;
           open.push({tentative + heuristic(nb, seg.to_bin), nb});
         }
       }
     }
-    int hops = 0;
     if (found) {
-      for (int b = seg.to_bin; b != -1; b = parent[static_cast<std::size_t>(b)]) {
-        usage[static_cast<std::size_t>(b)] += 1.0f;
-        ++hops;
+      for (int b = seg.to_bin; b != -1; b = sc.parent[static_cast<std::size_t>(b)]) {
+        path.push_back(b);
         if (b == seg.from_bin) break;
       }
-    } else {
-      // Maze abort: fall back to an L-shaped route.
-      ++result.maze_fallbacks;
-      int b = seg.from_bin;
-      const int tx = seg.to_bin % g, ty = seg.to_bin / g;
-      while (b % g != tx) {
-        usage[static_cast<std::size_t>(b)] += 1.0f;
-        ++hops;
-        b += (b % g < tx) ? 1 : -1;
-      }
-      while (b / g != ty) {
-        usage[static_cast<std::size_t>(b)] += 1.0f;
-        ++hops;
-        b += (b / g < ty) ? g : -g;
-      }
-      usage[static_cast<std::size_t>(b)] += 1.0f;
-      ++hops;
+      return false;
     }
-    return hops;
+    // Maze abort: fall back to an L-shaped route.
+    int b = seg.from_bin;
+    const int tx = seg.to_bin % g, ty = seg.to_bin / g;
+    while (b % g != tx) {
+      path.push_back(b);
+      b += (b % g < tx) ? 1 : -1;
+    }
+    while (b / g != ty) {
+      path.push_back(b);
+      b += (b / g < ty) ? g : -g;
+    }
+    path.push_back(b);
+    return true;
   };
 
   for (int round = 0; round < config_.rounds; ++round) {
@@ -170,11 +189,23 @@ RouteResult GlobalRouter::route(const nl::Netlist& netlist,
           history[static_cast<std::size_t>(b)] +=
               static_cast<float>(config_.history_increment) * (over - 1.0f);
         }
-        usage[static_cast<std::size_t>(b)] = 0.0f;
       }
     }
-    for (std::size_t i = 0; i < segments.size(); ++i) {
-      path_hops[i] = route_segment(segments[i]);
+    snapshot = usage;
+    std::fill(usage.begin(), usage.end(), 0.0f);
+    // Search in parallel (snapshot and history are frozen), then commit the
+    // paths to the usage field serially in segment order.
+    core::parallel_for(0, static_cast<std::int64_t>(segments.size()), 4,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i) {
+                           fell_back[static_cast<std::size_t>(i)] = route_segment(
+                               segments[static_cast<std::size_t>(i)],
+                               paths[static_cast<std::size_t>(i)]);
+                         }
+                       });
+    for (const unsigned char fb : fell_back) result.maze_fallbacks += fb;
+    for (const std::vector<int>& path : paths) {
+      for (const int b : path) usage[static_cast<std::size_t>(b)] += 1.0f;
     }
   }
 
@@ -190,9 +221,9 @@ RouteResult GlobalRouter::route(const nl::Netlist& netlist,
   for (std::size_t i = 0; i < segments.size(); ++i) {
     // Hop count - 1 full steps plus in-bin escape; never shorter than the
     // Manhattan estimate (routing cannot beat the straight line).
+    const int hops = static_cast<int>(paths[i].size());
     const double len =
-        std::max(segments[i].manhattan,
-                 (std::max(1, path_hops[i] - 1)) * step_len * 0.9);
+        std::max(segments[i].manhattan, (std::max(1, hops - 1)) * step_len * 0.9);
     result.routed_length[static_cast<std::size_t>(segments[i].sink)] = len;
     result.total_wirelength += len;
   }

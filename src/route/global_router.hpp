@@ -5,9 +5,14 @@
 // decomposed into driver->sink two-pin segments; each segment is routed on a
 // uniform G x G grid with A*, paying a cost per g-cell that grows with
 // present congestion and with a history term accumulated across rip-up
-// rounds. Outputs per-sink routed lengths (which the sign-off STA consumes
-// instead of the pre-route Manhattan estimate) and the final track-usage map
-// (the sign-off coupling/congestion field).
+// rounds. Within a round, segments are independent: every segment prices
+// congestion off an immutable snapshot of the previous round's usage (plus
+// history), so they route in parallel across the thread pool, and the
+// resulting paths are committed to the usage field in segment order — the
+// outcome is deterministic and independent of RTP_THREADS. Outputs per-sink
+// routed lengths (which the sign-off STA consumes instead of the pre-route
+// Manhattan estimate) and the final track-usage map (the sign-off
+// coupling/congestion field).
 //
 // This is deliberately the expensive stage of the flow — as in the paper,
 // where routing dominates the commercial runtime that TABLE III compares

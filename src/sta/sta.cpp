@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/thread_pool.hpp"
+
 namespace rtp::sta {
+
+namespace {
+
+/// Pins per parallel chunk inside one topological level. Each pin owns its
+/// arrival/slew/required slot and its fanin edges' delay slots, so the update
+/// is race-free and bit-identical for any thread count.
+constexpr std::int64_t kLevelGrain = 32;
+
+}  // namespace
 
 StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
                   const StaConfig& config) {
@@ -25,33 +36,43 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
     result.slew[static_cast<std::size_t>(p)] = config.launch_slew;
   }
 
-  // PERT: one pass in topological order; every fanin is final when visited.
-  for (nl::PinId v : graph.topo_order()) {
-    double best = result.arrival[static_cast<std::size_t>(v)];
-    double best_slew = result.slew[static_cast<std::size_t>(v)];
-    for (std::int32_t e : graph.fanin(v)) {
-      const tg::Edge& edge = graph.edge(e);
-      double d;
-      double slew_out;
-      const double slew_in = result.slew[static_cast<std::size_t>(edge.from)];
-      if (edge.is_net) {
-        d = model.net_edge_delay(edge.from, edge.to);
-        // Wire degrades the transition proportionally to its RC delay.
-        slew_out = slew_in + 0.8 * d;
-      } else {
-        d = model.cell_edge_delay(static_cast<nl::CellId>(edge.ref));
-        // The driver restores the edge rate towards its own RC time constant.
-        slew_out = 0.35 * slew_in + 0.9 * d;
+  // PERT: level-synchronous sweep. Every fanin of a level-L pin sits at a
+  // strictly lower level, so within one level all pins update independently
+  // and the pass parallelizes with no synchronization beyond the level
+  // barrier — the same schedule the GNN message passing uses.
+  for (const std::vector<nl::PinId>& level_nodes : graph.nodes_by_level()) {
+    const std::int64_t count = static_cast<std::int64_t>(level_nodes.size());
+    core::parallel_for(0, count, kLevelGrain, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t idx = lo; idx < hi; ++idx) {
+        const nl::PinId v = level_nodes[static_cast<std::size_t>(idx)];
+        double best = result.arrival[static_cast<std::size_t>(v)];
+        double best_slew = result.slew[static_cast<std::size_t>(v)];
+        for (std::int32_t e : graph.fanin(v)) {
+          const tg::Edge& edge = graph.edge(e);
+          double d;
+          double slew_out;
+          const double slew_in = result.slew[static_cast<std::size_t>(edge.from)];
+          if (edge.is_net) {
+            d = model.net_edge_delay(edge.from, edge.to);
+            // Wire degrades the transition proportionally to its RC delay.
+            slew_out = slew_in + 0.8 * d;
+          } else {
+            d = model.cell_edge_delay(static_cast<nl::CellId>(edge.ref));
+            // The driver restores the edge rate towards its own RC time
+            // constant.
+            slew_out = 0.35 * slew_in + 0.9 * d;
+          }
+          result.edge_delay[static_cast<std::size_t>(e)] = d;
+          const double a = result.arrival[static_cast<std::size_t>(edge.from)] + d;
+          if (a > best) {
+            best = a;
+            best_slew = slew_out;
+          }
+        }
+        result.arrival[static_cast<std::size_t>(v)] = best;
+        result.slew[static_cast<std::size_t>(v)] = best_slew;
       }
-      result.edge_delay[static_cast<std::size_t>(e)] = d;
-      const double a = result.arrival[static_cast<std::size_t>(edge.from)] + d;
-      if (a > best) {
-        best = a;
-        best_slew = slew_out;
-      }
-    }
-    result.arrival[static_cast<std::size_t>(v)] = best;
-    result.slew[static_cast<std::size_t>(v)] = best_slew;
+    });
   }
 
   // Endpoint metrics.
@@ -84,16 +105,24 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
     const std::size_t ep = static_cast<std::size_t>(result.endpoints[i]);
     result.required[ep] = result.endpoint_arrival[i] + result.endpoint_slack[i];
   }
-  const auto& order = graph.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const nl::PinId v = *it;
-    for (std::int32_t e : graph.fanout(v)) {
-      const tg::Edge& edge = graph.edge(e);
-      result.required[static_cast<std::size_t>(v)] =
-          std::min(result.required[static_cast<std::size_t>(v)],
-                   result.required[static_cast<std::size_t>(edge.to)] -
-                       result.edge_delay[static_cast<std::size_t>(e)]);
-    }
+  // Mirror image of the forward sweep: levels descending, and within a level
+  // every pin reads only strictly-higher-level required times.
+  const auto& by_level = graph.nodes_by_level();
+  for (std::size_t li = by_level.size(); li-- > 0;) {
+    const std::vector<nl::PinId>& level_nodes = by_level[li];
+    const std::int64_t count = static_cast<std::int64_t>(level_nodes.size());
+    core::parallel_for(0, count, kLevelGrain, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t idx = lo; idx < hi; ++idx) {
+        const nl::PinId v = level_nodes[static_cast<std::size_t>(idx)];
+        for (std::int32_t e : graph.fanout(v)) {
+          const tg::Edge& edge = graph.edge(e);
+          result.required[static_cast<std::size_t>(v)] =
+              std::min(result.required[static_cast<std::size_t>(v)],
+                       result.required[static_cast<std::size_t>(edge.to)] -
+                           result.edge_delay[static_cast<std::size_t>(e)]);
+        }
+      }
+    });
   }
   result.slack.resize(n);
   for (std::size_t p = 0; p < n; ++p) {

@@ -1,0 +1,266 @@
+// Parallel-substrate tests: thread-pool semantics (empty range, grain
+// handling, nested-call guard, chunk-boundary stability) and the determinism
+// contract — every parallelized kernel must produce bit-identical results
+// under RTP_THREADS=1 and RTP_THREADS=4.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "gen/circuit_generator.hpp"
+#include "layout/feature_maps.hpp"
+#include "model/gnn.hpp"
+#include "nn/conv.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "sta/sta.hpp"
+
+namespace rtp {
+namespace {
+
+/// Restores the RTP_THREADS / hardware default on scope exit so a failing
+/// test cannot leak a forced thread count into the rest of the suite.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { core::set_num_threads(0); }
+};
+
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+/// Runs `fn` under 1 thread and again under 4, returning both results.
+template <typename Fn>
+auto under_both_thread_counts(Fn&& fn) {
+  ThreadCountGuard guard;
+  core::set_num_threads(1);
+  auto serial = fn();
+  core::set_num_threads(4);
+  auto parallel = fn();
+  return std::make_pair(std::move(serial), std::move(parallel));
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokes) {
+  ThreadCountGuard guard;
+  core::set_num_threads(4);
+  std::atomic<int> calls{0};
+  core::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  core::parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneChunk) {
+  ThreadCountGuard guard;
+  core::set_num_threads(4);
+  std::atomic<int> calls{0};
+  std::int64_t seen_begin = -1, seen_end = -1;
+  core::parallel_for(2, 9, 100, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 2);
+  EXPECT_EQ(seen_end, 9);
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount) {
+  auto chunks_at = [](int threads) {
+    ThreadCountGuard guard;
+    core::set_num_threads(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    core::parallel_for(3, 250, 17, [&](std::int64_t b, std::int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(chunks_at(1), chunks_at(4));
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  core::set_num_threads(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  core::parallel_for(0, kN, 7, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ThreadPool, NestedCallRunsInline) {
+  ThreadCountGuard guard;
+  core::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  core::parallel_for(0, 64, 4, [&](std::int64_t b0, std::int64_t e0) {
+    for (std::int64_t i = b0; i < e0; ++i) {
+      // Inner loop must not deadlock on the single job slot; it runs inline.
+      core::parallel_for(0, 64, 4, [&](std::int64_t b1, std::int64_t e1) {
+        for (std::int64_t j = b1; j < e1; ++j) {
+          hits[static_cast<std::size_t>(i * 64 + j)]++;
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelReduceIsOrderedAndDeterministic) {
+  // Values chosen so float addition order matters; the ordered combine must
+  // hide the thread count entirely.
+  std::vector<float> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i % 2 ? 1.0f : -1.0f) * (1.0f + static_cast<float>(i) * 1e-3f);
+  }
+  auto sum = [&] {
+    return core::parallel_reduce(
+        0, static_cast<std::int64_t>(values.size()), 97, 0.0f,
+        [&](std::int64_t b, std::int64_t e) {
+          float acc = 0.0f;
+          for (std::int64_t i = b; i < e; ++i) acc += values[static_cast<std::size_t>(i)];
+          return acc;
+        },
+        [](float a, float b) { return a + b; });
+  };
+  const auto [serial, parallel] = under_both_thread_counts(sum);
+  EXPECT_EQ(serial, parallel);  // bitwise, not approximate
+}
+
+TEST(ThreadPool, SetNumThreadsReconfigures) {
+  ThreadCountGuard guard;
+  core::set_num_threads(3);
+  EXPECT_EQ(core::num_threads(), 3);
+  core::set_num_threads(1);
+  EXPECT_EQ(core::num_threads(), 1);
+  core::set_num_threads(0);  // back to the RTP_THREADS / hardware default
+  EXPECT_GE(core::num_threads(), 1);
+}
+
+TEST(ParallelDeterminism, Matmul) {
+  Rng rng(11);
+  const nn::Tensor a = nn::Tensor::uniform({67, 41}, 1.0f, rng);
+  const nn::Tensor b = nn::Tensor::uniform({41, 53}, 1.0f, rng);
+  const nn::Tensor bt = nn::Tensor::uniform({53, 41}, 1.0f, rng);
+  const nn::Tensor at = nn::Tensor::uniform({41, 67}, 1.0f, rng);  // (K, M) for A^T B
+
+  auto [s1, p1] = under_both_thread_counts([&] { return nn::matmul(a, b); });
+  EXPECT_TRUE(bit_identical(s1, p1));
+  auto [s2, p2] = under_both_thread_counts([&] { return nn::matmul_bt(a, bt); });
+  EXPECT_TRUE(bit_identical(s2, p2));
+  auto [s3, p3] = under_both_thread_counts([&] { return nn::matmul_at(at, b); });
+  EXPECT_TRUE(bit_identical(s3, p3));
+}
+
+TEST(ParallelDeterminism, ConvForwardBackward) {
+  struct Result {
+    nn::Tensor y, gx, gw, gb;
+  };
+  auto run = [] {
+    Rng rng(5);
+    nn::Conv2d conv(3, 8, 3, 1, rng);
+    nn::Tensor x = nn::Tensor::uniform({3, 32, 32}, 1.0f, rng);
+    nn::Tensor grad = nn::Tensor::uniform({8, 32, 32}, 1.0f, rng);
+    Result r{conv.forward(x), conv.backward(grad), nn::Tensor{}, nn::Tensor{}};
+    r.gw = conv.params()[0]->grad;
+    r.gb = conv.params()[1]->grad;
+    return r;
+  };
+  const auto [serial, parallel] = under_both_thread_counts(run);
+  EXPECT_TRUE(bit_identical(serial.y, parallel.y));
+  EXPECT_TRUE(bit_identical(serial.gx, parallel.gx));
+  EXPECT_TRUE(bit_identical(serial.gw, parallel.gw));
+  EXPECT_TRUE(bit_identical(serial.gb, parallel.gb));
+}
+
+/// One generated, placed design shared by the graph-level determinism tests.
+struct PlacedDesign {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  nl::Netlist netlist;
+  layout::Placement placement;
+
+  PlacedDesign() {
+    const auto specs = gen::paper_benchmarks();
+    gen::CircuitGenerator generator(lib);
+    netlist = generator.generate(gen::benchmark_by_name(specs, "xgate"), 0.15).netlist;
+    place::PlacerConfig config;
+    config.seed = 3;
+    placement = place::Placer(config).place(netlist);
+  }
+};
+
+TEST(ParallelDeterminism, GnnForwardBackward) {
+  PlacedDesign d;
+  tg::TimingGraph graph(d.netlist);
+  const model::NodeFeatures features = model::extract_node_features(graph, d.placement);
+  model::ModelConfig config;
+  config.gnn_hidden = 16;
+  config.gnn_embed = 8;
+  Rng rng(7);
+  model::EndpointGNN gnn(config, rng);
+
+  auto run = [&] {
+    for (nn::Param* p : gnn.params()) p->grad.zero();
+    auto state = gnn.forward(graph, features);
+    nn::Tensor grad_h({graph.num_nodes(), config.gnn_embed});
+    for (nl::PinId ep : graph.endpoints()) {
+      for (int k = 0; k < config.gnn_embed; ++k) grad_h.at(ep, k) = 1.0f;
+    }
+    gnn.backward(graph, features, state, grad_h);
+    std::vector<nn::Tensor> out;
+    out.push_back(std::move(state.h));
+    for (nn::Param* p : gnn.params()) out.push_back(p->grad);
+    return out;
+  };
+  const auto [serial, parallel] = under_both_thread_counts(run);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(bit_identical(serial[i], parallel[i])) << "tensor " << i;
+  }
+}
+
+TEST(ParallelDeterminism, StaLevelSweep) {
+  PlacedDesign d;
+  tg::TimingGraph graph(d.netlist);
+  sta::StaConfig config;
+  auto run = [&] { return sta::run_sta(graph, d.placement, config); };
+  const auto [serial, parallel] = under_both_thread_counts(run);
+  EXPECT_EQ(serial.arrival, parallel.arrival);  // exact double equality
+  EXPECT_EQ(serial.slew, parallel.slew);
+  EXPECT_EQ(serial.edge_delay, parallel.edge_delay);
+  EXPECT_EQ(serial.slack, parallel.slack);
+  EXPECT_EQ(serial.wns, parallel.wns);
+  EXPECT_EQ(serial.tns, parallel.tns);
+}
+
+TEST(ParallelDeterminism, FeatureMaps) {
+  PlacedDesign d;
+  auto run = [&] {
+    return std::make_pair(layout::make_density_map(d.netlist, d.placement, 64, 64),
+                          layout::make_rudy_map(d.netlist, d.placement, 64, 64));
+  };
+  const auto [serial, parallel] = under_both_thread_counts(run);
+  EXPECT_EQ(serial.first.values(), parallel.first.values());  // exact float equality
+  EXPECT_EQ(serial.second.values(), parallel.second.values());
+}
+
+TEST(ParallelDeterminism, GlobalRouter) {
+  PlacedDesign d;
+  auto run = [&] { return route::GlobalRouter(route::RouterConfig{}).route(d.netlist, d.placement); };
+  const auto [serial, parallel] = under_both_thread_counts(run);
+  EXPECT_EQ(serial.routed_length, parallel.routed_length);
+  EXPECT_EQ(serial.total_wirelength, parallel.total_wirelength);
+  EXPECT_EQ(serial.usage.values(), parallel.usage.values());
+  EXPECT_EQ(serial.maze_fallbacks, parallel.maze_fallbacks);
+}
+
+}  // namespace
+}  // namespace rtp
