@@ -2,8 +2,24 @@
 // aggregates: timing-graph construction + leveling, endpoint longest paths,
 // critical-region masks, feature maps, and one sign-off STA pass — across two
 // design scales.
+//
+// Two modes:
+//  - default: the google-benchmark suite below (human-readable tables).
+//  - --json[=path] [--smoke]: the nn-kernel regression harness. Times the
+//    blocked GEMM / im2col conv against the retained naive reference
+//    (kern::set_use_naive_kernels) plus a thread sweep, and writes
+//    machine-readable JSON (default path BENCH_nn.json). Exits nonzero if
+//    the blocked matmul is slower than naive — CI runs `--json --smoke` on
+//    every push and fails on that regression.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
@@ -11,6 +27,7 @@
 #include "layout/feature_maps.hpp"
 #include "model/fusion.hpp"
 #include "nn/conv.hpp"
+#include "nn/kernels.hpp"
 #include "place/placer.hpp"
 #include "sta/sta.hpp"
 #include "timing/longest_path.hpp"
@@ -158,6 +175,191 @@ void BM_GnnForwardThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_GnnForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// ---- JSON kernel-regression harness (--json mode) ------------------------
+
+/// Runs fn repeatedly until both rep and wall-time floors are met; returns
+/// mean ns per call. One untimed warmup call absorbs lazy allocations.
+template <typename F>
+double time_ns_per_op(F&& fn, int min_reps, double min_seconds) {
+  fn();
+  int reps = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  } while (reps < min_reps || elapsed < min_seconds);
+  return elapsed * 1e9 / reps;
+}
+
+struct AbResult {
+  std::string name;
+  std::string dims;       ///< human-readable problem size
+  double flops = 0.0;     ///< per op; 0 when not meaningful
+  double naive_ns = 0.0;
+  double blocked_ns = 0.0;
+
+  double speedup() const { return naive_ns / blocked_ns; }
+  double gflops(double ns) const { return ns > 0.0 ? flops / ns : 0.0; }
+};
+
+struct SweepResult {
+  std::string name;
+  int threads = 0;
+  double ns = 0.0;
+};
+
+/// Times one gemm op blocked-vs-naive at (m, n, k), single thread.
+AbResult ab_gemm(const char* name, nn::kern::Op op_a, nn::kern::Op op_b, int m,
+                 int n, int k, int min_reps, double min_seconds) {
+  Rng rng(11);
+  const int a_rows = op_a == nn::kern::Op::kNone ? m : k;
+  const int a_cols = op_a == nn::kern::Op::kNone ? k : m;
+  const int b_rows = op_b == nn::kern::Op::kNone ? k : n;
+  const int b_cols = op_b == nn::kern::Op::kNone ? n : k;
+  const nn::Tensor a = nn::Tensor::uniform({a_rows, a_cols}, 1.0f, rng);
+  const nn::Tensor b = nn::Tensor::uniform({b_rows, b_cols}, 1.0f, rng);
+  nn::Tensor c({m, n});
+  AbResult r;
+  r.name = name;
+  r.dims = std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+  r.flops = 2.0 * m * n * k;
+  r.naive_ns = time_ns_per_op(
+      [&] { nn::kern::gemm_naive(op_a, op_b, m, n, k, a.data(), b.data(), c.data()); },
+      min_reps, min_seconds);
+  r.blocked_ns = time_ns_per_op(
+      [&] { nn::kern::gemm_blocked(op_a, op_b, m, n, k, a.data(), b.data(), c.data()); },
+      min_reps, min_seconds);
+  benchmark::DoNotOptimize(c.data());
+  return r;
+}
+
+int run_json_harness(const std::string& path, bool smoke) {
+  core::set_num_threads(1);
+  const int reps = smoke ? 3 : 10;
+  const double secs = smoke ? 0.05 : 0.5;
+
+  std::vector<AbResult> cases;
+  cases.push_back(ab_gemm("matmul_256", nn::kern::Op::kNone, nn::kern::Op::kNone,
+                          256, 256, 256, reps, secs));
+  cases.push_back(ab_gemm("matmul_bt_256", nn::kern::Op::kNone, nn::kern::Op::kTrans,
+                          256, 256, 256, reps, secs));
+  cases.push_back(ab_gemm("matmul_at_256", nn::kern::Op::kTrans, nn::kern::Op::kNone,
+                          256, 256, 256, reps, secs));
+
+  // Conv A/B: the full im2col pipeline with gemm() dispatched naive vs
+  // blocked via the same override the RTP_NAIVE_KERNELS env uses.
+  {
+    Rng rng(5);
+    nn::Conv2d conv(8, 16, 3, 1, rng);
+    const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
+    AbResult fwd;
+    fwd.name = "conv_forward";
+    fwd.dims = "8x128x128 -> 16x128x128, k=3";
+    fwd.flops = 2.0 * 16 * (8 * 3 * 3) * (128 * 128);
+    nn::Tensor y = conv.forward(x);
+    AbResult bwd;
+    bwd.name = "conv_backward";
+    bwd.dims = fwd.dims;
+    bwd.flops = 2.0 * fwd.flops;  // dW GEMM + G_col GEMM, same shape each
+    nn::kern::set_use_naive_kernels(true);
+    fwd.naive_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.forward(x).numel()); },
+                                  reps, secs);
+    bwd.naive_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.backward(y).numel()); },
+                                  reps, secs);
+    nn::kern::set_use_naive_kernels(false);
+    fwd.blocked_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.forward(x).numel()); },
+                                    reps, secs);
+    bwd.blocked_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.backward(y).numel()); },
+                                    reps, secs);
+    nn::kern::reset_naive_kernels_override();
+    cases.push_back(fwd);
+    cases.push_back(bwd);
+  }
+
+  // Thread sweep over the blocked paths (ns only; speedup depends on cores).
+  std::vector<SweepResult> sweep;
+  for (int t : {1, 2, 4}) {
+    core::set_num_threads(t);
+    Rng rng(11);
+    const nn::Tensor a = nn::Tensor::uniform({256, 256}, 1.0f, rng);
+    const nn::Tensor b = nn::Tensor::uniform({256, 256}, 1.0f, rng);
+    sweep.push_back({"matmul_256", t, time_ns_per_op([&] {
+                       benchmark::DoNotOptimize(nn::matmul(a, b).numel());
+                     }, reps, secs)});
+    nn::Conv2d conv(8, 16, 3, 1, rng);
+    const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
+    sweep.push_back({"conv_forward", t, time_ns_per_op([&] {
+                       benchmark::DoNotOptimize(conv.forward(x).numel());
+                     }, reps, secs)});
+  }
+  core::set_num_threads(0);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_micro: cannot write " << path << "\n";
+    return 2;
+  }
+  out << "{\n  \"schema\": \"rtp-bench-nn-v1\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const AbResult& r = cases[i];
+    out << "    {\"name\": \"" << r.name << "\", \"dims\": \"" << r.dims
+        << "\", \"naive_ns\": " << r.naive_ns
+        << ", \"blocked_ns\": " << r.blocked_ns
+        << ", \"naive_gflops\": " << r.gflops(r.naive_ns)
+        << ", \"blocked_gflops\": " << r.gflops(r.blocked_ns)
+        << ", \"speedup\": " << r.speedup() << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"thread_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "    {\"name\": \"" << sweep[i].name << "\", \"threads\": "
+        << sweep[i].threads << ", \"ns\": " << sweep[i].ns << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+
+  bool regressed = false;
+  for (const AbResult& r : cases) {
+    std::cerr << r.name << " (" << r.dims << "): naive " << r.gflops(r.naive_ns)
+              << " GF/s, blocked " << r.gflops(r.blocked_ns) << " GF/s, speedup "
+              << r.speedup() << "x\n";
+    if (r.name == "matmul_256" && r.speedup() < 1.0) regressed = true;
+  }
+  std::cerr << "wrote " << path << "\n";
+  if (regressed) {
+    std::cerr << "REGRESSION: blocked matmul slower than naive reference\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false, smoke = false;
+  std::string path = "BENCH_nn.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (json) return run_json_harness(path, smoke);
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

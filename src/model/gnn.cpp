@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/thread_pool.hpp"
+#include "nn/workspace.hpp"
 
 namespace rtp::model {
 
@@ -45,7 +46,11 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
       const int b = static_cast<int>(cache.cell_nodes.size());
       cache.max_agg = nn::Tensor({b, d});
       cache.argmax.assign(static_cast<std::size_t>(b) * d, -1);
-      nn::Tensor feat({b, kCellFeatDim});
+      // Gather buffers come from the workspace arena: levels of similar width
+      // reuse each other's allocations across the sweep (and across epochs).
+      // The gather writes every element, so a dirty acquire is safe.
+      nn::Scratch feat_s({b, kCellFeatDim}, /*zeroed=*/false);
+      nn::Tensor& feat = feat_s.t();
       // Gather runs parallel over the level's nodes: node i writes only row i
       // of feat/max_agg/argmax and reads h of strictly earlier levels.
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
@@ -84,7 +89,8 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
     // ---- net nodes: identity message from the single driver + f_n ----
     if (!cache.net_nodes.empty()) {
       const int b = static_cast<int>(cache.net_nodes.size());
-      nn::Tensor feat({b, kNetFeatDim});
+      nn::Scratch feat_s({b, kNetFeatDim}, /*zeroed=*/false);
+      nn::Tensor& feat = feat_s.t();
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
@@ -124,14 +130,17 @@ void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
 
     if (!cache.net_nodes.empty()) {
       const int b = static_cast<int>(cache.net_nodes.size());
-      nn::Tensor g({b, d});
+      // Arena scratch, fully written by the gather; ReLU masking is in place,
+      // so the whole level backward reuses one pooled buffer.
+      nn::Scratch g_s({b, d}, /*zeroed=*/false);
+      nn::Tensor& g = g_s.t();
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
           for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
         }
       });
-      g = nn::ReLU::backward(g, cache.net_relu);
+      nn::ReLU::backward_(&g, cache.net_relu);
       // Identity branch to the driver; MLP branch to f_n (input grads unused).
       // The driver scatter stays serial: several sinks of one net share a
       // driver row, and the serial order keeps the accumulation deterministic.
@@ -146,14 +155,15 @@ void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
 
     if (!cache.cell_nodes.empty()) {
       const int b = static_cast<int>(cache.cell_nodes.size());
-      nn::Tensor g({b, d});
+      nn::Scratch g_s({b, d}, /*zeroed=*/false);
+      nn::Tensor& g = g_s.t();
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
           for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
         }
       });
-      g = nn::ReLU::backward(g, cache.cell_relu);
+      nn::ReLU::backward_(&g, cache.cell_relu);
       const nn::Tensor g_max = f_c1_.backward(g, cache.c1_cache);
       // Serial for the same reason as the driver scatter: distinct nodes may
       // share an argmax predecessor row.

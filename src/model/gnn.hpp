@@ -35,7 +35,7 @@ class EndpointGNN {
     nn::Tensor max_agg;                      ///< (#cell, D) pre-f_c1 input
     std::vector<std::int32_t> argmax;        ///< (#cell * D) winning pred pin, -1 if none
     nn::MlpCache c1_cache, c2_cache, n_cache;
-    std::vector<bool> cell_relu, net_relu;   ///< output activation masks
+    nn::ReluMask cell_relu, net_relu;        ///< output activation masks
   };
 
   struct ForwardState {

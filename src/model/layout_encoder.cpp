@@ -1,5 +1,7 @@
 #include "model/layout_encoder.hpp"
 
+#include "nn/workspace.hpp"
+
 namespace rtp::model {
 
 EndpointMasks build_endpoint_masks(const tg::TimingGraph& graph,
@@ -81,7 +83,12 @@ void LayoutEncoder::backward(const nn::Tensor& grad_map) {
 nn::Tensor LayoutEncoder::embed(const nn::Tensor& map, const EndpointMasks& masks) {
   RTP_CHECK(map.ndim() == 2 && map.dim(0) == 1 && map.dim(1) == map_pixels_);
   const int e = static_cast<int>(masks.bins.size());
-  nn::Tensor masked({e, map_pixels_});
+  // The masked-map batch is the largest transient in the layout branch
+  // (E x map_pixels, mostly zeros); pull it from the workspace arena so every
+  // embed() call of the same batch size reuses one allocation. The masks
+  // touch only a sparse subset of bins, so this must be a zeroed acquire.
+  nn::Scratch masked_s({e, map_pixels_}, /*zeroed=*/true);
+  nn::Tensor& masked = masked_s.t();
   for (int i = 0; i < e; ++i) {
     for (std::int32_t bin : masks.bins[static_cast<std::size_t>(i)]) {
       masked.at(i, bin) = map.at(0, bin);

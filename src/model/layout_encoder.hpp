@@ -59,7 +59,7 @@ class LayoutEncoder {
   int map_pixels_;  ///< (grid/4)^2
   nn::Conv2d conv1_, conv2_, conv3_;
   nn::MaxPool2d pool1_, pool2_;
-  std::vector<bool> relu1_, relu2_;
+  nn::ReluMask relu1_, relu2_;
   nn::Linear fc_;  ///< shared FC: map_pixels -> layout_embed (caches internally)
 };
 

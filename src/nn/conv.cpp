@@ -3,18 +3,50 @@
 #include <cmath>
 
 #include "core/thread_pool.hpp"
+#include "nn/kernels.hpp"
+#include "nn/workspace.hpp"
 
 namespace rtp::nn {
 
 namespace {
 
-// Output channels per parallel chunk, sized so one chunk is ~64k mul-adds.
-// Depends only on the layer shape, never on the thread count, which keeps the
-// backward pass's ordered partial reduction bit-identical across RTP_THREADS.
-std::int64_t channel_grain(int ci, int k, int oh, int ow) {
-  const std::int64_t per_channel =
-      static_cast<std::int64_t>(ci) * k * k * oh * ow;
-  return std::max<std::int64_t>(1, 65536 / std::max<std::int64_t>(per_channel, 1));
+// Lowered-matrix dimensions: X_col is (ci*k*k) x (oh*ow); row r of X_col holds
+// the input values that kernel tap (c, ki, kj) with r = (c*k + ki)*k + kj
+// contributes to each output position.
+struct ColDims {
+  int rows, cols, oh, ow;
+};
+
+ColDims col_dims(int ci, int k, int p, int h, int w) {
+  const int oh = h + 2 * p - k + 1, ow = w + 2 * p - k + 1;
+  return {ci * k * k, oh * ow, oh, ow};
+}
+
+// Fills X_col from x. Pure copies with disjoint destination rows, so any
+// parallel chunking is deterministic.
+void im2col(const Tensor& x, int k, int p, const ColDims& d, float* xcol) {
+  const int h = x.dim(1), w = x.dim(2);
+  const std::int64_t grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
+  core::parallel_for(0, d.rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (int r = static_cast<int>(r0); r < r1; ++r) {
+      const int c = r / (k * k), ki = (r / k) % k, kj = r % k;
+      // Output col (i,j) reads input (i+ki-p, j+kj-p); clamp to valid ranges.
+      const int j0 = std::max(0, p - kj), j1 = std::min(d.ow, w + p - kj);
+      for (int i = 0; i < d.oh; ++i) {
+        float* dst = xcol + static_cast<std::size_t>(r) * d.cols +
+                     static_cast<std::size_t>(i) * d.ow;
+        const int si = i + ki - p;
+        if (si < 0 || si >= h) {
+          for (int j = 0; j < d.ow; ++j) dst[j] = 0.0f;
+          continue;
+        }
+        const float* src = x.row3(c, si) + (kj - p);
+        for (int j = 0; j < j0; ++j) dst[j] = 0.0f;
+        for (int j = j0; j < j1; ++j) dst[j] = src[j];
+        for (int j = j1; j < d.ow; ++j) dst[j] = 0.0f;
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -28,96 +60,118 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int padding, Rng& 
   RTP_CHECK(kernel >= 1 && padding >= 0);
 }
 
+// Forward is lowered to one GEMM: Y (co x oh*ow) = W (co x ci*k*k) * X_col,
+// where the weight tensor's row-major (co, ci, k, k) storage is already the
+// lowered (co, ci*k*k) matrix. 1x1 unpadded convolutions skip the lowering —
+// x itself is X_col. The GEMM is deterministic across thread counts
+// (kernels.hpp), and the bias add is parallel over disjoint output channels.
 Tensor Conv2d::forward(const Tensor& x) {
   RTP_CHECK(x.ndim() == 3 && x.dim(0) == in_channels());
   cached_input_ = x;
   const int ci = in_channels(), co = out_channels(), k = kernel(), p = padding_;
   const int h = x.dim(1), w = x.dim(2);
-  const int oh = h + 2 * p - k + 1, ow = w + 2 * p - k + 1;
-  RTP_CHECK_MSG(oh > 0 && ow > 0, "conv output would be empty");
-  Tensor y({co, oh, ow});
-  // Each chunk owns a range of output channels; writes to y are disjoint.
-  core::parallel_for(
-      0, co, channel_grain(ci, k, oh, ow), [&](std::int64_t f0, std::int64_t f1) {
-        for (int f = static_cast<int>(f0); f < f1; ++f) {
-          const float b = bias_.value.at(f);
-          for (int i = 0; i < oh; ++i) {
-            for (int j = 0; j < ow; ++j) y.at(f, i, j) = b;
-          }
-          for (int c = 0; c < ci; ++c) {
-            for (int ki = 0; ki < k; ++ki) {
-              for (int kj = 0; kj < k; ++kj) {
-                const float wv = weight_.value.at(f, c, ki, kj);
-                if (wv == 0.0f) continue;
-                // Output (i,j) reads input (i+ki-p, j+kj-p); clamp to valid
-                // rows/cols.
-                const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
-                const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
-                for (int i = i0; i < i1; ++i) {
-                  const float* xrow = x.row3(c, i + ki - p);
-                  float* yrow = y.row3(f, i);
-                  for (int j = j0; j < j1; ++j) yrow[j] += wv * xrow[j + kj - p];
-                }
-              }
-            }
-          }
-        }
-      });
+  const ColDims d = col_dims(ci, k, p, h, w);
+  RTP_CHECK_MSG(d.oh > 0 && d.ow > 0, "conv output would be empty");
+  const float* xcol;
+  if (k == 1 && p == 0) {
+    cached_cols_ = Tensor();  // x serves as X_col; nothing to lower
+    xcol = x.data();
+  } else {
+    cached_cols_.reset({d.rows, d.cols});
+    im2col(x, k, p, d, cached_cols_.data());
+    xcol = cached_cols_.data();
+  }
+  Tensor y({co, d.oh, d.ow});
+  kern::gemm(kern::Op::kNone, kern::Op::kNone, co, d.cols, d.rows,
+             weight_.value.data(), xcol, y.data());
+  const std::int64_t bias_grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
+  core::parallel_for(0, co, bias_grain, [&](std::int64_t f0, std::int64_t f1) {
+    for (int f = static_cast<int>(f0); f < f1; ++f) {
+      const float b = bias_.value.at(f);
+      float* yrow = y.data() + static_cast<std::size_t>(f) * d.cols;
+      for (int j = 0; j < d.cols; ++j) yrow[j] += b;
+    }
+  });
   return y;
 }
 
+// Backward in lowered form:
+//   dW (co x ci*k*k) = dY (co x oh*ow) * X_col^T          — GEMM, B transposed
+//   db_f             = sum of dY row f                     — per-channel sums
+//   G_col            = W^T (ci*k*k x co) * dY              — GEMM, A transposed
+//   gx               = col2im(G_col)                       — scatter-add
+// col2im parallelizes over input channels: channel c receives contributions
+// only from G_col rows [c*k*k, (c+1)*k*k), so chunks write disjoint slices of
+// gx and each element accumulates in a fixed (ki, kj, i, j) order — results
+// are bit-identical for every thread count.
 Tensor Conv2d::backward(const Tensor& grad_out) {
   RTP_CHECK_MSG(!cached_input_.empty(), "Conv2d::backward before forward");
   const Tensor& x = cached_input_;
   const int ci = in_channels(), co = out_channels(), k = kernel(), p = padding_;
   const int h = x.dim(1), w = x.dim(2);
-  const int oh = h + 2 * p - k + 1, ow = w + 2 * p - k + 1;
-  RTP_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == co && grad_out.dim(1) == oh &&
-            grad_out.dim(2) == ow);
-  // Weight and bias gradients are indexed by output channel f, so chunks over
-  // f write them race-free. The input gradient gx receives contributions from
-  // every f; each chunk accumulates into its own scratch tensor and the
-  // partials are reduced in ascending chunk order. Chunk boundaries depend
-  // only on the layer shape (capped at 16 partials to bound scratch memory),
-  // so the float accumulation order — and thus the result — is identical for
-  // every RTP_THREADS setting.
-  std::int64_t grain = channel_grain(ci, k, oh, ow);
-  grain = std::max(grain, static_cast<std::int64_t>((co + 15) / 16));
-  const std::size_t n_chunks = static_cast<std::size_t>((co + grain - 1) / grain);
-  std::vector<Tensor> gx_partial(n_chunks);
-  core::parallel_for(0, co, grain, [&](std::int64_t f0, std::int64_t f1) {
-    Tensor& gxp = gx_partial[static_cast<std::size_t>(f0 / grain)];
-    gxp = Tensor({ci, h, w});
+  const ColDims d = col_dims(ci, k, p, h, w);
+  RTP_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == co &&
+            grad_out.dim(1) == d.oh && grad_out.dim(2) == d.ow);
+  const bool lowered = !(k == 1 && p == 0);
+  const float* xcol = lowered ? cached_cols_.data() : x.data();
+  const float* dy = grad_out.data();
+
+  // Weight gradient: GEMM into scratch, then accumulate — weight_.grad adds
+  // across calls, while gemm() overwrites its output.
+  Scratch dw_s({co, d.rows}, /*zeroed=*/false);
+  kern::gemm(kern::Op::kNone, kern::Op::kTrans, co, d.rows, d.cols, dy, xcol,
+             dw_s.data());
+  {
+    float* wg = weight_.grad.data();
+    const float* dw = dw_s.data();
+    core::parallel_for(0, static_cast<std::int64_t>(weight_.grad.numel()), 1 << 16,
+                       [&](std::int64_t b, std::int64_t e) {
+                         for (std::int64_t i = b; i < e; ++i) wg[i] += dw[i];
+                       });
+  }
+
+  // Bias gradient: per-channel sums (double accumulator, as in the seed).
+  const std::int64_t bias_grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
+  core::parallel_for(0, co, bias_grain, [&](std::int64_t f0, std::int64_t f1) {
     for (int f = static_cast<int>(f0); f < f1; ++f) {
+      const float* grow = dy + static_cast<std::size_t>(f) * d.cols;
       double gb = 0.0;
-      for (int i = 0; i < oh; ++i) {
-        for (int j = 0; j < ow; ++j) gb += grad_out.at(f, i, j);
-      }
+      for (int j = 0; j < d.cols; ++j) gb += grow[j];
       bias_.grad.at(f) += static_cast<float>(gb);
-      for (int c = 0; c < ci; ++c) {
-        for (int ki = 0; ki < k; ++ki) {
-          for (int kj = 0; kj < k; ++kj) {
-            const int i0 = std::max(0, p - ki), i1 = std::min(oh, h + p - ki);
-            const int j0 = std::max(0, p - kj), j1 = std::min(ow, w + p - kj);
-            double gw = 0.0;
-            const float wv = weight_.value.at(f, c, ki, kj);
-            for (int i = i0; i < i1; ++i) {
-              const float* xrow = x.row3(c, i + ki - p);
-              float* gxrow = gxp.row3(c, i + ki - p);
-              const float* grow = grad_out.row3(f, i);
-              for (int j = j0; j < j1; ++j) {
-                gw += static_cast<double>(grow[j]) * xrow[j + kj - p];
-                gxrow[j + kj - p] += wv * grow[j];
-              }
-            }
-            weight_.grad.at(f, c, ki, kj) += static_cast<float>(gw);
+    }
+  });
+
+  // Input gradient.
+  Tensor gx({ci, h, w});
+  if (!lowered) {
+    kern::gemm(kern::Op::kTrans, kern::Op::kNone, d.rows, d.cols, co,
+               weight_.value.data(), dy, gx.data());
+    return gx;
+  }
+  Scratch gcol_s({d.rows, d.cols}, /*zeroed=*/false);
+  kern::gemm(kern::Op::kTrans, kern::Op::kNone, d.rows, d.cols, co,
+             weight_.value.data(), dy, gcol_s.data());
+  const float* gcol = gcol_s.data();
+  const std::int64_t ch_grain =
+      std::max<std::int64_t>(1, 65536 / std::max(k * k * d.cols, 1));
+  core::parallel_for(0, ci, ch_grain, [&](std::int64_t c0, std::int64_t c1) {
+    for (int c = static_cast<int>(c0); c < c1; ++c) {
+      for (int ki = 0; ki < k; ++ki) {
+        for (int kj = 0; kj < k; ++kj) {
+          const int r = (c * k + ki) * k + kj;
+          const int j0 = std::max(0, p - kj), j1 = std::min(d.ow, w + p - kj);
+          for (int i = 0; i < d.oh; ++i) {
+            const int si = i + ki - p;
+            if (si < 0 || si >= h) continue;
+            float* gxrow = gx.row3(c, si) + (kj - p);
+            const float* grow = gcol + static_cast<std::size_t>(r) * d.cols +
+                                static_cast<std::size_t>(i) * d.ow;
+            for (int j = j0; j < j1; ++j) gxrow[j] += grow[j];
           }
         }
       }
     }
   });
-  Tensor gx({ci, h, w});
-  for (const Tensor& gxp : gx_partial) gx.add_(gxp);
   return gx;
 }
 

@@ -4,6 +4,11 @@
 // The layout CNN processes one design at a time (its output map M^L is shared
 // by all endpoints of that design), so these layers operate on single samples
 // of shape (C, H, W) — no batch dimension.
+//
+// Conv2d is implemented as im2col + GEMM (kernels.hpp): forward lowers the
+// input into a (C_in*k*k, OH*OW) column matrix and multiplies by the weight
+// viewed as (C_out, C_in*k*k); backward runs the two transposed GEMMs plus a
+// col2im scatter. 1x1 unpadded convolutions skip the lowering entirely.
 
 #include <vector>
 
@@ -34,6 +39,7 @@ class Conv2d {
   Param bias_;    ///< (C_out)
   int padding_;
   Tensor cached_input_;
+  Tensor cached_cols_;  ///< im2col(x) from forward, reused by backward
 };
 
 /// Non-overlapping max pooling with square window (window == stride).

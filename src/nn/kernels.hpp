@@ -1,0 +1,62 @@
+#pragma once
+// Cache-blocked single-precision GEMM — the kernel layer underneath
+// nn::matmul / matmul_bt / matmul_at and the im2col convolution.
+//
+// One entry point, gemm(), computes C = op_a(A) * op_b(B) for row-major
+// float matrices. Two implementations sit behind it:
+//
+//  - gemm_blocked(): packs A and B into contiguous zero-padded panels and
+//    runs a register-blocked kMr x kNr micro-kernel over kKc-deep k-panels,
+//    parallelized over row strips via core::parallel_for. Every output
+//    element is accumulated in ascending-k order by a single float
+//    accumulator per k-panel, with panels folded in ascending order — the
+//    accumulation order depends only on the shape, never on the thread
+//    count, so the 1-vs-N bit-identical determinism contract of the thread
+//    pool (DESIGN.md §6) is preserved.
+//  - gemm_naive(): the seed's triple-loop kernels, retained verbatim as the
+//    reference implementation for the equivalence tests and the
+//    RTP_NAIVE_KERNELS=1 A/B fallback.
+//
+// Dispatch: gemm() uses the naive path when RTP_NAIVE_KERNELS=1 (read once,
+// overridable via set_use_naive_kernels for tests/benchmarks) or when the
+// problem is too small for packing to pay for itself.
+
+#include <cstdint>
+
+namespace rtp::nn::kern {
+
+/// How a stored matrix maps onto its logical operand: kNone means the buffer
+/// is the logical matrix; kTrans means the buffer is its transpose.
+enum class Op : std::uint8_t { kNone, kTrans };
+
+// Tiling parameters, exposed so tests can target panel edges exactly.
+// 4x32 measured fastest across ISA levels (GCC keeps the tile in registers
+// and vectorizes the 32-wide rows at whatever width the clone allows).
+inline constexpr int kMr = 4;    ///< micro-kernel rows (accumulator tile)
+inline constexpr int kNr = 32;   ///< micro-kernel cols (one packed B strip)
+inline constexpr int kKc = 256;  ///< k-panel depth (packed panels stay in L1/L2)
+
+/// C (m x n, row-major) = op_a(A) * op_b(B). C is fully overwritten; its
+/// prior contents are ignored. Stored shapes: A is (m x k) under kNone and
+/// (k x m) under kTrans; B is (k x n) under kNone and (n x k) under kTrans.
+void gemm(Op op_a, Op op_b, int m, int n, int k, const float* a, const float* b,
+          float* c);
+
+/// The blocked path, unconditionally (tests and benchmarks).
+void gemm_blocked(Op op_a, Op op_b, int m, int n, int k, const float* a,
+                  const float* b, float* c);
+
+/// The seed's triple-loop kernels, unconditionally. Bit-identical to the
+/// pre-kernel-layer matmul / matmul_bt / matmul_at.
+void gemm_naive(Op op_a, Op op_b, int m, int n, int k, const float* a,
+                const float* b, float* c);
+
+/// True when gemm() dispatches to the naive reference (RTP_NAIVE_KERNELS=1
+/// in the environment, or a set_use_naive_kernels(true) override).
+bool use_naive_kernels();
+/// Overrides the env-derived dispatch for the current process.
+void set_use_naive_kernels(bool on);
+/// Drops the override, returning to the RTP_NAIVE_KERNELS env setting.
+void reset_naive_kernels_override();
+
+}  // namespace rtp::nn::kern

@@ -21,8 +21,10 @@ Tensor Linear::forward(const Tensor& x, Tensor* saved) const {
   *saved = x;
   Tensor y = matmul_bt(x, weight_.value);  // (N,in) * (out,in)^T
   const int n = y.dim(0), out = y.dim(1);
+  const float* b = bias_.value.data();
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < out; ++j) y.at(i, j) += bias_.value.at(j);
+    float* yrow = y.data() + static_cast<std::size_t>(i) * out;
+    for (int j = 0; j < out; ++j) yrow[j] += b[j];
   }
   return y;
 }
@@ -35,9 +37,13 @@ Tensor Linear::backward(const Tensor& grad_out, const Tensor& saved) {
   RTP_CHECK(grad_out.dim(0) == saved.dim(0));
   // dW = grad_out^T x ; db = column sums of grad_out ; dX = grad_out W.
   weight_.grad.add_(matmul_at(grad_out, saved));
+  // Row-major sweep keeps the per-element accumulation order of the seed
+  // (ascending i for each j), so bias grads stay bit-identical.
   const int n = grad_out.dim(0), out = out_features();
+  float* bg = bias_.grad.data();
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < out; ++j) bias_.grad.at(j) += grad_out.at(i, j);
+    const float* grow = grad_out.data() + static_cast<std::size_t>(i) * out;
+    for (int j = 0; j < out; ++j) bg[j] += grow[j];
   }
   return matmul(grad_out, weight_.value);
 }
@@ -46,28 +52,34 @@ Tensor Linear::backward(const Tensor& grad_out) {
   return backward(grad_out, cached_input_);
 }
 
-Tensor ReLU::forward(const Tensor& x, std::vector<bool>* saved_mask) {
+Tensor ReLU::forward(const Tensor& x, ReluMask* saved_mask) {
   Tensor y = x;
-  saved_mask->assign(x.numel(), false);
+  saved_mask->resize(x.numel());
+  std::uint8_t* mask = saved_mask->data();
+  float* yd = y.data();
   for (std::size_t i = 0; i < y.numel(); ++i) {
-    if (y[i] > 0.0f) {
-      (*saved_mask)[i] = true;
-    } else {
-      y[i] = 0.0f;
-    }
+    const bool pos = yd[i] > 0.0f;
+    mask[i] = pos;
+    if (!pos) yd[i] = 0.0f;
   }
   return y;
 }
 
 Tensor ReLU::forward(const Tensor& x) { return forward(x, &mask_); }
 
-Tensor ReLU::backward(const Tensor& grad_out, const std::vector<bool>& saved_mask) {
-  RTP_CHECK(grad_out.numel() == saved_mask.size());
+Tensor ReLU::backward(const Tensor& grad_out, const ReluMask& saved_mask) {
   Tensor g = grad_out;
-  for (std::size_t i = 0; i < g.numel(); ++i) {
-    if (!saved_mask[i]) g[i] = 0.0f;
-  }
+  backward_(&g, saved_mask);
   return g;
+}
+
+void ReLU::backward_(Tensor* grad, const ReluMask& saved_mask) {
+  RTP_CHECK(grad->numel() == saved_mask.size());
+  const std::uint8_t* mask = saved_mask.data();
+  float* gd = grad->data();
+  for (std::size_t i = 0; i < grad->numel(); ++i) {
+    if (!mask[i]) gd[i] = 0.0f;
+  }
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) { return backward(grad_out, mask_); }

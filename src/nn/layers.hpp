@@ -6,6 +6,7 @@
 // A layer therefore holds per-call state — reuse one instance per logical
 // position in the network, exactly as with torch.nn modules.
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/tensor.hpp"
@@ -65,16 +66,24 @@ class Linear {
   Tensor cached_input_;
 };
 
+/// One byte per element (1 = input was positive). std::uint8_t rather than
+/// std::vector<bool>: the packed-bit specialization forces a read-modify-write
+/// per store and blocks vectorization of the mask loops.
+using ReluMask = std::vector<std::uint8_t>;
+
 /// Elementwise ReLU.
 class ReLU {
  public:
   Tensor forward(const Tensor& x);
-  static Tensor forward(const Tensor& x, std::vector<bool>* saved_mask);
+  static Tensor forward(const Tensor& x, ReluMask* saved_mask);
   Tensor backward(const Tensor& grad_out);
-  static Tensor backward(const Tensor& grad_out, const std::vector<bool>& saved_mask);
+  static Tensor backward(const Tensor& grad_out, const ReluMask& saved_mask);
+  /// In-place variant: zeroes *grad where the mask is 0. Lets callers that
+  /// own a scratch gradient buffer skip the copy backward() makes.
+  static void backward_(Tensor* grad, const ReluMask& saved_mask);
 
  private:
-  std::vector<bool> mask_;
+  ReluMask mask_;
 };
 
 /// Mean squared error over all elements. Returns loss; grad wrt pred has the

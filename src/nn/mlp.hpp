@@ -15,7 +15,7 @@ namespace rtp::nn {
 /// topological level) with correct gradient accumulation.
 struct MlpCache {
   std::vector<Tensor> linear_inputs;
-  std::vector<std::vector<bool>> relu_masks;
+  std::vector<ReluMask> relu_masks;
 };
 
 class Mlp {

@@ -5,16 +5,7 @@
 #include <sstream>
 
 #include "core/thread_pool.hpp"
-
-namespace {
-
-// Rows per parallel chunk so each chunk carries at least ~64k mul-adds;
-// small matrices collapse to one chunk and run inline with no pool dispatch.
-std::int64_t row_grain(int per_row_work) {
-  return std::max<std::int64_t>(1, 65536 / std::max(per_row_work, 1));
-}
-
-}  // namespace
+#include "nn/kernels.hpp"
 
 namespace rtp::nn {
 
@@ -77,26 +68,15 @@ std::string Tensor::shape_str() const {
   return os.str();
 }
 
-// All three products are parallel over output rows: each chunk owns a row
-// range of c, so writes are disjoint and every row is accumulated in the same
-// k-order regardless of thread count (bit-identical results).
+// All three products route through the kernel layer (kernels.hpp): a packed,
+// register-blocked GEMM parallel over row strips, with the seed's triple-loop
+// kernels retained behind RTP_NAIVE_KERNELS=1. Accumulation order depends
+// only on the shape, so results stay bit-identical across thread counts.
 Tensor matmul(const Tensor& a, const Tensor& b) {
   RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  core::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
-    // i-k-j order: streams through b and c rows, cache-friendly for row-major.
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = a.data() + static_cast<std::size_t>(i) * k;
-      float* crow = c.data() + static_cast<std::size_t>(i) * n;
-      for (int kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        if (aik == 0.0f) continue;
-        const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
-        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  });
+  kern::gemm(kern::Op::kNone, kern::Op::kNone, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -104,18 +84,7 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  core::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = a.data() + static_cast<std::size_t>(i) * k;
-      float* crow = c.data() + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = b.data() + static_cast<std::size_t>(j) * k;
-        double acc = 0.0;
-        for (int kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-        crow[j] = static_cast<float>(acc);
-      }
-    }
-  });
+  kern::gemm(kern::Op::kNone, kern::Op::kTrans, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -123,20 +92,7 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  core::parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
-    // k stays outermost so a's rows stream; each chunk touches only its own
-    // slice of every a row and its own c rows.
-    for (int kk = 0; kk < k; ++kk) {
-      const float* arow = a.data() + static_cast<std::size_t>(kk) * m;
-      const float* brow = b.data() + static_cast<std::size_t>(kk) * n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float aki = arow[i];
-        if (aki == 0.0f) continue;
-        float* crow = c.data() + static_cast<std::size_t>(i) * n;
-        for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
-      }
-    }
-  });
+  kern::gemm(kern::Op::kTrans, kern::Op::kNone, m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 

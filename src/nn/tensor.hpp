@@ -88,6 +88,19 @@ class Tensor {
   void fill(float value) { data_.assign(data_.size(), value); }
   void zero() { fill(0.0f); }
 
+  /// Reshapes in place to `shape`, zero-filled. Reuses the existing storage
+  /// when capacity allows, so a member tensor reset every call (e.g. Conv2d's
+  /// im2col columns) stops allocating after the first use of a shape.
+  void reset(std::vector<int> shape) {
+    shape_ = std::move(shape);
+    std::size_t n = 1;
+    for (int d : shape_) {
+      RTP_CHECK(d > 0);
+      n *= static_cast<std::size_t>(d);
+    }
+    data_.assign(n, 0.0f);
+  }
+
   /// this += other (same shape).
   void add_(const Tensor& other);
   /// this += alpha * other (same shape).

@@ -1,0 +1,59 @@
+#include "nn/workspace.hpp"
+
+namespace rtp::nn {
+
+Workspace& Workspace::instance() {
+  static Workspace ws;
+  return ws;
+}
+
+Tensor Workspace::acquire_dirty(const std::vector<int>& shape) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_.find(shape);
+    if (it != free_.end() && !it->second.empty()) {
+      Tensor t = std::move(it->second.back());
+      it->second.pop_back();
+      return t;
+    }
+  }
+  // Miss: allocate outside the lock. Tensor's constructor zero-fills, which
+  // acquire() would repeat; the double fill only happens on the first use of
+  // a shape.
+  return Tensor(shape);
+}
+
+Tensor Workspace::acquire(const std::vector<int>& shape) {
+  Tensor t = acquire_dirty(shape);
+  t.zero();
+  return t;
+}
+
+void Workspace::release(Tensor&& t) {
+  if (t.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_[t.shape()].push_back(std::move(t));
+}
+
+void Workspace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+}
+
+std::size_t Workspace::pooled_tensors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [shape, list] : free_) n += list.size();
+  return n;
+}
+
+std::size_t Workspace::pooled_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = 0;
+  for (const auto& [shape, list] : free_) {
+    for (const Tensor& t : list) bytes += t.numel() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace rtp::nn

@@ -1,0 +1,76 @@
+#pragma once
+// Process-wide arena of reusable scratch tensors.
+//
+// The hot paths of training — packed GEMM panels, Conv2d im2col columns, GNN
+// level gathers — need short-lived tensors of a small set of recurring shapes
+// on every call, and allocating them fresh puts malloc/free on the critical
+// path of every layer invocation. The arena keeps a thread-safe free-list
+// keyed by shape: release() parks a tensor, a later acquire() of the same
+// shape hands its storage back with no allocation. acquire() zero-fills the
+// returned tensor (matching the Tensor constructor); acquire_dirty() skips
+// the fill for buffers the caller overwrites completely.
+//
+// Lifetime rules (see DESIGN.md §7.3):
+//  - A scratch tensor is owned by exactly one Scratch handle and must not
+//    outlive it; anything handed to callers is computed into a normal Tensor.
+//  - Handles may be created/destroyed concurrently from pool workers; the
+//    free-list is mutex-protected and handed-out tensors are exclusive.
+//  - Pooled storage lives until clear() or process exit. Shapes recur per
+//    model configuration, so the pool's footprint is bounded by the largest
+//    working set of one training step.
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace rtp::nn {
+
+class Workspace {
+ public:
+  /// The process-wide arena used by the nn/model hot paths.
+  static Workspace& instance();
+
+  /// A zero-filled tensor of `shape`, recycled from the free-list if possible.
+  Tensor acquire(const std::vector<int>& shape);
+  /// Like acquire() but the contents are unspecified; use only when every
+  /// element is overwritten before being read.
+  Tensor acquire_dirty(const std::vector<int>& shape);
+  /// Parks a tensor for reuse. Empty tensors are dropped.
+  void release(Tensor&& t);
+
+  /// Frees all pooled storage (tests, memory pressure).
+  void clear();
+
+  std::size_t pooled_tensors() const;
+  std::size_t pooled_bytes() const;
+
+ private:
+  Workspace() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::vector<int>, std::vector<Tensor>> free_;
+};
+
+/// RAII scratch-tensor handle: acquires from the arena on construction and
+/// returns the storage on destruction.
+class Scratch {
+ public:
+  explicit Scratch(const std::vector<int>& shape, bool zeroed = true)
+      : t_(zeroed ? Workspace::instance().acquire(shape)
+                  : Workspace::instance().acquire_dirty(shape)) {}
+  ~Scratch() { Workspace::instance().release(std::move(t_)); }
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  Tensor& t() { return t_; }
+  const Tensor& t() const { return t_; }
+  float* data() { return t_.data(); }
+  const float* data() const { return t_.data(); }
+
+ private:
+  Tensor t_;
+};
+
+}  // namespace rtp::nn

@@ -1,0 +1,239 @@
+// Kernel-layer tests: blocked GEMM vs the retained naive reference across
+// awkward shapes (tile edges, primes, k-panel boundaries), dispatch-override
+// behavior, byte-level 1-vs-4-thread determinism of the blocked path and the
+// im2col convolution, and the workspace arena's reuse/zeroing contract.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "nn/conv.hpp"
+#include "nn/kernels.hpp"
+#include "nn/workspace.hpp"
+
+namespace rtp {
+namespace {
+
+using nn::kern::Op;
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { core::set_num_threads(0); }
+};
+
+struct DispatchGuard {
+  ~DispatchGuard() { nn::kern::reset_naive_kernels_override(); }
+};
+
+std::vector<float> random_vec(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+/// Double-precision reference for C = op_a(A) * op_b(B).
+std::vector<float> ref_gemm(Op op_a, Op op_b, int m, int n, int k,
+                            const std::vector<float>& a, const std::vector<float>& b) {
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = op_a == Op::kNone ? a[static_cast<std::size_t>(i) * k + kk]
+                                           : a[static_cast<std::size_t>(kk) * m + i];
+        const float bv = op_b == Op::kNone ? b[static_cast<std::size_t>(kk) * n + j]
+                                           : b[static_cast<std::size_t>(j) * k + kk];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+/// Shapes chosen to hit every packing edge: unit dims, primes smaller and
+/// larger than the kMr=4 / kNr=32 tile, k below, at, and above the kKc=256
+/// panel depth, and non-divisible remainders on every axis.
+const std::vector<std::array<int, 3>>& awkward_shapes() {
+  static const std::vector<std::array<int, 3>> shapes = {
+      {1, 1, 1},    {1, 7, 3},    {5, 1, 9},    {7, 11, 13},  {4, 32, 16},
+      {8, 64, 256}, {5, 33, 257}, {3, 31, 255}, {13, 40, 512}, {17, 29, 300},
+  };
+  return shapes;
+}
+
+void expect_matches_reference(Op op_a, Op op_b) {
+  for (const auto& [m, n, k] : awkward_shapes()) {
+    const auto a = random_vec(static_cast<std::size_t>(m) * k, 101u + m);
+    const auto b = random_vec(static_cast<std::size_t>(k) * n, 202u + n);
+    const auto ref = ref_gemm(op_a, op_b, m, n, k, a, b);
+    std::vector<float> blocked(ref.size(), -1.0f), naive(ref.size(), -1.0f);
+    nn::kern::gemm_blocked(op_a, op_b, m, n, k, a.data(), b.data(), blocked.data());
+    nn::kern::gemm_naive(op_a, op_b, m, n, k, a.data(), b.data(), naive.data());
+    // Float accumulation error grows with k; both paths must stay within the
+    // same envelope of the double-precision reference.
+    const float tol = 1e-4f * std::sqrt(static_cast<float>(k));
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(blocked[i], ref[i], tol)
+          << "blocked mismatch at " << i << " for " << m << "x" << n << "x" << k;
+      ASSERT_NEAR(naive[i], ref[i], tol)
+          << "naive mismatch at " << i << " for " << m << "x" << n << "x" << k;
+    }
+  }
+}
+
+TEST(NnKernels, BlockedMatchesReferenceNN) { expect_matches_reference(Op::kNone, Op::kNone); }
+TEST(NnKernels, BlockedMatchesReferenceNT) { expect_matches_reference(Op::kNone, Op::kTrans); }
+TEST(NnKernels, BlockedMatchesReferenceTN) { expect_matches_reference(Op::kTrans, Op::kNone); }
+TEST(NnKernels, BlockedMatchesReferenceTT) { expect_matches_reference(Op::kTrans, Op::kTrans); }
+
+TEST(NnKernels, ZeroDepthProducesZeroOutput) {
+  std::vector<float> c(6, 7.0f);
+  nn::kern::gemm_blocked(Op::kNone, Op::kNone, 2, 3, 0, nullptr, nullptr, c.data());
+  for (float x : c) EXPECT_EQ(x, 0.0f);
+  c.assign(6, 7.0f);
+  nn::kern::gemm_naive(Op::kNone, Op::kNone, 2, 3, 0, nullptr, nullptr, c.data());
+  for (float x : c) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(NnKernels, NaiveOverrideControlsDispatch) {
+  DispatchGuard guard;
+  const int m = 64, n = 64, k = 64;  // large enough for the blocked path
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 31u);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 32u);
+  std::vector<float> via_gemm(static_cast<std::size_t>(m) * n);
+  std::vector<float> direct(via_gemm.size());
+
+  nn::kern::set_use_naive_kernels(true);
+  EXPECT_TRUE(nn::kern::use_naive_kernels());
+  nn::kern::gemm(Op::kNone, Op::kNone, m, n, k, a.data(), b.data(), via_gemm.data());
+  nn::kern::gemm_naive(Op::kNone, Op::kNone, m, n, k, a.data(), b.data(), direct.data());
+  EXPECT_EQ(std::memcmp(via_gemm.data(), direct.data(), direct.size() * sizeof(float)), 0);
+
+  nn::kern::set_use_naive_kernels(false);
+  EXPECT_FALSE(nn::kern::use_naive_kernels());
+  nn::kern::gemm(Op::kNone, Op::kNone, m, n, k, a.data(), b.data(), via_gemm.data());
+  nn::kern::gemm_blocked(Op::kNone, Op::kNone, m, n, k, a.data(), b.data(), direct.data());
+  EXPECT_EQ(std::memcmp(via_gemm.data(), direct.data(), direct.size() * sizeof(float)), 0);
+}
+
+TEST(NnKernels, SmallProblemsRouteToNaive) {
+  DispatchGuard guard;
+  nn::kern::set_use_naive_kernels(false);
+  // m below the two-strip floor: packing cannot pay off, gemm() must produce
+  // exactly the naive result.
+  const int m = 3, n = 200, k = 200;
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 41u);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 42u);
+  std::vector<float> via_gemm(static_cast<std::size_t>(m) * n);
+  std::vector<float> naive(via_gemm.size());
+  nn::kern::gemm(Op::kNone, Op::kNone, m, n, k, a.data(), b.data(), via_gemm.data());
+  nn::kern::gemm_naive(Op::kNone, Op::kNone, m, n, k, a.data(), b.data(), naive.data());
+  EXPECT_EQ(std::memcmp(via_gemm.data(), naive.data(), naive.size() * sizeof(float)), 0);
+}
+
+void expect_thread_count_invariant(Op op_a, Op op_b, int m, int n, int k) {
+  ThreadCountGuard guard;
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 51u);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 52u);
+  std::vector<float> serial(static_cast<std::size_t>(m) * n);
+  std::vector<float> parallel(serial.size());
+  core::set_num_threads(1);
+  nn::kern::gemm_blocked(op_a, op_b, m, n, k, a.data(), b.data(), serial.data());
+  core::set_num_threads(4);
+  nn::kern::gemm_blocked(op_a, op_b, m, n, k, a.data(), b.data(), parallel.data());
+  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(), serial.size() * sizeof(float)), 0)
+      << "blocked gemm not thread-count invariant for " << m << "x" << n << "x" << k;
+}
+
+TEST(NnKernels, BlockedDeterministicAcrossThreadCountsNN) {
+  expect_thread_count_invariant(Op::kNone, Op::kNone, 67, 41, 300);
+}
+TEST(NnKernels, BlockedDeterministicAcrossThreadCountsNT) {
+  expect_thread_count_invariant(Op::kNone, Op::kTrans, 41, 53, 277);
+}
+TEST(NnKernels, BlockedDeterministicAcrossThreadCountsTN) {
+  expect_thread_count_invariant(Op::kTrans, Op::kNone, 53, 67, 260);
+}
+
+TEST(NnKernels, Im2colConvDeterministicAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  auto run = [] {
+    Rng rng(9);
+    nn::Conv2d conv(3, 5, 3, 1, rng);
+    const nn::Tensor x = nn::Tensor::uniform({3, 33, 29}, 1.0f, rng);  // odd dims
+    nn::Tensor y = conv.forward(x);
+    nn::Tensor gx = conv.backward(y);
+    return std::make_pair(std::move(y), std::move(gx));
+  };
+  core::set_num_threads(1);
+  const auto serial = run();
+  core::set_num_threads(4);
+  const auto parallel = run();
+  EXPECT_TRUE(serial.first.same_shape(parallel.first));
+  EXPECT_EQ(std::memcmp(serial.first.data(), parallel.first.data(),
+                        serial.first.numel() * sizeof(float)), 0);
+  EXPECT_TRUE(serial.second.same_shape(parallel.second));
+  EXPECT_EQ(std::memcmp(serial.second.data(), parallel.second.data(),
+                        serial.second.numel() * sizeof(float)), 0);
+}
+
+TEST(Workspace, ScratchReusesPooledStorage) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  const float* first_ptr = nullptr;
+  {
+    nn::Scratch s({6, 7});
+    first_ptr = s.data();
+    EXPECT_EQ(s.t().dim(0), 6);
+    EXPECT_EQ(s.t().dim(1), 7);
+    s.t().fill(3.0f);
+  }
+  EXPECT_EQ(ws.pooled_tensors(), 1u);
+  EXPECT_EQ(ws.pooled_bytes(), 6u * 7u * sizeof(float));
+  {
+    nn::Scratch s({6, 7}, /*zeroed=*/false);
+    EXPECT_EQ(s.data(), first_ptr);  // same storage handed back
+  }
+  EXPECT_EQ(ws.pooled_tensors(), 1u);
+  ws.clear();
+  EXPECT_EQ(ws.pooled_tensors(), 0u);
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+}
+
+TEST(Workspace, ZeroedAcquireClearsDirtyBuffer) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  {
+    nn::Scratch s({4, 4});
+    s.t().fill(9.0f);
+  }
+  {
+    nn::Scratch s({4, 4});  // zeroed acquire of the dirtied pooled buffer
+    for (std::size_t i = 0; i < s.t().numel(); ++i) EXPECT_EQ(s.t()[i], 0.0f);
+  }
+  ws.clear();
+}
+
+TEST(Workspace, DistinctShapesPoolSeparately) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  { nn::Scratch a({2, 3}), b({3, 2}), c({6}); }
+  EXPECT_EQ(ws.pooled_tensors(), 3u);
+  {
+    nn::Scratch s({2, 3});
+    EXPECT_EQ(ws.pooled_tensors(), 2u);  // only the matching shape was popped
+  }
+  EXPECT_EQ(ws.pooled_tensors(), 3u);
+  ws.clear();
+}
+
+}  // namespace
+}  // namespace rtp
