@@ -6,6 +6,11 @@
 // endpoint arrival times from the pre-routing snapshot.
 //
 //   ./quickstart
+//   RTP_TRACE=trace.json RTP_REPORT=report.json ./quickstart   # + observability
+//
+// The RTP_TRACE variant writes a chrome://tracing timeline of every pipeline
+// stage and the RTP_REPORT one a JSON run report (counters, span aggregates,
+// build provenance) at exit — no code changes needed.
 
 #include <cstdio>
 
@@ -13,6 +18,8 @@
 #include "eval/metrics.hpp"
 #include "flow/dataset_flow.hpp"
 #include "model/trainer.hpp"
+#include "obs/report.hpp"
+#include "obs/sink.hpp"
 #include "opt/optimizer.hpp"
 
 int main() {
@@ -57,13 +64,21 @@ int main() {
   }
 
   // ---- 3. the full data flow + the predictor on a generated benchmark ----
+  // An obs::Sink observes each stage as it completes; SpanAccumulator just
+  // aggregates (obs::LoggingSink would stream to stderr instead).
+  obs::report_note("quickstart.benchmark", "steelcore");
+  obs::SpanAccumulator stage_times;
   flow::FlowConfig flow_config;
   flow_config.scale = 0.05;
   flow::DatasetFlow flow(library, flow_config);
   const auto specs = gen::paper_benchmarks();
-  const flow::DesignData train_design = flow.run(gen::benchmark_by_name(specs, "steelcore"));
+  const flow::DesignData train_design =
+      flow.run(gen::benchmark_by_name(specs, "steelcore"), &stage_times);
   std::printf("\nflow on steelcore: clock %.0f ps, %.0f%% nets replaced by the optimizer\n",
               train_design.clock_period, 100.0 * train_design.replaced_net_ratio);
+  for (const char* stage : {"flow.gen", "flow.place", "flow.opt", "flow.route", "flow.sta"}) {
+    std::printf("  %-14s %6.1f ms\n", stage, 1e3 * stage_times.total(stage));
+  }
 
   model::ModelConfig model_config;
   model_config.grid = 32;
@@ -71,7 +86,9 @@ int main() {
   model::PreparedDesign prepared = model::prepare_design(train_design, model_config);
   model::FusionModel model(model_config);
   std::vector<model::PreparedDesign*> train_set = {&prepared};
-  const model::TrainResult tr = model::train_model(model, train_set, {.epochs = 60});
+  obs::LoggingSink progress(/*every=*/20);  // logs every 20th epoch loss to stderr
+  const model::TrainResult tr =
+      model::train_model(model, train_set, {.epochs = 60, .sink = &progress});
   std::printf("trained %d epochs in %.1fs, final loss %.4f\n", model_config.epochs,
               tr.seconds, tr.epoch_loss.back());
 

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::core {
 
@@ -129,6 +130,11 @@ void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t 
   if (end <= begin) return;
   if (grain < 1) grain = 1;
   const std::int64_t n_chunks = (end - begin + grain - 1) / grain;
+  // Counted before the dispatch decision: the chunk decomposition depends
+  // only on (begin, end, grain), so these totals are bit-identical for any
+  // RTP_THREADS. Which *path* ran them is a scheduling fact, counted below.
+  RTP_COUNT("pool.calls", 1);
+  RTP_COUNT("pool.chunks", n_chunks);
 
   // Serial fallback: one chunk of work, a 1-thread pool, or a nested call.
   // Chunk boundaries are identical to the parallel path, so results are too.
@@ -138,6 +144,8 @@ void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t 
     }
     return;
   }
+  RTP_COUNT_SCHED("pool.jobs_parallel", 1);
+  RTP_TRACE_SCOPE("pool.job");
 
   Impl& s = *impl_;
   {

@@ -1,5 +1,8 @@
 #pragma once
-// Wall-clock timing for the runtime tables (TABLE III) and microbenchmarks.
+// Raw wall-clock stopwatch for microbenchmarks. Pipeline code should not
+// use this: stage timing goes through rtp::obs (TimedSpan + sinks), which
+// also feeds the trace and the run report. The old PhaseTimer accumulator
+// is gone — obs::SpanAccumulator is its keyed replacement.
 
 #include <chrono>
 
@@ -19,18 +22,6 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-/// Accumulates named phase durations (e.g. "pre", "infer") across calls.
-class PhaseTimer {
- public:
-  void add(double seconds) { total_ += seconds; ++count_; }
-  double total() const { return total_; }
-  int count() const { return count_; }
-
- private:
-  double total_ = 0.0;
-  int count_ = 0;
 };
 
 }  // namespace rtp

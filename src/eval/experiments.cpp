@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "core/log.hpp"
-#include "core/timer.hpp"
+#include "obs/sink.hpp"
 
 namespace rtp::eval {
 
@@ -205,6 +205,9 @@ std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
   std::vector<TableThreeRow> rows;
   TableThreeRow avg;
   avg.name = "avg.";
+  // Per-name totals across all designs; the avg row's "ours" columns are
+  // derived from these span aggregates rather than re-summed by hand.
+  obs::SpanAccumulator spans;
   for (const flow::DesignData& d : dataset.designs) {
     TableThreeRow row;
     row.name = d.name;
@@ -215,12 +218,12 @@ std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
 
     // "pre": graph construction, leveling, feature extraction, longest paths,
     // critical-region masks — everything prepare_design does.
-    WallTimer timer;
+    obs::TimedSpan pre_span("table3.pre", &spans);
     model::PreparedDesign prepared = model::prepare_design(d, config.model);
-    row.pre_s = timer.seconds();
-    timer.reset();
+    row.pre_s = pre_span.stop();
+    obs::TimedSpan infer_span("table3.infer", &spans);
     (void)model.predict(prepared);
-    row.infer_s = timer.seconds();
+    row.infer_s = infer_span.stop();
     row.ours_total_s = row.pre_s + row.infer_s;
     row.speedup = row.ours_total_s > 0.0 ? row.commercial_total_s / row.ours_total_s : 0.0;
 
@@ -228,11 +231,12 @@ std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
     avg.route_s += row.route_s / dataset.designs.size();
     avg.sta_s += row.sta_s / dataset.designs.size();
     avg.commercial_total_s += row.commercial_total_s / dataset.designs.size();
-    avg.pre_s += row.pre_s / dataset.designs.size();
-    avg.infer_s += row.infer_s / dataset.designs.size();
-    avg.ours_total_s += row.ours_total_s / dataset.designs.size();
     rows.push_back(row);
   }
+  const double n = static_cast<double>(dataset.designs.size());
+  avg.pre_s = spans.total("table3.pre") / n;
+  avg.infer_s = spans.total("table3.infer") / n;
+  avg.ours_total_s = avg.pre_s + avg.infer_s;
   avg.speedup = avg.ours_total_s > 0.0 ? avg.commercial_total_s / avg.ours_total_s : 0.0;
   rows.push_back(avg);
   return rows;

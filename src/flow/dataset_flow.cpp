@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "core/log.hpp"
-#include "core/timer.hpp"
 #include "layout/feature_maps.hpp"
 #include "route/global_router.hpp"
 
@@ -53,35 +53,57 @@ double mean_relative_change(const std::vector<std::pair<double, double>>& pairs)
 
 }  // namespace
 
-DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec) const {
-  WallTimer stage;
+void FlowTimingsSink::on_span(const char* name, double seconds) {
+  if (std::strcmp(name, "flow.place") == 0) {
+    out_->place += seconds;
+  } else if (std::strcmp(name, "flow.opt") == 0) {
+    out_->opt += seconds;
+  } else if (std::strcmp(name, "flow.route") == 0) {
+    out_->route += seconds;
+  } else if (std::strcmp(name, "flow.sta") == 0) {
+    out_->sta += seconds;
+  }
+  if (next_ != nullptr) next_->on_span(name, seconds);
+}
 
-  // ---- generate + place (the predictor's input state) ----
-  gen::CircuitGenerator generator(*library_);
-  gen::GeneratedCircuit circuit = generator.generate(spec, config_.scale);
+void FlowTimingsSink::on_metric(const char* name, int step, double value) {
+  if (next_ != nullptr) next_->on_metric(name, step, value);
+}
 
-  place::PlacerConfig placer_config;
-  placer_config.utilization = spec.utilization;
-  placer_config.num_macros = spec.num_macros;
-  placer_config.seed = spec.seed;
-  place::Placer placer(placer_config);
-  stage.reset();
-  Placement input_placement = placer.place(circuit.netlist);
-  const double place_seconds = stage.seconds();
+DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer) const {
+  RTP_TRACE_SCOPE("flow.run");
 
   DesignData data;
   data.name = spec.name;
   data.is_train = spec.is_train;
-  data.input_netlist = circuit.netlist;
-  data.input_placement = input_placement;
-  data.timings.place = place_seconds;
+  // TABLE III's stage seconds come out of the spans below, not from
+  // stopwatch code in the stages themselves.
+  FlowTimingsSink stages(&data.timings, observer);
+
+  // ---- generate + place (the predictor's input state) ----
+  {
+    obs::TimedSpan span("flow.gen", &stages);
+    gen::CircuitGenerator generator(*library_);
+    data.input_netlist = generator.generate(spec, config_.scale).netlist;
+  }
+  {
+    obs::TimedSpan span("flow.place", &stages);
+    place::PlacerConfig placer_config;
+    placer_config.utilization = spec.utilization;
+    placer_config.num_macros = spec.num_macros;
+    placer_config.seed = spec.seed;
+    place::Placer placer(placer_config);
+    data.input_placement = placer.place(data.input_netlist);
+  }
+  const Placement& input_placement = data.input_placement;
 
   // ---- clock constraint: a fixed fraction of the unoptimized sign-off WNS
   // path, so the optimizer has real violations to fix ----
-  GridMap input_congestion =
-      make_congestion_map(data.input_netlist, input_placement, config_.congestion_grid);
   tg::TimingGraph input_graph(data.input_netlist);
   {
+    obs::TimedSpan span("flow.constrain", &stages);
+    GridMap input_congestion = make_congestion_map(data.input_netlist, input_placement,
+                                                   config_.congestion_grid);
     sta::StaConfig probe = make_signoff_config(config_.tech, 1e9, &input_congestion);
     const sta::StaResult unconstrained = run_sta(input_graph, input_placement, probe);
     double max_arrival = 0.0;
@@ -91,6 +113,7 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec) const {
 
   // ---- pre-route STA on the input design (Elmore reference / features) ----
   {
+    obs::TimedSpan span("flow.preroute_sta", &stages);
     sta::StaConfig pre;
     pre.delay.tech = config_.tech;
     pre.delay.tech.clock_period = data.clock_period;
@@ -100,43 +123,55 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec) const {
 
   // ---- no-opt flow: route + sign-off STA on the unoptimized design ----
   route::GlobalRouter router{route::RouterConfig{}};
-  const route::RouteResult noopt_route = router.route(data.input_netlist, input_placement);
-  sta::StaConfig noopt_config =
-      make_signoff_config(config_.tech, data.clock_period, &noopt_route.usage);
-  noopt_config.delay.routed_length = &noopt_route.routed_length;
-  const sta::StaResult noopt_sta = run_sta(input_graph, input_placement, noopt_config);
+  route::RouteResult noopt_route;
+  sta::StaConfig noopt_config;
+  sta::StaResult noopt_sta;
+  {
+    obs::TimedSpan span("flow.noopt", &stages);
+    noopt_route = router.route(data.input_netlist, input_placement);
+    noopt_config = make_signoff_config(config_.tech, data.clock_period, &noopt_route.usage);
+    noopt_config.delay.routed_length = &noopt_route.routed_length;
+    noopt_sta = run_sta(input_graph, input_placement, noopt_config);
+  }
 
   // ---- timing optimization (mutates a copy of netlist + placement) ----
   nl::Netlist opt_netlist = data.input_netlist;
   Placement opt_placement = input_placement;
-  opt::OptimizerConfig opt_config;
-  opt_config.sta.delay.tech = config_.tech;
-  opt_config.sta.delay.tech.clock_period = data.clock_period;
-  opt_config.max_passes = config_.opt_max_passes;
-  opt_config.sizing_rate = spec.sizing_rate;
-  opt_config.recovery_sizing_rate = spec.recovery_sizing_rate;
-  opt_config.target_net_replaced = spec.target_net_replaced;
-  opt_config.target_cell_replaced = spec.target_cell_replaced;
-  opt_config.buffer_rate = 0.45;
-  opt_config.seed = spec.seed ^ config_.seed;
-  opt::TimingOptimizer optimizer(opt_config);
-  stage.reset();
-  data.opt_report = optimizer.optimize(opt_netlist, opt_placement);
-  data.timings.opt = stage.seconds();
+  {
+    obs::TimedSpan span("flow.opt", &stages);
+    opt::OptimizerConfig opt_config;
+    opt_config.sta.delay.tech = config_.tech;
+    opt_config.sta.delay.tech.clock_period = data.clock_period;
+    opt_config.max_passes = config_.opt_max_passes;
+    opt_config.sizing_rate = spec.sizing_rate;
+    opt_config.recovery_sizing_rate = spec.recovery_sizing_rate;
+    opt_config.target_net_replaced = spec.target_net_replaced;
+    opt_config.target_cell_replaced = spec.target_cell_replaced;
+    opt_config.buffer_rate = 0.45;
+    opt_config.seed = spec.seed ^ config_.seed;
+    opt::TimingOptimizer optimizer(opt_config);
+    data.opt_report = optimizer.optimize(opt_netlist, opt_placement);
+  }
 
   // ---- routing: global route of the optimized design ----
-  stage.reset();
-  const route::RouteResult opt_route = router.route(opt_netlist, opt_placement);
-  data.timings.route = stage.seconds();
+  route::RouteResult opt_route;
+  {
+    obs::TimedSpan span("flow.route", &stages);
+    opt_route = router.route(opt_netlist, opt_placement);
+  }
 
   // ---- sign-off STA on routed parasitics ----
-  stage.reset();
-  tg::TimingGraph signoff_graph(opt_netlist);
-  sta::StaConfig signoff_config =
-      make_signoff_config(config_.tech, data.clock_period, &opt_route.usage);
-  signoff_config.delay.routed_length = &opt_route.routed_length;
-  const sta::StaResult signoff_sta = run_sta(signoff_graph, opt_placement, signoff_config);
-  data.timings.sta = stage.seconds();
+  sta::StaConfig signoff_config;
+  sta::StaResult signoff_sta;
+  {
+    obs::TimedSpan span("flow.sta", &stages);
+    tg::TimingGraph signoff_graph(opt_netlist);
+    signoff_config = make_signoff_config(config_.tech, data.clock_period, &opt_route.usage);
+    signoff_config.delay.routed_length = &opt_route.routed_length;
+    signoff_sta = run_sta(signoff_graph, opt_placement, signoff_config);
+  }
+
+  obs::TimedSpan label_span("flow.label", &stages);
 
   // ---- endpoint labels (endpoints are never replaced: same PinIds) ----
   data.endpoints = data.input_netlist.endpoints();
@@ -199,7 +234,10 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec) const {
 
   data.signoff_netlist = std::move(opt_netlist);
   data.signoff_placement = std::move(opt_placement);
+  label_span.stop();
 
+  RTP_COUNT("flow.designs", 1);
+  RTP_COUNT("flow.endpoints", data.endpoints.size());
   RTP_LOG_INFO("flow %-10s %s period=%.0fps wns %.0f->%.0f repl(n/c)=%.0f%%/%.0f%%",
                data.name.c_str(), data.input_netlist.summary().c_str(),
                data.clock_period, data.opt_report.wns_before, data.opt_report.wns_after,
@@ -207,10 +245,10 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec) const {
   return data;
 }
 
-std::vector<DesignData> DatasetFlow::run_suite() const {
+std::vector<DesignData> DatasetFlow::run_suite(obs::Sink* observer) const {
   std::vector<DesignData> suite;
   for (const gen::BenchmarkSpec& spec : gen::paper_benchmarks()) {
-    suite.push_back(run(spec));
+    suite.push_back(run(spec, observer));
   }
   return suite;
 }

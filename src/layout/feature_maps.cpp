@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::layout {
 
@@ -111,6 +112,7 @@ void GridMap::write_pgm(const std::string& path) const {
 
 GridMap make_density_map(const nl::Netlist& netlist, const Placement& placement,
                          int rows, int cols) {
+  RTP_TRACE_SCOPE("layout.density");
   GridMap map(rows, cols, placement.die());
   const double bin_area = map.bin_width() * map.bin_height();
   // Stage 1: per-cell footprints, parallel over cells (slot c writes item c).
@@ -134,6 +136,7 @@ GridMap make_density_map(const nl::Netlist& netlist, const Placement& placement,
 
 GridMap make_rudy_map(const nl::Netlist& netlist, const Placement& placement,
                       int rows, int cols) {
+  RTP_TRACE_SCOPE("layout.rudy");
   GridMap map(rows, cols, placement.die());
   // Stage 1: per-net bounding boxes, parallel over nets.
   const std::int64_t n = netlist.num_net_slots();

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "core/timer.hpp"
 #include "nn/serialize.hpp"
+#include "obs/sink.hpp"
 
 namespace rtp::model {
 
@@ -21,7 +21,7 @@ std::uint64_t fnv1a(const std::string& s) {
 }  // namespace
 
 PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& config) {
-  WallTimer timer;
+  obs::TimedSpan span("model.prepare");
   PreparedDesign pd(tg::TimingGraph{data.input_netlist});
   pd.name = data.name;
   pd.is_train = data.is_train;
@@ -56,7 +56,7 @@ PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& c
   for (std::size_t i = 0; i < data.endpoints.size(); ++i) {
     pd.labels.at(static_cast<int>(i), 0) = static_cast<float>(data.label_arrival[i]);
   }
-  pd.prep_seconds = timer.seconds();
+  pd.prep_seconds = span.stop();
   return pd;
 }
 
@@ -150,6 +150,7 @@ nn::Tensor FusionModel::forward(PreparedDesign& design) {
 }
 
 nn::Tensor FusionModel::predict(PreparedDesign& design) {
+  RTP_TRACE_SCOPE("model.predict");
   training_ = false;
   nn::Tensor pred = forward(design);
   for (std::size_t i = 0; i < pred.numel(); ++i) {
@@ -159,6 +160,7 @@ nn::Tensor FusionModel::predict(PreparedDesign& design) {
 }
 
 float FusionModel::train_step(PreparedDesign& design) {
+  RTP_TRACE_SCOPE("model.train_step");
   training_ = true;
   const nn::Tensor pred = forward(design);
   nn::Tensor target = design.labels;

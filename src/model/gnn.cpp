@@ -4,6 +4,7 @@
 
 #include "core/thread_pool.hpp"
 #include "nn/workspace.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::model {
 
@@ -25,6 +26,9 @@ EndpointGNN::EndpointGNN(const ModelConfig& config, Rng& rng)
 
 EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
                                                const NodeFeatures& features) {
+  RTP_TRACE_SCOPE("gnn.forward");
+  RTP_COUNT("gnn.levels", graph.nodes_by_level().size());
+  RTP_COUNT("gnn.nodes", graph.num_nodes());
   const int d = embed_;
   ForwardState state;
   state.h = nn::Tensor({graph.num_nodes(), d});
@@ -123,6 +127,7 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
 
 void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
                            const ForwardState& state, nn::Tensor& grad_h) {
+  RTP_TRACE_SCOPE("gnn.backward");
   RTP_CHECK(grad_h.dim(0) == graph.num_nodes() && grad_h.dim(1) == embed_);
   const int d = embed_;
   for (std::size_t li = state.levels.size(); li-- > 0;) {

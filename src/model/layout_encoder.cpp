@@ -1,6 +1,7 @@
 #include "model/layout_encoder.hpp"
 
 #include "nn/workspace.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::model {
 
@@ -53,6 +54,7 @@ LayoutEncoder::LayoutEncoder(const ModelConfig& config, Rng& rng)
 }
 
 nn::Tensor LayoutEncoder::forward(const nn::Tensor& x) {
+  RTP_TRACE_SCOPE("cnn.forward");
   RTP_CHECK(x.ndim() == 3 && x.dim(0) == 3 && x.dim(1) == grid_ && x.dim(2) == grid_);
   nn::Tensor h = conv1_.forward(x);
   h = nn::ReLU::forward(h, &relu1_);
@@ -67,6 +69,7 @@ nn::Tensor LayoutEncoder::forward(const nn::Tensor& x) {
 }
 
 void LayoutEncoder::backward(const nn::Tensor& grad_map) {
+  RTP_TRACE_SCOPE("cnn.backward");
   RTP_CHECK(grad_map.ndim() == 2 && grad_map.dim(1) == map_pixels_);
   const int side = grid_ / 4;
   nn::Tensor g({1, side, side});
@@ -81,6 +84,7 @@ void LayoutEncoder::backward(const nn::Tensor& grad_map) {
 }
 
 nn::Tensor LayoutEncoder::embed(const nn::Tensor& map, const EndpointMasks& masks) {
+  RTP_TRACE_SCOPE("layout.embed");
   RTP_CHECK(map.ndim() == 2 && map.dim(0) == 1 && map.dim(1) == map_pixels_);
   const int e = static_cast<int>(masks.bins.size());
   // The masked-map batch is the largest transient in the layout branch

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "core/log.hpp"
-#include "core/timer.hpp"
+#include "core/check.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::model {
 
@@ -31,9 +31,10 @@ TrainResult train_model(FusionModel& model, std::vector<PreparedDesign*> train_s
 
   Rng rng(options.seed);
   TrainResult result;
-  WallTimer timer;
+  obs::TimedSpan total("train.total", options.sink);
   const int decay1 = options.epochs * 3 / 5, decay2 = options.epochs * 17 / 20;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    RTP_TRACE_SCOPE("train.epoch");
     if (epoch == decay1 || epoch == decay2) {
       model.optimizer().config().lr *= model.config().lr_decay;
     }
@@ -44,11 +45,13 @@ TrainResult train_model(FusionModel& model, std::vector<PreparedDesign*> train_s
     }
     const float epoch_loss = static_cast<float>(loss_acc / train_set.size());
     result.epoch_loss.push_back(epoch_loss);
-    if (options.verbose && (epoch % 5 == 0 || epoch == options.epochs - 1)) {
-      RTP_LOG_INFO("epoch %3d  loss %.5f", epoch, epoch_loss);
+    if (options.sink != nullptr) {
+      options.sink->on_metric("train.epoch_loss", epoch, epoch_loss);
     }
   }
-  result.seconds = timer.seconds();
+  RTP_COUNT("train.epochs", options.epochs);
+  RTP_COUNT("train.steps", static_cast<std::uint64_t>(options.epochs) * train_set.size());
+  result.seconds = total.stop();
   return result;
 }
 

@@ -4,19 +4,23 @@
 #include <vector>
 
 #include "model/fusion.hpp"
+#include "obs/sink.hpp"
 
 namespace rtp::model {
 
 struct TrainOptions {
   int epochs = 40;
   bool shuffle = true;
-  bool verbose = false;
   std::uint64_t seed = 17;
+  /// Optional observer: receives one ("train.epoch_loss", epoch, loss)
+  /// metric per epoch and the "train.total" span when the loop finishes.
+  /// Pass an obs::LoggingSink for the old `verbose` behaviour.
+  obs::Sink* sink = nullptr;
 };
 
 struct TrainResult {
   std::vector<float> epoch_loss;  ///< mean per-design loss per epoch
-  double seconds = 0.0;
+  double seconds = 0.0;           ///< measured by the "train.total" span
 };
 
 /// Label mean / stddev over a set of designs (for normalization).

@@ -1,5 +1,7 @@
 #include "nn/workspace.hpp"
 
+#include "obs/obs.hpp"
+
 namespace rtp::nn {
 
 Workspace& Workspace::instance() {
@@ -8,19 +10,28 @@ Workspace& Workspace::instance() {
 }
 
 Tensor Workspace::acquire_dirty(const std::vector<int>& shape) {
+  // The acquire multiset depends only on the computation, so these totals are
+  // deterministic; whether a given acquire *hits* the free-list depends on
+  // which acquires ran concurrently, hence the _SCHED classification below.
+  RTP_COUNT("ws.acquires", 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = free_.find(shape);
     if (it != free_.end() && !it->second.empty()) {
       Tensor t = std::move(it->second.back());
       it->second.pop_back();
+      pooled_bytes_ -= t.numel() * sizeof(float);
+      RTP_COUNT_SCHED("ws.reuse_hits", 1);
+      RTP_COUNT_SCHED("ws.reuse_bytes", t.numel() * sizeof(float));
       return t;
     }
   }
   // Miss: allocate outside the lock. Tensor's constructor zero-fills, which
   // acquire() would repeat; the double fill only happens on the first use of
   // a shape.
-  return Tensor(shape);
+  Tensor t(shape);
+  RTP_COUNT_SCHED("ws.alloc_bytes", t.numel() * sizeof(float));
+  return t;
 }
 
 Tensor Workspace::acquire(const std::vector<int>& shape) {
@@ -32,12 +43,15 @@ Tensor Workspace::acquire(const std::vector<int>& shape) {
 void Workspace::release(Tensor&& t) {
   if (t.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
+  pooled_bytes_ += t.numel() * sizeof(float);
+  RTP_GAUGE_MAX("ws.pooled_bytes_peak", pooled_bytes_);
   free_[t.shape()].push_back(std::move(t));
 }
 
 void Workspace::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   free_.clear();
+  pooled_bytes_ = 0;
 }
 
 std::size_t Workspace::pooled_tensors() const {
@@ -49,11 +63,7 @@ std::size_t Workspace::pooled_tensors() const {
 
 std::size_t Workspace::pooled_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::size_t bytes = 0;
-  for (const auto& [shape, list] : free_) {
-    for (const Tensor& t : list) bytes += t.numel() * sizeof(float);
-  }
-  return bytes;
+  return pooled_bytes_;
 }
 
 }  // namespace rtp::nn

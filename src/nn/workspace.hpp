@@ -51,6 +51,7 @@ class Workspace {
 
   mutable std::mutex mu_;
   std::map<std::vector<int>, std::vector<Tensor>> free_;
+  std::size_t pooled_bytes_ = 0;  ///< running total of free-list bytes (under mu_)
 };
 
 /// RAII scratch-tensor handle: acquires from the arena on construction and

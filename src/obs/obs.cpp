@@ -1,0 +1,265 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "core/check.hpp"
+#include "obs/report.hpp"
+
+namespace rtp::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct SpanRec {
+  const char* name;  ///< static string owned by the instrumentation site
+  std::uint64_t t0, t1;
+  std::int32_t depth;
+};
+
+struct ThreadBuffer {
+  std::vector<SpanRec> spans;
+  int tid = 0;
+};
+
+/// All obs state. Leaked on purpose: pool workers and atexit handlers may
+/// touch it during static destruction, so it must never be torn down.
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;  ///< owned (leaked with the registry)
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::uint64_t epoch_ns = 0;
+  std::string trace_path;
+  std::string report_path;
+};
+
+void exit_handler();
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    reg->epoch_ns = detail::now_ns();
+    if (const char* env = std::getenv("RTP_TRACE")) reg->trace_path = env;
+    if (const char* env = std::getenv("RTP_REPORT")) reg->report_path = env;
+    if (!reg->trace_path.empty()) {
+      detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+    }
+    if (!reg->trace_path.empty() || !reg->report_path.empty()) {
+      std::atexit(exit_handler);
+    }
+    return reg;
+  }();
+  return *r;
+}
+
+/// Forces the env read + atexit registration even when the process makes no
+/// explicit obs call before instrumented code runs.
+const bool g_eager_init = (registry(), true);
+
+void exit_handler() {
+  Registry& r = registry();
+  if (!r.trace_path.empty()) {
+    if (write_trace_json(r.trace_path)) {
+      std::fprintf(stderr, "rtp::obs: wrote trace (%zu spans) to %s\n",
+                   trace_event_count(), r.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "rtp::obs: FAILED to write trace to %s\n",
+                   r.trace_path.c_str());
+    }
+  }
+  if (!r.report_path.empty()) {
+    if (write_run_report(r.report_path)) {
+      std::fprintf(stderr, "rtp::obs: wrote run report to %s\n",
+                   r.report_path.c_str());
+    } else {
+      std::fprintf(stderr, "rtp::obs: FAILED to write run report to %s\n",
+                   r.report_path.c_str());
+    }
+  }
+}
+
+thread_local ThreadBuffer* tl_buffer = nullptr;
+thread_local int tl_depth = 0;
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 int depth) {
+  ThreadBuffer* buf = tl_buffer;
+  if (buf == nullptr) {
+    buf = new ThreadBuffer;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buf->tid = static_cast<int>(r.buffers.size());
+    r.buffers.push_back(buf);
+    tl_buffer = buf;
+  }
+  buf->spans.push_back({name, start_ns, end_ns, depth});
+}
+
+int enter_span() { return tl_depth++; }
+void leave_span() { --tl_depth; }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  registry();  // capture the epoch before the first span
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+const std::string& trace_env_path() { return registry().trace_path; }
+const std::string& report_env_path() { return registry().report_path; }
+
+Counter& counter(const char* name, CounterKind kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.emplace(name, std::make_unique<Counter>(kind)).first;
+  }
+  RTP_CHECK_MSG(it->second->kind() == kind, "counter re-registered with another kind");
+  return *it->second;
+}
+
+Gauge& gauge(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    it = r.gauges.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, std::uint64_t> counters_snapshot(bool include_scheduling) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : r.counters) {
+    if (!include_scheduling && c->kind() == CounterKind::kScheduling) continue;
+    out[name] = c->value();
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> gauges_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, g] : r.gauges) out[name] = g->value();
+  return out;
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+}
+
+std::vector<TraceEvent> trace_events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<TraceEvent> out;
+  for (const ThreadBuffer* buf : r.buffers) {
+    for (const SpanRec& s : buf->spans) {
+      TraceEvent e;
+      e.name = s.name;
+      e.start_ns = s.t0 - r.epoch_ns;
+      e.end_ns = s.t1 - r.epoch_ns;
+      e.tid = buf->tid;
+      e.depth = s.depth;
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.end_ns > b.end_ns;
+  });
+  return out;
+}
+
+std::size_t trace_event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const ThreadBuffer* buf : r.buffers) n += buf->spans.size();
+  return n;
+}
+
+void clear_trace() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadBuffer* buf : r.buffers) buf->spans.clear();
+}
+
+std::string trace_json() {
+  const std::vector<TraceEvent> events = trace_events();
+  std::string out;
+  out.reserve(events.size() * 120 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"rtp\"}}";
+  char line[256];
+  for (const TraceEvent& e : events) {
+    std::snprintf(line, sizeof(line),
+                  ",\n{\"name\":\"%s\",\"cat\":\"rtp\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d}}",
+                  detail::json_escape(e.name).c_str(), e.tid,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.end_ns - e.start_ns) / 1e3, e.depth);
+    out += line;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_trace_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = trace_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace rtp::obs

@@ -1,0 +1,221 @@
+#pragma once
+// rtp::obs — low-overhead observability: scoped trace spans, named counters
+// and gauges, and a chrome://tracing JSON exporter.
+//
+// Spans: RTP_TRACE_SCOPE("sta.arrival") records a begin/end pair into a
+// per-thread buffer. Recording is gated twice — compile-time (the macros
+// vanish under -DRTP_OBS_DISABLED, see the RTP_OBS CMake option) and
+// runtime (a single relaxed atomic load when tracing is off, no clock read,
+// no allocation). Tracing turns on when the RTP_TRACE environment variable
+// names an output file (written at process exit) or via set_trace_enabled().
+//
+// Counters: named monotonic u64 totals (RTP_COUNT) and max-tracking gauges
+// (RTP_GAUGE_MAX). Counters are always on — one relaxed fetch_add — because
+// their totals feed the run report and the determinism tests.
+//
+// Determinism contract: u64 addition and max are commutative, so a counter's
+// total depends only on the *multiset* of updates, not on thread scheduling.
+// Every instrumented hot path issues a thread-count-independent multiset of
+// updates (core::ThreadPool chunk decomposition depends only on
+// (begin, end, grain)), so totals are bit-identical under RTP_THREADS=1 and
+// =N. The one exception is scheduling-dependent facts themselves (workspace
+// free-list hits, parallel-vs-inline dispatch); those counters are declared
+// CounterKind::kScheduling and excluded from counters_snapshot(false), which
+// is what the determinism test compares. See DESIGN.md §8.
+//
+// Export: trace_json() / write_trace_json() emit chrome://tracing "X"
+// (complete) events; obs/report.hpp serializes counters + span aggregates +
+// provenance as the run report. Exporters must not run concurrently with
+// span-recording threads (quiesce the pool first); all other entry points
+// are thread-safe.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rtp::obs {
+
+namespace detail {
+
+extern std::atomic<bool> g_trace_enabled;
+
+/// Monotonic (steady_clock) nanoseconds.
+std::uint64_t now_ns();
+
+/// Appends one completed span to the calling thread's buffer.
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 int depth);
+
+/// Per-thread nesting depth bookkeeping for TraceScope.
+int enter_span();
+void leave_span();
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace detail
+
+/// True when spans are being recorded. The fast path of every disabled
+/// RTP_TRACE_SCOPE is exactly this load.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+/// RTP_TRACE / RTP_REPORT environment values captured at first obs use
+/// (empty when unset). When non-empty, the matching file is written at
+/// process exit.
+const std::string& trace_env_path();
+const std::string& report_env_path();
+
+/// RAII trace span. Prefer the RTP_TRACE_SCOPE macro, which compiles out.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) : active_(trace_enabled()) {
+    if (active_) {
+      name_ = name;
+      depth_ = detail::enter_span();
+      start_ns_ = detail::now_ns();
+    }
+  }
+
+  /// Ends the span now instead of at scope exit (idempotent).
+  void end() {
+    if (active_) {
+      const std::uint64_t t = detail::now_ns();
+      detail::leave_span();
+      detail::record_span(name_, start_ns_, t, depth_);
+      active_ = false;
+    }
+  }
+
+  ~TraceScope() { end(); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  int depth_ = 0;
+  bool active_;
+};
+
+/// Whether a counter's total is reproducible across thread counts (see the
+/// determinism contract above).
+enum class CounterKind {
+  kDeterministic,  ///< multiset of updates independent of RTP_THREADS
+  kScheduling,     ///< measures scheduling itself (pool-hit rates, dispatch)
+};
+
+class Counter {
+ public:
+  explicit Counter(CounterKind kind) : kind_(kind) {}
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  CounterKind kind() const { return kind_; }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  CounterKind kind_;
+};
+
+/// Monotonic high-water mark (max is commutative, same determinism story).
+class Gauge {
+ public:
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Registry lookup, creating on first use. The returned reference is stable
+/// for the process lifetime; hot paths cache it in a function-local static
+/// (what RTP_COUNT does). Re-registering with a different kind is an error.
+Counter& counter(const char* name, CounterKind kind = CounterKind::kDeterministic);
+Gauge& gauge(const char* name);
+
+/// Counter totals by name; include_scheduling=false restricts to the
+/// deterministic subset (what the 1-vs-N bit-identity test compares).
+std::map<std::string, std::uint64_t> counters_snapshot(bool include_scheduling = true);
+std::map<std::string, std::uint64_t> gauges_snapshot();
+/// Zeroes every registered counter and gauge (tests).
+void reset_counters();
+
+/// A completed span, for tests and the report aggregator. Times are
+/// steady-clock ns relative to obs initialization.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  int tid = 0;
+  int depth = 0;
+};
+
+/// Snapshot of all recorded spans, ordered by start time. Callers must
+/// quiesce span-recording threads first.
+std::vector<TraceEvent> trace_events();
+std::size_t trace_event_count();
+void clear_trace();
+
+/// chrome://tracing JSON ("X" complete events, µs timestamps).
+std::string trace_json();
+bool write_trace_json(const std::string& path);
+
+}  // namespace rtp::obs
+
+#define RTP_OBS_CONCAT_INNER(a, b) a##b
+#define RTP_OBS_CONCAT(a, b) RTP_OBS_CONCAT_INNER(a, b)
+
+#if defined(RTP_OBS_DISABLED)
+
+#define RTP_TRACE_SCOPE(name)
+#define RTP_COUNT(name, delta) \
+  do {                         \
+  } while (0)
+#define RTP_COUNT_SCHED(name, delta) \
+  do {                               \
+  } while (0)
+#define RTP_GAUGE_MAX(name, value) \
+  do {                             \
+  } while (0)
+
+#else
+
+/// Scoped span; zero work beyond one relaxed load while tracing is off.
+#define RTP_TRACE_SCOPE(name) \
+  ::rtp::obs::TraceScope RTP_OBS_CONCAT(rtp_trace_scope_, __COUNTER__)(name)
+
+/// Deterministic monotonic counter (see CounterKind).
+#define RTP_COUNT(name, delta)                                          \
+  do {                                                                  \
+    static ::rtp::obs::Counter& rtp_obs_counter_ =                      \
+        ::rtp::obs::counter(name);                                      \
+    rtp_obs_counter_.add(static_cast<std::uint64_t>(delta));            \
+  } while (0)
+
+/// Counter whose total legitimately depends on thread scheduling.
+#define RTP_COUNT_SCHED(name, delta)                                    \
+  do {                                                                  \
+    static ::rtp::obs::Counter& rtp_obs_counter_ =                      \
+        ::rtp::obs::counter(name, ::rtp::obs::CounterKind::kScheduling); \
+    rtp_obs_counter_.add(static_cast<std::uint64_t>(delta));            \
+  } while (0)
+
+/// High-water-mark gauge.
+#define RTP_GAUGE_MAX(name, value)                                     \
+  do {                                                                 \
+    static ::rtp::obs::Gauge& rtp_obs_gauge_ = ::rtp::obs::gauge(name); \
+    rtp_obs_gauge_.update_max(static_cast<std::uint64_t>(value));      \
+  } while (0)
+
+#endif  // RTP_OBS_DISABLED

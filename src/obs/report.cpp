@@ -1,0 +1,159 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "build_info.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::obs {
+
+namespace {
+
+struct Notes {
+  std::mutex mu;
+  std::map<std::string, std::string> kv;
+};
+
+Notes& notes() {
+  static Notes* n = new Notes;  // leaked: usable from atexit handlers
+  return *n;
+}
+
+void append_kv(std::string& out, const std::string& key, const std::string& value,
+               bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "    \"" + detail::json_escape(key) + "\": \"" + detail::json_escape(value) +
+         "\"";
+}
+
+std::string env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+}  // namespace
+
+void report_note(const std::string& key, const std::string& value) {
+  Notes& n = notes();
+  std::lock_guard<std::mutex> lock(n.mu);
+  n.kv[key] = value;
+}
+
+std::string run_report_json() {
+  std::string out = "{\n";
+
+  out += "  \"build\": {\n";
+  {
+    bool first = true;
+    append_kv(out, "git_sha", RTP_GIT_SHA, first);
+    append_kv(out, "build_type", RTP_BUILD_TYPE, first);
+    append_kv(out, "compiler", __VERSION__, first);
+  }
+  out += "\n  },\n";
+
+  out += "  \"env\": {\n";
+  {
+    bool first = true;
+    for (const char* var : {"RTP_THREADS", "RTP_TRACE", "RTP_REPORT",
+                            "RTP_NAIVE_KERNELS"}) {
+      append_kv(out, var, env_or_empty(var), first);
+    }
+  }
+  out += "\n  },\n";
+
+  out += "  \"notes\": {\n";
+  {
+    Notes& n = notes();
+    std::lock_guard<std::mutex> lock(n.mu);
+    bool first = true;
+    for (const auto& [k, v] : n.kv) append_kv(out, k, v, first);
+  }
+  out += "\n  },\n";
+
+  char line[256];
+  out += "  \"counters\": {\n";
+  {
+    bool first = true;
+    for (const auto& [name, value] : counters_snapshot(true)) {
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(line, sizeof(line), "    \"%s\": %llu",
+                    detail::json_escape(name).c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  out += "\n  },\n";
+
+  // The subset whose totals are reproducible across RTP_THREADS (obs.hpp's
+  // determinism contract) — diff these two sections to see which counters a
+  // thread-count change may legitimately move.
+  out += "  \"counters_deterministic\": {\n";
+  {
+    bool first = true;
+    for (const auto& [name, value] : counters_snapshot(false)) {
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(line, sizeof(line), "    \"%s\": %llu",
+                    detail::json_escape(name).c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  out += "\n  },\n";
+
+  out += "  \"gauges\": {\n";
+  {
+    bool first = true;
+    for (const auto& [name, value] : gauges_snapshot()) {
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(line, sizeof(line), "    \"%s\": %llu",
+                    detail::json_escape(name).c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  out += "\n  },\n";
+
+  // Per-name span aggregates (empty unless tracing was on).
+  out += "  \"spans\": {\n";
+  {
+    struct Agg {
+      std::uint64_t count = 0;
+      double total_ms = 0.0;
+    };
+    std::map<std::string, Agg> agg;
+    for (const TraceEvent& e : trace_events()) {
+      Agg& a = agg[e.name];
+      ++a.count;
+      a.total_ms += static_cast<double>(e.end_ns - e.start_ns) / 1e6;
+    }
+    bool first = true;
+    for (const auto& [name, a] : agg) {
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(line, sizeof(line),
+                    "    \"%s\": {\"count\": %llu, \"total_ms\": %.3f}",
+                    detail::json_escape(name).c_str(),
+                    static_cast<unsigned long long>(a.count), a.total_ms);
+      out += line;
+    }
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool write_run_report(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = run_report_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+}  // namespace rtp::obs

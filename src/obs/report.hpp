@@ -1,0 +1,25 @@
+#pragma once
+// Process run report: one JSON document tying together what ran (build
+// provenance, environment), what it did (counters, gauges, per-name span
+// aggregates), and caller-supplied notes (seeds, config summaries).
+//
+// RTP_REPORT=report.json writes it automatically at process exit;
+// write_run_report() does so on demand. Counter totals in the report are
+// deterministic across RTP_THREADS (see obs.hpp); span aggregates and
+// gauges are wall-clock/scheduling facts and are not.
+
+#include <string>
+
+namespace rtp::obs {
+
+/// Attaches a key/value provenance note ("flow.seed" -> "7"). Later notes
+/// with the same key overwrite. Thread-safe.
+void report_note(const std::string& key, const std::string& value);
+
+/// The full report as a JSON string.
+std::string run_report_json();
+
+/// Writes run_report_json() to `path`; false on I/O failure.
+bool write_run_report(const std::string& path);
+
+}  // namespace rtp::obs

@@ -1,0 +1,16 @@
+#include "obs/sink.hpp"
+
+#include <cstdio>
+
+namespace rtp::obs {
+
+void LoggingSink::on_span(const char* name, double seconds) {
+  std::fprintf(stderr, "[obs] %-24s %8.3fs\n", name, seconds);
+}
+
+void LoggingSink::on_metric(const char* name, int step, double value) {
+  if (step % every_ != 0) return;
+  std::fprintf(stderr, "[obs] %-24s step %4d  %.5f\n", name, step, value);
+}
+
+}  // namespace rtp::obs

@@ -1,0 +1,113 @@
+#pragma once
+// Observer plumbing on top of the span/counter substrate: the Sink interface
+// that pipeline stages report into, the TimedSpan that feeds it, and two
+// stock sinks (per-name aggregation, stderr progress logging).
+//
+// This is the redesigned surface for what used to be ad-hoc timing code:
+// flow::DatasetFlow::run takes a Sink* and emits "flow.*" stage spans,
+// model::train_model takes one in TrainOptions and emits per-epoch metrics,
+// and eval's TABLE III derives its columns from TimedSpan measurements
+// instead of hand-rolled stopwatches.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace rtp::obs {
+
+/// Receives completed timed regions and per-step scalar metrics. Methods are
+/// invoked synchronously on the emitting thread; implementations that are
+/// fed from one thread (the common case — flow stages, training epochs) need
+/// no locking.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// A timed region `name` finished, taking `seconds` of wall clock.
+  virtual void on_span(const char* name, double seconds) {
+    (void)name;
+    (void)seconds;
+  }
+  /// A per-step scalar, e.g. ("train.epoch_loss", epoch, loss).
+  virtual void on_metric(const char* name, int step, double value) {
+    (void)name;
+    (void)step;
+    (void)value;
+  }
+};
+
+/// RAII stopwatch: always measures (its call sites are coarse-grained stage
+/// boundaries), reports to the optional Sink, and doubles as a trace span
+/// when tracing is enabled.
+class TimedSpan {
+ public:
+  explicit TimedSpan(const char* name, Sink* sink = nullptr)
+      : trace_(name), name_(name), sink_(sink), start_ns_(detail::now_ns()) {}
+
+  /// Ends the measurement (and the trace span) now; idempotent. Returns the
+  /// elapsed seconds, which the destructor would otherwise deliver to the
+  /// sink at scope exit.
+  double stop() {
+    if (!done_) {
+      done_ = true;
+      seconds_ = static_cast<double>(detail::now_ns() - start_ns_) * 1e-9;
+      trace_.end();
+      if (sink_ != nullptr) sink_->on_span(name_, seconds_);
+    }
+    return seconds_;
+  }
+
+  ~TimedSpan() { stop(); }
+  TimedSpan(const TimedSpan&) = delete;
+  TimedSpan& operator=(const TimedSpan&) = delete;
+
+ private:
+  TraceScope trace_;
+  const char* name_;
+  Sink* sink_;
+  std::uint64_t start_ns_;
+  double seconds_ = 0.0;
+  bool done_ = false;
+};
+
+/// Accumulates span totals/counts per name (the replacement for the old
+/// rtp::PhaseTimer, keyed instead of single-phase). Single-threaded.
+class SpanAccumulator final : public Sink {
+ public:
+  void on_span(const char* name, double seconds) override {
+    Entry& e = acc_[name];
+    e.total += seconds;
+    ++e.count;
+  }
+
+  double total(const std::string& name) const {
+    const auto it = acc_.find(name);
+    return it == acc_.end() ? 0.0 : it->second.total;
+  }
+  int count(const std::string& name) const {
+    const auto it = acc_.find(name);
+    return it == acc_.end() ? 0 : it->second.count;
+  }
+
+ private:
+  struct Entry {
+    double total = 0.0;
+    int count = 0;
+  };
+  std::map<std::string, Entry> acc_;
+};
+
+/// Logs every `every`-th metric step to stderr — the drop-in replacement for
+/// the trainer's removed `verbose` flag.
+class LoggingSink final : public Sink {
+ public:
+  explicit LoggingSink(int every = 5) : every_(every < 1 ? 1 : every) {}
+  void on_span(const char* name, double seconds) override;
+  void on_metric(const char* name, int step, double value) override;
+
+ private:
+  int every_;
+};
+
+}  // namespace rtp::obs

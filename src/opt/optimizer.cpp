@@ -5,6 +5,7 @@
 
 #include "core/log.hpp"
 #include "layout/feature_maps.hpp"
+#include "obs/obs.hpp"
 #include "timing/timing_graph.hpp"
 
 namespace rtp::opt {
@@ -339,6 +340,7 @@ std::vector<PathArc> critical_path(const tg::TimingGraph& graph,
 
 OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
                                           Placement& placement) const {
+  RTP_TRACE_SCOPE("opt.optimize");
   OptimizerReport report;
   report.original_net_slots = netlist.num_net_slots();
   report.original_cell_slots = netlist.num_cell_slots();
@@ -373,6 +375,7 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
 
   double prev_tns = 0.0;
   for (int pass = 0; pass < config_.max_passes; ++pass) {
+    RTP_TRACE_SCOPE("opt.pass");
     rebuild_density(ctx);
     GridMap rudy = layout::make_rudy_map(netlist, placement, config_.density_grid,
                                          config_.density_grid);
@@ -497,6 +500,11 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
   }
 
   netlist.validate();
+  RTP_COUNT("opt.moves_sizing", report.moves_sizing);
+  RTP_COUNT("opt.moves_buffer", report.moves_buffer);
+  RTP_COUNT("opt.moves_restructure", report.moves_restructure);
+  RTP_COUNT("opt.replaced_net_edges", report.replaced_net_edges);
+  RTP_COUNT("opt.replaced_cell_edges", report.replaced_cell_edges);
   RTP_LOG_DEBUG(
       "opt: passes=%d sizing=%d buffer=%d restructure=%d rejected=%d "
       "wns %.1f->%.1f tns %.1f->%.1f repl_nets=%.1f%% repl_cells=%.1f%%",

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::route {
 
@@ -49,6 +50,7 @@ AStarScratch& astar_scratch(int bins) {
 
 RouteResult GlobalRouter::route(const nl::Netlist& netlist,
                                 const layout::Placement& placement) const {
+  RTP_TRACE_SCOPE("route.global");
   const int g = config_.grid;
   const int bins = g * g;
   const layout::Die& die = placement.die();
@@ -84,6 +86,7 @@ RouteResult GlobalRouter::route(const nl::Netlist& netlist,
   }
   std::stable_sort(segments.begin(), segments.end(),
                    [](const Segment& a, const Segment& b) { return a.manhattan > b.manhattan; });
+  RTP_COUNT("route.segments", segments.size());
 
   const float capacity = static_cast<float>(
       std::max(1.0, config_.capacity_scale * total_demand / bins));

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::sta {
 
@@ -18,6 +19,9 @@ constexpr std::int64_t kLevelGrain = 32;
 
 StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
                   const StaConfig& config) {
+  RTP_TRACE_SCOPE("sta.run");
+  RTP_COUNT("sta.runs", 1);
+  RTP_COUNT("sta.levels", graph.nodes_by_level().size());
   const nl::Netlist& netlist = graph.netlist();
   DelayModel model(netlist, placement, config.delay);
 
@@ -40,6 +44,7 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
   // strictly lower level, so within one level all pins update independently
   // and the pass parallelizes with no synchronization beyond the level
   // barrier — the same schedule the GNN message passing uses.
+  obs::TraceScope arrival_scope("sta.arrival");
   for (const std::vector<nl::PinId>& level_nodes : graph.nodes_by_level()) {
     const std::int64_t count = static_cast<std::int64_t>(level_nodes.size());
     core::parallel_for(0, count, kLevelGrain, [&](std::int64_t lo, std::int64_t hi) {
@@ -74,6 +79,7 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
       }
     });
   }
+  arrival_scope.end();
 
   // Endpoint metrics.
   result.endpoints = graph.endpoints();
@@ -107,6 +113,7 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
   }
   // Mirror image of the forward sweep: levels descending, and within a level
   // every pin reads only strictly-higher-level required times.
+  obs::TraceScope required_scope("sta.required");
   const auto& by_level = graph.nodes_by_level();
   for (std::size_t li = by_level.size(); li-- > 0;) {
     const std::vector<nl::PinId>& level_nodes = by_level[li];
@@ -124,6 +131,7 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
       }
     });
   }
+  required_scope.end();
   result.slack.resize(n);
   for (std::size_t p = 0; p < n; ++p) {
     result.slack[p] = result.required[p] - result.arrival[p];

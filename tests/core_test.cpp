@@ -116,16 +116,8 @@ TEST(WallTimer, MeasuresNonNegativeMonotonic) {
   const double first = t.seconds();
   EXPECT_GE(first, 0.0);
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), first);
-}
-
-TEST(PhaseTimer, Accumulates) {
-  PhaseTimer p;
-  p.add(1.5);
-  p.add(0.5);
-  EXPECT_DOUBLE_EQ(p.total(), 2.0);
-  EXPECT_EQ(p.count(), 2);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "flow/dataset_flow.hpp"
+#include "obs/sink.hpp"
 
 namespace rtp::flow {
 namespace {
@@ -100,6 +101,28 @@ TEST_F(FlowTest, SignoffPinSupervisionCoversSurvivingPins) {
     supervised += d.signoff_pin_arrival[p] >= 0.0;
   }
   EXPECT_GT(supervised, 0);
+}
+
+TEST(FlowObserver, FlowTimingsReproducedFromSpans) {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  FlowConfig config;
+  config.scale = 0.05;
+  const auto specs = gen::paper_benchmarks();
+  obs::SpanAccumulator acc;
+  const DesignData d = DatasetFlow(lib, config).run(
+      gen::benchmark_by_name(specs, "xgate"), &acc);
+  // The FlowTimings struct is now just an adapter view over the same span
+  // stream the observer sees, so the two must agree exactly.
+  EXPECT_DOUBLE_EQ(acc.total("flow.place"), d.timings.place);
+  EXPECT_DOUBLE_EQ(acc.total("flow.opt"), d.timings.opt);
+  EXPECT_DOUBLE_EQ(acc.total("flow.route"), d.timings.route);
+  EXPECT_DOUBLE_EQ(acc.total("flow.sta"), d.timings.sta);
+  // Every stage reported exactly once.
+  for (const char* stage : {"flow.gen", "flow.place", "flow.constrain",
+                            "flow.preroute_sta", "flow.noopt", "flow.opt",
+                            "flow.route", "flow.sta", "flow.label"}) {
+    EXPECT_EQ(acc.count(stage), 1) << stage;
+  }
 }
 
 TEST(FlowDeterminism, SameConfigSameLabels) {

@@ -206,6 +206,44 @@ TEST(Fusion, TrainingReducesLossOnTinyDataset) {
   EXPECT_EQ(pred.dim(0), static_cast<int>(prepared.endpoints.size()));
 }
 
+TEST(Fusion, TrainerReportsEpochMetricsThroughSink) {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  flow::FlowConfig fc;
+  fc.scale = 0.05;
+  flow::DatasetFlow flow(lib, fc);
+  const auto specs = gen::paper_benchmarks();
+  const flow::DesignData data = flow.run(gen::benchmark_by_name(specs, "xgate"));
+  ModelConfig config;
+  config.grid = 32;
+  PreparedDesign prepared = prepare_design(data, config);
+  FusionModel model(config);
+  std::vector<PreparedDesign*> train = {&prepared};
+
+  struct CaptureSink final : obs::Sink {
+    std::vector<std::pair<int, double>> losses;
+    double train_total = -1.0;
+    void on_span(const char* name, double seconds) override {
+      if (std::string(name) == "train.total") train_total = seconds;
+    }
+    void on_metric(const char* name, int step, double value) override {
+      ASSERT_STREQ(name, "train.epoch_loss");
+      losses.emplace_back(step, value);
+    }
+  } sink;
+
+  const TrainResult result = train_model(model, train, {.epochs = 6, .sink = &sink});
+  ASSERT_EQ(sink.losses.size(), 6u);
+  ASSERT_EQ(result.epoch_loss.size(), 6u);
+  for (int e = 0; e < 6; ++e) {
+    EXPECT_EQ(sink.losses[static_cast<std::size_t>(e)].first, e);
+    EXPECT_FLOAT_EQ(
+        static_cast<float>(sink.losses[static_cast<std::size_t>(e)].second),
+        result.epoch_loss[static_cast<std::size_t>(e)]);
+  }
+  // TrainResult.seconds is the same measurement the sink saw.
+  EXPECT_DOUBLE_EQ(sink.train_total, result.seconds);
+}
+
 TEST(Fusion, VariantConfigsConstructAndPredict) {
   nl::CellLibrary lib = nl::CellLibrary::standard();
   flow::FlowConfig fc;

@@ -1,0 +1,300 @@
+// Tests for the rtp::obs observability layer: trace spans (nesting, JSON
+// export, disabled-path behavior), counters/gauges (including the
+// thread-count bit-identity contract), TimedSpan/Sink plumbing, the
+// FlowTimings adapter, and the run report.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "flow/dataset_flow.hpp"
+#include "nn/workspace.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/sink.hpp"
+
+namespace rtp::obs {
+namespace {
+
+/// Restores default tracing state and thread count no matter how a test exits.
+struct ObsGuard {
+  ~ObsGuard() {
+    set_trace_enabled(false);
+    clear_trace();
+    core::ThreadPool::instance().set_num_threads(0);
+  }
+};
+
+TEST(Trace, DisabledRecordsNothing) {
+  ObsGuard guard;
+  set_trace_enabled(false);
+  clear_trace();
+  {
+    RTP_TRACE_SCOPE("obs_test.disabled");
+    TimedSpan span("obs_test.disabled_timed");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(Trace, NestedSpansHaveDepthAndContainment) {
+  ObsGuard guard;
+  set_trace_enabled(true);
+  clear_trace();
+  // Uses TraceScope directly (not the macro) so the test also holds under
+  // -DRTP_OBS=OFF builds, where the macros compile out.
+  {
+    TraceScope outer("outer");
+    {
+      TraceScope inner("inner");
+      volatile int spin = 0;
+      for (int i = 0; i < 1000; ++i) spin = spin + 1;
+    }
+  }
+  set_trace_enabled(false);
+  const std::vector<TraceEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // trace_events() sorts by start time; outer starts first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[1].end_ns, events[0].end_ns);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Trace, ExplicitEndIsIdempotent) {
+  ObsGuard guard;
+  set_trace_enabled(true);
+  clear_trace();
+  {
+    TraceScope scope("obs_test.early_end");
+    scope.end();
+    scope.end();  // second end must not record a duplicate
+  }
+  set_trace_enabled(false);
+  EXPECT_EQ(trace_event_count(), 1u);
+}
+
+TEST(Trace, JsonIsWellFormedChromeFormat) {
+  ObsGuard guard;
+  set_trace_enabled(true);
+  clear_trace();
+  { TraceScope scope("json \"quoted\\name"); }
+  { TraceScope scope("plain"); }
+  set_trace_enabled(false);
+
+  const std::string json = trace_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // The quote and backslash in the span name must arrive escaped.
+  EXPECT_NE(json.find("json \\\"quoted\\\\name"), std::string::npos);
+  EXPECT_NE(json.find("\"plain\""), std::string::npos);
+  // Balanced braces/brackets outside of strings.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  ASSERT_TRUE(write_trace_json(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), json);
+  std::remove(path.c_str());
+}
+
+TEST(Counters, AddAndSnapshot) {
+  Counter& c = counter("obs_test.snapshot_counter");
+  c.reset();
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  const auto snap = counters_snapshot();
+  const auto it = snap.find("obs_test.snapshot_counter");
+  ASSERT_NE(it, snap.end());
+  EXPECT_EQ(it->second, 7u);
+}
+
+TEST(Counters, SchedulingKindExcludedFromDeterministicSnapshot) {
+  Counter& sched = counter("obs_test.sched_counter", CounterKind::kScheduling);
+  sched.reset();
+  sched.add(5);
+  const auto full = counters_snapshot(true);
+  const auto det = counters_snapshot(false);
+  EXPECT_NE(full.find("obs_test.sched_counter"), full.end());
+  EXPECT_EQ(det.find("obs_test.sched_counter"), det.end());
+}
+
+TEST(Counters, GaugeTracksMax) {
+  Gauge& g = gauge("obs_test.gauge");
+  g.reset();
+  g.update_max(10);
+  g.update_max(3);
+  g.update_max(42);
+  EXPECT_EQ(g.value(), 42u);
+  const auto snap = gauges_snapshot();
+  const auto it = snap.find("obs_test.gauge");
+  ASSERT_NE(it, snap.end());
+  EXPECT_EQ(it->second, 42u);
+}
+
+// The bit-identity test exercises the instrumentation *sites* (RTP_COUNT in
+// pool chunks, workspace acquires), which only exist when observability is
+// compiled in.
+#if !defined(RTP_OBS_DISABLED)
+
+/// A workload that exercises every deterministic counter site: parallel_for
+/// entry counters, per-chunk application counts, nested (inline) parallel
+/// regions, and workspace acquires from inside pool workers.
+std::map<std::string, std::uint64_t> run_counted_workload() {
+  reset_counters();
+  nn::Workspace::instance().clear();
+  constexpr std::int64_t kN = 1000;
+  std::vector<double> out(static_cast<std::size_t>(kN), 0.0);
+  core::parallel_for(0, kN, 16, [&](std::int64_t lo, std::int64_t hi) {
+    RTP_COUNT("obs_test.chunk_items", hi - lo);
+    nn::Scratch scratch({8, 8}, /*zeroed=*/false);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      scratch.data()[0] = static_cast<float>(i);
+      out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 2.0;
+    }
+    // Nested region: runs inline but still passes the run_chunked entry
+    // counters, so pool.calls/pool.chunks stay thread-count-independent.
+    core::parallel_for(0, 4, 1, [&](std::int64_t b, std::int64_t e) {
+      RTP_COUNT("obs_test.nested_items", e - b);
+    });
+  });
+  return counters_snapshot(/*include_scheduling=*/false);
+}
+
+TEST(Counters, TotalsBitIdenticalAcrossThreadCounts) {
+  ObsGuard guard;
+  core::ThreadPool::instance().set_num_threads(1);
+  const auto serial = run_counted_workload();
+  core::ThreadPool::instance().set_num_threads(4);
+  const auto parallel = run_counted_workload();
+
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  const auto it = serial.find("obs_test.chunk_items");
+  ASSERT_NE(it, serial.end());
+  EXPECT_EQ(it->second, 1000u);
+  // The workload touches the pool and workspace deterministic counters too.
+  EXPECT_NE(serial.find("pool.calls"), serial.end());
+  EXPECT_NE(serial.find("pool.chunks"), serial.end());
+  EXPECT_NE(serial.find("ws.acquires"), serial.end());
+}
+
+#endif  // !RTP_OBS_DISABLED
+
+TEST(Sinks, TimedSpanReportsToSink) {
+  SpanAccumulator acc;
+  {
+    TimedSpan span("obs_test.span", &acc);
+    volatile int spin = 0;
+    for (int i = 0; i < 1000; ++i) spin = spin + 1;
+  }
+  EXPECT_EQ(acc.count("obs_test.span"), 1);
+  EXPECT_GT(acc.total("obs_test.span"), 0.0);
+
+  TimedSpan manual("obs_test.manual", &acc);
+  const double first = manual.stop();
+  const double second = manual.stop();  // idempotent: same value, no re-report
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(acc.count("obs_test.manual"), 1);
+}
+
+TEST(Sinks, SpanAccumulatorAggregatesByName) {
+  SpanAccumulator acc;
+  acc.on_span("a", 1.0);
+  acc.on_span("a", 2.0);
+  acc.on_span("b", 0.5);
+  EXPECT_DOUBLE_EQ(acc.total("a"), 3.0);
+  EXPECT_EQ(acc.count("a"), 2);
+  EXPECT_DOUBLE_EQ(acc.total("b"), 0.5);
+  EXPECT_EQ(acc.count("b"), 1);
+  EXPECT_DOUBLE_EQ(acc.total("missing"), 0.0);
+  EXPECT_EQ(acc.count("missing"), 0);
+}
+
+TEST(Sinks, FlowTimingsSinkMapsStageSpansAndForwards) {
+  flow::FlowTimings timings;
+  SpanAccumulator downstream;
+  flow::FlowTimingsSink sink(&timings, &downstream);
+  sink.on_span("flow.place", 0.25);
+  sink.on_span("flow.opt", 1.5);
+  sink.on_span("flow.route", 2.0);
+  sink.on_span("flow.sta", 0.75);
+  sink.on_span("flow.gen", 9.0);  // not a FlowTimings field; forwarded only
+  EXPECT_DOUBLE_EQ(timings.place, 0.25);
+  EXPECT_DOUBLE_EQ(timings.opt, 1.5);
+  EXPECT_DOUBLE_EQ(timings.route, 2.0);
+  EXPECT_DOUBLE_EQ(timings.sta, 0.75);
+  EXPECT_DOUBLE_EQ(timings.total_commercial(), 1.5 + 2.0 + 0.75);
+  EXPECT_EQ(downstream.count("flow.gen"), 1);
+  EXPECT_EQ(downstream.count("flow.opt"), 1);
+}
+
+TEST(Report, ContainsCountersNotesAndBuildInfo) {
+  counter("obs_test.report_counter").reset();
+  counter("obs_test.report_counter").add(11);
+  report_note("obs_test.note", "value-42");
+  const std::string json = run_report_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters_deterministic\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.report_counter\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.note\": \"value-42\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "obs_test_report.json";
+  ASSERT_TRUE(write_run_report(path));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+TEST(Overhead, DisabledTraceScopeIsCheap) {
+  ObsGuard guard;
+  set_trace_enabled(false);
+  clear_trace();
+  // Not a timing assertion (too flaky for CI) — just proves a large number
+  // of disabled scopes allocate nothing and record nothing.
+  for (int i = 0; i < 100000; ++i) {
+    RTP_TRACE_SCOPE("obs_test.noop");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rtp::obs
