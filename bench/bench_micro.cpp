@@ -3,7 +3,7 @@
 // critical-region masks, feature maps, and one sign-off STA pass — across two
 // design scales.
 //
-// Two modes:
+// Three modes:
 //  - default: the google-benchmark suite below (human-readable tables).
 //  - --json[=path] [--smoke]: the nn-kernel regression harness. Times the
 //    blocked GEMM / im2col conv against the retained naive reference
@@ -11,15 +11,24 @@
 //    machine-readable JSON (default path BENCH_nn.json). Exits nonzero if
 //    the blocked matmul is slower than naive — CI runs `--json --smoke` on
 //    every push and fails on that regression.
+//  - --sta-json[=path] [--smoke]: incremental-vs-full STA A/B. Runs the
+//    timing optimizer twice on a TABLE-I-scale design — once on the
+//    incremental TimingSession hot path, once with RTP_FULL_STA=1 forcing
+//    every per-chunk re-time through a full sweep — checks both arms land on
+//    the bit-identical result, and writes the wall times + speedup (default
+//    path BENCH_sta.json). Exits nonzero if incremental is not faster.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "opt/optimizer.hpp"
 
 #include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
@@ -337,11 +346,115 @@ int run_json_harness(const std::string& path, bool smoke) {
   return 0;
 }
 
+// ---- incremental-vs-full STA harness (--sta-json mode) -------------------
+
+/// One timed optimizer run on copies of the fixture design. The optimizer's
+/// per-chunk re-times go through its TimingSession; with RTP_FULL_STA=1 every
+/// one of them is a full sweep instead — same trajectory, different engine.
+opt::OptimizerReport run_opt_arm(const Fixture& f, double clock_period, bool force_full,
+                                 double& seconds) {
+  nl::Netlist netlist = f.netlist;
+  layout::Placement placement = f.placement;
+  opt::OptimizerConfig config;
+  config.sta.delay.tech.clock_period = clock_period;
+  config.seed = 17;
+  if (force_full) {
+    setenv("RTP_FULL_STA", "1", 1);
+  } else {
+    unsetenv("RTP_FULL_STA");
+  }
+  opt::TimingOptimizer optimizer(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  opt::OptimizerReport report = optimizer.optimize(netlist, placement);
+  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  unsetenv("RTP_FULL_STA");
+  return report;
+}
+
+int run_sta_harness(const std::string& path, bool smoke) {
+  // TABLE-I-scale design: rocket at the medium fixture scale.
+  const Fixture& f = fixture(0.04);
+
+  // Replicate the flow's constrain stage so the optimizer sees real
+  // violations (a fraction of the unconstrained sign-off WNS path).
+  double clock_period = 0.0;
+  {
+    const layout::GridMap congestion =
+        flow::make_congestion_map(f.netlist, f.placement, 64);
+    sta::StaConfig probe;
+    probe.delay.tech.clock_period = 1e9;
+    probe.delay.wire_model = sta::WireModel::kSignOff;
+    probe.delay.congestion = &congestion;
+    sta::TimingSession session(f.netlist, f.placement, probe);
+    const sta::StaResult& r = session.update();
+    double max_arrival = 0.0;
+    for (double a : r.endpoint_arrival) max_arrival = std::max(max_arrival, a);
+    // Tighter than the flow's default factor: the A/B should stress the
+    // optimizer's re-timing loop with a deep violation set, not converge in
+    // two passes.
+    clock_period = std::max(50.0, 0.45 * max_arrival);
+  }
+
+  const int reps = smoke ? 1 : 3;
+  double inc_s = 1e30, full_s = 1e30;
+  opt::OptimizerReport inc_report, full_report;
+  for (int rep = 0; rep < reps; ++rep) {
+    double s = 0.0;
+    inc_report = run_opt_arm(f, clock_period, /*force_full=*/false, s);
+    inc_s = std::min(inc_s, s);
+    full_report = run_opt_arm(f, clock_period, /*force_full=*/true, s);
+    full_s = std::min(full_s, s);
+  }
+
+  // Both arms must walk the same trajectory to the bit-identical answer —
+  // otherwise the A/B compares different work, not different engines.
+  const bool identical = inc_report.wns_after == full_report.wns_after &&
+                         inc_report.tns_after == full_report.tns_after &&
+                         inc_report.moves_sizing == full_report.moves_sizing &&
+                         inc_report.moves_buffer == full_report.moves_buffer &&
+                         inc_report.moves_restructure == full_report.moves_restructure &&
+                         inc_report.passes_run == full_report.passes_run;
+  const double speedup = inc_s > 0.0 ? full_s / inc_s : 0.0;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_micro: cannot write " << path << "\n";
+    return 2;
+  }
+  out << "{\n  \"schema\": \"rtp-bench-sta-v1\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"design\": \"rocket@0.04\",\n"
+      << "  \"clock_period_ps\": " << clock_period << ",\n"
+      << "  \"passes_run\": " << inc_report.passes_run << ",\n"
+      << "  \"incremental_s\": " << inc_s << ",\n"
+      << "  \"full_s\": " << full_s << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"identical_results\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"wns_after\": " << inc_report.wns_after << ",\n"
+      << "  \"tns_after\": " << inc_report.tns_after << "\n}\n";
+  out.close();
+
+  std::cerr << "sta A/B on rocket@0.04: incremental " << inc_s << "s, full " << full_s
+            << "s, speedup " << speedup << "x, identical="
+            << (identical ? "yes" : "NO") << "\n";
+  std::cerr << "wrote " << path << "\n";
+  if (!identical) {
+    std::cerr << "REGRESSION: incremental and full STA arms diverged\n";
+    return 1;
+  }
+  if (speedup <= 1.0) {
+    std::cerr << "REGRESSION: incremental STA not faster than full recompute\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false, smoke = false;
+  bool json = false, sta_json = false, smoke = false;
   std::string path = "BENCH_nn.json";
+  std::string sta_path = "BENCH_sta.json";
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -349,12 +462,18 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json = true;
       path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--sta-json") == 0) {
+      sta_json = true;
+    } else if (std::strncmp(argv[i], "--sta-json=", 11) == 0) {
+      sta_json = true;
+      sta_path = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
+  if (sta_json) return run_sta_harness(sta_path, smoke);
   if (json) return run_json_harness(path, smoke);
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

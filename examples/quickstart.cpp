@@ -21,6 +21,7 @@
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "opt/optimizer.hpp"
+#include "sta/session.hpp"
 
 int main() {
   using namespace rtp;
@@ -53,15 +54,28 @@ int main() {
   placement.set_cell_pos(inv, {24.0, 15.0});
   placement.set_port_pos(po, {30.0, 15.0});
 
-  tg::TimingGraph graph(netlist);
+  // A TimingSession keeps the levelized graph and per-pin timing alive between
+  // queries; the first update() is a full sweep, later ones re-propagate only
+  // the cone downstream of what changed. (sta::run_sta is the one-shot
+  // convenience wrapper over the same engine.)
   sta::StaConfig sta_config;
-  const sta::StaResult timing = run_sta(graph, placement, sta_config);
+  sta::TimingSession session(netlist, placement, sta_config);
+  const sta::StaResult& timing = session.update();
   std::printf("pre-route STA: %zu endpoints, wns %.1f ps\n", timing.endpoints.size(),
               timing.wns);
   for (std::size_t i = 0; i < timing.endpoints.size(); ++i) {
     std::printf("  endpoint pin %d: arrival %.1f ps, slack %.1f ps\n",
                 timing.endpoints[i], timing.endpoint_arrival[i], timing.endpoint_slack[i]);
   }
+
+  // Incremental edit: upsize the output inverter and re-time just its cone.
+  const double wns_before = timing.wns;  // `timing` aliases the session results
+  netlist.resize_cell(inv, library.upsize(netlist.cell(inv).lib));
+  sta::EditBatch edit;
+  edit.resized_cells.push_back(inv);
+  session.apply(edit);
+  const sta::StaResult& retimed = session.update();
+  std::printf("after upsizing the INV: wns %.1f -> %.1f ps\n", wns_before, retimed.wns);
 
   // ---- 3. the full data flow + the predictor on a generated benchmark ----
   // An obs::Sink observes each stage as it completes; SpanAccumulator just

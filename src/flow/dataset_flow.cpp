@@ -7,6 +7,7 @@
 #include "core/log.hpp"
 #include "layout/feature_maps.hpp"
 #include "route/global_router.hpp"
+#include "sta/session.hpp"
 
 namespace rtp::flow {
 
@@ -105,7 +106,8 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     GridMap input_congestion = make_congestion_map(data.input_netlist, input_placement,
                                                    config_.congestion_grid);
     sta::StaConfig probe = make_signoff_config(config_.tech, 1e9, &input_congestion);
-    const sta::StaResult unconstrained = run_sta(input_graph, input_placement, probe);
+    sta::TimingSession probe_session(data.input_netlist, input_placement, probe);
+    const sta::StaResult& unconstrained = probe_session.update();
     double max_arrival = 0.0;
     for (double a : unconstrained.endpoint_arrival) max_arrival = std::max(max_arrival, a);
     data.clock_period = std::max(50.0, config_.clock_period_factor * max_arrival);
@@ -118,7 +120,8 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     pre.delay.tech = config_.tech;
     pre.delay.tech.clock_period = data.clock_period;
     pre.delay.wire_model = sta::WireModel::kPreRoute;
-    data.preroute = run_sta(input_graph, input_placement, pre);
+    sta::TimingSession pre_session(data.input_netlist, input_placement, pre);
+    data.preroute = pre_session.update();
   }
 
   // ---- no-opt flow: route + sign-off STA on the unoptimized design ----
@@ -131,7 +134,8 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     noopt_route = router.route(data.input_netlist, input_placement);
     noopt_config = make_signoff_config(config_.tech, data.clock_period, &noopt_route.usage);
     noopt_config.delay.routed_length = &noopt_route.routed_length;
-    noopt_sta = run_sta(input_graph, input_placement, noopt_config);
+    sta::TimingSession noopt_session(data.input_netlist, input_placement, noopt_config);
+    noopt_sta = noopt_session.update();
   }
 
   // ---- timing optimization (mutates a copy of netlist + placement) ----
@@ -150,7 +154,7 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     opt_config.buffer_rate = 0.45;
     opt_config.seed = spec.seed ^ config_.seed;
     opt::TimingOptimizer optimizer(opt_config);
-    data.opt_report = optimizer.optimize(opt_netlist, opt_placement);
+    data.opt_report = optimizer.optimize(opt_netlist, opt_placement, &stages);
   }
 
   // ---- routing: global route of the optimized design ----
@@ -165,10 +169,10 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
   sta::StaResult signoff_sta;
   {
     obs::TimedSpan span("flow.sta", &stages);
-    tg::TimingGraph signoff_graph(opt_netlist);
     signoff_config = make_signoff_config(config_.tech, data.clock_period, &opt_route.usage);
     signoff_config.delay.routed_length = &opt_route.routed_length;
-    signoff_sta = run_sta(signoff_graph, opt_placement, signoff_config);
+    sta::TimingSession signoff_session(opt_netlist, opt_placement, signoff_config);
+    signoff_sta = signoff_session.update();
   }
 
   obs::TimedSpan label_span("flow.label", &stages);
@@ -192,17 +196,13 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     const tg::Edge& edge = input_graph.edge(e);
     if (edge.is_net) {
       const nl::NetId net = static_cast<nl::NetId>(edge.ref);
-      const bool replaced = net < data.opt_report.original_net_slots &&
-                            data.opt_report.net_replaced[static_cast<std::size_t>(net)];
-      if (replaced || !opt_netlist.net_alive(net)) continue;
+      if (data.opt_report.net_was_replaced(net) || !opt_netlist.net_alive(net)) continue;
       const double d = signoff_model.net_edge_delay(edge.from, edge.to);
       data.arc_label[static_cast<std::size_t>(e)] = d;
       net_deltas.emplace_back(noopt_model.net_edge_delay(edge.from, edge.to), d);
     } else {
       const nl::CellId cell = static_cast<nl::CellId>(edge.ref);
-      const bool replaced = cell < data.opt_report.original_cell_slots &&
-                            data.opt_report.cell_replaced[static_cast<std::size_t>(cell)];
-      if (replaced || !opt_netlist.cell_alive(cell)) continue;
+      if (data.opt_report.cell_was_replaced(cell) || !opt_netlist.cell_alive(cell)) continue;
       const double d = signoff_model.cell_edge_delay(cell);
       data.arc_label[static_cast<std::size_t>(e)] = d;
       cell_deltas.emplace_back(noopt_model.cell_edge_delay(cell), d);

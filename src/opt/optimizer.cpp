@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/log.hpp"
 #include "layout/feature_maps.hpp"
@@ -39,19 +40,19 @@ struct MoveContext {
   Rng rng;
   std::vector<int> orig_net_sinks;    ///< per original net, its edge count
   std::vector<int> orig_cell_inputs;  ///< per original cell, its edge count
+  sta::EditBatch batch;  ///< edits since the last session commit
 
   void mark_net_replaced(nl::NetId n) {
     if (n >= report.original_net_slots) return;  // net created by the optimizer
-    auto flag = report.net_replaced[static_cast<std::size_t>(n)];
-    if (flag) return;
-    report.net_replaced[static_cast<std::size_t>(n)] = true;
+    if (report.net_replaced[static_cast<std::size_t>(n)]) return;
+    report.net_replaced[static_cast<std::size_t>(n)] = 1;
     report.replaced_net_edges += orig_net_sinks[static_cast<std::size_t>(n)];
   }
 
   void mark_cell_replaced(nl::CellId c) {
     if (c >= report.original_cell_slots) return;
     if (report.cell_replaced[static_cast<std::size_t>(c)]) return;
-    report.cell_replaced[static_cast<std::size_t>(c)] = true;
+    report.cell_replaced[static_cast<std::size_t>(c)] = 1;
     report.replaced_cell_edges += orig_cell_inputs[static_cast<std::size_t>(c)];
   }
 
@@ -68,6 +69,7 @@ struct MoveContext {
     const double bin_area = density.bin_width() * density.bin_height();
     density.at(density.row_of(p.y), density.col_of(p.x)) +=
         static_cast<float>(netlist.lib_cell(c).area / bin_area);
+    batch.new_cells.push_back(c);
   }
 };
 
@@ -99,6 +101,7 @@ bool size_up(MoveContext& ctx, nl::CellId cell) {
   const nl::LibCellId bigger = ctx.netlist.library().upsize(ctx.netlist.cell(cell).lib);
   if (bigger == nl::kInvalidId) return false;
   ctx.netlist.resize_cell(cell, bigger);
+  ctx.batch.resized_cells.push_back(cell);
   ++ctx.report.moves_sizing;
   return true;
 }
@@ -108,6 +111,7 @@ bool size_down(MoveContext& ctx, nl::CellId cell) {
   const nl::LibCellId smaller = ctx.netlist.library().downsize(ctx.netlist.cell(cell).lib);
   if (smaller == nl::kInvalidId) return false;
   ctx.netlist.resize_cell(cell, smaller);
+  ctx.batch.resized_cells.push_back(cell);
   ++ctx.report.moves_sizing;
   return true;
 }
@@ -138,6 +142,7 @@ bool remap(MoveContext& ctx, nl::CellId cell) {
   const nl::LibCellId new_lib = netlist.library().find(kind, old_lib.drive);
   if (new_lib == nl::kInvalidId) return false;
   netlist.remap_cell(cell, new_lib);
+  ctx.batch.resized_cells.push_back(cell);  // arc structure unchanged: a lib swap
   ctx.mark_cell_replaced(cell);
   ++ctx.report.moves_restructure;
   return true;
@@ -167,6 +172,8 @@ bool insert_buffer(MoveContext& ctx, nl::PinId driver, nl::PinId sink,
   const nl::NetId new_net = netlist.add_net(netlist.cell(b_cell).output);
   netlist.add_sink(new_net, sink);
   netlist.add_sink(net, netlist.cell(b_cell).inputs[0]);
+  ctx.batch.touched_nets.push_back(net);
+  ctx.batch.touched_nets.push_back(new_net);
   ctx.mark_net_replaced(net);
   ++ctx.report.moves_buffer;
   return true;
@@ -240,10 +247,12 @@ bool restructure(MoveContext& ctx, nl::CellId root) {
   // Save the root's downstream connections, then dissolve the region.
   std::vector<nl::PinId> out_sinks = netlist.net(out_net).sinks;
   for (nl::PinId s : out_sinks) netlist.disconnect_sink(s);
+  ctx.batch.touched_nets.push_back(out_net);
   for (nl::CellId c : region) {
     for (nl::PinId in : netlist.cell(c).inputs) {
       if (netlist.pin(in).net != nl::kInvalidId) {
         ctx.mark_net_replaced(netlist.pin(in).net);
+        ctx.batch.touched_nets.push_back(netlist.pin(in).net);
         netlist.disconnect_sink(in);
       }
     }
@@ -254,9 +263,11 @@ bool restructure(MoveContext& ctx, nl::CellId root) {
       RTP_CHECK_MSG(netlist.net(n).sinks.empty(), "region net still referenced");
       ctx.mark_net_replaced(n);
       netlist.remove_net(n);
+      ctx.batch.removed_nets.push_back(n);
     }
     ctx.mark_cell_replaced(c);
     netlist.remove_cell(c);
+    ctx.batch.removed_cells.push_back(c);
   }
 
   // Re-implement as a balanced tree of strong 2-input gates over the same
@@ -276,7 +287,10 @@ bool restructure(MoveContext& ctx, nl::CellId root) {
       ctx.host_new_cell(g, new_gate_pos());
       netlist.add_sink(operands[i], netlist.cell(g).inputs[0]);
       netlist.add_sink(operands[i + 1], netlist.cell(g).inputs[1]);
+      ctx.batch.touched_nets.push_back(operands[i]);
+      ctx.batch.touched_nets.push_back(operands[i + 1]);
       next.push_back(netlist.add_net(netlist.cell(g).output));
+      ctx.batch.touched_nets.push_back(next.back());
     }
     if (operands.size() % 2 == 1) next.push_back(operands.back());
     operands = std::move(next);
@@ -289,63 +303,25 @@ bool restructure(MoveContext& ctx, nl::CellId root) {
     const nl::CellId g = netlist.add_cell(netlist.library().find(nl::GateKind::kBuf, 4));
     ctx.host_new_cell(g, new_gate_pos());
     netlist.add_sink(result_net, netlist.cell(g).inputs[0]);
+    ctx.batch.touched_nets.push_back(result_net);
     result_net = netlist.add_net(netlist.cell(g).output);
   }
   for (nl::PinId s : out_sinks) netlist.add_sink(result_net, s);
+  ctx.batch.touched_nets.push_back(result_net);
   ++ctx.report.moves_restructure;
   return true;
 }
 
-// ---- critical-path extraction ---------------------------------------------
-
-/// One arc of a critical path, captured before any mutation this pass.
-struct PathArc {
-  bool is_net = false;
-  nl::PinId driver = nl::kInvalidId;  // net arcs
-  nl::PinId sink = nl::kInvalidId;
-  nl::CellId cell = nl::kInvalidId;  // cell arcs
-};
-
-std::vector<PathArc> critical_path(const tg::TimingGraph& graph,
-                                   const sta::StaResult& sta_result, nl::PinId endpoint) {
-  std::vector<PathArc> arcs;
-  nl::PinId v = endpoint;
-  while (!graph.fanin(v).empty()) {
-    std::int32_t best_edge = graph.fanin(v)[0];
-    double best = -1.0;
-    for (std::int32_t e : graph.fanin(v)) {
-      const double a = sta_result.arrival[static_cast<std::size_t>(graph.edge(e).from)] +
-                       sta_result.edge_delay[static_cast<std::size_t>(e)];
-      if (a > best) {
-        best = a;
-        best_edge = e;
-      }
-    }
-    const tg::Edge& edge = graph.edge(best_edge);
-    PathArc arc;
-    arc.is_net = edge.is_net;
-    if (edge.is_net) {
-      arc.driver = edge.from;
-      arc.sink = edge.to;
-    } else {
-      arc.cell = static_cast<nl::CellId>(edge.ref);
-    }
-    arcs.push_back(arc);
-    v = edge.from;
-  }
-  return arcs;
-}
-
 }  // namespace
 
-OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
-                                          Placement& placement) const {
+OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist, Placement& placement,
+                                          obs::Sink* sink) const {
   RTP_TRACE_SCOPE("opt.optimize");
   OptimizerReport report;
   report.original_net_slots = netlist.num_net_slots();
   report.original_cell_slots = netlist.num_cell_slots();
-  report.net_replaced.assign(static_cast<std::size_t>(report.original_net_slots), false);
-  report.cell_replaced.assign(static_cast<std::size_t>(report.original_cell_slots), false);
+  report.net_replaced.assign(static_cast<std::size_t>(report.original_net_slots), 0);
+  report.cell_replaced.assign(static_cast<std::size_t>(report.original_cell_slots), 0);
   report.original_net_edges = netlist.num_net_edges();
   report.original_cell_edges = netlist.num_cell_edges();
 
@@ -356,6 +332,7 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
                   GridMap(config_.density_grid, config_.density_grid, placement.die()),
                   /*density_threshold=*/1.0,
                   Rng(config_.seed * 0xa076'1d64'78bd'642fULL + 3),
+                  {},
                   {},
                   {}};
   ctx.orig_net_sinks.resize(static_cast<std::size_t>(report.original_net_slots), 0);
@@ -373,19 +350,45 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
     }
   }
 
+  // One sign-off config for the whole call (hoisted out of the pass loop; the
+  // session owns its own deep copy of the congestion map anyway).
+  sta::StaConfig signoff = config_.sta;
+  signoff.delay.wire_model = sta::WireModel::kSignOff;
+
+  // One timing session per optimize() call. Congestion refresh is a
+  // delay-model rebase on this session, never a graph or session rebuild.
+  std::optional<sta::TimingSession> session;
+  auto refresh_congestion = [&]() {
+    GridMap rudy = layout::make_rudy_map(netlist, placement, config_.density_grid,
+                                         config_.density_grid);
+    rudy.normalize();
+    if (!session) {
+      signoff.delay.congestion = &rudy;
+      session.emplace(netlist, placement, signoff);
+      signoff.delay.congestion = nullptr;  // rudy dies with this scope
+    } else {
+      session->rebase_congestion(rudy);
+    }
+  };
+  // Commits every edit recorded since the last commit and re-times the dirty
+  // cone (or everything, under RTP_FULL_STA / fallback).
+  auto commit = [&]() -> const sta::StaResult& {
+    session->apply(ctx.batch);
+    ctx.batch.clear();
+    const sta::StaResult& timing = session->update();
+    if (config_.verify_incremental) {
+      RTP_CHECK_MSG(session->matches_full_recompute(),
+                    "incremental session diverged from full recompute");
+    }
+    return timing;
+  };
+
   double prev_tns = 0.0;
   for (int pass = 0; pass < config_.max_passes; ++pass) {
     RTP_TRACE_SCOPE("opt.pass");
     rebuild_density(ctx);
-    GridMap rudy = layout::make_rudy_map(netlist, placement, config_.density_grid,
-                                         config_.density_grid);
-    rudy.normalize();
-    sta::StaConfig sta_config = config_.sta;
-    sta_config.delay.wire_model = sta::WireModel::kSignOff;
-    sta_config.delay.congestion = &rudy;
-
-    tg::TimingGraph graph(netlist);
-    const sta::StaResult timing = run_sta(graph, placement, sta_config);
+    refresh_congestion();
+    const sta::StaResult& timing = commit();
     if (pass == 0) {
       report.wns_before = timing.wns;
       report.tns_before = timing.tns;
@@ -393,45 +396,65 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
     report.wns_after = timing.wns;
     report.tns_after = timing.tns;
     report.passes_run = pass;
+    if (sink != nullptr) {
+      sink->on_metric("opt.pass_wns", pass, timing.wns);
+      sink->on_metric("opt.pass_tns", pass, timing.tns);
+    }
     if (timing.tns >= 0.0) break;
     if (pass > 0 && std::abs(timing.tns - prev_tns) < 0.002 * std::abs(prev_tns)) break;
     prev_tns = timing.tns;
 
-    // Worst endpoints first.
+    // Worst endpoints first, ranked by this pass's entry timing (a snapshot:
+    // the session results mutate as chunks commit below).
+    const std::vector<double> entry_slack = timing.endpoint_slack;
     std::vector<std::size_t> order(timing.endpoints.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return timing.endpoint_slack[a] < timing.endpoint_slack[b];
+      return entry_slack[a] < entry_slack[b];
     });
-    const std::size_t target_count = std::max<std::size_t>(
+    std::size_t target_count = std::max<std::size_t>(
         1, static_cast<std::size_t>(config_.endpoint_fraction * order.size()));
-
-    // Capture all path arcs before mutating anything this pass.
-    std::vector<PathArc> todo;
-    for (std::size_t i = 0; i < target_count; ++i) {
-      if (timing.endpoint_slack[order[i]] >= 0.0) break;
-      const auto arcs = critical_path(graph, timing, timing.endpoints[order[i]]);
-      todo.insert(todo.end(), arcs.begin(), arcs.end());
+    while (target_count > 0 && entry_slack[order[target_count - 1]] >= 0.0) {
+      --target_count;  // only endpoints violating at pass entry
     }
 
-    for (const PathArc& arc : todo) {
-      // Destructive moves respect the per-design replacement budget so the
-      // total churn lands at the calibrated TABLE I ratios.
-      const bool net_budget = report.replaced_net_edges <
-                              config_.target_net_replaced * report.original_net_edges;
-      const bool cell_budget = report.replaced_cell_edges <
-                               config_.target_cell_replaced * report.original_cell_edges;
-      if (arc.is_net) {
-        if (net_budget && ctx.rng.chance(config_.buffer_rate)) {
-          insert_buffer(ctx, arc.driver, arc.sink, config_.min_buffer_length);
-        }
-      } else {
-        if (cell_budget && net_budget && ctx.rng.chance(config_.restructure_rate)) {
-          restructure(ctx, arc.cell);
-        } else if (ctx.rng.chance(config_.sizing_rate)) {
-          size_up(ctx, arc.cell);
+    // Work through the targets in chunks of paths_per_update endpoints: each
+    // chunk extracts its critical paths from *fresh* timing, edits them, and
+    // commits — so later chunks see (and don't re-fix) what earlier chunks
+    // already repaired. This per-chunk re-time is the incremental session's
+    // hot path; with RTP_FULL_STA=1 every one of these is a full sweep.
+    const std::size_t chunk =
+        config_.paths_per_update > 0 ? static_cast<std::size_t>(config_.paths_per_update)
+                                     : target_count;
+    for (std::size_t begin = 0; begin < target_count; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, target_count);
+      std::vector<sta::PathArc> todo;
+      for (std::size_t i = begin; i < end; ++i) {
+        const nl::PinId ep = session->results().endpoints[order[i]];
+        if (session->results().slack_at(ep) >= 0.0) continue;  // fixed by a prior chunk
+        const std::vector<sta::PathArc> arcs = session->critical_path(ep);
+        todo.insert(todo.end(), arcs.begin(), arcs.end());
+      }
+      for (const sta::PathArc& arc : todo) {
+        // Destructive moves respect the per-design replacement budget so the
+        // total churn lands at the calibrated TABLE I ratios.
+        const bool net_budget = report.replaced_net_edges <
+                                config_.target_net_replaced * report.original_net_edges;
+        const bool cell_budget = report.replaced_cell_edges <
+                                 config_.target_cell_replaced * report.original_cell_edges;
+        if (arc.is_net) {
+          if (net_budget && ctx.rng.chance(config_.buffer_rate)) {
+            insert_buffer(ctx, arc.driver, arc.sink, config_.min_buffer_length);
+          }
+        } else {
+          if (cell_budget && net_budget && ctx.rng.chance(config_.restructure_rate)) {
+            restructure(ctx, arc.cell);
+          } else if (ctx.rng.chance(config_.sizing_rate)) {
+            size_up(ctx, arc.cell);
+          }
         }
       }
+      if (!ctx.batch.empty()) commit();
     }
   }
 
@@ -471,8 +494,8 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
       if (!netlist.net_alive(n) || report.net_replaced[static_cast<std::size_t>(n)]) continue;
       const nl::Net& net = netlist.net(n);
       if (net.sinks.empty()) continue;
-      const nl::PinId sink = net.sinks[ctx.rng.index(net.sinks.size())];
-      insert_buffer(ctx, net.driver, sink, /*min_length=*/1.5);
+      const nl::PinId sink_pin = net.sinks[ctx.rng.index(net.sinks.size())];
+      insert_buffer(ctx, net.driver, sink_pin, /*min_length=*/1.5);
     }
   }
   for (nl::CellId c = 0; c < report.original_cell_slots; ++c) {
@@ -485,16 +508,12 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist,
     }
   }
 
-  // Final sign-off view after recovery.
+  // Final sign-off view after recovery: rebase the congestion model onto the
+  // churned placement and commit the whole recovery batch (a large edit set —
+  // the session is expected to fall back to one full sweep here).
+  refresh_congestion();
   {
-    GridMap rudy = layout::make_rudy_map(netlist, placement, config_.density_grid,
-                                         config_.density_grid);
-    rudy.normalize();
-    sta::StaConfig sta_config = config_.sta;
-    sta_config.delay.wire_model = sta::WireModel::kSignOff;
-    sta_config.delay.congestion = &rudy;
-    tg::TimingGraph graph(netlist);
-    const sta::StaResult timing = run_sta(graph, placement, sta_config);
+    const sta::StaResult& timing = commit();
     report.wns_after = timing.wns;
     report.tns_after = timing.tns;
   }

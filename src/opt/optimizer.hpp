@@ -17,11 +17,20 @@
 //   * every original net/cell that a destructive move touches is recorded, so
 //     the flow can report TABLE I's #replaced columns and train baselines
 //     semi-supervised on the unreplaced remainder.
+//
+// Timing queries run on an incremental sta::TimingSession owned by each
+// optimize() call: moves are committed in chunks of `paths_per_update`
+// critical paths, and only the edited cone is re-propagated before the next
+// chunk picks its paths from fresh timing. Per-pass congestion refresh is a
+// delay-model rebase on the same session, never a graph rebuild. Setting
+// RTP_FULL_STA=1 forces every one of those queries through a full sweep —
+// the A/B baseline for BENCH_sta.json.
 
 #include <vector>
 
 #include "core/rng.hpp"
-#include "sta/sta.hpp"
+#include "obs/sink.hpp"
+#include "sta/session.hpp"
 
 namespace rtp::opt {
 
@@ -29,6 +38,7 @@ struct OptimizerConfig {
   sta::StaConfig sta;            ///< sign-off STA settings used to drive moves
   int max_passes = 8;
   double endpoint_fraction = 0.5;  ///< worst endpoints targeted per pass
+  int paths_per_update = 2;        ///< critical paths edited per incremental re-time
   double sizing_rate = 0.5;        ///< per-arc probability knobs
   double buffer_rate = 0.45;
   double restructure_rate = 0.4;
@@ -48,15 +58,30 @@ struct OptimizerConfig {
   double density_quantile = 0.85;
   int density_grid = 32;
   std::uint64_t seed = 1;
+  /// Debug/test knob: RTP_CHECK every incremental session update against a
+  /// from-scratch full recompute (expensive; bit-identity guard).
+  bool verify_incremental = false;
 };
 
 struct OptimizerReport {
   // Snapshot of the pre-optimization entity ranges; replacement flags are
-  // indexed against these.
+  // indexed against these. Stored as uint8_t (not vector<bool>) so the flags
+  // are addressable bytes; query through the accessors below.
   int original_net_slots = 0;
   int original_cell_slots = 0;
-  std::vector<bool> net_replaced;
-  std::vector<bool> cell_replaced;
+  std::vector<std::uint8_t> net_replaced;
+  std::vector<std::uint8_t> cell_replaced;
+
+  /// True if a destructive move structurally edited this original net / cell.
+  /// Ids at or past the original slot ranges (optimizer-created entities)
+  /// report false.
+  bool net_was_replaced(nl::NetId n) const {
+    return n >= 0 && n < original_net_slots && net_replaced[static_cast<std::size_t>(n)] != 0;
+  }
+  bool cell_was_replaced(nl::CellId c) const {
+    return c >= 0 && c < original_cell_slots &&
+           cell_replaced[static_cast<std::size_t>(c)] != 0;
+  }
 
   double wns_before = 0.0, tns_before = 0.0;
   double wns_after = 0.0, tns_after = 0.0;
@@ -81,12 +106,15 @@ struct OptimizerReport {
 
 class TimingOptimizer {
  public:
-  explicit TimingOptimizer(OptimizerConfig config) : config_(config) {}
+  explicit TimingOptimizer(const OptimizerConfig& config) : config_(config) {}
 
   /// Optimizes `netlist`/`placement` in place against the sign-off model.
   /// The congestion map inside config_.sta.delay is re-derived each pass from
-  /// the evolving placement, so moves see up-to-date routability.
-  OptimizerReport optimize(nl::Netlist& netlist, layout::Placement& placement) const;
+  /// the evolving placement and rebased into the timing session, so moves see
+  /// up-to-date routability. If `sink` is given, per-pass "opt.pass_wns" /
+  /// "opt.pass_tns" metrics are streamed to it (step = pass index).
+  OptimizerReport optimize(nl::Netlist& netlist, layout::Placement& placement,
+                           obs::Sink* sink = nullptr) const;
 
  private:
   OptimizerConfig config_;

@@ -1,0 +1,690 @@
+#include "sta/session.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "core/log.hpp"
+#include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::sta {
+
+namespace {
+
+/// Same chunk size as the full sweep, so incremental levels parallelize with
+/// the identical determinism contract (chunk-local buffers, ordered merge).
+constexpr std::int64_t kLevelGrain = 32;
+
+/// Frontier levels at or below this size run as one serial chunk instead of a
+/// pool dispatch: the dirty cone's levels are usually a few dozen pins, where
+/// the pool's wake/wait latency dwarfs the delay arithmetic. The per-pin
+/// values don't depend on chunking and partials merge in ascending chunk
+/// order, so the serial path is bitwise the parallel one at any thread count.
+constexpr std::int64_t kSerialLevelCutoff = 256;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The incremental sweeps compare *bit patterns*, not values: -0.0 vs 0.0 or
+/// any representation change must re-propagate, otherwise the session could
+/// drift from what a fresh full sweep computes.
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool bits_equal(float a, float b) {
+  return std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b);
+}
+
+/// Pins the full sweep seeds before its forward pass (PIs and register Q
+/// pins). A dirty launch pin must restart from its seed, not from 0.
+bool is_launch_pin(const nl::Netlist& netlist, nl::PinId p) {
+  const nl::Pin& pin = netlist.pin(p);
+  if (pin.type == nl::PinType::kPrimaryInput) return true;
+  return pin.type == nl::PinType::kCellOutput && pin.cell != nl::kInvalidId &&
+         netlist.lib_cell(pin.cell).is_sequential();
+}
+
+std::size_t idx(std::int32_t id) { return static_cast<std::size_t>(id); }
+
+}  // namespace
+
+void EditBatch::clear() {
+  resized_cells.clear();
+  new_cells.clear();
+  removed_cells.clear();
+  touched_nets.clear();
+  removed_nets.clear();
+  touched_pins.clear();
+}
+
+void EditBatch::merge(const EditBatch& other) {
+  auto append = [](auto& dst, const auto& src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+  };
+  append(resized_cells, other.resized_cells);
+  append(new_cells, other.new_cells);
+  append(removed_cells, other.removed_cells);
+  append(touched_nets, other.touched_nets);
+  append(removed_nets, other.removed_nets);
+  append(touched_pins, other.touched_pins);
+}
+
+TimingSession::TimingSession(const nl::Netlist& netlist, const layout::Placement& placement,
+                             const StaConfig& config)
+    : netlist_(&netlist), placement_(&placement), config_(config), graph_(netlist) {
+  if (config_.delay.congestion != nullptr) {
+    congestion_ = std::make_unique<layout::GridMap>(*config_.delay.congestion);
+  }
+  if (config_.delay.routed_length != nullptr) {
+    routed_length_ = *config_.delay.routed_length;
+    has_routed_ = true;
+  }
+  remodel();
+  const char* env = std::getenv("RTP_FULL_STA");
+  force_full_ = env != nullptr && env[0] == '1';
+}
+
+void TimingSession::remodel() {
+  config_.delay.congestion = congestion_ ? congestion_.get() : nullptr;
+  config_.delay.routed_length = has_routed_ ? &routed_length_ : nullptr;
+  model_ = std::make_unique<DelayModel>(*netlist_, *placement_, config_.delay);
+}
+
+void TimingSession::apply(const EditBatch& batch) {
+  for (nl::CellId c : batch.new_cells) {
+    RTP_CHECK_MSG(!netlist_->lib_cell(c).is_sequential(),
+                  "TimingSession: endpoint/launch sets are frozen (no new sequential cells)");
+  }
+  pending_.merge(batch);
+}
+
+void TimingSession::rebase_congestion(const layout::GridMap& congestion) {
+  if (!congestion_ || congestion_->rows() != congestion.rows() ||
+      congestion_->cols() != congestion.cols()) {
+    // Different raster (or a session built pre-route): full invalidation.
+    congestion_ = std::make_unique<layout::GridMap>(congestion);
+    remodel();
+    full_dirty_ = true;
+    return;
+  }
+
+  const std::vector<float>& old_vals = congestion_->values();
+  const std::vector<float>& new_vals = congestion.values();
+  std::vector<std::uint8_t> changed(old_vals.size(), 0);
+  bool any = false;
+  for (std::size_t i = 0; i < old_vals.size(); ++i) {
+    if (!bits_equal(old_vals[i], new_vals[i])) {
+      changed[i] = 1;
+      any = true;
+    }
+  }
+  if (!any) return;
+
+  // The delay model samples one bin per segment, at the driver-sink midpoint
+  // (DelayModel::detour_factor / cap_scale). A net's delays change iff one of
+  // its segments' sampled bins changed; then its net edges (fanin of the
+  // sinks) and the driver's cell arcs (load via net_load) must recompute.
+  const layout::GridMap& map = *congestion_;
+  for (nl::NetId n = 0; n < netlist_->num_net_slots(); ++n) {
+    if (!netlist_->net_alive(n)) continue;
+    const nl::Net& net = netlist_->net(n);
+    const layout::Point a = placement_->pin_pos(*netlist_, net.driver);
+    bool dirty = false;
+    for (nl::PinId sink : net.sinks) {
+      const layout::Point b = placement_->pin_pos(*netlist_, sink);
+      const int row = map.row_of((a.y + b.y) / 2);
+      const int col = map.col_of((a.x + b.x) / 2);
+      if (changed[static_cast<std::size_t>(row) * static_cast<std::size_t>(map.cols()) +
+                  static_cast<std::size_t>(col)]) {
+        dirty = true;
+        break;
+      }
+    }
+    if (!dirty) continue;
+    cong_dirty_.push_back(net.driver);
+    for (nl::PinId sink : net.sinks) cong_dirty_.push_back(sink);
+  }
+  congestion_->values() = new_vals;  // same raster: the model's pointer stays valid
+}
+
+void TimingSession::sync_structure(std::vector<nl::PinId>& affected) {
+  graph_.grow();
+  auto dedup = [](std::vector<std::int32_t> ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  std::vector<nl::NetId> nets = pending_.touched_nets;
+  nets.insert(nets.end(), pending_.removed_nets.begin(), pending_.removed_nets.end());
+  for (nl::NetId n : dedup(std::move(nets))) graph_.sync_net(n, affected);
+  std::vector<nl::CellId> cells = pending_.new_cells;
+  cells.insert(cells.end(), pending_.removed_cells.begin(), pending_.removed_cells.end());
+  for (nl::CellId c : dedup(std::move(cells))) graph_.sync_cell(c, affected);
+  {
+    RTP_TRACE_SCOPE("sta.inc.relevel");
+    graph_.relevel(affected);
+  }
+
+  // Grow result arrays; fresh slots take the full-sweep defaults for pins no
+  // sweep visits.
+  const std::size_t n = static_cast<std::size_t>(netlist_->num_pin_slots());
+  result_.arrival.resize(n, 0.0);
+  result_.slew.resize(n, 0.0);
+  result_.required.resize(n, kInf);
+  result_.slack.resize(n, kInf);
+  result_.edge_delay.resize(static_cast<std::size_t>(graph_.num_edges()), 0.0);
+
+  // Pins that just died (removed cells, detached sinks) must read exactly what
+  // a full sweep leaves in dead slots.
+  for (nl::PinId p : affected) {
+    if (netlist_->pin_alive(p)) continue;
+    result_.arrival[idx(p)] = 0.0;
+    result_.slew[idx(p)] = 0.0;
+    result_.required[idx(p)] = kInf;
+    result_.slack[idx(p)] = kInf;
+  }
+}
+
+void TimingSession::mark_forward(nl::PinId p) {
+  if (p == nl::kInvalidId || !netlist_->pin_alive(p)) return;
+  std::uint8_t& flag = fwd_mark_[idx(p)];
+  if (flag) return;
+  flag = 1;
+  fwd_marked_.push_back(p);
+}
+
+void TimingSession::mark_backward(nl::PinId p) {
+  if (p == nl::kInvalidId || !netlist_->pin_alive(p)) return;
+  std::uint8_t& flag = back_mark_[idx(p)];
+  if (flag) return;
+  flag = 1;
+  back_marked_.push_back(p);
+}
+
+void TimingSession::mark_slack(nl::PinId p) {
+  std::uint8_t& flag = slack_mark_[idx(p)];
+  if (flag) return;
+  flag = 1;
+  slack_marked_.push_back(p);
+}
+
+void TimingSession::seed_forward(const std::vector<nl::PinId>& structural_pins) {
+  const std::size_t n = static_cast<std::size_t>(netlist_->num_pin_slots());
+  if (fwd_mark_.size() < n) {
+    fwd_mark_.resize(n, 0);
+    back_mark_.resize(n, 0);
+    slack_mark_.resize(n, 0);
+  }
+  for (nl::PinId p : structural_pins) mark_forward(p);
+  for (nl::PinId p : pending_.touched_pins) mark_forward(p);
+  for (nl::PinId p : cong_dirty_) mark_forward(p);
+  for (nl::CellId c : pending_.resized_cells) {
+    if (!netlist_->cell_alive(c)) continue;  // resized, then removed later in the batch
+    const nl::Cell& cell = netlist_->cell(c);
+    // drive_res/intrinsic change -> the cell's own arcs (fanin of its output);
+    // input_cap change -> upstream net edges (fanin of its inputs) and the
+    // upstream drivers' arcs (their load changed).
+    mark_forward(cell.output);
+    for (nl::PinId in : cell.inputs) {
+      mark_forward(in);
+      const nl::NetId net = netlist_->pin(in).net;
+      if (net != nl::kInvalidId && netlist_->net_alive(net)) {
+        mark_forward(netlist_->net(net).driver);
+      }
+    }
+  }
+}
+
+void TimingSession::clear_marks() {
+  for (nl::PinId p : fwd_marked_) fwd_mark_[idx(p)] = 0;
+  for (nl::PinId p : back_marked_) back_mark_[idx(p)] = 0;
+  for (nl::PinId p : slack_marked_) slack_mark_[idx(p)] = 0;
+  fwd_marked_.clear();
+  back_marked_.clear();
+  slack_marked_.clear();
+  for (auto& lvl : fwd_frontier_) lvl.clear();
+  for (auto& lvl : back_frontier_) lvl.clear();
+}
+
+void TimingSession::run_full() { detail::full_sweep(graph_, *model_, config_, result_); }
+
+const StaResult& TimingSession::update() {
+  RTP_TRACE_SCOPE("sta.inc.update");
+  RTP_COUNT("sta.inc.updates", 1);
+
+  std::vector<nl::PinId> structural_pins;
+  if (pending_.structural()) {
+    RTP_TRACE_SCOPE("sta.inc.sync");
+    sync_structure(structural_pins);
+  }
+  seed_forward(structural_pins);
+
+  const double slots = static_cast<double>(netlist_->num_pin_slots());
+  if (force_full_ || full_dirty_ ||
+      static_cast<double>(fwd_marked_.size()) > fallback_fraction_ * slots) {
+    if (primed_) RTP_COUNT("sta.inc.full_fallbacks", 1);
+    clear_marks();
+    run_full();
+  } else if (!fwd_marked_.empty()) {
+    run_incremental();
+  }
+
+  pending_.clear();
+  cong_dirty_.clear();
+  full_dirty_ = false;
+  primed_ = true;
+  return result_;
+}
+
+const StaResult& TimingSession::full_recompute() {
+  std::vector<nl::PinId> structural_pins;
+  if (pending_.structural()) sync_structure(structural_pins);
+  clear_marks();
+  run_full();
+  pending_.clear();
+  cong_dirty_.clear();
+  full_dirty_ = false;
+  primed_ = true;
+  return result_;
+}
+
+void TimingSession::run_incremental() {
+  const nl::Netlist& netlist = *netlist_;
+  const DelayModel& model = *model_;
+
+  const std::size_t levels = static_cast<std::size_t>(graph_.max_level()) + 1;
+  if (fwd_frontier_.size() < levels) fwd_frontier_.resize(levels);
+  if (back_frontier_.size() < levels) back_frontier_.resize(levels);
+  for (nl::PinId p : fwd_marked_) fwd_frontier_[static_cast<std::size_t>(graph_.level(p))].push_back(p);
+
+  std::size_t dirty_nodes = 0;
+  std::size_t levels_touched = 0;
+
+  // Forward: process dirty pins level-ascending. Recomputing a pin redoes its
+  // *entire* fanin reduction — the exact full-sweep inner loop — so the result
+  // is bitwise the full-sweep value no matter which subset of inputs changed.
+  // Each pin owns its arrival/slew slot and its fanin edges' delay slots and
+  // reads only strictly-lower levels, so chunks race on nothing; changed-pin
+  // and changed-edge lists merge in ascending chunk order (determinism).
+  for (std::size_t L = 0; L < levels; ++L) {
+    std::vector<nl::PinId>& lvl = fwd_frontier_[L];
+    if (lvl.empty()) continue;
+    std::sort(lvl.begin(), lvl.end());  // canonical chunking for any thread count
+    ++levels_touched;
+    dirty_nodes += lvl.size();
+    auto sweep_chunk =
+        [&](std::int64_t lo, std::int64_t hi) {
+          SweepOut o;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const nl::PinId v = lvl[static_cast<std::size_t>(i)];
+            double best;
+            double best_slew;
+            if (is_launch_pin(netlist, v)) {
+              best = detail::launch_arrival(netlist, v);
+              best_slew = config_.launch_slew;
+            } else {
+              best = 0.0;
+              best_slew = 0.0;
+            }
+            for (std::int32_t e : graph_.fanin(v)) {
+              const tg::Edge& edge = graph_.edge(e);
+              double d;
+              double slew_out;
+              const double slew_in = result_.slew[idx(edge.from)];
+              if (edge.is_net) {
+                d = model.net_edge_delay(edge.from, edge.to);
+                slew_out = slew_in + 0.8 * d;
+              } else {
+                d = model.cell_edge_delay(static_cast<nl::CellId>(edge.ref));
+                slew_out = 0.35 * slew_in + 0.9 * d;
+              }
+              if (!bits_equal(result_.edge_delay[idx(e)], d)) {
+                result_.edge_delay[idx(e)] = d;
+                o.tails.push_back(edge.from);
+              }
+              const double a = result_.arrival[idx(edge.from)] + d;
+              if (a > best) {
+                best = a;
+                best_slew = slew_out;
+              }
+            }
+            if (!bits_equal(best, result_.arrival[idx(v)]) ||
+                !bits_equal(best_slew, result_.slew[idx(v)])) {
+              result_.arrival[idx(v)] = best;
+              result_.slew[idx(v)] = best_slew;
+              o.changed.push_back(v);
+            }
+          }
+          return o;
+        };
+    // Frontier levels are typically a handful of pins: pool dispatch would
+    // cost more than the work. One serial chunk produces the identical
+    // ascending-order result (pins are independent; partials merge in chunk
+    // order anyway), so the cutover is invisible to bit-identity.
+    SweepOut out =
+        static_cast<std::int64_t>(lvl.size()) <= kSerialLevelCutoff
+            ? sweep_chunk(0, static_cast<std::int64_t>(lvl.size()))
+            : core::parallel_reduce(
+                  0, static_cast<std::int64_t>(lvl.size()), kLevelGrain, SweepOut{},
+                  sweep_chunk, [](SweepOut acc, SweepOut part) {
+                    acc.changed.insert(acc.changed.end(), part.changed.begin(),
+                                       part.changed.end());
+                    acc.tails.insert(acc.tails.end(), part.tails.begin(),
+                                     part.tails.end());
+                    return acc;
+                  });
+    lvl.clear();
+    // Early termination is implicit: only bit-changed pins push their fanout.
+    for (nl::PinId v : out.changed) {
+      mark_slack(v);
+      for (std::int32_t e : graph_.fanout(v)) {
+        const nl::PinId head = graph_.edge(e).to;
+        std::uint8_t& flag = fwd_mark_[idx(head)];
+        if (flag) continue;  // already pending at its (strictly higher) level
+        flag = 1;
+        fwd_marked_.push_back(head);
+        fwd_frontier_[static_cast<std::size_t>(graph_.level(head))].push_back(head);
+      }
+    }
+    // A changed edge delay can move the tail's required time.
+    for (nl::PinId t : out.tails) mark_backward(t);
+  }
+
+  // Endpoint metrics: always recomputed in full, in canonical endpoint order,
+  // so the wns/tns accumulation is bitwise the full-sweep one.
+  result_.endpoints = graph_.endpoints();
+  result_.endpoint_arrival.resize(result_.endpoints.size());
+  result_.endpoint_slack.resize(result_.endpoints.size());
+  const double period = config_.delay.tech.clock_period;
+  double wns = 0.0;
+  double tns = 0.0;
+  for (std::size_t i = 0; i < result_.endpoints.size(); ++i) {
+    const nl::PinId ep = result_.endpoints[i];
+    const double arrival = result_.arrival[idx(ep)];
+    const bool is_reg = netlist.pin(ep).type == nl::PinType::kCellInput;
+    const double required = period - (is_reg ? config_.setup_margin : 0.0);
+    const double slack = required - arrival;
+    result_.endpoint_arrival[i] = arrival;
+    result_.endpoint_slack[i] = slack;
+    if (slack < 0.0) {
+      tns += slack;
+      wns = std::min(wns, slack);
+    }
+    // The backward seed is arrival + slack (not bitwise `required` above);
+    // a changed seed re-propagates through the endpoint's fanin cone.
+    const double seed = arrival + slack;
+    if (!bits_equal(seed, result_.required[idx(ep)])) {
+      result_.required[idx(ep)] = seed;
+      mark_slack(ep);
+      for (std::int32_t e : graph_.fanin(ep)) mark_backward(graph_.edge(e).from);
+    }
+  }
+  result_.wns = wns;
+  result_.tns = tns;
+
+  // Backward: mirror image, level-descending over the dirty required cone.
+  const std::size_t n_back_seeds = back_marked_.size();
+  for (std::size_t i = 0; i < n_back_seeds; ++i) {
+    const nl::PinId p = back_marked_[i];
+    back_frontier_[static_cast<std::size_t>(graph_.level(p))].push_back(p);
+  }
+  for (std::size_t L = levels; L-- > 0;) {
+    std::vector<nl::PinId>& lvl = back_frontier_[L];
+    if (lvl.empty()) continue;
+    std::sort(lvl.begin(), lvl.end());
+    ++levels_touched;
+    dirty_nodes += lvl.size();
+    auto sweep_chunk =
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::vector<nl::PinId> o;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const nl::PinId v = lvl[static_cast<std::size_t>(i)];
+            // Endpoints start from their (already refreshed) seed; everything
+            // else from +inf — exactly the full-sweep initial state.
+            double r = netlist.is_endpoint(v) ? result_.required[idx(v)] : kInf;
+            for (std::int32_t e : graph_.fanout(v)) {
+              r = std::min(r, result_.required[idx(graph_.edge(e).to)] -
+                                  result_.edge_delay[idx(e)]);
+            }
+            if (!bits_equal(r, result_.required[idx(v)])) {
+              result_.required[idx(v)] = r;
+              o.push_back(v);
+            }
+          }
+          return o;
+        };
+    std::vector<nl::PinId> changed =
+        static_cast<std::int64_t>(lvl.size()) <= kSerialLevelCutoff
+            ? sweep_chunk(0, static_cast<std::int64_t>(lvl.size()))
+            : core::parallel_reduce(
+                  0, static_cast<std::int64_t>(lvl.size()), kLevelGrain,
+                  std::vector<nl::PinId>{}, sweep_chunk,
+                  [](std::vector<nl::PinId> acc, std::vector<nl::PinId> part) {
+                    acc.insert(acc.end(), part.begin(), part.end());
+                    return acc;
+                  });
+    lvl.clear();
+    for (nl::PinId v : changed) {
+      mark_slack(v);
+      for (std::int32_t e : graph_.fanin(v)) {
+        const nl::PinId tail = graph_.edge(e).from;
+        std::uint8_t& flag = back_mark_[idx(tail)];
+        if (flag) continue;  // already pending at its (strictly lower) level
+        flag = 1;
+        back_marked_.push_back(tail);
+        back_frontier_[static_cast<std::size_t>(graph_.level(tail))].push_back(tail);
+      }
+    }
+  }
+
+  for (nl::PinId p : slack_marked_) {
+    result_.slack[idx(p)] = result_.required[idx(p)] - result_.arrival[idx(p)];
+  }
+
+  RTP_COUNT("sta.inc.dirty_nodes", static_cast<std::int64_t>(dirty_nodes));
+  RTP_COUNT("sta.inc.levels_touched", static_cast<std::int64_t>(levels_touched));
+  clear_marks();
+}
+
+std::vector<PathArc> TimingSession::critical_path(nl::PinId endpoint) const {
+  RTP_CHECK_MSG(primed_ && pending_.empty() && cong_dirty_.empty(),
+                "critical_path() needs an up-to-date session");
+  std::vector<PathArc> arcs;
+  nl::PinId v = endpoint;
+  while (!graph_.fanin(v).empty()) {
+    std::int32_t best_edge = graph_.fanin(v)[0];
+    double best = -1.0;
+    for (std::int32_t e : graph_.fanin(v)) {
+      const double a = result_.arrival[idx(graph_.edge(e).from)] + result_.edge_delay[idx(e)];
+      if (a > best) {
+        best = a;
+        best_edge = e;
+      }
+    }
+    const tg::Edge& edge = graph_.edge(best_edge);
+    PathArc arc;
+    arc.is_net = edge.is_net;
+    if (edge.is_net) {
+      arc.driver = edge.from;
+      arc.sink = edge.to;
+    } else {
+      arc.cell = static_cast<nl::CellId>(edge.ref);
+    }
+    arcs.push_back(arc);
+    v = edge.from;
+  }
+  return arcs;
+}
+
+WhatIfResult TimingSession::what_if(const EditBatch& batch) {
+  RTP_CHECK_MSG(!batch.structural(), "what_if() supports non-structural trial edits only");
+  RTP_CHECK_MSG(primed_ && pending_.empty() && cong_dirty_.empty(),
+                "what_if() needs an up-to-date session");
+  const nl::Netlist& netlist = *netlist_;
+  const DelayModel& model = *model_;
+
+  // Seed exactly like update() would for this batch.
+  for (nl::PinId p : batch.touched_pins) mark_forward(p);
+  for (nl::CellId c : batch.resized_cells) {
+    if (!netlist.cell_alive(c)) continue;
+    const nl::Cell& cell = netlist.cell(c);
+    mark_forward(cell.output);
+    for (nl::PinId in : cell.inputs) {
+      mark_forward(in);
+      const nl::NetId net = netlist.pin(in).net;
+      if (net != nl::kInvalidId && netlist.net_alive(net)) {
+        mark_forward(netlist.net(net).driver);
+      }
+    }
+  }
+
+  const std::size_t levels = static_cast<std::size_t>(graph_.max_level()) + 1;
+  if (fwd_frontier_.size() < levels) fwd_frontier_.resize(levels);
+  for (nl::PinId p : fwd_marked_) fwd_frontier_[static_cast<std::size_t>(graph_.level(p))].push_back(p);
+
+  // Serial forward-only propagation with an undo log: WNS/TNS depend on
+  // arrivals alone, and serial execution keeps what_if() independent of
+  // RTP_THREADS even though it skips the ordered-merge machinery.
+  struct Undo {
+    enum class Kind : std::uint8_t { kArrival, kSlew, kEdge } kind;
+    std::int32_t slot;
+    double value;
+  };
+  std::vector<Undo> undo;
+  for (std::size_t L = 0; L < levels; ++L) {
+    std::vector<nl::PinId>& lvl = fwd_frontier_[L];
+    if (lvl.empty()) continue;
+    std::sort(lvl.begin(), lvl.end());
+    for (nl::PinId v : lvl) {
+      double best;
+      double best_slew;
+      if (is_launch_pin(netlist, v)) {
+        best = detail::launch_arrival(netlist, v);
+        best_slew = config_.launch_slew;
+      } else {
+        best = 0.0;
+        best_slew = 0.0;
+      }
+      for (std::int32_t e : graph_.fanin(v)) {
+        const tg::Edge& edge = graph_.edge(e);
+        double d;
+        double slew_out;
+        const double slew_in = result_.slew[idx(edge.from)];
+        if (edge.is_net) {
+          d = model.net_edge_delay(edge.from, edge.to);
+          slew_out = slew_in + 0.8 * d;
+        } else {
+          d = model.cell_edge_delay(static_cast<nl::CellId>(edge.ref));
+          slew_out = 0.35 * slew_in + 0.9 * d;
+        }
+        if (!bits_equal(result_.edge_delay[idx(e)], d)) {
+          undo.push_back({Undo::Kind::kEdge, e, result_.edge_delay[idx(e)]});
+          result_.edge_delay[idx(e)] = d;
+        }
+        const double a = result_.arrival[idx(edge.from)] + d;
+        if (a > best) {
+          best = a;
+          best_slew = slew_out;
+        }
+      }
+      if (!bits_equal(best, result_.arrival[idx(v)]) ||
+          !bits_equal(best_slew, result_.slew[idx(v)])) {
+        undo.push_back({Undo::Kind::kArrival, v, result_.arrival[idx(v)]});
+        undo.push_back({Undo::Kind::kSlew, v, result_.slew[idx(v)]});
+        result_.arrival[idx(v)] = best;
+        result_.slew[idx(v)] = best_slew;
+        for (std::int32_t e : graph_.fanout(v)) {
+          const nl::PinId head = graph_.edge(e).to;
+          std::uint8_t& flag = fwd_mark_[idx(head)];
+          if (flag) continue;
+          flag = 1;
+          fwd_marked_.push_back(head);
+          fwd_frontier_[static_cast<std::size_t>(graph_.level(head))].push_back(head);
+        }
+      }
+    }
+    lvl.clear();
+  }
+
+  WhatIfResult wi;
+  const double period = config_.delay.tech.clock_period;
+  for (nl::PinId ep : graph_.endpoints()) {
+    const bool is_reg = netlist.pin(ep).type == nl::PinType::kCellInput;
+    const double required = period - (is_reg ? config_.setup_margin : 0.0);
+    const double slack = required - result_.arrival[idx(ep)];
+    if (slack < 0.0) {
+      wi.tns += slack;
+      wi.wns = std::min(wi.wns, slack);
+    }
+  }
+
+  for (std::size_t i = undo.size(); i-- > 0;) {
+    const Undo& u = undo[i];
+    switch (u.kind) {
+      case Undo::Kind::kArrival: result_.arrival[idx(u.slot)] = u.value; break;
+      case Undo::Kind::kSlew: result_.slew[idx(u.slot)] = u.value; break;
+      case Undo::Kind::kEdge: result_.edge_delay[idx(u.slot)] = u.value; break;
+    }
+  }
+  clear_marks();
+  return wi;
+}
+
+bool TimingSession::matches_full_recompute() const {
+  RTP_CHECK_MSG(primed_ && pending_.empty() && cong_dirty_.empty(),
+                "matches_full_recompute() needs an up-to-date session");
+  tg::TimingGraph fresh(*netlist_);
+  StaResult ref;
+  detail::full_sweep(fresh, *model_, config_, ref);
+
+  auto fail = [](const char* what) {
+    RTP_LOG_WARN("TimingSession diverges from full recompute: %s", what);
+    return false;
+  };
+  const std::size_t n = static_cast<std::size_t>(netlist_->num_pin_slots());
+  if (ref.arrival.size() != result_.arrival.size()) return fail("pin slot count");
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!bits_equal(ref.arrival[p], result_.arrival[p])) return fail("arrival");
+    if (!bits_equal(ref.slew[p], result_.slew[p])) return fail("slew");
+    if (!bits_equal(ref.required[p], result_.required[p])) return fail("required");
+    if (!bits_equal(ref.slack[p], result_.slack[p])) return fail("slack");
+  }
+  if (ref.endpoints != result_.endpoints) return fail("endpoint set");
+  for (std::size_t i = 0; i < ref.endpoints.size(); ++i) {
+    if (!bits_equal(ref.endpoint_arrival[i], result_.endpoint_arrival[i]) ||
+        !bits_equal(ref.endpoint_slack[i], result_.endpoint_slack[i])) {
+      return fail("endpoint metrics");
+    }
+  }
+  if (!bits_equal(ref.wns, result_.wns) || !bits_equal(ref.tns, result_.tns)) {
+    return fail("wns/tns");
+  }
+
+  // Edge indices legitimately differ (the session recycles slots), but the
+  // per-pin fanin *order* is canonical in both graphs, so edges pair up
+  // positionally and every live edge is some pin's fanin.
+  for (nl::PinId p = 0; p < netlist_->num_pin_slots(); ++p) {
+    if (!netlist_->pin_alive(p)) continue;
+    if (fresh.level(p) != graph_.level(p)) return fail("level");
+    const std::vector<std::int32_t>& fa = fresh.fanin(p);
+    const std::vector<std::int32_t>& fb = graph_.fanin(p);
+    if (fa.size() != fb.size()) return fail("fanin degree");
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      const tg::Edge& ea = fresh.edge(fa[i]);
+      const tg::Edge& eb = graph_.edge(fb[i]);
+      if (ea.from != eb.from || ea.to != eb.to || ea.is_net != eb.is_net ||
+          ea.ref != eb.ref) {
+        return fail("fanin structure");
+      }
+      if (!bits_equal(ref.edge_delay[idx(fa[i])], result_.edge_delay[idx(fb[i])])) {
+        return fail("edge delay");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rtp::sta

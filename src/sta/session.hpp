@@ -1,0 +1,174 @@
+#pragma once
+// Incremental timing session (the engine-side capability restructuring-heavy
+// optimizers assume, and that E2ESlack / PreRoutGNN treat as the ground-truth
+// oracle their predictors approximate).
+//
+// A TimingSession is a long-lived object owning the levelized timing graph,
+// the delay model, and the last StaResult for one evolving netlist. After
+// netlist edits are reported via apply(), update() re-propagates only the
+// dirty cone: it invalidates the cached delays of edited cells/nets, sweeps
+// forward level-by-level with early termination once arrivals stop changing
+// bitwise, and re-runs the backward required sweep over the affected cone
+// only. Results are bit-identical to a from-scratch run_sta() of the current
+// netlist — for any RTP_THREADS — which is what keeps the optimizer's
+// trajectory (and everything downstream of it) independent of whether the
+// incremental or the full path ran.
+//
+// Congestion-map refresh is a *delay-model rebase*, not a graph rebuild:
+// rebase_congestion() bitwise-diffs the new map against the owned copy and
+// dirties exactly the nets whose sampled bins changed. When the dirty set
+// grows past a fraction of the design (e.g. after a rebase that moved most
+// bins), update() falls back to one full sweep — same results, counted in
+// sta.inc.full_fallbacks.
+//
+// RTP_FULL_STA=1 (or set_force_full(true)) forces every update() through
+// full_recompute() — the A/B debugging escape hatch and the baseline the
+// committed BENCH_sta.json measures against.
+
+#include <memory>
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace rtp::sta {
+
+/// Netlist edits applied since the last update(), reported by id. The netlist
+/// must already be in its post-edit state when the batch is applied; the
+/// session reconciles against it. Duplicates are fine (the session dedupes).
+struct EditBatch {
+  std::vector<nl::CellId> resized_cells;  ///< resize_cell / remap_cell (lib changed)
+  std::vector<nl::CellId> new_cells;      ///< add_cell
+  std::vector<nl::CellId> removed_cells;  ///< remove_cell
+  std::vector<nl::NetId> touched_nets;    ///< add_net / add_sink / disconnect_sink
+  std::vector<nl::NetId> removed_nets;    ///< remove_net
+  std::vector<nl::PinId> touched_pins;    ///< extra dirty seeds (belt and braces)
+
+  bool structural() const {
+    return !(new_cells.empty() && removed_cells.empty() && touched_nets.empty() &&
+             removed_nets.empty());
+  }
+  bool empty() const {
+    return resized_cells.empty() && touched_pins.empty() && !structural();
+  }
+  void clear();
+  void merge(const EditBatch& other);
+};
+
+/// One arc of a critical path (the optimizer's per-move work unit).
+struct PathArc {
+  bool is_net = false;
+  nl::PinId driver = nl::kInvalidId;  ///< net arcs
+  nl::PinId sink = nl::kInvalidId;
+  nl::CellId cell = nl::kInvalidId;  ///< cell arcs
+};
+
+/// Global metrics of a hypothetical edit evaluated by what_if().
+struct WhatIfResult {
+  double wns = 0.0;
+  double tns = 0.0;
+};
+
+class TimingSession {
+ public:
+  /// Binds to `netlist`/`placement` (both must outlive the session) and takes
+  /// a private copy of `config` — including deep copies of the congestion map
+  /// and routed-length table it points at, so the caller's buffers can die.
+  TimingSession(const nl::Netlist& netlist, const layout::Placement& placement,
+                const StaConfig& config);
+
+  TimingSession(const TimingSession&) = delete;
+  TimingSession& operator=(const TimingSession&) = delete;
+
+  /// Records an edit batch (netlist already mutated). Edits must not create
+  /// or remove sequential cells, PIs, or POs: the endpoint and launch sets
+  /// are frozen at construction, mirroring the optimizer's contract that
+  /// timing endpoints are never replaced.
+  void apply(const EditBatch& batch);
+
+  /// Delay-model rebase: bitwise-diffs `congestion` against the owned map and
+  /// dirties only the nets whose sampled bins changed. Map dimensions must
+  /// match the current one (a different grid is a full invalidation).
+  void rebase_congestion(const layout::GridMap& congestion);
+
+  /// Incrementally brings the result up to date with every edit and rebase
+  /// since the last call; falls back to one full sweep when forced, when the
+  /// dirty fraction is large, or on the first call.
+  const StaResult& update();
+
+  /// Unconditional full sweep over the session graph (the RTP_FULL_STA path).
+  const StaResult& full_recompute();
+
+  /// Last computed result; valid after the first update()/full_recompute().
+  const StaResult& results() const { return result_; }
+
+  const tg::TimingGraph& graph() const { return graph_; }
+  const StaConfig& config() const { return config_; }
+
+  /// Worst-arrival path arcs ending at `endpoint`, from the current result.
+  std::vector<PathArc> critical_path(nl::PinId endpoint) const;
+
+  /// Evaluates a hypothetical *non-structural* batch (the netlist must be in
+  /// the trial state) and returns the resulting WNS/TNS, then rolls the
+  /// session's cached state back so results() still reflects the pre-trial
+  /// netlist — the caller reverts the netlist afterwards. Runs serially, so
+  /// the answer is independent of RTP_THREADS.
+  WhatIfResult what_if(const EditBatch& batch);
+
+  /// A/B escape hatch (also set by the RTP_FULL_STA=1 environment variable):
+  /// every update() runs a full sweep.
+  void set_force_full(bool force) { force_full_ = force; }
+  bool force_full() const { return force_full_; }
+
+  /// Dirty-pin fraction above which update() falls back to a full sweep.
+  void set_fallback_fraction(double f) { fallback_fraction_ = f; }
+
+  /// Rebuilds a fresh canonical graph, runs a from-scratch full sweep, and
+  /// bit-compares it against the session state (pin quantities, endpoint
+  /// metrics, and every live edge delay). Verification hook for tests and
+  /// OptimizerConfig::verify_incremental.
+  bool matches_full_recompute() const;
+
+ private:
+  struct SweepOut {
+    std::vector<nl::PinId> changed;  ///< pins whose value changed bitwise
+    std::vector<nl::PinId> tails;    ///< tails of edges whose delay changed
+  };
+
+  void remodel();
+  void sync_structure(std::vector<nl::PinId>& affected);
+  void seed_forward(const std::vector<nl::PinId>& structural_pins);
+  void mark_forward(nl::PinId p);
+  void mark_backward(nl::PinId p);
+  void mark_slack(nl::PinId p);
+  void run_full();
+  void run_incremental();
+  void refresh_endpoint_metrics();
+  void clear_marks();
+
+  const nl::Netlist* netlist_;
+  const layout::Placement* placement_;
+  StaConfig config_;
+  // Owned deep copies backing config_.delay; the GridMap lives behind a
+  // unique_ptr so the DelayModel's pointer stays stable across rebases.
+  std::unique_ptr<layout::GridMap> congestion_;
+  std::vector<double> routed_length_;
+  bool has_routed_ = false;
+  std::unique_ptr<DelayModel> model_;
+  tg::TimingGraph graph_;
+  StaResult result_;
+
+  bool primed_ = false;
+  bool full_dirty_ = true;
+  bool force_full_ = false;
+  double fallback_fraction_ = 0.25;
+
+  EditBatch pending_;
+  std::vector<nl::PinId> cong_dirty_;  ///< pins dirtied by congestion rebases
+
+  // Scratch for one update(); marks are always zero between updates.
+  std::vector<std::uint8_t> fwd_mark_, back_mark_, slack_mark_;
+  std::vector<nl::PinId> fwd_marked_, back_marked_, slack_marked_;
+  std::vector<std::vector<nl::PinId>> fwd_frontier_, back_frontier_;
+};
+
+}  // namespace rtp::sta

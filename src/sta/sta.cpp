@@ -17,15 +17,15 @@ constexpr std::int64_t kLevelGrain = 32;
 
 }  // namespace
 
-StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
-                  const StaConfig& config) {
+namespace detail {
+
+void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
+                const StaConfig& config, StaResult& result) {
   RTP_TRACE_SCOPE("sta.run");
   RTP_COUNT("sta.runs", 1);
   RTP_COUNT("sta.levels", graph.nodes_by_level().size());
   const nl::Netlist& netlist = graph.netlist();
-  DelayModel model(netlist, placement, config.delay);
 
-  StaResult result;
   const std::size_t n = static_cast<std::size_t>(netlist.num_pin_slots());
   result.arrival.assign(n, 0.0);
   result.slew.assign(n, 0.0);
@@ -33,10 +33,7 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
 
   // Seed launch points. Q pins launch at clock-to-Q (the DFF intrinsic).
   for (nl::PinId p : graph.launch_points()) {
-    const nl::Pin& pin = netlist.pin(p);
-    const double clk_to_q =
-        pin.cell != nl::kInvalidId ? netlist.lib_cell(pin.cell).intrinsic : 0.0;
-    result.arrival[static_cast<std::size_t>(p)] = clk_to_q;
+    result.arrival[static_cast<std::size_t>(p)] = launch_arrival(netlist, p);
     result.slew[static_cast<std::size_t>(p)] = config.launch_slew;
   }
 
@@ -83,6 +80,8 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
 
   // Endpoint metrics.
   result.endpoints = graph.endpoints();
+  result.endpoint_arrival.clear();
+  result.endpoint_slack.clear();
   result.endpoint_arrival.reserve(result.endpoints.size());
   result.endpoint_slack.reserve(result.endpoints.size());
   const double period = config.delay.tech.clock_period;
@@ -136,6 +135,15 @@ StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placeme
   for (std::size_t p = 0; p < n; ++p) {
     result.slack[p] = result.required[p] - result.arrival[p];
   }
+}
+
+}  // namespace detail
+
+StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
+                  const StaConfig& config) {
+  const DelayModel model(graph.netlist(), placement, config.delay);
+  StaResult result;
+  detail::full_sweep(graph, model, config, result);
   return result;
 }
 

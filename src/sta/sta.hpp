@@ -8,6 +8,15 @@
 // giving the sign-off global timing metrics of the paper: endpoint arrival
 // time, WNS and TNS. A crude slew propagation is included because one
 // baseline (DAC22-guo) uses pin slew as an auxiliary supervision target.
+//
+// Two entry points:
+//   - run_sta(): one-shot convenience wrapper — builds a DelayModel, runs one
+//     full sweep over an already-built graph, returns the result by value.
+//     Use it for single analyses of a static netlist.
+//   - sta::TimingSession (session.hpp): the incremental engine — owns the
+//     graph, the delay model, and the last result, and re-propagates only the
+//     dirty cone after netlist edits. Use it whenever timing is queried
+//     repeatedly while the design evolves (the optimizer's hot path).
 
 #include <vector>
 
@@ -40,8 +49,24 @@ struct StaConfig {
   double launch_slew = 20.0;   ///< ps initial transition at launch points
 };
 
-/// Runs one full forward STA pass.
+/// Runs one full forward STA pass (non-incremental convenience entry point).
 StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
                   const StaConfig& config);
+
+namespace detail {
+
+/// Full forward + backward sweep into `result` (arrays are (re)sized here).
+/// Shared by run_sta and TimingSession::full_recompute so both paths are one
+/// implementation; works on incrementally maintained graphs too.
+void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
+                const StaConfig& config, StaResult& result);
+
+/// Clock-to-Q launch seed of a launch pin (0 for PIs).
+inline double launch_arrival(const nl::Netlist& netlist, nl::PinId p) {
+  const nl::Pin& pin = netlist.pin(p);
+  return pin.cell != nl::kInvalidId ? netlist.lib_cell(pin.cell).intrinsic : 0.0;
+}
+
+}  // namespace detail
 
 }  // namespace rtp::sta

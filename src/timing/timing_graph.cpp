@@ -9,23 +9,32 @@ TimingGraph::TimingGraph(const nl::Netlist& netlist) : netlist_(&netlist) {
   fanin_.resize(static_cast<std::size_t>(n));
   fanout_.resize(static_cast<std::size_t>(n));
   level_.assign(static_cast<std::size_t>(n), 0);
+  net_edges_.resize(static_cast<std::size_t>(netlist.num_net_slots()));
+  cell_arcs_.resize(static_cast<std::size_t>(netlist.num_cell_slots()));
 
   auto add_edge = [&](PinId from, PinId to, bool is_net, std::int32_t ref) {
     const std::int32_t e = static_cast<std::int32_t>(edges_.size());
     edges_.push_back(Edge{from, to, is_net, ref});
     fanout_[static_cast<std::size_t>(from)].push_back(e);
     fanin_[static_cast<std::size_t>(to)].push_back(e);
+    return e;
   };
 
   for (NetId id = 0; id < netlist.num_net_slots(); ++id) {
     const nl::Net& net = netlist.net(id);
     if (net.dead) continue;
-    for (PinId sink : net.sinks) add_edge(net.driver, sink, /*is_net=*/true, id);
+    for (PinId sink : net.sinks) {
+      net_edges_[static_cast<std::size_t>(id)].push_back(
+          add_edge(net.driver, sink, /*is_net=*/true, id));
+    }
   }
   for (CellId id = 0; id < netlist.num_cell_slots(); ++id) {
     const nl::Cell& cell = netlist.cell(id);
     if (cell.dead || netlist.lib_cell(id).is_sequential()) continue;
-    for (PinId in : cell.inputs) add_edge(in, cell.output, /*is_net=*/false, id);
+    for (PinId in : cell.inputs) {
+      cell_arcs_[static_cast<std::size_t>(id)].push_back(
+          add_edge(in, cell.output, /*is_net=*/false, id));
+    }
   }
 
   // Kahn's algorithm over fanin counts; level = longest hop distance from a
@@ -66,8 +75,206 @@ TimingGraph::TimingGraph(const nl::Netlist& netlist) : netlist_(&netlist) {
   by_level_.resize(static_cast<std::size_t>(max_level_) + 1);
   for (PinId p : topo_order_) by_level_[static_cast<std::size_t>(level_[static_cast<std::size_t>(p)])].push_back(p);
 
+  in_bucket_.assign(static_cast<std::size_t>(n), 0);
+  pos_in_bucket_.assign(static_cast<std::size_t>(n), 0);
+  for (PinId p : topo_order_) in_bucket_[static_cast<std::size_t>(p)] = 1;
+  for (const std::vector<PinId>& bucket : by_level_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      pos_in_bucket_[static_cast<std::size_t>(bucket[i])] = static_cast<std::int32_t>(i);
+    }
+  }
+  in_relevel_queue_.assign(static_cast<std::size_t>(n), 0);
+
   endpoints_ = netlist.endpoints();
   launch_points_ = netlist.launch_points();
+}
+
+// ---- incremental maintenance ----------------------------------------------
+
+std::int32_t TimingGraph::alloc_edge(const Edge& e) {
+  if (!free_edges_.empty()) {
+    const std::int32_t id = free_edges_.back();
+    free_edges_.pop_back();
+    edges_[static_cast<std::size_t>(id)] = e;
+    return id;
+  }
+  const std::int32_t id = static_cast<std::int32_t>(edges_.size());
+  edges_.push_back(e);
+  return id;
+}
+
+void TimingGraph::release_edge(std::int32_t e) {
+  edges_[static_cast<std::size_t>(e)] = Edge{};
+  free_edges_.push_back(e);
+}
+
+void TimingGraph::bucket_insert(PinId p, int level) {
+  if (static_cast<std::size_t>(level) >= by_level_.size()) {
+    by_level_.resize(static_cast<std::size_t>(level) + 1);
+  }
+  std::vector<PinId>& bucket = by_level_[static_cast<std::size_t>(level)];
+  pos_in_bucket_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(bucket.size());
+  bucket.push_back(p);
+  in_bucket_[static_cast<std::size_t>(p)] = 1;
+}
+
+void TimingGraph::bucket_remove(PinId p) {
+  // Swap-with-last: O(1), at the cost of in-bucket order (which no sweep
+  // reads — see nodes_by_level()).
+  std::vector<PinId>& bucket =
+      by_level_[static_cast<std::size_t>(level_[static_cast<std::size_t>(p)])];
+  const std::int32_t pos = pos_in_bucket_[static_cast<std::size_t>(p)];
+  RTP_CHECK(pos >= 0 && static_cast<std::size_t>(pos) < bucket.size() &&
+            bucket[static_cast<std::size_t>(pos)] == p);
+  bucket[static_cast<std::size_t>(pos)] = bucket.back();
+  pos_in_bucket_[static_cast<std::size_t>(bucket.back())] = pos;
+  bucket.pop_back();
+  in_bucket_[static_cast<std::size_t>(p)] = 0;
+}
+
+void TimingGraph::grow() {
+  edited_ = true;
+  const std::size_t n = static_cast<std::size_t>(netlist_->num_pin_slots());
+  RTP_CHECK(n >= fanin_.size());
+  fanin_.resize(n);
+  fanout_.resize(n);
+  level_.resize(n, 0);
+  in_bucket_.resize(n, 0);
+  pos_in_bucket_.resize(n, 0);
+  in_relevel_queue_.resize(n, 0);
+  net_edges_.resize(static_cast<std::size_t>(netlist_->num_net_slots()));
+  cell_arcs_.resize(static_cast<std::size_t>(netlist_->num_cell_slots()));
+}
+
+void TimingGraph::sync_net(NetId n, std::vector<PinId>& affected) {
+  edited_ = true;
+  std::vector<std::int32_t>& old_edges = net_edges_[static_cast<std::size_t>(n)];
+  const nl::Net& net = netlist_->net(n);
+
+  if (net.dead) {
+    for (std::int32_t e : old_edges) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      auto& fo = fanout_[static_cast<std::size_t>(edge.from)];
+      fo.erase(std::find(fo.begin(), fo.end(), e));
+      auto& fi = fanin_[static_cast<std::size_t>(edge.to)];
+      fi.erase(std::find(fi.begin(), fi.end(), e));
+      affected.push_back(edge.from);
+      affected.push_back(edge.to);
+      release_edge(e);
+    }
+    old_edges.clear();
+    return;
+  }
+
+  const PinId driver = net.driver;
+  affected.push_back(driver);
+
+  // Reuse the slot of a surviving (driver, sink) edge so its cached delay
+  // stays addressed by the same index; drop edges whose sink left the net.
+  std::vector<std::int32_t> next;
+  next.reserve(net.sinks.size());
+  std::vector<std::int32_t> leftover = old_edges;
+  for (PinId sink : net.sinks) {
+    std::int32_t found = nl::kInvalidId;
+    for (std::size_t i = 0; i < leftover.size(); ++i) {
+      if (edges_[static_cast<std::size_t>(leftover[i])].to == sink) {
+        found = leftover[i];
+        leftover.erase(leftover.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (found == nl::kInvalidId) {
+      found = alloc_edge(Edge{driver, sink, /*is_net=*/true, n});
+      fanin_[static_cast<std::size_t>(sink)].push_back(found);
+      affected.push_back(sink);
+    }
+    next.push_back(found);
+  }
+  for (std::int32_t e : leftover) {
+    const PinId sink = edges_[static_cast<std::size_t>(e)].to;
+    auto& fi = fanin_[static_cast<std::size_t>(sink)];
+    fi.erase(std::find(fi.begin(), fi.end(), e));
+    affected.push_back(sink);
+    release_edge(e);
+  }
+  // A driver pin's fanout is exactly its net's edges, in net.sinks order —
+  // the same order a fresh build produces.
+  fanout_[static_cast<std::size_t>(driver)] = next;
+  old_edges = std::move(next);
+}
+
+void TimingGraph::sync_cell(CellId c, std::vector<PinId>& affected) {
+  edited_ = true;
+  std::vector<std::int32_t>& arcs = cell_arcs_[static_cast<std::size_t>(c)];
+  const nl::Cell& cell = netlist_->cell(c);
+
+  if (cell.dead) {
+    for (std::int32_t e : arcs) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      auto& fo = fanout_[static_cast<std::size_t>(edge.from)];
+      fo.erase(std::find(fo.begin(), fo.end(), e));
+      auto& fi = fanin_[static_cast<std::size_t>(edge.to)];
+      fi.erase(std::find(fi.begin(), fi.end(), e));
+      release_edge(e);
+    }
+    arcs.clear();
+    for (PinId p : cell.inputs) affected.push_back(p);
+    affected.push_back(cell.output);
+    return;
+  }
+
+  if (!arcs.empty() || netlist_->lib_cell(c).is_sequential()) return;  // already built
+  for (PinId in : cell.inputs) {
+    const std::int32_t e = alloc_edge(Edge{in, cell.output, /*is_net=*/false, c});
+    fanout_[static_cast<std::size_t>(in)].push_back(e);
+    fanin_[static_cast<std::size_t>(cell.output)].push_back(e);
+    arcs.push_back(e);
+    affected.push_back(in);
+  }
+  affected.push_back(cell.output);
+}
+
+void TimingGraph::relevel(const std::vector<PinId>& seeds) {
+  edited_ = true;
+  std::vector<PinId> queue;
+  queue.reserve(seeds.size());
+  auto push = [&](PinId p) {
+    auto& flag = in_relevel_queue_[static_cast<std::size_t>(p)];
+    if (flag) return;
+    flag = 1;
+    queue.push_back(p);
+  };
+  for (PinId p : seeds) push(p);
+
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const PinId v = queue[head++];
+    in_relevel_queue_[static_cast<std::size_t>(v)] = 0;
+    if (!netlist_->pin_alive(v)) {
+      if (in_bucket_[static_cast<std::size_t>(v)]) bucket_remove(v);
+      level_[static_cast<std::size_t>(v)] = 0;  // what a fresh build assigns
+      continue;
+    }
+    int lvl = 0;
+    for (std::int32_t e : fanin_[static_cast<std::size_t>(v)]) {
+      lvl = std::max(lvl, level_[static_cast<std::size_t>(
+                              edges_[static_cast<std::size_t>(e)].from)] + 1);
+    }
+    const bool tracked = in_bucket_[static_cast<std::size_t>(v)] != 0;
+    if (tracked && lvl == level_[static_cast<std::size_t>(v)]) continue;
+    if (tracked) bucket_remove(v);
+    level_[static_cast<std::size_t>(v)] = lvl;
+    bucket_insert(v, lvl);
+    for (std::int32_t e : fanout_[static_cast<std::size_t>(v)]) {
+      push(edges_[static_cast<std::size_t>(e)].to);
+    }
+  }
+
+  // In the level fixed point no interior level is empty (a level-L+1 pin has
+  // a level-L fanin), so only trailing buckets can drain; trim them to keep
+  // max_level() equal to what a fresh build reports.
+  while (by_level_.size() > 1 && by_level_.back().empty()) by_level_.pop_back();
+  max_level_ = static_cast<int>(by_level_.size()) - 1;
 }
 
 }  // namespace rtp::tg

@@ -7,6 +7,16 @@
 // Cell edges of sequential elements are cut, so the graph is a DAG: paths run
 // from launch points (PIs, register Q pins) to endpoints (POs, register D
 // pins). Node ids coincide with netlist PinIds; dead pins are isolated nodes.
+//
+// The graph can also be maintained *incrementally* after netlist edits
+// (sync_net / sync_cell / relevel), which is what sta::TimingSession uses to
+// avoid a from-scratch rebuild per update. The incremental path keeps every
+// property the STA sweeps depend on bit-identical to a fresh build of the
+// same netlist: per-pin fanin/fanout order (fanin of a sink pin is its single
+// net edge; fanin of an output pin is the cell arcs in input order; fanout of
+// a driver pin mirrors net.sinks order) and the longest-path level of every
+// live pin. Edge *indices* may differ from a fresh build (slots are
+// recycled), which no sweep result depends on.
 
 #include <cstdint>
 #include <vector>
@@ -32,6 +42,7 @@ class TimingGraph {
   explicit TimingGraph(const nl::Netlist& netlist);
 
   int num_nodes() const { return static_cast<int>(fanin_.size()); }
+  /// Edge slots, including recycled-but-free ones after incremental edits.
   int num_edges() const { return static_cast<int>(edges_.size()); }
 
   const Edge& edge(int e) const { return edges_[static_cast<std::size_t>(e)]; }
@@ -51,10 +62,16 @@ class TimingGraph {
   int level(PinId p) const { return level_[static_cast<std::size_t>(p)]; }
   int max_level() const { return max_level_; }
 
-  /// Live pins sorted by level ascending (stable within a level).
-  const std::vector<PinId>& topo_order() const { return topo_order_; }
+  /// Live pins sorted by level ascending (stable within a level). Not
+  /// maintained by the incremental edit path — only valid on a fresh build.
+  const std::vector<PinId>& topo_order() const {
+    RTP_CHECK_MSG(!edited_, "topo_order() is stale after incremental edits");
+    return topo_order_;
+  }
 
-  /// Live pins grouped per level.
+  /// Live pins grouped per level. Bucket *membership* is exact after
+  /// incremental edits; order within a bucket may differ from a fresh build
+  /// (pins within one level never read each other, so no sweep depends on it).
   const std::vector<std::vector<PinId>>& nodes_by_level() const { return by_level_; }
 
   const std::vector<PinId>& endpoints() const { return endpoints_; }
@@ -62,7 +79,39 @@ class TimingGraph {
 
   const nl::Netlist& netlist() const { return *netlist_; }
 
+  // ---- incremental maintenance (sta::TimingSession) ----------------------
+  // Contract: the netlist has already been mutated; callers report which nets
+  // and cells were touched, then call relevel() once with every pin the syncs
+  // returned. Edits must not add or remove sequential cells, PIs, or POs
+  // (endpoints()/launch_points() stay frozen at build time).
+
+  /// Resizes internal arrays to pick up pin/cell/net slots created since the
+  /// build (new pins start dead-like: no edges, level 0, not in any bucket).
+  void grow();
+
+  /// Reconciles net `n` (sinks added/removed, net created or removed) against
+  /// the netlist, reusing surviving edge slots so their cached delays stay
+  /// addressable. Appends every pin whose adjacency changed to `affected`.
+  void sync_net(NetId n, std::vector<PinId>& affected);
+
+  /// Same for the cell arcs of `c` (cell created or removed; resizes and
+  /// remaps don't change arc structure). Sequential cells get no arcs.
+  void sync_cell(CellId c, std::vector<PinId>& affected);
+
+  /// Recomputes longest-path levels starting from `seeds` (pins whose fanin
+  /// structure may have changed), propagating along fanout until the level
+  /// fixed point is restored, and updates the level buckets to match.
+  void relevel(const std::vector<PinId>& seeds);
+
+  /// True once any incremental edit has been applied.
+  bool incrementally_edited() const { return edited_; }
+
  private:
+  std::int32_t alloc_edge(const Edge& e);
+  void release_edge(std::int32_t e);
+  void bucket_insert(PinId p, int level);
+  void bucket_remove(PinId p);
+
   const nl::Netlist* netlist_;
   std::vector<Edge> edges_;
   std::vector<std::vector<std::int32_t>> fanin_;
@@ -73,6 +122,19 @@ class TimingGraph {
   std::vector<PinId> endpoints_;
   std::vector<PinId> launch_points_;
   int max_level_ = 0;
+
+  // Incremental-maintenance state. net_edges_[n] mirrors net(n).sinks order
+  // (and therefore equals fanout_[driver]); cell_arcs_[c] mirrors cell input
+  // order (and equals fanin_[output]).
+  std::vector<std::vector<std::int32_t>> net_edges_;
+  std::vector<std::vector<std::int32_t>> cell_arcs_;
+  std::vector<std::int32_t> free_edges_;
+  std::vector<std::uint8_t> in_bucket_;
+  /// Index of each in-bucket pin inside its level bucket, for O(1) removal
+  /// (swap-with-last). Only meaningful where in_bucket_ is set.
+  std::vector<std::int32_t> pos_in_bucket_;
+  std::vector<std::uint8_t> in_relevel_queue_;
+  bool edited_ = false;
 };
 
 }  // namespace rtp::tg

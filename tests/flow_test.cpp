@@ -66,7 +66,7 @@ TEST_F(FlowTest, ArcLabelsOnlyOnUnreplacedArcs) {
     if (edge.is_net) {
       const nl::NetId n = static_cast<nl::NetId>(edge.ref);
       EXPECT_TRUE(d.signoff_netlist.net_alive(n));
-      EXPECT_FALSE(d.opt_report.net_replaced[static_cast<std::size_t>(n)]);
+      EXPECT_FALSE(d.opt_report.net_was_replaced(n));
     } else {
       EXPECT_TRUE(d.signoff_netlist.cell_alive(static_cast<nl::CellId>(edge.ref)));
     }

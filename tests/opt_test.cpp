@@ -96,7 +96,7 @@ TEST_P(OptimizerTest, ReplacedFlagsConsistentWithCounts) {
   const Run r = run_optimizer();
   int net_edges = 0;
   for (nl::NetId n = 0; n < r.report.original_net_slots; ++n) {
-    if (r.report.net_replaced[static_cast<std::size_t>(n)]) ++net_edges;
+    if (r.report.net_was_replaced(n)) ++net_edges;
   }
   EXPECT_GT(r.report.replaced_net_edges, 0);
   EXPECT_GE(r.report.replaced_net_edges, net_edges);  // edges >= nets flagged

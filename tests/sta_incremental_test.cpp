@@ -1,0 +1,350 @@
+// Incremental timing session tests: randomized sizing / buffering /
+// restructuring edit fuzz with bit-identity checks against a from-scratch
+// run_sta, thread-count invariance of the incremental path, delay-model
+// rebases, what_if() rollback, and the RTP_FULL_STA escape hatch.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "gen/circuit_generator.hpp"
+#include "layout/feature_maps.hpp"
+#include "opt/optimizer.hpp"
+#include "place/placer.hpp"
+#include "sta/session.hpp"
+
+namespace rtp::sta {
+namespace {
+
+bool bits_eq(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+const nl::CellLibrary& library() {
+  static nl::CellLibrary lib = nl::CellLibrary::standard();
+  return lib;
+}
+
+struct FuzzDesign {
+  nl::Netlist netlist{&library()};
+  layout::Placement placement;
+  std::vector<nl::CellId> buffers;  ///< inserted buffers eligible for bypass
+
+  static FuzzDesign make(const char* name, double scale) {
+    const auto specs = gen::paper_benchmarks();
+    const gen::BenchmarkSpec spec = gen::benchmark_by_name(specs, name);
+    FuzzDesign d;
+    d.netlist = gen::CircuitGenerator(library()).generate(spec, scale).netlist;
+    place::PlacerConfig pc;
+    pc.utilization = spec.utilization;
+    pc.num_macros = spec.num_macros;
+    pc.seed = spec.seed;
+    d.placement = place::Placer(pc).place(d.netlist);
+    return d;
+  }
+};
+
+// ---- fuzz edit moves; each mutates the netlist and records the batch ------
+
+bool try_resize(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  const nl::CellId c = static_cast<nl::CellId>(rng.index(
+      static_cast<std::uint64_t>(d.netlist.num_cell_slots())));
+  if (!d.netlist.cell_alive(c) || d.netlist.lib_cell(c).is_sequential()) return false;
+  const nl::LibCellId cur = d.netlist.cell(c).lib;
+  const nl::LibCellId next =
+      rng.chance(0.5) ? library().upsize(cur) : library().downsize(cur);
+  if (next == nl::kInvalidId) return false;
+  d.netlist.resize_cell(c, next);
+  batch.resized_cells.push_back(c);
+  return true;
+}
+
+bool try_remap(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  const nl::CellId c = static_cast<nl::CellId>(rng.index(
+      static_cast<std::uint64_t>(d.netlist.num_cell_slots())));
+  if (!d.netlist.cell_alive(c)) return false;
+  const nl::LibCell& cur = d.netlist.lib_cell(c);
+  if (cur.is_sequential() || cur.num_inputs() != 2) return false;
+  static constexpr nl::GateKind kTwoInput[] = {nl::GateKind::kNand2, nl::GateKind::kNor2,
+                                               nl::GateKind::kAnd2, nl::GateKind::kOr2};
+  const nl::GateKind kind = kTwoInput[rng.index(4)];
+  if (kind == cur.kind) return false;
+  const nl::LibCellId next = library().find(kind, cur.drive);
+  if (next == nl::kInvalidId) return false;
+  d.netlist.remap_cell(c, next);
+  batch.resized_cells.push_back(c);
+  return true;
+}
+
+bool try_buffer(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  const nl::NetId net = static_cast<nl::NetId>(rng.index(
+      static_cast<std::uint64_t>(d.netlist.num_net_slots())));
+  if (!d.netlist.net_alive(net) || d.netlist.net(net).sinks.empty()) return false;
+  const nl::PinId driver = d.netlist.net(net).driver;
+  const nl::PinId sink = d.netlist.net(net).sinks[rng.index(
+      static_cast<std::uint64_t>(d.netlist.net(net).sinks.size()))];
+  const layout::Point a = d.placement.pin_pos(d.netlist, driver);
+  const layout::Point b = d.placement.pin_pos(d.netlist, sink);
+
+  const nl::LibCellId buf_lib = library().find(nl::GateKind::kBuf, 2);
+  d.netlist.disconnect_sink(sink);
+  const nl::CellId buf = d.netlist.add_cell(buf_lib);
+  d.placement.resize(d.netlist.num_cell_slots(), d.netlist.num_pin_slots());
+  d.placement.set_cell_pos(buf, {(a.x + b.x) / 2, (a.y + b.y) / 2});
+  const nl::NetId bnet = d.netlist.add_net(d.netlist.cell(buf).output);
+  d.netlist.add_sink(net, d.netlist.cell(buf).inputs[0]);
+  d.netlist.add_sink(bnet, sink);
+
+  batch.new_cells.push_back(buf);
+  batch.touched_nets.push_back(net);
+  batch.touched_nets.push_back(bnet);
+  d.buffers.push_back(buf);
+  return true;
+}
+
+/// Reverse of try_buffer on a previously inserted buffer: exercises
+/// removed_cells / removed_nets / sink rewiring in one restructure-shaped edit.
+bool try_unbuffer(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  if (d.buffers.empty()) return false;
+  const std::size_t pick = rng.index(d.buffers.size());
+  const nl::CellId buf = d.buffers[pick];
+  d.buffers.erase(d.buffers.begin() + static_cast<std::ptrdiff_t>(pick));
+  const nl::PinId in = d.netlist.cell(buf).inputs[0];
+  const nl::PinId out = d.netlist.cell(buf).output;
+  const nl::NetId in_net = d.netlist.pin(in).net;
+  const nl::NetId out_net = d.netlist.pin(out).net;
+  if (in_net == nl::kInvalidId || out_net == nl::kInvalidId) return false;
+
+  const std::vector<nl::PinId> sinks = d.netlist.net(out_net).sinks;
+  for (nl::PinId s : sinks) d.netlist.disconnect_sink(s);
+  d.netlist.disconnect_sink(in);
+  d.netlist.remove_net(out_net);
+  d.netlist.remove_cell(buf);
+  for (nl::PinId s : sinks) d.netlist.add_sink(in_net, s);
+
+  batch.removed_cells.push_back(buf);
+  batch.removed_nets.push_back(out_net);
+  batch.touched_nets.push_back(in_net);
+  return true;
+}
+
+void fuzz_step(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  switch (rng.index(5)) {
+    case 0: try_resize(d, rng, batch); break;
+    case 1: try_remap(d, rng, batch); break;
+    case 2:
+    case 3: try_buffer(d, rng, batch); break;
+    default: try_unbuffer(d, rng, batch); break;
+  }
+}
+
+StaConfig preroute_config() {
+  StaConfig config;
+  config.delay.tech.clock_period = 600.0;  // force some violating endpoints
+  return config;
+}
+
+// ---- tests ----------------------------------------------------------------
+
+TEST(StaIncremental, FuzzEditsStayBitIdenticalToFullRecompute) {
+  FuzzDesign d = FuzzDesign::make("xgate", 0.1);
+  TimingSession session(d.netlist, d.placement, preroute_config());
+  session.update();  // priming full sweep
+  ASSERT_TRUE(session.matches_full_recompute());
+
+  Rng rng(41);
+  for (int round = 0; round < 30; ++round) {
+    EditBatch batch;
+    const int edits = 1 + static_cast<int>(rng.index(6));
+    for (int e = 0; e < edits; ++e) fuzz_step(d, rng, batch);
+    session.apply(batch);
+    session.update();
+    ASSERT_TRUE(session.matches_full_recompute()) << "round " << round;
+  }
+  d.netlist.validate();
+}
+
+TEST(StaIncremental, IncrementalUpdatesIndependentOfThreadCount) {
+  struct Snapshot {
+    std::vector<double> arrival, slack;
+    double wns, tns;
+  };
+  auto run = [](int threads) {
+    core::set_num_threads(threads);
+    FuzzDesign d = FuzzDesign::make("chacha", 0.05);
+    TimingSession session(d.netlist, d.placement, preroute_config());
+    session.update();
+    Rng rng(7);
+    std::vector<Snapshot> snaps;
+    for (int round = 0; round < 12; ++round) {
+      EditBatch batch;
+      const int edits = 1 + static_cast<int>(rng.index(4));
+      for (int e = 0; e < edits; ++e) fuzz_step(d, rng, batch);
+      session.apply(batch);
+      const StaResult& r = session.update();
+      snaps.push_back({r.arrival, r.slack, r.wns, r.tns});
+    }
+    return snaps;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  core::set_num_threads(0);  // restore the RTP_THREADS / hardware default
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(bits_eq(serial[i].wns, parallel[i].wns));
+    EXPECT_TRUE(bits_eq(serial[i].tns, parallel[i].tns));
+    ASSERT_EQ(serial[i].arrival.size(), parallel[i].arrival.size());
+    for (std::size_t p = 0; p < serial[i].arrival.size(); ++p) {
+      ASSERT_TRUE(bits_eq(serial[i].arrival[p], parallel[i].arrival[p]));
+      ASSERT_TRUE(bits_eq(serial[i].slack[p], parallel[i].slack[p]));
+    }
+  }
+}
+
+TEST(StaIncremental, CongestionRebaseDirtiesExactlyTheAffectedCone) {
+  FuzzDesign d = FuzzDesign::make("xgate", 0.1);
+  layout::GridMap rudy = layout::make_rudy_map(d.netlist, d.placement, 32, 32);
+  rudy.normalize();
+
+  StaConfig config = preroute_config();
+  config.delay.wire_model = WireModel::kSignOff;
+  config.delay.congestion = &rudy;
+  TimingSession session(d.netlist, d.placement, config);
+  session.update();
+  ASSERT_TRUE(session.matches_full_recompute());
+
+  // Perturb a band of bins and rebase; the session must converge to exactly
+  // what a fresh sign-off run over the new map computes.
+  layout::GridMap shifted = rudy;
+  for (int r = 8; r < 16; ++r) {
+    for (int c = 0; c < shifted.cols(); ++c) shifted.at(r, c) *= 1.5f;
+  }
+  session.rebase_congestion(shifted);
+  session.update();
+  EXPECT_TRUE(session.matches_full_recompute());
+
+  // A no-op rebase must not dirty anything (and stay bit-identical).
+  session.rebase_congestion(shifted);
+  session.update();
+  EXPECT_TRUE(session.matches_full_recompute());
+}
+
+TEST(StaIncremental, WhatIfMatchesCommittedUpdateAndRollsBack) {
+  FuzzDesign d = FuzzDesign::make("xgate", 0.1);
+  TimingSession session(d.netlist, d.placement, preroute_config());
+  const StaResult before = session.update();  // copy
+
+  // Find a live combinational cell with an upsize available.
+  Rng rng(11);
+  nl::CellId target = nl::kInvalidId;
+  nl::LibCellId next = nl::kInvalidId;
+  while (target == nl::kInvalidId) {
+    const nl::CellId c = static_cast<nl::CellId>(rng.index(
+        static_cast<std::uint64_t>(d.netlist.num_cell_slots())));
+    if (!d.netlist.cell_alive(c) || d.netlist.lib_cell(c).is_sequential()) continue;
+    const nl::LibCellId up = library().upsize(d.netlist.cell(c).lib);
+    if (up == nl::kInvalidId) continue;
+    target = c;
+    next = up;
+  }
+  const nl::LibCellId original = d.netlist.cell(target).lib;
+
+  EditBatch batch;
+  batch.resized_cells.push_back(target);
+  d.netlist.resize_cell(target, next);
+  const WhatIfResult wi = session.what_if(batch);
+
+  // Rolled back: the cached result still reflects the pre-trial netlist.
+  for (std::size_t p = 0; p < before.arrival.size(); ++p) {
+    ASSERT_TRUE(bits_eq(before.arrival[p], session.results().arrival[p]));
+    ASSERT_TRUE(bits_eq(before.slack[p], session.results().slack[p]));
+  }
+
+  // Committing the same edit must land exactly on the what_if() prediction.
+  session.apply(batch);
+  const StaResult& committed = session.update();
+  EXPECT_TRUE(bits_eq(wi.wns, committed.wns));
+  EXPECT_TRUE(bits_eq(wi.tns, committed.tns));
+  EXPECT_TRUE(session.matches_full_recompute());
+
+  // And reverting the netlist restores the original result bit-for-bit.
+  d.netlist.resize_cell(target, original);
+  EditBatch revert;
+  revert.resized_cells.push_back(target);
+  session.apply(revert);
+  const StaResult& reverted = session.update();
+  EXPECT_TRUE(bits_eq(before.wns, reverted.wns));
+  EXPECT_TRUE(bits_eq(before.tns, reverted.tns));
+}
+
+TEST(StaIncremental, ForceFullPathProducesIdenticalResults) {
+  FuzzDesign a = FuzzDesign::make("steelcore", 0.1);
+  FuzzDesign b = a;  // independent copy, same initial state
+
+  TimingSession inc(a.netlist, a.placement, preroute_config());
+  TimingSession full(b.netlist, b.placement, preroute_config());
+  full.set_force_full(true);
+  inc.update();
+  full.update();
+
+  Rng rng_a(23);
+  Rng rng_b(23);
+  for (int round = 0; round < 10; ++round) {
+    EditBatch batch_a, batch_b;
+    const int edits = 1 + static_cast<int>(rng_a.index(4));
+    const int edits_b = 1 + static_cast<int>(rng_b.index(4));
+    ASSERT_EQ(edits, edits_b);
+    for (int e = 0; e < edits; ++e) fuzz_step(a, rng_a, batch_a);
+    for (int e = 0; e < edits; ++e) fuzz_step(b, rng_b, batch_b);
+    inc.apply(batch_a);
+    full.apply(batch_b);
+    const StaResult& ra = inc.update();
+    const StaResult& rb = full.update();
+    ASSERT_EQ(ra.arrival.size(), rb.arrival.size());
+    for (std::size_t p = 0; p < ra.arrival.size(); ++p) {
+      ASSERT_TRUE(bits_eq(ra.arrival[p], rb.arrival[p]));
+      ASSERT_TRUE(bits_eq(ra.required[p], rb.required[p]));
+    }
+    EXPECT_TRUE(bits_eq(ra.wns, rb.wns));
+    EXPECT_TRUE(bits_eq(ra.tns, rb.tns));
+  }
+}
+
+TEST(StaIncremental, EmptyUpdateIsANoOp) {
+  FuzzDesign d = FuzzDesign::make("xgate", 0.1);
+  TimingSession session(d.netlist, d.placement, preroute_config());
+  const StaResult first = session.update();  // copy
+  const StaResult& second = session.update();
+  for (std::size_t p = 0; p < first.arrival.size(); ++p) {
+    ASSERT_TRUE(bits_eq(first.arrival[p], second.arrival[p]));
+    ASSERT_TRUE(bits_eq(first.slack[p], second.slack[p]));
+  }
+  EXPECT_TRUE(bits_eq(first.wns, second.wns));
+  EXPECT_TRUE(bits_eq(first.tns, second.tns));
+}
+
+/// The tentpole acceptance check at the optimizer level: with
+/// verify_incremental set, every session update inside optimize() is
+/// RTP_CHECKed against a from-scratch full recompute — at both thread counts.
+TEST(StaIncremental, OptimizerSessionsVerifyAgainstFullRecompute) {
+  for (const int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    FuzzDesign d = FuzzDesign::make("xgate", 0.1);
+    opt::OptimizerConfig config;
+    config.sta.delay.tech.clock_period = 600.0;
+    config.seed = 9;
+    config.verify_incremental = true;
+    const opt::OptimizerReport report =
+        opt::TimingOptimizer(config).optimize(d.netlist, d.placement);
+    EXPECT_GE(report.passes_run, 1);
+    d.netlist.validate();
+  }
+  core::set_num_threads(0);
+}
+
+}  // namespace
+}  // namespace rtp::sta
