@@ -5,71 +5,38 @@
 //
 // Three modes:
 //  - default: the google-benchmark suite below (human-readable tables).
-//  - --json[=path] [--smoke]: the nn-kernel regression harness. Times the
-//    blocked GEMM / im2col conv against the retained naive reference
-//    (kern::set_use_naive_kernels) plus a thread sweep, and writes
-//    machine-readable JSON (default path BENCH_nn.json). Exits nonzero if
-//    the blocked matmul is slower than naive — CI runs `--json --smoke` on
-//    every push and fails on that regression.
-//  - --sta-json[=path] [--smoke]: incremental-vs-full STA A/B. Runs the
-//    timing optimizer twice on a TABLE-I-scale design — once on the
-//    incremental TimingSession hot path, once with RTP_FULL_STA=1 forcing
-//    every per-chunk re-time through a full sweep — checks both arms land on
-//    the bit-identical result, and writes the wall times + speedup (default
-//    path BENCH_sta.json). Exits nonzero if incremental is not faster.
+//  - --json[=path] [--smoke]: the nn-kernel regression harness (see
+//    bench/harness.hpp). Times the blocked GEMM / im2col conv against the
+//    retained naive reference plus a thread sweep, and writes the
+//    rtp-bench-v2 JSON (default path BENCH_nn.json). Exits nonzero if the
+//    blocked matmul is slower than naive.
+//  - --sta-json[=path] [--smoke]: incremental-vs-full STA A/B (also in the
+//    harness; default path BENCH_sta.json). Exits nonzero if the arms
+//    diverge or incremental is not faster.
+//
+// bench_regress re-runs both harness suites and gates them against the
+// committed BENCH_*.json baselines.
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <iostream>
 #include <string>
 #include <vector>
 
-#include "opt/optimizer.hpp"
-
 #include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
-#include "gen/circuit_generator.hpp"
+#include "harness.hpp"
 #include "layout/feature_maps.hpp"
 #include "model/fusion.hpp"
 #include "nn/conv.hpp"
-#include "nn/kernels.hpp"
-#include "place/placer.hpp"
 #include "sta/sta.hpp"
 #include "timing/longest_path.hpp"
 
 namespace {
 
 using namespace rtp;
-
-/// One placed design shared by all benchmarks of a given scale.
-struct Fixture {
-  nl::CellLibrary library = nl::CellLibrary::standard();
-  nl::Netlist netlist;
-  layout::Placement placement;
-
-  explicit Fixture(double scale) {
-    const auto specs = gen::paper_benchmarks();
-    const gen::BenchmarkSpec& spec = gen::benchmark_by_name(specs, "rocket");
-    gen::CircuitGenerator generator(library);
-    gen::GeneratedCircuit circuit = generator.generate(spec, scale);
-    netlist = std::move(circuit.netlist);
-    place::PlacerConfig config;
-    config.utilization = spec.utilization;
-    config.num_macros = spec.num_macros;
-    config.seed = spec.seed;
-    placement = place::Placer(config).place(netlist);
-  }
-};
-
-Fixture& fixture(double scale) {
-  static Fixture small(0.01);
-  static Fixture medium(0.04);
-  return scale < 0.02 ? small : medium;
-}
+using bench::Fixture;
+using bench::fixture;
 
 void BM_GraphBuild(benchmark::State& state) {
   Fixture& f = fixture(state.range(0) / 1000.0);
@@ -184,271 +151,6 @@ void BM_GnnForwardThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_GnnForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
-// ---- JSON kernel-regression harness (--json mode) ------------------------
-
-/// Runs fn repeatedly until both rep and wall-time floors are met; returns
-/// mean ns per call. One untimed warmup call absorbs lazy allocations.
-template <typename F>
-double time_ns_per_op(F&& fn, int min_reps, double min_seconds) {
-  fn();
-  int reps = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  double elapsed = 0.0;
-  do {
-    fn();
-    ++reps;
-    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  } while (reps < min_reps || elapsed < min_seconds);
-  return elapsed * 1e9 / reps;
-}
-
-struct AbResult {
-  std::string name;
-  std::string dims;       ///< human-readable problem size
-  double flops = 0.0;     ///< per op; 0 when not meaningful
-  double naive_ns = 0.0;
-  double blocked_ns = 0.0;
-
-  double speedup() const { return naive_ns / blocked_ns; }
-  double gflops(double ns) const { return ns > 0.0 ? flops / ns : 0.0; }
-};
-
-struct SweepResult {
-  std::string name;
-  int threads = 0;
-  double ns = 0.0;
-};
-
-/// Times one gemm op blocked-vs-naive at (m, n, k), single thread.
-AbResult ab_gemm(const char* name, nn::kern::Op op_a, nn::kern::Op op_b, int m,
-                 int n, int k, int min_reps, double min_seconds) {
-  Rng rng(11);
-  const int a_rows = op_a == nn::kern::Op::kNone ? m : k;
-  const int a_cols = op_a == nn::kern::Op::kNone ? k : m;
-  const int b_rows = op_b == nn::kern::Op::kNone ? k : n;
-  const int b_cols = op_b == nn::kern::Op::kNone ? n : k;
-  const nn::Tensor a = nn::Tensor::uniform({a_rows, a_cols}, 1.0f, rng);
-  const nn::Tensor b = nn::Tensor::uniform({b_rows, b_cols}, 1.0f, rng);
-  nn::Tensor c({m, n});
-  AbResult r;
-  r.name = name;
-  r.dims = std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
-  r.flops = 2.0 * m * n * k;
-  r.naive_ns = time_ns_per_op(
-      [&] { nn::kern::gemm_naive(op_a, op_b, m, n, k, a.data(), b.data(), c.data()); },
-      min_reps, min_seconds);
-  r.blocked_ns = time_ns_per_op(
-      [&] { nn::kern::gemm_blocked(op_a, op_b, m, n, k, a.data(), b.data(), c.data()); },
-      min_reps, min_seconds);
-  benchmark::DoNotOptimize(c.data());
-  return r;
-}
-
-int run_json_harness(const std::string& path, bool smoke) {
-  core::set_num_threads(1);
-  const int reps = smoke ? 3 : 10;
-  const double secs = smoke ? 0.05 : 0.5;
-
-  std::vector<AbResult> cases;
-  cases.push_back(ab_gemm("matmul_256", nn::kern::Op::kNone, nn::kern::Op::kNone,
-                          256, 256, 256, reps, secs));
-  cases.push_back(ab_gemm("matmul_bt_256", nn::kern::Op::kNone, nn::kern::Op::kTrans,
-                          256, 256, 256, reps, secs));
-  cases.push_back(ab_gemm("matmul_at_256", nn::kern::Op::kTrans, nn::kern::Op::kNone,
-                          256, 256, 256, reps, secs));
-
-  // Conv A/B: the full im2col pipeline with gemm() dispatched naive vs
-  // blocked via the same override the RTP_NAIVE_KERNELS env uses.
-  {
-    Rng rng(5);
-    nn::Conv2d conv(8, 16, 3, 1, rng);
-    const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
-    AbResult fwd;
-    fwd.name = "conv_forward";
-    fwd.dims = "8x128x128 -> 16x128x128, k=3";
-    fwd.flops = 2.0 * 16 * (8 * 3 * 3) * (128 * 128);
-    nn::Tensor y = conv.forward(x);
-    AbResult bwd;
-    bwd.name = "conv_backward";
-    bwd.dims = fwd.dims;
-    bwd.flops = 2.0 * fwd.flops;  // dW GEMM + G_col GEMM, same shape each
-    nn::kern::set_use_naive_kernels(true);
-    fwd.naive_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.forward(x).numel()); },
-                                  reps, secs);
-    bwd.naive_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.backward(y).numel()); },
-                                  reps, secs);
-    nn::kern::set_use_naive_kernels(false);
-    fwd.blocked_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.forward(x).numel()); },
-                                    reps, secs);
-    bwd.blocked_ns = time_ns_per_op([&] { benchmark::DoNotOptimize(conv.backward(y).numel()); },
-                                    reps, secs);
-    nn::kern::reset_naive_kernels_override();
-    cases.push_back(fwd);
-    cases.push_back(bwd);
-  }
-
-  // Thread sweep over the blocked paths (ns only; speedup depends on cores).
-  std::vector<SweepResult> sweep;
-  for (int t : {1, 2, 4}) {
-    core::set_num_threads(t);
-    Rng rng(11);
-    const nn::Tensor a = nn::Tensor::uniform({256, 256}, 1.0f, rng);
-    const nn::Tensor b = nn::Tensor::uniform({256, 256}, 1.0f, rng);
-    sweep.push_back({"matmul_256", t, time_ns_per_op([&] {
-                       benchmark::DoNotOptimize(nn::matmul(a, b).numel());
-                     }, reps, secs)});
-    nn::Conv2d conv(8, 16, 3, 1, rng);
-    const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
-    sweep.push_back({"conv_forward", t, time_ns_per_op([&] {
-                       benchmark::DoNotOptimize(conv.forward(x).numel());
-                     }, reps, secs)});
-  }
-  core::set_num_threads(0);
-
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "bench_micro: cannot write " << path << "\n";
-    return 2;
-  }
-  out << "{\n  \"schema\": \"rtp-bench-nn-v1\",\n"
-      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n  \"cases\": [\n";
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    const AbResult& r = cases[i];
-    out << "    {\"name\": \"" << r.name << "\", \"dims\": \"" << r.dims
-        << "\", \"naive_ns\": " << r.naive_ns
-        << ", \"blocked_ns\": " << r.blocked_ns
-        << ", \"naive_gflops\": " << r.gflops(r.naive_ns)
-        << ", \"blocked_gflops\": " << r.gflops(r.blocked_ns)
-        << ", \"speedup\": " << r.speedup() << "}"
-        << (i + 1 < cases.size() ? "," : "") << "\n";
-  }
-  out << "  ],\n  \"thread_sweep\": [\n";
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    out << "    {\"name\": \"" << sweep[i].name << "\", \"threads\": "
-        << sweep[i].threads << ", \"ns\": " << sweep[i].ns << "}"
-        << (i + 1 < sweep.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  out.close();
-
-  bool regressed = false;
-  for (const AbResult& r : cases) {
-    std::cerr << r.name << " (" << r.dims << "): naive " << r.gflops(r.naive_ns)
-              << " GF/s, blocked " << r.gflops(r.blocked_ns) << " GF/s, speedup "
-              << r.speedup() << "x\n";
-    if (r.name == "matmul_256" && r.speedup() < 1.0) regressed = true;
-  }
-  std::cerr << "wrote " << path << "\n";
-  if (regressed) {
-    std::cerr << "REGRESSION: blocked matmul slower than naive reference\n";
-    return 1;
-  }
-  return 0;
-}
-
-// ---- incremental-vs-full STA harness (--sta-json mode) -------------------
-
-/// One timed optimizer run on copies of the fixture design. The optimizer's
-/// per-chunk re-times go through its TimingSession; with RTP_FULL_STA=1 every
-/// one of them is a full sweep instead — same trajectory, different engine.
-opt::OptimizerReport run_opt_arm(const Fixture& f, double clock_period, bool force_full,
-                                 double& seconds) {
-  nl::Netlist netlist = f.netlist;
-  layout::Placement placement = f.placement;
-  opt::OptimizerConfig config;
-  config.sta.delay.tech.clock_period = clock_period;
-  config.seed = 17;
-  if (force_full) {
-    setenv("RTP_FULL_STA", "1", 1);
-  } else {
-    unsetenv("RTP_FULL_STA");
-  }
-  opt::TimingOptimizer optimizer(config);
-  const auto t0 = std::chrono::steady_clock::now();
-  opt::OptimizerReport report = optimizer.optimize(netlist, placement);
-  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  unsetenv("RTP_FULL_STA");
-  return report;
-}
-
-int run_sta_harness(const std::string& path, bool smoke) {
-  // TABLE-I-scale design: rocket at the medium fixture scale.
-  const Fixture& f = fixture(0.04);
-
-  // Replicate the flow's constrain stage so the optimizer sees real
-  // violations (a fraction of the unconstrained sign-off WNS path).
-  double clock_period = 0.0;
-  {
-    const layout::GridMap congestion =
-        flow::make_congestion_map(f.netlist, f.placement, 64);
-    sta::StaConfig probe;
-    probe.delay.tech.clock_period = 1e9;
-    probe.delay.wire_model = sta::WireModel::kSignOff;
-    probe.delay.congestion = &congestion;
-    sta::TimingSession session(f.netlist, f.placement, probe);
-    const sta::StaResult& r = session.update();
-    double max_arrival = 0.0;
-    for (double a : r.endpoint_arrival) max_arrival = std::max(max_arrival, a);
-    // Tighter than the flow's default factor: the A/B should stress the
-    // optimizer's re-timing loop with a deep violation set, not converge in
-    // two passes.
-    clock_period = std::max(50.0, 0.45 * max_arrival);
-  }
-
-  const int reps = smoke ? 1 : 3;
-  double inc_s = 1e30, full_s = 1e30;
-  opt::OptimizerReport inc_report, full_report;
-  for (int rep = 0; rep < reps; ++rep) {
-    double s = 0.0;
-    inc_report = run_opt_arm(f, clock_period, /*force_full=*/false, s);
-    inc_s = std::min(inc_s, s);
-    full_report = run_opt_arm(f, clock_period, /*force_full=*/true, s);
-    full_s = std::min(full_s, s);
-  }
-
-  // Both arms must walk the same trajectory to the bit-identical answer —
-  // otherwise the A/B compares different work, not different engines.
-  const bool identical = inc_report.wns_after == full_report.wns_after &&
-                         inc_report.tns_after == full_report.tns_after &&
-                         inc_report.moves_sizing == full_report.moves_sizing &&
-                         inc_report.moves_buffer == full_report.moves_buffer &&
-                         inc_report.moves_restructure == full_report.moves_restructure &&
-                         inc_report.passes_run == full_report.passes_run;
-  const double speedup = inc_s > 0.0 ? full_s / inc_s : 0.0;
-
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "bench_micro: cannot write " << path << "\n";
-    return 2;
-  }
-  out << "{\n  \"schema\": \"rtp-bench-sta-v1\",\n"
-      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-      << "  \"design\": \"rocket@0.04\",\n"
-      << "  \"clock_period_ps\": " << clock_period << ",\n"
-      << "  \"passes_run\": " << inc_report.passes_run << ",\n"
-      << "  \"incremental_s\": " << inc_s << ",\n"
-      << "  \"full_s\": " << full_s << ",\n"
-      << "  \"speedup\": " << speedup << ",\n"
-      << "  \"identical_results\": " << (identical ? "true" : "false") << ",\n"
-      << "  \"wns_after\": " << inc_report.wns_after << ",\n"
-      << "  \"tns_after\": " << inc_report.tns_after << "\n}\n";
-  out.close();
-
-  std::cerr << "sta A/B on rocket@0.04: incremental " << inc_s << "s, full " << full_s
-            << "s, speedup " << speedup << "x, identical="
-            << (identical ? "yes" : "NO") << "\n";
-  std::cerr << "wrote " << path << "\n";
-  if (!identical) {
-    std::cerr << "REGRESSION: incremental and full STA arms diverged\n";
-    return 1;
-  }
-  if (speedup <= 1.0) {
-    std::cerr << "REGRESSION: incremental STA not faster than full recompute\n";
-    return 1;
-  }
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -473,8 +175,8 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  if (sta_json) return run_sta_harness(sta_path, smoke);
-  if (json) return run_json_harness(path, smoke);
+  if (sta_json) return rtp::bench::run_sta_harness(sta_path, smoke);
+  if (json) return rtp::bench::run_nn_harness(path, smoke);
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;

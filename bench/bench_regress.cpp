@@ -1,0 +1,193 @@
+// Perf-regression gate over the committed benchmark baselines.
+//
+// Loads BENCH_nn.json / BENCH_sta.json (rtp-bench-v2, or the older v1
+// schemas), re-runs both harness suites on this machine, and compares metric
+// by metric using each baseline metric's own tolerance: a "higher"-is-better
+// metric regresses when current < baseline * (1 - tolerance), a "lower" one
+// when current > baseline * (1 + tolerance); negative tolerance means
+// report-only. Only same-run ratios (speedups) and invariants
+// (identical_results) carry gating tolerances, so the gate is meaningful on
+// any machine — absolute times are reported in the diff but never fail it.
+//
+//   bench_regress [--smoke] [--nn=BENCH_nn.json] [--sta=BENCH_sta.json]
+//                 [--report=bench_regress_report.json]
+//                 [--out-nn=path] [--out-sta=path]
+//
+// Exit codes: 0 all gated metrics within tolerance, 1 regression (or a gated
+// baseline metric missing from the current run), 2 usage/I/O/parse error.
+// CI runs `--smoke` on every push and uploads the diff report.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/log.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using rtp::bench::BenchDoc;
+using rtp::bench::Metric;
+
+struct Comparison {
+  std::string suite;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  bool higher_better = true;
+  double tolerance = -1.0;
+  std::string status;  ///< "ok" | "improved" | "regressed" | "info" | "missing" | "new"
+};
+
+bool gated(const Metric& m) { return m.tolerance >= 0.0; }
+
+/// Compares one suite's current run against its baseline, appending rows.
+/// Returns true when any gated metric regressed.
+bool compare_suite(const BenchDoc& baseline, const BenchDoc& current,
+                   std::vector<Comparison>& rows) {
+  bool regressed = false;
+  for (const Metric& b : baseline.metrics) {
+    Comparison c;
+    c.suite = baseline.suite;
+    c.metric = b.name;
+    c.baseline = b.value;
+    c.higher_better = b.higher_better;
+    c.tolerance = b.tolerance;
+    const Metric* cur = current.find(b.name);
+    if (cur == nullptr) {
+      // A gated metric vanishing would silently retire its gate — fail.
+      c.status = "missing";
+      if (gated(b)) regressed = true;
+      rows.push_back(c);
+      continue;
+    }
+    c.current = cur->value;
+    if (!gated(b)) {
+      c.status = "info";
+    } else {
+      const double floor = b.value * (1.0 - b.tolerance);
+      const double ceil = b.value * (1.0 + b.tolerance);
+      const bool bad =
+          b.higher_better ? cur->value < floor : cur->value > ceil;
+      if (bad) {
+        c.status = "regressed";
+        regressed = true;
+      } else {
+        const bool better =
+            b.higher_better ? cur->value > b.value : cur->value < b.value;
+        c.status = better ? "improved" : "ok";
+      }
+    }
+    rows.push_back(c);
+  }
+  for (const Metric& m : current.metrics) {
+    if (baseline.find(m.name) == nullptr) {
+      rows.push_back({current.suite, m.name, 0.0, m.value, m.higher_better,
+                      m.tolerance, "new"});
+    }
+  }
+  return regressed;
+}
+
+bool write_report(const std::string& path, const std::vector<Comparison>& rows,
+                  bool regressed) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"schema\": \"rtp-bench-regress-v1\",\n  \"regressed\": "
+      << (regressed ? "true" : "false") << ",\n  \"comparisons\": [\n";
+  char line[384];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Comparison& c = rows[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"suite\": \"%s\", \"metric\": \"%s\", "
+                  "\"baseline\": %.6g, \"current\": %.6g, \"better\": \"%s\", "
+                  "\"tolerance\": %.6g, \"status\": \"%s\"}%s\n",
+                  c.suite.c_str(), c.metric.c_str(), c.baseline, c.current,
+                  c.higher_better ? "higher" : "lower", c.tolerance,
+                  c.status.c_str(), i + 1 < rows.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+void print_rows(const std::vector<Comparison>& rows) {
+  for (const Comparison& c : rows) {
+    if (c.status == "info" || c.status == "new") continue;
+    std::fprintf(stderr, "  [%-9s] %s.%s: baseline %.4g -> current %.4g (tol %.2g)\n",
+                 c.status.c_str(), c.suite.c_str(), c.metric.c_str(),
+                 c.baseline, c.current, c.tolerance);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rtp::set_log_level(rtp::LogLevel::kWarn);
+  bool smoke = false;
+  std::string nn_path = "BENCH_nn.json";
+  std::string sta_path = "BENCH_sta.json";
+  std::string report_path = "bench_regress_report.json";
+  std::string out_nn, out_sta;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--nn=", 5) == 0) {
+      nn_path = argv[i] + 5;
+    } else if (std::strncmp(argv[i], "--sta=", 6) == 0) {
+      sta_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--out-nn=", 9) == 0) {
+      out_nn = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--out-sta=", 10) == 0) {
+      out_sta = argv[i] + 10;
+    } else {
+      std::cerr << "bench_regress: unknown argument " << argv[i] << "\n"
+                << "usage: bench_regress [--smoke] [--nn=path] [--sta=path]"
+                   " [--report=path] [--out-nn=path] [--out-sta=path]\n";
+      return 2;
+    }
+  }
+
+  std::string error;
+  const auto nn_base = rtp::bench::load_baseline(nn_path, &error);
+  if (!nn_base.has_value()) {
+    std::cerr << "bench_regress: nn baseline: " << error << "\n";
+    return 2;
+  }
+  const auto sta_base = rtp::bench::load_baseline(sta_path, &error);
+  if (!sta_base.has_value()) {
+    std::cerr << "bench_regress: sta baseline: " << error << "\n";
+    return 2;
+  }
+
+  std::cerr << "bench_regress: re-running nn suite"
+            << (smoke ? " (smoke)" : "") << "...\n";
+  const BenchDoc nn_cur = rtp::bench::run_nn_suite(smoke);
+  std::cerr << "bench_regress: re-running sta suite"
+            << (smoke ? " (smoke)" : "") << "...\n";
+  const BenchDoc sta_cur = rtp::bench::run_sta_suite(smoke);
+  if (!out_nn.empty()) rtp::bench::write_bench_json(nn_cur, out_nn);
+  if (!out_sta.empty()) rtp::bench::write_bench_json(sta_cur, out_sta);
+
+  std::vector<Comparison> rows;
+  bool regressed = compare_suite(*nn_base, nn_cur, rows);
+  regressed = compare_suite(*sta_base, sta_cur, rows) || regressed;
+
+  print_rows(rows);
+  if (!write_report(report_path, rows, regressed)) {
+    std::cerr << "bench_regress: cannot write " << report_path << "\n";
+    return 2;
+  }
+  std::cerr << "bench_regress: wrote " << report_path << "\n";
+  if (regressed) {
+    std::cerr << "bench_regress: REGRESSION beyond tolerance — see report\n";
+    return 1;
+  }
+  std::cerr << "bench_regress: all gated metrics within tolerance\n";
+  return 0;
+}

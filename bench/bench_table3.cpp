@@ -39,12 +39,18 @@ int main() {
   const auto rows = rtp::eval::run_table3(dataset, model, config);
 
   std::printf("TABLE III — runtime (seconds) per design\n\n");
-  Table table({"design", "opt", "route", "sta", "total", "pre", "infer", "ours total",
-               "speedup"});
+  Table table({"design", "opt", "route", "sta", "total", "pre", "pre p99", "infer",
+               "infer p99", "ours total", "speedup"});
   for (const auto& row : rows) {
+    // p99 is only meaningful on the avg row (10 per-design samples); a
+    // single-design row would just repeat its own mean.
+    const bool has_p99 = row.pre_p99_s > 0.0 || row.infer_p99_s > 0.0;
     table.add_row({row.name, Table::fmt(row.opt_s, 3), Table::fmt(row.route_s, 3),
                    Table::fmt(row.sta_s, 3), Table::fmt(row.commercial_total_s, 3),
-                   Table::fmt(row.pre_s, 3), Table::fmt(row.infer_s, 3),
+                   Table::fmt(row.pre_s, 3),
+                   has_p99 ? Table::fmt(row.pre_p99_s, 3) : "-",
+                   Table::fmt(row.infer_s, 3),
+                   has_p99 ? Table::fmt(row.infer_p99_s, 3) : "-",
                    Table::fmt(row.ours_total_s, 3),
                    Table::fmt(row.speedup, 1) + "x"});
   }

@@ -1,0 +1,443 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "core/json.hpp"
+#include "core/thread_pool.hpp"
+#include "flow/dataset_flow.hpp"
+#include "gen/circuit_generator.hpp"
+#include "nn/conv.hpp"
+#include "nn/kernels.hpp"
+#include "opt/optimizer.hpp"
+#include "place/placer.hpp"
+#include "sta/session.hpp"
+#include "sta/sta.hpp"
+
+namespace rtp::bench {
+
+Fixture::Fixture(double scale) : library(nl::CellLibrary::standard()) {
+  const auto specs = gen::paper_benchmarks();
+  const gen::BenchmarkSpec& spec = gen::benchmark_by_name(specs, "rocket");
+  gen::CircuitGenerator generator(library);
+  gen::GeneratedCircuit circuit = generator.generate(spec, scale);
+  netlist = std::move(circuit.netlist);
+  place::PlacerConfig config;
+  config.utilization = spec.utilization;
+  config.num_macros = spec.num_macros;
+  config.seed = spec.seed;
+  placement = place::Placer(config).place(netlist);
+}
+
+Fixture& fixture(double scale) {
+  static Fixture small(0.01);
+  static Fixture medium(0.04);
+  return scale < 0.02 ? small : medium;
+}
+
+double time_ns_per_op(const std::function<void()>& fn, int min_reps,
+                      double min_seconds) {
+  fn();
+  int reps = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } while (reps < min_reps || elapsed < min_seconds);
+  return elapsed * 1e9 / reps;
+}
+
+const Metric* BenchDoc::find(const std::string& name) const {
+  for (const Metric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string bench_json(const BenchDoc& doc) {
+  std::string out = "{\n  \"schema\": \"rtp-bench-v2\",\n  \"suite\": \"" +
+                    doc.suite + "\",\n  \"smoke\": " +
+                    (doc.smoke ? "true" : "false") + ",\n  \"metrics\": {\n";
+  char line[256];
+  for (std::size_t i = 0; i < doc.metrics.size(); ++i) {
+    const Metric& m = doc.metrics[i];
+    std::snprintf(line, sizeof(line),
+                  "    \"%s\": {\"value\": %.6g, \"unit\": \"%s\", "
+                  "\"better\": \"%s\", \"tolerance\": %.6g}%s\n",
+                  m.name.c_str(), m.value, m.unit.c_str(),
+                  m.higher_better ? "higher" : "lower", m.tolerance,
+                  i + 1 < doc.metrics.size() ? "," : "");
+    out += line;
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+bool write_bench_json(const BenchDoc& doc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << bench_json(doc);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+struct AbResult {
+  std::string name;
+  std::string dims;       ///< human-readable problem size
+  double flops = 0.0;     ///< per op; 0 when not meaningful
+  double naive_ns = 0.0;
+  double blocked_ns = 0.0;
+
+  double speedup() const { return naive_ns / blocked_ns; }
+  double gflops(double ns) const { return ns > 0.0 ? flops / ns : 0.0; }
+};
+
+/// Times one gemm op blocked-vs-naive at (m, n, k), single thread.
+AbResult ab_gemm(const char* name, nn::kern::Op op_a, nn::kern::Op op_b, int m,
+                 int n, int k, int min_reps, double min_seconds) {
+  Rng rng(11);
+  const int a_rows = op_a == nn::kern::Op::kNone ? m : k;
+  const int a_cols = op_a == nn::kern::Op::kNone ? k : m;
+  const int b_rows = op_b == nn::kern::Op::kNone ? k : n;
+  const int b_cols = op_b == nn::kern::Op::kNone ? n : k;
+  const nn::Tensor a = nn::Tensor::uniform({a_rows, a_cols}, 1.0f, rng);
+  const nn::Tensor b = nn::Tensor::uniform({b_rows, b_cols}, 1.0f, rng);
+  nn::Tensor c({m, n});
+  AbResult r;
+  r.name = name;
+  r.dims = std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+  r.flops = 2.0 * m * n * k;
+  r.naive_ns = time_ns_per_op(
+      [&] { nn::kern::gemm_naive(op_a, op_b, m, n, k, a.data(), b.data(), c.data()); },
+      min_reps, min_seconds);
+  r.blocked_ns = time_ns_per_op(
+      [&] { nn::kern::gemm_blocked(op_a, op_b, m, n, k, a.data(), b.data(), c.data()); },
+      min_reps, min_seconds);
+  keep(c.data());
+  return r;
+}
+
+/// Gated ratio (both arms measured back-to-back on this machine): a drop
+/// below 1 - 0.75 = 25% of the committed baseline fails bench_regress.
+constexpr double kRatioTolerance = 0.75;
+
+void push_ab_metrics(BenchDoc& doc, const AbResult& r) {
+  doc.metrics.push_back(
+      {r.name + ".speedup", r.speedup(), "ratio", true, kRatioTolerance});
+  doc.metrics.push_back({r.name + ".naive_ns", r.naive_ns, "ns", false, -1.0});
+  doc.metrics.push_back(
+      {r.name + ".blocked_ns", r.blocked_ns, "ns", false, -1.0});
+  doc.metrics.push_back({r.name + ".blocked_gflops", r.gflops(r.blocked_ns),
+                         "gflops", true, -1.0});
+}
+
+}  // namespace
+
+BenchDoc run_nn_suite(bool smoke) {
+  core::set_num_threads(1);
+  const int reps = smoke ? 3 : 10;
+  const double secs = smoke ? 0.05 : 0.5;
+
+  BenchDoc doc;
+  doc.suite = "nn";
+  doc.smoke = smoke;
+
+  std::vector<AbResult> cases;
+  cases.push_back(ab_gemm("matmul_256", nn::kern::Op::kNone, nn::kern::Op::kNone,
+                          256, 256, 256, reps, secs));
+  cases.push_back(ab_gemm("matmul_bt_256", nn::kern::Op::kNone, nn::kern::Op::kTrans,
+                          256, 256, 256, reps, secs));
+  cases.push_back(ab_gemm("matmul_at_256", nn::kern::Op::kTrans, nn::kern::Op::kNone,
+                          256, 256, 256, reps, secs));
+
+  // Conv A/B: the full im2col pipeline with gemm() dispatched naive vs
+  // blocked via the same override the RTP_NAIVE_KERNELS env uses.
+  {
+    Rng rng(5);
+    nn::Conv2d conv(8, 16, 3, 1, rng);
+    const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
+    AbResult fwd;
+    fwd.name = "conv_forward";
+    fwd.dims = "8x128x128 -> 16x128x128, k=3";
+    fwd.flops = 2.0 * 16 * (8 * 3 * 3) * (128 * 128);
+    nn::Tensor y = conv.forward(x);
+    AbResult bwd;
+    bwd.name = "conv_backward";
+    bwd.dims = fwd.dims;
+    bwd.flops = 2.0 * fwd.flops;  // dW GEMM + G_col GEMM, same shape each
+    nn::kern::set_use_naive_kernels(true);
+    fwd.naive_ns =
+        time_ns_per_op([&] { keep(conv.forward(x).numel()); }, reps, secs);
+    bwd.naive_ns =
+        time_ns_per_op([&] { keep(conv.backward(y).numel()); }, reps, secs);
+    nn::kern::set_use_naive_kernels(false);
+    fwd.blocked_ns =
+        time_ns_per_op([&] { keep(conv.forward(x).numel()); }, reps, secs);
+    bwd.blocked_ns =
+        time_ns_per_op([&] { keep(conv.backward(y).numel()); }, reps, secs);
+    nn::kern::reset_naive_kernels_override();
+    cases.push_back(fwd);
+    cases.push_back(bwd);
+  }
+
+  for (const AbResult& r : cases) {
+    push_ab_metrics(doc, r);
+    std::cerr << r.name << " (" << r.dims << "): naive " << r.gflops(r.naive_ns)
+              << " GF/s, blocked " << r.gflops(r.blocked_ns) << " GF/s, speedup "
+              << r.speedup() << "x\n";
+  }
+
+  // Thread sweep over the blocked paths (ns only; speedup depends on cores).
+  for (int t : {1, 2, 4}) {
+    core::set_num_threads(t);
+    Rng rng(11);
+    const nn::Tensor a = nn::Tensor::uniform({256, 256}, 1.0f, rng);
+    const nn::Tensor b = nn::Tensor::uniform({256, 256}, 1.0f, rng);
+    doc.metrics.push_back(
+        {"matmul_256.threads" + std::to_string(t) + ".ns",
+         time_ns_per_op([&] { keep(nn::matmul(a, b).numel()); }, reps, secs),
+         "ns", false, -1.0});
+    nn::Conv2d conv(8, 16, 3, 1, rng);
+    const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
+    doc.metrics.push_back(
+        {"conv_forward.threads" + std::to_string(t) + ".ns",
+         time_ns_per_op([&] { keep(conv.forward(x).numel()); }, reps, secs),
+         "ns", false, -1.0});
+  }
+  core::set_num_threads(0);
+  return doc;
+}
+
+int run_nn_harness(const std::string& path, bool smoke) {
+  const BenchDoc doc = run_nn_suite(smoke);
+  if (!write_bench_json(doc, path)) {
+    std::cerr << "bench: cannot write " << path << "\n";
+    return 2;
+  }
+  std::cerr << "wrote " << path << "\n";
+  const Metric* m = doc.find("matmul_256.speedup");
+  if (m != nullptr && m->value < 1.0) {
+    std::cerr << "REGRESSION: blocked matmul slower than naive reference\n";
+    return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+/// One timed optimizer run on copies of the fixture design. The optimizer's
+/// per-chunk re-times go through its TimingSession; with RTP_FULL_STA=1 every
+/// one of them is a full sweep instead — same trajectory, different engine.
+opt::OptimizerReport run_opt_arm(const Fixture& f, double clock_period,
+                                 bool force_full, double& seconds) {
+  nl::Netlist netlist = f.netlist;
+  layout::Placement placement = f.placement;
+  opt::OptimizerConfig config;
+  config.sta.delay.tech.clock_period = clock_period;
+  config.seed = 17;
+  if (force_full) {
+    setenv("RTP_FULL_STA", "1", 1);
+  } else {
+    unsetenv("RTP_FULL_STA");
+  }
+  opt::TimingOptimizer optimizer(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  opt::OptimizerReport report = optimizer.optimize(netlist, placement);
+  seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  unsetenv("RTP_FULL_STA");
+  return report;
+}
+
+}  // namespace
+
+BenchDoc run_sta_suite(bool smoke) {
+  // TABLE-I-scale design: rocket at the medium fixture scale.
+  const Fixture& f = fixture(0.04);
+
+  // Replicate the flow's constrain stage so the optimizer sees real
+  // violations (a fraction of the unconstrained sign-off WNS path).
+  double clock_period = 0.0;
+  {
+    const layout::GridMap congestion =
+        flow::make_congestion_map(f.netlist, f.placement, 64);
+    sta::StaConfig probe;
+    probe.delay.tech.clock_period = 1e9;
+    probe.delay.wire_model = sta::WireModel::kSignOff;
+    probe.delay.congestion = &congestion;
+    sta::TimingSession session(f.netlist, f.placement, probe);
+    const sta::StaResult& r = session.update();
+    double max_arrival = 0.0;
+    for (double a : r.endpoint_arrival) max_arrival = std::max(max_arrival, a);
+    // Tighter than the flow's default factor: the A/B should stress the
+    // optimizer's re-timing loop with a deep violation set, not converge in
+    // two passes.
+    clock_period = std::max(50.0, 0.45 * max_arrival);
+  }
+
+  const int reps = smoke ? 1 : 3;
+  double inc_s = 1e30, full_s = 1e30;
+  opt::OptimizerReport inc_report, full_report;
+  for (int rep = 0; rep < reps; ++rep) {
+    double s = 0.0;
+    inc_report = run_opt_arm(f, clock_period, /*force_full=*/false, s);
+    inc_s = std::min(inc_s, s);
+    full_report = run_opt_arm(f, clock_period, /*force_full=*/true, s);
+    full_s = std::min(full_s, s);
+  }
+
+  // Both arms must walk the same trajectory to the bit-identical answer —
+  // otherwise the A/B compares different work, not different engines.
+  const bool identical = inc_report.wns_after == full_report.wns_after &&
+                         inc_report.tns_after == full_report.tns_after &&
+                         inc_report.moves_sizing == full_report.moves_sizing &&
+                         inc_report.moves_buffer == full_report.moves_buffer &&
+                         inc_report.moves_restructure == full_report.moves_restructure &&
+                         inc_report.passes_run == full_report.passes_run;
+  const double speedup = inc_s > 0.0 ? full_s / inc_s : 0.0;
+
+  BenchDoc doc;
+  doc.suite = "sta";
+  doc.smoke = smoke;
+  doc.metrics.push_back(
+      {"sta.speedup", speedup, "ratio", true, kRatioTolerance});
+  doc.metrics.push_back(
+      {"sta.identical_results", identical ? 1.0 : 0.0, "bool", true, 0.0});
+  doc.metrics.push_back({"sta.incremental_s", inc_s, "s", false, -1.0});
+  doc.metrics.push_back({"sta.full_s", full_s, "s", false, -1.0});
+  doc.metrics.push_back({"sta.passes_run",
+                         static_cast<double>(inc_report.passes_run), "count",
+                         true, -1.0});
+  doc.metrics.push_back(
+      {"sta.clock_period_ps", clock_period, "ps", false, -1.0});
+  doc.metrics.push_back({"sta.wns_after", inc_report.wns_after, "ps", true, -1.0});
+  doc.metrics.push_back({"sta.tns_after", inc_report.tns_after, "ps", true, -1.0});
+
+  std::cerr << "sta A/B on rocket@0.04: incremental " << inc_s << "s, full "
+            << full_s << "s, speedup " << speedup << "x, identical="
+            << (identical ? "yes" : "NO") << "\n";
+  return doc;
+}
+
+int run_sta_harness(const std::string& path, bool smoke) {
+  const BenchDoc doc = run_sta_suite(smoke);
+  if (!write_bench_json(doc, path)) {
+    std::cerr << "bench: cannot write " << path << "\n";
+    return 2;
+  }
+  std::cerr << "wrote " << path << "\n";
+  if (doc.find("sta.identical_results")->value != 1.0) {
+    std::cerr << "REGRESSION: incremental and full STA arms diverged\n";
+    return 1;
+  }
+  if (doc.find("sta.speedup")->value <= 1.0) {
+    std::cerr << "REGRESSION: incremental STA not faster than full recompute\n";
+    return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+/// v1 readers: normalize the PR 2/4 schemas into the v2 metric vocabulary
+/// (same names run_nn_suite / run_sta_suite emit) so old committed baselines
+/// gate the same metrics.
+BenchDoc from_nn_v1(const core::json::Value& root) {
+  BenchDoc doc;
+  doc.suite = "nn";
+  doc.smoke = root.bool_or("smoke", false);
+  if (const core::json::Value* cases = root.find("cases");
+      cases != nullptr && cases->is_array()) {
+    for (const core::json::Value& c : cases->items()) {
+      const std::string name = c.string_or("name", "");
+      if (name.empty()) continue;
+      doc.metrics.push_back({name + ".speedup", c.number_or("speedup", 0.0),
+                             "ratio", true, kRatioTolerance});
+      doc.metrics.push_back(
+          {name + ".naive_ns", c.number_or("naive_ns", 0.0), "ns", false, -1.0});
+      doc.metrics.push_back({name + ".blocked_ns",
+                             c.number_or("blocked_ns", 0.0), "ns", false, -1.0});
+      doc.metrics.push_back({name + ".blocked_gflops",
+                             c.number_or("blocked_gflops", 0.0), "gflops", true,
+                             -1.0});
+    }
+  }
+  if (const core::json::Value* sweep = root.find("thread_sweep");
+      sweep != nullptr && sweep->is_array()) {
+    for (const core::json::Value& s : sweep->items()) {
+      const std::string name = s.string_or("name", "");
+      const int threads = static_cast<int>(s.number_or("threads", 0.0));
+      if (name.empty() || threads <= 0) continue;
+      doc.metrics.push_back({name + ".threads" + std::to_string(threads) + ".ns",
+                             s.number_or("ns", 0.0), "ns", false, -1.0});
+    }
+  }
+  return doc;
+}
+
+BenchDoc from_sta_v1(const core::json::Value& root) {
+  BenchDoc doc;
+  doc.suite = "sta";
+  doc.smoke = root.bool_or("smoke", false);
+  doc.metrics.push_back({"sta.speedup", root.number_or("speedup", 0.0), "ratio",
+                         true, kRatioTolerance});
+  doc.metrics.push_back({"sta.identical_results",
+                         root.bool_or("identical_results", false) ? 1.0 : 0.0,
+                         "bool", true, 0.0});
+  doc.metrics.push_back(
+      {"sta.incremental_s", root.number_or("incremental_s", 0.0), "s", false, -1.0});
+  doc.metrics.push_back(
+      {"sta.full_s", root.number_or("full_s", 0.0), "s", false, -1.0});
+  doc.metrics.push_back({"sta.passes_run", root.number_or("passes_run", 0.0),
+                         "count", true, -1.0});
+  doc.metrics.push_back({"sta.clock_period_ps",
+                         root.number_or("clock_period_ps", 0.0), "ps", false, -1.0});
+  doc.metrics.push_back(
+      {"sta.wns_after", root.number_or("wns_after", 0.0), "ps", true, -1.0});
+  doc.metrics.push_back(
+      {"sta.tns_after", root.number_or("tns_after", 0.0), "ps", true, -1.0});
+  return doc;
+}
+
+}  // namespace
+
+std::optional<BenchDoc> load_baseline(const std::string& path,
+                                      std::string* error) {
+  const std::optional<core::json::Value> root = core::json::parse_file(path, error);
+  if (!root.has_value()) return std::nullopt;
+  const std::string schema = root->string_or("schema", "");
+  if (schema == "rtp-bench-nn-v1") return from_nn_v1(*root);
+  if (schema == "rtp-bench-sta-v1") return from_sta_v1(*root);
+  if (schema != "rtp-bench-v2") {
+    if (error != nullptr) *error = path + ": unknown schema \"" + schema + "\"";
+    return std::nullopt;
+  }
+  BenchDoc doc;
+  doc.suite = root->string_or("suite", "");
+  doc.smoke = root->bool_or("smoke", false);
+  const core::json::Value* metrics = root->find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    if (error != nullptr) *error = path + ": missing \"metrics\" object";
+    return std::nullopt;
+  }
+  for (const auto& [name, m] : metrics->members()) {
+    if (!m.is_object()) continue;
+    doc.metrics.push_back({name, m.number_or("value", 0.0),
+                           m.string_or("unit", ""),
+                           m.string_or("better", "higher") == "higher",
+                           m.number_or("tolerance", -1.0)});
+  }
+  return doc;
+}
+
+}  // namespace rtp::bench

@@ -1,0 +1,98 @@
+#pragma once
+// Shared machine-readable benchmark harness: the nn-kernel A/B and the
+// incremental-vs-full STA A/B, their unified rtp-bench-v2 artifact schema,
+// and the baseline loader bench_regress gates against.
+//
+// rtp-bench-v2 is one flat metric map:
+//
+//   { "schema": "rtp-bench-v2", "suite": "nn", "smoke": false,
+//     "metrics": {
+//       "matmul_256.speedup": {"value": 6.27, "unit": "ratio",
+//                              "better": "higher", "tolerance": 0.75}, ... } }
+//
+// `tolerance` is the allowed fractional degradation relative to the committed
+// baseline before bench_regress fails: a "higher"-is-better metric regresses
+// when current < baseline * (1 - tolerance), a "lower" one when
+// current > baseline * (1 + tolerance). Negative tolerance marks the metric
+// report-only — absolute wall times are machine facts, so only ratios
+// (speedups, both arms measured on the same machine in the same run) and
+// invariants (identical_results, tolerance 0) gate. The loader also reads
+// the PR 2/4 v1 schemas (rtp-bench-nn-v1 / rtp-bench-sta-v1) so older
+// committed baselines stay comparable.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "layout/placement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rtp::bench {
+
+/// Keeps `value` observable so the optimizer cannot delete the computation
+/// that produced it (local stand-in for benchmark::DoNotOptimize, usable
+/// from binaries that do not link google-benchmark).
+template <typename T>
+inline void keep(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+/// One placed design shared by all benchmarks of a given scale.
+struct Fixture {
+  nl::CellLibrary library;
+  nl::Netlist netlist;
+  layout::Placement placement;
+
+  explicit Fixture(double scale);
+};
+
+/// Lazily-built fixtures: scale < 0.02 returns rocket@0.01, else rocket@0.04.
+Fixture& fixture(double scale);
+
+/// Runs fn repeatedly until both rep and wall-time floors are met; returns
+/// mean ns per call. One untimed warmup call absorbs lazy allocations.
+double time_ns_per_op(const std::function<void()>& fn, int min_reps,
+                      double min_seconds);
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;           ///< "ratio", "ns", "s", "bool", "gflops", ...
+  bool higher_better = true;
+  double tolerance = -1.0;    ///< allowed fractional degradation; < 0 = report-only
+};
+
+struct BenchDoc {
+  std::string suite;  ///< "nn" or "sta"
+  bool smoke = false;
+  std::vector<Metric> metrics;
+
+  const Metric* find(const std::string& name) const;
+};
+
+/// The rtp-bench-v2 JSON document for a measured suite.
+std::string bench_json(const BenchDoc& doc);
+bool write_bench_json(const BenchDoc& doc, const std::string& path);
+
+/// Measures the nn-kernel suite: blocked-vs-naive GEMM and im2col conv A/Bs
+/// (single thread) plus the 1/2/4-thread sweep.
+BenchDoc run_nn_suite(bool smoke);
+/// Measures the STA suite: optimizer wall time incremental vs RTP_FULL_STA=1
+/// on rocket@0.04, with the identical-trajectory invariant.
+BenchDoc run_sta_suite(bool smoke);
+
+/// bench_micro's --json / --sta-json entry points: run the suite, write the
+/// v2 artifact to `path`, print a summary to stderr, and return nonzero on
+/// the suite's built-in floor (blocked slower than naive; STA arms diverged
+/// or incremental not faster).
+int run_nn_harness(const std::string& path, bool smoke);
+int run_sta_harness(const std::string& path, bool smoke);
+
+/// Reads a committed baseline in rtp-bench-v2 or either v1 schema,
+/// normalized to the v2 metric vocabulary. nullopt (with `error` set) on
+/// missing file, parse failure, or unknown schema.
+std::optional<BenchDoc> load_baseline(const std::string& path,
+                                      std::string* error);
+
+}  // namespace rtp::bench

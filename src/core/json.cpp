@@ -1,0 +1,386 @@
+#include "core/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/check.hpp"
+
+namespace rtp::core::json {
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+Value Value::make_object(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+bool Value::as_bool() const {
+  RTP_CHECK_MSG(type_ == Type::kBool, "json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  RTP_CHECK_MSG(type_ == Type::kNumber, "json: not a number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  RTP_CHECK_MSG(type_ == Type::kString, "json: not a string");
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  RTP_CHECK_MSG(type_ == Type::kArray, "json: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  RTP_CHECK_MSG(type_ == Type::kObject, "json: not an object");
+  return obj_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string Value::string_or(const std::string& key, std::string fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  int depth = 0;  ///< nesting guard — artifacts are shallow, cap recursion
+
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  /// Appends one code point as UTF-8.
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(unsigned* out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+            if (pos + 1 >= text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos += 2;
+            unsigned lo = 0;
+            if (!hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(*out, cp);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return fail("invalid number");
+    }
+    if (text[pos] == '0') {
+      ++pos;  // no leading zeros
+    } else {
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+        return fail("invalid number");
+      }
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+        return fail("invalid number");
+      }
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    const std::string num(text.substr(start, pos - start));
+    *out = Value::make_number(std::strtod(num.c_str(), nullptr));
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    if (++depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text[pos]) {
+      case '{': {
+        ++pos;
+        std::vector<std::pair<std::string, Value>> members;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          ok = true;
+        } else {
+          for (;;) {
+            skip_ws();
+            std::string key;
+            Value val;
+            if (!parse_string(&key)) break;
+            skip_ws();
+            if (!consume(':')) break;
+            if (!parse_value(&val)) break;
+            members.emplace_back(std::move(key), std::move(val));
+            skip_ws();
+            if (pos < text.size() && text[pos] == ',') {
+              ++pos;
+              continue;
+            }
+            ok = consume('}');
+            break;
+          }
+        }
+        if (ok) *out = Value::make_object(std::move(members));
+        break;
+      }
+      case '[': {
+        ++pos;
+        std::vector<Value> items;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          ok = true;
+        } else {
+          for (;;) {
+            Value val;
+            if (!parse_value(&val)) break;
+            items.push_back(std::move(val));
+            skip_ws();
+            if (pos < text.size() && text[pos] == ',') {
+              ++pos;
+              continue;
+            }
+            ok = consume(']');
+            break;
+          }
+        }
+        if (ok) *out = Value::make_array(std::move(items));
+        break;
+      }
+      case '"': {
+        std::string s;
+        ok = parse_string(&s);
+        if (ok) *out = Value::make_string(std::move(s));
+        break;
+      }
+      case 't':
+        ok = literal("true");
+        if (ok) *out = Value::make_bool(true);
+        break;
+      case 'f':
+        ok = literal("false");
+        if (ok) *out = Value::make_bool(false);
+        break;
+      case 'n':
+        ok = literal("null");
+        if (ok) *out = Value();
+        break;
+      default:
+        ok = parse_number(out);
+        break;
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  Parser p;
+  p.text = text;
+  Value v;
+  if (!p.parse_value(&v)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing characters at offset " + std::to_string(p.pos);
+    }
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<Value> parse_file(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string contents;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error != nullptr) *error = "read error on " + path;
+    return std::nullopt;
+  }
+  return parse(contents, error);
+}
+
+}  // namespace rtp::core::json

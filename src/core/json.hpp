@@ -1,0 +1,70 @@
+#pragma once
+// Minimal JSON reader (recursive descent, no external deps) for the repo's
+// own artifacts: BENCH_*.json baselines in bench_regress, and trace/report/
+// metrics well-formedness checks in tests. Full RFC 8259 value grammar with
+// \uXXXX escapes decoded to UTF-8; numbers parse as double (the artifacts
+// carry nothing that needs 64-bit integer exactness). Not a streaming
+// parser — documents here are kilobytes.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtp::core::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  static Value make_bool(bool b);
+  static Value make_number(double d);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> items);
+  /// Members keep document order; duplicate keys are kept (find returns the
+  /// first), matching how lenient readers treat them.
+  static Value make_object(std::vector<std::pair<std::string, Value>> members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one is a checked error (RTP_CHECK).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  /// Chained lookup helpers for optional fields: v.number_or("tol", 0.1).
+  double number_or(const std::string& key, double fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing junk
+/// rejected). On failure returns nullopt and, when `error` is non-null,
+/// writes a message with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// parse() over a file's contents; nullopt on read failure too.
+std::optional<Value> parse_file(const std::string& path,
+                                std::string* error = nullptr);
+
+}  // namespace rtp::core::json

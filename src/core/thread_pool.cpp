@@ -20,6 +20,11 @@ namespace {
 /// on the single shared job slot.
 thread_local bool tl_in_parallel = false;
 
+/// Flow-event id space: one arrow per (job, worker), id = job_id * stride +
+/// worker_idx + 1 (never 0). env_thread_count caps the pool at 1024 threads,
+/// so worker_idx + 1 < kFlowIdStride and ids cannot collide across jobs.
+constexpr std::uint64_t kFlowIdStride = 1024;
+
 int env_thread_count() {
   if (const char* env = std::getenv("RTP_THREADS")) {
     char* end = nullptr;
@@ -41,6 +46,7 @@ struct ThreadPool::Impl {
 
   // One job at a time; generation counter tells workers a new one is posted.
   std::uint64_t job_id = 0;
+  std::uint64_t enqueue_ns = 0;  ///< when the current job was posted
   const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
   std::int64_t begin = 0, end = 0, grain = 1, n_chunks = 0;
   std::atomic<std::int64_t> next_chunk{0};
@@ -65,19 +71,39 @@ struct ThreadPool::Impl {
     }
   }
 
-  void worker_loop() {
+  void worker_loop([[maybe_unused]] int idx) {
+#if !defined(RTP_OBS_DISABLED)
+    obs::set_thread_name("pool.worker." + std::to_string(idx));
+#endif
     std::uint64_t seen = 0;
     for (;;) {
+      std::uint64_t posted_ns = 0;
       std::unique_lock<std::mutex> lock(mu);
       cv_work.wait(lock, [&] { return shutdown || job_id != seen; });
       if (shutdown) return;
       seen = job_id;
+      posted_ns = enqueue_ns;
       ++active_workers;
       lock.unlock();
 
-      tl_in_parallel = true;
-      drain();
-      tl_in_parallel = false;
+      {
+#if !defined(RTP_OBS_DISABLED)
+        // How long the job sat before this worker joined it. Fed even when
+        // tracing is off — it is the pool's p99 headline in RTP_REPORT.
+        RTP_HIST_NS("pool.queue_wait", obs::detail::now_ns() - posted_ns);
+        RTP_TRACE_SCOPE("pool.worker.job");
+        if (obs::trace_enabled()) {
+          // Flow finish: closes the arrow opened at enqueue for this worker.
+          obs::detail::record_flow(seen * kFlowIdStride + std::uint64_t(idx) + 1,
+                                   'f');
+        }
+#else
+        (void)posted_ns;
+#endif
+        tl_in_parallel = true;
+        drain();
+        tl_in_parallel = false;
+      }
 
       lock.lock();
       if (--active_workers == 0) cv_done.notify_all();
@@ -121,7 +147,7 @@ void ThreadPool::set_num_threads(int n) {
   // 1 keeps the process single-threaded.
   impl_->workers.reserve(static_cast<std::size_t>(n - 1));
   for (int i = 0; i < n - 1; ++i) {
-    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+    impl_->workers.emplace_back([impl = impl_, i] { impl->worker_loop(i); });
   }
 }
 
@@ -148,6 +174,7 @@ void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t 
   RTP_TRACE_SCOPE("pool.job");
 
   Impl& s = *impl_;
+  std::uint64_t posted_job = 0;
   {
     std::lock_guard<std::mutex> lock(s.mu);
     s.fn = &fn;
@@ -158,8 +185,24 @@ void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t 
     s.next_chunk.store(0, std::memory_order_relaxed);
     s.chunks_done.store(0, std::memory_order_relaxed);
     s.error = nullptr;
-    ++s.job_id;
+#if !defined(RTP_OBS_DISABLED)
+    s.enqueue_ns = obs::detail::now_ns();
+#endif
+    posted_job = ++s.job_id;
   }
+#if !defined(RTP_OBS_DISABLED)
+  if (obs::trace_enabled()) {
+    // Flow starts, one per worker, recorded inside the "pool.job" span so
+    // chrome://tracing anchors each arrow to this slice. A worker that never
+    // reaches the job (it drained before waking) leaves its start dangling —
+    // harmless; every 'f' always has a matching 's'.
+    for (std::size_t i = 0; i < s.workers.size(); ++i) {
+      obs::detail::record_flow(posted_job * kFlowIdStride + i + 1, 's');
+    }
+  }
+#else
+  (void)posted_job;
+#endif
   s.cv_work.notify_all();
 
   tl_in_parallel = true;

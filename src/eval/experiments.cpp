@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include <cstdint>
+
 #include "core/log.hpp"
+#include "obs/obs.hpp"
 #include "obs/sink.hpp"
 
 namespace rtp::eval {
@@ -206,8 +209,12 @@ std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
   TableThreeRow avg;
   avg.name = "avg.";
   // Per-name totals across all designs; the avg row's "ours" columns are
-  // derived from these span aggregates rather than re-summed by hand.
+  // derived from these span aggregates rather than re-summed by hand. The ns
+  // samples back the avg row's p99 columns (local vectors, not the global
+  // histogram registry, so repeated run_table3 calls don't contaminate each
+  // other) and also feed RTP_HIST_NS for the run report.
   obs::SpanAccumulator spans;
+  std::vector<std::uint64_t> pre_ns, infer_ns;
   for (const flow::DesignData& d : dataset.designs) {
     TableThreeRow row;
     row.name = d.name;
@@ -221,9 +228,13 @@ std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
     obs::TimedSpan pre_span("table3.pre", &spans);
     model::PreparedDesign prepared = model::prepare_design(d, config.model);
     row.pre_s = pre_span.stop();
+    pre_ns.push_back(static_cast<std::uint64_t>(row.pre_s * 1e9));
+    RTP_HIST_NS("table3.pre", pre_ns.back());
     obs::TimedSpan infer_span("table3.infer", &spans);
     (void)model.predict(prepared);
     row.infer_s = infer_span.stop();
+    infer_ns.push_back(static_cast<std::uint64_t>(row.infer_s * 1e9));
+    RTP_HIST_NS("table3.infer", infer_ns.back());
     row.ours_total_s = row.pre_s + row.infer_s;
     row.speedup = row.ours_total_s > 0.0 ? row.commercial_total_s / row.ours_total_s : 0.0;
 
@@ -236,6 +247,17 @@ std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
   const double n = static_cast<double>(dataset.designs.size());
   avg.pre_s = spans.total("table3.pre") / n;
   avg.infer_s = spans.total("table3.infer") / n;
+  avg.pre_p99_s =
+      static_cast<double>(
+          obs::snapshot_from_values("table3.pre", obs::HistKind::kTiming, pre_ns)
+              .quantile(0.99)) /
+      1e9;
+  avg.infer_p99_s =
+      static_cast<double>(obs::snapshot_from_values("table3.infer",
+                                                    obs::HistKind::kTiming,
+                                                    infer_ns)
+                              .quantile(0.99)) /
+      1e9;
   avg.ours_total_s = avg.pre_s + avg.infer_s;
   avg.speedup = avg.ours_total_s > 0.0 ? avg.commercial_total_s / avg.ours_total_s : 0.0;
   rows.push_back(avg);

@@ -77,6 +77,9 @@ struct TableThreeRow {
   std::string name;
   double opt_s = 0.0, route_s = 0.0, sta_s = 0.0, commercial_total_s = 0.0;
   double pre_s = 0.0, infer_s = 0.0, ours_total_s = 0.0;
+  /// Tail latency across the per-design samples; only the trailing "avg" row
+  /// carries these (a single-design row is one sample), elsewhere 0.
+  double pre_p99_s = 0.0, infer_p99_s = 0.0;
   double speedup = 0.0;
 };
 

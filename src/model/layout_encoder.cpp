@@ -55,6 +55,7 @@ LayoutEncoder::LayoutEncoder(const ModelConfig& config, Rng& rng)
 
 nn::Tensor LayoutEncoder::forward(const nn::Tensor& x) {
   RTP_TRACE_SCOPE("cnn.forward");
+  RTP_HIST_TIMER("cnn.forward");
   RTP_CHECK(x.ndim() == 3 && x.dim(0) == 3 && x.dim(1) == grid_ && x.dim(2) == grid_);
   nn::Tensor h = conv1_.forward(x);
   h = nn::ReLU::forward(h, &relu1_);

@@ -6,6 +6,7 @@
 
 #include "core/thread_pool.hpp"
 #include "nn/workspace.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::nn::kern {
 
@@ -275,6 +276,7 @@ void gemm(Op op_a, Op op_b, int m, int n, int k, const float* a, const float* b,
   // columns and k-depth; short or skinny products keep the seed kernels
   // (which stream B exactly once). Thresholds are shape-only, so dispatch is
   // deterministic across thread counts.
+  RTP_HIST_TIMER("nn.gemm");
   const std::int64_t macs = static_cast<std::int64_t>(m) * n * k;
   if (use_naive_kernels() || m < 2 * kMr || macs < (1 << 15)) {
     gemm_naive(op_a, op_b, m, n, k, a, b, c);

@@ -1,0 +1,94 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rtp::obs {
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; dotted obs names
+/// ("sta.inc.update") become underscored with an rtp_ prefix.
+std::string sanitize(const std::string& name) {
+  std::string out = "rtp_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_line(std::string& out, const std::string& name,
+                 const char* label_le, std::uint64_t le, std::uint64_t value) {
+  char buf[192];
+  if (label_le != nullptr) {
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(le),
+                  static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_text() {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : counters_snapshot(true)) {
+    const std::string n = sanitize(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    append_line(out, n, nullptr, 0, value);
+  }
+  for (const auto& [name, value] : gauges_snapshot()) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    append_line(out, n, nullptr, 0, value);
+  }
+  for (const HistogramSnapshot& h : histograms_for_export()) {
+    // kTiming histograms record wall-clock ns; carry the unit in the name.
+    const std::string n =
+        sanitize(h.name) + (h.kind == HistKind::kTiming ? "_ns" : "");
+    out += "# TYPE " + n + " histogram\n";
+    // Cumulative buckets, only where the count advances (the dense bucket
+    // array is ~1300 entries, nearly all zero). le is our inclusive
+    // bucket_hi, which matches Prometheus's `le` (<=) semantics.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cum += h.buckets[i];
+      if (i + 1 == h.buckets.size()) break;  // overflow bucket folds into +Inf
+      append_line(out, n, "le", Histogram::bucket_hi(static_cast<int>(i)), cum);
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    append_line(out, n + "_sum", nullptr, 0, h.sum);
+    append_line(out, n + "_count", nullptr, 0, h.count);
+  }
+  return out;
+}
+
+bool write_metrics_text(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = metrics_text();
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && written == text.size();
+}
+
+#if !defined(RTP_OBS_DISABLED)
+
+bool flush_metrics() {
+  const std::string& path = metrics_env_path();
+  return path.empty() ? false : write_metrics_text(path);
+}
+
+bool flush_metrics(const std::string& path) { return write_metrics_text(path); }
+
+#endif  // !RTP_OBS_DISABLED
+
+}  // namespace rtp::obs

@@ -1,0 +1,42 @@
+#pragma once
+// Prometheus text-format export of the obs registry: counters (`_total`),
+// gauges, and histograms (cumulative `_bucket{le=...}` series + `_sum` /
+// `_count`), one scrape-able file.
+//
+// RTP_METRICS=<file> writes it at process exit; flush_metrics() does so on
+// demand so long-running processes can expose current state mid-run. Names
+// are sanitized to the Prometheus charset with an `rtp_` prefix
+// ("sta.inc.update" -> "rtp_sta_inc_update"); kTiming histograms carry an
+// `_ns` unit suffix. Only buckets whose cumulative count increases are
+// emitted (plus the mandatory `+Inf` bucket), keeping files small.
+
+#include <string>
+
+namespace rtp::obs {
+
+/// RTP_METRICS environment value captured at first obs use (empty = unset).
+const std::string& metrics_env_path();
+
+/// The full metrics document (Prometheus text exposition format).
+std::string metrics_text();
+
+/// Writes metrics_text() to `path`; false on I/O failure.
+bool write_metrics_text(const std::string& path);
+
+#if defined(RTP_OBS_DISABLED)
+
+/// Compile-out parity: inert flush APIs (see obs.hpp).
+inline bool flush_metrics() { return false; }
+inline bool flush_metrics(const std::string&) { return false; }
+
+#else
+
+/// Writes the current metrics to the RTP_METRICS path (false when unset or
+/// on I/O failure). The at-exit write still happens.
+bool flush_metrics();
+/// Same, to an explicit path.
+bool flush_metrics(const std::string& path);
+
+#endif  // RTP_OBS_DISABLED
+
+}  // namespace rtp::obs

@@ -1,13 +1,16 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
 namespace rtp::obs {
@@ -24,9 +27,28 @@ struct SpanRec {
   std::int32_t depth;
 };
 
+struct FlowRec {
+  std::uint64_t id;
+  std::uint64_t t;
+  char phase;  ///< 's' (enqueue) or 'f' (execute)
+};
+
 struct ThreadBuffer {
   std::vector<SpanRec> spans;
+  std::vector<FlowRec> flows;
+  std::string name;  ///< chrome thread_name metadata; empty = unnamed
   int tid = 0;
+};
+
+/// One thread's private slice of one histogram. All fields are relaxed
+/// atomics so exporters may read mid-run without a data race; the owning
+/// thread is the only writer, so there is never cross-thread contention.
+struct HistShard {
+  std::atomic<std::uint64_t> buckets[kHistNumBuckets] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
 };
 
 /// All obs state. Leaked on purpose: pool workers and atexit handlers may
@@ -36,9 +58,12 @@ struct Registry {
   std::vector<ThreadBuffer*> buffers;  ///< owned (leaked with the registry)
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> hists;
+  std::vector<std::vector<HistShard*>> hist_shards;  ///< by histogram id; owned
   std::uint64_t epoch_ns = 0;
   std::string trace_path;
   std::string report_path;
+  std::string metrics_path;
 };
 
 void exit_handler();
@@ -49,10 +74,12 @@ Registry& registry() {
     reg->epoch_ns = detail::now_ns();
     if (const char* env = std::getenv("RTP_TRACE")) reg->trace_path = env;
     if (const char* env = std::getenv("RTP_REPORT")) reg->report_path = env;
+    if (const char* env = std::getenv("RTP_METRICS")) reg->metrics_path = env;
     if (!reg->trace_path.empty()) {
       detail::g_trace_enabled.store(true, std::memory_order_relaxed);
     }
-    if (!reg->trace_path.empty() || !reg->report_path.empty()) {
+    if (!reg->trace_path.empty() || !reg->report_path.empty() ||
+        !reg->metrics_path.empty()) {
       std::atexit(exit_handler);
     }
     return reg;
@@ -84,10 +111,51 @@ void exit_handler() {
                    r.report_path.c_str());
     }
   }
+  if (!r.metrics_path.empty()) {
+    if (write_metrics_text(r.metrics_path)) {
+      std::fprintf(stderr, "rtp::obs: wrote metrics to %s\n",
+                   r.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "rtp::obs: FAILED to write metrics to %s\n",
+                   r.metrics_path.c_str());
+    }
+  }
 }
 
 thread_local ThreadBuffer* tl_buffer = nullptr;
 thread_local int tl_depth = 0;
+
+/// Per-thread shard table, indexed by histogram id. Entries are created on a
+/// thread's first record() into that histogram and registered for merging.
+thread_local std::vector<HistShard*> tl_hist_shards;
+
+ThreadBuffer* ensure_buffer() {
+  ThreadBuffer* buf = tl_buffer;
+  if (buf == nullptr) {
+    buf = new ThreadBuffer;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buf->tid = static_cast<int>(r.buffers.size());
+    r.buffers.push_back(buf);
+    tl_buffer = buf;
+  }
+  return buf;
+}
+
+HistShard* ensure_shard(int id) {
+  if (static_cast<std::size_t>(id) >= tl_hist_shards.size()) {
+    tl_hist_shards.resize(static_cast<std::size_t>(id) + 1, nullptr);
+  }
+  HistShard* s = tl_hist_shards[static_cast<std::size_t>(id)];
+  if (s == nullptr) {
+    s = new HistShard;  // owned (leaked) via the registry's shard list
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.hist_shards[static_cast<std::size_t>(id)].push_back(s);
+    tl_hist_shards[static_cast<std::size_t>(id)] = s;
+  }
+  return s;
+}
 
 }  // namespace
 
@@ -102,16 +170,11 @@ std::uint64_t now_ns() {
 
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
                  int depth) {
-  ThreadBuffer* buf = tl_buffer;
-  if (buf == nullptr) {
-    buf = new ThreadBuffer;
-    Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
-    buf->tid = static_cast<int>(r.buffers.size());
-    r.buffers.push_back(buf);
-    tl_buffer = buf;
-  }
-  buf->spans.push_back({name, start_ns, end_ns, depth});
+  ensure_buffer()->spans.push_back({name, start_ns, end_ns, depth});
+}
+
+void record_flow(std::uint64_t id, char phase) {
+  ensure_buffer()->flows.push_back({id, now_ns(), phase});
 }
 
 int enter_span() { return tl_depth++; }
@@ -169,6 +232,171 @@ Gauge& gauge(const char* name) {
     it = r.gauges.emplace(name, std::make_unique<Gauge>()).first;
   }
   return *it->second;
+}
+
+// ---- Histograms -----------------------------------------------------------
+
+int Histogram::bucket_index(std::uint64_t value) {
+  if (value < static_cast<std::uint64_t>(kHistSubBuckets)) {
+    return static_cast<int>(value);
+  }
+  int b = std::bit_width(value) - 1;  // >= kHistSubBucketBits
+  if (b > kHistMaxExp) return kHistNumBuckets - 1;
+  const int shift = b - kHistSubBucketBits;
+  const auto sub = static_cast<int>(value >> shift) - kHistSubBuckets;  // 0..31
+  return kHistSubBuckets + shift * kHistSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_lo(int index) {
+  if (index < kHistSubBuckets) return static_cast<std::uint64_t>(index);
+  const int shift = (index - kHistSubBuckets) / kHistSubBuckets;
+  const int sub = (index - kHistSubBuckets) % kHistSubBuckets;
+  return static_cast<std::uint64_t>(kHistSubBuckets + sub) << shift;
+}
+
+std::uint64_t Histogram::bucket_hi(int index) {
+  if (index < kHistSubBuckets) return static_cast<std::uint64_t>(index);
+  if (index == kHistNumBuckets - 1) return ~std::uint64_t{0};  // overflow bucket
+  const int shift = (index - kHistSubBuckets) / kHistSubBuckets;
+  return bucket_lo(index) + (std::uint64_t{1} << shift) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  HistShard* s = ensure_shard(id_);
+  s->buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  s->count.fetch_add(1, std::memory_order_relaxed);
+  s->sum.fetch_add(value, std::memory_order_relaxed);
+  // Only this thread writes the shard, so plain load-compare-store is enough.
+  if (value < s->min.load(std::memory_order_relaxed)) {
+    s->min.store(value, std::memory_order_relaxed);
+  }
+  if (value > s->max.load(std::memory_order_relaxed)) {
+    s->max.store(value, std::memory_order_relaxed);
+  }
+}
+
+Histogram& histogram(const char* name, HistKind kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hists.find(name);
+  if (it == r.hists.end()) {
+    const int id = static_cast<int>(r.hist_shards.size());
+    it = r.hists
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, kind, id)))
+             .first;
+    r.hist_shards.emplace_back();
+  }
+  RTP_CHECK_MSG(it->second->kind() == kind,
+                "histogram re-registered with another kind");
+  return *it->second;
+}
+
+int HistogramSnapshot::quantile_bucket(double q) const {
+  if (count == 0) return -1;
+  q = std::min(1.0, std::max(0.0, q));
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= rank) return static_cast<int>(i);
+  }
+  return static_cast<int>(buckets.size()) - 1;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  const int b = quantile_bucket(q);
+  if (b < 0) return 0;
+  return std::min(Histogram::bucket_hi(b), max);
+}
+
+std::vector<HistogramSnapshot> histograms_snapshot(bool include_timing) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<HistogramSnapshot> out;
+  for (const auto& [name, h] : r.hists) {
+    if (!include_timing && h->kind() == HistKind::kTiming) continue;
+    HistogramSnapshot s;
+    s.name = name;
+    s.kind = h->kind();
+    s.buckets.assign(kHistNumBuckets, 0);
+    std::uint64_t merged_min = ~std::uint64_t{0};
+    for (const HistShard* shard : r.hist_shards[static_cast<std::size_t>(h->id())]) {
+      for (int i = 0; i < kHistNumBuckets; ++i) {
+        s.buckets[static_cast<std::size_t>(i)] +=
+            shard->buckets[i].load(std::memory_order_relaxed);
+      }
+      s.count += shard->count.load(std::memory_order_relaxed);
+      s.sum += shard->sum.load(std::memory_order_relaxed);
+      merged_min = std::min(merged_min, shard->min.load(std::memory_order_relaxed));
+      s.max = std::max(s.max, shard->max.load(std::memory_order_relaxed));
+    }
+    s.min = s.count == 0 ? 0 : merged_min;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void reset_histograms() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& shards : r.hist_shards) {
+    for (HistShard* s : shards) {
+      for (int i = 0; i < kHistNumBuckets; ++i) {
+        s->buckets[i].store(0, std::memory_order_relaxed);
+      }
+      s->count.store(0, std::memory_order_relaxed);
+      s->sum.store(0, std::memory_order_relaxed);
+      s->min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+      s->max.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+HistogramSnapshot snapshot_from_values(const std::string& name, HistKind kind,
+                                       const std::vector<std::uint64_t>& values) {
+  HistogramSnapshot s;
+  s.name = name;
+  s.kind = kind;
+  s.buckets.assign(kHistNumBuckets, 0);
+  std::uint64_t merged_min = ~std::uint64_t{0};
+  for (std::uint64_t v : values) {
+    ++s.buckets[static_cast<std::size_t>(Histogram::bucket_index(v))];
+    ++s.count;
+    s.sum += v;
+    merged_min = std::min(merged_min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.min = s.count == 0 ? 0 : merged_min;
+  return s;
+}
+
+std::vector<HistogramSnapshot> histograms_for_export() {
+  std::vector<HistogramSnapshot> out = histograms_snapshot(true);
+  // Span-derived duration histograms for span names without an explicit
+  // histogram (explicit ones already cover their span wall-clock — deriving
+  // a second one from the trace would double-report).
+  std::map<std::string, std::vector<std::uint64_t>> by_name;
+  for (const TraceEvent& e : trace_events()) {
+    by_name[e.name].push_back(e.end_ns - e.start_ns);
+  }
+  for (const auto& [name, durations] : by_name) {
+    bool have = false;
+    for (const HistogramSnapshot& s : out) {
+      if (s.name == name) {
+        have = true;
+        break;
+      }
+    }
+    if (!have) out.push_back(snapshot_from_values(name, HistKind::kTiming, durations));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 std::map<std::string, std::uint64_t> counters_snapshot(bool include_scheduling) {
@@ -229,17 +457,58 @@ std::size_t trace_event_count() {
 void clear_trace() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
-  for (ThreadBuffer* buf : r.buffers) buf->spans.clear();
+  for (ThreadBuffer* buf : r.buffers) {
+    buf->spans.clear();
+    buf->flows.clear();
+  }
+}
+
+std::vector<FlowEvent> flow_events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<FlowEvent> out;
+  for (const ThreadBuffer* buf : r.buffers) {
+    for (const FlowRec& f : buf->flows) {
+      out.push_back({f.id, f.t - r.epoch_ns, buf->tid, f.phase});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const FlowEvent& a, const FlowEvent& b) {
+    return a.t_ns != b.t_ns ? a.t_ns < b.t_ns : a.id < b.id;
+  });
+  return out;
+}
+
+void set_thread_name(std::string name) {
+  ThreadBuffer* buf = ensure_buffer();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  buf->name = std::move(name);
 }
 
 std::string trace_json() {
   const std::vector<TraceEvent> events = trace_events();
+  const std::vector<FlowEvent> flows = flow_events();
+  std::vector<std::pair<int, std::string>> thread_names;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const ThreadBuffer* buf : r.buffers) {
+      if (!buf->name.empty()) thread_names.emplace_back(buf->tid, buf->name);
+    }
+  }
   std::string out;
-  out.reserve(events.size() * 120 + 256);
+  out.reserve(events.size() * 120 + flows.size() * 100 + 256);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"rtp\"}}";
   char line[256];
+  for (const auto& [tid, name] : thread_names) {
+    std::snprintf(line, sizeof(line),
+                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  tid, detail::json_escape(name).c_str());
+    out += line;
+  }
   for (const TraceEvent& e : events) {
     std::snprintf(line, sizeof(line),
                   ",\n{\"name\":\"%s\",\"cat\":\"rtp\",\"ph\":\"X\",\"pid\":1,"
@@ -247,6 +516,17 @@ std::string trace_json() {
                   detail::json_escape(e.name).c_str(), e.tid,
                   static_cast<double>(e.start_ns) / 1e3,
                   static_cast<double>(e.end_ns - e.start_ns) / 1e3, e.depth);
+    out += line;
+  }
+  // Cross-thread causality arrows ("s" at enqueue, "f"+bp:"e" at execute).
+  // Each endpoint binds to the X slice enclosing its timestamp on that tid.
+  for (const FlowEvent& f : flows) {
+    std::snprintf(line, sizeof(line),
+                  ",\n{\"name\":\"pool.flow\",\"cat\":\"rtp.flow\",\"ph\":\"%c\","
+                  "%s\"id\":%llu,\"pid\":1,\"tid\":%d,\"ts\":%.3f}",
+                  f.phase, f.phase == 'f' ? "\"bp\":\"e\"," : "",
+                  static_cast<unsigned long long>(f.id), f.tid,
+                  static_cast<double>(f.t_ns) / 1e3);
     out += line;
   }
   out += "\n]}\n";
@@ -261,5 +541,18 @@ bool write_trace_json(const std::string& path) {
   const bool ok = std::fclose(f) == 0 && written == json.size();
   return ok;
 }
+
+#if !defined(RTP_OBS_DISABLED)
+
+bool flush_trace() {
+  const std::string& path = trace_env_path();
+  return path.empty() ? false : write_trace_json(path);
+}
+
+bool flush_trace(const std::string& path) { return write_trace_json(path); }
+
+#endif  // !RTP_OBS_DISABLED
+
+const std::string& metrics_env_path() { return registry().metrics_path; }
 
 }  // namespace rtp::obs

@@ -1,6 +1,6 @@
 #pragma once
 // rtp::obs — low-overhead observability: scoped trace spans, named counters
-// and gauges, and a chrome://tracing JSON exporter.
+// and gauges, log-bucketed histograms, and a chrome://tracing JSON exporter.
 //
 // Spans: RTP_TRACE_SCOPE("sta.arrival") records a begin/end pair into a
 // per-thread buffer. Recording is gated twice — compile-time (the macros
@@ -23,11 +23,27 @@
 // CounterKind::kScheduling and excluded from counters_snapshot(false), which
 // is what the determinism test compares. See DESIGN.md §8.
 //
+// Histograms: named log-bucketed value/latency distributions (RTP_HIST /
+// RTP_HIST_NS / RTP_HIST_TIMER). Recording is lock-free after the first
+// touch: each thread owns a private shard of relaxed-atomic bucket counts,
+// and snapshots merge shards with commutative u64 adds — so a merged
+// histogram of a deterministic value stream is bit-identical across
+// RTP_THREADS, exactly like counters. Latency histograms (HistKind::kTiming)
+// measure wall clock and are excluded from that contract.
+//
 // Export: trace_json() / write_trace_json() emit chrome://tracing "X"
-// (complete) events; obs/report.hpp serializes counters + span aggregates +
-// provenance as the run report. Exporters must not run concurrently with
-// span-recording threads (quiesce the pool first); all other entry points
-// are thread-safe.
+// (complete) events plus "s"/"f" flow events (core::ThreadPool links job
+// enqueue to cross-thread execution) and thread-name metadata;
+// obs/report.hpp serializes counters + histogram quantiles + span aggregates
+// + provenance as the run report, and obs/metrics.hpp emits the same state
+// as a Prometheus text file (RTP_METRICS=<file>). Long-running processes
+// export mid-run via flush_trace() / snapshot_report() / flush_metrics():
+// every flush emits a complete, valid document of everything recorded so
+// far. Counter/histogram state is atomic and safe to snapshot at any time;
+// span buffers are appended without locking, so trace flushes must not race
+// active span-recording threads (flush between parallel regions — an idle
+// pool records nothing). Files named by RTP_TRACE / RTP_REPORT /
+// RTP_METRICS are (re)written at process exit.
 
 #include <atomic>
 #include <cstdint>
@@ -144,6 +160,110 @@ class Gauge {
 Counter& counter(const char* name, CounterKind kind = CounterKind::kDeterministic);
 Gauge& gauge(const char* name);
 
+/// What a histogram's values measure, mirroring CounterKind: value
+/// histograms of deterministic streams merge bit-identically across
+/// RTP_THREADS; latency histograms measure wall clock and are excluded from
+/// histograms_snapshot(false) and the determinism tests.
+enum class HistKind {
+  kDeterministic,  ///< multiset of recorded values independent of RTP_THREADS
+  kTiming,         ///< wall-clock durations (ns) — scheduling-dependent
+};
+
+// HDR-style log-linear bucket scheme: values below kHistSubBuckets are exact
+// (one bucket per value); above, each power-of-two octave splits into
+// kHistSubBuckets sub-buckets, so the relative bucket width is at most
+// 1/kHistSubBuckets (3.125%). Values at or above 2^(kHistMaxExp+1) clamp
+// into the last bucket; at ns resolution that is ~9 hours, far beyond any
+// span this repo records.
+inline constexpr int kHistSubBucketBits = 5;
+inline constexpr int kHistSubBuckets = 1 << kHistSubBucketBits;  // 32
+inline constexpr int kHistMaxExp = 44;
+inline constexpr int kHistNumBuckets =
+    kHistSubBuckets + (kHistMaxExp - kHistSubBucketBits + 1) * kHistSubBuckets;
+
+/// Named log-bucketed distribution. record() is lock-free after a thread's
+/// first touch: one relaxed increment into the calling thread's private
+/// shard (plus relaxed sum/min/max updates). Obtain instances from
+/// histogram(); prefer the RTP_HIST* macros, which compile out under
+/// -DRTP_OBS=OFF and cache the registry lookup.
+class Histogram {
+ public:
+  void record(std::uint64_t value);
+  const std::string& name() const { return name_; }
+  HistKind kind() const { return kind_; }
+  /// Registry-internal shard-table slot; not meaningful to callers.
+  int id() const { return id_; }
+
+  /// Bucket index for a value (0 <= index < kHistNumBuckets).
+  static int bucket_index(std::uint64_t value);
+  /// Inclusive value range [bucket_lo, bucket_hi] covered by a bucket. The
+  /// last (overflow) bucket reports bucket_hi = UINT64_MAX.
+  static std::uint64_t bucket_lo(int index);
+  static std::uint64_t bucket_hi(int index);
+
+ private:
+  friend Histogram& histogram(const char* name, HistKind kind);
+  Histogram(std::string name, HistKind kind, int id)
+      : name_(std::move(name)), kind_(kind), id_(id) {}
+
+  std::string name_;
+  HistKind kind_;
+  int id_;  ///< index into each thread's shard table
+};
+
+/// Registry lookup, creating on first use; same contract as counter().
+Histogram& histogram(const char* name, HistKind kind = HistKind::kDeterministic);
+
+/// Merged (cross-thread) view of one histogram. count/sum/min/max are exact;
+/// quantiles are bucket-resolved: quantile(q) returns the inclusive upper
+/// bound of the bucket holding the nearest-rank(q) value — within 3.125% of
+/// the exact order statistic (and clamped to the exact max) — computed by a
+/// cumulative walk, so it depends only on the merged bucket counts.
+struct HistogramSnapshot {
+  std::string name;
+  HistKind kind = HistKind::kDeterministic;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  ///< dense, size kHistNumBuckets
+
+  /// Index of the bucket holding the nearest-rank q in [0, 1] value
+  /// (rank = max(1, ceil(q * count))); -1 when empty.
+  int quantile_bucket(double q) const;
+  /// min(bucket_hi(quantile_bucket(q)), max); 0 when empty.
+  std::uint64_t quantile(double q) const;
+};
+
+/// Merged snapshots of all registered histograms, sorted by name.
+/// include_timing=false restricts to HistKind::kDeterministic (what the
+/// 1-vs-N bit-identity test compares).
+std::vector<HistogramSnapshot> histograms_snapshot(bool include_timing = true);
+/// Zeroes every registered histogram's shards (tests).
+void reset_histograms();
+/// Builds a merged-form snapshot from a plain value list (used for the
+/// export-time span-duration histograms and by tests as an oracle helper).
+HistogramSnapshot snapshot_from_values(const std::string& name, HistKind kind,
+                                       const std::vector<std::uint64_t>& values);
+/// Snapshots for export: every registered histogram plus, when tracing
+/// recorded spans, a per-span-name duration histogram (ns) for each span
+/// name that has no explicitly registered histogram.
+std::vector<HistogramSnapshot> histograms_for_export();
+
+/// RAII wall-clock timer feeding a kTiming histogram in ns. Always measures
+/// (two steady-clock reads); use via RTP_HIST_TIMER, which compiles out.
+class HistTimer {
+ public:
+  explicit HistTimer(Histogram& hist) : hist_(hist), start_ns_(detail::now_ns()) {}
+  ~HistTimer() { hist_.record(detail::now_ns() - start_ns_); }
+  HistTimer(const HistTimer&) = delete;
+  HistTimer& operator=(const HistTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::uint64_t start_ns_;
+};
+
 /// Counter totals by name; include_scheduling=false restricts to the
 /// deterministic subset (what the 1-vs-N bit-identity test compares).
 std::map<std::string, std::uint64_t> counters_snapshot(bool include_scheduling = true);
@@ -167,9 +287,55 @@ std::vector<TraceEvent> trace_events();
 std::size_t trace_event_count();
 void clear_trace();
 
-/// chrome://tracing JSON ("X" complete events, µs timestamps).
+/// One endpoint of a cross-thread causality arrow: phase 's' (flow start,
+/// recorded where work is enqueued) or 'f' (flow finish, recorded where it
+/// executes). Events sharing an id form one arrow; core::ThreadPool emits a
+/// pair per (job, worker) so chrome://tracing draws enqueue→execute arrows.
+struct FlowEvent {
+  std::uint64_t id = 0;
+  std::uint64_t t_ns = 0;  ///< relative to obs initialization, like spans
+  int tid = 0;
+  char phase = 's';
+};
+
+/// Snapshot of recorded flow events (same quiesce caveat as trace_events).
+std::vector<FlowEvent> flow_events();
+
+/// Names the calling thread in trace exports (chrome thread_name metadata).
+/// Pool workers self-register as "pool.worker.<i>".
+void set_thread_name(std::string name);
+
+namespace detail {
+/// Appends a flow endpoint to the calling thread's buffer. Callers check
+/// trace_enabled() first (flow events only matter inside a trace).
+void record_flow(std::uint64_t id, char phase);
+}  // namespace detail
+
+/// chrome://tracing JSON ("X" complete events + "s"/"f" flow events +
+/// thread-name metadata, µs timestamps). Always a complete valid document —
+/// safe to emit mid-run.
 std::string trace_json();
 bool write_trace_json(const std::string& path);
+
+#if defined(RTP_OBS_DISABLED)
+
+/// Compile-out parity: with observability disabled the flush APIs are inert
+/// (no file I/O, always false); see obs/metrics.hpp and obs/report.hpp for
+/// the matching flush_metrics / flush_report / snapshot_report no-ops.
+inline bool flush_trace() { return false; }
+inline bool flush_trace(const std::string&) { return false; }
+
+#else
+
+/// Writes the current trace buffer to the RTP_TRACE path (false when unset
+/// or on I/O failure). Each flush rewrites the whole file as a complete
+/// chrome://tracing document, so a long-running process can export
+/// partial traces without exiting; the at-exit write still happens.
+bool flush_trace();
+/// Same, to an explicit path.
+bool flush_trace(const std::string& path);
+
+#endif  // RTP_OBS_DISABLED
 
 }  // namespace rtp::obs
 
@@ -188,6 +354,13 @@ bool write_trace_json(const std::string& path);
 #define RTP_GAUGE_MAX(name, value) \
   do {                             \
   } while (0)
+#define RTP_HIST(name, value) \
+  do {                        \
+  } while (0)
+#define RTP_HIST_NS(name, value) \
+  do {                           \
+  } while (0)
+#define RTP_HIST_TIMER(name)
 
 #else
 
@@ -217,5 +390,31 @@ bool write_trace_json(const std::string& path);
     static ::rtp::obs::Gauge& rtp_obs_gauge_ = ::rtp::obs::gauge(name); \
     rtp_obs_gauge_.update_max(static_cast<std::uint64_t>(value));      \
   } while (0)
+
+/// Deterministic value histogram (see HistKind).
+#define RTP_HIST(name, value)                                              \
+  do {                                                                     \
+    static ::rtp::obs::Histogram& rtp_obs_hist_ = ::rtp::obs::histogram(name); \
+    rtp_obs_hist_.record(static_cast<std::uint64_t>(value));               \
+  } while (0)
+
+/// Latency histogram fed with an externally measured duration in ns.
+#define RTP_HIST_NS(name, value)                                           \
+  do {                                                                     \
+    static ::rtp::obs::Histogram& rtp_obs_hist_ =                          \
+        ::rtp::obs::histogram(name, ::rtp::obs::HistKind::kTiming);        \
+    rtp_obs_hist_.record(static_cast<std::uint64_t>(value));               \
+  } while (0)
+
+/// Scoped latency histogram: records the enclosing scope's wall-clock ns
+/// into a kTiming histogram. Unlike RTP_TRACE_SCOPE this is always on (two
+/// steady-clock reads) — it feeds the p50/p90/p99 columns of RTP_REPORT and
+/// RTP_METRICS even when tracing is off, so only coarse hot paths (an STA
+/// update, a GEMM call, a CNN forward) wear one.
+#define RTP_HIST_TIMER(name)                                               \
+  static ::rtp::obs::Histogram& RTP_OBS_CONCAT(rtp_obs_hist_ref_, __LINE__) = \
+      ::rtp::obs::histogram(name, ::rtp::obs::HistKind::kTiming);          \
+  ::rtp::obs::HistTimer RTP_OBS_CONCAT(rtp_obs_hist_timer_, __LINE__)(     \
+      RTP_OBS_CONCAT(rtp_obs_hist_ref_, __LINE__))
 
 #endif  // RTP_OBS_DISABLED

@@ -59,7 +59,7 @@ std::string run_report_json() {
   {
     bool first = true;
     for (const char* var : {"RTP_THREADS", "RTP_TRACE", "RTP_REPORT",
-                            "RTP_NAIVE_KERNELS"}) {
+                            "RTP_METRICS", "RTP_NAIVE_KERNELS", "RTP_FULL_STA"}) {
       append_kv(out, var, env_or_empty(var), first);
     }
   }
@@ -74,7 +74,7 @@ std::string run_report_json() {
   }
   out += "\n  },\n";
 
-  char line[256];
+  char line[512];
   out += "  \"counters\": {\n";
   {
     bool first = true;
@@ -120,6 +120,36 @@ std::string run_report_json() {
   }
   out += "\n  },\n";
 
+  // Distribution metrics: explicit histograms plus span-derived duration
+  // histograms (see histograms_for_export). Quantiles are bucket-resolved
+  // nearest-rank (within 3.125%, clamped to the exact max); "ns" kinds are
+  // wall-clock latency.
+  out += "  \"histograms\": {\n";
+  {
+    bool first = true;
+    for (const HistogramSnapshot& h : histograms_for_export()) {
+      if (h.count == 0) continue;
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(
+          line, sizeof(line),
+          "    \"%s\": {\"kind\": \"%s\", \"count\": %llu, \"sum\": %llu, "
+          "\"min\": %llu, \"max\": %llu, \"p50\": %llu, \"p90\": %llu, "
+          "\"p99\": %llu}",
+          detail::json_escape(h.name).c_str(),
+          h.kind == HistKind::kTiming ? "timing_ns" : "value",
+          static_cast<unsigned long long>(h.count),
+          static_cast<unsigned long long>(h.sum),
+          static_cast<unsigned long long>(h.min),
+          static_cast<unsigned long long>(h.max),
+          static_cast<unsigned long long>(h.quantile(0.50)),
+          static_cast<unsigned long long>(h.quantile(0.90)),
+          static_cast<unsigned long long>(h.quantile(0.99)));
+      out += line;
+    }
+  }
+  out += "\n  },\n";
+
   // Per-name span aggregates (empty unless tracing was on).
   out += "  \"spans\": {\n";
   {
@@ -148,6 +178,8 @@ std::string run_report_json() {
   return out;
 }
 
+std::string snapshot_report() { return run_report_json(); }
+
 bool write_run_report(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -155,5 +187,16 @@ bool write_run_report(const std::string& path) {
   const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
   return std::fclose(f) == 0 && written == json.size();
 }
+
+#if !defined(RTP_OBS_DISABLED)
+
+bool flush_report() {
+  const std::string& path = report_env_path();
+  return path.empty() ? false : write_run_report(path);
+}
+
+bool flush_report(const std::string& path) { return write_run_report(path); }
+
+#endif  // !RTP_OBS_DISABLED
 
 }  // namespace rtp::obs

@@ -4,9 +4,11 @@
 // aggregates), and caller-supplied notes (seeds, config summaries).
 //
 // RTP_REPORT=report.json writes it automatically at process exit;
-// write_run_report() does so on demand. Counter totals in the report are
-// deterministic across RTP_THREADS (see obs.hpp); span aggregates and
-// gauges are wall-clock/scheduling facts and are not.
+// snapshot_report() / flush_report() do so on demand (a report is a complete
+// snapshot of everything recorded so far, so mid-run exports are valid
+// documents). Counter totals and deterministic-histogram buckets in the
+// report are reproducible across RTP_THREADS (see obs.hpp); span aggregates,
+// gauges, and latency histograms are wall-clock/scheduling facts and are not.
 
 #include <string>
 
@@ -18,8 +20,27 @@ void report_note(const std::string& key, const std::string& value);
 
 /// The full report as a JSON string.
 std::string run_report_json();
+/// Alias of run_report_json() under the flush-API naming: the report of
+/// everything recorded so far, for long-running processes.
+std::string snapshot_report();
 
 /// Writes run_report_json() to `path`; false on I/O failure.
 bool write_run_report(const std::string& path);
+
+#if defined(RTP_OBS_DISABLED)
+
+/// Compile-out parity: inert flush APIs (see obs.hpp).
+inline bool flush_report() { return false; }
+inline bool flush_report(const std::string&) { return false; }
+
+#else
+
+/// Writes the current report to the RTP_REPORT path (false when unset or on
+/// I/O failure). The at-exit write still happens.
+bool flush_report();
+/// Same, to an explicit path.
+bool flush_report(const std::string& path);
+
+#endif  // RTP_OBS_DISABLED
 
 }  // namespace rtp::obs

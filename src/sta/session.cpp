@@ -253,6 +253,7 @@ void TimingSession::run_full() { detail::full_sweep(graph_, *model_, config_, re
 
 const StaResult& TimingSession::update() {
   RTP_TRACE_SCOPE("sta.inc.update");
+  RTP_HIST_TIMER("sta.inc.update");
   RTP_COUNT("sta.inc.updates", 1);
 
   std::vector<nl::PinId> structural_pins;

@@ -1,10 +1,15 @@
-// Unit tests for the core utilities: deterministic RNG and timers.
+// Unit tests for the core utilities: deterministic RNG, timers, and the
+// minimal JSON reader.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
 
+#include "core/json.hpp"
 #include "core/rng.hpp"
 #include "core/timer.hpp"
 
@@ -109,6 +114,94 @@ TEST(Rng, ForkProducesIndependentStream) {
   Rng a(23);
   Rng child = a.fork();
   EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  std::string error;
+  const auto doc = core::json::parse(
+      R"({"b": true, "n": null, "x": -1.5e2, "s": "hi", )"
+      R"("arr": [1, 2, 3], "obj": {"k": "v"}})",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_TRUE(doc->bool_or("b", false));
+  ASSERT_NE(doc->find("n"), nullptr);
+  EXPECT_TRUE(doc->find("n")->is_null());
+  EXPECT_DOUBLE_EQ(doc->number_or("x", 0.0), -150.0);
+  EXPECT_EQ(doc->string_or("s", ""), "hi");
+  const core::json::Value* arr = doc->find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->items()[2].as_number(), 3.0);
+  const core::json::Value* obj = doc->find("obj");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->string_or("k", ""), "v");
+  // Fallbacks for absent keys, and find() on a non-object.
+  EXPECT_DOUBLE_EQ(doc->number_or("nope", 7.5), 7.5);
+  EXPECT_EQ(arr->find("k"), nullptr);
+}
+
+TEST(Json, DecodesStringEscapes) {
+  std::string error;
+  const auto doc = core::json::parse(
+      R"(["a\"b\\c\/d\n\t", "\u0041\u00e9", "\ud83d\ude00"])", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->items().size(), 3u);
+  EXPECT_EQ(doc->items()[0].as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(doc->items()[1].as_string(), "A\xc3\xa9");           // BMP escape
+  EXPECT_EQ(doc->items()[2].as_string(), "\xf0\x9f\x98\x80");    // surrogate pair
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                  // empty
+      "{",                 // unterminated object
+      "[1, 2",             // unterminated array
+      "\"abc",             // unterminated string
+      "tru",               // bad literal
+      "01",                // leading zero
+      "1. ",               // digits required after the point
+      "{\"a\" 1}",         // missing colon
+      "[1,]",              // trailing comma
+      "{} extra",          // trailing junk
+      "\"\\ud83d\"",       // lone surrogate
+      "\"\\q\"",           // unknown escape
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(core::json::parse(text, &error).has_value())
+        << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  std::string error;
+  EXPECT_FALSE(core::json::parse(deep, &error).has_value());
+  // A modestly nested document is fine.
+  EXPECT_TRUE(core::json::parse("[[[[[[[[[[1]]]]]]]]]]").has_value());
+}
+
+TEST(Json, ParseFileRoundTripsAndReportsMissing) {
+  const std::string path = ::testing::TempDir() + "core_test_json.json";
+  {
+    std::ofstream out(path);
+    out << R"({"schema": "rtp-bench-v2", "metrics": {"m": {"value": 2.5}}})";
+  }
+  std::string error;
+  const auto doc = core::json::parse_file(path, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const core::json::Value* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->find("m")->number_or("value", 0.0), 2.5);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(core::json::parse_file(path + ".does-not-exist", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(WallTimer, MeasuresNonNegativeMonotonic) {

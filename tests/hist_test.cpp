@@ -1,0 +1,470 @@
+// Tests for obs::Histogram: the log-linear bucket scheme, quantiles against
+// a sorted-reference oracle on awkward distributions, the cross-thread
+// deterministic-merge contract, the pool queue-wait instrumentation, and the
+// Prometheus text export (validated by a small in-test parser, no external
+// deps).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::obs {
+namespace {
+
+struct HistGuard {
+  ~HistGuard() {
+    reset_histograms();
+    set_trace_enabled(false);
+    clear_trace();
+    core::ThreadPool::instance().set_num_threads(0);
+  }
+};
+
+TEST(HistBuckets, IndexAndBoundsRoundTrip) {
+  const std::vector<std::uint64_t> probes = {
+      0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1000, 4095, 4096, 1u << 20,
+      (1u << 20) + 1, 123456789, std::uint64_t{1} << 40,
+      (std::uint64_t{1} << 44) - 1, std::uint64_t{1} << 44,
+      (std::uint64_t{1} << 45) - 1};
+  for (std::uint64_t v : probes) {
+    const int idx = Histogram::bucket_index(v);
+    ASSERT_GE(idx, 0) << v;
+    ASSERT_LT(idx, kHistNumBuckets) << v;
+    EXPECT_LE(Histogram::bucket_lo(idx), v) << v;
+    EXPECT_GE(Histogram::bucket_hi(idx), v) << v;
+    // Relative bucket width is at most 1/kHistSubBuckets above the exact range.
+    if (v >= static_cast<std::uint64_t>(kHistSubBuckets) &&
+        idx < kHistNumBuckets - 1) {
+      EXPECT_LE(static_cast<double>(Histogram::bucket_hi(idx)),
+                static_cast<double>(Histogram::bucket_lo(idx)) *
+                    (1.0 + 1.0 / kHistSubBuckets))
+          << v;
+    }
+  }
+  // Below kHistSubBuckets every value is exact: its own one-value bucket.
+  for (std::uint64_t v = 0; v < static_cast<std::uint64_t>(kHistSubBuckets); ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_lo(static_cast<int>(v)), v);
+    EXPECT_EQ(Histogram::bucket_hi(static_cast<int>(v)), v);
+  }
+  // Buckets tile the axis: each bucket starts right after its predecessor.
+  for (int i = 1; i < kHistNumBuckets; ++i) {
+    ASSERT_EQ(Histogram::bucket_lo(i), Histogram::bucket_hi(i - 1) + 1) << i;
+  }
+}
+
+TEST(HistBuckets, OverflowClampsToLastBucket) {
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), kHistNumBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 45), kHistNumBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_hi(kHistNumBuckets - 1), ~std::uint64_t{0});
+}
+
+/// Nearest-rank quantile on the raw sorted values — the oracle the bucketed
+/// quantile is held to.
+std::uint64_t oracle_quantile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(values.size()))));
+  return values[static_cast<std::size_t>(rank - 1)];
+}
+
+void expect_quantiles_near_oracle(const std::vector<std::uint64_t>& values,
+                                  const std::string& label) {
+  const HistogramSnapshot snap =
+      snapshot_from_values(label, HistKind::kDeterministic, values);
+  ASSERT_EQ(snap.count, values.size()) << label;
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t oracle = oracle_quantile(values, q);
+    const std::uint64_t got = snap.quantile(q);
+    // The bucketed quantile lands in the same bucket as the oracle's order
+    // statistic: never below it, never more than one bucket width above.
+    EXPECT_GE(got, oracle) << label << " q=" << q;
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(oracle) * (1.0 + 1.0 / kHistSubBuckets) + 1.0)
+        << label << " q=" << q;
+  }
+  EXPECT_EQ(snap.quantile(1.0), snap.max) << label;
+  EXPECT_EQ(snap.min, *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(snap.max, *std::max_element(values.begin(), values.end()));
+}
+
+TEST(HistQuantiles, MatchSortedOracleOnAwkwardDistributions) {
+  // Constant: every quantile is the constant.
+  expect_quantiles_near_oracle(std::vector<std::uint64_t>(1000, 777), "const");
+  // Single element.
+  expect_quantiles_near_oracle({42}, "single");
+  // Two-point bimodal with a huge gap — p50 must not interpolate into it.
+  {
+    std::vector<std::uint64_t> v(500, 3);
+    v.insert(v.end(), 500, 1000000000ull);
+    expect_quantiles_near_oracle(v, "bimodal");
+    const auto snap = snapshot_from_values("bimodal", HistKind::kDeterministic, v);
+    EXPECT_EQ(snap.quantile(0.5), 3u);  // exact region: no bucket error at all
+  }
+  // Heavy tail: mostly small with rare huge outliers.
+  {
+    std::vector<std::uint64_t> v;
+    for (int i = 0; i < 990; ++i) v.push_back(static_cast<std::uint64_t>(10 + i % 7));
+    for (int i = 0; i < 10; ++i) v.push_back(123456789ull * (i + 1));
+    expect_quantiles_near_oracle(v, "heavy_tail");
+  }
+  // Exact region only (0..31): bucketed quantiles equal the oracle exactly.
+  {
+    std::vector<std::uint64_t> v;
+    for (int i = 0; i < 2000; ++i) v.push_back(static_cast<std::uint64_t>((i * 7) % 32));
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+      EXPECT_EQ(snapshot_from_values("exact", HistKind::kDeterministic, v).quantile(q),
+                oracle_quantile(v, q));
+    }
+  }
+  // Geometric spread across many octaves.
+  {
+    std::vector<std::uint64_t> v;
+    std::uint64_t x = 1;
+    for (int i = 0; i < 50; ++i) {
+      v.insert(v.end(), 20, x);
+      x = x * 3 / 2 + 1;
+    }
+    expect_quantiles_near_oracle(v, "geometric");
+  }
+}
+
+TEST(HistQuantiles, EmptyHistogramIsZero) {
+  const HistogramSnapshot snap =
+      snapshot_from_values("empty", HistKind::kDeterministic, {});
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile(0.5), 0u);
+  EXPECT_EQ(snap.quantile_bucket(0.5), -1);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(Histograms, RecordMatchesSnapshotFromValues) {
+  HistGuard guard;
+  reset_histograms();
+  Histogram& h = histogram("hist_test.record");
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::uint64_t>(i * i * 13 % 100000);
+    values.push_back(v);
+    h.record(v);
+  }
+  const auto snaps = histograms_snapshot(false);
+  const auto it = std::find_if(snaps.begin(), snaps.end(), [](const auto& s) {
+    return s.name == "hist_test.record";
+  });
+  ASSERT_NE(it, snaps.end());
+  const HistogramSnapshot oracle =
+      snapshot_from_values("hist_test.record", HistKind::kDeterministic, values);
+  EXPECT_EQ(it->count, oracle.count);
+  EXPECT_EQ(it->sum, oracle.sum);
+  EXPECT_EQ(it->min, oracle.min);
+  EXPECT_EQ(it->max, oracle.max);
+  EXPECT_EQ(it->buckets, oracle.buckets);
+}
+
+TEST(Histograms, TimingKindExcludedFromDeterministicSnapshot) {
+  HistGuard guard;
+  reset_histograms();
+  histogram("hist_test.timing", HistKind::kTiming).record(100);
+  histogram("hist_test.value").record(100);
+  bool has_timing = false, has_value = false;
+  for (const auto& s : histograms_snapshot(false)) {
+    if (s.name == "hist_test.timing") has_timing = true;
+    if (s.name == "hist_test.value") has_value = true;
+  }
+  EXPECT_FALSE(has_timing);
+  EXPECT_TRUE(has_value);
+  has_timing = false;
+  for (const auto& s : histograms_snapshot(true)) {
+    if (s.name == "hist_test.timing" && s.count == 1) has_timing = true;
+  }
+  EXPECT_TRUE(has_timing);
+}
+
+// The merge-determinism and instrumentation-site tests need the RTP_HIST
+// macros and pool histograms, which only exist when obs is compiled in.
+#if !defined(RTP_OBS_DISABLED)
+
+/// Records a thread-count-independent multiset of values from inside pool
+/// chunks and returns the merged snapshot of the test's histogram.
+HistogramSnapshot run_hist_workload() {
+  reset_histograms();
+  constexpr std::int64_t kN = 4000;
+  core::parallel_for(0, kN, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      RTP_HIST("hist_test.merge", (i * 2654435761ll) % 1000000);
+    }
+  });
+  for (const auto& s : histograms_snapshot(false)) {
+    if (s.name == "hist_test.merge") return s;
+  }
+  return {};
+}
+
+TEST(Histograms, MergedBitIdenticalAcrossThreadCounts) {
+  HistGuard guard;
+  core::ThreadPool::instance().set_num_threads(1);
+  const HistogramSnapshot serial = run_hist_workload();
+  core::ThreadPool::instance().set_num_threads(4);
+  const HistogramSnapshot parallel = run_hist_workload();
+
+  ASSERT_EQ(serial.count, 4000u);
+  EXPECT_EQ(serial.count, parallel.count);
+  EXPECT_EQ(serial.sum, parallel.sum);
+  EXPECT_EQ(serial.min, parallel.min);
+  EXPECT_EQ(serial.max, parallel.max);
+  // The whole dense bucket vector must match bit for bit — merge order and
+  // shard layout cannot leak into the merged histogram.
+  EXPECT_EQ(serial.buckets, parallel.buckets);
+}
+
+TEST(Histograms, HistTimerFeedsTimingHistogram) {
+  HistGuard guard;
+  reset_histograms();
+  {
+    RTP_HIST_TIMER("hist_test.timer");
+    volatile int spin = 0;
+    for (int i = 0; i < 1000; ++i) spin = spin + 1;
+  }
+  for (const auto& s : histograms_snapshot(true)) {
+    if (s.name == "hist_test.timer") {
+      EXPECT_EQ(s.kind, HistKind::kTiming);
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_GT(s.max, 0u);
+      return;
+    }
+  }
+  FAIL() << "hist_test.timer not found";
+}
+
+TEST(Histograms, PoolQueueWaitPopulatedByParallelJobs) {
+  HistGuard guard;
+  core::ThreadPool::instance().set_num_threads(4);
+  reset_histograms();
+  // run_chunked returns once all chunks ran; a worker that slept through a
+  // fast job records its queue wait only when it later wakes. Keep posting
+  // jobs until at least one worker has joined one and fed the histogram.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    core::parallel_for(0, 256, 1, [&](std::int64_t lo, std::int64_t hi) {
+      volatile std::int64_t spin = 0;
+      for (std::int64_t i = lo; i < hi + 2000; ++i) spin = spin + i;
+    });
+    for (const auto& s : histograms_snapshot(true)) {
+      if (s.name == "pool.queue_wait" && s.count > 0) {
+        EXPECT_EQ(s.kind, HistKind::kTiming);
+        return;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "pool.queue_wait never populated";
+}
+
+#endif  // !RTP_OBS_DISABLED
+
+// ---- Prometheus text export ----------------------------------------------
+
+/// Tiny line-based checker for the Prometheus text exposition format:
+/// every sample line is `name ["{" le-label "}"] SP value`, names are
+/// [a-zA-Z_][a-zA-Z0-9_]*, every sample follows a # TYPE for its family,
+/// histogram bucket counts are cumulative and end in a +Inf bucket equal to
+/// the family's _count sample.
+struct PromChecker {
+  std::map<std::string, std::string> type_of;  ///< family -> counter/gauge/histogram
+  struct Family {
+    std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative)
+    bool has_inf = false;
+    double inf_count = 0.0, count = 0.0, sum = -1.0;
+    bool has_count = false;
+  };
+  std::map<std::string, Family> hists;
+  int samples = 0;
+  std::vector<std::string> errors;
+
+  static bool valid_name(const std::string& s) {
+    if (s.empty() || (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')) {
+      return false;
+    }
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+    }
+    return true;
+  }
+
+  /// Family name for a sample: strips the histogram series suffixes.
+  static std::string family(const std::string& name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count", "_total"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+    }
+    return name;
+  }
+
+  void check_line(const std::string& line) {
+    if (line.empty()) return;
+    if (line[0] == '#') {
+      std::istringstream in(line);
+      std::string hash, kw, name, type;
+      in >> hash >> kw >> name >> type;
+      if (kw != "TYPE" || !valid_name(name) ||
+          (type != "counter" && type != "gauge" && type != "histogram")) {
+        errors.push_back("bad comment: " + line);
+        return;
+      }
+      type_of[name] = type;
+      return;
+    }
+    ++samples;
+    std::string name = line;
+    std::string le;
+    const auto brace = line.find('{');
+    std::string rest;
+    if (brace != std::string::npos) {
+      const auto close = line.find('}');
+      if (close == std::string::npos || close < brace) {
+        errors.push_back("unbalanced label braces: " + line);
+        return;
+      }
+      name = line.substr(0, brace);
+      const std::string label = line.substr(brace + 1, close - brace - 1);
+      if (label.rfind("le=\"", 0) != 0 || label.back() != '"') {
+        errors.push_back("unexpected label: " + line);
+        return;
+      }
+      le = label.substr(4, label.size() - 5);
+      rest = line.substr(close + 1);
+    } else {
+      const auto space = line.find(' ');
+      if (space == std::string::npos) {
+        errors.push_back("no value: " + line);
+        return;
+      }
+      name = line.substr(0, space);
+      rest = line.substr(space);
+    }
+    if (!valid_name(name)) {
+      errors.push_back("bad metric name: " + line);
+      return;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(rest.c_str(), &end);
+    if (end == rest.c_str()) {
+      errors.push_back("bad value: " + line);
+      return;
+    }
+    const std::string fam = family(name);
+    // counters export as <family>_total, so a _total sample may declare its
+    // TYPE under the suffixed name too.
+    if (type_of.find(fam) == type_of.end() &&
+        type_of.find(name) == type_of.end()) {
+      errors.push_back("sample before # TYPE: " + line);
+      return;
+    }
+    if (name == fam + "_bucket") {
+      if (le == "+Inf") {
+        hists[fam].has_inf = true;
+        hists[fam].inf_count = value;
+      } else {
+        hists[fam].buckets.emplace_back(std::strtod(le.c_str(), nullptr), value);
+      }
+    } else if (name == fam + "_count") {
+      hists[fam].count = value;
+      hists[fam].has_count = true;
+    } else if (name == fam + "_sum") {
+      hists[fam].sum = value;
+    }
+  }
+
+  void finish() {
+    for (const auto& [fam, h] : hists) {
+      if (type_of.count(fam) == 0 || type_of.at(fam) != "histogram") continue;
+      if (!h.has_inf) errors.push_back(fam + ": missing +Inf bucket");
+      if (!h.has_count) errors.push_back(fam + ": missing _count");
+      if (h.sum < 0) errors.push_back(fam + ": missing _sum");
+      if (h.has_inf && h.has_count && h.inf_count != h.count) {
+        errors.push_back(fam + ": +Inf bucket != _count");
+      }
+      double prev_le = -1.0, prev_cum = -1.0;
+      for (const auto& [le, cum] : h.buckets) {
+        if (le <= prev_le) errors.push_back(fam + ": le not increasing");
+        if (cum < prev_cum) errors.push_back(fam + ": cumulative count fell");
+        prev_le = le;
+        prev_cum = cum;
+      }
+      if (!h.buckets.empty() && h.has_inf && h.buckets.back().second > h.inf_count) {
+        errors.push_back(fam + ": bucket above +Inf");
+      }
+    }
+  }
+};
+
+TEST(Metrics, PrometheusTextIsWellFormed) {
+  HistGuard guard;
+  reset_histograms();
+  counter("hist_test.prom.counter").reset();
+  counter("hist_test.prom.counter").add(21);
+  gauge("hist_test.prom.gauge").update_max(17);
+  Histogram& h = histogram("hist_test.prom.hist", HistKind::kTiming);
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<std::uint64_t>(i * 37));
+
+  const std::string text = metrics_text();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  // Sanitized names: dots become underscores under the rtp_ prefix, and the
+  // timing histogram carries the _ns unit suffix.
+  EXPECT_NE(text.find("rtp_hist_test_prom_counter_total 21"), std::string::npos);
+  EXPECT_NE(text.find("rtp_hist_test_prom_gauge 17"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtp_hist_test_prom_hist_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtp_hist_test_prom_hist_ns_count 1000"), std::string::npos);
+
+  PromChecker checker;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) checker.check_line(line);
+  checker.finish();
+  EXPECT_GT(checker.samples, 3);
+  for (const std::string& e : checker.errors) ADD_FAILURE() << e;
+  // The recorded histogram must have survived into cumulative buckets.
+  const auto it = checker.hists.find("rtp_hist_test_prom_hist_ns");
+  ASSERT_NE(it, checker.hists.end());
+  EXPECT_EQ(it->second.count, 1000.0);
+  EXPECT_FALSE(it->second.buckets.empty());
+}
+
+TEST(Metrics, WriteMetricsTextRoundTrips) {
+  HistGuard guard;
+  counter("hist_test.prom.write").reset();
+  counter("hist_test.prom.write").add(5);
+  const std::string path = ::testing::TempDir() + "hist_test_metrics.prom";
+  ASSERT_TRUE(write_metrics_text(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), metrics_text());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtp::obs

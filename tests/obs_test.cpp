@@ -5,13 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/json.hpp"
 #include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
 #include "nn/workspace.hpp"
@@ -282,6 +287,157 @@ TEST(Report, ContainsCountersNotesAndBuildInfo) {
   std::ifstream in(path);
   EXPECT_TRUE(in.good());
   std::remove(path.c_str());
+}
+
+// flush_trace is a real export only when obs is compiled in (the disabled
+// stub returns false without writing); its helpers live under the same guard.
+#if !defined(RTP_OBS_DISABLED)
+
+/// Parses `path` with the in-repo JSON parser and returns the document,
+/// failing the test on a parse error.
+core::json::Value parse_json_file(const std::string& path) {
+  std::string error;
+  auto doc = core::json::parse_file(path, &error);
+  EXPECT_TRUE(doc.has_value()) << path << ": " << error;
+  return doc.has_value() ? std::move(*doc) : core::json::Value{};
+}
+
+/// Names of all complete "X" slices in a parsed chrome trace document.
+std::vector<std::string> slice_names(const core::json::Value& doc) {
+  std::vector<std::string> names;
+  const core::json::Value* events = doc.find("traceEvents");
+  if (events == nullptr) return names;
+  for (const auto& e : events->items()) {
+    if (e.string_or("ph", "") == "X") names.push_back(e.string_or("name", ""));
+  }
+  return names;
+}
+
+bool contains(const std::vector<std::string>& names, const std::string& want) {
+  return std::find(names.begin(), names.end(), want) != names.end();
+}
+
+TEST(Trace, FlushTwiceMidRunBothFilesAreValidChromeJson) {
+  ObsGuard guard;
+  set_trace_enabled(true);
+  clear_trace();
+  const std::string path1 = ::testing::TempDir() + "obs_test_flush1.json";
+  const std::string path2 = ::testing::TempDir() + "obs_test_flush2.json";
+
+  { TraceScope scope("obs_test.flush.first"); }
+  {
+    // First flush happens while this span is still open: the partial buffer
+    // (completed spans only) must still be a complete, valid document.
+    TraceScope live("obs_test.flush.live");
+    ASSERT_TRUE(flush_trace(path1));
+  }
+  { TraceScope scope("obs_test.flush.second"); }
+  ASSERT_TRUE(flush_trace(path2));
+  set_trace_enabled(false);
+
+  const core::json::Value first = parse_json_file(path1);
+  const core::json::Value second = parse_json_file(path2);
+  const auto names1 = slice_names(first);
+  const auto names2 = slice_names(second);
+  EXPECT_TRUE(contains(names1, "obs_test.flush.first"));
+  EXPECT_FALSE(contains(names1, "obs_test.flush.second"));
+  // The buffer accumulates across flushes: the second export is a superset.
+  EXPECT_TRUE(contains(names2, "obs_test.flush.first"));
+  EXPECT_TRUE(contains(names2, "obs_test.flush.live"));
+  EXPECT_TRUE(contains(names2, "obs_test.flush.second"));
+  EXPECT_GE(names2.size(), names1.size());
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(Trace, PoolFlowEventsLinkEnqueueToExecute) {
+  ObsGuard guard;
+  core::ThreadPool::instance().set_num_threads(4);
+  set_trace_enabled(true);
+  clear_trace();
+  // A worker that sleeps through a fast job records its flow finish only when
+  // it later wakes; keep posting jobs until at least one 'f' landed.
+  std::vector<FlowEvent> flows;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    core::parallel_for(0, 256, 1, [&](std::int64_t lo, std::int64_t hi) {
+      volatile std::int64_t spin = 0;
+      for (std::int64_t i = lo; i < hi + 2000; ++i) spin = spin + i;
+    });
+    flows = flow_events();
+    if (std::any_of(flows.begin(), flows.end(),
+                    [](const FlowEvent& f) { return f.phase == 'f'; })) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  set_trace_enabled(false);
+  flows = flow_events();
+  ASSERT_FALSE(flows.empty());
+  std::map<std::uint64_t, int> starts;
+  std::vector<const FlowEvent*> finishes;
+  for (const FlowEvent& f : flows) {
+    if (f.phase == 's') {
+      ++starts[f.id];
+    } else {
+      ASSERT_EQ(f.phase, 'f');
+      finishes.push_back(&f);
+    }
+  }
+  ASSERT_FALSE(finishes.empty());
+  // Every executed job draws a complete arrow: each 'f' must have a matching
+  // 's' with the same id (the reverse may dangle — a worker can miss a job).
+  for (const FlowEvent* f : finishes) {
+    EXPECT_EQ(starts.count(f->id), 1u) << "dangling flow finish id " << f->id;
+  }
+
+  // The export carries thread-name metadata and both flow phases.
+  const std::string json = trace_json();
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("pool.worker."), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // And it must still be machine-parseable JSON with the flows included.
+  const std::string path = ::testing::TempDir() + "obs_test_flows.json";
+  ASSERT_TRUE(flush_trace(path));
+  parse_json_file(path);
+  std::remove(path.c_str());
+}
+
+#endif  // !RTP_OBS_DISABLED
+
+TEST(Report, SnapshotReportHasHistogramQuantilesAndParses) {
+  reset_histograms();
+  Histogram& h = histogram("obs_test.report_hist", HistKind::kTiming);
+  for (int i = 1; i <= 200; ++i) h.record(static_cast<std::uint64_t>(i * 1000));
+
+  const std::string json = snapshot_report();
+  std::string error;
+  const auto doc = core::json::parse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const core::json::Value* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const core::json::Value* entry = hists->find("obs_test.report_hist");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->string_or("kind", ""), "timing_ns");
+  EXPECT_EQ(entry->number_or("count", 0.0), 200.0);
+  const double p50 = entry->number_or("p50", -1.0);
+  const double p90 = entry->number_or("p90", -1.0);
+  const double p99 = entry->number_or("p99", -1.0);
+  ASSERT_GE(p50, 0.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, entry->number_or("max", 0.0));
+
+#if !defined(RTP_OBS_DISABLED)
+  const std::string path = ::testing::TempDir() + "obs_test_flush_report.json";
+  ASSERT_TRUE(flush_report(path));
+  std::string file_error;
+  EXPECT_TRUE(core::json::parse_file(path, &file_error).has_value())
+      << file_error;
+  std::remove(path.c_str());
+#endif
+  reset_histograms();
 }
 
 TEST(Overhead, DisabledTraceScopeIsCheap) {
