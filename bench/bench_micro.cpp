@@ -13,8 +13,12 @@
 //  - --sta-json[=path] [--smoke]: incremental-vs-full STA A/B (also in the
 //    harness; default path BENCH_sta.json). Exits nonzero if the arms
 //    diverge or incremental is not faster.
+//  - --serve-json[=path] [--smoke]: closed-/open-loop traffic through
+//    rtp::serve vs direct engine calls (default path BENCH_serve.json).
+//    Exits nonzero if batched results diverge from sequential or admission
+//    control rejects in-capacity traffic.
 //
-// bench_regress re-runs both harness suites and gates them against the
+// bench_regress re-runs all three harness suites and gates them against the
 // committed BENCH_*.json baselines.
 
 #include <benchmark/benchmark.h>
@@ -154,9 +158,10 @@ BENCHMARK(BM_GnnForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillis
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false, sta_json = false, smoke = false;
+  bool json = false, sta_json = false, serve_json = false, smoke = false;
   std::string path = "BENCH_nn.json";
   std::string sta_path = "BENCH_sta.json";
+  std::string serve_path = "BENCH_serve.json";
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -169,12 +174,18 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--sta-json=", 11) == 0) {
       sta_json = true;
       sta_path = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--serve-json") == 0) {
+      serve_json = true;
+    } else if (std::strncmp(argv[i], "--serve-json=", 13) == 0) {
+      serve_json = true;
+      serve_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
+  if (serve_json) return rtp::bench::run_serve_harness(serve_path, smoke);
   if (sta_json) return rtp::bench::run_sta_harness(sta_path, smoke);
   if (json) return rtp::bench::run_nn_harness(path, smoke);
   int pass_argc = static_cast<int>(passthrough.size());

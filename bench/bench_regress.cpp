@@ -1,17 +1,19 @@
 // Perf-regression gate over the committed benchmark baselines.
 //
-// Loads BENCH_nn.json / BENCH_sta.json (rtp-bench-v2, or the older v1
-// schemas), re-runs both harness suites on this machine, and compares metric
-// by metric using each baseline metric's own tolerance: a "higher"-is-better
-// metric regresses when current < baseline * (1 - tolerance), a "lower" one
-// when current > baseline * (1 + tolerance); negative tolerance means
-// report-only. Only same-run ratios (speedups) and invariants
-// (identical_results) carry gating tolerances, so the gate is meaningful on
-// any machine — absolute times are reported in the diff but never fail it.
+// Loads BENCH_nn.json / BENCH_sta.json / BENCH_serve.json (rtp-bench-v2, or
+// the older v1 schemas), re-runs the harness suites on this machine, and
+// compares metric by metric using each baseline metric's own tolerance: a
+// "higher"-is-better metric regresses when current < baseline * (1 -
+// tolerance), a "lower" one when current > baseline * (1 + tolerance);
+// negative tolerance means report-only. Only same-run ratios (speedups) and
+// invariants (identical_results, open_loop_rejected) carry gating
+// tolerances, so the gate is meaningful on any machine — absolute times are
+// reported in the diff but never fail it.
 //
 //   bench_regress [--smoke] [--nn=BENCH_nn.json] [--sta=BENCH_sta.json]
+//                 [--serve=BENCH_serve.json]
 //                 [--report=bench_regress_report.json]
-//                 [--out-nn=path] [--out-sta=path]
+//                 [--out-nn=path] [--out-sta=path] [--out-serve=path]
 //
 // Exit codes: 0 all gated metrics within tolerance, 1 regression (or a gated
 // baseline metric missing from the current run), 2 usage/I/O/parse error.
@@ -130,8 +132,9 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string nn_path = "BENCH_nn.json";
   std::string sta_path = "BENCH_sta.json";
+  std::string serve_path = "BENCH_serve.json";
   std::string report_path = "bench_regress_report.json";
-  std::string out_nn, out_sta;
+  std::string out_nn, out_sta, out_serve;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -139,16 +142,21 @@ int main(int argc, char** argv) {
       nn_path = argv[i] + 5;
     } else if (std::strncmp(argv[i], "--sta=", 6) == 0) {
       sta_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
       report_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--out-nn=", 9) == 0) {
       out_nn = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--out-sta=", 10) == 0) {
       out_sta = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--out-serve=", 12) == 0) {
+      out_serve = argv[i] + 12;
     } else {
       std::cerr << "bench_regress: unknown argument " << argv[i] << "\n"
                 << "usage: bench_regress [--smoke] [--nn=path] [--sta=path]"
-                   " [--report=path] [--out-nn=path] [--out-sta=path]\n";
+                   " [--serve=path] [--report=path] [--out-nn=path]"
+                   " [--out-sta=path] [--out-serve=path]\n";
       return 2;
     }
   }
@@ -164,6 +172,11 @@ int main(int argc, char** argv) {
     std::cerr << "bench_regress: sta baseline: " << error << "\n";
     return 2;
   }
+  const auto serve_base = rtp::bench::load_baseline(serve_path, &error);
+  if (!serve_base.has_value()) {
+    std::cerr << "bench_regress: serve baseline: " << error << "\n";
+    return 2;
+  }
 
   std::cerr << "bench_regress: re-running nn suite"
             << (smoke ? " (smoke)" : "") << "...\n";
@@ -171,12 +184,17 @@ int main(int argc, char** argv) {
   std::cerr << "bench_regress: re-running sta suite"
             << (smoke ? " (smoke)" : "") << "...\n";
   const BenchDoc sta_cur = rtp::bench::run_sta_suite(smoke);
+  std::cerr << "bench_regress: re-running serve suite"
+            << (smoke ? " (smoke)" : "") << "...\n";
+  const BenchDoc serve_cur = rtp::bench::run_serve_suite(smoke);
   if (!out_nn.empty()) rtp::bench::write_bench_json(nn_cur, out_nn);
   if (!out_sta.empty()) rtp::bench::write_bench_json(sta_cur, out_sta);
+  if (!out_serve.empty()) rtp::bench::write_bench_json(serve_cur, out_serve);
 
   std::vector<Comparison> rows;
   bool regressed = compare_suite(*nn_base, nn_cur, rows);
   regressed = compare_suite(*sta_base, sta_cur, rows) || regressed;
+  regressed = compare_suite(*serve_base, serve_cur, rows) || regressed;
 
   print_rows(rows);
   if (!write_report(report_path, rows, regressed)) {

@@ -36,7 +36,10 @@ int main() {
     rtp::model::train_model(model, view, options);
   }
 
-  const auto rows = rtp::eval::run_table3(dataset, model, config);
+  // Freeze into the read-only engine — TABLE III times the serving path.
+  const rtp::model::InferenceEngine engine(
+      rtp::model::WeightSnapshot::from_model(model));
+  const auto rows = rtp::eval::run_table3(dataset, engine, config);
 
   std::printf("TABLE III — runtime (seconds) per design\n\n");
   Table table({"design", "opt", "route", "sta", "total", "pre", "pre p99", "infer",

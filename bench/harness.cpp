@@ -5,16 +5,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <memory>
+#include <thread>
 
 #include "core/json.hpp"
 #include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
 #include "gen/circuit_generator.hpp"
+#include "model/inference.hpp"
 #include "nn/conv.hpp"
 #include "nn/kernels.hpp"
 #include "opt/optimizer.hpp"
 #include "place/placer.hpp"
+#include "serve/serve.hpp"
 #include "sta/session.hpp"
 #include "sta/sta.hpp"
 
@@ -342,6 +347,261 @@ int run_sta_harness(const std::string& path, bool smoke) {
   }
   if (doc.find("sta.speedup")->value <= 1.0) {
     std::cerr << "REGRESSION: incremental STA not faster than full recompute\n";
+    return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Two small flow-built designs (graph + features + masks + labels) shared by
+/// every serve traffic pattern: mixing designs exercises the batcher's
+/// per-design dedup, which is where coalescing wins its speedup.
+struct ServeFixture {
+  std::unique_ptr<nl::CellLibrary> library;
+  std::vector<flow::DesignData> data;
+  std::vector<model::PreparedDesign> prepared;
+  model::ModelConfig config;
+};
+
+ServeFixture make_serve_fixture() {
+  ServeFixture f;
+  f.library = std::make_unique<nl::CellLibrary>(nl::CellLibrary::standard());
+  flow::FlowConfig fc;
+  fc.scale = 0.01;
+  flow::DatasetFlow flow(*f.library, fc);
+  const auto specs = gen::paper_benchmarks();
+  f.data.push_back(flow.run(gen::benchmark_by_name(specs, "xgate")));
+  f.data.push_back(flow.run(gen::benchmark_by_name(specs, "steelcore")));
+  f.config.grid = 32;
+  for (const flow::DesignData& d : f.data) {
+    f.prepared.push_back(model::prepare_design(d, f.config));
+  }
+  return f;
+}
+
+/// Non-owning request over a fixture-owned PreparedDesign (aliasing ctor).
+model::PredictRequest request_for(const model::PreparedDesign& pd) {
+  model::PredictRequest req;
+  req.design =
+      std::shared_ptr<const model::PreparedDesign>(std::shared_ptr<const void>(), &pd);
+  return req;
+}
+
+double quantile_ms(std::vector<double> ms, double q) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const std::size_t idx = std::min(
+      ms.size() - 1, static_cast<std::size_t>(q * static_cast<double>(ms.size())));
+  return ms[idx];
+}
+
+struct ArmResult {
+  double seconds = 0.0;            ///< wall time of the whole arm
+  std::vector<double> latency_ms;  ///< per-request, client-observed
+  std::uint64_t errors = 0;        ///< rejected submits / missing futures
+
+  double rps(int total) const {
+    return seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
+  }
+};
+
+/// Closed loop, direct: each client thread calls the engine synchronously.
+ArmResult direct_arm(const model::InferenceEngine& engine, const ServeFixture& f,
+                     int clients, int per_client) {
+  ArmResult r;
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const model::PreparedDesign& pd =
+            f.prepared[static_cast<std::size_t>(c + i) % f.prepared.size()];
+        const auto s = std::chrono::steady_clock::now();
+        keep(engine.predict(pd).numel());
+        lat[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - s)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (auto& l : lat) r.latency_ms.insert(r.latency_ms.end(), l.begin(), l.end());
+  return r;
+}
+
+/// Closed loop, served: each client submits one request and waits for its
+/// future; the service coalesces whatever the clients have in flight.
+ArmResult service_arm(serve::PredictionService& service, const ServeFixture& f,
+                      int clients, int per_client) {
+  ArmResult r;
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> errs(static_cast<std::size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const model::PreparedDesign& pd =
+            f.prepared[static_cast<std::size_t>(c + i) % f.prepared.size()];
+        const auto s = std::chrono::steady_clock::now();
+        auto fut = service.submit(request_for(pd));
+        if (!fut.has_value()) {  // closed loop never fills the queue
+          ++errs[static_cast<std::size_t>(c)];
+          continue;
+        }
+        keep(fut->get().arrival_ps.numel());
+        lat[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - s)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (auto& l : lat) r.latency_ms.insert(r.latency_ms.end(), l.begin(), l.end());
+  for (std::uint64_t e : errs) r.errors += e;
+  return r;
+}
+
+}  // namespace
+
+BenchDoc run_serve_suite(bool smoke) {
+  const ServeFixture f = make_serve_fixture();
+  rtp::model::FusionModel seedmodel(f.config);
+  seedmodel.set_label_stats(1000.0f, 300.0f);  // inference cost, not accuracy
+  const auto snapshot = model::WeightSnapshot::from_model(seedmodel);
+  const model::InferenceEngine engine(snapshot);
+
+  // Invariant: one mixed batch (whole designs + endpoint subsets) must be
+  // bit-identical to issuing the same requests sequentially.
+  bool identical = true;
+  {
+    model::PredictBatch batch;
+    for (const model::PreparedDesign& pd : f.prepared) {
+      batch.push_back(request_for(pd));
+      model::PredictRequest subset = request_for(pd);
+      const int rows = static_cast<int>(pd.endpoints.size());
+      for (int e = 0; e < std::min(3, rows); ++e) {
+        subset.endpoints.push_back(rows - 1 - e);
+      }
+      batch.push_back(std::move(subset));
+    }
+    const std::vector<nn::Tensor> batched = engine.predict_batch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const nn::Tensor one = engine.predict(batch[i]);
+      if (one.numel() != batched[i].numel()) identical = false;
+      for (std::size_t k = 0; identical && k < one.numel(); ++k) {
+        identical = one[k] == batched[i][k];
+      }
+    }
+  }
+
+  // Closed-loop A/B: same clients, same request sequence, direct vs served.
+  const int clients = 4;
+  const int per_client = smoke ? 10 : 100;
+  const int total = clients * per_client;
+  const ArmResult direct = direct_arm(engine, f, clients, per_client);
+  serve::ServeConfig sc;
+  sc.max_batch = 8;
+  sc.max_delay_us = 200;
+  sc.workers = 1;
+  ArmResult served;
+  serve::PredictionService::Stats closed_stats;
+  {
+    serve::PredictionService service(snapshot, sc);
+    served = service_arm(service, f, clients, per_client);
+    closed_stats = service.stats();
+  }
+
+  // Open-loop burst: fire queue_capacity submits back to back; admission
+  // control must accept every one (rejected == 0 is the gated invariant).
+  std::uint64_t burst_rejected = 0;
+  {
+    serve::ServeConfig burst_config;
+    burst_config.max_batch = 16;
+    burst_config.max_delay_us = 0;  // drain in max_batch chunks immediately
+    burst_config.queue_capacity = smoke ? 32 : 128;
+    serve::PredictionService service(snapshot, burst_config);
+    std::vector<std::future<serve::PredictResponse>> futures;
+    for (int i = 0; i < burst_config.queue_capacity; ++i) {
+      auto fut = service.submit(
+          request_for(f.prepared[static_cast<std::size_t>(i) % f.prepared.size()]));
+      if (fut.has_value()) {
+        futures.push_back(std::move(*fut));
+      }
+    }
+    for (auto& fut : futures) keep(fut.get().arrival_ps.numel());
+    burst_rejected = service.stats().rejected +
+                     (static_cast<std::uint64_t>(burst_config.queue_capacity) -
+                      futures.size());
+  }
+
+  const double direct_p99 = quantile_ms(direct.latency_ms, 0.99);
+  const double served_p99 = quantile_ms(served.latency_ms, 0.99);
+  const double throughput_speedup =
+      direct.rps(total) > 0.0 ? served.rps(total) / direct.rps(total) : 0.0;
+  const double p99_speedup = served_p99 > 0.0 ? direct_p99 / served_p99 : 0.0;
+  const double mean_batch =
+      closed_stats.batches > 0
+          ? static_cast<double>(closed_stats.completed) /
+                static_cast<double>(closed_stats.batches)
+          : 0.0;
+
+  BenchDoc doc;
+  doc.suite = "serve";
+  doc.smoke = smoke;
+  doc.metrics.push_back(
+      {"serve.identical_results", identical ? 1.0 : 0.0, "bool", true, 0.0});
+  doc.metrics.push_back(
+      {"serve.throughput_speedup", throughput_speedup, "ratio", true, kRatioTolerance});
+  doc.metrics.push_back(
+      {"serve.p99_latency_speedup", p99_speedup, "ratio", true, kRatioTolerance});
+  doc.metrics.push_back({"serve.open_loop_rejected",
+                         static_cast<double>(burst_rejected), "count", false, 0.0});
+  doc.metrics.push_back(
+      {"serve.closed_loop_errors",
+       static_cast<double>(served.errors), "count", false, 0.0});
+  doc.metrics.push_back({"serve.direct_rps", direct.rps(total), "rps", true, -1.0});
+  doc.metrics.push_back({"serve.service_rps", served.rps(total), "rps", true, -1.0});
+  doc.metrics.push_back({"serve.direct_p50_ms",
+                         quantile_ms(direct.latency_ms, 0.50), "ms", false, -1.0});
+  doc.metrics.push_back({"serve.direct_p99_ms", direct_p99, "ms", false, -1.0});
+  doc.metrics.push_back({"serve.service_p50_ms",
+                         quantile_ms(served.latency_ms, 0.50), "ms", false, -1.0});
+  doc.metrics.push_back({"serve.service_p99_ms", served_p99, "ms", false, -1.0});
+  doc.metrics.push_back({"serve.mean_batch", mean_batch, "count", true, -1.0});
+  doc.metrics.push_back(
+      {"serve.requests", static_cast<double>(total), "count", true, -1.0});
+
+  std::cerr << "serve A/B (" << clients << " clients x " << per_client
+            << " reqs, 2 designs): direct " << direct.rps(total) << " rps / p99 "
+            << direct_p99 << " ms, served " << served.rps(total) << " rps / p99 "
+            << served_p99 << " ms, mean batch " << mean_batch << ", identical="
+            << (identical ? "yes" : "NO") << "\n";
+  return doc;
+}
+
+int run_serve_harness(const std::string& path, bool smoke) {
+  const BenchDoc doc = run_serve_suite(smoke);
+  if (!write_bench_json(doc, path)) {
+    std::cerr << "bench: cannot write " << path << "\n";
+    return 2;
+  }
+  std::cerr << "wrote " << path << "\n";
+  if (doc.find("serve.identical_results")->value != 1.0) {
+    std::cerr << "REGRESSION: batched inference diverged from sequential\n";
+    return 1;
+  }
+  if (doc.find("serve.open_loop_rejected")->value != 0.0 ||
+      doc.find("serve.closed_loop_errors")->value != 0.0) {
+    std::cerr << "REGRESSION: admission control rejected in-capacity traffic\n";
     return 1;
   }
   return 0;

@@ -81,13 +81,21 @@ BenchDoc run_nn_suite(bool smoke);
 /// Measures the STA suite: optimizer wall time incremental vs RTP_FULL_STA=1
 /// on rocket@0.04, with the identical-trajectory invariant.
 BenchDoc run_sta_suite(bool smoke);
+/// Measures the serve suite: synthetic closed-loop traffic (N client threads,
+/// each waiting on its own response) through direct InferenceEngine calls vs
+/// the coalescing PredictionService, gating the same-run throughput and p99
+/// latency ratios; plus the batched==sequential bit-identity invariant and an
+/// open-loop burst that must see zero admission rejections.
+BenchDoc run_serve_suite(bool smoke);
 
-/// bench_micro's --json / --sta-json entry points: run the suite, write the
-/// v2 artifact to `path`, print a summary to stderr, and return nonzero on
-/// the suite's built-in floor (blocked slower than naive; STA arms diverged
-/// or incremental not faster).
+/// bench_micro's --json / --sta-json / --serve-json entry points: run the
+/// suite, write the v2 artifact to `path`, print a summary to stderr, and
+/// return nonzero on the suite's built-in floor (blocked slower than naive;
+/// STA arms diverged or incremental not faster; serve results not identical
+/// or burst requests rejected).
 int run_nn_harness(const std::string& path, bool smoke);
 int run_sta_harness(const std::string& path, bool smoke);
+int run_serve_harness(const std::string& path, bool smoke);
 
 /// Reads a committed baseline in rtp-bench-v2 or either v1 schema,
 /// normalized to the v2 metric vocabulary. nullopt (with `error` set) on

@@ -38,6 +38,11 @@ int env_thread_count() {
 }  // namespace
 
 struct ThreadPool::Impl {
+  /// Serializes top-level job submission. Concurrent external callers
+  /// try_lock; the loser runs its loop inline instead of blocking (see
+  /// run_chunked), so the single job slot below is never written by two
+  /// callers at once.
+  std::mutex submit_mu;
   std::mutex mu;
   std::condition_variable cv_work;  ///< workers wait here for a new job
   std::condition_variable cv_done;  ///< the caller waits here for completion
@@ -130,6 +135,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::set_num_threads(int n) {
   RTP_CHECK_MSG(!tl_in_parallel, "set_num_threads inside a parallel region");
+  // Excludes concurrent submitters: any in-flight parallel job holds
+  // submit_mu until completion, so reconfiguring waits for it.
+  std::lock_guard<std::mutex> submit(impl_->submit_mu);
   if (n < 1) n = env_thread_count();
   if (n == num_threads_ && static_cast<int>(impl_->workers.size()) == n - 1) return;
   // Join the old workers (any in-flight job has completed: run_chunked blocks
@@ -165,6 +173,19 @@ void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t 
   // Serial fallback: one chunk of work, a 1-thread pool, or a nested call.
   // Chunk boundaries are identical to the parallel path, so results are too.
   if (n_chunks == 1 || num_threads_ == 1 || tl_in_parallel) {
+    for (std::int64_t b = begin; b < end; b += grain) {
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+  // One job slot serves the whole process. Top-level callers on different
+  // threads (e.g. serve workers running separate batches) race for it; the
+  // loser runs its chunk loop inline on its own thread. Chunk boundaries are
+  // the same either way, so results stay bit-identical, and try_lock means
+  // nobody ever blocks behind another caller's job.
+  std::unique_lock<std::mutex> submit(impl_->submit_mu, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    RTP_COUNT_SCHED("pool.jobs_contended", 1);
     for (std::int64_t b = begin; b < end; b += grain) {
       fn(b, std::min(end, b + grain));
     }

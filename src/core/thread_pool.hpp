@@ -21,6 +21,13 @@
 // Nested calls (a parallel_for issued from inside a chunk body, e.g. a GNN
 // level loop invoking a parallel matmul) run inline on the calling thread;
 // only the outermost loop is distributed.
+//
+// Concurrent top-level callers are safe: the pool has a single job slot, and
+// callers race for it with a try_lock. The winner distributes its chunks
+// across the workers; every loser runs its own loop inline on its calling
+// thread. Either path uses the same chunk decomposition, so results remain
+// bit-identical — contention affects scheduling only (counted as
+// pool.jobs_contended).
 
 #include <cstdint>
 #include <functional>
@@ -40,9 +47,9 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  /// Reconfigures the worker count (joins existing workers first). Must not
-  /// be called while a parallel loop is running. n < 1 restores the
-  /// RTP_THREADS / hardware default.
+  /// Reconfigures the worker count (joins existing workers first). Waits for
+  /// any in-flight job from another thread; must not be called from inside a
+  /// parallel region. n < 1 restores the RTP_THREADS / hardware default.
   void set_num_threads(int n);
 
   /// Runs fn(chunk_begin, chunk_end) once per grain-sized chunk of

@@ -160,6 +160,27 @@ TableTwoResult run_table2(const DatasetBundle& dataset, const ExperimentConfig& 
   OursVariant full = run_ours(variant(config.model, true, true), "full");
 
   // ---- evaluation per test design ----
+  // Each trained variant is frozen into a WeightSnapshot and evaluated
+  // through the read-only engine: the whole test split goes down as ONE
+  // coalesced batch (one GNN/CNN forward per design, one fused regressor
+  // pass) — the same path rtp::serve uses, bit-identical to sequential
+  // FusionModel::predict.
+  auto eval_variant = [](const OursVariant& v) {
+    const model::InferenceEngine engine(model::WeightSnapshot::from_model(*v.model));
+    model::PredictBatch batch;
+    batch.reserve(v.test.size());
+    for (const model::PreparedDesign& pd : v.test) {
+      model::PredictRequest req;
+      req.design = std::shared_ptr<const model::PreparedDesign>(
+          std::shared_ptr<const void>(), &pd);
+      batch.push_back(std::move(req));
+    }
+    return engine.predict_batch(batch);
+  };
+  const std::vector<nn::Tensor> cnn_only_pred = eval_variant(cnn_only);
+  const std::vector<nn::Tensor> gnn_only_pred = eval_variant(gnn_only);
+  const std::vector<nn::Tensor> full_pred = eval_variant(full);
+
   TableTwoRow avg;
   avg.name = "avg";
   for (std::size_t t = 0; t < test_ptrs.size(); ++t) {
@@ -176,15 +197,15 @@ TableTwoResult run_table2(const DatasetBundle& dataset, const ExperimentConfig& 
     }
     row.ep_dac19 = design_r2(d.label_arrival, dac19_pred[t]);
     row.ep_he = design_r2(d.label_arrival, he_pred[t]);
-    auto eval_ours = [&](OursVariant& v) {
-      const nn::Tensor pred = v.model->predict(v.test[t]);
+    auto eval_ours = [&](const std::vector<nn::Tensor>& preds) {
+      const nn::Tensor& pred = preds[t];
       std::vector<double> p(pred.numel());
       for (std::size_t i = 0; i < pred.numel(); ++i) p[i] = pred[i];
       return design_r2(d.label_arrival, p);
     };
-    row.ep_cnn_only = eval_ours(cnn_only);
-    row.ep_gnn_only = eval_ours(gnn_only);
-    row.ep_full = eval_ours(full);
+    row.ep_cnn_only = eval_ours(cnn_only_pred);
+    row.ep_gnn_only = eval_ours(gnn_only_pred);
+    row.ep_full = eval_ours(full_pred);
 
     avg.local_dac19 += row.local_dac19 / test_ptrs.size();
     avg.local_he += row.local_he / test_ptrs.size();
@@ -203,7 +224,7 @@ TableTwoResult run_table2(const DatasetBundle& dataset, const ExperimentConfig& 
 }
 
 std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
-                                      model::FusionModel& model,
+                                      const model::InferenceEngine& engine,
                                       const ExperimentConfig& config) {
   std::vector<TableThreeRow> rows;
   TableThreeRow avg;
@@ -231,7 +252,7 @@ std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
     pre_ns.push_back(static_cast<std::uint64_t>(row.pre_s * 1e9));
     RTP_HIST_NS("table3.pre", pre_ns.back());
     obs::TimedSpan infer_span("table3.infer", &spans);
-    (void)model.predict(prepared);
+    (void)engine.predict(prepared);
     row.infer_s = infer_span.stop();
     infer_ns.push_back(static_cast<std::uint64_t>(row.infer_s * 1e9));
     RTP_HIST_NS("table3.infer", infer_ns.back());

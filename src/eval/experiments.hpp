@@ -11,6 +11,7 @@
 #include "baselines/local_delay_model.hpp"
 #include "eval/metrics.hpp"
 #include "flow/dataset_flow.hpp"
+#include "model/inference.hpp"
 #include "model/trainer.hpp"
 
 namespace rtp::eval {
@@ -83,11 +84,11 @@ struct TableThreeRow {
   double speedup = 0.0;
 };
 
-/// Measures flow-stage cost vs prediction cost per design. `model` must be a
-/// constructed (not necessarily well-trained) full model — TABLE III times
-/// inference, not accuracy.
+/// Measures flow-stage cost vs prediction cost per design. `engine` wraps a
+/// frozen snapshot of a constructed (not necessarily well-trained) full model
+/// — TABLE III times inference, not accuracy.
 std::vector<TableThreeRow> run_table3(const DatasetBundle& dataset,
-                                      model::FusionModel& model,
+                                      const model::InferenceEngine& engine,
                                       const ExperimentConfig& config);
 
 /// Per-design R² helper over raw label/prediction vectors.

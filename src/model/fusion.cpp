@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "model/inference.hpp"
 #include "nn/serialize.hpp"
 #include "obs/sink.hpp"
 
@@ -60,51 +61,60 @@ PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& c
   return pd;
 }
 
-FusionModel::FusionModel(const ModelConfig& config)
-    : config_(config), rng_(config.seed) {
+FusionNet::FusionNet(const ModelConfig& cfg, Rng& rng) : config(cfg) {
   RTP_CHECK_MSG(config.use_gnn || config.use_cnn, "model needs at least one branch");
   int fused_dim = 0;
-  if (config_.use_gnn) {
-    gnn_ = std::make_unique<EndpointGNN>(config_, rng_);
-    fused_dim += config_.gnn_embed;
+  if (config.use_gnn) {
+    gnn = std::make_unique<EndpointGNN>(config, rng);
+    fused_dim += config.gnn_embed;
   }
-  if (config_.use_cnn) {
-    layout_ = std::make_unique<LayoutEncoder>(config_, rng_);
-    fused_dim += config_.layout_embed;
+  if (config.use_cnn) {
+    layout = std::make_unique<LayoutEncoder>(config, rng);
+    fused_dim += config.layout_embed;
   }
-  regressor_ = std::make_unique<nn::Mlp>(
-      std::vector<int>{fused_dim, config_.reg_hidden, config_.reg_hidden, 1}, rng_);
-
-  nn::AdamConfig adam_config;
-  adam_config.lr = config_.learning_rate;
-  adam_config.weight_decay = config_.weight_decay;
-  adam_config.grad_clip = 5.0f;
-  std::vector<nn::Param*> params = regressor_->params();
-  adam_ = std::make_unique<nn::Adam>(params, adam_config);
-  if (gnn_) adam_->add_params(gnn_->params());
-  if (layout_) adam_->add_params(layout_->params());
+  regressor = std::make_unique<nn::Mlp>(
+      std::vector<int>{fused_dim, config.reg_hidden, config.reg_hidden, 1}, rng);
 }
 
-std::vector<nn::Param*> FusionModel::params() {
-  std::vector<nn::Param*> out = regressor_->params();
-  if (gnn_) {
-    for (nn::Param* p : gnn_->params()) out.push_back(p);
+std::vector<nn::Param*> FusionNet::params() {
+  std::vector<nn::Param*> out = regressor->params();
+  if (gnn) {
+    for (nn::Param* p : gnn->params()) out.push_back(p);
   }
-  if (layout_) {
-    for (nn::Param* p : layout_->params()) out.push_back(p);
+  if (layout) {
+    for (nn::Param* p : layout->params()) out.push_back(p);
   }
   return out;
 }
 
-void FusionModel::save(const std::string& path) {
-  nn::save_params(path, params(), {label_mean_, label_std_});
+std::vector<const nn::Param*> FusionNet::params() const {
+  std::vector<nn::Param*> mut = const_cast<FusionNet*>(this)->params();
+  return std::vector<const nn::Param*>(mut.begin(), mut.end());
 }
 
-void FusionModel::load(const std::string& path) {
-  const std::vector<float> extra = nn::load_params(path, params());
-  RTP_CHECK_MSG(extra.size() == 2, "checkpoint missing label statistics");
+FusionModel::FusionModel(const ModelConfig& config)
+    : rng_(config.seed), net_(config, rng_) {
+  nn::AdamConfig adam_config;
+  adam_config.lr = config.learning_rate;
+  adam_config.weight_decay = config.weight_decay;
+  adam_config.grad_clip = 5.0f;
+  adam_ = std::make_unique<nn::Adam>(net_.params(), adam_config);
+}
+
+void FusionModel::save(const std::string& path) {
+  nn::save_params(path, net_.params(), {label_mean_, label_std_});
+}
+
+bool FusionModel::load(const std::string& path, std::string* error) {
+  std::vector<float> extra;
+  if (!nn::try_load_params(path, net_.params(), &extra, error)) return false;
+  if (extra.size() != 2) {
+    if (error) *error = path + ": checkpoint missing label statistics";
+    return false;
+  }
   label_mean_ = extra[0];
   label_std_ = extra[1];
+  return true;
 }
 
 void FusionModel::set_label_stats(float mean, float stddev) {
@@ -113,30 +123,30 @@ void FusionModel::set_label_stats(float mean, float stddev) {
   label_std_ = stddev;
 }
 
-nn::Tensor FusionModel::forward(PreparedDesign& design) {
+nn::Tensor FusionModel::forward_train(PreparedDesign& design, ForwardCache* cache) {
   const int e = static_cast<int>(design.endpoints.size());
-  const int d = config_.use_gnn ? config_.gnn_embed : 0;
-  const int l = config_.use_cnn ? config_.layout_embed : 0;
+  const int d = net_.gnn_dim();
+  const int l = net_.layout_dim();
   nn::Tensor z({e, d + l});
-  if (config_.use_gnn) {
-    gnn_state_ = gnn_->forward(design.graph, design.features);
+  if (net_.gnn) {
+    cache->gnn = net_.gnn->forward(design.graph, design.features);
     for (int i = 0; i < e; ++i) {
       const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
-      for (int k = 0; k < d; ++k) z.at(i, k) = gnn_state_.h.at(ep, k);
+      for (int k = 0; k < d; ++k) z.at(i, k) = cache->gnn.h.at(ep, k);
     }
   }
-  if (config_.use_cnn) {
-    layout_map_ = layout_->forward(design.layout_input);
-    const nn::Tensor vl = layout_->embed(layout_map_, design.masks);
-    const float p = config_.layout_dropout;
-    const bool drop = training_ && p > 0.0f;
-    if (drop) layout_keep_.assign(static_cast<std::size_t>(e) * l, true);
+  if (net_.layout) {
+    cache->layout_map = net_.layout->forward(design.layout_input);
+    const nn::Tensor vl = net_.layout->embed(cache->layout_map, design.masks);
+    const float p = net_.config.layout_dropout;
+    const bool drop = p > 0.0f;
+    if (drop) cache->layout_keep.assign(static_cast<std::size_t>(e) * l, 1);
     for (int i = 0; i < e; ++i) {
       for (int k = 0; k < l; ++k) {
         float v = vl.at(i, k);
         if (drop) {
           if (rng_.chance(p)) {
-            layout_keep_[static_cast<std::size_t>(i) * l + k] = false;
+            cache->layout_keep[static_cast<std::size_t>(i) * l + k] = 0;
             v = 0.0f;
           } else {
             v /= (1.0f - p);  // inverted dropout keeps inference unscaled
@@ -146,23 +156,24 @@ nn::Tensor FusionModel::forward(PreparedDesign& design) {
       }
     }
   }
-  return regressor_->forward(z);
+  return net_.regressor->forward(z);
 }
 
-nn::Tensor FusionModel::predict(PreparedDesign& design) {
+nn::Tensor FusionModel::predict(const PreparedDesign& design) const {
   RTP_TRACE_SCOPE("model.predict");
-  training_ = false;
-  nn::Tensor pred = forward(design);
-  for (std::size_t i = 0; i < pred.numel(); ++i) {
-    pred[i] = pred[i] * label_std_ + label_mean_;
-  }
-  return pred;
+  // Single code path with batched inference: a batch of one full request
+  // through the same infer_batch that InferenceEngine uses. The aliasing
+  // shared_ptr does not own the design.
+  PredictBatch batch(1);
+  batch[0].design =
+      std::shared_ptr<const PreparedDesign>(std::shared_ptr<const void>(), &design);
+  return detail::infer_batch(net_, label_mean_, label_std_, batch)[0];
 }
 
 float FusionModel::train_step(PreparedDesign& design) {
   RTP_TRACE_SCOPE("model.train_step");
-  training_ = true;
-  const nn::Tensor pred = forward(design);
+  ForwardCache cache;
+  const nn::Tensor pred = forward_train(design, &cache);
   nn::Tensor target = design.labels;
   for (std::size_t i = 0; i < target.numel(); ++i) {
     target[i] = (target[i] - label_mean_) / label_std_;
@@ -170,32 +181,33 @@ float FusionModel::train_step(PreparedDesign& design) {
   const float loss = nn::mse_loss(pred, target);
   const nn::Tensor grad = nn::mse_backward(pred, target);
 
-  const nn::Tensor gz = regressor_->backward(grad);
+  const nn::Tensor gz = net_.regressor->backward(grad);
   const int e = gz.dim(0);
-  const int d = config_.use_gnn ? config_.gnn_embed : 0;
-  const int l = config_.use_cnn ? config_.layout_embed : 0;
-  if (config_.use_cnn) {
-    const float p = config_.layout_dropout;
+  const int d = net_.gnn_dim();
+  const int l = net_.layout_dim();
+  if (net_.layout) {
+    const float p = net_.config.layout_dropout;
     nn::Tensor gvl({e, l});
     for (int i = 0; i < e; ++i) {
       for (int k = 0; k < l; ++k) {
         float g = gz.at(i, d + k);
         if (p > 0.0f) {
-          g = layout_keep_[static_cast<std::size_t>(i) * l + k] ? g / (1.0f - p) : 0.0f;
+          g = cache.layout_keep[static_cast<std::size_t>(i) * l + k] ? g / (1.0f - p)
+                                                                    : 0.0f;
         }
         gvl.at(i, k) = g;
       }
     }
-    const nn::Tensor gmap = layout_->embed_backward(gvl, design.masks);
-    layout_->backward(gmap);
+    const nn::Tensor gmap = net_.layout->embed_backward(gvl, design.masks);
+    net_.layout->backward(gmap);
   }
-  if (config_.use_gnn) {
+  if (net_.gnn) {
     nn::Tensor grad_h({design.graph.num_nodes(), d});
     for (int i = 0; i < e; ++i) {
       const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
       for (int k = 0; k < d; ++k) grad_h.at(ep, k) += gz.at(i, k);
     }
-    gnn_->backward(design.graph, design.features, gnn_state_, grad_h);
+    net_.gnn->backward(design.graph, design.features, cache.gnn, grad_h);
   }
 
   adam_->step();

@@ -7,8 +7,18 @@
 //
 // plus the single-modality ablations of TABLE II (CNN-only / GNN-only) and
 // the masking ablation (shared global layout embedding for every endpoint).
+//
+// The model is split along the train/inference seam:
+//  - FusionNet is the weight-owning chassis (GNN + CNN + regressor), shared
+//    by both sides so architecture and checkpoint order exist exactly once.
+//  - FusionModel (here) wraps a FusionNet with the optimizer and the training
+//    forward (dropout, activation caches). Its caches live on the stack of
+//    each train_step call, so predict() is const and concurrency-safe.
+//  - WeightSnapshot / InferenceEngine (inference.hpp) freeze a FusionNet for
+//    the read-only batched inference path served by rtp::serve.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "flow/dataset_flow.hpp"
@@ -39,12 +49,35 @@ struct PreparedDesign {
 /// TimingGraph is immutable): features, maps, longest paths, masks, labels.
 PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& config);
 
+/// The three sub-networks of Fig. 2 plus the architecture they realize.
+/// FusionModel and WeightSnapshot each own one, so mutable training state and
+/// frozen inference weights can never alias.
+struct FusionNet {
+  ModelConfig config;
+  std::unique_ptr<EndpointGNN> gnn;       ///< null when !config.use_gnn
+  std::unique_ptr<LayoutEncoder> layout;  ///< null when !config.use_cnn
+  std::unique_ptr<nn::Mlp> regressor;
+
+  FusionNet(const ModelConfig& config, Rng& rng);
+
+  /// Trainable parameters in checkpoint order: regressor, gnn, layout. This
+  /// order is load-bearing — every "RTPW" checkpoint ever written uses it.
+  std::vector<nn::Param*> params();
+  std::vector<const nn::Param*> params() const;
+
+  int gnn_dim() const { return config.use_gnn ? config.gnn_embed : 0; }
+  int layout_dim() const { return config.use_cnn ? config.layout_embed : 0; }
+};
+
 class FusionModel {
  public:
   explicit FusionModel(const ModelConfig& config);
 
-  /// Predictions in picoseconds, shape (E, 1).
-  nn::Tensor predict(PreparedDesign& design);
+  /// Predictions in picoseconds, shape (E, 1). Const and cache-free: it runs
+  /// the same batched code path as InferenceEngine::predict (inference.hpp)
+  /// with a batch of one, so results are bit-identical to batched inference
+  /// and concurrent calls on one model are safe.
+  nn::Tensor predict(const PreparedDesign& design) const;
 
   /// One full-design training step (forward, MSE on normalized labels,
   /// backward, Adam update). Returns the step's loss.
@@ -55,36 +88,38 @@ class FusionModel {
   float label_mean() const { return label_mean_; }
   float label_std() const { return label_std_; }
 
-  /// All trainable parameters (ordered deterministically by branch).
-  std::vector<nn::Param*> params();
+  /// All trainable parameters (checkpoint order; see FusionNet::params).
+  std::vector<nn::Param*> params() { return net_.params(); }
 
-  /// Checkpointing: weights + label stats. load() aborts if the file was
-  /// written by a model with a different architecture (shape mismatch).
+  /// Checkpointing: weights + label stats. load() returns false and writes a
+  /// diagnostic naming the offending parameter shapes into *error when the
+  /// file was written by a different architecture, so a caller (e.g. a serve
+  /// snapshot publisher) can reject it without aborting the process.
   void save(const std::string& path);
-  void load(const std::string& path);
+  [[nodiscard]] bool load(const std::string& path, std::string* error = nullptr);
 
-  const ModelConfig& config() const { return config_; }
+  const ModelConfig& config() const { return net_.config; }
+  const FusionNet& net() const { return net_; }
   nn::Adam& optimizer() { return *adam_; }
 
  private:
-  /// Forward to normalized predictions; caches activations for backward.
-  nn::Tensor forward(PreparedDesign& design);
+  /// Activation caches of one training forward; stack-allocated per
+  /// train_step so no forward state outlives the call.
+  struct ForwardCache {
+    EndpointGNN::ForwardState gnn;
+    nn::Tensor layout_map;                  ///< (1, P)
+    std::vector<std::uint8_t> layout_keep;  ///< dropout mask over (E, layout_embed)
+  };
 
-  ModelConfig config_;
+  /// Training forward to normalized predictions (dropout active).
+  nn::Tensor forward_train(PreparedDesign& design, ForwardCache* cache);
+
   Rng rng_;
-  std::unique_ptr<EndpointGNN> gnn_;
-  std::unique_ptr<LayoutEncoder> layout_;
-  std::unique_ptr<nn::Mlp> regressor_;
+  FusionNet net_;
   std::unique_ptr<nn::Adam> adam_;
 
   float label_mean_ = 0.0f;
   float label_std_ = 1.0f;
-
-  // Per-forward caches.
-  EndpointGNN::ForwardState gnn_state_;
-  nn::Tensor layout_map_;  ///< (1, P)
-  bool training_ = false;
-  std::vector<bool> layout_keep_;  ///< dropout mask over (E, layout_embed)
 };
 
 }  // namespace rtp::model

@@ -125,6 +125,97 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
   return state;
 }
 
+// Mirrors forward() level by level — same gathers, same MLP math, same
+// scatter order — but keeps no caches and touches no members, so it is const
+// and safe under concurrent callers. The max-aggregate uses the identical
+// first/max update rule, so every h row is bit-identical to forward().h.
+nn::Tensor EndpointGNN::infer(const tg::TimingGraph& graph,
+                              const NodeFeatures& features) const {
+  RTP_TRACE_SCOPE("gnn.infer");
+  RTP_COUNT("gnn.levels", graph.nodes_by_level().size());
+  RTP_COUNT("gnn.nodes", graph.num_nodes());
+  const int d = embed_;
+  nn::Tensor h({graph.num_nodes(), d});
+  std::vector<nl::PinId> cell_nodes, net_nodes, net_drivers;
+
+  for (const std::vector<nl::PinId>& level_nodes : graph.nodes_by_level()) {
+    cell_nodes.clear();
+    net_nodes.clear();
+    net_drivers.clear();
+    for (nl::PinId p : level_nodes) {
+      if (features.kind[static_cast<std::size_t>(p)] == NodeKind::kNetNode) {
+        net_nodes.push_back(p);
+        net_drivers.push_back(graph.edge(graph.fanin(p)[0]).from);
+      } else {
+        cell_nodes.push_back(p);
+      }
+    }
+
+    if (!cell_nodes.empty()) {
+      const int b = static_cast<int>(cell_nodes.size());
+      // Zeroed acquire: launch sources (no fanin) keep a zero aggregate, as in
+      // forward(). The feature gather overwrites every element, so it is dirty.
+      nn::Scratch max_agg_s({b, d}, /*zeroed=*/true);
+      nn::Tensor& max_agg = max_agg_s.t();
+      nn::Scratch feat_s({b, kCellFeatDim}, /*zeroed=*/false);
+      nn::Tensor& feat = feat_s.t();
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cell_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < kCellFeatDim; ++k)
+            feat.at(i, k) = features.cell_feat.at(p, k);
+          bool first = true;
+          for (std::int32_t e : graph.fanin(p)) {
+            const nl::PinId u = graph.edge(e).from;
+            for (int k = 0; k < d; ++k) {
+              const float hu = h.at(u, k);
+              if (first || hu > max_agg.at(i, k)) max_agg.at(i, k) = hu;
+            }
+            first = false;
+          }
+        }
+      });
+      nn::Tensor u1 = f_c1_.infer(max_agg);
+      u1.add_(f_c2_.infer(feat));
+      const nn::Tensor out = nn::ReLU::apply(u1);
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = cell_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) h.at(p, k) = out.at(i, k);
+        }
+      });
+    }
+
+    if (!net_nodes.empty()) {
+      const int b = static_cast<int>(net_nodes.size());
+      nn::Scratch feat_s({b, kNetFeatDim}, /*zeroed=*/false);
+      nn::Tensor& feat = feat_s.t();
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = net_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < kNetFeatDim; ++k)
+            feat.at(i, k) = features.net_feat.at(p, k);
+        }
+      });
+      nn::Tensor un = f_n_.infer(feat);
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId drv = net_drivers[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) un.at(i, k) += h.at(drv, k);
+        }
+      });
+      const nn::Tensor out = nn::ReLU::apply(un);
+      core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const nl::PinId p = net_nodes[static_cast<std::size_t>(i)];
+          for (int k = 0; k < d; ++k) h.at(p, k) = out.at(i, k);
+        }
+      });
+    }
+  }
+  return h;
+}
+
 void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
                            const ForwardState& state, nn::Tensor& grad_h) {
   RTP_TRACE_SCOPE("gnn.backward");

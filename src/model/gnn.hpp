@@ -46,6 +46,11 @@ class EndpointGNN {
   /// Full-graph forward pass.
   ForwardState forward(const tg::TimingGraph& graph, const NodeFeatures& features);
 
+  /// Inference-only forward: returns just the (pin slots, D) embeddings,
+  /// records nothing for backward, and writes no member state — safe to call
+  /// concurrently on one instance. Bit-identical to forward().h.
+  nn::Tensor infer(const tg::TimingGraph& graph, const NodeFeatures& features) const;
+
   /// Backpropagates `grad_h` (pin slots, D; typically nonzero only at
   /// endpoints) through the message-passing schedule, accumulating parameter
   /// gradients. `grad_h` is consumed (used as the running gradient buffer).

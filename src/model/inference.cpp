@@ -1,0 +1,167 @@
+#include "model/inference.hpp"
+
+#include "nn/serialize.hpp"
+#include "nn/workspace.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::model {
+
+std::shared_ptr<const WeightSnapshot> WeightSnapshot::from_model(
+    const FusionModel& model) {
+  // The net is rebuilt (any rng — every weight is overwritten) and the
+  // model's current values are deep-copied in params() order.
+  Rng rng(model.config().seed);
+  FusionNet net(model.config(), rng);
+  const std::vector<nn::Param*> dst = net.params();
+  const std::vector<const nn::Param*> src = model.net().params();
+  RTP_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i]->value = src[i]->value;
+  std::shared_ptr<WeightSnapshot> snap(new WeightSnapshot(std::move(net)));
+  snap->label_mean_ = model.label_mean();
+  snap->label_std_ = model.label_std();
+  return snap;
+}
+
+std::shared_ptr<const WeightSnapshot> WeightSnapshot::from_checkpoint(
+    const std::string& path, const ModelConfig& config, std::string* error) {
+  Rng rng(config.seed);
+  FusionNet net(config, rng);
+  std::vector<float> extra;
+  if (!nn::try_load_params(path, net.params(), &extra, error)) return nullptr;
+  if (extra.size() != 2) {
+    if (error) *error = path + ": checkpoint missing label statistics";
+    return nullptr;
+  }
+  std::shared_ptr<WeightSnapshot> snap(new WeightSnapshot(std::move(net)));
+  snap->label_mean_ = extra[0];
+  snap->label_std_ = extra[1];
+  return snap;
+}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const WeightSnapshot> snapshot)
+    : snapshot_(std::move(snapshot)) {
+  RTP_CHECK_MSG(snapshot_ != nullptr, "InferenceEngine needs a snapshot");
+}
+
+nn::Tensor InferenceEngine::predict(const PreparedDesign& design) const {
+  PredictRequest request;
+  request.design =
+      std::shared_ptr<const PreparedDesign>(std::shared_ptr<const void>(), &design);
+  return predict(request);
+}
+
+nn::Tensor InferenceEngine::predict(const PredictRequest& request) const {
+  RTP_TRACE_SCOPE("model.predict");
+  return detail::infer_batch(snapshot_->net(), snapshot_->label_mean(),
+                             snapshot_->label_std(), {request})[0];
+}
+
+std::vector<nn::Tensor> InferenceEngine::predict_batch(const PredictBatch& batch) const {
+  RTP_TRACE_SCOPE("model.predict_batch");
+  return detail::infer_batch(snapshot_->net(), snapshot_->label_mean(),
+                             snapshot_->label_std(), batch);
+}
+
+namespace detail {
+
+std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
+                                    float label_std, const PredictBatch& batch) {
+  if (batch.empty()) return {};
+  const int d = net.gnn_dim();
+  const int l = net.layout_dim();
+
+  // Distinct designs in first-appearance order (batches are small — a linear
+  // scan beats hashing shared_ptr identities).
+  std::vector<const PreparedDesign*> designs;
+  std::vector<std::size_t> design_of(batch.size());
+  int total_rows = 0;
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const PredictRequest& req = batch[r];
+    RTP_CHECK_MSG(req.design != nullptr, "PredictRequest without a design");
+    const PreparedDesign* pd = req.design.get();
+    std::size_t idx = 0;
+    while (idx < designs.size() && designs[idx] != pd) ++idx;
+    if (idx == designs.size()) designs.push_back(pd);
+    design_of[r] = idx;
+    total_rows += req.rows();
+  }
+  RTP_COUNT_SCHED("model.infer.requests", static_cast<std::int64_t>(batch.size()));
+  RTP_COUNT_SCHED("model.infer.designs", static_cast<std::int64_t>(designs.size()));
+
+  // One full-design forward per distinct design: the GNN embedding covers
+  // every pin and the layout map is endpoint-independent, so any subset of
+  // requested endpoints reads the same tensors.
+  std::vector<nn::Tensor> h(designs.size());
+  std::vector<nn::Tensor> maps(designs.size());
+  for (std::size_t g = 0; g < designs.size(); ++g) {
+    if (net.gnn) h[g] = net.gnn->infer(designs[g]->graph, designs[g]->features);
+    if (net.layout) maps[g] = net.layout->infer_map(designs[g]->layout_input);
+  }
+
+  // Row r of a request resolves to one endpoint index in its design.
+  const auto endpoint_index = [](const PredictRequest& req, int i) {
+    return req.endpoints.empty() ? static_cast<std::int32_t>(i) : req.endpoints[i];
+  };
+
+  // Layout branch: one masked matrix spanning every row of the batch, one
+  // fc.apply. Rows are per-endpoint independent, so this equals per-request
+  // embed() calls bit for bit.
+  nn::Tensor vl;
+  if (l > 0) {
+    const int pixels = net.layout->map_pixels();
+    nn::Scratch masked_s({total_rows, pixels}, /*zeroed=*/true);
+    nn::Tensor& masked = masked_s.t();
+    int row = 0;
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      const PredictRequest& req = batch[r];
+      const PreparedDesign& pd = *req.design;
+      const nn::Tensor& map = maps[design_of[r]];
+      const int rows = req.rows();
+      for (int i = 0; i < rows; ++i, ++row) {
+        const std::int32_t ei = endpoint_index(req, i);
+        for (std::int32_t bin : pd.masks.bins[static_cast<std::size_t>(ei)]) {
+          masked.at(row, bin) = map.at(0, bin);
+        }
+      }
+    }
+    vl = net.layout->fc().apply(masked);
+  }
+
+  // Fused embedding rows, then one regressor pass over the whole batch.
+  nn::Tensor z({total_rows, d + l});
+  int row = 0;
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const PredictRequest& req = batch[r];
+    const PreparedDesign& pd = *req.design;
+    const int rows = req.rows();
+    for (int i = 0; i < rows; ++i, ++row) {
+      const std::int32_t ei = endpoint_index(req, i);
+      if (d > 0) {
+        const nl::PinId ep = pd.endpoints[static_cast<std::size_t>(ei)];
+        const nn::Tensor& hg = h[design_of[r]];
+        for (int k = 0; k < d; ++k) z.at(row, k) = hg.at(ep, k);
+      }
+      for (int k = 0; k < l; ++k) z.at(row, d + k) = vl.at(row, k);
+    }
+  }
+  nn::Tensor pred = net.regressor->infer(z);
+
+  // Denormalize and split back into per-request tensors.
+  std::vector<nn::Tensor> out;
+  out.reserve(batch.size());
+  row = 0;
+  for (const PredictRequest& req : batch) {
+    const int rows = req.rows();
+    nn::Tensor y({rows, 1});
+    for (int i = 0; i < rows; ++i) {
+      y.at(i, 0) = pred.at(row + i, 0) * label_std + label_mean;
+    }
+    row += rows;
+    out.push_back(std::move(y));
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace rtp::model

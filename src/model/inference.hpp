@@ -1,0 +1,106 @@
+#pragma once
+// Read-only inference path for the fusion model.
+//
+// A WeightSnapshot is a frozen FusionNet (weights + label stats copied out of
+// a trained FusionModel or a checkpoint) that is never mutated after
+// construction; handing it around as shared_ptr<const WeightSnapshot> is the
+// epoch-publication mechanism rtp::serve uses to hot-swap models under live
+// traffic. An InferenceEngine wraps one snapshot and answers PredictRequests:
+// N requests — possibly against different designs, possibly for endpoint
+// subsets — coalesce into ONE GNN/CNN forward per distinct design plus one
+// shared FC + regressor pass over the concatenated rows.
+//
+// Bit-identity contract (test-enforced, tests/serve_test.cpp): every row of a
+// batched prediction equals the corresponding row of a sequential
+// FusionModel::predict, for any batch composition. This holds because each
+// output row of Linear/ReLU/Mlp depends only on its own input row (GEMM
+// accumulates in fixed ascending-k order per element), the GNN forward is
+// full-graph (independent of which endpoints are requested), and the masked
+// layout rows are per-endpoint independent. FusionModel::predict itself runs
+// through infer_batch with a batch of one, so the two paths cannot diverge.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/fusion.hpp"
+
+namespace rtp::model {
+
+/// One endpoint-prediction request against one prepared design.
+struct PredictRequest {
+  std::shared_ptr<const PreparedDesign> design;
+  /// Indices into design->endpoints to predict; empty means all of them.
+  std::vector<std::int32_t> endpoints;
+
+  int rows() const {
+    return endpoints.empty() ? static_cast<int>(design->endpoints.size())
+                             : static_cast<int>(endpoints.size());
+  }
+};
+
+/// A coalescable batch; requests keep their order, responses align 1:1.
+using PredictBatch = std::vector<PredictRequest>;
+
+/// Immutable weights + label statistics. Construct-once, read-forever: after
+/// the factory returns, nothing writes through the net again.
+class WeightSnapshot {
+ public:
+  /// Deep-copies the model's current weights and label stats.
+  static std::shared_ptr<const WeightSnapshot> from_model(const FusionModel& model);
+
+  /// Loads an "RTPW" checkpoint into a net of the given architecture.
+  /// Returns nullptr and a diagnostic naming the offending shapes in *error
+  /// when the checkpoint does not match — the graceful-rejection path a
+  /// server needs when a trainer publishes a bad file.
+  static std::shared_ptr<const WeightSnapshot> from_checkpoint(
+      const std::string& path, const ModelConfig& config, std::string* error);
+
+  const ModelConfig& config() const { return net_.config; }
+  const FusionNet& net() const { return net_; }
+  float label_mean() const { return label_mean_; }
+  float label_std() const { return label_std_; }
+
+ private:
+  explicit WeightSnapshot(FusionNet net) : net_(std::move(net)) {}
+
+  FusionNet net_;
+  float label_mean_ = 0.0f;
+  float label_std_ = 1.0f;
+};
+
+/// Stateless reader over one snapshot. All methods are const and touch no
+/// shared mutable state, so one engine may serve any number of threads.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(std::shared_ptr<const WeightSnapshot> snapshot);
+
+  /// All endpoints of one design; (E, 1) picoseconds.
+  nn::Tensor predict(const PreparedDesign& design) const;
+
+  /// One request (possibly an endpoint subset); (rows, 1) picoseconds.
+  nn::Tensor predict(const PredictRequest& request) const;
+
+  /// Coalesced batch: one forward per distinct design, one fused regressor
+  /// pass. Response i corresponds to batch[i].
+  std::vector<nn::Tensor> predict_batch(const PredictBatch& batch) const;
+
+  const WeightSnapshot& snapshot() const { return *snapshot_; }
+  std::shared_ptr<const WeightSnapshot> snapshot_ptr() const { return snapshot_; }
+
+ private:
+  std::shared_ptr<const WeightSnapshot> snapshot_;
+};
+
+namespace detail {
+
+/// THE batched inference implementation; FusionModel::predict and
+/// InferenceEngine both delegate here, which is what makes sequential and
+/// batched predictions bit-identical by construction.
+std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
+                                    float label_std, const PredictBatch& batch);
+
+}  // namespace detail
+
+}  // namespace rtp::model

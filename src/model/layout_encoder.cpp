@@ -69,6 +69,22 @@ nn::Tensor LayoutEncoder::forward(const nn::Tensor& x) {
   return flat;
 }
 
+nn::Tensor LayoutEncoder::infer_map(const nn::Tensor& x) const {
+  RTP_TRACE_SCOPE("cnn.infer");
+  RTP_HIST_TIMER("cnn.forward");
+  RTP_CHECK(x.ndim() == 3 && x.dim(0) == 3 && x.dim(1) == grid_ && x.dim(2) == grid_);
+  nn::Tensor h = conv1_.apply(x);
+  h = nn::ReLU::apply(h);
+  h = pool1_.apply(h);
+  h = conv2_.apply(h);
+  h = nn::ReLU::apply(h);
+  h = pool2_.apply(h);
+  h = conv3_.apply(h);  // (1, grid/4, grid/4)
+  nn::Tensor flat({1, map_pixels_});
+  for (int i = 0; i < map_pixels_; ++i) flat.at(0, i) = h[static_cast<std::size_t>(i)];
+  return flat;
+}
+
 void LayoutEncoder::backward(const nn::Tensor& grad_map) {
   RTP_TRACE_SCOPE("cnn.backward");
   RTP_CHECK(grad_map.ndim() == 2 && grad_map.dim(1) == map_pixels_);

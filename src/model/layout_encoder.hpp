@@ -40,6 +40,10 @@ class LayoutEncoder {
   /// x: (3, grid, grid) -> flattened global layout map (1, (grid/4)^2).
   nn::Tensor forward(const nn::Tensor& x);
 
+  /// Inference-only forward: no activation caching, no member writes — safe
+  /// to call concurrently on one instance. Bit-identical to forward().
+  nn::Tensor infer_map(const nn::Tensor& x) const;
+
   /// grad wrt the flattened map; backpropagates through the CNN.
   void backward(const nn::Tensor& grad_map);
 
@@ -53,6 +57,9 @@ class LayoutEncoder {
   std::vector<nn::Param*> params();
 
   int map_pixels() const { return map_pixels_; }
+  /// The shared FC layer, exposed so the batched inference path can run one
+  /// fc.apply over a masked matrix spanning several requests (Eq. 6 batched).
+  const nn::Linear& fc() const { return fc_; }
 
  private:
   int grid_;

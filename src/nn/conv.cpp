@@ -49,6 +49,24 @@ void im2col(const Tensor& x, int k, int p, const ColDims& d, float* xcol) {
   });
 }
 
+// Shared by forward() and apply(): Y (co x oh*ow) = W (co x ci*k*k) * X_col,
+// then the per-channel bias add (parallel over disjoint output channels).
+Tensor conv_gemm_bias(const Tensor& weight, const Tensor& bias, const float* xcol,
+                      const ColDims& d, int co) {
+  Tensor y({co, d.oh, d.ow});
+  kern::gemm(kern::Op::kNone, kern::Op::kNone, co, d.cols, d.rows, weight.data(),
+             xcol, y.data());
+  const std::int64_t bias_grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
+  core::parallel_for(0, co, bias_grain, [&](std::int64_t f0, std::int64_t f1) {
+    for (int f = static_cast<int>(f0); f < f1; ++f) {
+      const float b = bias.at(f);
+      float* yrow = y.data() + static_cast<std::size_t>(f) * d.cols;
+      for (int j = 0; j < d.cols; ++j) yrow[j] += b;
+    }
+  });
+  return y;
+}
+
 }  // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int padding, Rng& rng)
@@ -81,18 +99,23 @@ Tensor Conv2d::forward(const Tensor& x) {
     im2col(x, k, p, d, cached_cols_.data());
     xcol = cached_cols_.data();
   }
-  Tensor y({co, d.oh, d.ow});
-  kern::gemm(kern::Op::kNone, kern::Op::kNone, co, d.cols, d.rows,
-             weight_.value.data(), xcol, y.data());
-  const std::int64_t bias_grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
-  core::parallel_for(0, co, bias_grain, [&](std::int64_t f0, std::int64_t f1) {
-    for (int f = static_cast<int>(f0); f < f1; ++f) {
-      const float b = bias_.value.at(f);
-      float* yrow = y.data() + static_cast<std::size_t>(f) * d.cols;
-      for (int j = 0; j < d.cols; ++j) yrow[j] += b;
-    }
-  });
-  return y;
+  return conv_gemm_bias(weight_.value, bias_.value, xcol, d, co);
+}
+
+// Same lowering and GEMM as forward(), but the columns live in arena scratch
+// and nothing is kept for backward.
+Tensor Conv2d::apply(const Tensor& x) const {
+  RTP_CHECK(x.ndim() == 3 && x.dim(0) == in_channels());
+  const int ci = in_channels(), co = out_channels(), k = kernel(), p = padding_;
+  const ColDims d = col_dims(ci, k, p, x.dim(1), x.dim(2));
+  RTP_CHECK_MSG(d.oh > 0 && d.ow > 0, "conv output would be empty");
+  if (k == 1 && p == 0) {
+    return conv_gemm_bias(weight_.value, bias_.value, x.data(), d, co);
+  }
+  // im2col writes every element (padding included), so a dirty acquire is safe.
+  Scratch cols({d.rows, d.cols}, /*zeroed=*/false);
+  im2col(x, k, p, d, cols.data());
+  return conv_gemm_bias(weight_.value, bias_.value, cols.data(), d, co);
 }
 
 // Backward in lowered form:
@@ -202,6 +225,30 @@ Tensor MaxPool2d::forward(const Tensor& x) {
         }
         y.at(ch, i, j) = best;
         argmax_[out_idx] = best_idx;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::apply(const Tensor& x) const {
+  RTP_CHECK(x.ndim() == 3);
+  const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
+  RTP_CHECK_MSG(h % window_ == 0 && w % window_ == 0,
+                "MaxPool2d requires H, W divisible by window");
+  const int oh = h / window_, ow = w / window_;
+  Tensor y({c, oh, ow});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        float best = x.at(ch, i * window_, j * window_);
+        for (int di = 0; di < window_; ++di) {
+          for (int dj = 0; dj < window_; ++dj) {
+            const float v = x.at(ch, i * window_ + di, j * window_ + dj);
+            if (v > best) best = v;
+          }
+        }
+        y.at(ch, i, j) = best;
       }
     }
   }

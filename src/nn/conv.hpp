@@ -24,6 +24,11 @@ class Conv2d {
   /// x: (C_in, H, W) -> (C_out, H + 2p - k + 1, W + 2p - k + 1).
   Tensor forward(const Tensor& x);
 
+  /// Inference-only: lowers into arena scratch, caches nothing, writes no
+  /// members — safe to call concurrently on one instance. Bit-identical to
+  /// forward().
+  Tensor apply(const Tensor& x) const;
+
   /// grad_out matches forward's output shape; returns grad wrt x.
   Tensor backward(const Tensor& grad_out);
 
@@ -49,6 +54,9 @@ class MaxPool2d {
 
   /// x: (C, H, W) -> (C, H/window, W/window). H and W must divide evenly.
   Tensor forward(const Tensor& x);
+  /// Inference-only: no argmax recorded, no member writes. Bit-identical to
+  /// forward().
+  Tensor apply(const Tensor& x) const;
   Tensor backward(const Tensor& grad_out);
 
   int window() const { return window_; }

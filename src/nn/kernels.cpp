@@ -285,4 +285,21 @@ void gemm(Op op_a, Op op_b, int m, int n, int k, const float* a, const float* b,
   gemm_blocked(op_a, op_b, m, n, k, a, b, c);
 }
 
+void gemm_row_invariant(Op op_a, Op op_b, int m, int n, int k, const float* a,
+                        const float* b, float* c) {
+  // gemm()'s threshold evaluated at the fixed pivot m = 2*kMr, so the choice
+  // is a function of (n, k) alone. Since both kernels produce each C row by a
+  // per-row accumulation whose order never depends on m (naive: plain row
+  // loops; blocked: the packed-A strip position pads with zeros that do not
+  // enter the row's accumulator), the same rows batched into calls of
+  // different heights come out bit-identical.
+  RTP_HIST_TIMER("nn.gemm");
+  const std::int64_t per_row_macs = static_cast<std::int64_t>(n) * k;
+  if (use_naive_kernels() || per_row_macs * (2 * kMr) < (1 << 15)) {
+    gemm_naive(op_a, op_b, m, n, k, a, b, c);
+    return;
+  }
+  gemm_blocked(op_a, op_b, m, n, k, a, b, c);
+}
+
 }  // namespace rtp::nn::kern

@@ -42,6 +42,16 @@ inline constexpr int kKc = 256;  ///< k-panel depth (packed panels stay in L1/L2
 void gemm(Op op_a, Op op_b, int m, int n, int k, const float* a, const float* b,
           float* c);
 
+/// Like gemm(), but the naive/blocked choice ignores m: it depends only on
+/// the per-row problem (n, k). Both kernels compute row i of C from row i of
+/// op_a(A) alone, with an accumulation order that never looks at m — so under
+/// this dispatch a row's bits are identical no matter how many other rows
+/// share the call. This is what lets batched inference coalesce requests of
+/// any size and still match sequential prediction bit for bit (matmul_bt and
+/// the inference layers route here).
+void gemm_row_invariant(Op op_a, Op op_b, int m, int n, int k, const float* a,
+                        const float* b, float* c);
+
 /// The blocked path, unconditionally (tests and benchmarks).
 void gemm_blocked(Op op_a, Op op_b, int m, int n, int k, const float* a,
                   const float* b, float* c);

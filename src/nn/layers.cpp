@@ -16,9 +16,8 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
     : weight_(kaiming_uniform(out_features, in_features, rng)),
       bias_(Tensor::zeros({out_features})) {}
 
-Tensor Linear::forward(const Tensor& x, Tensor* saved) const {
+Tensor Linear::apply(const Tensor& x) const {
   RTP_CHECK(x.ndim() == 2 && x.dim(1) == in_features());
-  *saved = x;
   Tensor y = matmul_bt(x, weight_.value);  // (N,in) * (out,in)^T
   const int n = y.dim(0), out = y.dim(1);
   const float* b = bias_.value.data();
@@ -27,6 +26,11 @@ Tensor Linear::forward(const Tensor& x, Tensor* saved) const {
     for (int j = 0; j < out; ++j) yrow[j] += b[j];
   }
   return y;
+}
+
+Tensor Linear::forward(const Tensor& x, Tensor* saved) const {
+  *saved = x;
+  return apply(x);
 }
 
 Tensor Linear::forward(const Tensor& x) { return forward(x, &cached_input_); }
@@ -66,6 +70,15 @@ Tensor ReLU::forward(const Tensor& x, ReluMask* saved_mask) {
 }
 
 Tensor ReLU::forward(const Tensor& x) { return forward(x, &mask_); }
+
+Tensor ReLU::apply(const Tensor& x) {
+  Tensor y = x;
+  float* yd = y.data();
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (!(yd[i] > 0.0f)) yd[i] = 0.0f;
+  }
+  return y;
+}
 
 Tensor ReLU::backward(const Tensor& grad_out, const ReluMask& saved_mask) {
   Tensor g = grad_out;

@@ -46,6 +46,9 @@ class Linear {
   Tensor forward(const Tensor& x);
   /// Stateless variant: stores the input in *saved instead.
   Tensor forward(const Tensor& x, Tensor* saved) const;
+  /// Inference-only: no cache, no member writes — safe to call concurrently
+  /// on one instance. Bit-identical to forward().
+  Tensor apply(const Tensor& x) const;
 
   /// grad_out: (N, out) -> grad wrt x (N, in); accumulates dW, db.
   Tensor backward(const Tensor& grad_out);
@@ -76,6 +79,8 @@ class ReLU {
  public:
   Tensor forward(const Tensor& x);
   static Tensor forward(const Tensor& x, ReluMask* saved_mask);
+  /// Inference-only: no mask recorded. Bit-identical to forward().
+  static Tensor apply(const Tensor& x);
   Tensor backward(const Tensor& grad_out);
   static Tensor backward(const Tensor& grad_out, const ReluMask& saved_mask);
   /// In-place variant: zeroes *grad where the mask is 0. Lets callers that

@@ -22,6 +22,15 @@ Tensor Mlp::forward(const Tensor& x, MlpCache* cache) {
 
 Tensor Mlp::forward(const Tensor& x) { return forward(x, &stateful_cache_); }
 
+Tensor Mlp::infer(const Tensor& x) const {
+  Tensor h = layers_[0]->apply(x);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    h = ReLU::apply(h);
+    h = layers_[i]->apply(h);
+  }
+  return h;
+}
+
 Tensor Mlp::backward(const Tensor& grad_out, const MlpCache& cache) {
   RTP_CHECK(cache.linear_inputs.size() == layers_.size());
   Tensor g = layers_.back()->backward(grad_out, cache.linear_inputs.back());

@@ -29,6 +29,9 @@ class Mlp {
   Tensor forward(const Tensor& x);
   /// Stateless variant writing activations into *cache.
   Tensor forward(const Tensor& x, MlpCache* cache);
+  /// Inference-only: no activation caching, no member writes — safe to call
+  /// concurrently on one instance. Bit-identical to forward().
+  Tensor infer(const Tensor& x) const;
 
   /// grad_out: (N, dims.back()) -> grad wrt input.
   Tensor backward(const Tensor& grad_out);

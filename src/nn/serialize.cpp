@@ -20,28 +20,10 @@ void write_u32(std::FILE* f, std::uint32_t v) {
   RTP_CHECK(std::fwrite(&v, sizeof v, 1, f) == 1);
 }
 
-std::uint32_t read_u32(std::FILE* f) {
-  std::uint32_t v = 0;
-  RTP_CHECK_MSG(std::fread(&v, sizeof v, 1, f) == 1, "checkpoint truncated");
-  return v;
-}
-
 void write_tensor(std::FILE* f, const Tensor& t) {
   write_u32(f, static_cast<std::uint32_t>(t.ndim()));
   for (int d = 0; d < t.ndim(); ++d) write_u32(f, static_cast<std::uint32_t>(t.dim(d)));
   RTP_CHECK(std::fwrite(t.data(), sizeof(float), t.numel(), f) == t.numel());
-}
-
-void read_tensor_into(std::FILE* f, Tensor& t) {
-  const std::uint32_t ndim = read_u32(f);
-  RTP_CHECK_MSG(static_cast<int>(ndim) == t.ndim(), "checkpoint shape rank mismatch");
-  for (int d = 0; d < t.ndim(); ++d) {
-    RTP_CHECK_MSG(read_u32(f) == static_cast<std::uint32_t>(t.dim(d)),
-                  "checkpoint shape mismatch — was the model built with the "
-                  "same ModelConfig?");
-  }
-  RTP_CHECK_MSG(std::fread(t.data(), sizeof(float), t.numel(), f) == t.numel(),
-                "checkpoint truncated");
 }
 
 }  // namespace
@@ -61,22 +43,87 @@ void save_params(const std::string& path, const std::vector<Param*>& params,
   }
 }
 
+namespace {
+
+std::string shape_string(const std::vector<std::uint32_t>& dims) {
+  std::string s;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) s += 'x';
+    s += std::to_string(dims[i]);
+  }
+  return s.empty() ? "scalar" : s;
+}
+
+std::string tensor_shape_string(const Tensor& t) {
+  std::vector<std::uint32_t> dims;
+  for (int d = 0; d < t.ndim(); ++d) dims.push_back(static_cast<std::uint32_t>(t.dim(d)));
+  return shape_string(dims);
+}
+
+bool try_read_u32(std::FILE* f, std::uint32_t* v) {
+  return std::fread(v, sizeof *v, 1, f) == 1;
+}
+
+}  // namespace
+
+bool try_load_params(const std::string& path, const std::vector<Param*>& params,
+                     std::vector<float>* extra_out, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = path + ": " + why;
+    return false;
+  };
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return fail("cannot open checkpoint for reading");
+  char magic[4] = {};
+  if (std::fread(magic, 1, 4, f.get()) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return fail("not an rtp checkpoint");
+  }
+  std::uint32_t version = 0, count = 0, num_extra = 0;
+  if (!try_read_u32(f.get(), &version)) return fail("checkpoint truncated");
+  if (version != kVersion) {
+    return fail("unsupported checkpoint version " + std::to_string(version));
+  }
+  if (!try_read_u32(f.get(), &count)) return fail("checkpoint truncated");
+  if (count != params.size()) {
+    return fail("param count mismatch: checkpoint has " + std::to_string(count) +
+                ", model expects " + std::to_string(params.size()));
+  }
+  if (!try_read_u32(f.get(), &num_extra)) return fail("checkpoint truncated");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& t = params[i]->value;
+    std::uint32_t ndim = 0;
+    if (!try_read_u32(f.get(), &ndim)) return fail("checkpoint truncated");
+    std::vector<std::uint32_t> dims(ndim);
+    for (std::uint32_t& d : dims) {
+      if (!try_read_u32(f.get(), &d)) return fail("checkpoint truncated");
+    }
+    bool matches = static_cast<int>(ndim) == t.ndim();
+    for (int d = 0; matches && d < t.ndim(); ++d) {
+      matches = dims[static_cast<std::size_t>(d)] == static_cast<std::uint32_t>(t.dim(d));
+    }
+    if (!matches) {
+      return fail("param " + std::to_string(i) + ": checkpoint shape " +
+                  shape_string(dims) + ", model expects " + tensor_shape_string(t) +
+                  " — was the checkpoint written with the same ModelConfig?");
+    }
+    if (std::fread(t.data(), sizeof(float), t.numel(), f.get()) != t.numel()) {
+      return fail("checkpoint truncated");
+    }
+  }
+  std::vector<float> extra(num_extra);
+  if (num_extra > 0 &&
+      std::fread(extra.data(), sizeof(float), num_extra, f.get()) != num_extra) {
+    return fail("checkpoint truncated");
+  }
+  if (extra_out) *extra_out = std::move(extra);
+  return true;
+}
+
 std::vector<float> load_params(const std::string& path,
                                const std::vector<Param*>& params) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  RTP_CHECK_MSG(f != nullptr, "cannot open checkpoint for reading");
-  char magic[4] = {};
-  RTP_CHECK(std::fread(magic, 1, 4, f.get()) == 4);
-  RTP_CHECK_MSG(std::memcmp(magic, kMagic, 4) == 0, "not an rtp checkpoint");
-  RTP_CHECK_MSG(read_u32(f.get()) == kVersion, "unsupported checkpoint version");
-  RTP_CHECK_MSG(read_u32(f.get()) == params.size(),
-                "checkpoint param count mismatch");
-  const std::uint32_t num_extra = read_u32(f.get());
-  for (Param* p : params) read_tensor_into(f.get(), p->value);
-  std::vector<float> extra(num_extra);
-  if (num_extra > 0) {
-    RTP_CHECK(std::fread(extra.data(), sizeof(float), num_extra, f.get()) == num_extra);
-  }
+  std::vector<float> extra;
+  std::string error;
+  RTP_CHECK_MSG(try_load_params(path, params, &extra, &error), error.c_str());
   return extra;
 }
 

@@ -22,4 +22,13 @@ void save_params(const std::string& path, const std::vector<Param*>& params,
 std::vector<float> load_params(const std::string& path,
                                const std::vector<Param*>& params);
 
+/// Non-aborting variant for callers that must reject a bad checkpoint
+/// gracefully (e.g. a server refusing a snapshot): returns false and writes a
+/// diagnostic naming the offending parameter and both shapes into *error.
+/// On failure the params may be partially overwritten — discard the model.
+[[nodiscard]] bool try_load_params(const std::string& path,
+                                   const std::vector<Param*>& params,
+                                   std::vector<float>* extra_out,
+                                   std::string* error);
+
 }  // namespace rtp::nn

@@ -84,7 +84,11 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   RTP_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  kern::gemm(kern::Op::kNone, kern::Op::kTrans, m, n, k, a.data(), b.data(), c.data());
+  // Row-invariant dispatch: matmul_bt's m is always a data-row count (Linear
+  // batches endpoints/requests along it), and batched inference requires row
+  // bits independent of the batch height.
+  kern::gemm_row_invariant(kern::Op::kNone, kern::Op::kTrans, m, n, k, a.data(),
+                           b.data(), c.data());
   return c;
 }
 

@@ -1,0 +1,183 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "core/check.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::serve {
+
+namespace {
+
+int env_int(const char* name, int fallback, int min_value) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= min_value && v <= 1000000000L) {
+      return static_cast<int>(v);
+    }
+  }
+  return fallback;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig c;
+  c.max_batch = env_int("RTP_SERVE_MAX_BATCH", c.max_batch, 1);
+  c.max_delay_us = env_int("RTP_SERVE_MAX_DELAY_US", c.max_delay_us, 0);
+  c.queue_capacity = env_int("RTP_SERVE_QUEUE_CAP", c.queue_capacity, 1);
+  c.workers = env_int("RTP_SERVE_WORKERS", c.workers, 1);
+  return c;
+}
+
+PredictionService::PredictionService(
+    std::shared_ptr<const model::WeightSnapshot> snapshot, ServeConfig config)
+    : config_(config) {
+  RTP_CHECK_MSG(config_.max_batch >= 1, "serve: max_batch must be >= 1");
+  RTP_CHECK_MSG(config_.max_delay_us >= 0, "serve: max_delay_us must be >= 0");
+  RTP_CHECK_MSG(config_.queue_capacity >= 1, "serve: queue_capacity must be >= 1");
+  RTP_CHECK_MSG(config_.workers >= 1, "serve: workers must be >= 1");
+  engine_ = std::make_shared<const model::InferenceEngine>(std::move(snapshot));
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+PredictionService::~PredictionService() { shutdown(); }
+
+std::optional<std::future<PredictResponse>> PredictionService::submit(
+    model::PredictRequest request) {
+  RTP_CHECK_MSG(request.design != nullptr, "serve: request without a design");
+  std::future<PredictResponse> fut;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || static_cast<int>(queue_.size()) >= config_.queue_capacity) {
+      ++stats_.rejected;
+      RTP_COUNT_SCHED("serve.rejected", 1);
+      return std::nullopt;
+    }
+    queue_.emplace_back();
+    Pending& p = queue_.back();
+    p.request = std::move(request);
+    p.enqueue = std::chrono::steady_clock::now();
+    fut = p.promise.get_future();
+    ++stats_.submitted;
+  }
+  RTP_COUNT_SCHED("serve.submitted", 1);
+  cv_work_.notify_one();
+  return fut;
+}
+
+std::uint64_t PredictionService::publish(
+    std::shared_ptr<const model::WeightSnapshot> snapshot) {
+  RTP_CHECK_MSG(snapshot != nullptr, "serve: publish without a snapshot");
+  // Engine construction (a full weight copy) happens outside the lock; only
+  // the pointer swap is serialized with batch dispatch.
+  auto engine = std::make_shared<const model::InferenceEngine>(std::move(snapshot));
+  RTP_COUNT_SCHED("serve.publishes", 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_ = std::move(engine);
+  return ++epoch_;
+}
+
+std::uint64_t PredictionService::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void PredictionService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+PredictionService::Stats PredictionService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PredictionService::worker_loop(int idx) {
+#if !defined(RTP_OBS_DISABLED)
+  obs::set_thread_name("serve.worker." + std::to_string(idx));
+#else
+  (void)idx;
+#endif
+  for (;;) {
+    std::vector<Pending> batch;
+    std::shared_ptr<const model::InferenceEngine> engine;
+    std::uint64_t epoch = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and backlog drained
+
+      // Coalesce: the head request waits at most max_delay_us for company,
+      // or until max_batch are queued. Requests stay in the queue while
+      // waiting, so admission control counts them against queue_capacity.
+      const auto deadline =
+          queue_.front().enqueue + std::chrono::microseconds(config_.max_delay_us);
+      while (static_cast<int>(queue_.size()) < config_.max_batch && !stop_) {
+        if (cv_work_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+
+      const int n = std::min(static_cast<int>(queue_.size()), config_.max_batch);
+      batch.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      engine = engine_;
+      epoch = epoch_;
+      ++stats_.batches;
+      stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch,
+                                                 static_cast<std::uint64_t>(n));
+      // Leftovers (more than max_batch queued): hand them to another worker.
+      if (!queue_.empty()) cv_work_.notify_one();
+    }
+
+    const auto dispatched = std::chrono::steady_clock::now();
+    model::PredictBatch requests;
+    requests.reserve(batch.size());
+    for (const Pending& p : batch) requests.push_back(p.request);
+    std::vector<nn::Tensor> results = engine->predict_batch(requests);
+    const auto finished = std::chrono::steady_clock::now();
+
+    RTP_COUNT_SCHED("serve.batches", 1);
+    RTP_GAUGE_MAX("serve.batch_size.max", batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Pending& p = batch[i];
+      PredictResponse resp;
+      resp.arrival_ps = std::move(results[i]);
+      resp.snapshot_epoch = epoch;
+      resp.batch_size = static_cast<int>(batch.size());
+      resp.queue_seconds = seconds_between(p.enqueue, dispatched);
+      resp.total_seconds = seconds_between(p.enqueue, finished);
+      RTP_HIST_NS("serve.queue_wait",
+                  static_cast<std::uint64_t>(resp.queue_seconds * 1e9));
+      RTP_HIST_NS("serve.request",
+                  static_cast<std::uint64_t>(resp.total_seconds * 1e9));
+      p.promise.set_value(std::move(resp));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.completed += batch.size();
+    }
+  }
+}
+
+}  // namespace rtp::serve

@@ -1,0 +1,123 @@
+#pragma once
+// rtp::serve — prediction-as-a-service over the read-only inference path.
+//
+// A PredictionService owns a bounded request queue, a coalescing batcher and
+// a set of worker threads. Clients submit() PredictRequests and get a future;
+// workers pop up to max_batch requests (waiting at most max_delay_us past the
+// head request's arrival for company) and run them as ONE
+// InferenceEngine::predict_batch — one GNN/CNN forward per distinct design in
+// the batch. Coalescing changes latency and throughput only: batched results
+// are bit-identical to sequential FusionModel::predict (inference.hpp).
+//
+// Admission control: submit() never blocks. A full queue (queue_capacity) or
+// a stopped service rejects the request (nullopt) so overload sheds load at
+// the front door instead of growing an unbounded backlog.
+//
+// Snapshot epochs: the service holds shared_ptr<const InferenceEngine>; a
+// trainer publishes a new WeightSnapshot at any time and in-flight batches
+// keep the engine they started with, while later batches see the new epoch.
+// Each response reports the epoch that served it.
+//
+// Batch compute rides core::ThreadPool via the nn kernels; concurrent worker
+// batches race for the pool's job slot and the losers run inline
+// (thread_pool.hpp), so multiple serve workers are safe and deterministic.
+//
+// Tuning knobs come from the environment via ServeConfig::from_env():
+// RTP_SERVE_MAX_BATCH, RTP_SERVE_MAX_DELAY_US, RTP_SERVE_QUEUE_CAP,
+// RTP_SERVE_WORKERS (see README). Observability: per-request latency and
+// queue-wait histograms (serve.request / serve.queue_wait, p50/p99 in
+// RTP_REPORT / RTP_METRICS), scheduling counters serve.submitted /
+// serve.rejected / serve.batches, and a serve.batch_size.max gauge.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "model/inference.hpp"
+
+namespace rtp::serve {
+
+struct ServeConfig {
+  int max_batch = 8;         ///< coalescing cap per dispatched batch
+  int max_delay_us = 200;    ///< how long the head request waits for company
+  int queue_capacity = 256;  ///< admission-control bound on queued requests
+  int workers = 1;           ///< dedicated service threads
+
+  /// Defaults overridden by RTP_SERVE_MAX_BATCH / RTP_SERVE_MAX_DELAY_US /
+  /// RTP_SERVE_QUEUE_CAP / RTP_SERVE_WORKERS (invalid values are ignored).
+  static ServeConfig from_env();
+};
+
+struct PredictResponse {
+  nn::Tensor arrival_ps;  ///< (rows, 1), same contract as InferenceEngine
+  std::uint64_t snapshot_epoch = 0;  ///< which published snapshot served this
+  int batch_size = 0;        ///< requests coalesced into the serving batch
+  double queue_seconds = 0;  ///< submit -> batch dispatch
+  double total_seconds = 0;  ///< submit -> response ready
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(std::shared_ptr<const model::WeightSnapshot> snapshot,
+                             ServeConfig config = {});
+  /// Drains the queue and joins the workers.
+  ~PredictionService();
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Non-blocking enqueue. nullopt = admission reject (queue full or service
+  /// stopped); the caller sheds or retries. Otherwise the future completes
+  /// when a worker's batch finishes.
+  std::optional<std::future<PredictResponse>> submit(model::PredictRequest request);
+
+  /// Hot-swaps the serving snapshot (engine built outside the lock, swapped
+  /// atomically under it). In-flight batches finish on the old epoch; returns
+  /// the new epoch number.
+  std::uint64_t publish(std::shared_ptr<const model::WeightSnapshot> snapshot);
+
+  /// Current serving epoch (starts at 1, bumped by each publish()).
+  std::uint64_t epoch() const;
+
+  /// Stops admission, drains already-accepted requests, joins workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch = 0;  ///< largest coalesced batch so far
+  };
+  Stats stats() const;
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    model::PredictRequest request;
+    std::promise<PredictResponse> promise;
+    std::chrono::steady_clock::time_point enqueue;
+  };
+
+  void worker_loop(int idx);
+
+  ServeConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< workers wait for requests / shutdown
+  std::deque<Pending> queue_;        ///< bounded by config_.queue_capacity
+  bool stop_ = false;
+  std::shared_ptr<const model::InferenceEngine> engine_;  ///< current epoch's
+  std::uint64_t epoch_ = 1;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rtp::serve

@@ -60,7 +60,8 @@ TEST(Experiments, TableThreeAccountingConsistent) {
   const DatasetBundle dataset = build_dataset(config);
   model::FusionModel model(config.model);
   model.set_label_stats(1000.0f, 300.0f);
-  const auto rows = run_table3(dataset, model, config);
+  const model::InferenceEngine engine(model::WeightSnapshot::from_model(model));
+  const auto rows = run_table3(dataset, engine, config);
   ASSERT_EQ(rows.size(), dataset.designs.size() + 1);
   for (const auto& row : rows) {
     EXPECT_GE(row.opt_s, 0.0);

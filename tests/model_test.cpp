@@ -285,12 +285,36 @@ TEST(Fusion, CheckpointRoundTripReproducesPredictions) {
   trained.save(path);
 
   FusionModel restored(config);  // fresh random weights
-  restored.load(path);
+  ASSERT_TRUE(restored.load(path));
   EXPECT_FLOAT_EQ(restored.label_mean(), trained.label_mean());
   const nn::Tensor after = restored.predict(prepared);
   ASSERT_EQ(before.numel(), after.numel());
   for (std::size_t i = 0; i < before.numel(); ++i) EXPECT_EQ(before[i], after[i]);
   std::remove(path.c_str());
+}
+
+TEST(Fusion, LoadReportsShapeMismatchInsteadOfAborting) {
+  ModelConfig small;
+  small.grid = 32;
+  FusionModel writer(small);
+  const std::string path = "fusion_ckpt_mismatch_test.bin";
+  writer.save(path);
+
+  ModelConfig big = small;
+  big.gnn_hidden = small.gnn_hidden * 2;  // every GNN weight shape changes
+  FusionModel reader(big);
+  std::string error;
+  EXPECT_FALSE(reader.load(path, &error));
+  // The diagnostic names the offending shapes so a config/checkpoint mixup is
+  // debuggable from the message alone.
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_NE(error.find("checkpoint shape"), std::string::npos) << error;
+  EXPECT_NE(error.find("model expects"), std::string::npos) << error;
+  std::remove(path.c_str());
+
+  std::string missing_error;
+  EXPECT_FALSE(reader.load("does_not_exist.bin", &missing_error));
+  EXPECT_FALSE(missing_error.empty());
 }
 
 TEST(Fusion, PaperConfigHasPaperDims) {

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstring>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -112,6 +113,36 @@ TEST(ThreadPool, NestedCallRunsInline) {
     }
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersCoverAndAgree) {
+  // Several threads (serve workers, direct-inference clients) may each issue
+  // top-level parallel_for calls at once. The pool has one job slot: the
+  // try_lock winner fans out, losers run their chunk loop inline — either way
+  // every index must be covered exactly once with the same chunking.
+  ThreadCountGuard guard;
+  core::set_num_threads(4);
+  constexpr int kCallers = 8, kN = 4096;
+  std::vector<std::vector<int>> out(kCallers, std::vector<int>(kN, 0));
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&out, c] {
+      for (int rep = 0; rep < 4; ++rep) {
+        core::parallel_for(0, kN, 64, [&out, c](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) {
+            out[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)] += 1;
+          }
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)], 4)
+          << "caller " << c << " index " << i;
+    }
+  }
 }
 
 TEST(ThreadPool, ParallelReduceIsOrderedAndDeterministic) {

@@ -1,0 +1,317 @@
+// Inference-path and serving tests: WeightSnapshot freezing (from a live
+// model and from a checkpoint), the batched==sequential bit-identity
+// contract of InferenceEngine, and the PredictionService's coalescing,
+// admission control, hot-swap epochs, and shutdown drain.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "flow/dataset_flow.hpp"
+#include "model/inference.hpp"
+#include "model/trainer.hpp"
+#include "serve/serve.hpp"
+
+namespace rtp {
+namespace {
+
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+/// Two small flow-built designs prepared for the default ModelConfig (with a
+/// test-friendly grid), shared by every test below via a static instance —
+/// the dataset flow is the expensive part of this file.
+struct ServeFixture {
+  std::unique_ptr<nl::CellLibrary> library;
+  std::vector<flow::DesignData> data;
+  model::ModelConfig config;
+  std::vector<model::PreparedDesign> prepared;
+
+  ServeFixture() : library(std::make_unique<nl::CellLibrary>(nl::CellLibrary::standard())) {
+    flow::FlowConfig fc;
+    fc.scale = 0.05;
+    flow::DatasetFlow flow(*library, fc);
+    const auto specs = gen::paper_benchmarks();
+    data.push_back(flow.run(gen::benchmark_by_name(specs, "xgate")));
+    data.push_back(flow.run(gen::benchmark_by_name(specs, "steelcore")));
+    config.grid = 32;
+    for (const flow::DesignData& d : data) {
+      prepared.push_back(model::prepare_design(d, config));
+    }
+  }
+
+  static const ServeFixture& instance() {
+    static ServeFixture f;
+    return f;
+  }
+};
+
+model::PredictRequest request_for(const model::PreparedDesign& pd) {
+  model::PredictRequest req;
+  req.design =
+      std::shared_ptr<const model::PreparedDesign>(std::shared_ptr<const void>(), &pd);
+  return req;
+}
+
+TEST(ServeBatch, BatchedMatchesSequentialBitForBit) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+  const model::InferenceEngine engine(model::WeightSnapshot::from_model(m));
+
+  // Mixed composition: whole designs, duplicates of the same design, and
+  // endpoint subsets (including out-of-order indices).
+  model::PredictBatch batch;
+  batch.push_back(request_for(f.prepared[0]));
+  batch.push_back(request_for(f.prepared[1]));
+  batch.push_back(request_for(f.prepared[0]));  // duplicate design
+  for (const model::PreparedDesign& pd : f.prepared) {
+    model::PredictRequest subset = request_for(pd);
+    const int rows = static_cast<int>(pd.endpoints.size());
+    for (int e = 0; e < std::min(4, rows); ++e) subset.endpoints.push_back(rows - 1 - e);
+    batch.push_back(std::move(subset));
+  }
+
+  const std::vector<nn::Tensor> batched = engine.predict_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const nn::Tensor one = engine.predict(batch[i]);
+    EXPECT_TRUE(bit_identical(one, batched[i])) << "request " << i;
+  }
+  // FusionModel::predict runs the same code path with a batch of one.
+  EXPECT_TRUE(bit_identical(m.predict(f.prepared[0]), batched[0]));
+  EXPECT_TRUE(bit_identical(m.predict(f.prepared[1]), batched[1]));
+}
+
+TEST(ServeBatch, EveryBatchSizePrefixMatches) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(800.0f, 200.0f);
+  const model::InferenceEngine engine(model::WeightSnapshot::from_model(m));
+
+  model::PredictBatch full;
+  for (int i = 0; i < 6; ++i) {
+    full.push_back(request_for(f.prepared[static_cast<std::size_t>(i) % f.prepared.size()]));
+  }
+  const std::vector<nn::Tensor> reference = engine.predict_batch(full);
+  for (std::size_t n = 1; n <= full.size(); ++n) {
+    const model::PredictBatch prefix(full.begin(), full.begin() + static_cast<long>(n));
+    const std::vector<nn::Tensor> got = engine.predict_batch(prefix);
+    ASSERT_EQ(got.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(bit_identical(got[i], reference[i])) << "batch " << n << " row " << i;
+    }
+  }
+}
+
+TEST(ServeSnapshot, CheckpointRoundTripIsBitIdentical) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel trained(f.config);
+  trained.set_label_stats(950.0f, 275.0f);
+  model::PreparedDesign train_copy = model::prepare_design(f.data[0], f.config);
+  trained.train_step(train_copy);
+
+  const std::string path = "serve_snapshot_roundtrip.bin";
+  trained.save(path);
+  std::string error;
+  const auto snap = model::WeightSnapshot::from_checkpoint(path, f.config, &error);
+  ASSERT_NE(snap, nullptr) << error;
+  EXPECT_FLOAT_EQ(snap->label_mean(), trained.label_mean());
+  EXPECT_FLOAT_EQ(snap->label_std(), trained.label_std());
+
+  const model::InferenceEngine engine(snap);
+  for (const model::PreparedDesign& pd : f.prepared) {
+    EXPECT_TRUE(bit_identical(engine.predict(pd), trained.predict(pd)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeSnapshot, FromCheckpointRejectsMismatchedConfig) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel writer(f.config);
+  const std::string path = "serve_snapshot_mismatch.bin";
+  writer.save(path);
+
+  model::ModelConfig other = f.config;
+  other.gnn_embed *= 2;
+  std::string error;
+  EXPECT_EQ(model::WeightSnapshot::from_checkpoint(path, other, &error), nullptr);
+  EXPECT_NE(error.find("checkpoint shape"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ServeService, ResponsesMatchDirectEngine) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+  const auto snap = model::WeightSnapshot::from_model(m);
+  const model::InferenceEngine engine(snap);
+
+  serve::ServeConfig sc;
+  sc.max_batch = 4;
+  sc.max_delay_us = 1000;
+  sc.workers = 2;
+  serve::PredictionService service(snap, sc);
+  EXPECT_EQ(service.epoch(), 1u);
+
+  std::vector<model::PredictRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(
+        request_for(f.prepared[static_cast<std::size_t>(i) % f.prepared.size()]));
+  }
+  std::vector<std::future<serve::PredictResponse>> futures;
+  for (const auto& r : requests) {
+    auto fut = service.submit(r);
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    serve::PredictResponse resp = futures[i].get();
+    EXPECT_EQ(resp.snapshot_epoch, 1u);
+    EXPECT_GE(resp.batch_size, 1);
+    EXPECT_LE(resp.batch_size, sc.max_batch);
+    EXPECT_GE(resp.total_seconds, resp.queue_seconds);
+    EXPECT_TRUE(bit_identical(resp.arrival_ps, engine.predict(requests[i])))
+        << "request " << i;
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(ServeService, AdmissionControlRejectsWhenQueueIsFull) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+
+  serve::ServeConfig sc;
+  sc.queue_capacity = 2;
+  sc.max_batch = 8;           // never reached: the head waits out max_delay
+  sc.max_delay_us = 200000;   // 200ms — the queue stays occupied meanwhile
+  sc.workers = 1;
+  serve::PredictionService service(model::WeightSnapshot::from_model(m), sc);
+
+  auto f1 = service.submit(request_for(f.prepared[0]));
+  auto f2 = service.submit(request_for(f.prepared[1]));
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  // Queued requests count against capacity while the batcher coalesces, so
+  // the third submit is rejected deterministically.
+  auto f3 = service.submit(request_for(f.prepared[0]));
+  EXPECT_FALSE(f3.has_value());
+  EXPECT_EQ(service.stats().rejected, 1u);
+
+  // The accepted requests still complete (in one coalesced batch).
+  EXPECT_GT(f1->get().arrival_ps.numel(), 0u);
+  EXPECT_GT(f2->get().arrival_ps.numel(), 0u);
+}
+
+TEST(ServeService, PublishHotSwapsWeightsUnderLiveTraffic) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel a(f.config);
+  a.set_label_stats(1000.0f, 300.0f);
+  model::FusionModel b(f.config);
+  b.set_label_stats(2000.0f, 300.0f);  // same weights, shifted denormalization
+  const auto snap_a = model::WeightSnapshot::from_model(a);
+  const auto snap_b = model::WeightSnapshot::from_model(b);
+  const model::InferenceEngine engine_a(snap_a);
+  const model::InferenceEngine engine_b(snap_b);
+
+  serve::ServeConfig sc;
+  sc.max_batch = 4;
+  sc.max_delay_us = 100;
+  sc.workers = 2;
+  serve::PredictionService service(snap_a, sc);
+
+  // A client hammers the service while the main thread publishes snapshot B.
+  // Every response must match the engine of the epoch it reports — a torn
+  // epoch/weights pair would break one of the bit-comparisons.
+  std::atomic<bool> swapped{false};
+  std::thread publisher([&] {
+    while (!swapped.load()) std::this_thread::yield();
+    EXPECT_EQ(service.publish(snap_b), 2u);
+  });
+  const model::PredictRequest req = request_for(f.prepared[0]);
+  const nn::Tensor expect_a = engine_a.predict(req);
+  const nn::Tensor expect_b = engine_b.predict(req);
+  int seen_b = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (i == 20) swapped.store(true);
+    auto fut = service.submit(req);
+    ASSERT_TRUE(fut.has_value());
+    serve::PredictResponse resp = fut->get();
+    if (resp.snapshot_epoch == 1u) {
+      EXPECT_TRUE(bit_identical(resp.arrival_ps, expect_a)) << "request " << i;
+    } else {
+      EXPECT_EQ(resp.snapshot_epoch, 2u);
+      EXPECT_TRUE(bit_identical(resp.arrival_ps, expect_b)) << "request " << i;
+      ++seen_b;
+    }
+  }
+  publisher.join();
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_GT(seen_b, 0);  // the swap happened mid-traffic and took effect
+}
+
+TEST(ServeService, ShutdownDrainsTheBacklog) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+
+  serve::ServeConfig sc;
+  sc.max_batch = 4;
+  sc.max_delay_us = 1000000;  // 1s — shutdown must cut the coalescing wait
+  sc.queue_capacity = 64;
+  sc.workers = 1;
+  serve::PredictionService service(model::WeightSnapshot::from_model(m), sc);
+
+  std::vector<std::future<serve::PredictResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    auto fut = service.submit(
+        request_for(f.prepared[static_cast<std::size_t>(i) % f.prepared.size()]));
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  service.shutdown();
+  for (auto& fut : futures) {
+    EXPECT_GT(fut.get().arrival_ps.numel(), 0u);  // fulfilled, not abandoned
+  }
+  // After shutdown, new submits are rejected.
+  EXPECT_FALSE(service.submit(request_for(f.prepared[0])).has_value());
+}
+
+TEST(ServeConfigTest, FromEnvParsesAndValidates) {
+  setenv("RTP_SERVE_MAX_BATCH", "16", 1);
+  setenv("RTP_SERVE_MAX_DELAY_US", "50", 1);
+  setenv("RTP_SERVE_QUEUE_CAP", "7", 1);
+  setenv("RTP_SERVE_WORKERS", "3", 1);
+  serve::ServeConfig c = serve::ServeConfig::from_env();
+  EXPECT_EQ(c.max_batch, 16);
+  EXPECT_EQ(c.max_delay_us, 50);
+  EXPECT_EQ(c.queue_capacity, 7);
+  EXPECT_EQ(c.workers, 3);
+  // Invalid values fall back to defaults rather than aborting.
+  setenv("RTP_SERVE_MAX_BATCH", "zero", 1);
+  setenv("RTP_SERVE_WORKERS", "-2", 1);
+  c = serve::ServeConfig::from_env();
+  EXPECT_EQ(c.max_batch, serve::ServeConfig{}.max_batch);
+  EXPECT_EQ(c.workers, serve::ServeConfig{}.workers);
+  unsetenv("RTP_SERVE_MAX_BATCH");
+  unsetenv("RTP_SERVE_MAX_DELAY_US");
+  unsetenv("RTP_SERVE_QUEUE_CAP");
+  unsetenv("RTP_SERVE_WORKERS");
+}
+
+}  // namespace
+}  // namespace rtp
