@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -201,6 +202,73 @@ BenchDoc run_nn_suite(bool smoke) {
               << r.speedup() << "x\n";
   }
 
+  // ---- Fused-epilogue A/Bs: the new fused path (bias/ReLU in the GEMM
+  // store loop, kern::FusionPlan) vs the pre-fusion sequence (separate bias
+  // sweep, then a copying ReLU pass). The unfused arm honours RTP_NO_FUSION
+  // semantics via set_fusion_enabled(false); the fused arm drops the
+  // override, so under RTP_NO_FUSION=1 both arms run unfused and the gate in
+  // run_nn_harness skips its floor. nn.fused_identical is the bitwise
+  // fused==unfused invariant (gated at tolerance 0).
+  bool fused_identical = true;
+  {
+    Rng rng(7);
+    nn::Conv2d conv(8, 16, 3, 1, rng);
+    const nn::Tensor x = nn::Tensor::uniform({8, 128, 128}, 1.0f, rng);
+    nn::ReluMask mask;
+    nn::kern::set_fusion_enabled(false);
+    const nn::Tensor ref = nn::ReLU::forward(conv.forward(x), &mask);
+    const nn::ReluMask mask_ref = mask;
+    const double unfused_ns = time_ns_per_op(
+        [&] { keep(nn::ReLU::forward(conv.forward(x), &mask).numel()); }, reps,
+        secs);
+    nn::kern::reset_fusion_override();
+    const nn::Tensor got = conv.forward(x, &mask);
+    fused_identical = fused_identical && got.same_shape(ref) &&
+                      std::memcmp(got.data(), ref.data(),
+                                  got.numel() * sizeof(float)) == 0 &&
+                      mask == mask_ref;
+    const double fused_ns = time_ns_per_op(
+        [&] { keep(conv.forward(x, &mask).numel()); }, reps, secs);
+    doc.metrics.push_back({"nn.fused_conv_forward.speedup",
+                           unfused_ns / fused_ns, "ratio", true,
+                           kRatioTolerance});
+    doc.metrics.push_back(
+        {"nn.fused_conv_forward.fused_ns", fused_ns, "ns", false, -1.0});
+    doc.metrics.push_back(
+        {"nn.fused_conv_forward.unfused_ns", unfused_ns, "ns", false, -1.0});
+    std::cerr << "nn.fused_conv_forward (8x128x128, k=3, +bias+relu): unfused "
+              << unfused_ns << " ns, fused " << fused_ns << " ns, speedup "
+              << unfused_ns / fused_ns << "x\n";
+  }
+  {
+    Rng rng(9);
+    nn::Linear lin(256, 256, rng);
+    const nn::Tensor x = nn::Tensor::uniform({512, 256}, 1.0f, rng);
+    nn::kern::set_fusion_enabled(false);
+    const nn::Tensor ref = nn::ReLU::apply(lin.apply(x));
+    const double unfused_ns = time_ns_per_op(
+        [&] { keep(nn::ReLU::apply(lin.apply(x)).numel()); }, reps, secs);
+    nn::kern::reset_fusion_override();
+    const nn::Tensor got = lin.apply(x, /*relu=*/true);
+    fused_identical = fused_identical && got.same_shape(ref) &&
+                      std::memcmp(got.data(), ref.data(),
+                                  got.numel() * sizeof(float)) == 0;
+    const double fused_ns = time_ns_per_op(
+        [&] { keep(lin.apply(x, /*relu=*/true).numel()); }, reps, secs);
+    doc.metrics.push_back({"nn.fused_linear_relu.speedup",
+                           unfused_ns / fused_ns, "ratio", true,
+                           kRatioTolerance});
+    doc.metrics.push_back(
+        {"nn.fused_linear_relu.fused_ns", fused_ns, "ns", false, -1.0});
+    doc.metrics.push_back(
+        {"nn.fused_linear_relu.unfused_ns", unfused_ns, "ns", false, -1.0});
+    std::cerr << "nn.fused_linear_relu (512x256x256, +bias+relu): unfused "
+              << unfused_ns << " ns, fused " << fused_ns << " ns, speedup "
+              << unfused_ns / fused_ns << "x\n";
+  }
+  doc.metrics.push_back(
+      {"nn.fused_identical", fused_identical ? 1.0 : 0.0, "bool", true, 0.0});
+
   // Thread sweep over the blocked paths (ns only; speedup depends on cores).
   for (int t : {1, 2, 4}) {
     core::set_num_threads(t);
@@ -233,6 +301,29 @@ int run_nn_harness(const std::string& path, bool smoke) {
   if (m != nullptr && m->value < 1.0) {
     std::cerr << "REGRESSION: blocked matmul slower than naive reference\n";
     return 1;
+  }
+  const Metric* ident = doc.find("nn.fused_identical");
+  if (ident != nullptr && ident->value != 1.0) {
+    std::cerr << "REGRESSION: fused epilogue output diverges from the "
+                 "unfused sweep sequence\n";
+    return 1;
+  }
+  // Fused floor: the fused path must not be slower than the separate-sweep
+  // sequence it replaces. Skipped under RTP_NO_FUSION=1 (both arms then run
+  // the same unfused code and the ratio is noise around 1).
+  if (nn::kern::fusion_enabled()) {
+    for (const char* name :
+         {"nn.fused_conv_forward.speedup", "nn.fused_linear_relu.speedup"}) {
+      const Metric* f = doc.find(name);
+      if (f != nullptr && f->value < 1.0) {
+        std::cerr << "REGRESSION: " << name
+                  << " < 1 — fused epilogue slower than separate sweeps\n";
+        return 1;
+      }
+    }
+  } else {
+    std::cerr << "fusion disabled (RTP_NO_FUSION): fused-vs-unfused floor "
+                 "skipped\n";
   }
   return 0;
 }

@@ -127,8 +127,12 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
     vl = net.layout->fc().apply(masked);
   }
 
-  // Fused embedding rows, then one regressor pass over the whole batch.
-  nn::Tensor z({total_rows, d + l});
+  // Fused embedding rows, then one regressor pass over the whole batch (its
+  // hidden Linear+ReLU pairs run as fused GEMM epilogues — kern::FusionPlan).
+  // Every element of z is written below, so the arena scratch is a dirty
+  // acquire: the serve hot path allocates nothing here after warm-up.
+  nn::Scratch z_s({total_rows, d + l}, /*zeroed=*/false);
+  nn::Tensor& z = z_s.t();
   int row = 0;
   for (std::size_t r = 0; r < batch.size(); ++r) {
     const PredictRequest& req = batch[r];

@@ -57,11 +57,11 @@ nn::Tensor LayoutEncoder::forward(const nn::Tensor& x) {
   RTP_TRACE_SCOPE("cnn.forward");
   RTP_HIST_TIMER("cnn.forward");
   RTP_CHECK(x.ndim() == 3 && x.dim(0) == 3 && x.dim(1) == grid_ && x.dim(2) == grid_);
-  nn::Tensor h = conv1_.forward(x);
-  h = nn::ReLU::forward(h, &relu1_);
+  // conv1/conv2 fuse their ReLU (and its backward mask) into the GEMM store
+  // loop; conv3 is the linear 1x1 map head.
+  nn::Tensor h = conv1_.forward(x, &relu1_);
   h = pool1_.forward(h);
-  h = conv2_.forward(h);
-  h = nn::ReLU::forward(h, &relu2_);
+  h = conv2_.forward(h, &relu2_);
   h = pool2_.forward(h);
   h = conv3_.forward(h);  // (1, grid/4, grid/4)
   nn::Tensor flat({1, map_pixels_});
@@ -73,11 +73,9 @@ nn::Tensor LayoutEncoder::infer_map(const nn::Tensor& x) const {
   RTP_TRACE_SCOPE("cnn.infer");
   RTP_HIST_TIMER("cnn.forward");
   RTP_CHECK(x.ndim() == 3 && x.dim(0) == 3 && x.dim(1) == grid_ && x.dim(2) == grid_);
-  nn::Tensor h = conv1_.apply(x);
-  h = nn::ReLU::apply(h);
+  nn::Tensor h = conv1_.apply(x, /*relu=*/true);
   h = pool1_.apply(h);
-  h = conv2_.apply(h);
-  h = nn::ReLU::apply(h);
+  h = conv2_.apply(h, /*relu=*/true);
   h = pool2_.apply(h);
   h = conv3_.apply(h);  // (1, grid/4, grid/4)
   nn::Tensor flat({1, map_pixels_});

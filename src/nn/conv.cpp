@@ -22,12 +22,18 @@ ColDims col_dims(int ci, int k, int p, int h, int w) {
   return {ci * k * k, oh * ow, oh, ow};
 }
 
+// Rows of length `cols` per parallel chunk (~64k elements each); the one
+// grain computation every per-channel / per-lowered-row loop in this file
+// shares. Shape-only, so chunking is deterministic (DESIGN.md §6).
+std::int64_t channel_grain(int cols) {
+  return std::max<std::int64_t>(1, 65536 / std::max(cols, 1));
+}
+
 // Fills X_col from x. Pure copies with disjoint destination rows, so any
 // parallel chunking is deterministic.
 void im2col(const Tensor& x, int k, int p, const ColDims& d, float* xcol) {
   const int h = x.dim(1), w = x.dim(2);
-  const std::int64_t grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
-  core::parallel_for(0, d.rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+  core::parallel_for(0, d.rows, channel_grain(d.cols), [&](std::int64_t r0, std::int64_t r1) {
     for (int r = static_cast<int>(r0); r < r1; ++r) {
       const int c = r / (k * k), ki = (r / k) % k, kj = r % k;
       // Output col (i,j) reads input (i+ki-p, j+kj-p); clamp to valid ranges.
@@ -49,21 +55,25 @@ void im2col(const Tensor& x, int k, int p, const ColDims& d, float* xcol) {
   });
 }
 
-// Shared by forward() and apply(): Y (co x oh*ow) = W (co x ci*k*k) * X_col,
-// then the per-channel bias add (parallel over disjoint output channels).
+// Shared by forward() and apply(): Y (co x oh*ow) = W (co x ci*k*k) * X_col
+// with the per-channel bias (and optionally ReLU) fused into the GEMM store
+// loop via kern::FusionPlan. The single bias-add implementation lives in the
+// kernel layer's epilogue; this file no longer carries its own copies.
 Tensor conv_gemm_bias(const Tensor& weight, const Tensor& bias, const float* xcol,
-                      const ColDims& d, int co) {
+                      const ColDims& d, int co, bool relu, ReluMask* relu_mask) {
   Tensor y({co, d.oh, d.ow});
-  kern::gemm(kern::Op::kNone, kern::Op::kNone, co, d.cols, d.rows, weight.data(),
-             xcol, y.data());
-  const std::int64_t bias_grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
-  core::parallel_for(0, co, bias_grain, [&](std::int64_t f0, std::int64_t f1) {
-    for (int f = static_cast<int>(f0); f < f1; ++f) {
-      const float b = bias.at(f);
-      float* yrow = y.data() + static_cast<std::size_t>(f) * d.cols;
-      for (int j = 0; j < d.cols; ++j) yrow[j] += b;
-    }
-  });
+  kern::GemmDesc g;
+  g.m = co;
+  g.n = d.cols;
+  g.k = d.rows;
+  kern::FusionPlan plan(g);
+  plan.bias_per_row(bias.data());
+  if (relu) {
+    if (relu_mask != nullptr) relu_mask->resize(y.numel());
+    plan.relu(relu_mask != nullptr ? relu_mask->data() : nullptr);
+  }
+  RTP_CHECK(plan.compile());  // bias(+relu) is always a supported sequence
+  plan.execute(weight.data(), xcol, y.data());
   return y;
 }
 
@@ -82,8 +92,8 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int padding, Rng& 
 // where the weight tensor's row-major (co, ci, k, k) storage is already the
 // lowered (co, ci*k*k) matrix. 1x1 unpadded convolutions skip the lowering —
 // x itself is X_col. The GEMM is deterministic across thread counts
-// (kernels.hpp), and the bias add is parallel over disjoint output channels.
-Tensor Conv2d::forward(const Tensor& x) {
+// (kernels.hpp); bias and optional ReLU ride in the store loop (FusionPlan).
+Tensor Conv2d::forward_impl(const Tensor& x, bool relu, ReluMask* relu_mask) {
   RTP_CHECK(x.ndim() == 3 && x.dim(0) == in_channels());
   cached_input_ = x;
   const int ci = in_channels(), co = out_channels(), k = kernel(), p = padding_;
@@ -99,23 +109,31 @@ Tensor Conv2d::forward(const Tensor& x) {
     im2col(x, k, p, d, cached_cols_.data());
     xcol = cached_cols_.data();
   }
-  return conv_gemm_bias(weight_.value, bias_.value, xcol, d, co);
+  return conv_gemm_bias(weight_.value, bias_.value, xcol, d, co, relu, relu_mask);
+}
+
+Tensor Conv2d::forward(const Tensor& x) { return forward_impl(x, false, nullptr); }
+
+Tensor Conv2d::forward(const Tensor& x, ReluMask* relu_mask) {
+  return forward_impl(x, true, relu_mask);
 }
 
 // Same lowering and GEMM as forward(), but the columns live in arena scratch
 // and nothing is kept for backward.
-Tensor Conv2d::apply(const Tensor& x) const {
+Tensor Conv2d::apply(const Tensor& x, bool relu) const {
   RTP_CHECK(x.ndim() == 3 && x.dim(0) == in_channels());
   const int ci = in_channels(), co = out_channels(), k = kernel(), p = padding_;
   const ColDims d = col_dims(ci, k, p, x.dim(1), x.dim(2));
   RTP_CHECK_MSG(d.oh > 0 && d.ow > 0, "conv output would be empty");
   if (k == 1 && p == 0) {
-    return conv_gemm_bias(weight_.value, bias_.value, x.data(), d, co);
+    return conv_gemm_bias(weight_.value, bias_.value, x.data(), d, co, relu,
+                          nullptr);
   }
   // im2col writes every element (padding included), so a dirty acquire is safe.
   Scratch cols({d.rows, d.cols}, /*zeroed=*/false);
   im2col(x, k, p, d, cols.data());
-  return conv_gemm_bias(weight_.value, bias_.value, cols.data(), d, co);
+  return conv_gemm_bias(weight_.value, bias_.value, cols.data(), d, co, relu,
+                        nullptr);
 }
 
 // Backward in lowered form:
@@ -153,9 +171,9 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                        });
   }
 
-  // Bias gradient: per-channel sums (double accumulator, as in the seed).
-  const std::int64_t bias_grain = std::max<std::int64_t>(1, 65536 / std::max(d.cols, 1));
-  core::parallel_for(0, co, bias_grain, [&](std::int64_t f0, std::int64_t f1) {
+  // Bias gradient: per-channel sums (double accumulator, as in the seed),
+  // chunked with the same grain as the forward path's per-channel work.
+  core::parallel_for(0, co, channel_grain(d.cols), [&](std::int64_t f0, std::int64_t f1) {
     for (int f = static_cast<int>(f0); f < f1; ++f) {
       const float* grow = dy + static_cast<std::size_t>(f) * d.cols;
       double gb = 0.0;
@@ -175,9 +193,9 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   kern::gemm(kern::Op::kTrans, kern::Op::kNone, d.rows, d.cols, co,
              weight_.value.data(), dy, gcol_s.data());
   const float* gcol = gcol_s.data();
-  const std::int64_t ch_grain =
-      std::max<std::int64_t>(1, 65536 / std::max(k * k * d.cols, 1));
-  core::parallel_for(0, ci, ch_grain, [&](std::int64_t c0, std::int64_t c1) {
+  // One input channel scatters k*k lowered rows, so its grain unit is k*k
+  // rows of d.cols — the same shared computation, at that per-channel work.
+  core::parallel_for(0, ci, channel_grain(k * k * d.cols), [&](std::int64_t c0, std::int64_t c1) {
     for (int c = static_cast<int>(c0); c < c1; ++c) {
       for (int ki = 0; ki < k; ++ki) {
         for (int kj = 0; kj < k; ++kj) {

@@ -24,10 +24,15 @@ class Conv2d {
   /// x: (C_in, H, W) -> (C_out, H + 2p - k + 1, W + 2p - k + 1).
   Tensor forward(const Tensor& x);
 
+  /// Fused conv+bias+ReLU forward: the bias add and ReLU run inside the GEMM
+  /// store loop (kern::FusionPlan), with the sign mask captured for backward.
+  /// Bit-identical to forward() followed by ReLU::forward(&mask).
+  Tensor forward(const Tensor& x, ReluMask* relu_mask);
+
   /// Inference-only: lowers into arena scratch, caches nothing, writes no
   /// members — safe to call concurrently on one instance. Bit-identical to
-  /// forward().
-  Tensor apply(const Tensor& x) const;
+  /// forward() (relu=false), or to forward + ReLU::apply (relu=true).
+  Tensor apply(const Tensor& x, bool relu = false) const;
 
   /// grad_out matches forward's output shape; returns grad wrt x.
   Tensor backward(const Tensor& grad_out);
@@ -40,6 +45,8 @@ class Conv2d {
   int padding() const { return padding_; }
 
  private:
+  Tensor forward_impl(const Tensor& x, bool relu, ReluMask* relu_mask);
+
   Param weight_;  ///< (C_out, C_in, k, k)
   Param bias_;    ///< (C_out)
   int padding_;

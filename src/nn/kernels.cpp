@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "core/check.hpp"
 #include "core/thread_pool.hpp"
 #include "nn/workspace.hpp"
 #include "obs/obs.hpp"
@@ -65,12 +67,17 @@ __attribute__((always_inline)) inline void micro_kernel(
 }
 
 // Packs A rows [i0, i0+mh) of the current k-panel into pa (k-major, kMr wide,
-// zero-padded) and sweeps the micro-kernel across every packed B strip.
+// zero-padded) and sweeps the micro-kernel across every packed B strip. On the
+// last k-panel the fused epilogue (if any) runs per completed output element,
+// in op order, while the tile row is still a local buffer — the store is the
+// only write C ever sees, so fused output is bit-identical to the unfused
+// GEMM-then-sweeps sequence (a stored float reloads with the same bits).
 RTP_KERNEL_CLONES
 void run_row_strip(Op op_a, int m, int n, int k, int kp0, int kc, int kc_max,
-                   bool first_panel, int i0, int mh, const float* __restrict__ a,
-                   const float* __restrict__ pb, float* __restrict__ pa,
-                   float* __restrict__ c) {
+                   bool first_panel, bool last_panel, int i0, int mh,
+                   const float* __restrict__ a, const float* __restrict__ pb,
+                   float* __restrict__ pa, float* __restrict__ c,
+                   const EpilogueStep* epi, int epi_count) {
   for (int kk = 0; kk < kc; ++kk) {
     float* row = pa + static_cast<std::size_t>(kk) * kMr;
     if (op_a == Op::kNone) {
@@ -89,24 +96,127 @@ void run_row_strip(Op op_a, int m, int n, int k, int kp0, int kc, int kc_max,
     const int j0 = s * kNr;
     const int jw = std::min(kNr, n - j0);
     for (int i = 0; i < mh; ++i) {
-      float* crow = c + static_cast<std::size_t>(i0 + i) * n + j0;
+      const std::size_t base = static_cast<std::size_t>(i0 + i) * n + j0;
+      float* crow = c + base;
       const float* arow = acc + i * kNr;
-      if (first_panel) {
-        for (int j = 0; j < jw; ++j) crow[j] = arow[j];
-      } else {
-        for (int j = 0; j < jw; ++j) crow[j] += arow[j];
+      if (!last_panel || epi_count == 0) {
+        if (first_panel) {
+          for (int j = 0; j < jw; ++j) crow[j] = arow[j];
+        } else {
+          for (int j = 0; j < jw; ++j) crow[j] += arow[j];
+        }
+        continue;
       }
+      // Final panel of a fused plan: finish the ascending-k accumulation in a
+      // register-resident row, run the epilogue steps over it in order (each
+      // step is its own j-loop so every step vectorizes), store once.
+      float vrow[kNr];
+      if (first_panel) {
+        for (int j = 0; j < jw; ++j) vrow[j] = arow[j];
+      } else {
+        for (int j = 0; j < jw; ++j) vrow[j] = crow[j] + arow[j];
+      }
+      for (int e = 0; e < epi_count; ++e) {
+        const EpilogueStep& st = epi[e];
+        switch (st.op) {
+          case EpilogueOp::kBiasPerRow: {
+            const float bv = st.data[i0 + i];
+            for (int j = 0; j < jw; ++j) vrow[j] += bv;
+            break;
+          }
+          case EpilogueOp::kBiasPerCol: {
+            const float* bj = st.data + j0;
+            for (int j = 0; j < jw; ++j) vrow[j] += bj[j];
+            break;
+          }
+          case EpilogueOp::kResidual: {
+            const float* rrow = st.data + base;
+            const float alpha = st.alpha;
+            for (int j = 0; j < jw; ++j) vrow[j] += alpha * rrow[j];
+            break;
+          }
+          case EpilogueOp::kRelu: {
+            if (st.mask != nullptr) {
+              std::uint8_t* mrow = st.mask + base;
+              for (int j = 0; j < jw; ++j) {
+                const bool pos = vrow[j] > 0.0f;
+                mrow[j] = pos;
+                if (!pos) vrow[j] = 0.0f;
+              }
+            } else {
+              for (int j = 0; j < jw; ++j) {
+                if (!(vrow[j] > 0.0f)) vrow[j] = 0.0f;
+              }
+            }
+            break;
+          }
+        }
+      }
+      for (int j = 0; j < jw; ++j) crow[j] = vrow[j];
     }
   }
 }
 
 }  // namespace
 
-void gemm_blocked(Op op_a, Op op_b, int m, int n, int k, const float* a,
-                  const float* b, float* c) {
+namespace {
+
+// Ordered elementwise epilogue over an already-written C — the unfused half
+// of the FusionPlan contract. Rows are disjoint across chunks and each
+// element sees the steps in the same order as the fused store loop, so the
+// two paths are bit-identical (and deterministic at any thread count).
+void apply_epilogue_sweeps(const EpilogueStep* steps, int count, int m, int n,
+                           float* c) {
+  if (count <= 0 || m <= 0 || n <= 0) return;
+  core::parallel_for(0, m, row_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const std::size_t base = static_cast<std::size_t>(i) * n;
+      float* crow = c + base;
+      for (int e = 0; e < count; ++e) {
+        const EpilogueStep& st = steps[e];
+        switch (st.op) {
+          case EpilogueOp::kBiasPerRow: {
+            const float bv = st.data[i];
+            for (int j = 0; j < n; ++j) crow[j] += bv;
+            break;
+          }
+          case EpilogueOp::kBiasPerCol: {
+            for (int j = 0; j < n; ++j) crow[j] += st.data[j];
+            break;
+          }
+          case EpilogueOp::kResidual: {
+            const float* rrow = st.data + base;
+            for (int j = 0; j < n; ++j) crow[j] += st.alpha * rrow[j];
+            break;
+          }
+          case EpilogueOp::kRelu: {
+            if (st.mask != nullptr) {
+              std::uint8_t* mrow = st.mask + base;
+              for (int j = 0; j < n; ++j) {
+                const bool pos = crow[j] > 0.0f;
+                mrow[j] = pos;
+                if (!pos) crow[j] = 0.0f;
+              }
+            } else {
+              for (int j = 0; j < n; ++j) {
+                if (!(crow[j] > 0.0f)) crow[j] = 0.0f;
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+  });
+}
+
+void gemm_blocked_impl(Op op_a, Op op_b, int m, int n, int k, const float* a,
+                       const float* b, float* c, const EpilogueStep* epi,
+                       int epi_count) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
+    apply_epilogue_sweeps(epi, epi_count, m, n, c);
     return;
   }
   const int n_strips = (n + kNr - 1) / kNr;
@@ -121,6 +231,7 @@ void gemm_blocked(Op op_a, Op op_b, int m, int n, int k, const float* a,
   for (int kp0 = 0; kp0 < k; kp0 += kKc) {
     const int kc = std::min(kKc, k - kp0);
     const bool first_panel = kp0 == 0;
+    const bool last_panel = kp0 + kc == k;
 
     // ---- pack B panel (pure copies; any chunking is deterministic) ----
     const std::int64_t pack_grain =
@@ -155,11 +266,18 @@ void gemm_blocked(Op op_a, Op op_b, int m, int n, int k, const float* a,
       for (int ms = static_cast<int>(s0); ms < s1; ++ms) {
         const int i0 = ms * kMr;
         const int mh = std::min(kMr, m - i0);
-        run_row_strip(op_a, m, n, k, kp0, kc, kc_max, first_panel, i0, mh, a, pb,
-                      pa, c);
+        run_row_strip(op_a, m, n, k, kp0, kc, kc_max, first_panel, last_panel,
+                      i0, mh, a, pb, pa, c, epi, epi_count);
       }
     });
   }
+}
+
+}  // namespace
+
+void gemm_blocked(Op op_a, Op op_b, int m, int n, int k, const float* a,
+                  const float* b, float* c) {
+  gemm_blocked_impl(op_a, op_b, m, n, k, a, b, c, nullptr, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -260,6 +378,34 @@ bool env_naive() {
   return value;
 }
 
+int fusion_override = -1;  // -1: follow env; 0/1: forced by set_fusion_enabled
+
+bool env_no_fusion() {
+  static const bool value = [] {
+    const char* e = std::getenv("RTP_NO_FUSION");
+    return e != nullptr && e[0] == '1' && e[1] == '\0';
+  }();
+  return value;
+}
+
+// The naive-vs-blocked choice, shared by gemm()/gemm_row_invariant() and
+// FusionPlan::execute() so a fused call dispatches exactly like the plain
+// call it replaces. Shape-only, hence deterministic across thread counts.
+// Packing pays for itself once the A strips are revisited across enough
+// columns and k-depth; short or skinny products keep the seed kernels
+// (which stream B exactly once).
+bool naive_by_shape(int m, int n, int k) {
+  const std::int64_t macs = static_cast<std::int64_t>(m) * n * k;
+  return m < 2 * kMr || macs < (1 << 15);
+}
+
+// gemm()'s threshold evaluated at the fixed pivot m = 2*kMr, so the choice is
+// a function of (n, k) alone (row-invariant batching contract).
+bool naive_by_shape_row_invariant(int n, int k) {
+  const std::int64_t per_row_macs = static_cast<std::int64_t>(n) * k;
+  return per_row_macs * (2 * kMr) < (1 << 15);
+}
+
 }  // namespace
 
 bool use_naive_kernels() {
@@ -270,15 +416,18 @@ void set_use_naive_kernels(bool on) { naive_override = on ? 1 : 0; }
 
 void reset_naive_kernels_override() { naive_override = -1; }
 
+bool fusion_enabled() {
+  return fusion_override >= 0 ? fusion_override != 0 : !env_no_fusion();
+}
+
+void set_fusion_enabled(bool on) { fusion_override = on ? 1 : 0; }
+
+void reset_fusion_override() { fusion_override = -1; }
+
 void gemm(Op op_a, Op op_b, int m, int n, int k, const float* a, const float* b,
           float* c) {
-  // Packing pays for itself once the A strips are revisited across enough
-  // columns and k-depth; short or skinny products keep the seed kernels
-  // (which stream B exactly once). Thresholds are shape-only, so dispatch is
-  // deterministic across thread counts.
   RTP_HIST_TIMER("nn.gemm");
-  const std::int64_t macs = static_cast<std::int64_t>(m) * n * k;
-  if (use_naive_kernels() || m < 2 * kMr || macs < (1 << 15)) {
+  if (use_naive_kernels() || naive_by_shape(m, n, k)) {
     gemm_naive(op_a, op_b, m, n, k, a, b, c);
     return;
   }
@@ -287,19 +436,112 @@ void gemm(Op op_a, Op op_b, int m, int n, int k, const float* a, const float* b,
 
 void gemm_row_invariant(Op op_a, Op op_b, int m, int n, int k, const float* a,
                         const float* b, float* c) {
-  // gemm()'s threshold evaluated at the fixed pivot m = 2*kMr, so the choice
-  // is a function of (n, k) alone. Since both kernels produce each C row by a
-  // per-row accumulation whose order never depends on m (naive: plain row
-  // loops; blocked: the packed-A strip position pads with zeros that do not
-  // enter the row's accumulator), the same rows batched into calls of
+  // Both kernels produce each C row by a per-row accumulation whose order
+  // never depends on m (naive: plain row loops; blocked: the packed-A strip
+  // position pads with zeros that do not enter the row's accumulator), so
+  // under the m-independent dispatch the same rows batched into calls of
   // different heights come out bit-identical.
   RTP_HIST_TIMER("nn.gemm");
-  const std::int64_t per_row_macs = static_cast<std::int64_t>(n) * k;
-  if (use_naive_kernels() || per_row_macs * (2 * kMr) < (1 << 15)) {
+  if (use_naive_kernels() || naive_by_shape_row_invariant(n, k)) {
     gemm_naive(op_a, op_b, m, n, k, a, b, c);
     return;
   }
   gemm_blocked(op_a, op_b, m, n, k, a, b, c);
+}
+
+// ---------------------------------------------------------------------------
+// FusionPlan
+// ---------------------------------------------------------------------------
+
+const char* epilogue_op_name(EpilogueOp op) {
+  switch (op) {
+    case EpilogueOp::kBiasPerRow: return "bias_per_row";
+    case EpilogueOp::kBiasPerCol: return "bias_per_col";
+    case EpilogueOp::kResidual: return "residual";
+    case EpilogueOp::kRelu: return "relu";
+  }
+  return "unknown";
+}
+
+FusionPlan& FusionPlan::add_step(const EpilogueStep& step) {
+  RTP_CHECK_MSG(state_ == State::kBuilding,
+                "FusionPlan: ops cannot be added after compile()");
+  RTP_CHECK_MSG(num_steps_ < kMaxSteps, "FusionPlan: too many epilogue ops");
+  steps_[num_steps_++] = step;
+  return *this;
+}
+
+FusionPlan& FusionPlan::bias_per_row(const float* bias) {
+  RTP_CHECK_MSG(bias != nullptr, "FusionPlan: null bias_per_row vector");
+  return add_step({EpilogueOp::kBiasPerRow, bias, nullptr, 1.0f});
+}
+
+FusionPlan& FusionPlan::bias_per_col(const float* bias) {
+  RTP_CHECK_MSG(bias != nullptr, "FusionPlan: null bias_per_col vector");
+  return add_step({EpilogueOp::kBiasPerCol, bias, nullptr, 1.0f});
+}
+
+FusionPlan& FusionPlan::residual(const float* r, float alpha) {
+  RTP_CHECK_MSG(r != nullptr, "FusionPlan: null residual matrix");
+  return add_step({EpilogueOp::kResidual, r, nullptr, alpha});
+}
+
+FusionPlan& FusionPlan::relu(std::uint8_t* mask) {
+  return add_step({EpilogueOp::kRelu, nullptr, mask, 1.0f});
+}
+
+bool FusionPlan::compile() {
+  if (state_ != State::kBuilding) return state_ == State::kCompiled;
+  for (int i = 0; i < num_steps_; ++i) {
+    for (int j = 0; j < i; ++j) {
+      if (steps_[j].op == EpilogueOp::kRelu) {
+        state_ = State::kRejected;
+        diagnostic_ = std::string("FusionPlan: unsupported sequence: op ") +
+                      std::to_string(i) + " (" +
+                      epilogue_op_name(steps_[i].op) +
+                      ") follows relu, which must be the terminal op";
+        return false;
+      }
+      if (steps_[j].op == steps_[i].op) {
+        state_ = State::kRejected;
+        diagnostic_ = std::string(
+                          "FusionPlan: unsupported sequence: duplicate ") +
+                      epilogue_op_name(steps_[i].op) + " at ops " +
+                      std::to_string(j) + " and " + std::to_string(i);
+        return false;
+      }
+    }
+  }
+  state_ = State::kCompiled;
+  RTP_COUNT("nn.fusion.plans_compiled", 1);
+  return true;
+}
+
+void FusionPlan::execute(const float* a, const float* b, float* c) const {
+  RTP_CHECK_MSG(state_ != State::kBuilding,
+                "FusionPlan::execute before compile()");
+  const GemmDesc& g = desc_;
+  const bool naive = use_naive_kernels() ||
+                     (g.row_invariant ? naive_by_shape_row_invariant(g.n, g.k)
+                                      : naive_by_shape(g.m, g.n, g.k));
+  if (state_ == State::kCompiled && num_steps_ > 0 && !naive &&
+      fusion_enabled()) {
+    RTP_HIST_TIMER("nn.gemm_fused");
+    gemm_blocked_impl(g.op_a, g.op_b, g.m, g.n, g.k, a, b, c, steps_,
+                      num_steps_);
+    return;
+  }
+  // Unfused oracle — no second validation pass: plain GEMM, then the same
+  // epilogue as ordered elementwise sweeps. Bit-identical to the fused
+  // store-loop path (per element, the same ops in the same order on the
+  // same finished accumulator value).
+  if (num_steps_ > 0) RTP_COUNT("nn.fusion.fallbacks", 1);
+  if (g.row_invariant) {
+    gemm_row_invariant(g.op_a, g.op_b, g.m, g.n, g.k, a, b, c);
+  } else {
+    gemm(g.op_a, g.op_b, g.m, g.n, g.k, a, b, c);
+  }
+  apply_epilogue_sweeps(steps_, num_steps_, g.m, g.n, c);
 }
 
 }  // namespace rtp::nn::kern

@@ -20,8 +20,20 @@
 // Dispatch: gemm() uses the naive path when RTP_NAIVE_KERNELS=1 (read once,
 // overridable via set_use_naive_kernels for tests/benchmarks) or when the
 // problem is too small for packing to pay for itself.
+//
+// On top of the plain entry points sits FusionPlan, a MIOpen-style
+// compile-then-execute object: a GEMM descriptor plus an ordered epilogue
+// (bias adds, residual add, ReLU with optional mask capture) that runs inside
+// the blocked kernel's register-tile store loop, so the epilogue lands while
+// the 4x32 tile is still hot instead of as extra full-tensor sweeps.
+// Unsupported op sequences are reported, never fatal: compile() returns false
+// with a diagnostic naming the offending op, and execute() on an uncompiled
+// (or env-disabled, or naive-dispatched) plan runs the plain GEMM followed by
+// the same epilogue as separate sweeps — bit-identical to the fused path by
+// construction (see DESIGN.md §7.4).
 
 #include <cstdint>
+#include <string>
 
 namespace rtp::nn::kern {
 
@@ -68,5 +80,116 @@ bool use_naive_kernels();
 void set_use_naive_kernels(bool on);
 /// Drops the override, returning to the RTP_NAIVE_KERNELS env setting.
 void reset_naive_kernels_override();
+
+/// False when RTP_NO_FUSION=1 (read once, overridable) — FusionPlan::execute
+/// then always takes the unfused GEMM + separate-sweep path, the A/B oracle
+/// for the fused register-tile epilogue.
+bool fusion_enabled();
+/// Overrides the env-derived setting for the current process.
+void set_fusion_enabled(bool on);
+/// Drops the override, returning to the RTP_NO_FUSION env setting.
+void reset_fusion_override();
+
+// ---------------------------------------------------------------------------
+// FusionPlan — GEMM + ordered epilogue in one pass
+// ---------------------------------------------------------------------------
+
+/// Epilogue op kinds, in the vocabulary the diagnostics use.
+enum class EpilogueOp : std::uint8_t {
+  kBiasPerRow,  ///< c[i][j] += bias[i]   (conv: one bias per output channel)
+  kBiasPerCol,  ///< c[i][j] += bias[j]   (linear: one bias per output feature)
+  kResidual,    ///< c[i][j] += alpha * r[i][j]  (axpy / residual add)
+  kRelu,        ///< c[i][j] = max(c[i][j], 0), optional 1-byte mask capture
+};
+
+/// Stable lowercase name for diagnostics and tests ("bias_per_row", ...).
+const char* epilogue_op_name(EpilogueOp op);
+
+/// One attached epilogue step. POD so the blocked kernel's ISA clones can
+/// walk a plain array of these inside the store loop.
+struct EpilogueStep {
+  EpilogueOp op;
+  const float* data = nullptr;   ///< bias vector or residual matrix
+  std::uint8_t* mask = nullptr;  ///< kRelu only: per-element sign capture
+  float alpha = 1.0f;            ///< kResidual only
+};
+
+/// The GEMM a plan wraps. row_invariant selects gemm_row_invariant()'s
+/// m-independent dispatch (batched-inference bit-identity); plain gemm()
+/// dispatch otherwise. Every epilogue op is per-element with row-local
+/// inputs, so fusing never breaks row invariance.
+struct GemmDesc {
+  Op op_a = Op::kNone;
+  Op op_b = Op::kNone;
+  int m = 0, n = 0, k = 0;
+  bool row_invariant = false;
+};
+
+/// Compile-then-execute fusion of one GEMM with an ordered epilogue
+/// (MIOpen Fusion API shape: create, add ops in order, compile, execute).
+///
+///   kern::FusionPlan plan(desc);
+///   plan.bias_per_col(bias).relu(mask);
+///   if (!plan.compile()) { /* diagnostic() names the offending op */ }
+///   plan.execute(a, b, c);   // fused when compiled, unfused sweeps otherwise
+///
+/// compile() validates the sequence and never aborts on an unsupported
+/// combination; execute() is always safe to call after compile() returned
+/// (either way) and needs no second validation pass — a rejected plan simply
+/// runs the plain GEMM plus the epilogue as separate ordered sweeps.
+///
+/// Determinism contract: the fused path applies the epilogue per completed
+/// output element, in op order, exactly once — after the element's ascending-k
+/// accumulation finishes (last k-panel writeback). Since a float stored and
+/// reloaded is bit-preserved, this is bit-identical to running the unfused
+/// GEMM and then the epilogue sweeps, at any RTP_THREADS.
+///
+/// The caller owns every pointer handed to the builder; they must stay valid
+/// through execute(). Plans are cheap (no allocation) — build one per call or
+/// keep one per layer, as convenient. A plan is immutable after compile().
+class FusionPlan {
+ public:
+  explicit FusionPlan(const GemmDesc& desc) : desc_(desc) {}
+
+  /// Ordered builder API. Each call appends one op; order is significant
+  /// (MIOpen semantics). Pointers are RTP_CHECKed non-null — a null operand
+  /// is a programming error, not an unsupported combination.
+  FusionPlan& bias_per_row(const float* bias);  ///< bias has m entries
+  FusionPlan& bias_per_col(const float* bias);  ///< bias has n entries
+  FusionPlan& residual(const float* r, float alpha = 1.0f);  ///< r is (m, n)
+  FusionPlan& relu(std::uint8_t* mask = nullptr);  ///< mask: m*n bytes or null
+
+  /// Validates the op sequence. Returns true and marks the plan compiled, or
+  /// returns false with diagnostic() naming the offending op. Idempotent;
+  /// never aborts on an unsupported sequence.
+  [[nodiscard]] bool compile();
+
+  bool compiled() const { return state_ == State::kCompiled; }
+  /// Empty until compile() rejects the plan.
+  const std::string& diagnostic() const { return diagnostic_; }
+  int num_ops() const { return num_steps_; }
+
+  /// C = op_a(A) * op_b(B), then the epilogue — fused into the blocked
+  /// kernel's store loop when the plan compiled, fusion is enabled, and the
+  /// shape dispatches to the blocked path; as ordered separate sweeps
+  /// otherwise. Both paths produce bit-identical C (and ReLU masks).
+  /// Must be preceded by compile(); execute() itself never re-validates.
+  void execute(const float* a, const float* b, float* c) const;
+
+ private:
+  enum class State : std::uint8_t { kBuilding, kCompiled, kRejected };
+
+  FusionPlan& add_step(const EpilogueStep& step);
+
+  /// More than enough for bias + residual + relu; duplicate-op validation
+  /// bounds any compilable sequence well below this.
+  static constexpr int kMaxSteps = 8;
+
+  GemmDesc desc_;
+  EpilogueStep steps_[kMaxSteps];
+  int num_steps_ = 0;
+  State state_ = State::kBuilding;
+  std::string diagnostic_;
+};
 
 }  // namespace rtp::nn::kern

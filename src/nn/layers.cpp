@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels.hpp"
+
 namespace rtp::nn {
 
 namespace {
@@ -16,21 +18,36 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
     : weight_(kaiming_uniform(out_features, in_features, rng)),
       bias_(Tensor::zeros({out_features})) {}
 
-Tensor Linear::apply(const Tensor& x) const {
+Tensor Linear::apply(const Tensor& x, bool relu, ReluMask* relu_mask) const {
   RTP_CHECK(x.ndim() == 2 && x.dim(1) == in_features());
-  Tensor y = matmul_bt(x, weight_.value);  // (N,in) * (out,in)^T
-  const int n = y.dim(0), out = y.dim(1);
-  const float* b = bias_.value.data();
-  for (int i = 0; i < n; ++i) {
-    float* yrow = y.data() + static_cast<std::size_t>(i) * out;
-    for (int j = 0; j < out; ++j) yrow[j] += b[j];
+  // (N,in) * (out,in)^T with the per-feature bias (and optional ReLU) fused
+  // into the GEMM store loop. row_invariant keeps matmul_bt's m-independent
+  // dispatch, so batched inference stays bit-identical to sequential.
+  Tensor y({x.dim(0), out_features()});
+  kern::GemmDesc g;
+  g.op_b = kern::Op::kTrans;
+  g.m = x.dim(0);
+  g.n = out_features();
+  g.k = in_features();
+  g.row_invariant = true;
+  kern::FusionPlan plan(g);
+  plan.bias_per_col(bias_.value.data());
+  if (relu) {
+    if (relu_mask != nullptr) relu_mask->resize(y.numel());
+    plan.relu(relu_mask != nullptr ? relu_mask->data() : nullptr);
   }
+  RTP_CHECK(plan.compile());  // bias(+relu) is always a supported sequence
+  plan.execute(x.data(), weight_.value.data(), y.data());
   return y;
 }
 
-Tensor Linear::forward(const Tensor& x, Tensor* saved) const {
+Tensor Linear::forward(const Tensor& x, Tensor* saved, ReluMask* fused_relu) const {
   *saved = x;
-  return apply(x);
+  return apply(x, fused_relu != nullptr, fused_relu);
+}
+
+Tensor Linear::forward(const Tensor& x, Tensor* saved) const {
+  return forward(x, saved, nullptr);
 }
 
 Tensor Linear::forward(const Tensor& x) { return forward(x, &cached_input_); }

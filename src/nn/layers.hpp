@@ -29,6 +29,11 @@ struct Param {
   void zero_grad() { grad.zero(); }
 };
 
+/// One byte per element (1 = input was positive). std::uint8_t rather than
+/// std::vector<bool>: the packed-bit specialization forces a read-modify-write
+/// per store and blocks vectorization of the mask loops.
+using ReluMask = std::vector<std::uint8_t>;
+
 /// Fully connected layer: y = x W^T + b, x is (N, in), W is (out, in).
 ///
 /// Two call styles:
@@ -46,9 +51,18 @@ class Linear {
   Tensor forward(const Tensor& x);
   /// Stateless variant: stores the input in *saved instead.
   Tensor forward(const Tensor& x, Tensor* saved) const;
-  /// Inference-only: no cache, no member writes — safe to call concurrently
-  /// on one instance. Bit-identical to forward().
-  Tensor apply(const Tensor& x) const;
+  /// Stateless variant with a fused terminal ReLU: when fused_relu is
+  /// non-null the activation (and its mask) land in the GEMM store loop —
+  /// bit-identical to forward(x, saved) then ReLU::forward(&mask).
+  Tensor forward(const Tensor& x, Tensor* saved, ReluMask* fused_relu) const;
+  /// Inference-style call: no cache, no member writes — safe to call
+  /// concurrently on one instance. Bit-identical to forward() (relu=false),
+  /// or to forward + ReLU::forward/apply (relu=true; mask captured when
+  /// relu_mask is non-null). Row-invariant: each output row's bits are
+  /// independent of the batch height (kern::gemm_row_invariant, and every
+  /// fused epilogue op is row-local).
+  Tensor apply(const Tensor& x, bool relu = false,
+               ReluMask* relu_mask = nullptr) const;
 
   /// grad_out: (N, out) -> grad wrt x (N, in); accumulates dW, db.
   Tensor backward(const Tensor& grad_out);
@@ -68,11 +82,6 @@ class Linear {
   Param bias_;
   Tensor cached_input_;
 };
-
-/// One byte per element (1 = input was positive). std::uint8_t rather than
-/// std::vector<bool>: the packed-bit specialization forces a read-modify-write
-/// per store and blocks vectorization of the mask loops.
-using ReluMask = std::vector<std::uint8_t>;
 
 /// Elementwise ReLU.
 class ReLU {

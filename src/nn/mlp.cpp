@@ -9,13 +9,20 @@ Mlp::Mlp(const std::vector<int>& dims, Rng& rng) {
   }
 }
 
+// Each hidden layer fuses its trailing ReLU into the GEMM store loop
+// (Linear's fused_relu / relu arguments); the output layer stays linear.
+// relu_masks[i] is still the mask of the ReLU after layer i, and
+// linear_inputs[i] the (post-activation) input of layer i, so backward()
+// consumes the cache exactly as before.
 Tensor Mlp::forward(const Tensor& x, MlpCache* cache) {
+  const std::size_t last = layers_.size() - 1;
   cache->linear_inputs.resize(layers_.size());
-  cache->relu_masks.resize(layers_.size() - 1);
-  Tensor h = layers_[0]->forward(x, &cache->linear_inputs[0]);
+  cache->relu_masks.resize(last);
+  Tensor h = layers_[0]->forward(x, &cache->linear_inputs[0],
+                                 0 < last ? &cache->relu_masks[0] : nullptr);
   for (std::size_t i = 1; i < layers_.size(); ++i) {
-    h = ReLU::forward(h, &cache->relu_masks[i - 1]);
-    h = layers_[i]->forward(h, &cache->linear_inputs[i]);
+    h = layers_[i]->forward(h, &cache->linear_inputs[i],
+                            i < last ? &cache->relu_masks[i] : nullptr);
   }
   return h;
 }
@@ -23,10 +30,10 @@ Tensor Mlp::forward(const Tensor& x, MlpCache* cache) {
 Tensor Mlp::forward(const Tensor& x) { return forward(x, &stateful_cache_); }
 
 Tensor Mlp::infer(const Tensor& x) const {
-  Tensor h = layers_[0]->apply(x);
+  const std::size_t last = layers_.size() - 1;
+  Tensor h = layers_[0]->apply(x, /*relu=*/0 < last);
   for (std::size_t i = 1; i < layers_.size(); ++i) {
-    h = ReLU::apply(h);
-    h = layers_[i]->apply(h);
+    h = layers_[i]->apply(h, /*relu=*/i < last);
   }
   return h;
 }

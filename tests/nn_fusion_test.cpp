@@ -1,0 +1,457 @@
+// FusionPlan tests: rejection diagnostics (every unsupported sequence names
+// the offending op, and the rejected plan still executes unfused with no
+// second validation pass), fused-vs-unfused bit-identity across awkward
+// shapes x thread counts x mask capture, the layer-level fused paths
+// (Conv2d+ReLU, Linear+ReLU, Mlp) against the seed's separate-sweep
+// sequences, and the fusion observability counters.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "nn/conv.hpp"
+#include "nn/kernels.hpp"
+#include "nn/layers.hpp"
+#include "nn/mlp.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp {
+namespace {
+
+using nn::kern::EpilogueOp;
+using nn::kern::FusionPlan;
+using nn::kern::GemmDesc;
+using nn::kern::Op;
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { core::set_num_threads(0); }
+};
+
+struct FusionGuard {
+  ~FusionGuard() { nn::kern::reset_fusion_override(); }
+};
+
+std::vector<float> random_vec(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+/// Shapes covering the fused store loop's edges: unit dims, n=1 (single
+/// partial strip), m/n/k off the 4x32 tile, k below the blocked-dispatch
+/// cutover (these exercise the naive fallback inside execute()), and k
+/// crossing the kKc=256 panel depth (epilogue must fire on the last panel
+/// only).
+const std::vector<std::array<int, 3>>& fusion_shapes() {
+  static const std::vector<std::array<int, 3>> shapes = {
+      {1, 1, 1},    {1, 7, 3},    {5, 1, 9},     {7, 11, 13},   {4, 32, 16},
+      {8, 64, 256}, {5, 33, 257}, {3, 31, 255},  {13, 40, 512}, {17, 29, 300},
+  };
+  return shapes;
+}
+
+// ---------------------------------------------------------------------------
+// Rejection diagnostics (MIOpen-style: report, never abort)
+// ---------------------------------------------------------------------------
+
+TEST(NnFusionPlan, RejectsOpAfterReluNamingTheOp) {
+  const int m = 6, n = 5, k = 4;
+  const auto bias_r = random_vec(m, 1u);
+  const auto bias_c = random_vec(n, 2u);
+  GemmDesc g;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  FusionPlan plan(g);
+  plan.bias_per_col(bias_c.data()).relu().bias_per_row(bias_r.data());
+  EXPECT_FALSE(plan.compile());
+  EXPECT_FALSE(plan.compiled());
+  EXPECT_NE(plan.diagnostic().find("bias_per_row"), std::string::npos)
+      << plan.diagnostic();
+  EXPECT_NE(plan.diagnostic().find("relu"), std::string::npos)
+      << plan.diagnostic();
+}
+
+TEST(NnFusionPlan, RejectsDuplicateOpsNamingTheOp) {
+  const int m = 3, n = 4, k = 2;
+  const auto bias_r = random_vec(m, 3u);
+  const auto res = random_vec(static_cast<std::size_t>(m) * n, 4u);
+  {
+    GemmDesc g;
+    g.m = m;
+    g.n = n;
+    g.k = k;
+    FusionPlan plan(g);
+    plan.bias_per_row(bias_r.data()).bias_per_row(bias_r.data());
+    EXPECT_FALSE(plan.compile());
+    EXPECT_NE(plan.diagnostic().find("duplicate bias_per_row"),
+              std::string::npos)
+        << plan.diagnostic();
+  }
+  {
+    GemmDesc g;
+    g.m = m;
+    g.n = n;
+    g.k = k;
+    FusionPlan plan(g);
+    plan.residual(res.data()).residual(res.data(), 0.5f);
+    EXPECT_FALSE(plan.compile());
+    EXPECT_NE(plan.diagnostic().find("duplicate residual"), std::string::npos)
+        << plan.diagnostic();
+  }
+}
+
+TEST(NnFusionPlan, RejectedPlanExecutesUnfusedWithoutRevalidation) {
+  // The caller's fallback is execute() itself: a rejected plan runs the plain
+  // GEMM plus ordered sweeps, and repeated compile() calls stay rejected with
+  // the same diagnostic (no second validation pass changes the answer).
+  const int m = 9, n = 7, k = 5;
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 5u);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 6u);
+  const auto bias_c = random_vec(n, 7u);
+  GemmDesc g;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  FusionPlan plan(g);
+  plan.bias_per_col(bias_c.data()).relu().bias_per_col(bias_c.data());
+  EXPECT_FALSE(plan.compile());
+  const std::string diag = plan.diagnostic();
+  EXPECT_FALSE(plan.compile());  // idempotent, still rejected
+  EXPECT_EQ(plan.diagnostic(), diag);
+
+  std::vector<float> got(static_cast<std::size_t>(m) * n, -1.0f);
+  plan.execute(a.data(), b.data(), got.data());
+
+  // Reference: plain GEMM, then the attached ops applied as full sweeps in
+  // the order they were added (even though the sequence is unfusable).
+  std::vector<float> want(got.size());
+  nn::kern::gemm(Op::kNone, Op::kNone, m, n, k, a.data(), b.data(), want.data());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) want[static_cast<std::size_t>(i) * n + j] += bias_c[j];
+  }
+  for (float& v : want) {
+    if (!(v > 0.0f)) v = 0.0f;
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) want[static_cast<std::size_t>(i) * n + j] += bias_c[j];
+  }
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(float)), 0);
+}
+
+TEST(NnFusionPlan, CompileIsIdempotentOnSuccess) {
+  const auto bias = random_vec(4, 8u);
+  GemmDesc g;
+  g.m = 3;
+  g.n = 4;
+  g.k = 2;
+  FusionPlan plan(g);
+  plan.bias_per_col(bias.data());
+  EXPECT_TRUE(plan.compile());
+  EXPECT_TRUE(plan.compile());
+  EXPECT_TRUE(plan.compiled());
+  EXPECT_TRUE(plan.diagnostic().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fused vs unfused bit-identity
+// ---------------------------------------------------------------------------
+
+/// Runs bias_per_col + optional relu(mask) through execute() with fusion
+/// forced on and forced off, and checks outputs (and masks) byte-identical.
+void expect_fused_matches_unfused(int m, int n, int k, bool with_mask) {
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 11u + m);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 22u + n);
+  const auto bias_c = random_vec(n, 33u + k);
+
+  const auto run = [&](bool fused, std::vector<std::uint8_t>* mask) {
+    nn::kern::set_fusion_enabled(fused);
+    GemmDesc g;
+    g.m = m;
+    g.n = n;
+    g.k = k;
+    FusionPlan plan(g);
+    plan.bias_per_col(bias_c.data());
+    if (mask != nullptr) {
+      plan.relu(mask->data());
+    } else if (with_mask) {
+      plan.relu();
+    }
+    EXPECT_TRUE(plan.compile());
+    std::vector<float> c(static_cast<std::size_t>(m) * n, -1.0f);
+    plan.execute(a.data(), b.data(), c.data());
+    return c;
+  };
+
+  const std::size_t numel = static_cast<std::size_t>(m) * n;
+  std::vector<std::uint8_t> mask_fused(numel, 2), mask_unfused(numel, 3);
+  const auto fused = run(true, with_mask ? &mask_fused : nullptr);
+  const auto unfused = run(false, with_mask ? &mask_unfused : nullptr);
+  ASSERT_EQ(fused.size(), unfused.size());
+  EXPECT_EQ(std::memcmp(fused.data(), unfused.data(), numel * sizeof(float)), 0)
+      << m << "x" << n << "x" << k;
+  if (with_mask) {
+    EXPECT_EQ(mask_fused, mask_unfused) << m << "x" << n << "x" << k;
+    for (std::size_t i = 0; i < numel; ++i) {
+      EXPECT_EQ(mask_fused[i], fused[i] > 0.0f ? 1 : 0);
+    }
+  }
+}
+
+TEST(NnFusionIdentity, AwkwardShapesAcrossThreadsAndMasks) {
+  ThreadCountGuard tg;
+  FusionGuard fg;
+  for (int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    for (const auto& [m, n, k] : fusion_shapes()) {
+      expect_fused_matches_unfused(m, n, k, /*with_mask=*/false);
+      expect_fused_matches_unfused(m, n, k, /*with_mask=*/true);
+    }
+  }
+}
+
+TEST(NnFusionIdentity, RowBiasAndResidualMatchUnfused) {
+  ThreadCountGuard tg;
+  FusionGuard fg;
+  for (int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    for (const auto& [m, n, k] : fusion_shapes()) {
+      const auto a = random_vec(static_cast<std::size_t>(m) * k, 44u + m);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, 55u + n);
+      const auto bias_r = random_vec(m, 66u + k);
+      const auto res = random_vec(static_cast<std::size_t>(m) * n, 77u + m);
+      const auto run = [&](bool fused) {
+        nn::kern::set_fusion_enabled(fused);
+        GemmDesc g;
+        g.m = m;
+        g.n = n;
+        g.k = k;
+        FusionPlan plan(g);
+        plan.bias_per_row(bias_r.data()).residual(res.data(), 0.5f).relu();
+        EXPECT_TRUE(plan.compile());
+        std::vector<float> c(static_cast<std::size_t>(m) * n, -1.0f);
+        plan.execute(a.data(), b.data(), c.data());
+        return c;
+      };
+      const auto fused = run(true);
+      const auto unfused = run(false);
+      EXPECT_EQ(std::memcmp(fused.data(), unfused.data(),
+                            fused.size() * sizeof(float)),
+                0)
+          << m << "x" << n << "x" << k;
+    }
+  }
+}
+
+TEST(NnFusionIdentity, RowInvariantDescMatchesAndStaysRowInvariant) {
+  // A batched-inference shaped plan: row_invariant dispatch, op_b transposed
+  // (Linear's layout). Any row of a taller batch must come out bit-identical
+  // to the same row computed alone, fused or not.
+  ThreadCountGuard tg;
+  FusionGuard fg;
+  const int n = 64, k = 64;  // blocked under row-invariant dispatch
+  const auto b = random_vec(static_cast<std::size_t>(n) * k, 88u);
+  const auto bias_c = random_vec(n, 99u);
+  const auto batch = random_vec(static_cast<std::size_t>(7) * k, 111u);
+  const auto run = [&](int m, const float* a, bool fused) {
+    nn::kern::set_fusion_enabled(fused);
+    GemmDesc g;
+    g.op_b = Op::kTrans;
+    g.m = m;
+    g.n = n;
+    g.k = k;
+    g.row_invariant = true;
+    FusionPlan plan(g);
+    plan.bias_per_col(bias_c.data()).relu();
+    EXPECT_TRUE(plan.compile());
+    std::vector<float> c(static_cast<std::size_t>(m) * n, -1.0f);
+    plan.execute(a, b.data(), c.data());
+    return c;
+  };
+  const auto full_fused = run(7, batch.data(), true);
+  const auto full_unfused = run(7, batch.data(), false);
+  EXPECT_EQ(std::memcmp(full_fused.data(), full_unfused.data(),
+                        full_fused.size() * sizeof(float)),
+            0);
+  for (int r = 0; r < 7; ++r) {
+    const auto one = run(1, batch.data() + static_cast<std::size_t>(r) * k, true);
+    EXPECT_EQ(std::memcmp(one.data(),
+                          full_fused.data() + static_cast<std::size_t>(r) * n,
+                          static_cast<std::size_t>(n) * sizeof(float)),
+              0)
+        << "row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer-level fusion vs the seed's separate-sweep sequences
+// ---------------------------------------------------------------------------
+
+TEST(NnFusionLayers, LinearReluFusedMatchesSeparateSequence) {
+  FusionGuard fg;
+  Rng rng(42);
+  nn::Linear lin(33, 29, rng);
+  const nn::Tensor x = nn::Tensor::uniform({19, 33}, 1.0f, rng);
+
+  nn::kern::set_fusion_enabled(false);
+  const nn::Tensor ref = nn::ReLU::apply(lin.apply(x));
+  nn::ReluMask mask_ref;
+  nn::Tensor saved_ref;
+  const nn::Tensor ref_fwd =
+      nn::ReLU::forward(lin.forward(x, &saved_ref), &mask_ref);
+
+  nn::kern::set_fusion_enabled(true);
+  const nn::Tensor fused = lin.apply(x, /*relu=*/true);
+  nn::ReluMask mask_fused;
+  nn::Tensor saved_fused;
+  const nn::Tensor fused_fwd = lin.forward(x, &saved_fused, &mask_fused);
+
+  EXPECT_TRUE(bit_identical(ref, fused));
+  EXPECT_TRUE(bit_identical(ref_fwd, fused_fwd));
+  EXPECT_EQ(mask_ref, mask_fused);
+  EXPECT_TRUE(bit_identical(saved_ref, saved_fused));
+}
+
+TEST(NnFusionLayers, ConvReluFusedMatchesSeparateSequenceIncludingBackward) {
+  FusionGuard fg;
+  Rng rng_a(7), rng_b(7);
+  nn::Conv2d conv_fused(3, 5, 3, 1, rng_a);
+  nn::Conv2d conv_ref(3, 5, 3, 1, rng_b);  // identical weights (same seed)
+  Rng rng_x(13);
+  const nn::Tensor x = nn::Tensor::uniform({3, 17, 13}, 1.0f, rng_x);
+
+  nn::kern::set_fusion_enabled(false);
+  nn::ReluMask mask_ref;
+  const nn::Tensor y_ref = nn::ReLU::forward(conv_ref.forward(x), &mask_ref);
+
+  nn::kern::set_fusion_enabled(true);
+  nn::ReluMask mask_fused;
+  const nn::Tensor y_fused = conv_fused.forward(x, &mask_fused);
+
+  EXPECT_TRUE(bit_identical(y_ref, y_fused));
+  EXPECT_EQ(mask_ref, mask_fused);
+
+  // Backward through the fused forward must match the unfused chain bitwise.
+  Rng rng_g(29);
+  const nn::Tensor gy = nn::Tensor::uniform(y_ref.shape(), 1.0f, rng_g);
+  nn::kern::set_fusion_enabled(false);
+  const nn::Tensor gx_ref = conv_ref.backward(nn::ReLU::backward(gy, mask_ref));
+  nn::kern::set_fusion_enabled(true);
+  const nn::Tensor gx_fused =
+      conv_fused.backward(nn::ReLU::backward(gy, mask_fused));
+  EXPECT_TRUE(bit_identical(gx_ref, gx_fused));
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_TRUE(bit_identical(conv_ref.params()[p]->grad,
+                              conv_fused.params()[p]->grad));
+  }
+}
+
+TEST(NnFusionLayers, MlpForwardAndInferFusionOnOffIdentical) {
+  ThreadCountGuard tg;
+  FusionGuard fg;
+  Rng rng(3);
+  nn::Mlp mlp({7, 16, 16, 1}, rng);
+  Rng rng_x(9);
+  const nn::Tensor x = nn::Tensor::uniform({9, 7}, 1.0f, rng_x);
+
+  for (int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    nn::kern::set_fusion_enabled(false);
+    nn::MlpCache cache_off;
+    const nn::Tensor fwd_off = mlp.forward(x, &cache_off);
+    const nn::Tensor inf_off = mlp.infer(x);
+
+    nn::kern::set_fusion_enabled(true);
+    nn::MlpCache cache_on;
+    const nn::Tensor fwd_on = mlp.forward(x, &cache_on);
+    const nn::Tensor inf_on = mlp.infer(x);
+
+    EXPECT_TRUE(bit_identical(fwd_off, fwd_on));
+    EXPECT_TRUE(bit_identical(inf_off, inf_on));
+    EXPECT_TRUE(bit_identical(fwd_on, inf_on));
+    ASSERT_EQ(cache_off.relu_masks.size(), cache_on.relu_masks.size());
+    for (std::size_t i = 0; i < cache_on.relu_masks.size(); ++i) {
+      EXPECT_EQ(cache_off.relu_masks[i], cache_on.relu_masks[i]) << i;
+    }
+    for (std::size_t i = 0; i < cache_on.linear_inputs.size(); ++i) {
+      EXPECT_TRUE(
+          bit_identical(cache_off.linear_inputs[i], cache_on.linear_inputs[i]))
+          << i;
+    }
+  }
+}
+
+TEST(NnFusionLayers, FusedPathsThreadCountInvariant) {
+  ThreadCountGuard tg;
+  FusionGuard fg;
+  nn::kern::set_fusion_enabled(true);
+  Rng rng(21);
+  nn::Conv2d conv(4, 8, 3, 1, rng);
+  nn::Mlp mlp({24, 64, 1}, rng);
+  Rng rng_x(22);
+  const nn::Tensor xc = nn::Tensor::uniform({4, 32, 32}, 1.0f, rng_x);
+  const nn::Tensor xm = nn::Tensor::uniform({11, 24}, 1.0f, rng_x);
+
+  core::set_num_threads(1);
+  const nn::Tensor yc1 = conv.apply(xc, /*relu=*/true);
+  const nn::Tensor ym1 = mlp.infer(xm);
+  core::set_num_threads(4);
+  const nn::Tensor yc4 = conv.apply(xc, /*relu=*/true);
+  const nn::Tensor ym4 = mlp.infer(xm);
+  EXPECT_TRUE(bit_identical(yc1, yc4));
+  EXPECT_TRUE(bit_identical(ym1, ym4));
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+TEST(NnFusionObs, CountersTrackCompilesAndFallbacks) {
+  FusionGuard fg;
+  const auto value_of = [](const char* name) -> std::uint64_t {
+    const auto snap = obs::counters_snapshot();
+    const auto it = snap.find(name);
+    return it == snap.end() ? 0 : it->second;
+  };
+  const std::uint64_t compiled0 = value_of("nn.fusion.plans_compiled");
+  const std::uint64_t fallbacks0 = value_of("nn.fusion.fallbacks");
+
+  const int m = 16, n = 64, k = 64;  // blocked dispatch either way
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 1u);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 2u);
+  const auto bias_c = random_vec(n, 3u);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+
+  GemmDesc g;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  FusionPlan plan(g);
+  plan.bias_per_col(bias_c.data());
+  ASSERT_TRUE(plan.compile());
+  EXPECT_EQ(value_of("nn.fusion.plans_compiled"), compiled0 + 1);
+
+  nn::kern::set_fusion_enabled(true);
+  plan.execute(a.data(), b.data(), c.data());  // fused: no fallback
+  EXPECT_EQ(value_of("nn.fusion.fallbacks"), fallbacks0);
+
+  nn::kern::set_fusion_enabled(false);
+  plan.execute(a.data(), b.data(), c.data());  // env-disabled: falls back
+  EXPECT_EQ(value_of("nn.fusion.fallbacks"), fallbacks0 + 1);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -16,6 +16,7 @@
 
 #include "flow/dataset_flow.hpp"
 #include "model/inference.hpp"
+#include "nn/kernels.hpp"
 #include "model/trainer.hpp"
 #include "serve/serve.hpp"
 
@@ -90,6 +91,38 @@ TEST(ServeBatch, BatchedMatchesSequentialBitForBit) {
   // FusionModel::predict runs the same code path with a batch of one.
   EXPECT_TRUE(bit_identical(m.predict(f.prepared[0]), batched[0]));
   EXPECT_TRUE(bit_identical(m.predict(f.prepared[1]), batched[1]));
+}
+
+TEST(ServeBatch, PredictBatchUnchangedByKernelFusion) {
+  // The serve hot path runs fused GEMM epilogues (kern::FusionPlan) through
+  // the CNN, the shared FC, and the regressor; RTP_NO_FUSION's unfused
+  // sweeps are the bit-exact oracle for a mixed batch (duplicate designs,
+  // endpoint subsets).
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(900.0f, 250.0f);
+  const model::InferenceEngine engine(model::WeightSnapshot::from_model(m));
+
+  model::PredictBatch batch;
+  batch.push_back(request_for(f.prepared[0]));
+  batch.push_back(request_for(f.prepared[1]));
+  batch.push_back(request_for(f.prepared[0]));
+  for (const model::PreparedDesign& pd : f.prepared) {
+    model::PredictRequest subset = request_for(pd);
+    const int rows = static_cast<int>(pd.endpoints.size());
+    for (int e = 0; e < std::min(3, rows); ++e) subset.endpoints.push_back(rows - 1 - e);
+    batch.push_back(std::move(subset));
+  }
+
+  nn::kern::set_fusion_enabled(true);
+  const std::vector<nn::Tensor> fused = engine.predict_batch(batch);
+  nn::kern::set_fusion_enabled(false);
+  const std::vector<nn::Tensor> unfused = engine.predict_batch(batch);
+  nn::kern::reset_fusion_override();
+  ASSERT_EQ(fused.size(), unfused.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_TRUE(bit_identical(fused[i], unfused[i])) << "request " << i;
+  }
 }
 
 TEST(ServeBatch, EveryBatchSizePrefixMatches) {
