@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +12,7 @@
 #include <memory>
 #include <thread>
 
+#include "core/check.hpp"
 #include "core/json.hpp"
 #include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
@@ -21,6 +23,7 @@
 #include "opt/optimizer.hpp"
 #include "place/placer.hpp"
 #include "serve/serve.hpp"
+#include "sta/multicorner.hpp"
 #include "sta/session.hpp"
 #include "sta/sta.hpp"
 
@@ -355,6 +358,142 @@ opt::OptimizerReport run_opt_arm(const Fixture& f, double clock_period,
   return report;
 }
 
+/// Bitwise signature of one corner's timing answer after one round: FNV-1a
+/// over the endpoint arrays plus wns/tns. Equal signatures every round for
+/// every corner is how the A/B asserts the arms computed the same bits.
+std::uint64_t corner_signature(const sta::StaResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const double* p, std::size_t n) {
+    const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n * sizeof(double); ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  };
+  mix(r.endpoint_arrival.data(), r.endpoint_arrival.size());
+  mix(r.endpoint_slack.data(), r.endpoint_slack.size());
+  mix(&r.wns, 1);
+  mix(&r.tns, 1);
+  return h;
+}
+
+struct MultiCornerAB {
+  double concurrent_s = 1e30;
+  double serial_s = 1e30;
+  bool identical = true;
+  std::size_t corners = 0;
+};
+
+/// Multi-corner A/B: one MultiCornerSession fanning the registry corners vs
+/// the same number of independent single-corner sessions updated back to
+/// back. Each round resizes one cell, perturbs one congestion bin, and
+/// re-times — a rebase-heavy serving loop, because the multicorner win at any
+/// thread count is the corner-invariant congestion diff computed once instead
+/// of once per corner.
+MultiCornerAB run_multicorner_ab(const Fixture& f, double clock_period,
+                                 bool smoke) {
+  MultiCornerAB ab;
+  const std::vector<sta::Corner> corners = sta::registry_corners();
+  ab.corners = corners.size();
+  const layout::GridMap base =
+      flow::make_congestion_map(f.netlist, f.placement, 64);
+
+  sta::StaConfig config;
+  config.delay.tech.clock_period = clock_period;
+  config.delay.wire_model = sta::WireModel::kSignOff;
+  config.delay.congestion = &base;
+
+  // Deterministic edit schedule: the first few combinational cells with an
+  // upsize, toggled away and back so the design never drifts from the seed.
+  std::vector<std::pair<nl::CellId, nl::LibCellId>> toggles;
+  for (int c = 0;
+       c < f.netlist.num_cell_slots() && toggles.size() < 8; ++c) {
+    const nl::CellId id = static_cast<nl::CellId>(c);
+    if (!f.netlist.cell_alive(id) || f.netlist.lib_cell(id).is_sequential()) {
+      continue;
+    }
+    const nl::LibCellId up = f.library.upsize(f.netlist.cell(id).lib);
+    if (up != nl::kInvalidId) toggles.emplace_back(id, up);
+  }
+  RTP_CHECK(!toggles.empty());
+
+  const int rounds = smoke ? 16 : 32;
+  auto edit_round = [&](nl::Netlist& netlist, int round,
+                        sta::EditBatch& batch) {
+    const auto& [cell, up] = toggles[static_cast<std::size_t>(round) %
+                                     toggles.size()];
+    const nl::LibCellId cur = netlist.cell(cell).lib;
+    const nl::LibCellId target =
+        cur == up ? f.netlist.cell(cell).lib : up;
+    netlist.resize_cell(cell, target);
+    batch.resized_cells.push_back(cell);
+  };
+  auto perturb_round = [&](layout::GridMap& map, int round) {
+    map.at(round % map.rows(), (7 * round) % map.cols()) *= 1.02f;
+  };
+
+  const int reps = smoke ? 2 : 3;
+  std::vector<std::uint64_t> concurrent_sig, serial_sig;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      concurrent_sig.clear();
+      nl::Netlist netlist = f.netlist;
+      layout::GridMap map = base;
+      sta::MultiCornerSession session(netlist, f.placement, config, corners);
+      session.update();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int round = 0; round < rounds; ++round) {
+        sta::EditBatch batch;
+        edit_round(netlist, round, batch);
+        session.apply(batch);
+        perturb_round(map, round);
+        session.rebase_congestion(map);
+        session.update();
+        for (std::size_t c = 0; c < corners.size(); ++c) {
+          concurrent_sig.push_back(corner_signature(session.corner_results(c)));
+        }
+      }
+      ab.concurrent_s = std::min(
+          ab.concurrent_s,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    {
+      serial_sig.clear();
+      nl::Netlist netlist = f.netlist;
+      layout::GridMap map = base;
+      std::vector<std::unique_ptr<sta::TimingSession>> sessions;
+      for (const sta::Corner& corner : corners) {
+        sta::StaConfig per = config;
+        per.corner = corner;
+        sessions.push_back(std::make_unique<sta::TimingSession>(
+            netlist, f.placement, per));
+        sessions.back()->update();
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int round = 0; round < rounds; ++round) {
+        sta::EditBatch batch;
+        edit_round(netlist, round, batch);
+        perturb_round(map, round);
+        for (auto& session : sessions) {
+          session->apply(batch);
+          session->rebase_congestion(map);
+          session->update();
+        }
+        for (auto& session : sessions) {
+          serial_sig.push_back(corner_signature(session->results()));
+        }
+      }
+      ab.serial_s = std::min(
+          ab.serial_s,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    ab.identical = ab.identical && concurrent_sig == serial_sig;
+  }
+  return ab;
+}
+
 }  // namespace
 
 BenchDoc run_sta_suite(bool smoke) {
@@ -402,6 +541,10 @@ BenchDoc run_sta_suite(bool smoke) {
                          inc_report.passes_run == full_report.passes_run;
   const double speedup = inc_s > 0.0 ? full_s / inc_s : 0.0;
 
+  const MultiCornerAB mc = run_multicorner_ab(f, clock_period, smoke);
+  const double mc_speedup =
+      mc.concurrent_s > 0.0 ? mc.serial_s / mc.concurrent_s : 0.0;
+
   BenchDoc doc;
   doc.suite = "sta";
   doc.smoke = smoke;
@@ -418,10 +561,25 @@ BenchDoc run_sta_suite(bool smoke) {
       {"sta.clock_period_ps", clock_period, "ps", false, -1.0});
   doc.metrics.push_back({"sta.wns_after", inc_report.wns_after, "ps", true, -1.0});
   doc.metrics.push_back({"sta.tns_after", inc_report.tns_after, "ps", true, -1.0});
+  doc.metrics.push_back(
+      {"sta.multicorner.speedup", mc_speedup, "ratio", true, kRatioTolerance});
+  doc.metrics.push_back({"sta.multicorner.identical", mc.identical ? 1.0 : 0.0,
+                         "bool", true, 0.0});
+  doc.metrics.push_back(
+      {"sta.multicorner.concurrent_s", mc.concurrent_s, "s", false, -1.0});
+  doc.metrics.push_back(
+      {"sta.multicorner.serial_s", mc.serial_s, "s", false, -1.0});
+  doc.metrics.push_back({"sta.multicorner.corners",
+                         static_cast<double>(mc.corners), "count", false,
+                         -1.0});
 
   std::cerr << "sta A/B on rocket@0.04: incremental " << inc_s << "s, full "
             << full_s << "s, speedup " << speedup << "x, identical="
             << (identical ? "yes" : "NO") << "\n";
+  std::cerr << "multicorner A/B (" << mc.corners << " corners): concurrent "
+            << mc.concurrent_s << "s, serial " << mc.serial_s << "s, speedup "
+            << mc_speedup << "x, identical=" << (mc.identical ? "yes" : "NO")
+            << "\n";
   return doc;
 }
 
@@ -438,6 +596,16 @@ int run_sta_harness(const std::string& path, bool smoke) {
   }
   if (doc.find("sta.speedup")->value <= 1.0) {
     std::cerr << "REGRESSION: incremental STA not faster than full recompute\n";
+    return 1;
+  }
+  if (doc.find("sta.multicorner.identical")->value != 1.0) {
+    std::cerr << "REGRESSION: multi-corner fan-out diverged from serial "
+                 "per-corner sessions\n";
+    return 1;
+  }
+  if (doc.find("sta.multicorner.speedup")->value <= 1.0) {
+    std::cerr << "REGRESSION: concurrent corner fan-out not faster than "
+                 "serial per-corner sessions\n";
     return 1;
   }
   return 0;

@@ -1,9 +1,10 @@
 // Quickstart: the whole library in one file.
 //
-// Builds a small netlist by hand, places it, runs pre-route and sign-off STA,
-// lets the timing optimizer restructure it, and finally trains the
-// restructure-tolerant predictor on a generated design and predicts sign-off
-// endpoint arrival times from the pre-routing snapshot.
+// Builds a small netlist by hand, places it, runs pre-route and sign-off STA
+// (single-corner and across a 3-corner PVT set), lets the timing optimizer
+// restructure it, and finally trains the restructure-tolerant predictor on a
+// generated design and predicts sign-off endpoint arrival times from the
+// pre-routing snapshot.
 //
 //   ./quickstart
 //   RTP_TRACE=trace.json RTP_REPORT=report.json ./quickstart   # + observability
@@ -21,6 +22,7 @@
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "opt/optimizer.hpp"
+#include "sta/multicorner.hpp"
 #include "sta/session.hpp"
 
 int main() {
@@ -76,6 +78,32 @@ int main() {
   session.apply(edit);
   const sta::StaResult& retimed = session.update();
   std::printf("after upsizing the INV: wns %.1f -> %.1f ps\n", wns_before, retimed.wns);
+
+  // ---- 2b. the same incremental edit across a 3-corner PVT set ----
+  // A MultiCornerSession fans one TimingSession per corner (fast/typical/slow
+  // from the registry; the RTP_CORNERS env var overrides the set) across the
+  // thread pool and merges per-endpoint results into worst-across-corners
+  // slack. An edit is applied once and re-timed in every corner concurrently.
+  sta::MultiCornerSession corners(netlist, placement, sta_config,
+                                  sta::registry_corners());
+  const sta::MultiCornerResult& merged = corners.update();
+  std::printf("\n3-corner STA: merged (worst-case) wns %.1f ps\n", merged.wns);
+  for (std::size_t c = 0; c < corners.num_corners(); ++c) {
+    std::printf("  corner %-8s wns %.1f ps\n", corners.corner(c).name.c_str(),
+                corners.corner_results(c).wns);
+  }
+  netlist.resize_cell(inv, library.downsize(netlist.cell(inv).lib));
+  sta::EditBatch corner_edit;
+  corner_edit.resized_cells.push_back(inv);
+  corners.apply(corner_edit);
+  const sta::MultiCornerResult& remerged = corners.update();
+  std::printf("after downsizing the INV in every corner:\n");
+  for (std::size_t i = 0; i < remerged.endpoints.size(); ++i) {
+    const auto worst = static_cast<std::size_t>(remerged.worst_corner[i]);
+    std::printf("  endpoint pin %d: worst slack %.1f ps (%s corner)\n",
+                remerged.endpoints[i], remerged.endpoint_slack[i],
+                corners.corner(worst).name.c_str());
+  }
 
   // ---- 3. the full data flow + the predictor on a generated benchmark ----
   // An obs::Sink observes each stage as it completes; SpanAccumulator just

@@ -7,6 +7,7 @@
 #include "core/log.hpp"
 #include "layout/feature_maps.hpp"
 #include "route/global_router.hpp"
+#include "sta/multicorner.hpp"
 #include "sta/session.hpp"
 
 namespace rtp::flow {
@@ -40,6 +41,16 @@ sta::StaConfig make_signoff_config(const nl::Technology& tech, double period,
   config.delay.wire_model = sta::WireModel::kSignOff;
   config.delay.congestion = congestion;
   return config;
+}
+
+/// The corner whose results feed the single-corner supervision surfaces
+/// (arc labels, pin arrival/slew): "typical" when the set names one, else
+/// the first corner. The endpoint labels keep the full per-corner axis.
+std::size_t nominal_corner_index(const std::vector<sta::Corner>& corners) {
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    if (corners[i].name == "typical") return i;
+  }
+  return 0;
 }
 
 /// Mean relative delay change over labeled arcs; pairs (base, changed).
@@ -124,19 +135,35 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     data.preroute = pre_session.update();
   }
 
+  // ---- corner axis: one implicit typical corner reproduces the pre-corner
+  // flow bit for bit; more corners add label rows and worst-case closure ----
+  const std::vector<sta::Corner> corners =
+      config_.corners.empty() ? std::vector<sta::Corner>{sta::typical_corner()}
+                              : config_.corners;
+  const std::size_t nominal = nominal_corner_index(corners);
+  data.corners = corners;
+
   // ---- no-opt flow: route + sign-off STA on the unoptimized design ----
   route::GlobalRouter router{route::RouterConfig{}};
   route::RouteResult noopt_route;
   sta::StaConfig noopt_config;
-  sta::StaResult noopt_sta;
+  std::vector<sta::StaResult> noopt_sta_corners;
+  double noopt_wns = 0.0, noopt_tns = 0.0;
   {
     obs::TimedSpan span("flow.noopt", &stages);
     noopt_route = router.route(data.input_netlist, input_placement);
     noopt_config = make_signoff_config(config_.tech, data.clock_period, &noopt_route.usage);
     noopt_config.delay.routed_length = &noopt_route.routed_length;
-    sta::TimingSession noopt_session(data.input_netlist, input_placement, noopt_config);
-    noopt_sta = noopt_session.update();
+    sta::MultiCornerSession noopt_session(data.input_netlist, input_placement,
+                                          noopt_config, corners);
+    const sta::MultiCornerResult& merged = noopt_session.update();
+    noopt_wns = merged.wns;
+    noopt_tns = merged.tns;
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      noopt_sta_corners.push_back(noopt_session.corner_results(c));
+    }
   }
+  const sta::StaResult& noopt_sta = noopt_sta_corners[nominal];
 
   // ---- timing optimization (mutates a copy of netlist + placement) ----
   nl::Netlist opt_netlist = data.input_netlist;
@@ -153,6 +180,9 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     opt_config.target_cell_replaced = spec.target_cell_replaced;
     opt_config.buffer_rate = 0.45;
     opt_config.seed = spec.seed ^ config_.seed;
+    // Empty stays empty: the optimizer's own degenerate path is the seed
+    // trajectory. With explicit corners it closes worst-case slack over them.
+    opt_config.corners = config_.corners;
     opt::TimingOptimizer optimizer(opt_config);
     data.opt_report = optimizer.optimize(opt_netlist, opt_placement, &stages);
   }
@@ -164,32 +194,58 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     opt_route = router.route(opt_netlist, opt_placement);
   }
 
-  // ---- sign-off STA on routed parasitics ----
+  // ---- sign-off STA on routed parasitics, one result per corner ----
   sta::StaConfig signoff_config;
-  sta::StaResult signoff_sta;
+  std::vector<sta::StaResult> signoff_sta_corners;
+  double signoff_wns = 0.0, signoff_tns = 0.0;
   {
     obs::TimedSpan span("flow.sta", &stages);
     signoff_config = make_signoff_config(config_.tech, data.clock_period, &opt_route.usage);
     signoff_config.delay.routed_length = &opt_route.routed_length;
-    sta::TimingSession signoff_session(opt_netlist, opt_placement, signoff_config);
-    signoff_sta = signoff_session.update();
+    sta::MultiCornerSession signoff_session(opt_netlist, opt_placement,
+                                            signoff_config, corners);
+    const sta::MultiCornerResult& merged = signoff_session.update();
+    signoff_wns = merged.wns;
+    signoff_tns = merged.tns;
+    for (std::size_t c = 0; c < corners.size(); ++c) {
+      signoff_sta_corners.push_back(signoff_session.corner_results(c));
+    }
   }
+  const sta::StaResult& signoff_sta = signoff_sta_corners[nominal];
 
   obs::TimedSpan label_span("flow.label", &stages);
 
   // ---- endpoint labels (endpoints are never replaced: same PinIds) ----
+  // Per-corner rows first, then the worst-case envelope folded in ascending
+  // corner order: with one corner the envelope is that row bit for bit.
   data.endpoints = data.input_netlist.endpoints();
-  data.label_arrival.reserve(data.endpoints.size());
-  data.noopt_arrival.reserve(data.endpoints.size());
-  for (nl::PinId ep : data.endpoints) {
-    RTP_CHECK_MSG(opt_netlist.pin_alive(ep), "optimizer replaced an endpoint");
-    data.label_arrival.push_back(signoff_sta.arrival_at(ep));
-    data.noopt_arrival.push_back(noopt_sta.arrival_at(ep));
+  data.corner_label_arrival.resize(corners.size());
+  data.corner_noopt_arrival.resize(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    data.corner_label_arrival[c].reserve(data.endpoints.size());
+    data.corner_noopt_arrival[c].reserve(data.endpoints.size());
+    for (nl::PinId ep : data.endpoints) {
+      RTP_CHECK_MSG(opt_netlist.pin_alive(ep), "optimizer replaced an endpoint");
+      data.corner_label_arrival[c].push_back(signoff_sta_corners[c].arrival_at(ep));
+      data.corner_noopt_arrival[c].push_back(noopt_sta_corners[c].arrival_at(ep));
+    }
+  }
+  data.label_arrival = data.corner_label_arrival[0];
+  data.noopt_arrival = data.corner_noopt_arrival[0];
+  for (std::size_t c = 1; c < corners.size(); ++c) {
+    for (std::size_t i = 0; i < data.endpoints.size(); ++i) {
+      data.label_arrival[i] =
+          std::max(data.label_arrival[i], data.corner_label_arrival[c][i]);
+      data.noopt_arrival[i] =
+          std::max(data.noopt_arrival[i], data.corner_noopt_arrival[c][i]);
+    }
   }
 
-  // ---- local arc labels for the semi-supervised baselines ----
-  sta::DelayModel signoff_model(opt_netlist, opt_placement, signoff_config.delay);
-  sta::DelayModel noopt_model(data.input_netlist, input_placement, noopt_config.delay);
+  // ---- local arc labels for the semi-supervised baselines (nominal corner) ----
+  sta::DelayModel signoff_model(opt_netlist, opt_placement, signoff_config.delay,
+                                corners[nominal]);
+  sta::DelayModel noopt_model(data.input_netlist, input_placement,
+                              noopt_config.delay, corners[nominal]);
   data.arc_label.assign(static_cast<std::size_t>(input_graph.num_edges()), -1.0);
   std::vector<std::pair<double, double>> net_deltas, cell_deltas;
   for (int e = 0; e < input_graph.num_edges(); ++e) {
@@ -225,8 +281,9 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
     return std::abs(without) > 1e-9 ? std::abs(with_opt - without) / std::abs(without)
                                     : 0.0;
   };
-  data.delta_wns_ratio = ratio(signoff_sta.wns, noopt_sta.wns);
-  data.delta_tns_ratio = ratio(signoff_sta.tns, noopt_sta.tns);
+  // Worst-across-corners metrics; one corner makes these the corner's own.
+  data.delta_wns_ratio = ratio(signoff_wns, noopt_wns);
+  data.delta_tns_ratio = ratio(signoff_tns, noopt_tns);
   data.replaced_net_ratio = data.opt_report.replaced_net_edge_ratio(data.input_netlist);
   data.replaced_cell_ratio = data.opt_report.replaced_cell_edge_ratio(data.input_netlist);
   data.delta_net_delay_ratio = mean_relative_change(net_deltas);

@@ -36,6 +36,12 @@ struct FlowConfig {
   nl::Technology tech;
   int opt_max_passes = 8;
   std::uint64_t seed = 7;
+  /// Analysis corners the opt / no-opt / sign-off stages run under. Empty
+  /// (the default) means the single nominal typical corner — the pre-corner
+  /// flow, bit for bit. With multiple corners the optimizer closes
+  /// worst-case slack over the set and DesignData grows a per-corner label
+  /// axis; label_arrival/noopt_arrival become the worst-case envelope.
+  std::vector<sta::Corner> corners;
 };
 
 /// Wall-clock seconds per flow stage (TABLE III's "commercial" columns).
@@ -80,10 +86,21 @@ struct DesignData {
   layout::Placement signoff_placement;
   opt::OptimizerReport opt_report;
 
-  // Endpoint supervision, aligned with input_netlist.endpoints().
+  // Endpoint supervision, aligned with input_netlist.endpoints(). The flat
+  // arrays are the worst-case (max-arrival) envelope across `corners`; with
+  // one corner they equal that corner's row bit for bit.
   std::vector<nl::PinId> endpoints;
   std::vector<double> label_arrival;  ///< sign-off arrival, optimized flow
   std::vector<double> noopt_arrival;  ///< sign-off arrival, no-opt flow
+
+  // Corner axis: the corners the flow analyzed (>= 1; FlowConfig::corners or
+  // the implicit typical) and the per-corner labels behind the envelope,
+  // indexed [corner][endpoint]. model::features turns `corners` into the
+  // conditioning features the fusion model trains corner-robust arrival
+  // prediction on.
+  std::vector<sta::Corner> corners;
+  std::vector<std::vector<double>> corner_label_arrival;
+  std::vector<std::vector<double>> corner_noopt_arrival;
 
   // Pre-route STA on the input design (baseline feature / Elmore reference).
   sta::StaResult preroute;

@@ -59,6 +59,19 @@ void ablate_cell_feature(NodeFeatures& features, CellFeature which) {
   }
 }
 
+nn::Tensor corner_features(const std::vector<sta::Corner>& corners) {
+  const int rows = corners.empty() ? 1 : static_cast<int>(corners.size());
+  nn::Tensor feat({rows, kCornerFeatDim});
+  feat.zero();
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    const int r = static_cast<int>(c);
+    feat.at(r, 0) = static_cast<float>(corners[c].delay_scale - 1.0);
+    feat.at(r, 1) = static_cast<float>(corners[c].cap_scale - 1.0);
+    feat.at(r, 2) = static_cast<float>(corners[c].coupling_scale - 1.0);
+  }
+  return feat;
+}
+
 void ablate_net_distance(NodeFeatures& features) {
   features.net_feat.zero();
 }

@@ -14,6 +14,7 @@
 
 #include "layout/placement.hpp"
 #include "nn/tensor.hpp"
+#include "sta/corner.hpp"
 #include "timing/timing_graph.hpp"
 
 namespace rtp::model {
@@ -22,6 +23,7 @@ enum class NodeKind : std::uint8_t { kCellNode, kNetNode };
 
 constexpr int kCellFeatDim = 2 + nl::kNumGateKinds;  ///< drive, pin cap, one-hot
 constexpr int kNetFeatDim = 1;                       ///< normalized net distance
+constexpr int kCornerFeatDim = 3;  ///< delay / cap / coupling derate deltas
 
 struct NodeFeatures {
   std::vector<NodeKind> kind;  ///< per pin slot
@@ -34,6 +36,13 @@ struct NodeFeatures {
 /// fF / 10, net distance as Manhattan length / die half-perimeter.
 NodeFeatures extract_node_features(const tg::TimingGraph& graph,
                                    const layout::Placement& placement);
+
+/// Corner-conditioning features: row c is {delay_scale - 1, cap_scale - 1,
+/// coupling_scale - 1} of corners[c], so the nominal typical corner is the
+/// zero row and the regressor's corner columns vanish for single-corner
+/// datasets. Shape (corners.size(), kCornerFeatDim); an empty corner list
+/// yields the single zero row (implicit typical).
+nn::Tensor corner_features(const std::vector<sta::Corner>& corners);
 
 /// Zeroes one feature group in place (feature-ablation experiments).
 enum class CellFeature { kDrive, kGateType, kPinCap };

@@ -57,6 +57,29 @@ PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& c
   for (std::size_t i = 0; i < data.endpoints.size(); ++i) {
     pd.labels.at(static_cast<int>(i), 0) = static_cast<float>(data.label_arrival[i]);
   }
+
+  // Corner axis. DesignData built by the flow always carries corners; a
+  // hand-built one without them gets the implicit typical corner, whose
+  // conditioning row is zero and whose labels are the flat label_arrival —
+  // exactly the pre-corner training set.
+  pd.corners = data.corners.empty()
+                   ? std::vector<sta::Corner>{sta::typical_corner()}
+                   : data.corners;
+  pd.corner_feat = corner_features(pd.corners);
+  const int num_corners = static_cast<int>(pd.corners.size());
+  const int num_eps = static_cast<int>(data.endpoints.size());
+  pd.corner_labels = nn::Tensor({num_corners * num_eps, 1});
+  const bool per_corner =
+      data.corner_label_arrival.size() == pd.corners.size();
+  for (int c = 0; c < num_corners; ++c) {
+    for (int i = 0; i < num_eps; ++i) {
+      const double label = per_corner
+                               ? data.corner_label_arrival[static_cast<std::size_t>(c)]
+                                                          [static_cast<std::size_t>(i)]
+                               : data.label_arrival[static_cast<std::size_t>(i)];
+      pd.corner_labels.at(c * num_eps + i, 0) = static_cast<float>(label);
+    }
+  }
   pd.prep_seconds = span.stop();
   return pd;
 }
@@ -72,8 +95,14 @@ FusionNet::FusionNet(const ModelConfig& cfg, Rng& rng) : config(cfg) {
     layout = std::make_unique<LayoutEncoder>(config, rng);
     fused_dim += config.layout_embed;
   }
+  // The regressor always carries the corner-conditioning columns; for
+  // single-corner (typical) datasets they are zero inputs. Note this widens
+  // the first layer relative to pre-corner checkpoints — load() rejects those
+  // with a shape diagnostic rather than misreading them.
   regressor = std::make_unique<nn::Mlp>(
-      std::vector<int>{fused_dim, config.reg_hidden, config.reg_hidden, 1}, rng);
+      std::vector<int>{fused_dim + kCornerFeatDim, config.reg_hidden,
+                       config.reg_hidden, 1},
+      rng);
 }
 
 std::vector<nn::Param*> FusionNet::params() {
@@ -127,12 +156,21 @@ nn::Tensor FusionModel::forward_train(PreparedDesign& design, ForwardCache* cach
   const int e = static_cast<int>(design.endpoints.size());
   const int d = net_.gnn_dim();
   const int l = net_.layout_dim();
-  nn::Tensor z({e, d + l});
+  // One training row per (corner, endpoint): the GNN and CNN branches run
+  // once (their inputs are corner-independent) and their embeddings are
+  // replicated per corner with that corner's conditioning columns appended.
+  // With one corner the row set, and every rng draw, matches the pre-corner
+  // forward exactly.
+  const int num_corners = design.corner_feat.dim(0);
+  const int rows = num_corners * e;
+  nn::Tensor z({rows, d + l + kCornerFeatDim});
   if (net_.gnn) {
     cache->gnn = net_.gnn->forward(design.graph, design.features);
-    for (int i = 0; i < e; ++i) {
-      const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
-      for (int k = 0; k < d; ++k) z.at(i, k) = cache->gnn.h.at(ep, k);
+    for (int c = 0; c < num_corners; ++c) {
+      for (int i = 0; i < e; ++i) {
+        const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) z.at(c * e + i, k) = cache->gnn.h.at(ep, k);
+      }
     }
   }
   if (net_.layout) {
@@ -140,19 +178,30 @@ nn::Tensor FusionModel::forward_train(PreparedDesign& design, ForwardCache* cach
     const nn::Tensor vl = net_.layout->embed(cache->layout_map, design.masks);
     const float p = net_.config.layout_dropout;
     const bool drop = p > 0.0f;
-    if (drop) cache->layout_keep.assign(static_cast<std::size_t>(e) * l, 1);
-    for (int i = 0; i < e; ++i) {
-      for (int k = 0; k < l; ++k) {
-        float v = vl.at(i, k);
-        if (drop) {
-          if (rng_.chance(p)) {
-            cache->layout_keep[static_cast<std::size_t>(i) * l + k] = 0;
-            v = 0.0f;
-          } else {
-            v /= (1.0f - p);  // inverted dropout keeps inference unscaled
+    if (drop) cache->layout_keep.assign(static_cast<std::size_t>(rows) * l, 1);
+    for (int c = 0; c < num_corners; ++c) {
+      for (int i = 0; i < e; ++i) {
+        const int row = c * e + i;
+        for (int k = 0; k < l; ++k) {
+          float v = vl.at(i, k);
+          if (drop) {
+            // Per (corner, endpoint) draws: corners see independent masks.
+            if (rng_.chance(p)) {
+              cache->layout_keep[static_cast<std::size_t>(row) * l + k] = 0;
+              v = 0.0f;
+            } else {
+              v /= (1.0f - p);  // inverted dropout keeps inference unscaled
+            }
           }
+          z.at(row, d + k) = v;
         }
-        z.at(i, d + k) = v;
+      }
+    }
+  }
+  for (int c = 0; c < num_corners; ++c) {
+    for (int i = 0; i < e; ++i) {
+      for (int k = 0; k < kCornerFeatDim; ++k) {
+        z.at(c * e + i, d + l + k) = design.corner_feat.at(c, k);
       }
     }
   }
@@ -174,7 +223,10 @@ float FusionModel::train_step(PreparedDesign& design) {
   RTP_TRACE_SCOPE("model.train_step");
   ForwardCache cache;
   const nn::Tensor pred = forward_train(design, &cache);
-  nn::Tensor target = design.labels;
+  // Per-corner targets (C*E rows), normalized with the same label stats as
+  // the envelope — corner spread is signal the regressor must explain, not
+  // normalization noise.
+  nn::Tensor target = design.corner_labels;
   for (std::size_t i = 0; i < target.numel(); ++i) {
     target[i] = (target[i] - label_mean_) / label_std_;
   }
@@ -182,20 +234,27 @@ float FusionModel::train_step(PreparedDesign& design) {
   const nn::Tensor grad = nn::mse_backward(pred, target);
 
   const nn::Tensor gz = net_.regressor->backward(grad);
-  const int e = gz.dim(0);
+  const int e = static_cast<int>(design.endpoints.size());
+  const int num_corners = design.corner_feat.dim(0);
   const int d = net_.gnn_dim();
   const int l = net_.layout_dim();
   if (net_.layout) {
+    // Fold the per-(corner, endpoint) rows back to per-endpoint embedding
+    // grads in ascending corner order (the layout branch ran once).
     const float p = net_.config.layout_dropout;
     nn::Tensor gvl({e, l});
-    for (int i = 0; i < e; ++i) {
-      for (int k = 0; k < l; ++k) {
-        float g = gz.at(i, d + k);
-        if (p > 0.0f) {
-          g = cache.layout_keep[static_cast<std::size_t>(i) * l + k] ? g / (1.0f - p)
-                                                                    : 0.0f;
+    for (int c = 0; c < num_corners; ++c) {
+      for (int i = 0; i < e; ++i) {
+        const int row = c * e + i;
+        for (int k = 0; k < l; ++k) {
+          float g = gz.at(row, d + k);
+          if (p > 0.0f) {
+            g = cache.layout_keep[static_cast<std::size_t>(row) * l + k]
+                    ? g / (1.0f - p)
+                    : 0.0f;
+          }
+          gvl.at(i, k) += g;
         }
-        gvl.at(i, k) = g;
       }
     }
     const nn::Tensor gmap = net_.layout->embed_backward(gvl, design.masks);
@@ -203,9 +262,11 @@ float FusionModel::train_step(PreparedDesign& design) {
   }
   if (net_.gnn) {
     nn::Tensor grad_h({design.graph.num_nodes(), d});
-    for (int i = 0; i < e; ++i) {
-      const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
-      for (int k = 0; k < d; ++k) grad_h.at(ep, k) += gz.at(i, k);
+    for (int c = 0; c < num_corners; ++c) {
+      for (int i = 0; i < e; ++i) {
+        const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
+        for (int k = 0; k < d; ++k) grad_h.at(ep, k) += gz.at(c * e + i, k);
+      }
     }
     net_.gnn->backward(design.graph, design.features, cache.gnn, grad_h);
   }

@@ -39,8 +39,17 @@ struct PreparedDesign {
   nn::Tensor layout_input;  ///< (3, grid, grid)
   EndpointMasks masks;
   std::vector<nl::PinId> endpoints;
-  nn::Tensor labels;  ///< (E, 1) sign-off arrival, ps
+  nn::Tensor labels;  ///< (E, 1) worst-across-corners sign-off arrival, ps
   double prep_seconds = 0.0;
+
+  // Corner axis (>= 1 after prepare_design; hand-built designs without one
+  // get the implicit typical corner). Training runs C*E rows — every
+  // endpoint under every corner, conditioned on corner_feat — so the model
+  // learns corner-robust arrival prediction; inference selects a corner or
+  // takes the max over all of them (PredictRequest::corner).
+  std::vector<sta::Corner> corners;
+  nn::Tensor corner_feat;    ///< (C, kCornerFeatDim), see corner_features()
+  nn::Tensor corner_labels;  ///< (C*E, 1), row c*E+i = corner c, endpoint i
 
   explicit PreparedDesign(tg::TimingGraph g) : graph(std::move(g)) {}
 };
@@ -108,7 +117,7 @@ class FusionModel {
   struct ForwardCache {
     EndpointGNN::ForwardState gnn;
     nn::Tensor layout_map;                  ///< (1, P)
-    std::vector<std::uint8_t> layout_keep;  ///< dropout mask over (E, layout_embed)
+    std::vector<std::uint8_t> layout_keep;  ///< dropout mask over (C*E, layout_embed)
   };
 
   /// Training forward to normalized predictions (dropout active).

@@ -70,6 +70,19 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
   const int d = net.gnn_dim();
   const int l = net.layout_dim();
 
+  // A design's corner count; hand-built PreparedDesigns without a corner axis
+  // behave as one implicit typical corner (zero conditioning columns).
+  const auto corner_count = [](const PreparedDesign& pd) {
+    return pd.corner_feat.numel() > 0 ? pd.corner_feat.dim(0) : 1;
+  };
+  // Evaluated rows per requested endpoint: 1 when a corner is selected, all
+  // corners when the worst-case envelope (corner == -1) is asked for.
+  const auto rows_per_endpoint = [&](const PredictRequest& req) {
+    const int corners = corner_count(*req.design);
+    RTP_CHECK_MSG(req.corner < corners, "PredictRequest corner out of range");
+    return req.corner >= 0 ? 1 : corners;
+  };
+
   // Distinct designs in first-appearance order (batches are small — a linear
   // scan beats hashing shared_ptr identities).
   std::vector<const PreparedDesign*> designs;
@@ -83,7 +96,7 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
     while (idx < designs.size() && designs[idx] != pd) ++idx;
     if (idx == designs.size()) designs.push_back(pd);
     design_of[r] = idx;
-    total_rows += req.rows();
+    total_rows += req.rows() * rows_per_endpoint(req);
   }
   RTP_COUNT_SCHED("model.infer.requests", static_cast<std::int64_t>(batch.size()));
   RTP_COUNT_SCHED("model.infer.designs", static_cast<std::int64_t>(designs.size()));
@@ -103,9 +116,12 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
     return req.endpoints.empty() ? static_cast<std::int32_t>(i) : req.endpoints[i];
   };
 
+  // Evaluated rows are laid out endpoint-major, corner-minor: an envelope
+  // request contributes corner_count consecutive rows per endpoint (reduced
+  // by max at the end), a pinned-corner request exactly one.
   // Layout branch: one masked matrix spanning every row of the batch, one
-  // fc.apply. Rows are per-endpoint independent, so this equals per-request
-  // embed() calls bit for bit.
+  // fc.apply. Rows are per-(endpoint, corner) independent, so this equals
+  // per-request embed() calls bit for bit.
   nn::Tensor vl;
   if (l > 0) {
     const int pixels = net.layout->map_pixels();
@@ -117,10 +133,13 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
       const PreparedDesign& pd = *req.design;
       const nn::Tensor& map = maps[design_of[r]];
       const int rows = req.rows();
-      for (int i = 0; i < rows; ++i, ++row) {
+      const int k_req = rows_per_endpoint(req);
+      for (int i = 0; i < rows; ++i) {
         const std::int32_t ei = endpoint_index(req, i);
-        for (std::int32_t bin : pd.masks.bins[static_cast<std::size_t>(ei)]) {
-          masked.at(row, bin) = map.at(0, bin);
+        for (int cc = 0; cc < k_req; ++cc, ++row) {
+          for (std::int32_t bin : pd.masks.bins[static_cast<std::size_t>(ei)]) {
+            masked.at(row, bin) = map.at(0, bin);
+          }
         }
       }
     }
@@ -131,36 +150,54 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
   // hidden Linear+ReLU pairs run as fused GEMM epilogues — kern::FusionPlan).
   // Every element of z is written below, so the arena scratch is a dirty
   // acquire: the serve hot path allocates nothing here after warm-up.
-  nn::Scratch z_s({total_rows, d + l}, /*zeroed=*/false);
+  const int kc = kCornerFeatDim;
+  nn::Scratch z_s({total_rows, d + l + kc}, /*zeroed=*/false);
   nn::Tensor& z = z_s.t();
   int row = 0;
   for (std::size_t r = 0; r < batch.size(); ++r) {
     const PredictRequest& req = batch[r];
     const PreparedDesign& pd = *req.design;
     const int rows = req.rows();
-    for (int i = 0; i < rows; ++i, ++row) {
+    const int k_req = rows_per_endpoint(req);
+    const bool has_corners = pd.corner_feat.numel() > 0;
+    for (int i = 0; i < rows; ++i) {
       const std::int32_t ei = endpoint_index(req, i);
-      if (d > 0) {
-        const nl::PinId ep = pd.endpoints[static_cast<std::size_t>(ei)];
-        const nn::Tensor& hg = h[design_of[r]];
-        for (int k = 0; k < d; ++k) z.at(row, k) = hg.at(ep, k);
+      for (int cc = 0; cc < k_req; ++cc, ++row) {
+        if (d > 0) {
+          const nl::PinId ep = pd.endpoints[static_cast<std::size_t>(ei)];
+          const nn::Tensor& hg = h[design_of[r]];
+          for (int k = 0; k < d; ++k) z.at(row, k) = hg.at(ep, k);
+        }
+        for (int k = 0; k < l; ++k) z.at(row, d + k) = vl.at(row, k);
+        const int corner = req.corner >= 0 ? req.corner : cc;
+        for (int k = 0; k < kc; ++k) {
+          z.at(row, d + l + k) =
+              has_corners ? pd.corner_feat.at(corner, k) : 0.0f;
+        }
       }
-      for (int k = 0; k < l; ++k) z.at(row, d + k) = vl.at(row, k);
     }
   }
   nn::Tensor pred = net.regressor->infer(z);
 
-  // Denormalize and split back into per-request tensors.
+  // Denormalize, reduce each endpoint's corner group to its max (the
+  // worst-case envelope; a no-op for pinned-corner and single-corner
+  // requests), and split back into per-request tensors. The reduction is
+  // per-endpoint independent, so batched == sequential still holds bitwise.
   std::vector<nn::Tensor> out;
   out.reserve(batch.size());
   row = 0;
   for (const PredictRequest& req : batch) {
     const int rows = req.rows();
+    const int k_req = rows_per_endpoint(req);
     nn::Tensor y({rows, 1});
     for (int i = 0; i < rows; ++i) {
-      y.at(i, 0) = pred.at(row + i, 0) * label_std + label_mean;
+      float worst = pred.at(row, 0) * label_std + label_mean;
+      ++row;
+      for (int cc = 1; cc < k_req; ++cc, ++row) {
+        worst = std::max(worst, pred.at(row, 0) * label_std + label_mean);
+      }
+      y.at(i, 0) = worst;
     }
-    row += rows;
     out.push_back(std::move(y));
   }
   return out;

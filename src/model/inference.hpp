@@ -33,6 +33,13 @@ struct PredictRequest {
   std::shared_ptr<const PreparedDesign> design;
   /// Indices into design->endpoints to predict; empty means all of them.
   std::vector<std::int32_t> endpoints;
+  /// Corner selector: an index into design->corners conditions the model on
+  /// that corner alone; -1 (the default) returns the worst-across-corners
+  /// envelope — the max over every corner's prediction per endpoint, matching
+  /// the merge semantics of sta::MultiCornerSession and the envelope labels
+  /// the model evaluates against. Single-corner designs make the two
+  /// equivalent.
+  std::int32_t corner = -1;
 
   int rows() const {
     return endpoints.empty() ? static_cast<int>(design->endpoints.size())

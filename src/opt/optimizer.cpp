@@ -355,27 +355,34 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist, Placement& place
   sta::StaConfig signoff = config_.sta;
   signoff.delay.wire_model = sta::WireModel::kSignOff;
 
-  // One timing session per optimize() call. Congestion refresh is a
-  // delay-model rebase on this session, never a graph or session rebuild.
-  std::optional<sta::TimingSession> session;
+  // Worst-case slack over the corner set drives every move; an empty set
+  // means one session at signoff.corner (the pre-corner trajectory).
+  const std::vector<sta::Corner> corners =
+      config_.corners.empty() ? std::vector<sta::Corner>{signoff.corner}
+                              : config_.corners;
+
+  // One multi-corner timing session per optimize() call. Congestion refresh
+  // is a delay-model rebase on this session, never a graph or session
+  // rebuild — and the rebase diff is computed once for all corners.
+  std::optional<sta::MultiCornerSession> session;
   auto refresh_congestion = [&]() {
     GridMap rudy = layout::make_rudy_map(netlist, placement, config_.density_grid,
                                          config_.density_grid);
     rudy.normalize();
     if (!session) {
       signoff.delay.congestion = &rudy;
-      session.emplace(netlist, placement, signoff);
+      session.emplace(netlist, placement, signoff, corners);
       signoff.delay.congestion = nullptr;  // rudy dies with this scope
     } else {
       session->rebase_congestion(rudy);
     }
   };
   // Commits every edit recorded since the last commit and re-times the dirty
-  // cone (or everything, under RTP_FULL_STA / fallback).
-  auto commit = [&]() -> const sta::StaResult& {
+  // cone (or everything, under RTP_FULL_STA / fallback) in every corner.
+  auto commit = [&]() -> const sta::MultiCornerResult& {
     session->apply(ctx.batch);
     ctx.batch.clear();
-    const sta::StaResult& timing = session->update();
+    const sta::MultiCornerResult& timing = session->update();
     if (config_.verify_incremental) {
       RTP_CHECK_MSG(session->matches_full_recompute(),
                     "incremental session diverged from full recompute");
@@ -388,7 +395,7 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist, Placement& place
     RTP_TRACE_SCOPE("opt.pass");
     rebuild_density(ctx);
     refresh_congestion();
-    const sta::StaResult& timing = commit();
+    const sta::MultiCornerResult& timing = commit();
     if (pass == 0) {
       report.wns_before = timing.wns;
       report.tns_before = timing.tns;
@@ -431,7 +438,9 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist, Placement& place
       std::vector<sta::PathArc> todo;
       for (std::size_t i = begin; i < end; ++i) {
         const nl::PinId ep = session->results().endpoints[order[i]];
-        if (session->results().slack_at(ep) >= 0.0) continue;  // fixed by a prior chunk
+        // Worst per-pin slack across corners (min of one value in the
+        // degenerate set — bitwise the single-session check).
+        if (session->slack_at(ep) >= 0.0) continue;  // fixed by a prior chunk
         const std::vector<sta::PathArc> arcs = session->critical_path(ep);
         todo.insert(todo.end(), arcs.begin(), arcs.end());
       }
@@ -513,7 +522,7 @@ OptimizerReport TimingOptimizer::optimize(nl::Netlist& netlist, Placement& place
   // the session is expected to fall back to one full sweep here).
   refresh_congestion();
   {
-    const sta::StaResult& timing = commit();
+    const sta::MultiCornerResult& timing = commit();
     report.wns_after = timing.wns;
     report.tns_after = timing.tns;
   }

@@ -18,24 +18,32 @@
 //     the flow can report TABLE I's #replaced columns and train baselines
 //     semi-supervised on the unreplaced remainder.
 //
-// Timing queries run on an incremental sta::TimingSession owned by each
-// optimize() call: moves are committed in chunks of `paths_per_update`
-// critical paths, and only the edited cone is re-propagated before the next
-// chunk picks its paths from fresh timing. Per-pass congestion refresh is a
-// delay-model rebase on the same session, never a graph rebuild. Setting
-// RTP_FULL_STA=1 forces every one of those queries through a full sweep —
-// the A/B baseline for BENCH_sta.json.
+// Timing queries run on an incremental sta::MultiCornerSession owned by each
+// optimize() call — the optimizer drives moves off worst-across-corners
+// slack. With the default empty corner set this degenerates to one session
+// at config.sta.corner (the seed's single-corner behavior, bit for bit).
+// Moves are committed in chunks of `paths_per_update` critical paths, and
+// only the edited cone is re-propagated before the next chunk picks its
+// paths from fresh timing. Per-pass congestion refresh is a delay-model
+// rebase on the same session, never a graph rebuild. Setting RTP_FULL_STA=1
+// forces every one of those queries through a full sweep — the A/B baseline
+// for BENCH_sta.json.
 
 #include <vector>
 
 #include "core/rng.hpp"
 #include "obs/sink.hpp"
-#include "sta/session.hpp"
+#include "sta/multicorner.hpp"
 
 namespace rtp::opt {
 
 struct OptimizerConfig {
   sta::StaConfig sta;            ///< sign-off STA settings used to drive moves
+  /// Corner set the optimizer closes worst-case timing over. Empty (the
+  /// default) analyzes only sta.corner — identical trajectory to the
+  /// pre-corner single-session optimizer. An all-typical set degenerates the
+  /// same way (every corner computes the same slacks, min is a no-op).
+  std::vector<sta::Corner> corners;
   int max_passes = 8;
   double endpoint_fraction = 0.5;  ///< worst endpoints targeted per pass
   int paths_per_update = 2;        ///< critical paths edited per incremental re-time

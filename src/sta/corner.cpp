@@ -1,0 +1,151 @@
+#include "sta/corner.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+#include "core/log.hpp"
+
+namespace rtp::sta {
+
+Corner fast_corner() { return {"fast", 0.85, 0.95, 0.90}; }
+Corner typical_corner() { return {"typical", 1.0, 1.0, 1.0}; }
+Corner slow_corner() { return {"slow", 1.18, 1.08, 1.15}; }
+
+std::vector<Corner> registry_corners() {
+  return {fast_corner(), typical_corner(), slow_corner()};
+}
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Resolves a bare name against the registry; nullopt when unknown.
+std::optional<Corner> registry_lookup(const std::string& name) {
+  for (Corner& c : registry_corners()) {
+    if (c.name == name) return std::move(c);
+  }
+  return std::nullopt;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Parses one `name[:key=value,...]` entry into `out`.
+bool parse_one(const std::string& entry, Corner& out, std::string* error) {
+  const std::size_t colon = entry.find(':');
+  const std::string name = trimmed(entry.substr(0, colon));
+  if (name.empty()) return fail(error, "corner with empty name in spec");
+  if (colon == std::string::npos) {
+    std::optional<Corner> reg = registry_lookup(name);
+    if (!reg.has_value()) {
+      return fail(error, "corner '" + name +
+                             "': not in the registry and no scale factors "
+                             "given (expected name:key=value,...)");
+    }
+    out = *std::move(reg);
+    return true;
+  }
+  out = Corner{name, 1.0, 1.0, 1.0};
+  std::string rest = entry.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    std::size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string kv = trimmed(rest.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return fail(error, "corner '" + name + "': field '" + kv +
+                             "' has no value (expected key=value)");
+    }
+    const std::string key = trimmed(kv.substr(0, eq));
+    const std::string value = trimmed(kv.substr(eq + 1));
+    double* slot = nullptr;
+    if (key == "delay") {
+      slot = &out.delay_scale;
+    } else if (key == "cap") {
+      slot = &out.cap_scale;
+    } else if (key == "coupling") {
+      slot = &out.coupling_scale;
+    } else {
+      return fail(error, "corner '" + name + "': unknown field '" + key +
+                             "' (expected delay, cap, or coupling)");
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        !std::isfinite(parsed) || parsed <= 0.0) {
+      return fail(error, "corner '" + name + "': field '" + key +
+                             "': invalid scale '" + value +
+                             "' (expected a finite positive number)");
+    }
+    *slot = parsed;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<Corner>> parse_corners(const std::string& spec,
+                                                 std::string* error) {
+  std::vector<Corner> corners;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string entry = trimmed(spec.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (entry.empty()) continue;
+    Corner corner;
+    if (!parse_one(entry, corner, error)) return std::nullopt;
+    for (const Corner& seen : corners) {
+      if (seen.name == corner.name) {
+        if (error != nullptr) {
+          *error = "corner '" + corner.name + "': duplicate name in spec";
+        }
+        return std::nullopt;
+      }
+    }
+    corners.push_back(std::move(corner));
+  }
+  if (corners.empty()) {
+    if (error != nullptr) *error = "RTP_CORNERS spec names no corners";
+    return std::nullopt;
+  }
+  return corners;
+}
+
+std::vector<Corner> default_corners() {
+  const char* env = std::getenv("RTP_CORNERS");
+  if (env != nullptr && env[0] != '\0') {
+    std::string error;
+    std::optional<std::vector<Corner>> parsed = parse_corners(env, &error);
+    if (parsed.has_value()) return *std::move(parsed);
+    RTP_LOG_WARN("ignoring malformed RTP_CORNERS (%s); using registry",
+                 error.c_str());
+  }
+  return registry_corners();
+}
+
+const char* corner_span_name(const std::string& corner_name) {
+  // std::set gives node stability: inserted strings never move, so the
+  // returned c_str() stays valid for the process lifetime (TraceScope keeps
+  // the pointer until export). MultiCornerSession caches these at
+  // construction, so the lock is off the per-update hot path.
+  static std::mutex mu;
+  static std::set<std::string>* interned = new std::set<std::string>;
+  std::lock_guard<std::mutex> lock(mu);
+  return interned->insert("sta.corner.update:" + corner_name).first->c_str();
+}
+
+}  // namespace rtp::sta

@@ -1,0 +1,68 @@
+#pragma once
+// Analysis corners: named PVT / coupling variants of the delay model.
+//
+// A Corner is a multiplicative derate on top of one DelayModelConfig: fast
+// silicon switches quicker and couples less, slow silicon the opposite. The
+// canonical fast/typical/slow registry ships by default and RTP_CORNERS can
+// replace it without a rebuild. MultiCornerSession (multicorner.hpp) analyzes
+// a design under a whole corner set concurrently and merges worst-case slack.
+//
+// Determinism note: the typical corner's scale factors are exactly 1.0, and
+// multiplying a finite double by 1.0 is a bitwise identity — so every API
+// that grew a defaulted Corner parameter (StaConfig, DelayModel, run_sta)
+// produces bit-identical results to the pre-corner code when left at the
+// default.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtp::sta {
+
+/// One analysis corner: a named set of multiplicative derates applied by
+/// DelayModel on top of its DelayModelConfig.
+struct Corner {
+  std::string name = "typical";
+  /// Scales every net and cell arc delay (PVT speed derate).
+  double delay_scale = 1.0;
+  /// Scales every capacitance: wire cap, pin caps, the PO load.
+  double cap_scale = 1.0;
+  /// Scales the congestion coupling (detour_congestion and
+  /// coupling_cap_factor) — the corner's congestion-coupling variant.
+  double coupling_scale = 1.0;
+
+  /// True when every scale is exactly 1.0 (bitwise no-op on the delay model).
+  bool is_nominal() const {
+    return delay_scale == 1.0 && cap_scale == 1.0 && coupling_scale == 1.0;
+  }
+};
+
+/// The canonical registry corners.
+Corner fast_corner();     ///< {0.85 delay, 0.95 cap, 0.90 coupling}
+Corner typical_corner();  ///< all scales 1.0 (the implicit pre-corner model)
+Corner slow_corner();     ///< {1.18 delay, 1.08 cap, 1.15 coupling}
+
+/// fast, typical, slow — in that canonical order.
+std::vector<Corner> registry_corners();
+
+/// Parses an RTP_CORNERS-style spec: semicolon-separated corners, each
+/// `name` (resolved against the registry) or `name:key=value,...` with keys
+/// delay / cap / coupling (unset keys default to 1.0). Example:
+///   "typical;hot:delay=1.3,coupling=1.2;fast"
+/// Returns nullopt on a malformed spec and, matching the from_checkpoint
+/// contract, never aborts: `error` (if non-null) receives a diagnostic
+/// naming the offending corner and field.
+std::optional<std::vector<Corner>> parse_corners(const std::string& spec,
+                                                 std::string* error);
+
+/// The corner set MultiCornerSession and friends default to: RTP_CORNERS when
+/// set and well-formed, else the canonical registry. A malformed RTP_CORNERS
+/// logs the parse diagnostic and falls back — it never aborts.
+std::vector<Corner> default_corners();
+
+/// Interned "sta.corner.update:<name>" span label. TraceScope keeps the
+/// `const char*` it is given until trace export, so per-corner span names
+/// must outlive every scope — interning gives them static storage duration.
+const char* corner_span_name(const std::string& corner_name);
+
+}  // namespace rtp::sta

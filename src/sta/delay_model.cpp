@@ -1,16 +1,26 @@
 #include <algorithm>
+#include <utility>
 
 #include "sta/delay_model.hpp"
 
 namespace rtp::sta {
 
 DelayModel::DelayModel(const nl::Netlist& netlist, const layout::Placement& placement,
-                       DelayModelConfig config)
-    : netlist_(&netlist), placement_(&placement), config_(config) {
+                       DelayModelConfig config, Corner corner)
+    : netlist_(&netlist), placement_(&placement), config_(config),
+      corner_(std::move(corner)) {
   if (config_.wire_model == WireModel::kSignOff) {
     RTP_CHECK_MSG(config_.congestion != nullptr,
                   "sign-off delay model needs a congestion map");
   }
+  // Fold the corner's capacitance and coupling derates into the config copy
+  // once; delay_scale stays a final multiplier on every arc delay. The
+  // typical corner multiplies by exactly 1.0 everywhere, which is a bitwise
+  // identity on finite doubles — the single-corner shim costs nothing.
+  config_.tech.wire_cap_per_um *= corner_.cap_scale;
+  config_.po_pin_cap *= corner_.cap_scale;
+  config_.detour_congestion *= corner_.coupling_scale;
+  config_.coupling_cap_factor *= corner_.coupling_scale;
 }
 
 double DelayModel::detour_factor(layout::Point a, layout::Point b) const {
@@ -43,7 +53,7 @@ double DelayModel::sink_cap(nl::PinId pin) const {
   const nl::Pin& p = netlist_->pin(pin);
   if (p.type == nl::PinType::kPrimaryOutput) return config_.po_pin_cap;
   RTP_CHECK(p.type == nl::PinType::kCellInput);
-  return netlist_->lib_cell(p.cell).input_cap;
+  return corner_.cap_scale * netlist_->lib_cell(p.cell).input_cap;
 }
 
 double DelayModel::net_edge_delay(nl::PinId driver, nl::PinId sink) const {
@@ -52,7 +62,7 @@ double DelayModel::net_edge_delay(nl::PinId driver, nl::PinId sink) const {
   const double len = segment_length(driver, sink);
   const double rw = config_.tech.wire_res_per_um * len;
   const double cw = config_.tech.wire_cap_per_um * len * cap_scale(a, b);
-  return rw * (cw / 2.0 + sink_cap(sink));
+  return corner_.delay_scale * (rw * (cw / 2.0 + sink_cap(sink)));
 }
 
 double DelayModel::net_load(nl::NetId net_id) const {
@@ -72,7 +82,9 @@ double DelayModel::cell_edge_delay(nl::CellId cell_id) const {
   const nl::Cell& cell = netlist_->cell(cell_id);
   const nl::NetId out_net = netlist_->pin(cell.output).net;
   const double load = out_net != nl::kInvalidId ? net_load(out_net) : 0.0;
-  return lc.intrinsic + lc.drive_res * load;
+  // The clock-to-Q launch arrival seeded by full_sweep stays unscaled — the
+  // corner derates the combinational propagation, not the launch edge.
+  return corner_.delay_scale * (lc.intrinsic + lc.drive_res * load);
 }
 
 }  // namespace rtp::sta

@@ -12,6 +12,7 @@
 #include "layout/feature_maps.hpp"
 #include "layout/placement.hpp"
 #include "netlist/library.hpp"
+#include "sta/corner.hpp"
 
 namespace rtp::sta {
 
@@ -37,8 +38,14 @@ struct DelayModelConfig {
 
 class DelayModel {
  public:
+  /// Builds the model for one analysis corner. The corner's cap and coupling
+  /// derates are folded into the config copy at construction; delay_scale is
+  /// applied to every arc delay on the way out. The defaulted corner is the
+  /// nominal typical corner (all scales exactly 1.0 — a bitwise no-op), which
+  /// keeps the pre-corner two-argument-plus-config call sites working; new
+  /// code should pass the corner explicitly (see sta::Corner).
   DelayModel(const nl::Netlist& netlist, const layout::Placement& placement,
-             DelayModelConfig config);
+             DelayModelConfig config, Corner corner = {});
 
   /// Routed (or estimated) length of the two-pin segment driver->sink, µm.
   double segment_length(nl::PinId driver, nl::PinId sink) const;
@@ -56,7 +63,9 @@ class DelayModel {
   /// Capacitance of a sink pin (cell input pin cap, or the PO load).
   double sink_cap(nl::PinId pin) const;
 
+  /// The config with the corner's cap/coupling derates already folded in.
   const DelayModelConfig& config() const { return config_; }
+  const Corner& corner() const { return corner_; }
 
  private:
   double detour_factor(layout::Point a, layout::Point b) const;
@@ -65,6 +74,7 @@ class DelayModel {
   const nl::Netlist* netlist_;
   const layout::Placement* placement_;
   DelayModelConfig config_;
+  Corner corner_;
 };
 
 }  // namespace rtp::sta

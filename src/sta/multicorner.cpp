@@ -1,0 +1,141 @@
+#include "sta/multicorner.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::sta {
+
+MultiCornerSession::MultiCornerSession(const nl::Netlist& netlist,
+                                       const layout::Placement& placement,
+                                       const StaConfig& base,
+                                       std::vector<Corner> corners)
+    : corners_(std::move(corners)) {
+  RTP_CHECK_MSG(!corners_.empty(), "MultiCornerSession needs >= 1 corner");
+  span_names_.reserve(corners_.size());
+  sessions_.reserve(corners_.size());
+  for (const Corner& corner : corners_) {
+    span_names_.push_back(corner_span_name(corner.name));
+    StaConfig config = base;
+    config.corner = corner;
+    sessions_.push_back(
+        std::make_unique<TimingSession>(netlist, placement, config));
+  }
+}
+
+void MultiCornerSession::apply(const EditBatch& batch) {
+  // apply() is O(batch) bookkeeping per session — fanning it out still keeps
+  // the API symmetric and costs one pool dispatch.
+  core::parallel_for(0, static_cast<std::int64_t>(sessions_.size()), 1,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         sessions_[static_cast<std::size_t>(i)]->apply(batch);
+                       }
+                     });
+}
+
+void MultiCornerSession::rebase_congestion(const layout::GridMap& congestion) {
+  // The sampled-bin diff is corner-independent and the per-corner sessions
+  // are in lockstep (same construction map, same rebase sequence), so one
+  // scan against corner 0's owned map serves every corner. This shared scan
+  // is the multicorner speedup over C independent serial sessions.
+  const CongestionDiff diff = sessions_[0]->diff_congestion(congestion);
+  core::parallel_for(
+      0, static_cast<std::int64_t>(sessions_.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          sessions_[static_cast<std::size_t>(i)]->rebase_congestion(congestion,
+                                                                    diff);
+        }
+      });
+}
+
+const MultiCornerResult& MultiCornerSession::update() {
+  RTP_TRACE_SCOPE("sta.multicorner.update");
+  RTP_COUNT("sta.multicorner.updates", 1);
+  RTP_HIST("sta.multicorner.fanout", sessions_.size());
+  core::parallel_for(0, static_cast<std::int64_t>(sessions_.size()), 1,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         const auto c = static_cast<std::size_t>(i);
+                         obs::TraceScope span(span_names_[c]);
+                         sessions_[c]->update();
+                       }
+                     });
+  merge();
+  return merged_;
+}
+
+void MultiCornerSession::merge() {
+  RTP_TRACE_SCOPE("sta.multicorner.merge");
+  RTP_COUNT("sta.multicorner.merges", 1);
+  const StaResult& r0 = sessions_[0]->results();
+  const std::size_t n = r0.endpoints.size();
+  merged_.endpoints = r0.endpoints;
+  merged_.endpoint_arrival.resize(n);
+  merged_.endpoint_slack.resize(n);
+  merged_.worst_corner.resize(n);
+  // Canonical endpoint order with the exact fold full_sweep uses for its own
+  // wns/tns, so one corner merges to bitwise the single-session result.
+  double wns = 0.0;
+  double tns = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double slack = r0.endpoint_slack[i];
+    double arrival = r0.endpoint_arrival[i];
+    std::int32_t worst = 0;
+    for (std::size_t c = 1; c < sessions_.size(); ++c) {
+      const StaResult& rc = sessions_[c]->results();
+      if (rc.endpoint_slack[i] < slack) {
+        slack = rc.endpoint_slack[i];
+        worst = static_cast<std::int32_t>(c);
+      }
+      arrival = std::max(arrival, rc.endpoint_arrival[i]);
+    }
+    merged_.endpoint_slack[i] = slack;
+    merged_.endpoint_arrival[i] = arrival;
+    merged_.worst_corner[i] = worst;
+    if (slack < 0.0) {
+      tns += slack;
+      wns = std::min(wns, slack);
+    }
+  }
+  merged_.wns = wns;
+  merged_.tns = tns;
+}
+
+double MultiCornerSession::slack_at(nl::PinId endpoint) const {
+  double slack = sessions_[0]->results().slack_at(endpoint);
+  for (std::size_t c = 1; c < sessions_.size(); ++c) {
+    slack = std::min(slack, sessions_[c]->results().slack_at(endpoint));
+  }
+  return slack;
+}
+
+std::vector<PathArc> MultiCornerSession::critical_path(
+    nl::PinId endpoint) const {
+  std::size_t worst = 0;
+  double slack = sessions_[0]->results().slack_at(endpoint);
+  for (std::size_t c = 1; c < sessions_.size(); ++c) {
+    const double s = sessions_[c]->results().slack_at(endpoint);
+    if (s < slack) {
+      slack = s;
+      worst = c;
+    }
+  }
+  return sessions_[worst]->critical_path(endpoint);
+}
+
+void MultiCornerSession::set_force_full(bool force) {
+  for (auto& session : sessions_) session->set_force_full(force);
+}
+
+bool MultiCornerSession::matches_full_recompute() const {
+  for (const auto& session : sessions_) {
+    if (!session->matches_full_recompute()) return false;
+  }
+  return true;
+}
+
+}  // namespace rtp::sta

@@ -1,0 +1,109 @@
+#pragma once
+// Multi-corner incremental timing: one TimingSession per analysis corner,
+// updated concurrently, merged into worst-across-corners slack.
+//
+// A MultiCornerSession owns C independent TimingSessions built from one base
+// StaConfig with per-corner derates (sta::Corner). apply() / update() /
+// rebase_congestion() fan out across the thread pool — sessions are
+// long-lived and share nothing mutable, so corners map cleanly onto
+// concurrent pool jobs — and update() then merges per-endpoint results into
+// the worst case: slack is the min across corners, arrival the max, with
+// per-corner breakdown accessors for anything that needs the full picture.
+//
+// Determinism contract (extends session.hpp's): each per-corner sweep is
+// bit-identical to a serial single-corner full recompute of that corner at
+// any RTP_THREADS. The fan-out uses core::parallel_for, whose chunk
+// decomposition depends only on (begin, end, grain); the nested parallel_for
+// calls inside each TimingSession::update() run inline on the worker that
+// owns the corner, so per-corner arithmetic order never depends on the
+// thread count. The merge runs on the calling thread in fixed corner order.
+// With one corner the merged result is bitwise the single session's result —
+// the degenerate corner set reproduces pre-corner behavior exactly.
+//
+// The concurrency win on top of the fan-out: rebase_congestion() computes the
+// corner-invariant bin diff + dirty-net scan once (sessions stay in lockstep,
+// so one CongestionDiff is valid for every corner) instead of per corner —
+// this is what makes C concurrent corners cheaper than C serial sessions
+// even on one hardware thread.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sta/corner.hpp"
+#include "sta/session.hpp"
+
+namespace rtp::sta {
+
+/// Worst-across-corners view of one update(), aligned with `endpoints`.
+struct MultiCornerResult {
+  std::vector<nl::PinId> endpoints;
+  std::vector<double> endpoint_arrival;  ///< max across corners
+  std::vector<double> endpoint_slack;    ///< min across corners
+  /// Corner index attaining the min slack (lowest index on bitwise ties).
+  std::vector<std::int32_t> worst_corner;
+  double wns = 0.0;  ///< over merged endpoint slack, same fold as StaResult
+  double tns = 0.0;
+};
+
+class MultiCornerSession {
+ public:
+  /// One TimingSession per corner, each a deep private copy of `base` with
+  /// its corner derate applied. `corners` must be non-empty; the defaulted
+  /// argument analyzes default_corners() (RTP_CORNERS or fast/typical/slow).
+  MultiCornerSession(const nl::Netlist& netlist,
+                     const layout::Placement& placement, const StaConfig& base,
+                     std::vector<Corner> corners = default_corners());
+
+  MultiCornerSession(const MultiCornerSession&) = delete;
+  MultiCornerSession& operator=(const MultiCornerSession&) = delete;
+
+  std::size_t num_corners() const { return corners_.size(); }
+  const Corner& corner(std::size_t i) const { return corners_[i]; }
+
+  /// Records an edit batch in every corner session (netlist already mutated).
+  void apply(const EditBatch& batch);
+
+  /// Rebases every corner session onto `congestion`, computing the
+  /// corner-invariant diff once and replaying it per corner.
+  void rebase_congestion(const layout::GridMap& congestion);
+
+  /// Updates every corner session concurrently, then merges. Valid after the
+  /// first call.
+  const MultiCornerResult& update();
+
+  const MultiCornerResult& results() const { return merged_; }
+
+  /// Per-corner breakdown of the last update(), aligned with corner(i).
+  const StaResult& corner_results(std::size_t i) const {
+    return sessions_[i]->results();
+  }
+  const TimingSession& corner_session(std::size_t i) const {
+    return *sessions_[i];
+  }
+
+  /// Worst per-pin endpoint slack across corners (min of each corner's
+  /// StaResult::slack_at). Bitwise the single session's slack_at with one
+  /// corner — the optimizer's skip test reads this, which is what keeps the
+  /// degenerate corner set on the seed trajectory.
+  double slack_at(nl::PinId endpoint) const;
+
+  /// Critical path of `endpoint` in its worst (min per-pin slack) corner.
+  std::vector<PathArc> critical_path(nl::PinId endpoint) const;
+
+  /// Forwarded to every corner session (RTP_FULL_STA-style escape hatch).
+  void set_force_full(bool force);
+
+  /// True when every corner session bit-matches a from-scratch recompute.
+  [[nodiscard]] bool matches_full_recompute() const;
+
+ private:
+  void merge();
+
+  std::vector<Corner> corners_;
+  std::vector<const char*> span_names_;  ///< interned per-corner span labels
+  std::vector<std::unique_ptr<TimingSession>> sessions_;
+  MultiCornerResult merged_;
+};
+
+}  // namespace rtp::sta

@@ -90,7 +90,8 @@ TimingSession::TimingSession(const nl::Netlist& netlist, const layout::Placement
 void TimingSession::remodel() {
   config_.delay.congestion = congestion_ ? congestion_.get() : nullptr;
   config_.delay.routed_length = has_routed_ ? &routed_length_ : nullptr;
-  model_ = std::make_unique<DelayModel>(*netlist_, *placement_, config_.delay);
+  model_ = std::make_unique<DelayModel>(*netlist_, *placement_, config_.delay,
+                                        config_.corner);
 }
 
 void TimingSession::apply(const EditBatch& batch) {
@@ -101,27 +102,25 @@ void TimingSession::apply(const EditBatch& batch) {
   pending_.merge(batch);
 }
 
-void TimingSession::rebase_congestion(const layout::GridMap& congestion) {
-  if (!congestion_ || congestion_->rows() != congestion.rows() ||
-      congestion_->cols() != congestion.cols()) {
+CongestionDiff TimingSession::diff_congestion(const layout::GridMap& next) const {
+  CongestionDiff diff;
+  if (!congestion_ || congestion_->rows() != next.rows() ||
+      congestion_->cols() != next.cols()) {
     // Different raster (or a session built pre-route): full invalidation.
-    congestion_ = std::make_unique<layout::GridMap>(congestion);
-    remodel();
-    full_dirty_ = true;
-    return;
+    diff.full = true;
+    return diff;
   }
 
   const std::vector<float>& old_vals = congestion_->values();
-  const std::vector<float>& new_vals = congestion.values();
+  const std::vector<float>& new_vals = next.values();
   std::vector<std::uint8_t> changed(old_vals.size(), 0);
-  bool any = false;
   for (std::size_t i = 0; i < old_vals.size(); ++i) {
     if (!bits_equal(old_vals[i], new_vals[i])) {
       changed[i] = 1;
-      any = true;
+      diff.any_bins = true;
     }
   }
-  if (!any) return;
+  if (!diff.any_bins) return diff;
 
   // The delay model samples one bin per segment, at the driver-sink midpoint
   // (DelayModel::detour_factor / cap_scale). A net's delays change iff one of
@@ -144,10 +143,29 @@ void TimingSession::rebase_congestion(const layout::GridMap& congestion) {
       }
     }
     if (!dirty) continue;
-    cong_dirty_.push_back(net.driver);
-    for (nl::PinId sink : net.sinks) cong_dirty_.push_back(sink);
+    diff.dirty_pins.push_back(net.driver);
+    for (nl::PinId sink : net.sinks) diff.dirty_pins.push_back(sink);
   }
-  congestion_->values() = new_vals;  // same raster: the model's pointer stays valid
+  return diff;
+}
+
+void TimingSession::rebase_congestion(const layout::GridMap& congestion) {
+  rebase_congestion(congestion, diff_congestion(congestion));
+}
+
+void TimingSession::rebase_congestion(const layout::GridMap& congestion,
+                                      const CongestionDiff& diff) {
+  if (diff.full) {
+    congestion_ = std::make_unique<layout::GridMap>(congestion);
+    remodel();
+    full_dirty_ = true;
+    return;
+  }
+  if (!diff.any_bins) return;
+  cong_dirty_.insert(cong_dirty_.end(), diff.dirty_pins.begin(),
+                     diff.dirty_pins.end());
+  // Same raster: the model's pointer stays valid.
+  congestion_->values() = congestion.values();
 }
 
 void TimingSession::sync_structure(std::vector<nl::PinId>& affected) {
@@ -262,6 +280,15 @@ const StaResult& TimingSession::update() {
     sync_structure(structural_pins);
   }
   seed_forward(structural_pins);
+  // Structural pins also seed the backward sweep. The forward sweep marks a
+  // tail backward only when a fanin edge's *delay bits* change, which is not
+  // a complete proxy once edge sets restructure: a removed edge can change a
+  // tail's required with every surviving delay intact, and a re-created edge
+  // can land in a recycled slot whose stale cached delay bit-equals the fresh
+  // value (undo-shaped edits reproduce the old geometry exactly), hiding the
+  // fanout change entirely. Recomputing required over the synced fanout is
+  // exactly the full-sweep reduction, so a no-op recompute stays a no-op.
+  for (nl::PinId p : structural_pins) mark_backward(p);
 
   const double slots = static_cast<double>(netlist_->num_pin_slots());
   if (force_full_ || full_dirty_ ||

@@ -68,6 +68,18 @@ struct WhatIfResult {
   double tns = 0.0;
 };
 
+/// Outcome of bitwise-diffing a congestion map against a session's owned
+/// copy: a full invalidation (different raster), or the pins of the nets
+/// whose sampled bins changed. The sampled bin of a segment is a pure
+/// placement/raster fact — corner-independent — so MultiCornerSession
+/// computes one diff and replays it into every per-corner session instead of
+/// paying the O(nets x sinks) scan per corner.
+struct CongestionDiff {
+  bool full = false;               ///< raster changed: rebuild the model
+  bool any_bins = false;           ///< at least one bin value changed bitwise
+  std::vector<nl::PinId> dirty_pins;  ///< drivers + sinks of affected nets
+};
+
 class TimingSession {
  public:
   /// Binds to `netlist`/`placement` (both must outlive the session) and takes
@@ -87,8 +99,21 @@ class TimingSession {
 
   /// Delay-model rebase: bitwise-diffs `congestion` against the owned map and
   /// dirties only the nets whose sampled bins changed. Map dimensions must
-  /// match the current one (a different grid is a full invalidation).
+  /// match the current one (a different grid is a full invalidation). Both
+  /// overloads take the map by const reference — the session copies what it
+  /// keeps — matching what_if()'s borrow-only convention.
   void rebase_congestion(const layout::GridMap& congestion);
+  /// Precomputed-diff variant: skips the per-net scan. `diff` must be the
+  /// result of diff_congestion(congestion) against an owned map bitwise equal
+  /// to this session's (MultiCornerSession keeps its per-corner sessions in
+  /// lockstep, so one diff serves all corners).
+  void rebase_congestion(const layout::GridMap& congestion,
+                         const CongestionDiff& diff);
+
+  /// Diffs `next` against this session's owned congestion map without
+  /// mutating the session. Feed the result to the two-argument
+  /// rebase_congestion overload.
+  [[nodiscard]] CongestionDiff diff_congestion(const layout::GridMap& next) const;
 
   /// Incrementally brings the result up to date with every edit and rebase
   /// since the last call; falls back to one full sweep when forced, when the
@@ -112,7 +137,7 @@ class TimingSession {
   /// session's cached state back so results() still reflects the pre-trial
   /// netlist — the caller reverts the netlist afterwards. Runs serially, so
   /// the answer is independent of RTP_THREADS.
-  WhatIfResult what_if(const EditBatch& batch);
+  [[nodiscard]] WhatIfResult what_if(const EditBatch& batch);
 
   /// A/B escape hatch (also set by the RTP_FULL_STA=1 environment variable):
   /// every update() runs a full sweep.
@@ -126,7 +151,7 @@ class TimingSession {
   /// bit-compares it against the session state (pin quantities, endpoint
   /// metrics, and every live edge delay). Verification hook for tests and
   /// OptimizerConfig::verify_incremental.
-  bool matches_full_recompute() const;
+  [[nodiscard]] bool matches_full_recompute() const;
 
  private:
   struct SweepOut {

@@ -141,7 +141,8 @@ void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
 
 StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
                   const StaConfig& config) {
-  const DelayModel model(graph.netlist(), placement, config.delay);
+  const DelayModel model(graph.netlist(), placement, config.delay,
+                         config.corner);
   StaResult result;
   detail::full_sweep(graph, model, config, result);
   return result;

@@ -47,6 +47,12 @@ struct StaConfig {
   DelayModelConfig delay;
   double setup_margin = 10.0;  ///< ps subtracted from the period at register D pins
   double launch_slew = 20.0;   ///< ps initial transition at launch points
+  /// Analysis corner the delay model is derated to. Defaults to the nominal
+  /// typical corner (all scales exactly 1.0), which is bit-identical to the
+  /// pre-corner behavior — existing single-corner call sites need no change.
+  /// Multi-corner analysis goes through sta::MultiCornerSession, which sets
+  /// this per owned session.
+  Corner corner;
 };
 
 /// Runs one full forward STA pass (non-incremental convenience entry point).

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "flow/dataset_flow.hpp"
 #include "obs/sink.hpp"
 
@@ -101,6 +103,46 @@ TEST_F(FlowTest, SignoffPinSupervisionCoversSurvivingPins) {
     supervised += d.signoff_pin_arrival[p] >= 0.0;
   }
   EXPECT_GT(supervised, 0);
+}
+
+TEST(FlowMultiCorner, CornerAxisAndEnvelopeLabels) {
+  nl::CellLibrary lib = nl::CellLibrary::standard();
+  FlowConfig config;
+  config.scale = 0.05;
+  config.corners = sta::registry_corners();  // fast, typical, slow
+  const auto specs = gen::paper_benchmarks();
+  const DesignData d =
+      DatasetFlow(lib, config).run(gen::benchmark_by_name(specs, "xgate"));
+
+  ASSERT_EQ(d.corners.size(), 3u);
+  ASSERT_EQ(d.corner_label_arrival.size(), d.corners.size());
+  ASSERT_EQ(d.corner_noopt_arrival.size(), d.corners.size());
+  for (std::size_t c = 0; c < d.corners.size(); ++c) {
+    EXPECT_EQ(d.corner_label_arrival[c].size(), d.endpoints.size());
+    EXPECT_EQ(d.corner_noopt_arrival[c].size(), d.endpoints.size());
+  }
+  // The flat labels are the worst-across-corners envelope of the per-corner
+  // rows — exactly a max fold in ascending corner order.
+  for (std::size_t i = 0; i < d.endpoints.size(); ++i) {
+    double worst_label = d.corner_label_arrival[0][i];
+    double worst_noopt = d.corner_noopt_arrival[0][i];
+    for (std::size_t c = 1; c < d.corners.size(); ++c) {
+      worst_label = std::max(worst_label, d.corner_label_arrival[c][i]);
+      worst_noopt = std::max(worst_noopt, d.corner_noopt_arrival[c][i]);
+    }
+    EXPECT_EQ(d.label_arrival[i], worst_label) << "endpoint " << i;
+    EXPECT_EQ(d.noopt_arrival[i], worst_noopt) << "endpoint " << i;
+  }
+  // Slow-corner arrivals dominate fast-corner ones on every endpoint, and
+  // the derated corners genuinely differ from nominal.
+  std::size_t slow = 0, fast = 0;
+  for (std::size_t c = 0; c < d.corners.size(); ++c) {
+    if (d.corners[c].name == "slow") slow = c;
+    if (d.corners[c].name == "fast") fast = c;
+  }
+  for (std::size_t i = 0; i < d.endpoints.size(); ++i) {
+    EXPECT_GT(d.corner_label_arrival[slow][i], d.corner_label_arrival[fast][i]);
+  }
 }
 
 TEST(FlowObserver, FlowTimingsReproducedFromSpans) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "flow/dataset_flow.hpp"
+#include "model/features.hpp"
 #include "model/inference.hpp"
 #include "nn/kernels.hpp"
 #include "model/trainer.hpp"
@@ -122,6 +123,90 @@ TEST(ServeBatch, PredictBatchUnchangedByKernelFusion) {
   ASSERT_EQ(fused.size(), unfused.size());
   for (std::size_t i = 0; i < fused.size(); ++i) {
     EXPECT_TRUE(bit_identical(fused[i], unfused[i])) << "request " << i;
+  }
+}
+
+TEST(ServeBatch, CornerSelectorEnvelopeIsMaxOfPerCornerPredictions) {
+  const ServeFixture& f = ServeFixture::instance();
+  // Re-prepare one design and graft the 3-corner registry onto it — the
+  // shared fixture flow is single-corner, and the selector semantics only
+  // depend on corners/corner_feat.
+  model::PreparedDesign pd = model::prepare_design(f.data[0], f.config);
+  pd.corners = sta::registry_corners();
+  pd.corner_feat = model::corner_features(pd.corners);
+  const int num_corners = static_cast<int>(pd.corners.size());
+
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+  const model::InferenceEngine engine(model::WeightSnapshot::from_model(m));
+
+  std::vector<nn::Tensor> per_corner;
+  for (int c = 0; c < num_corners; ++c) {
+    model::PredictRequest req = request_for(pd);
+    req.corner = c;
+    per_corner.push_back(engine.predict(req));
+  }
+  const nn::Tensor envelope = engine.predict(request_for(pd));  // corner = -1
+  ASSERT_EQ(envelope.dim(0), per_corner[0].dim(0));
+  for (int i = 0; i < envelope.dim(0); ++i) {
+    float worst = per_corner[0].at(i, 0);
+    for (int c = 1; c < num_corners; ++c) {
+      worst = std::max(worst, per_corner[c].at(i, 0));
+    }
+    EXPECT_EQ(envelope.at(i, 0), worst) << "endpoint " << i;
+  }
+  // The conditioning columns must actually steer the regressor: fast and
+  // slow corners may not collapse to identical predictions everywhere.
+  bool differs = false;
+  for (int i = 0; i < envelope.dim(0) && !differs; ++i) {
+    differs = per_corner[0].at(i, 0) != per_corner[num_corners - 1].at(i, 0);
+  }
+  EXPECT_TRUE(differs);
+
+  // Mixed-corner batches keep the batched==sequential bit-identity contract,
+  // including through the service path rtp::serve uses.
+  model::PredictBatch batch;
+  batch.push_back(request_for(pd));
+  for (int c = 0; c < num_corners; ++c) {
+    model::PredictRequest req = request_for(pd);
+    req.corner = c;
+    batch.push_back(std::move(req));
+  }
+  const std::vector<nn::Tensor> batched = engine.predict_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(bit_identical(engine.predict(batch[i]), batched[i])) << "request " << i;
+  }
+}
+
+TEST(ServeService, CornerRequestsRoundTripThroughSubmit) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::PreparedDesign pd = model::prepare_design(f.data[1], f.config);
+  pd.corners = sta::registry_corners();
+  pd.corner_feat = model::corner_features(pd.corners);
+
+  model::FusionModel m(f.config);
+  m.set_label_stats(1100.0f, 280.0f);
+  auto snap = model::WeightSnapshot::from_model(m);
+  const model::InferenceEngine engine(snap);
+
+  serve::ServeConfig sc;
+  sc.workers = 2;
+  serve::PredictionService service(snap, sc);
+  std::vector<std::future<serve::PredictResponse>> futures;
+  for (int c = -1; c < static_cast<int>(pd.corners.size()); ++c) {
+    model::PredictRequest req = request_for(pd);
+    req.corner = c;
+    auto fut = service.submit(std::move(req));
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::PredictResponse resp = futures[i].get();
+    model::PredictRequest req = request_for(pd);
+    req.corner = static_cast<std::int32_t>(i) - 1;
+    EXPECT_TRUE(bit_identical(resp.arrival_ps, engine.predict(req)))
+        << "corner " << req.corner;
   }
 }
 

@@ -1,0 +1,387 @@
+// Multi-corner session tests: randomized concurrent-update fuzz with
+// per-corner bit-identity against serial full recomputes (at RTP_THREADS 1
+// and 4), the worst-across-corners merge oracle on a hand-built circuit,
+// corner-registry parsing / rejection diagnostics, and optimizer trajectory
+// identity under degenerate corner sets.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "gen/circuit_generator.hpp"
+#include "layout/feature_maps.hpp"
+#include "opt/optimizer.hpp"
+#include "place/placer.hpp"
+#include "sta/multicorner.hpp"
+#include "sta/sta.hpp"
+
+namespace rtp::sta {
+namespace {
+
+bool bits_eq(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+const nl::CellLibrary& library() {
+  static nl::CellLibrary lib = nl::CellLibrary::standard();
+  return lib;
+}
+
+struct FuzzDesign {
+  nl::Netlist netlist{&library()};
+  layout::Placement placement;
+  std::vector<nl::CellId> buffers;
+
+  static FuzzDesign make(const char* name, double scale) {
+    const auto specs = gen::paper_benchmarks();
+    const gen::BenchmarkSpec spec = gen::benchmark_by_name(specs, name);
+    FuzzDesign d;
+    d.netlist = gen::CircuitGenerator(library()).generate(spec, scale).netlist;
+    place::PlacerConfig pc;
+    pc.utilization = spec.utilization;
+    pc.num_macros = spec.num_macros;
+    pc.seed = spec.seed;
+    d.placement = place::Placer(pc).place(d.netlist);
+    return d;
+  }
+};
+
+bool try_resize(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  const nl::CellId c = static_cast<nl::CellId>(
+      rng.index(static_cast<std::uint64_t>(d.netlist.num_cell_slots())));
+  if (!d.netlist.cell_alive(c) || d.netlist.lib_cell(c).is_sequential()) return false;
+  const nl::LibCellId cur = d.netlist.cell(c).lib;
+  const nl::LibCellId next =
+      rng.chance(0.5) ? library().upsize(cur) : library().downsize(cur);
+  if (next == nl::kInvalidId) return false;
+  d.netlist.resize_cell(c, next);
+  batch.resized_cells.push_back(c);
+  return true;
+}
+
+bool try_buffer(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  const nl::NetId net = static_cast<nl::NetId>(
+      rng.index(static_cast<std::uint64_t>(d.netlist.num_net_slots())));
+  if (!d.netlist.net_alive(net) || d.netlist.net(net).sinks.empty()) return false;
+  const nl::PinId driver = d.netlist.net(net).driver;
+  const nl::PinId sink = d.netlist.net(net).sinks[rng.index(
+      static_cast<std::uint64_t>(d.netlist.net(net).sinks.size()))];
+  const layout::Point a = d.placement.pin_pos(d.netlist, driver);
+  const layout::Point b = d.placement.pin_pos(d.netlist, sink);
+
+  const nl::LibCellId buf_lib = library().find(nl::GateKind::kBuf, 2);
+  d.netlist.disconnect_sink(sink);
+  const nl::CellId buf = d.netlist.add_cell(buf_lib);
+  d.placement.resize(d.netlist.num_cell_slots(), d.netlist.num_pin_slots());
+  d.placement.set_cell_pos(buf, {(a.x + b.x) / 2, (a.y + b.y) / 2});
+  const nl::NetId bnet = d.netlist.add_net(d.netlist.cell(buf).output);
+  d.netlist.add_sink(net, d.netlist.cell(buf).inputs[0]);
+  d.netlist.add_sink(bnet, sink);
+
+  batch.new_cells.push_back(buf);
+  batch.touched_nets.push_back(net);
+  batch.touched_nets.push_back(bnet);
+  d.buffers.push_back(buf);
+  return true;
+}
+
+bool try_unbuffer(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  if (d.buffers.empty()) return false;
+  const std::size_t pick = rng.index(d.buffers.size());
+  const nl::CellId buf = d.buffers[pick];
+  d.buffers.erase(d.buffers.begin() + static_cast<std::ptrdiff_t>(pick));
+  const nl::PinId in = d.netlist.cell(buf).inputs[0];
+  const nl::PinId out = d.netlist.cell(buf).output;
+  const nl::NetId in_net = d.netlist.pin(in).net;
+  const nl::NetId out_net = d.netlist.pin(out).net;
+  if (in_net == nl::kInvalidId || out_net == nl::kInvalidId) return false;
+
+  const std::vector<nl::PinId> sinks = d.netlist.net(out_net).sinks;
+  for (nl::PinId s : sinks) d.netlist.disconnect_sink(s);
+  d.netlist.disconnect_sink(in);
+  d.netlist.remove_net(out_net);
+  d.netlist.remove_cell(buf);
+  for (nl::PinId s : sinks) d.netlist.add_sink(in_net, s);
+
+  batch.removed_cells.push_back(buf);
+  batch.removed_nets.push_back(out_net);
+  batch.touched_nets.push_back(in_net);
+  return true;
+}
+
+void fuzz_step(FuzzDesign& d, Rng& rng, EditBatch& batch) {
+  switch (rng.index(4)) {
+    case 0: try_resize(d, rng, batch); break;
+    case 1:
+    case 2: try_buffer(d, rng, batch); break;
+    default: try_unbuffer(d, rng, batch); break;
+  }
+}
+
+StaConfig preroute_config() {
+  StaConfig config;
+  config.delay.tech.clock_period = 600.0;
+  return config;
+}
+
+// ---- tests ----------------------------------------------------------------
+
+/// The tentpole acceptance fuzz: three corners updated concurrently through
+/// rounds of edits and congestion rebases, each per-corner result bit-matched
+/// against a from-scratch single-corner recompute every round, and the whole
+/// trajectory bit-compared between RTP_THREADS 1 and 4.
+TEST(MultiCorner, FuzzConcurrentUpdatesBitIdenticalToSerialFullRecompute) {
+  struct Snapshot {
+    std::vector<std::vector<double>> arrival, slack;  // [corner][pin]
+    std::vector<double> merged_slack, merged_arrival;
+    std::vector<std::int32_t> worst_corner;
+    double wns, tns;
+  };
+  auto run = [](int threads) {
+    core::set_num_threads(threads);
+    FuzzDesign d = FuzzDesign::make("xgate", 0.1);
+    layout::GridMap rudy = layout::make_rudy_map(d.netlist, d.placement, 32, 32);
+    rudy.normalize();
+    StaConfig config = preroute_config();
+    config.delay.wire_model = WireModel::kSignOff;
+    config.delay.congestion = &rudy;
+
+    MultiCornerSession session(d.netlist, d.placement, config,
+                               registry_corners());
+    session.update();
+    EXPECT_TRUE(session.matches_full_recompute());
+
+    Rng rng(17);
+    std::vector<Snapshot> snaps;
+    for (int round = 0; round < 10; ++round) {
+      EditBatch batch;
+      const int edits = 1 + static_cast<int>(rng.index(4));
+      for (int e = 0; e < edits; ++e) fuzz_step(d, rng, batch);
+      session.apply(batch);
+      if (round % 3 == 2) {
+        // Perturb a congestion band and rebase: one shared corner-invariant
+        // diff replayed into every corner session.
+        for (int c = 0; c < rudy.cols(); ++c) rudy.at(round, c) *= 1.25f;
+        session.rebase_congestion(rudy);
+      }
+      const MultiCornerResult& m = session.update();
+      // Fuzz-enforced per-corner contract: each concurrent sweep equals a
+      // serial single-corner full recompute of that corner, bit for bit.
+      EXPECT_TRUE(session.matches_full_recompute()) << "round " << round;
+
+      Snapshot s;
+      for (std::size_t c = 0; c < session.num_corners(); ++c) {
+        s.arrival.push_back(session.corner_results(c).arrival);
+        s.slack.push_back(session.corner_results(c).slack);
+      }
+      s.merged_slack = m.endpoint_slack;
+      s.merged_arrival = m.endpoint_arrival;
+      s.worst_corner = m.worst_corner;
+      s.wns = m.wns;
+      s.tns = m.tns;
+      snaps.push_back(std::move(s));
+    }
+    d.netlist.validate();
+    return snaps;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  core::set_num_threads(0);  // restore the RTP_THREADS / hardware default
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(bits_eq(serial[i].wns, parallel[i].wns)) << "round " << i;
+    EXPECT_TRUE(bits_eq(serial[i].tns, parallel[i].tns)) << "round " << i;
+    ASSERT_EQ(serial[i].arrival.size(), parallel[i].arrival.size());
+    for (std::size_t c = 0; c < serial[i].arrival.size(); ++c) {
+      ASSERT_EQ(serial[i].arrival[c].size(), parallel[i].arrival[c].size());
+      for (std::size_t p = 0; p < serial[i].arrival[c].size(); ++p) {
+        ASSERT_TRUE(bits_eq(serial[i].arrival[c][p], parallel[i].arrival[c][p]));
+        ASSERT_TRUE(bits_eq(serial[i].slack[c][p], parallel[i].slack[c][p]));
+      }
+    }
+    ASSERT_EQ(serial[i].merged_slack, parallel[i].merged_slack);
+    ASSERT_EQ(serial[i].merged_arrival, parallel[i].merged_arrival);
+    ASSERT_EQ(serial[i].worst_corner, parallel[i].worst_corner);
+  }
+}
+
+/// Hand-built two-endpoint circuit: the merge must be exactly min-slack /
+/// max-arrival per endpoint with lowest-index ties, and wns/tns must follow
+/// the same fold full_sweep uses over the merged slacks.
+TEST(MultiCorner, MergeOracleOnHandBuiltGraph) {
+  nl::Netlist netlist{&library()};
+  const nl::PinId pi = netlist.add_primary_input();
+  const nl::PinId po1 = netlist.add_primary_output();
+  const nl::PinId po2 = netlist.add_primary_output();
+  const nl::CellId inv1 = netlist.add_cell(library().find(nl::GateKind::kInv, 1));
+  const nl::CellId inv2 = netlist.add_cell(library().find(nl::GateKind::kInv, 2));
+  const nl::NetId in_net = netlist.add_net(pi);
+  netlist.add_sink(in_net, netlist.cell(inv1).inputs[0]);
+  netlist.add_sink(in_net, netlist.cell(inv2).inputs[0]);
+  netlist.add_sink(netlist.add_net(netlist.cell(inv1).output), po1);
+  netlist.add_sink(netlist.add_net(netlist.cell(inv2).output), po2);
+  netlist.validate();
+
+  layout::Placement placement(layout::Die{200.0, 200.0},
+                              netlist.num_cell_slots(), netlist.num_pin_slots());
+  placement.set_port_pos(pi, {0.0, 100.0});
+  placement.set_cell_pos(inv1, {30.0, 60.0});
+  placement.set_cell_pos(inv2, {80.0, 140.0});
+  placement.set_port_pos(po1, {60.0, 60.0});
+  placement.set_port_pos(po2, {160.0, 140.0});
+
+  StaConfig config;
+  config.delay.tech.clock_period = 5.0;  // tight enough to violate somewhere
+  const std::vector<Corner> corners = registry_corners();
+
+  MultiCornerSession session(netlist, placement, config, corners);
+  const MultiCornerResult& merged = session.update();
+  ASSERT_EQ(merged.endpoints.size(), 2u);
+  ASSERT_EQ(merged.endpoint_slack.size(), 2u);
+  ASSERT_EQ(merged.worst_corner.size(), 2u);
+
+  double wns = 0.0, tns = 0.0;
+  for (std::size_t i = 0; i < merged.endpoints.size(); ++i) {
+    double min_slack = session.corner_results(0).endpoint_slack[i];
+    double max_arrival = session.corner_results(0).endpoint_arrival[i];
+    std::int32_t argmin = 0;
+    for (std::size_t c = 1; c < corners.size(); ++c) {
+      const double s = session.corner_results(c).endpoint_slack[i];
+      if (s < min_slack) {
+        min_slack = s;
+        argmin = static_cast<std::int32_t>(c);
+      }
+      max_arrival =
+          std::max(max_arrival, session.corner_results(c).endpoint_arrival[i]);
+    }
+    EXPECT_TRUE(bits_eq(merged.endpoint_slack[i], min_slack));
+    EXPECT_TRUE(bits_eq(merged.endpoint_arrival[i], max_arrival));
+    EXPECT_EQ(merged.worst_corner[i], argmin);
+    EXPECT_TRUE(bits_eq(merged.endpoint_slack[i],
+                        session.slack_at(merged.endpoints[i])));
+    if (merged.endpoint_slack[i] < 0.0) {
+      tns += merged.endpoint_slack[i];
+      wns = std::min(wns, merged.endpoint_slack[i]);
+    }
+  }
+  EXPECT_TRUE(bits_eq(merged.wns, wns));
+  EXPECT_TRUE(bits_eq(merged.tns, tns));
+
+  // The slow corner's arrival strictly dominates fast's on every endpoint,
+  // so the derates are genuinely flowing into the delay model.
+  for (std::size_t i = 0; i < merged.endpoints.size(); ++i) {
+    EXPECT_GT(session.corner_results(2).endpoint_arrival[i],
+              session.corner_results(0).endpoint_arrival[i]);
+  }
+
+  // Degenerate single-corner session: the merged view is bitwise the plain
+  // TimingSession result — the corner-first API reproduces seed behavior.
+  MultiCornerSession one(netlist, placement, config, {typical_corner()});
+  const MultiCornerResult& m1 = one.update();
+  TimingSession plain(netlist, placement, config);
+  const StaResult& r = plain.update();
+  ASSERT_EQ(m1.endpoints, r.endpoints);
+  for (std::size_t i = 0; i < m1.endpoints.size(); ++i) {
+    ASSERT_TRUE(bits_eq(m1.endpoint_slack[i], r.endpoint_slack[i]));
+    ASSERT_TRUE(bits_eq(m1.endpoint_arrival[i], r.endpoint_arrival[i]));
+    EXPECT_EQ(m1.worst_corner[i], 0);
+  }
+  EXPECT_TRUE(bits_eq(m1.wns, r.wns));
+  EXPECT_TRUE(bits_eq(m1.tns, r.tns));
+}
+
+TEST(MultiCorner, CornerRegistryParsesSpecsAndNamesBadFields) {
+  std::string error;
+
+  // Registry names resolve to their canonical scale factors.
+  auto corners = parse_corners("fast;slow", &error);
+  ASSERT_TRUE(corners.has_value()) << error;
+  ASSERT_EQ(corners->size(), 2u);
+  EXPECT_EQ((*corners)[0].name, "fast");
+  EXPECT_EQ((*corners)[0].delay_scale, fast_corner().delay_scale);
+  EXPECT_EQ((*corners)[1].name, "slow");
+  EXPECT_EQ((*corners)[1].coupling_scale, slow_corner().coupling_scale);
+
+  // Custom corners override per-field; unset fields stay 1.0.
+  corners = parse_corners("hot:delay=1.25,cap=1.1", &error);
+  ASSERT_TRUE(corners.has_value()) << error;
+  EXPECT_EQ((*corners)[0].name, "hot");
+  EXPECT_EQ((*corners)[0].delay_scale, 1.25);
+  EXPECT_EQ((*corners)[0].cap_scale, 1.1);
+  EXPECT_EQ((*corners)[0].coupling_scale, 1.0);
+
+  // Rejections carry a diagnostic naming the offending corner and field.
+  EXPECT_FALSE(parse_corners("hot:volts=1.2", &error).has_value());
+  EXPECT_NE(error.find("hot"), std::string::npos);
+  EXPECT_NE(error.find("volts"), std::string::npos);
+
+  EXPECT_FALSE(parse_corners("hot:delay=warm", &error).has_value());
+  EXPECT_NE(error.find("delay"), std::string::npos);
+  EXPECT_NE(error.find("warm"), std::string::npos);
+
+  EXPECT_FALSE(parse_corners("hot:delay=-2", &error).has_value());
+  EXPECT_NE(error.find("delay"), std::string::npos);
+
+  EXPECT_FALSE(parse_corners("fast;fast", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+
+  EXPECT_FALSE(parse_corners("mystery", &error).has_value());
+  EXPECT_NE(error.find("mystery"), std::string::npos);
+
+  EXPECT_FALSE(parse_corners("", &error).has_value());
+
+  // default_corners() never aborts: a malformed RTP_CORNERS falls back to
+  // the registry, a valid one is honored.
+  setenv("RTP_CORNERS", "bogus:frequency=3", 1);
+  std::vector<Corner> fallback = default_corners();
+  ASSERT_EQ(fallback.size(), registry_corners().size());
+  EXPECT_EQ(fallback[0].name, registry_corners()[0].name);
+  setenv("RTP_CORNERS", "typical;slow", 1);
+  std::vector<Corner> from_env = default_corners();
+  ASSERT_EQ(from_env.size(), 2u);
+  EXPECT_EQ(from_env[0].name, "typical");
+  EXPECT_EQ(from_env[1].name, "slow");
+  unsetenv("RTP_CORNERS");
+}
+
+/// Degenerate corner sets — empty (seed default) and three identical typical
+/// corners — must leave the optimizer on the exact single-corner trajectory:
+/// merged slack of identical corners is bitwise the single session's, so
+/// every accept/reject decision lands the same way.
+TEST(MultiCorner, OptimizerTrajectoryIdenticalUnderDegenerateCorners) {
+  auto run = [](std::vector<Corner> corners) {
+    FuzzDesign d = FuzzDesign::make("xgate", 0.1);
+    opt::OptimizerConfig config;
+    config.sta.delay.tech.clock_period = 600.0;
+    config.seed = 9;
+    config.corners = std::move(corners);
+    return opt::TimingOptimizer(config).optimize(d.netlist, d.placement);
+  };
+
+  const opt::OptimizerReport seed = run({});
+  const opt::OptimizerReport one = run({typical_corner()});
+  const opt::OptimizerReport three =
+      run({typical_corner(), typical_corner(), typical_corner()});
+
+  for (const opt::OptimizerReport* r : {&one, &three}) {
+    EXPECT_TRUE(bits_eq(seed.wns_before, r->wns_before));
+    EXPECT_TRUE(bits_eq(seed.tns_before, r->tns_before));
+    EXPECT_TRUE(bits_eq(seed.wns_after, r->wns_after));
+    EXPECT_TRUE(bits_eq(seed.tns_after, r->tns_after));
+    EXPECT_EQ(seed.moves_sizing, r->moves_sizing);
+    EXPECT_EQ(seed.moves_buffer, r->moves_buffer);
+    EXPECT_EQ(seed.moves_restructure, r->moves_restructure);
+    EXPECT_EQ(seed.moves_rejected_space, r->moves_rejected_space);
+    EXPECT_EQ(seed.passes_run, r->passes_run);
+    EXPECT_EQ(seed.net_replaced, r->net_replaced);
+    EXPECT_EQ(seed.cell_replaced, r->cell_replaced);
+  }
+}
+
+}  // namespace
+}  // namespace rtp::sta
