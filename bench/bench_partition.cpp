@@ -1,0 +1,208 @@
+// bench_partition: the bounded-memory streaming smoke for big designs.
+//
+// Runs the x10 scale profile (RTP_SCALE overrides — the seconds-fast `dev`
+// profile or the full `table1` both work) through the million-pin pipeline:
+// generate rocket -> place -> pre-route STA -> GNN forward, with the STA
+// sweep and GNN inference paged through a partition plan. Asserts, at
+// RTP_THREADS 1 and 4:
+//
+//   1. the partitioned results are bit-identical to the whole-graph oracle
+//      (the RTP_NO_PARTITION path) — arrivals, slacks, and embeddings;
+//   2. both thread counts produce the same bits;
+//   3. the workspace pooled-bytes peak of the streamed arm stays under the
+//      memory bound (RTP_PART_WS_BUDGET bytes, default 4 MiB) — the native
+//      Workspace counter, so the assertion also runs in RTP_OBS=OFF builds.
+//
+// Under RTP_OBS=ON with RTP_REPORT=report.json the run additionally emits
+// the part.* counters and the ws.pooled_bytes_peak / proc.peak_rss_bytes
+// gauges for CI to assert on. Because that gauge is a process-wide maximum,
+// --stream-only skips the whole-graph oracle arms (whose pooled peak is the
+// thing partitioning avoids) so the reported gauge reflects the streamed
+// path alone; the oracle bit-compare is skipped, the 1-vs-4-thread compare
+// and the memory bound still hold. Exit 0 on success, 1 on any violation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "gen/circuit_generator.hpp"
+#include "gen/scale_profile.hpp"
+#include "model/features.hpp"
+#include "model/gnn.hpp"
+#include "nn/workspace.hpp"
+#include "part/partition.hpp"
+#include "part/stream.hpp"
+#include "place/placer.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+std::size_t memory_bound_bytes() {
+  // Deliberately below the whole-graph sweep's pooled peak at x10 (~6.4 MiB
+  // measured): if the streaming scopes stop freeing, the bound trips.
+  constexpr std::size_t kDefault = 4ull << 20;  // 4 MiB
+  const char* env = std::getenv("RTP_PART_WS_BUDGET");
+  if (env == nullptr || env[0] == '\0') return kDefault;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) {
+    std::fprintf(stderr,
+                 "bench_partition: ignoring malformed RTP_PART_WS_BUDGET "
+                 "'%s'; using %zu\n",
+                 env, kDefault);
+    return kDefault;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+struct ArmBits {
+  std::vector<double> arrival, slack;
+  std::vector<float> h;
+};
+
+bool bits_equal(const ArmBits& a, const ArmBits& b) {
+  return a.arrival.size() == b.arrival.size() &&
+         a.slack.size() == b.slack.size() && a.h.size() == b.h.size() &&
+         std::memcmp(a.arrival.data(), b.arrival.data(),
+                     a.arrival.size() * sizeof(double)) == 0 &&
+         std::memcmp(a.slack.data(), b.slack.data(),
+                     a.slack.size() * sizeof(double)) == 0 &&
+         std::memcmp(a.h.data(), b.h.data(), a.h.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtp;
+
+  bool stream_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stream-only") == 0) {
+      stream_only = true;
+    } else {
+      std::fprintf(stderr, "bench_partition: unknown argument '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+
+  const gen::ScaleProfile profile =
+      gen::default_scale_profile(gen::x10_profile());
+  const std::size_t bound = memory_bound_bytes();
+  std::fprintf(stderr, "bench_partition: profile '%s' (scale %g), bound %zu MiB\n",
+               profile.name.c_str(), profile.factor, bound >> 20);
+
+  const nl::CellLibrary library = nl::CellLibrary::standard();
+  const auto specs = gen::paper_benchmarks();
+  const gen::BenchmarkSpec spec = gen::benchmark_by_name(specs, "rocket");
+  gen::GeneratedCircuit circuit =
+      gen::CircuitGenerator(library).generate(spec, profile);
+  place::PlacerConfig pc;
+  pc.utilization = spec.utilization;
+  pc.num_macros = spec.num_macros;
+  pc.seed = spec.seed;
+  const layout::Placement placement = place::Placer(pc).place(circuit.netlist);
+  const tg::TimingGraph graph(circuit.netlist);
+
+  std::size_t live = 0;
+  for (const auto& bucket : graph.nodes_by_level()) live += bucket.size();
+  // The x10 profile is comfortably past the default budget; smaller RTP_SCALE
+  // runs still stream by shrinking the budget to an ~8-way cut.
+  int budget = part::default_partition_budget();
+  if (live <= static_cast<std::size_t>(budget)) {
+    budget = std::max(1, static_cast<int>(live) / 8);
+  }
+  const part::Plan plan = part::Plan::build(graph, budget);
+  std::fprintf(stderr,
+               "bench_partition: %zu live pins, budget %d -> %zu partitions, "
+               "%zu cut pins, max partition %d pins\n",
+               live, budget, plan.num_partitions(), plan.total_cut_pins(),
+               plan.max_partition_nodes());
+  if (plan.num_partitions() < 2) {
+    std::fprintf(stderr, "bench_partition: FAIL — design did not partition\n");
+    return 1;
+  }
+
+  sta::StaConfig config;
+  config.delay.tech.clock_period = 600.0;
+
+  const model::NodeFeatures features =
+      model::extract_node_features(graph, placement, &plan);
+  model::ModelConfig mc;
+  Rng rng(29);
+  model::EndpointGNN gnn(mc, rng);
+  nn::Workspace& ws = nn::Workspace::instance();
+
+  bool ok = true;
+  std::size_t streamed_peak = 0, whole_peak = 0;
+  std::vector<ArmBits> per_thread;
+  for (const int threads : {1, 4}) {
+    core::set_num_threads(threads);
+
+    ArmBits oracle;
+    if (!stream_only) {
+      // Whole-graph oracle, through the same override RTP_NO_PARTITION
+      // drives.
+      part::set_partitioning_enabled(false);
+      const sta::StaResult oracle_sta = sta::run_sta(graph, placement, config);
+      ws.clear();
+      ws.reset_pooled_bytes_peak();
+      const nn::Tensor oracle_h =
+          gnn.infer(part::GraphView::full(graph), features);
+      whole_peak = std::max(whole_peak, ws.pooled_bytes_peak());
+      part::set_partitioning_enabled(true);
+      oracle.arrival = oracle_sta.arrival;
+      oracle.slack = oracle_sta.slack;
+      oracle.h.assign(oracle_h.data(), oracle_h.data() + oracle_h.numel());
+    }
+
+    // Streamed arm, with the workspace peak sampled across the stream.
+    const sta::StaResult parted = sta::run_sta(graph, placement, config, &plan);
+    ws.clear();
+    ws.reset_pooled_bytes_peak();
+    const nn::Tensor streamed_h = gnn.infer_streamed(plan, features);
+    streamed_peak = std::max(streamed_peak, ws.pooled_bytes_peak());
+
+    ArmBits arm;
+    arm.arrival = parted.arrival;
+    arm.slack = parted.slack;
+    arm.h.assign(streamed_h.data(), streamed_h.data() + streamed_h.numel());
+    if (!stream_only && !bits_equal(arm, oracle)) {
+      std::fprintf(stderr,
+                   "bench_partition: FAIL — partitioned results diverge from "
+                   "the whole-graph oracle at %d threads\n",
+                   threads);
+      ok = false;
+    }
+    per_thread.push_back(std::move(arm));
+  }
+  core::set_num_threads(0);
+  part::reset_partitioning_override();
+
+  if (per_thread.size() == 2 && !bits_equal(per_thread[0], per_thread[1])) {
+    std::fprintf(stderr,
+                 "bench_partition: FAIL — results differ between "
+                 "RTP_THREADS 1 and 4\n");
+    ok = false;
+  }
+
+  std::fprintf(stderr,
+               "bench_partition: workspace peak whole %.2f MiB vs streamed "
+               "%.2f MiB (bound %.2f MiB), peak RSS %zu MiB\n",
+               static_cast<double>(whole_peak) / (1 << 20),
+               static_cast<double>(streamed_peak) / (1 << 20),
+               static_cast<double>(bound) / (1 << 20),
+               part::process_peak_rss_bytes() >> 20);
+  if (streamed_peak > bound) {
+    std::fprintf(stderr,
+                 "bench_partition: FAIL — streamed workspace peak exceeds "
+                 "RTP_PART_WS_BUDGET\n");
+    ok = false;
+  }
+
+  std::fprintf(stderr, "bench_partition: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

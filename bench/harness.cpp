@@ -17,10 +17,14 @@
 #include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
 #include "gen/circuit_generator.hpp"
+#include "model/features.hpp"
+#include "model/gnn.hpp"
 #include "model/inference.hpp"
 #include "nn/conv.hpp"
 #include "nn/kernels.hpp"
+#include "nn/workspace.hpp"
 #include "opt/optimizer.hpp"
+#include "part/partition.hpp"
 #include "place/placer.hpp"
 #include "serve/serve.hpp"
 #include "sta/multicorner.hpp"
@@ -272,6 +276,75 @@ BenchDoc run_nn_suite(bool smoke) {
   doc.metrics.push_back(
       {"nn.fused_identical", fused_identical ? 1.0 : 0.0, "bool", true, 0.0});
 
+  // ---- Partitioned GNN streaming A/B: whole-graph infer vs infer_streamed
+  // over an explicit ~8-partition plan on the medium fixture, single thread.
+  // Three gates ride on it: bitwise identity (tolerance 0), the same-run
+  // wall-time ratio, and the pooled-bytes-peak ratio — the streaming scopes
+  // must keep the arena's high-water mark well below the whole-graph sweep's
+  // (that bound is the point of partitioning; a full A/B on the x10 profile
+  // lives in bench_partition).
+  {
+    const Fixture& f = fixture(0.04);
+    const tg::TimingGraph graph(f.netlist);
+    const model::NodeFeatures feat =
+        model::extract_node_features(graph, f.placement);
+    model::ModelConfig mc;
+    Rng rng(13);
+    model::EndpointGNN gnn(mc, rng);
+    std::size_t live = 0;
+    for (const auto& bucket : graph.nodes_by_level()) live += bucket.size();
+    const int budget = std::max(1, static_cast<int>(live) / 8);
+    const part::Plan plan = part::Plan::build(graph, budget);
+    nn::Workspace& ws = nn::Workspace::instance();
+
+    ws.clear();
+    ws.reset_pooled_bytes_peak();
+    const nn::Tensor whole = gnn.infer(part::GraphView::full(graph), feat);
+    const double whole_peak = static_cast<double>(ws.pooled_bytes_peak());
+    const double whole_ns = time_ns_per_op(
+        [&] { keep(gnn.infer(part::GraphView::full(graph), feat).numel()); },
+        reps, secs);
+
+    ws.clear();
+    ws.reset_pooled_bytes_peak();
+    const nn::Tensor streamed = gnn.infer_streamed(plan, feat);
+    const double streamed_peak = static_cast<double>(ws.pooled_bytes_peak());
+    const double streamed_ns = time_ns_per_op(
+        [&] { keep(gnn.infer_streamed(plan, feat).numel()); }, reps, secs);
+    ws.clear();
+
+    const bool part_identical =
+        whole.same_shape(streamed) &&
+        std::memcmp(whole.data(), streamed.data(),
+                    whole.numel() * sizeof(float)) == 0;
+    const double peak_ratio =
+        streamed_peak > 0.0 ? whole_peak / streamed_peak : 0.0;
+    doc.metrics.push_back({"gnn.partition.identical",
+                           part_identical ? 1.0 : 0.0, "bool", true, 0.0});
+    doc.metrics.push_back({"gnn.partition.speedup", whole_ns / streamed_ns,
+                           "ratio", true, kRatioTolerance});
+    doc.metrics.push_back({"gnn.partition.pooled_peak_ratio", peak_ratio,
+                           "ratio", true, kRatioTolerance});
+    doc.metrics.push_back({"gnn.partition.partitions",
+                           static_cast<double>(plan.num_partitions()), "count",
+                           false, -1.0});
+    doc.metrics.push_back(
+        {"gnn.partition.whole_ns", whole_ns, "ns", false, -1.0});
+    doc.metrics.push_back(
+        {"gnn.partition.streamed_ns", streamed_ns, "ns", false, -1.0});
+    doc.metrics.push_back(
+        {"gnn.partition.whole_peak_bytes", whole_peak, "bytes", false, -1.0});
+    doc.metrics.push_back({"gnn.partition.streamed_peak_bytes", streamed_peak,
+                           "bytes", false, -1.0});
+    std::cerr << "gnn.partition (rocket@0.04, " << plan.num_partitions()
+              << " partitions): whole " << whole_ns << " ns / peak "
+              << whole_peak / (1024.0 * 1024.0) << " MiB, streamed "
+              << streamed_ns << " ns / peak "
+              << streamed_peak / (1024.0 * 1024.0) << " MiB, peak ratio "
+              << peak_ratio << "x, identical="
+              << (part_identical ? "yes" : "NO") << "\n";
+  }
+
   // Thread sweep over the blocked paths (ns only; speedup depends on cores).
   for (int t : {1, 2, 4}) {
     core::set_num_threads(t);
@@ -327,6 +400,20 @@ int run_nn_harness(const std::string& path, bool smoke) {
   } else {
     std::cerr << "fusion disabled (RTP_NO_FUSION): fused-vs-unfused floor "
                  "skipped\n";
+  }
+  const Metric* part_ident = doc.find("gnn.partition.identical");
+  if (part_ident != nullptr && part_ident->value != 1.0) {
+    std::cerr << "REGRESSION: streamed partitioned GNN inference diverges "
+                 "from the whole-graph sweep\n";
+    return 1;
+  }
+  // Memory floor: streaming scopes must not let the arena peak above the
+  // whole-graph sweep's (a partition's pooled working set is a subset).
+  const Metric* peak = doc.find("gnn.partition.pooled_peak_ratio");
+  if (peak != nullptr && peak->value < 1.0) {
+    std::cerr << "REGRESSION: partitioned streaming pooled more workspace "
+                 "than the whole-graph sweep\n";
+    return 1;
   }
   return 0;
 }
@@ -545,6 +632,46 @@ BenchDoc run_sta_suite(bool smoke) {
   const double mc_speedup =
       mc.concurrent_s > 0.0 ? mc.serial_s / mc.concurrent_s : 0.0;
 
+  // ---- Partitioned full-sweep A/B: the same one-shot STA through an
+  // explicit ~8-partition plan vs the whole-graph sweep. Gated on bitwise
+  // identity and the same-run wall-time ratio; partition shape lands as info.
+  bool part_identical = false;
+  double part_speedup = 0.0, whole_sweep_ns = 0.0, part_sweep_ns = 0.0;
+  std::size_t part_count = 0, part_cuts = 0;
+  {
+    const tg::TimingGraph graph(f.netlist);
+    sta::StaConfig config;
+    config.delay.tech.clock_period = clock_period;
+    std::size_t live = 0;
+    for (const auto& bucket : graph.nodes_by_level()) live += bucket.size();
+    const int budget = std::max(1, static_cast<int>(live) / 8);
+    const part::Plan plan = part::Plan::build(graph, budget);
+    part_count = plan.num_partitions();
+    part_cuts = plan.total_cut_pins();
+
+    const sta::StaResult whole =
+        sta::run_sta(graph, f.placement, config, nullptr);
+    const sta::StaResult parted =
+        sta::run_sta(graph, f.placement, config, &plan);
+    part_identical =
+        whole.arrival.size() == parted.arrival.size() &&
+        std::memcmp(whole.arrival.data(), parted.arrival.data(),
+                    whole.arrival.size() * sizeof(double)) == 0 &&
+        std::memcmp(whole.slack.data(), parted.slack.data(),
+                    whole.slack.size() * sizeof(double)) == 0 &&
+        whole.wns == parted.wns && whole.tns == parted.tns;
+
+    const int sweep_reps = smoke ? 2 : 5;
+    const double sweep_secs = smoke ? 0.05 : 0.5;
+    whole_sweep_ns = time_ns_per_op(
+        [&] { keep(sta::run_sta(graph, f.placement, config, nullptr).wns); },
+        sweep_reps, sweep_secs);
+    part_sweep_ns = time_ns_per_op(
+        [&] { keep(sta::run_sta(graph, f.placement, config, &plan).wns); },
+        sweep_reps, sweep_secs);
+    part_speedup = part_sweep_ns > 0.0 ? whole_sweep_ns / part_sweep_ns : 0.0;
+  }
+
   BenchDoc doc;
   doc.suite = "sta";
   doc.smoke = smoke;
@@ -572,6 +699,22 @@ BenchDoc run_sta_suite(bool smoke) {
   doc.metrics.push_back({"sta.multicorner.corners",
                          static_cast<double>(mc.corners), "count", false,
                          -1.0});
+  doc.metrics.push_back({"sta.partition.identical",
+                         part_identical ? 1.0 : 0.0, "bool", true, 0.0});
+  doc.metrics.push_back(
+      {"sta.partition.speedup", part_speedup, "ratio", true, kRatioTolerance});
+  doc.metrics.push_back({"sta.partition.partitions",
+                         static_cast<double>(part_count), "count", false, -1.0});
+  doc.metrics.push_back({"sta.partition.cut_pins",
+                         static_cast<double>(part_cuts), "count", false, -1.0});
+  doc.metrics.push_back(
+      {"sta.partition.whole_ns", whole_sweep_ns, "ns", false, -1.0});
+  doc.metrics.push_back(
+      {"sta.partition.partitioned_ns", part_sweep_ns, "ns", false, -1.0});
+  std::cerr << "sta.partition (" << part_count << " partitions, " << part_cuts
+            << " cut pins): whole " << whole_sweep_ns << " ns, partitioned "
+            << part_sweep_ns << " ns, speedup " << part_speedup
+            << "x, identical=" << (part_identical ? "yes" : "NO") << "\n";
 
   std::cerr << "sta A/B on rocket@0.04: incremental " << inc_s << "s, full "
             << full_s << "s, speedup " << speedup << "x, identical="
@@ -606,6 +749,11 @@ int run_sta_harness(const std::string& path, bool smoke) {
   if (doc.find("sta.multicorner.speedup")->value <= 1.0) {
     std::cerr << "REGRESSION: concurrent corner fan-out not faster than "
                  "serial per-corner sessions\n";
+    return 1;
+  }
+  if (doc.find("sta.partition.identical")->value != 1.0) {
+    std::cerr << "REGRESSION: partitioned full sweep diverged from the "
+                 "whole-graph sweep\n";
     return 1;
   }
   return 0;

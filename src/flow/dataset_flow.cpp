@@ -115,7 +115,7 @@ DesignData DatasetFlow::run(const gen::BenchmarkSpec& spec, obs::Sink* observer)
   {
     obs::TimedSpan span("flow.constrain", &stages);
     GridMap input_congestion = make_congestion_map(data.input_netlist, input_placement,
-                                                   config_.congestion_grid);
+                                                   congestion_grid());
     sta::StaConfig probe = make_signoff_config(config_.tech, 1e9, &input_congestion);
     sta::TimingSession probe_session(data.input_netlist, input_placement, probe);
     const sta::StaResult& unconstrained = probe_session.update();

@@ -26,8 +26,12 @@
 namespace rtp::flow {
 
 struct FlowConfig {
-  double scale = 0.02;  ///< fraction of the paper's TABLE I design sizes
-  int map_grid = 64;    ///< M = N feature-map resolution (paper: 512)
+  /// Design-size profile (gen/scale_profile.hpp). Defaults to the dev
+  /// profile (0.02 of TABLE I sizes — the historical default, bit for bit);
+  /// plain factors still assign (`config.scale = 0.05` builds an unnamed
+  /// custom profile). A profile map_grid > 0 overrides both grids below.
+  gen::ScaleProfile scale = gen::dev_profile();
+  int map_grid = 64;  ///< M = N feature-map resolution (paper: 512)
   int congestion_grid = 64;
   /// Clock period is set per design to this fraction of the unoptimized
   /// sign-off worst arrival, so every design starts with violations for the
@@ -147,6 +151,16 @@ class DatasetFlow {
   std::vector<DesignData> run_suite(obs::Sink* observer = nullptr) const;
 
   const FlowConfig& config() const { return config_; }
+
+  /// Effective grids: the scale profile's map_grid override when set, else
+  /// the FlowConfig values.
+  int map_grid() const {
+    return config_.scale.map_grid > 0 ? config_.scale.map_grid : config_.map_grid;
+  }
+  int congestion_grid() const {
+    return config_.scale.map_grid > 0 ? config_.scale.map_grid
+                                      : config_.congestion_grid;
+  }
 
  private:
   const nl::CellLibrary* library_;

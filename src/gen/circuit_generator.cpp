@@ -213,4 +213,11 @@ GeneratedCircuit CircuitGenerator::generate(const BenchmarkSpec& spec, double sc
   return GeneratedCircuit{std::move(netlist), spec.name};
 }
 
+GeneratedCircuit CircuitGenerator::generate(const BenchmarkSpec& spec,
+                                            const ScaleProfile& profile) const {
+  RTP_LOG_DEBUG("gen %s profile=%s (factor %.4f)", spec.name.c_str(),
+                profile.name.c_str(), profile.factor);
+  return generate(spec, profile.factor);
+}
+
 }  // namespace rtp::gen

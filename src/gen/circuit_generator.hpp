@@ -9,6 +9,7 @@
 
 #include "core/rng.hpp"
 #include "gen/benchmarks.hpp"
+#include "gen/scale_profile.hpp"
 #include "netlist/netlist.hpp"
 
 namespace rtp::gen {
@@ -22,8 +23,13 @@ class CircuitGenerator {
  public:
   explicit CircuitGenerator(const nl::CellLibrary& library) : library_(&library) {}
 
-  /// Generates `spec` scaled by `scale` (1.0 = paper-size). Deterministic in
-  /// spec.seed. Scale must keep at least a handful of cells.
+  /// Generates `spec` at `profile`'s scale (see gen/scale_profile.hpp;
+  /// table1/x50 = paper-size). Deterministic in spec.seed and bit-identical
+  /// to the raw-factor overload at the same factor. The profile must keep at
+  /// least a handful of cells.
+  GeneratedCircuit generate(const BenchmarkSpec& spec, const ScaleProfile& profile) const;
+
+  /// Raw-factor convenience overload (an unnamed custom profile).
   GeneratedCircuit generate(const BenchmarkSpec& spec, double scale) const;
 
  private:

@@ -1,0 +1,126 @@
+#include "gen/scale_profile.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/log.hpp"
+
+namespace rtp::gen {
+
+ScaleProfile dev_profile() { return {"dev", 0.02}; }
+ScaleProfile x10_profile() { return {"x10", 0.2}; }
+ScaleProfile x50_profile() { return {"x50", 1.0}; }
+ScaleProfile table1_profile() { return {"table1", 1.0}; }
+
+namespace {
+
+std::vector<ScaleProfile> registry_profiles() {
+  return {dev_profile(), x10_profile(), x50_profile(), table1_profile()};
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::optional<ScaleProfile> registry_lookup(const std::string& name) {
+  for (ScaleProfile& p : registry_profiles()) {
+    if (p.name == name) return std::move(p);
+  }
+  return std::nullopt;
+}
+
+std::nullopt_t fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ScaleProfile> parse_scale_profile(const std::string& spec,
+                                                std::string* error) {
+  const std::string entry = trimmed(spec);
+  if (entry.empty()) return fail(error, "RTP_SCALE spec names no profile");
+  const std::size_t colon = entry.find(':');
+  const std::string name = trimmed(entry.substr(0, colon));
+  if (name.empty()) return fail(error, "profile with empty name in spec");
+  // A bare registry name is the whole profile; a bare unknown name is an
+  // error naming the registry, like an unknown bare corner.
+  std::optional<ScaleProfile> reg = registry_lookup(name);
+  if (colon == std::string::npos) {
+    if (!reg.has_value()) {
+      return fail(error, "profile '" + name +
+                             "': not in the registry and no fields given "
+                             "(expected name:key=value,...)");
+    }
+    return reg;
+  }
+  // name:key=value,... customizes the registry profile of that name, or
+  // builds a fresh profile for an unregistered name.
+  ScaleProfile out = reg.value_or(ScaleProfile{name, 0.0});
+  out.name = name;
+  bool scale_set = reg.has_value();
+  std::string rest = entry.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    std::size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string kv = trimmed(rest.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return fail(error, "profile '" + name + "': field '" + kv +
+                             "' has no value (expected key=value)");
+    }
+    const std::string key = trimmed(kv.substr(0, eq));
+    const std::string value = trimmed(kv.substr(eq + 1));
+    char* end = nullptr;
+    if (key == "scale") {
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          !std::isfinite(parsed) || parsed <= 0.0) {
+        return fail(error, "profile '" + name + "': field 'scale': invalid "
+                               "factor '" + value +
+                               "' (expected a finite positive number)");
+      }
+      out.factor = parsed;
+      scale_set = true;
+    } else if (key == "grid") {
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || parsed <= 0 ||
+          parsed > 4096) {
+        return fail(error, "profile '" + name + "': field 'grid': invalid "
+                               "resolution '" + value +
+                               "' (expected an integer in [1, 4096])");
+      }
+      out.map_grid = static_cast<int>(parsed);
+    } else {
+      return fail(error, "profile '" + name + "': unknown field '" + key +
+                             "' (expected scale or grid)");
+    }
+  }
+  if (!scale_set) {
+    return fail(error,
+                "profile '" + name + "': no scale given for an unregistered "
+                                     "name (expected scale=...)");
+  }
+  return out;
+}
+
+ScaleProfile default_scale_profile(const ScaleProfile& fallback) {
+  const char* env = std::getenv("RTP_SCALE");
+  if (env != nullptr && env[0] != '\0') {
+    std::string error;
+    std::optional<ScaleProfile> parsed = parse_scale_profile(env, &error);
+    if (parsed.has_value()) return *std::move(parsed);
+    RTP_LOG_WARN("ignoring malformed RTP_SCALE (%s); using profile '%s'",
+                 error.c_str(), fallback.name.c_str());
+  }
+  return fallback;
+}
+
+}  // namespace rtp::gen

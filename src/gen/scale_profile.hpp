@@ -1,0 +1,53 @@
+#pragma once
+// Named generator scale profiles.
+//
+// Every knob that used to be an ad-hoc `double scale` argument is now a
+// ScaleProfile: a named point on the axis from the fast development sizes to
+// TABLE I's real circuit sizes. The registry names the interesting points —
+//   dev     0.02   the historical default; seconds-per-design flows/tests
+//   x10     0.2    10x dev: the partitioned-streaming smoke target
+//   x50     1.0    50x dev == full TABLE I scale
+//   table1  1.0    alias of x50, named after what it reproduces
+// — and RTP_SCALE selects or customizes one at runtime with the same
+// warn-and-fall-back contract as RTP_CORNERS (sta/corner.cpp): parse errors
+// name the offending field and the default profile is used; nothing aborts.
+//
+// Spec grammar:  name | name:key=value[,key=value...]
+//   scale   positive fraction of TABLE I sizes (e.g. scale=0.2)
+//   grid    feature/congestion map resolution override, 0 = flow default
+
+#include <optional>
+#include <string>
+
+namespace rtp::gen {
+
+struct ScaleProfile {
+  std::string name = "dev";
+  double factor = 0.02;  ///< fraction of the paper's TABLE I design sizes
+  /// Feature/congestion-map resolution override; 0 keeps the flow's grids.
+  /// Bigger designs need finer maps for the same per-cell resolution.
+  int map_grid = 0;
+
+  ScaleProfile() = default;
+  /// Ad-hoc factors keep working everywhere a profile is expected
+  /// (`config.scale = 0.05` call sites are this conversion).
+  ScaleProfile(double f) : name("custom"), factor(f) {}  // NOLINT
+  ScaleProfile(std::string n, double f, int grid = 0)
+      : name(std::move(n)), factor(f), map_grid(grid) {}
+};
+
+ScaleProfile dev_profile();
+ScaleProfile x10_profile();
+ScaleProfile x50_profile();
+ScaleProfile table1_profile();
+
+/// Parses one RTP_SCALE spec. On failure returns nullopt and, when `error`
+/// is non-null, a diagnostic naming the offending field.
+std::optional<ScaleProfile> parse_scale_profile(const std::string& spec,
+                                                std::string* error);
+
+/// The profile RTP_SCALE selects, else `fallback`. Malformed specs warn with
+/// the parse diagnostic and fall back — same contract as default_corners().
+ScaleProfile default_scale_profile(const ScaleProfile& fallback = dev_profile());
+
+}  // namespace rtp::gen

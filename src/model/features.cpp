@@ -2,10 +2,52 @@
 
 #include <cmath>
 
+#include "part/stream.hpp"
+
 namespace rtp::model {
+
+namespace {
+
+// Per-pin feature extraction shared by the flat and partitioned scans. Pins
+// are independent, so visit order never changes the result.
+void extract_pin(const tg::TimingGraph& graph, const nl::Netlist& netlist,
+                 const layout::Placement& placement, nl::PinId p,
+                 NodeFeatures& f) {
+  // Absolute distance scale, shared across designs: delay depends on µm, not
+  // on the fraction of the die a net spans, and the model must transfer
+  // between designs whose dies differ by an order of magnitude.
+  constexpr double dist_scale = 200.0;  // µm
+
+  const auto& fanin = graph.fanin(p);
+  const bool is_net_node = !fanin.empty() && graph.edge(fanin[0]).is_net;
+  if (is_net_node) {
+    f.kind[static_cast<std::size_t>(p)] = NodeKind::kNetNode;
+    RTP_DCHECK(fanin.size() == 1);  // one driver per net sink
+    const tg::Edge& edge = graph.edge(fanin[0]);
+    const double dist = layout::manhattan(placement.pin_pos(netlist, edge.from),
+                                          placement.pin_pos(netlist, edge.to));
+    f.net_feat.at(p, 0) = static_cast<float>(dist / dist_scale);
+    return;
+  }
+  // Cell node (cell outputs; also launch sources). Port sources keep zeros.
+  const nl::Pin& pin = netlist.pin(p);
+  if (pin.cell == nl::kInvalidId) return;
+  const nl::LibCell& lib = netlist.lib_cell(pin.cell);
+  f.cell_feat.at(p, 0) = std::log2(static_cast<float>(lib.drive)) / 3.0f;
+  f.cell_feat.at(p, 1) = static_cast<float>(lib.input_cap) / 10.0f;
+  f.cell_feat.at(p, 2 + static_cast<int>(lib.kind)) = 1.0f;
+}
+
+}  // namespace
 
 NodeFeatures extract_node_features(const tg::TimingGraph& graph,
                                    const layout::Placement& placement) {
+  return extract_node_features(graph, placement, nullptr);
+}
+
+NodeFeatures extract_node_features(const tg::TimingGraph& graph,
+                                   const layout::Placement& placement,
+                                   const part::Plan* plan) {
   const nl::Netlist& netlist = graph.netlist();
   const int n = netlist.num_pin_slots();
   NodeFeatures f;
@@ -13,31 +55,20 @@ NodeFeatures extract_node_features(const tg::TimingGraph& graph,
   f.cell_feat = nn::Tensor({n, kCellFeatDim});
   f.net_feat = nn::Tensor({n, kNetFeatDim});
 
-  // Absolute distance scale, shared across designs: delay depends on µm, not
-  // on the fraction of the die a net spans, and the model must transfer
-  // between designs whose dies differ by an order of magnitude.
-  constexpr double dist_scale = 200.0;  // µm
+  if (plan != nullptr) {
+    RTP_CHECK(&plan->graph() == &graph);
+    part::StreamExecutor(*plan).run(
+        [&](const part::GraphView& view, std::size_t /*i*/) {
+          for (const std::vector<nl::PinId>& level : *view.levels) {
+            for (nl::PinId p : level) extract_pin(graph, netlist, placement, p, f);
+          }
+        });
+    return f;
+  }
 
   for (nl::PinId p = 0; p < n; ++p) {
     if (!netlist.pin_alive(p)) continue;
-    const auto& fanin = graph.fanin(p);
-    const bool is_net_node = !fanin.empty() && graph.edge(fanin[0]).is_net;
-    if (is_net_node) {
-      f.kind[static_cast<std::size_t>(p)] = NodeKind::kNetNode;
-      RTP_DCHECK(fanin.size() == 1);  // one driver per net sink
-      const tg::Edge& edge = graph.edge(fanin[0]);
-      const double dist = layout::manhattan(placement.pin_pos(netlist, edge.from),
-                                            placement.pin_pos(netlist, edge.to));
-      f.net_feat.at(p, 0) = static_cast<float>(dist / dist_scale);
-      continue;
-    }
-    // Cell node (cell outputs; also launch sources). Port sources keep zeros.
-    const nl::Pin& pin = netlist.pin(p);
-    if (pin.cell == nl::kInvalidId) continue;
-    const nl::LibCell& lib = netlist.lib_cell(pin.cell);
-    f.cell_feat.at(p, 0) = std::log2(static_cast<float>(lib.drive)) / 3.0f;
-    f.cell_feat.at(p, 1) = static_cast<float>(lib.input_cap) / 10.0f;
-    f.cell_feat.at(p, 2 + static_cast<int>(lib.kind)) = 1.0f;
+    extract_pin(graph, netlist, placement, p, f);
   }
   return f;
 }

@@ -14,6 +14,7 @@
 
 #include "layout/placement.hpp"
 #include "nn/tensor.hpp"
+#include "part/partition.hpp"
 #include "sta/corner.hpp"
 #include "timing/timing_graph.hpp"
 
@@ -36,6 +37,14 @@ struct NodeFeatures {
 /// fF / 10, net distance as Manhattan length / die half-perimeter.
 NodeFeatures extract_node_features(const tg::TimingGraph& graph,
                                    const layout::Placement& placement);
+
+/// Plan-aware variant: with a plan, pins are visited partition by partition
+/// (each inside a streaming workspace scope) instead of in one flat netlist
+/// scan. Per-pin features are independent, so the result is bit-identical to
+/// the flat scan; `plan == nullptr` is exactly the two-argument overload.
+NodeFeatures extract_node_features(const tg::TimingGraph& graph,
+                                   const layout::Placement& placement,
+                                   const part::Plan* plan);
 
 /// Corner-conditioning features: row c is {delay_scale - 1, cap_scale - 1,
 /// coupling_scale - 1} of corners[c], so the nominal typical corner is the

@@ -27,7 +27,14 @@ PreparedDesign prepare_design(const flow::DesignData& data, const ModelConfig& c
   pd.name = data.name;
   pd.is_train = data.is_train;
 
-  pd.features = extract_node_features(pd.graph, data.input_placement);
+  // Big graphs stream feature extraction (and later GNN inference) cone by
+  // cone; the plan is rebuilt at each use site because PreparedDesign moves
+  // (vector storage) would dangle a cached plan's graph pointer.
+  {
+    const std::optional<part::Plan> plan = part::maybe_plan(pd.graph);
+    pd.features = extract_node_features(pd.graph, data.input_placement,
+                                        plan.has_value() ? &*plan : nullptr);
+  }
 
   const layout::GridMap density = layout::make_density_map(
       data.input_netlist, data.input_placement, config.grid, config.grid);
@@ -165,7 +172,9 @@ nn::Tensor FusionModel::forward_train(PreparedDesign& design, ForwardCache* cach
   const int rows = num_corners * e;
   nn::Tensor z({rows, d + l + kCornerFeatDim});
   if (net_.gnn) {
-    cache->gnn = net_.gnn->forward(design.graph, design.features);
+    // Training always takes the trivial full view: backward's grad_h scatter
+    // must fold in whole-graph level order to stay bit-stable.
+    cache->gnn = net_.gnn->forward(part::GraphView::full(design.graph), design.features);
     for (int c = 0; c < num_corners; ++c) {
       for (int i = 0; i < e; ++i) {
         const nl::PinId ep = design.endpoints[static_cast<std::size_t>(i)];
@@ -268,7 +277,8 @@ float FusionModel::train_step(PreparedDesign& design) {
         for (int k = 0; k < d; ++k) grad_h.at(ep, k) += gz.at(c * e + i, k);
       }
     }
-    net_.gnn->backward(design.graph, design.features, cache.gnn, grad_h);
+    net_.gnn->backward(part::GraphView::full(design.graph), design.features,
+                       cache.gnn, grad_h);
   }
 
   adam_->step();

@@ -24,17 +24,18 @@ EndpointGNN::EndpointGNN(const ModelConfig& config, Rng& rng)
       f_c2_({kCellFeatDim, config.gnn_hidden, config.gnn_hidden, config.gnn_embed}, rng),
       f_n_({kNetFeatDim, config.gnn_hidden, config.gnn_hidden, config.gnn_embed}, rng) {}
 
-EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
+EndpointGNN::ForwardState EndpointGNN::forward(const part::GraphView& view,
                                                const NodeFeatures& features) {
   RTP_TRACE_SCOPE("gnn.forward");
-  RTP_COUNT("gnn.levels", graph.nodes_by_level().size());
-  RTP_COUNT("gnn.nodes", graph.num_nodes());
+  RTP_COUNT("gnn.levels", view.num_levels());
+  RTP_COUNT("gnn.nodes", view.graph->num_nodes());
+  const tg::TimingGraph& graph = *view.graph;
   const int d = embed_;
   ForwardState state;
-  state.h = nn::Tensor({graph.num_nodes(), d});
-  state.levels.reserve(graph.nodes_by_level().size());
+  state.h = nn::Tensor({view.num_rows(), d});
+  state.levels.reserve(view.num_levels());
 
-  for (const std::vector<nl::PinId>& level_nodes : graph.nodes_by_level()) {
+  for (const std::vector<nl::PinId>& level_nodes : *view.levels) {
     LevelCache cache;
     for (nl::PinId p : level_nodes) {
       if (features.kind[static_cast<std::size_t>(p)] == NodeKind::kNetNode) {
@@ -64,7 +65,7 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
             feat.at(i, k) = features.cell_feat.at(p, k);
           bool first = true;
           for (std::int32_t e : graph.fanin(p)) {
-            const nl::PinId u = graph.edge(e).from;
+            const std::int32_t u = view.row(graph.edge(e).from);
             for (int k = 0; k < d; ++k) {
               const float hu = state.h.at(u, k);
               if (first || hu > cache.max_agg.at(i, k)) {
@@ -85,7 +86,7 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
-          for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
+          for (int k = 0; k < d; ++k) state.h.at(view.row(p), k) = out.at(i, k);
         }
       });
     }
@@ -107,7 +108,8 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
       // least driver level + 1), so their h rows are already final.
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
-          const nl::PinId drv = cache.net_drivers[static_cast<std::size_t>(i)];
+          const std::int32_t drv =
+              view.row(cache.net_drivers[static_cast<std::size_t>(i)]);
           for (int k = 0; k < d; ++k) un.at(i, k) += state.h.at(drv, k);
         }
       });
@@ -115,7 +117,7 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
-          for (int k = 0; k < d; ++k) state.h.at(p, k) = out.at(i, k);
+          for (int k = 0; k < d; ++k) state.h.at(view.row(p), k) = out.at(i, k);
         }
       });
     }
@@ -129,16 +131,16 @@ EndpointGNN::ForwardState EndpointGNN::forward(const tg::TimingGraph& graph,
 // scatter order — but keeps no caches and touches no members, so it is const
 // and safe under concurrent callers. The max-aggregate uses the identical
 // first/max update rule, so every h row is bit-identical to forward().h.
-nn::Tensor EndpointGNN::infer(const tg::TimingGraph& graph,
-                              const NodeFeatures& features) const {
+void EndpointGNN::infer_into(const part::GraphView& view,
+                             const NodeFeatures& features, nn::Tensor& h) const {
   RTP_TRACE_SCOPE("gnn.infer");
-  RTP_COUNT("gnn.levels", graph.nodes_by_level().size());
-  RTP_COUNT("gnn.nodes", graph.num_nodes());
+  RTP_COUNT("gnn.levels", view.num_levels());
+  RTP_CHECK(h.dim(0) == view.num_rows() && h.dim(1) == embed_);
+  const tg::TimingGraph& graph = *view.graph;
   const int d = embed_;
-  nn::Tensor h({graph.num_nodes(), d});
   std::vector<nl::PinId> cell_nodes, net_nodes, net_drivers;
 
-  for (const std::vector<nl::PinId>& level_nodes : graph.nodes_by_level()) {
+  for (const std::vector<nl::PinId>& level_nodes : *view.levels) {
     cell_nodes.clear();
     net_nodes.clear();
     net_drivers.clear();
@@ -166,7 +168,7 @@ nn::Tensor EndpointGNN::infer(const tg::TimingGraph& graph,
             feat.at(i, k) = features.cell_feat.at(p, k);
           bool first = true;
           for (std::int32_t e : graph.fanin(p)) {
-            const nl::PinId u = graph.edge(e).from;
+            const std::int32_t u = view.row(graph.edge(e).from);
             for (int k = 0; k < d; ++k) {
               const float hu = h.at(u, k);
               if (first || hu > max_agg.at(i, k)) max_agg.at(i, k) = hu;
@@ -181,7 +183,7 @@ nn::Tensor EndpointGNN::infer(const tg::TimingGraph& graph,
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cell_nodes[static_cast<std::size_t>(i)];
-          for (int k = 0; k < d; ++k) h.at(p, k) = out.at(i, k);
+          for (int k = 0; k < d; ++k) h.at(view.row(p), k) = out.at(i, k);
         }
       });
     }
@@ -200,7 +202,8 @@ nn::Tensor EndpointGNN::infer(const tg::TimingGraph& graph,
       nn::Tensor un = f_n_.infer(feat);
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
-          const nl::PinId drv = net_drivers[static_cast<std::size_t>(i)];
+          const std::int32_t drv =
+              view.row(net_drivers[static_cast<std::size_t>(i)]);
           for (int k = 0; k < d; ++k) un.at(i, k) += h.at(drv, k);
         }
       });
@@ -208,18 +211,38 @@ nn::Tensor EndpointGNN::infer(const tg::TimingGraph& graph,
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = net_nodes[static_cast<std::size_t>(i)];
-          for (int k = 0; k < d; ++k) h.at(p, k) = out.at(i, k);
+          for (int k = 0; k < d; ++k) h.at(view.row(p), k) = out.at(i, k);
         }
       });
     }
   }
+}
+
+nn::Tensor EndpointGNN::infer(const part::GraphView& view,
+                              const NodeFeatures& features) const {
+  RTP_COUNT("gnn.nodes", view.graph->num_nodes());
+  nn::Tensor h({view.num_rows(), embed_});
+  infer_into(view, features, h);
   return h;
 }
 
-void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
+nn::Tensor EndpointGNN::infer_streamed(const part::Plan& plan,
+                                       const NodeFeatures& features) const {
+  RTP_TRACE_SCOPE("gnn.infer_streamed");
+  RTP_COUNT("gnn.nodes", plan.graph().num_nodes());
+  RTP_COUNT("gnn.partitioned_infers", 1);
+  // One globally indexed embedding buffer: each partition writes its own
+  // pins' rows and reads boundary rows earlier partitions finished.
+  nn::Tensor h({plan.graph().num_nodes(), embed_});
+  part::StreamExecutor(plan).run(
+      [&](const part::GraphView& view, std::size_t) { infer_into(view, features, h); });
+  return h;
+}
+
+void EndpointGNN::backward(const part::GraphView& view, const NodeFeatures&,
                            const ForwardState& state, nn::Tensor& grad_h) {
   RTP_TRACE_SCOPE("gnn.backward");
-  RTP_CHECK(grad_h.dim(0) == graph.num_nodes() && grad_h.dim(1) == embed_);
+  RTP_CHECK(grad_h.dim(0) == view.num_rows() && grad_h.dim(1) == embed_);
   const int d = embed_;
   for (std::size_t li = state.levels.size(); li-- > 0;) {
     const LevelCache& cache = state.levels[li];
@@ -233,7 +256,7 @@ void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cache.net_nodes[static_cast<std::size_t>(i)];
-          for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
+          for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(view.row(p), k);
         }
       });
       nn::ReLU::backward_(&g, cache.net_relu);
@@ -243,7 +266,8 @@ void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
       // It is O(level * D) against the O(level * D * hidden) MLP backward,
       // whose matmuls are parallel.
       for (int i = 0; i < b; ++i) {
-        const nl::PinId drv = cache.net_drivers[static_cast<std::size_t>(i)];
+        const std::int32_t drv =
+            view.row(cache.net_drivers[static_cast<std::size_t>(i)]);
         for (int k = 0; k < d; ++k) grad_h.at(drv, k) += g.at(i, k);
       }
       f_n_.backward(g, cache.n_cache);
@@ -256,7 +280,7 @@ void EndpointGNN::backward(const tg::TimingGraph& graph, const NodeFeatures&,
       core::parallel_for(0, b, node_grain(d), [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < hi; ++i) {
           const nl::PinId p = cache.cell_nodes[static_cast<std::size_t>(i)];
-          for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(p, k);
+          for (int k = 0; k < d; ++k) g.at(i, k) = grad_h.at(view.row(p), k);
         }
       });
       nn::ReLU::backward_(&g, cache.cell_relu);

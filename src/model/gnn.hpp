@@ -14,12 +14,25 @@
 // Unlike a fixed-K-layer GNN, one forward pass spans the full topological
 // depth of the netlist, so each endpoint's embedding summarizes its entire
 // fanin cone — the paper's "receptive field".
+//
+// Every pass takes a part::GraphView naming the level groups to sweep.
+// Whole-graph callers pass the graph itself (the trivial full view, via the
+// implicit conversion) and are bit-identical to the pre-view API. Large
+// designs stream partition views instead: infer_streamed pages a
+// part::Plan's endpoint cones through bounded workspace scratch, each
+// partition reading its boundary rows from the shared embedding buffer —
+// bit-identical to the whole-graph infer because the per-row batched GEMMs
+// accumulate along k in a fixed order regardless of batch splitting.
+// Training (forward/backward) keeps the full view: splitting backward's
+// grad_h scatter across partitions would reorder float accumulation.
 
 #include <vector>
 
 #include "model/config.hpp"
 #include "model/features.hpp"
 #include "nn/mlp.hpp"
+#include "part/partition.hpp"
+#include "part/stream.hpp"
 
 namespace rtp::model {
 
@@ -33,28 +46,41 @@ class EndpointGNN {
     std::vector<nl::PinId> net_nodes;
     std::vector<nl::PinId> net_drivers;      ///< aligned with net_nodes
     nn::Tensor max_agg;                      ///< (#cell, D) pre-f_c1 input
-    std::vector<std::int32_t> argmax;        ///< (#cell * D) winning pred pin, -1 if none
+    std::vector<std::int32_t> argmax;        ///< (#cell * D) winning pred row, -1 if none
     nn::MlpCache c1_cache, c2_cache, n_cache;
     nn::ReluMask cell_relu, net_relu;        ///< output activation masks
   };
 
   struct ForwardState {
-    nn::Tensor h;  ///< (pin slots, D) final embedding per pin
+    nn::Tensor h;  ///< (view rows, D) final embedding per pin
     std::vector<LevelCache> levels;
   };
 
-  /// Full-graph forward pass.
-  ForwardState forward(const tg::TimingGraph& graph, const NodeFeatures& features);
+  /// Training forward pass over a view (callers pass the graph for the
+  /// trivial full view).
+  ForwardState forward(const part::GraphView& view, const NodeFeatures& features);
 
-  /// Inference-only forward: returns just the (pin slots, D) embeddings,
+  /// Inference-only forward: returns just the (view rows, D) embeddings,
   /// records nothing for backward, and writes no member state — safe to call
   /// concurrently on one instance. Bit-identical to forward().h.
-  nn::Tensor infer(const tg::TimingGraph& graph, const NodeFeatures& features) const;
+  nn::Tensor infer(const part::GraphView& view, const NodeFeatures& features) const;
 
-  /// Backpropagates `grad_h` (pin slots, D; typically nonzero only at
-  /// endpoints) through the message-passing schedule, accumulating parameter
-  /// gradients. `grad_h` is consumed (used as the running gradient buffer).
-  void backward(const tg::TimingGraph& graph, const NodeFeatures& features,
+  /// Like infer() but into a caller-owned buffer of (view rows, D) — only
+  /// the view's rows are written, so a sequence of views sharing one
+  /// globally indexed buffer composes into the whole-graph result.
+  void infer_into(const part::GraphView& view, const NodeFeatures& features,
+                  nn::Tensor& h) const;
+
+  /// Streams the plan's partitions through infer_into inside per-partition
+  /// workspace scopes (part::StreamExecutor). Bit-identical to
+  /// infer(plan.graph(), features) for any budget and thread count.
+  nn::Tensor infer_streamed(const part::Plan& plan, const NodeFeatures& features) const;
+
+  /// Backpropagates `grad_h` (view rows, D; typically nonzero only at
+  /// endpoints) through the message-passing schedule recorded in `state`,
+  /// accumulating parameter gradients. `grad_h` is consumed (used as the
+  /// running gradient buffer).
+  void backward(const part::GraphView& view, const NodeFeatures& features,
                 const ForwardState& state, nn::Tensor& grad_h);
 
   std::vector<nn::Param*> params();

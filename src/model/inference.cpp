@@ -107,7 +107,15 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
   std::vector<nn::Tensor> h(designs.size());
   std::vector<nn::Tensor> maps(designs.size());
   for (std::size_t g = 0; g < designs.size(); ++g) {
-    if (net.gnn) h[g] = net.gnn->infer(designs[g]->graph, designs[g]->features);
+    if (net.gnn) {
+      // Big designs stream partition views through bounded workspace scratch;
+      // small ones take the trivial full view. Same bits either way.
+      const std::optional<part::Plan> plan = part::maybe_plan(designs[g]->graph);
+      h[g] = plan.has_value()
+                 ? net.gnn->infer_streamed(*plan, designs[g]->features)
+                 : net.gnn->infer(part::GraphView::full(designs[g]->graph),
+                                  designs[g]->features);
+    }
     if (net.layout) maps[g] = net.layout->infer_map(designs[g]->layout_input);
   }
 

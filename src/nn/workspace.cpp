@@ -1,5 +1,8 @@
 #include "nn/workspace.hpp"
 
+#include <algorithm>
+
+#include "core/check.hpp"
 #include "obs/obs.hpp"
 
 namespace rtp::nn {
@@ -7,6 +10,43 @@ namespace rtp::nn {
 Workspace& Workspace::instance() {
   static Workspace ws;
   return ws;
+}
+
+bool Workspace::scope_open_locked(std::uint64_t id) const {
+  return std::find(open_scopes_.begin(), open_scopes_.end(), id) !=
+         open_scopes_.end();
+}
+
+Workspace::ScopeGuard::ScopeGuard() {
+  Workspace& ws = Workspace::instance();
+  std::lock_guard<std::mutex> lock(ws.mu_);
+  id_ = ws.next_scope_++;
+  ws.open_scopes_.push_back(id_);
+}
+
+Workspace::ScopeGuard::~ScopeGuard() {
+  Workspace& ws = Workspace::instance();
+  std::lock_guard<std::mutex> lock(ws.mu_);
+  RTP_CHECK_MSG(!ws.open_scopes_.empty() && ws.open_scopes_.back() == id_,
+                "Workspace scopes must be destroyed in LIFO order");
+  ws.open_scopes_.pop_back();
+  // Drop everything this scope acquired that has already come back to the
+  // free-list. Tensors still handed out keep their tag in live_scope_ and
+  // are freed at their release() instead (the scope id is never reused).
+  std::size_t freed = 0;
+  for (auto it = ws.free_.begin(); it != ws.free_.end();) {
+    std::vector<Pooled>& list = it->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](Pooled& p) {
+                                if (p.scope != id_) return false;
+                                freed += p.t.numel() * sizeof(float);
+                                return true;
+                              }),
+               list.end());
+    it = list.empty() ? ws.free_.erase(it) : std::next(it);
+  }
+  ws.pooled_bytes_ -= freed;
+  RTP_COUNT_SCHED("ws.scope_freed_bytes", freed);
 }
 
 Tensor Workspace::acquire_dirty(const std::vector<int>& shape) {
@@ -18,9 +58,14 @@ Tensor Workspace::acquire_dirty(const std::vector<int>& shape) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = free_.find(shape);
     if (it != free_.end() && !it->second.empty()) {
-      Tensor t = std::move(it->second.back());
+      Tensor t = std::move(it->second.back().t);
       it->second.pop_back();
       pooled_bytes_ -= t.numel() * sizeof(float);
+      if (!open_scopes_.empty()) {
+        live_scope_.insert_or_assign(t.data(), open_scopes_.back());
+      } else {
+        live_scope_.erase(t.data());
+      }
       RTP_COUNT_SCHED("ws.reuse_hits", 1);
       RTP_COUNT_SCHED("ws.reuse_bytes", t.numel() * sizeof(float));
       return t;
@@ -30,6 +75,16 @@ Tensor Workspace::acquire_dirty(const std::vector<int>& shape) {
   // acquire() would repeat; the double fill only happens on the first use of
   // a shape.
   Tensor t(shape);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_scopes_.empty()) {
+      live_scope_.insert_or_assign(t.data(), open_scopes_.back());
+    } else {
+      // A fresh allocation can land at an address a never-released scoped
+      // tensor once had; make sure no stale tag survives.
+      live_scope_.erase(t.data());
+    }
+  }
   RTP_COUNT_SCHED("ws.alloc_bytes", t.numel() * sizeof(float));
   return t;
 }
@@ -43,9 +98,21 @@ Tensor Workspace::acquire(const std::vector<int>& shape) {
 void Workspace::release(Tensor&& t) {
   if (t.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t scope = 0;
+  auto it = live_scope_.find(t.data());
+  if (it != live_scope_.end()) {
+    scope = it->second;
+    live_scope_.erase(it);
+  }
+  if (scope != 0 && !scope_open_locked(scope)) {
+    // Acquired inside a scope that has exited: free instead of pooling.
+    RTP_COUNT_SCHED("ws.scope_freed_bytes", t.numel() * sizeof(float));
+    return;
+  }
   pooled_bytes_ += t.numel() * sizeof(float);
+  pooled_bytes_peak_ = std::max(pooled_bytes_peak_, pooled_bytes_);
   RTP_GAUGE_MAX("ws.pooled_bytes_peak", pooled_bytes_);
-  free_[t.shape()].push_back(std::move(t));
+  free_[t.shape()].push_back(Pooled{std::move(t), scope});
 }
 
 void Workspace::clear() {
@@ -64,6 +131,16 @@ std::size_t Workspace::pooled_tensors() const {
 std::size_t Workspace::pooled_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pooled_bytes_;
+}
+
+std::size_t Workspace::pooled_bytes_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pooled_bytes_peak_;
+}
+
+void Workspace::reset_pooled_bytes_peak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pooled_bytes_peak_ = 0;
 }
 
 }  // namespace rtp::nn

@@ -15,10 +15,20 @@
 //    outlive it; anything handed to callers is computed into a normal Tensor.
 //  - Handles may be created/destroyed concurrently from pool workers; the
 //    free-list is mutex-protected and handed-out tensors are exclusive.
-//  - Pooled storage lives until clear() or process exit. Shapes recur per
-//    model configuration, so the pool's footprint is bounded by the largest
-//    working set of one training step.
+//  - Pooled storage lives until clear() or process exit — unless acquired
+//    inside a ScopeGuard, which bounds its lifetime to the scope.
+//
+// Lifetime scopes: by default the pool's footprint is bounded by the largest
+// working set of one training step, which is exactly what streaming a large
+// design partition by partition must avoid — partition N's gathers must not
+// stay pooled while partitions N+1.. run. A ScopeGuard opens a scope on the
+// arena: every tensor *acquired* while the scope is open is tagged with it,
+// and when the guard exits, tagged tensors sitting in the free-list are
+// freed and tagged tensors still out are freed at their release() instead of
+// pooled. Scopes nest LIFO (enforced); with no scope open the arena behaves
+// exactly as before.
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -32,12 +42,27 @@ class Workspace {
   /// The process-wide arena used by the nn/model hot paths.
   static Workspace& instance();
 
+  /// Opens a lifetime scope on the process-wide arena for its own lifetime:
+  /// everything acquired inside the scope is freed — not pooled — once the
+  /// scope has exited. Scopes must nest (strict LIFO destruction order).
+  class ScopeGuard {
+   public:
+    ScopeGuard();
+    ~ScopeGuard();
+    ScopeGuard(const ScopeGuard&) = delete;
+    ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+   private:
+    std::uint64_t id_;
+  };
+
   /// A zero-filled tensor of `shape`, recycled from the free-list if possible.
   Tensor acquire(const std::vector<int>& shape);
   /// Like acquire() but the contents are unspecified; use only when every
   /// element is overwritten before being read.
   Tensor acquire_dirty(const std::vector<int>& shape);
-  /// Parks a tensor for reuse. Empty tensors are dropped.
+  /// Parks a tensor for reuse — or frees it, if it was acquired inside a
+  /// scope that has since exited. Empty tensors are dropped.
   void release(Tensor&& t);
 
   /// Frees all pooled storage (tests, memory pressure).
@@ -46,12 +71,33 @@ class Workspace {
   std::size_t pooled_tensors() const;
   std::size_t pooled_bytes() const;
 
+  /// High-water mark of pooled_bytes() since the last reset; the native
+  /// counterpart of the "ws.pooled_bytes_peak" obs gauge, available in
+  /// RTP_OBS=OFF builds (the bench memory-bound assertions read it).
+  std::size_t pooled_bytes_peak() const;
+  void reset_pooled_bytes_peak();
+
  private:
   Workspace() = default;
 
+  /// Free-list entry: the parked tensor and the scope it was acquired under
+  /// (0 = no scope).
+  struct Pooled {
+    Tensor t;
+    std::uint64_t scope = 0;
+  };
+
+  bool scope_open_locked(std::uint64_t id) const;
+
   mutable std::mutex mu_;
-  std::map<std::vector<int>, std::vector<Tensor>> free_;
+  std::map<std::vector<int>, std::vector<Pooled>> free_;
   std::size_t pooled_bytes_ = 0;  ///< running total of free-list bytes (under mu_)
+  std::size_t pooled_bytes_peak_ = 0;
+  std::vector<std::uint64_t> open_scopes_;  ///< innermost last
+  std::uint64_t next_scope_ = 1;
+  /// Scope tag of every tensor currently handed out that was acquired while
+  /// a scope was open, keyed by its (stable) storage pointer.
+  std::map<const float*, std::uint64_t> live_scope_;
 };
 
 /// RAII scratch-tensor handle: acquires from the arena on construction and

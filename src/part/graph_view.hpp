@@ -1,0 +1,63 @@
+#pragma once
+// A view over a subset of the levelized timing graph.
+//
+// Every level-synchronous sweep in the repo (STA arrival/required, GNN
+// message passing, feature extraction) walks `nodes_by_level()` buckets and
+// indexes per-pin arrays by global PinId. A GraphView generalizes that: it
+// names *which* level groups to walk while adjacency (fanin/fanout/edge) and
+// row indexing still come from the full graph, so a sweep over a sequence of
+// views that covers every live pin exactly once — in an order where each
+// pin's producers run first — is bit-identical to the whole-graph sweep.
+//
+// The trivial full view (GraphView::full, or the implicit conversion from
+// TimingGraph) walks the graph's own buckets; partition views (part::Plan)
+// walk one endpoint cone's level groups.
+
+#include <cstdint>
+#include <vector>
+
+#include "timing/timing_graph.hpp"
+
+namespace rtp::part {
+
+struct GraphView {
+  const tg::TimingGraph* graph = nullptr;
+  /// Level groups to sweep, ascending by topological level; each group holds
+  /// pins of one level (a subset of the graph's bucket for that level).
+  const std::vector<std::vector<nl::PinId>>* levels = nullptr;
+  /// Optional pin -> row remap for compacted per-view buffers; null means
+  /// identity (rows indexed by global PinId). Views whose sweeps read rows
+  /// produced by *other* views (partition views reading boundary pins) must
+  /// keep the identity mapping so producer and consumer agree on rows.
+  const std::vector<std::int32_t>* remap = nullptr;
+  /// Row count of buffers addressed through row(); 0 means "one row per pin
+  /// slot of the graph" (the identity mapping's natural size).
+  int rows = 0;
+
+  /// The whole-graph view: every existing call site is this, bit for bit.
+  static GraphView full(const tg::TimingGraph& g) {
+    return GraphView{&g, &g.nodes_by_level(), nullptr, 0};
+  }
+
+  /// Whole-graph callers keep passing the graph itself (the trivial view).
+  GraphView(const tg::TimingGraph& g)  // NOLINT(google-explicit-constructor)
+      : graph(&g), levels(&g.nodes_by_level()) {}
+
+  GraphView(const tg::TimingGraph* g, const std::vector<std::vector<nl::PinId>>* lv,
+            const std::vector<std::int32_t>* rm, int r)
+      : graph(g), levels(lv), remap(rm), rows(r) {}
+
+  std::int32_t row(nl::PinId p) const {
+    return remap != nullptr ? (*remap)[static_cast<std::size_t>(p)]
+                            : static_cast<std::int32_t>(p);
+  }
+
+  int num_rows() const { return rows > 0 ? rows : graph->num_nodes(); }
+  std::size_t num_levels() const { return levels->size(); }
+
+  bool is_full(const tg::TimingGraph& g) const {
+    return graph == &g && levels == &g.nodes_by_level() && remap == nullptr;
+  }
+};
+
+}  // namespace rtp::part

@@ -1,0 +1,187 @@
+#include "part/partition.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+
+#include "core/check.hpp"
+#include "core/log.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::part {
+
+namespace {
+
+// Runtime off-switch, mirroring the RTP_NO_FUSION pattern in nn/kernels.cpp:
+// -1 = follow the environment, 0/1 = forced by a test override.
+std::atomic<int> partition_override{-1};
+
+bool env_no_partition() {
+  static const bool no_part = [] {
+    const char* env = std::getenv("RTP_NO_PARTITION");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return no_part;
+}
+
+}  // namespace
+
+bool partitioning_enabled() {
+  const int o = partition_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return !env_no_partition();
+}
+
+void set_partitioning_enabled(bool on) {
+  partition_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void reset_partitioning_override() {
+  partition_override.store(-1, std::memory_order_relaxed);
+}
+
+int default_partition_budget() {
+  static const int budget = [] {
+    const char* env = std::getenv("RTP_PART_BUDGET");
+    if (env == nullptr || env[0] == '\0') return kDefaultBudget;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0 ||
+        v > static_cast<long>(std::numeric_limits<int>::max())) {
+      RTP_LOG_WARN(
+          "ignoring malformed RTP_PART_BUDGET '%s' (expected a positive pin "
+          "count); using %d",
+          env, kDefaultBudget);
+      return kDefaultBudget;
+    }
+    return static_cast<int>(v);
+  }();
+  return budget;
+}
+
+Plan Plan::build(const tg::TimingGraph& graph, int budget) {
+  RTP_CHECK_MSG(budget > 0, "partition budget must be positive");
+  Plan plan;
+  plan.graph_ = &graph;
+  plan.budget_ = budget;
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  plan.owner_.assign(n, -1);
+
+  // Cone assignment: endpoints in canonical order, each claiming its whole
+  // not-yet-assigned transitive fanin. Claiming the full unassigned cone is
+  // what guarantees fanin owner <= owner — a later partition can never own a
+  // producer of an earlier one.
+  std::vector<std::vector<nl::PinId>> part_endpoints(1);
+  std::vector<nl::PinId> stack;
+  std::int32_t cur = 0;
+  int cur_count = 0;
+  for (nl::PinId ep : graph.endpoints()) {
+    if (plan.owner_[static_cast<std::size_t>(ep)] != -1) {
+      // Endpoints have no fanout in the DAG, so another cone can only have
+      // claimed `ep` if the netlist aliases it; keep it with its owner.
+      part_endpoints[static_cast<std::size_t>(
+                         plan.owner_[static_cast<std::size_t>(ep)])]
+          .push_back(ep);
+      continue;
+    }
+    stack.push_back(ep);
+    while (!stack.empty()) {
+      const nl::PinId p = stack.back();
+      stack.pop_back();
+      if (plan.owner_[static_cast<std::size_t>(p)] != -1) continue;
+      plan.owner_[static_cast<std::size_t>(p)] = cur;
+      ++cur_count;
+      for (std::int32_t e : graph.fanin(p)) stack.push_back(graph.edge(e).from);
+    }
+    part_endpoints[static_cast<std::size_t>(cur)].push_back(ep);
+    if (cur_count >= budget) {
+      ++cur;
+      cur_count = 0;
+      part_endpoints.emplace_back();
+    }
+  }
+
+  // Residue: live pins reaching no endpoint. They only ever drive other
+  // residue pins (anything on an endpoint cone is already owned), so the
+  // highest-indexed partition is the one place they can legally go.
+  bool has_residue = false;
+  for (const std::vector<nl::PinId>& bucket : graph.nodes_by_level()) {
+    for (nl::PinId p : bucket) {
+      if (plan.owner_[static_cast<std::size_t>(p)] == -1) {
+        plan.owner_[static_cast<std::size_t>(p)] = cur;
+        has_residue = true;
+      }
+    }
+  }
+  const std::size_t parts = static_cast<std::size_t>(cur) +
+                            ((cur_count > 0 || has_residue) ? 1 : 0);
+  part_endpoints.resize(parts);
+  plan.partitions_.resize(parts);
+  for (std::size_t i = 0; i < parts; ++i) {
+    plan.partitions_[i].endpoints = std::move(part_endpoints[i]);
+  }
+
+  // Level groups: one pass over the graph's buckets keeps each partition's
+  // within-group pin order identical to the whole-graph bucket order.
+  std::vector<int> last_level(parts, -1);
+  const std::vector<std::vector<nl::PinId>>& by_level = graph.nodes_by_level();
+  for (std::size_t li = 0; li < by_level.size(); ++li) {
+    for (nl::PinId p : by_level[li]) {
+      const std::size_t o =
+          static_cast<std::size_t>(plan.owner_[static_cast<std::size_t>(p)]);
+      Partition& pt = plan.partitions_[o];
+      if (last_level[o] != static_cast<int>(li)) {
+        if (pt.levels.empty()) pt.level_begin = static_cast<int>(li);
+        pt.levels.emplace_back();
+        pt.level_end = static_cast<int>(li) + 1;
+        last_level[o] = static_cast<int>(li);
+      }
+      pt.levels.back().push_back(p);
+      ++pt.num_nodes;
+    }
+  }
+
+  // Boundary pins: fanin sources owned by an earlier partition, deduplicated
+  // per (pin, partition).
+  std::vector<std::int32_t> seen(n, -1);
+  for (std::size_t i = 0; i < parts; ++i) {
+    Partition& pt = plan.partitions_[i];
+    for (const std::vector<nl::PinId>& group : pt.levels) {
+      for (nl::PinId p : group) {
+        for (std::int32_t e : graph.fanin(p)) {
+          const tg::Edge& edge = graph.edge(e);
+          const nl::PinId u = edge.from;
+          const std::int32_t o = plan.owner_[static_cast<std::size_t>(u)];
+          if (o == static_cast<std::int32_t>(i)) continue;
+          RTP_DCHECK(o >= 0 && o < static_cast<std::int32_t>(i));
+          if (seen[static_cast<std::size_t>(u)] == static_cast<std::int32_t>(i))
+            continue;
+          seen[static_cast<std::size_t>(u)] = static_cast<std::int32_t>(i);
+          pt.boundary.push_back(CutPin{u, o, edge.is_net});
+        }
+      }
+    }
+    plan.total_cut_pins_ += pt.boundary.size();
+    plan.max_partition_nodes_ = std::max(plan.max_partition_nodes_, pt.num_nodes);
+  }
+
+  RTP_COUNT("part.plans", 1);
+  RTP_COUNT("part.partitions", parts);
+  RTP_COUNT("part.cut_pins", plan.total_cut_pins_);
+  RTP_GAUGE_MAX("part.max_partition_nodes", plan.max_partition_nodes_);
+  return plan;
+}
+
+std::optional<Plan> maybe_plan(const tg::TimingGraph& graph) {
+  if (!partitioning_enabled()) return std::nullopt;
+  const int budget = default_partition_budget();
+  std::size_t live = 0;
+  for (const std::vector<nl::PinId>& bucket : graph.nodes_by_level())
+    live += bucket.size();
+  // A graph that fits in one budget gains nothing from a one-partition plan.
+  if (live <= static_cast<std::size_t>(budget)) return std::nullopt;
+  return Plan::build(graph, budget);
+}
+
+}  // namespace rtp::part

@@ -1,0 +1,111 @@
+#pragma once
+// Order-preserving endpoint-cone partitioning of the levelized timing graph
+// (the PreRoutGNN-style scaling move named in ROADMAP/PAPERS.md).
+//
+// Plan::build walks the graph's endpoints in their canonical order and
+// assigns each endpoint's not-yet-assigned transitive fanin cone to the
+// current partition, closing the partition once it holds at least `budget`
+// pins. Live pins that reach no endpoint land in one final residue
+// partition. Two invariants make this a legal streaming schedule:
+//
+//   fanin owner  <= owner(p)   (a cone claims its whole unassigned fanin), so
+//   sweeping partitions in index order, levels ascending, sees every
+//   producer before its consumer — the forward/GNN direction;
+//
+//   fanout owner >= owner(p)   (contrapositive of the above), so sweeping
+//   partitions in reverse, levels descending, is legal for the required-time
+//   pull — the backward direction.
+//
+// Within a partition the level groups preserve the graph's bucket order, and
+// every sweep is a per-pin *pull* over fanin/fanout edges in the graph's
+// edge order, so partitioned results are bit-identical to the whole-graph
+// sweep for any budget and any RTP_THREADS (fuzz-enforced in part_test).
+//
+// Pins a partition reads but does not own (fanin sources assigned to earlier
+// partitions) are materialized as typed cut-points (CutPin), giving the
+// streaming executor and diagnostics the exact cross-partition data flow.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "part/graph_view.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace rtp::part {
+
+/// A pin read by a partition but computed by an earlier one.
+struct CutPin {
+  nl::PinId pin = nl::kInvalidId;
+  std::int32_t owner = -1;     ///< partition index that computes the pin
+  bool via_net_edge = false;   ///< cut crosses a net edge (else a cell arc)
+};
+
+struct Partition {
+  /// Member pins grouped by global topological level, ascending; only
+  /// non-empty groups are stored. Within a group, pins keep the relative
+  /// order of the graph's nodes_by_level() bucket.
+  std::vector<std::vector<nl::PinId>> levels;
+  /// Endpoints whose cones closed in this partition (empty for the residue).
+  std::vector<nl::PinId> endpoints;
+  /// Cut-points: pins of earlier partitions this one reads over fanin edges.
+  std::vector<CutPin> boundary;
+  int num_nodes = 0;
+  int level_begin = 0;  ///< global level of levels.front()
+  int level_end = 0;    ///< one past the global level of levels.back()
+};
+
+class Plan {
+ public:
+  /// Partitions `graph` into endpoint cones of at least `budget` pins each
+  /// (the last cone of a partition may overshoot; one cone is never split).
+  /// The graph must not have been incrementally edited since its build.
+  static Plan build(const tg::TimingGraph& graph, int budget);
+
+  const tg::TimingGraph& graph() const { return *graph_; }
+  std::size_t num_partitions() const { return partitions_.size(); }
+  const Partition& partition(std::size_t i) const { return partitions_[i]; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// Sweepable view of one partition. Identity row mapping: partition sweeps
+  /// read boundary rows written by earlier partitions, so all partitions
+  /// share one globally indexed buffer.
+  GraphView view(std::size_t i) const {
+    return GraphView{graph_, &partitions_[i].levels, nullptr, 0};
+  }
+
+  /// Owning partition of a pin; -1 for dead pins.
+  std::int32_t owner(nl::PinId p) const { return owner_[static_cast<std::size_t>(p)]; }
+
+  int budget() const { return budget_; }
+  std::size_t total_cut_pins() const { return total_cut_pins_; }
+  int max_partition_nodes() const { return max_partition_nodes_; }
+
+ private:
+  Plan() = default;
+
+  const tg::TimingGraph* graph_ = nullptr;
+  std::vector<Partition> partitions_;
+  std::vector<std::int32_t> owner_;
+  int budget_ = 0;
+  std::size_t total_cut_pins_ = 0;
+  int max_partition_nodes_ = 0;
+};
+
+/// Partitioned execution is on by default; RTP_NO_PARTITION=1 (or the test
+/// override) forces every sweep back onto the whole-graph path — the A/B
+/// oracle, mirroring RTP_NO_FUSION / RTP_FULL_STA.
+bool partitioning_enabled();
+void set_partitioning_enabled(bool on);
+void reset_partitioning_override();
+
+/// Partition node budget: RTP_PART_BUDGET, else kDefaultBudget. Malformed or
+/// non-positive values warn and fall back (never abort).
+inline constexpr int kDefaultBudget = 4096;
+int default_partition_budget();
+
+/// A plan when partitioning is enabled and the graph is big enough to cut
+/// (more live pins than one budget); nullopt otherwise.
+std::optional<Plan> maybe_plan(const tg::TimingGraph& graph);
+
+}  // namespace rtp::part

@@ -1,0 +1,43 @@
+#include "part/stream.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "nn/workspace.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::part {
+
+std::size_t process_peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t bytes = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1)
+        bytes = static_cast<std::size_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void StreamExecutor::run(
+    const std::function<void(const GraphView&, std::size_t)>& fn) const {
+  RTP_TRACE_SCOPE("part.stream");
+  const std::size_t parts = plan_->num_partitions();
+  for (std::size_t i = 0; i < parts; ++i) {
+    // The scope frees every workspace tensor this partition acquires when it
+    // closes, so pooled bytes never accumulate across the stream.
+    nn::Workspace::ScopeGuard scope;
+    fn(plan_->view(i), i);
+    RTP_COUNT("part.stream.partitions", 1);
+    RTP_COUNT("part.stream.nodes", plan_->partition(i).num_nodes);
+  }
+  RTP_GAUGE_MAX("proc.peak_rss_bytes", process_peak_rss_bytes());
+}
+
+}  // namespace rtp::part

@@ -1,0 +1,39 @@
+#pragma once
+// Streaming executor: pages a Plan's partitions through a bounded-memory
+// working set.
+//
+// Partitions run sequentially in plan order (the only order the cut
+// invariants allow); parallelism lives *inside* a partition, where the level
+// sweeps shard across core::ThreadPool exactly as the whole-graph sweeps do.
+// Each partition executes inside an nn::Workspace::ScopeGuard, so every
+// scratch tensor its level gathers and GEMMs acquire is freed when the cone
+// finishes — the arena's footprint is bounded by one partition's working set
+// instead of the largest whole-graph level. The executor also tracks the
+// stream in obs: per-partition counters, the pooled-bytes peak (from the
+// workspace) and the process peak-RSS gauge sampled as the stream advances.
+
+#include <functional>
+
+#include "part/graph_view.hpp"
+#include "part/partition.hpp"
+
+namespace rtp::part {
+
+class StreamExecutor {
+ public:
+  explicit StreamExecutor(const Plan& plan) : plan_(&plan) {}
+
+  /// Runs `fn(view, partition_index)` for every partition in plan order.
+  void run(const std::function<void(const GraphView&, std::size_t)>& fn) const;
+
+  const Plan& plan() const { return *plan_; }
+
+ private:
+  const Plan* plan_;
+};
+
+/// Current process high-water RSS in bytes (VmHWM from /proc/self/status);
+/// 0 where the proc interface is unavailable.
+std::size_t process_peak_rss_bytes();
+
+}  // namespace rtp::part

@@ -267,7 +267,16 @@ void TimingSession::clear_marks() {
   for (auto& lvl : back_frontier_) lvl.clear();
 }
 
-void TimingSession::run_full() { detail::full_sweep(graph_, *model_, config_, result_); }
+void TimingSession::run_full() {
+  if (!full_plan_checked_ && !graph_.incrementally_edited()) {
+    full_plan_ = part::maybe_plan(graph_);
+    full_plan_checked_ = true;
+  }
+  const part::Plan* plan =
+      (full_plan_.has_value() && !graph_.incrementally_edited()) ? &*full_plan_
+                                                                 : nullptr;
+  detail::full_sweep(graph_, *model_, config_, result_, plan);
+}
 
 const StaResult& TimingSession::update() {
   RTP_TRACE_SCOPE("sta.inc.update");

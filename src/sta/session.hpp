@@ -26,6 +26,7 @@
 // committed BENCH_sta.json measures against.
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sta/sta.hpp"
@@ -181,6 +182,13 @@ class TimingSession {
   std::unique_ptr<DelayModel> model_;
   tg::TimingGraph graph_;
   StaResult result_;
+
+  /// Endpoint-cone plan for full sweeps, built lazily against the freshly
+  /// built graph. Only valid while the graph is unedited: incremental edits
+  /// move pins between level buckets, so edited-graph full recomputes (the
+  /// RTP_FULL_STA oracle) fall back to the whole-graph sweep.
+  std::optional<part::Plan> full_plan_;
+  bool full_plan_checked_ = false;
 
   bool primed_ = false;
   bool full_dirty_ = true;

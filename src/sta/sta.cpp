@@ -20,10 +20,12 @@ constexpr std::int64_t kLevelGrain = 32;
 namespace detail {
 
 void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
-                const StaConfig& config, StaResult& result) {
+                const StaConfig& config, StaResult& result,
+                const part::Plan* plan) {
   RTP_TRACE_SCOPE("sta.run");
   RTP_COUNT("sta.runs", 1);
   RTP_COUNT("sta.levels", graph.nodes_by_level().size());
+  if (plan != nullptr) RTP_COUNT("sta.partitioned_runs", 1);
   const nl::Netlist& netlist = graph.netlist();
 
   const std::size_t n = static_cast<std::size_t>(netlist.num_pin_slots());
@@ -41,8 +43,21 @@ void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
   // strictly lower level, so within one level all pins update independently
   // and the pass parallelizes with no synchronization beyond the level
   // barrier — the same schedule the GNN message passing uses.
+  // With a plan the same level groups arrive cut into endpoint cones:
+  // partitions ascending, levels ascending inside each. Producers still
+  // strictly precede consumers (fanin owners are never later), so the pull
+  // below is unchanged — and bit-identical, since each pin folds its fanin
+  // edges in the same order regardless of which group presents it.
+  const auto forward_groups = [&](auto&& body) {
+    if (plan != nullptr) {
+      for (const part::Partition& pt : plan->partitions())
+        for (const std::vector<nl::PinId>& group : pt.levels) body(group);
+    } else {
+      for (const std::vector<nl::PinId>& group : graph.nodes_by_level()) body(group);
+    }
+  };
   obs::TraceScope arrival_scope("sta.arrival");
-  for (const std::vector<nl::PinId>& level_nodes : graph.nodes_by_level()) {
+  forward_groups([&](const std::vector<nl::PinId>& level_nodes) {
     const std::int64_t count = static_cast<std::int64_t>(level_nodes.size());
     core::parallel_for(0, count, kLevelGrain, [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t idx = lo; idx < hi; ++idx) {
@@ -75,7 +90,7 @@ void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
         result.slew[static_cast<std::size_t>(v)] = best_slew;
       }
     });
-  }
+  });
   arrival_scope.end();
 
   // Endpoint metrics.
@@ -112,10 +127,22 @@ void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
   }
   // Mirror image of the forward sweep: levels descending, and within a level
   // every pin reads only strictly-higher-level required times.
+  // Reverse of the forward order: partitions descending, levels descending
+  // inside each. A pin's fanout owners are never earlier than its own, so
+  // every consumer's required time is final before its producers pull it.
+  const auto backward_groups = [&](auto&& body) {
+    if (plan != nullptr) {
+      const std::vector<part::Partition>& parts = plan->partitions();
+      for (std::size_t pi = parts.size(); pi-- > 0;)
+        for (std::size_t li = parts[pi].levels.size(); li-- > 0;)
+          body(parts[pi].levels[li]);
+    } else {
+      const auto& by_level = graph.nodes_by_level();
+      for (std::size_t li = by_level.size(); li-- > 0;) body(by_level[li]);
+    }
+  };
   obs::TraceScope required_scope("sta.required");
-  const auto& by_level = graph.nodes_by_level();
-  for (std::size_t li = by_level.size(); li-- > 0;) {
-    const std::vector<nl::PinId>& level_nodes = by_level[li];
+  backward_groups([&](const std::vector<nl::PinId>& level_nodes) {
     const std::int64_t count = static_cast<std::int64_t>(level_nodes.size());
     core::parallel_for(0, count, kLevelGrain, [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t idx = lo; idx < hi; ++idx) {
@@ -129,7 +156,7 @@ void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
         }
       }
     });
-  }
+  });
   required_scope.end();
   result.slack.resize(n);
   for (std::size_t p = 0; p < n; ++p) {
@@ -141,10 +168,16 @@ void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
 
 StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
                   const StaConfig& config) {
+  const std::optional<part::Plan> plan = part::maybe_plan(graph);
+  return run_sta(graph, placement, config, plan.has_value() ? &*plan : nullptr);
+}
+
+StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
+                  const StaConfig& config, const part::Plan* plan) {
   const DelayModel model(graph.netlist(), placement, config.delay,
                          config.corner);
   StaResult result;
-  detail::full_sweep(graph, model, config, result);
+  detail::full_sweep(graph, model, config, result, plan);
   return result;
 }
 

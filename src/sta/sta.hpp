@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "part/partition.hpp"
 #include "sta/delay_model.hpp"
 #include "timing/timing_graph.hpp"
 
@@ -56,16 +57,31 @@ struct StaConfig {
 };
 
 /// Runs one full forward STA pass (non-incremental convenience entry point).
+/// Big graphs stream through an endpoint-cone partition plan when
+/// partitioning is enabled (part::maybe_plan) — bit-identical to the
+/// whole-graph sweep either way.
 StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
                   const StaConfig& config);
+
+/// Same, against a caller-built plan (null = whole-graph sweep).
+StaResult run_sta(const tg::TimingGraph& graph, const layout::Placement& placement,
+                  const StaConfig& config, const part::Plan* plan);
 
 namespace detail {
 
 /// Full forward + backward sweep into `result` (arrays are (re)sized here).
 /// Shared by run_sta and TimingSession::full_recompute so both paths are one
 /// implementation; works on incrementally maintained graphs too.
+///
+/// With a plan, the arrival pass walks partitions in plan order (levels
+/// ascending within each) and the required pass walks them in reverse
+/// (levels descending) — legal because a partition's fanin owners are never
+/// later and its fanout owners never earlier, and bit-identical because
+/// every update stays a per-pin pull in the graph's edge order. The plan
+/// must have been built against `graph`'s current level buckets.
 void full_sweep(const tg::TimingGraph& graph, const DelayModel& model,
-                const StaConfig& config, StaResult& result);
+                const StaConfig& config, StaResult& result,
+                const part::Plan* plan = nullptr);
 
 /// Clock-to-Q launch seed of a launch pin (0 for PIs).
 inline double launch_arrival(const nl::Netlist& netlist, nl::PinId p) {

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "gen/circuit_generator.hpp"
+#include "gen/scale_profile.hpp"
 #include "timing/timing_graph.hpp"
 
 namespace rtp::gen {
@@ -87,6 +90,91 @@ TEST_P(GeneratorScaleTest, CountsTrackTargetsAcrossScales) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, GeneratorScaleTest,
                          ::testing::Values(0.002, 0.01, 0.03));
+
+TEST(ScaleProfile, RegistryNamesAndCustomFieldsParse) {
+  std::string error;
+
+  // Registry names resolve to their canonical factors.
+  auto p = parse_scale_profile("dev", &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->name, "dev");
+  EXPECT_EQ(p->factor, dev_profile().factor);
+
+  p = parse_scale_profile("x10", &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->factor, 0.2);
+
+  // table1 is the x50 alias: full TABLE I sizes under either name.
+  p = parse_scale_profile("table1", &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->factor, x50_profile().factor);
+  EXPECT_EQ(p->factor, 1.0);
+
+  // key=value customizes a registry entry without renaming it...
+  p = parse_scale_profile("x10:grid=128", &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->name, "x10");
+  EXPECT_EQ(p->factor, 0.2);
+  EXPECT_EQ(p->map_grid, 128);
+
+  // ...and a fresh name builds a custom profile (scale= is then required).
+  p = parse_scale_profile("huge:scale=2.5,grid=256", &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->name, "huge");
+  EXPECT_EQ(p->factor, 2.5);
+  EXPECT_EQ(p->map_grid, 256);
+}
+
+TEST(ScaleProfile, RejectionsNameTheOffendingField) {
+  std::string error;
+
+  EXPECT_FALSE(parse_scale_profile("x10:pins=9", &error).has_value());
+  EXPECT_NE(error.find("pins"), std::string::npos);
+
+  EXPECT_FALSE(parse_scale_profile("x10:scale=big", &error).has_value());
+  EXPECT_NE(error.find("scale"), std::string::npos);
+  EXPECT_NE(error.find("big"), std::string::npos);
+
+  EXPECT_FALSE(parse_scale_profile("x10:scale=-0.5", &error).has_value());
+  EXPECT_NE(error.find("scale"), std::string::npos);
+
+  EXPECT_FALSE(parse_scale_profile("x10:grid=1000000", &error).has_value());
+  EXPECT_NE(error.find("grid"), std::string::npos);
+
+  // A custom name without scale= has no size to generate at.
+  EXPECT_FALSE(parse_scale_profile("mystery", &error).has_value());
+  EXPECT_NE(error.find("mystery"), std::string::npos);
+
+  EXPECT_FALSE(parse_scale_profile("", &error).has_value());
+}
+
+TEST(ScaleProfile, DefaultProfileWarnsAndFallsBackOnBadEnv) {
+  // Malformed RTP_SCALE never aborts: the fallback profile is used.
+  setenv("RTP_SCALE", "x10:warp=9", 1);
+  ScaleProfile fb = default_scale_profile();
+  EXPECT_EQ(fb.name, dev_profile().name);
+  EXPECT_EQ(fb.factor, dev_profile().factor);
+
+  // A valid spec is honored, including over a non-dev fallback.
+  setenv("RTP_SCALE", "x10", 1);
+  fb = default_scale_profile(x50_profile());
+  EXPECT_EQ(fb.name, "x10");
+  EXPECT_EQ(fb.factor, 0.2);
+
+  unsetenv("RTP_SCALE");
+  fb = default_scale_profile(x10_profile());
+  EXPECT_EQ(fb.name, "x10");
+}
+
+TEST_F(GeneratorTest, GenerateAcceptsProfilesAndPlainFactors) {
+  const BenchmarkSpec spec = benchmark_by_name(specs_, "xgate");
+  // A named profile and its bare factor are the same generation, and the
+  // implicit double -> ScaleProfile conversion keeps old call sites working.
+  const auto from_profile = gen_.generate(spec, ScaleProfile("dev", 0.02));
+  const auto from_factor = gen_.generate(spec, 0.02);
+  EXPECT_EQ(from_profile.netlist.num_pins(), from_factor.netlist.num_pins());
+  EXPECT_EQ(from_profile.netlist.num_cells(), from_factor.netlist.num_cells());
+}
 
 TEST_F(GeneratorTest, ConeDepthsSpreadWide) {
   const auto circuit = gen_.generate(benchmark_by_name(specs_, "rocket"), 0.02);

@@ -1,0 +1,393 @@
+// Partitioned streaming tests: Plan structural invariants (coverage, owner
+// monotonicity, boundary typing, level ordering), the fuzz bit-identity
+// contract — STA arrivals/slacks, GNN embeddings, and node features over
+// generated designs × partition budgets × RTP_THREADS {1,4} must equal the
+// whole-graph oracle bit for bit — plus Workspace lifetime scopes and the
+// maybe_plan gating rules.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "gen/circuit_generator.hpp"
+#include "layout/placement.hpp"
+#include "model/features.hpp"
+#include "model/gnn.hpp"
+#include "nn/workspace.hpp"
+#include "part/partition.hpp"
+#include "part/stream.hpp"
+#include "place/placer.hpp"
+#include "sta/sta.hpp"
+
+namespace rtp::part {
+namespace {
+
+bool bits_eq(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool bits_eq(float a, float b) {
+  return std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b);
+}
+
+const nl::CellLibrary& library() {
+  static nl::CellLibrary lib = nl::CellLibrary::standard();
+  return lib;
+}
+
+struct Design {
+  nl::Netlist netlist{&library()};
+  layout::Placement placement;
+
+  static Design make(const char* name, double scale) {
+    const auto specs = gen::paper_benchmarks();
+    const gen::BenchmarkSpec spec = gen::benchmark_by_name(specs, name);
+    Design d;
+    d.netlist = gen::CircuitGenerator(library()).generate(spec, scale).netlist;
+    place::PlacerConfig pc;
+    pc.utilization = spec.utilization;
+    pc.num_macros = spec.num_macros;
+    pc.seed = spec.seed;
+    d.placement = place::Placer(pc).place(d.netlist);
+    return d;
+  }
+};
+
+std::size_t live_pins(const tg::TimingGraph& graph) {
+  std::size_t live = 0;
+  for (const auto& bucket : graph.nodes_by_level()) live += bucket.size();
+  return live;
+}
+
+// ---- Plan structure -------------------------------------------------------
+
+TEST(Plan, StructuralInvariants) {
+  const Design d = Design::make("xgate", 0.1);
+  const tg::TimingGraph graph(d.netlist);
+  const int budget = 257;  // odd and small: many partitions, uneven cones
+  const Plan plan = Plan::build(graph, budget);
+  const auto parts = static_cast<std::int32_t>(plan.num_partitions());
+  ASSERT_GT(parts, 2);
+
+  // Coverage: every live pin is owned, appears in its owner's level groups
+  // exactly once, and the partition sizes sum to the live-pin count.
+  std::vector<int> seen(static_cast<std::size_t>(graph.num_nodes()), 0);
+  std::size_t total = 0;
+  int max_nodes = 0;
+  std::size_t cut_pins = 0;
+  for (std::int32_t i = 0; i < parts; ++i) {
+    const Partition& pt = plan.partition(static_cast<std::size_t>(i));
+    int count = 0;
+    int prev_level = -1;
+    for (const std::vector<nl::PinId>& group : pt.levels) {
+      ASSERT_FALSE(group.empty());  // only non-empty groups are stored
+      const int lvl = graph.level(group.front());
+      EXPECT_GT(lvl, prev_level);  // groups ascend strictly by global level
+      prev_level = lvl;
+      EXPECT_GE(lvl, pt.level_begin);
+      EXPECT_LT(lvl, pt.level_end);
+      for (nl::PinId p : group) {
+        EXPECT_EQ(graph.level(p), lvl);  // a group holds one level only
+        EXPECT_EQ(plan.owner(p), i);
+        ++seen[static_cast<std::size_t>(p)];
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, pt.num_nodes);
+    // Every partition but the last must have closed at the budget.
+    if (i + 1 < parts) EXPECT_GE(pt.num_nodes, budget);
+    total += static_cast<std::size_t>(count);
+    max_nodes = std::max(max_nodes, pt.num_nodes);
+    cut_pins += pt.boundary.size();
+  }
+  EXPECT_EQ(total, live_pins(graph));
+  for (int c : seen) EXPECT_LE(c, 1);
+  EXPECT_EQ(max_nodes, plan.max_partition_nodes());
+  EXPECT_EQ(cut_pins, plan.total_cut_pins());
+
+  // Owner monotonicity: no partition consumes a pin a later one produces.
+  for (const auto& bucket : graph.nodes_by_level()) {
+    for (nl::PinId p : bucket) {
+      for (std::int32_t e : graph.fanin(p)) {
+        EXPECT_LE(plan.owner(graph.edge(e).from), plan.owner(p));
+      }
+      for (std::int32_t e : graph.fanout(p)) {
+        EXPECT_GE(plan.owner(graph.edge(e).to), plan.owner(p));
+      }
+    }
+  }
+
+  // Boundary typing: each cut-point names an earlier partition that owns it,
+  // and the boundary set is exactly the distinct cross-partition fanin
+  // sources. via_net_edge matches a real crossing edge of that type.
+  for (std::int32_t i = 0; i < parts; ++i) {
+    const Partition& pt = plan.partition(static_cast<std::size_t>(i));
+    std::vector<int> in_boundary(static_cast<std::size_t>(graph.num_nodes()), 0);
+    for (const CutPin& cut : pt.boundary) {
+      EXPECT_GE(cut.owner, 0);
+      EXPECT_LT(cut.owner, i);
+      EXPECT_EQ(cut.owner, plan.owner(cut.pin));
+      in_boundary[static_cast<std::size_t>(cut.pin)] = 1;
+      bool crossing_of_type = false;
+      for (std::int32_t e : graph.fanout(cut.pin)) {
+        const tg::Edge& edge = graph.edge(e);
+        if (plan.owner(edge.to) == i && edge.is_net == cut.via_net_edge)
+          crossing_of_type = true;
+      }
+      EXPECT_TRUE(crossing_of_type);
+    }
+    for (const std::vector<nl::PinId>& group : pt.levels) {
+      for (nl::PinId p : group) {
+        for (std::int32_t e : graph.fanin(p)) {
+          const nl::PinId u = graph.edge(e).from;
+          if (plan.owner(u) != i)
+            EXPECT_TRUE(in_boundary[static_cast<std::size_t>(u)]);
+        }
+      }
+    }
+  }
+
+  // Endpoint order is preserved: concatenating the partitions' endpoint
+  // lists reproduces the graph's canonical endpoint order.
+  std::vector<nl::PinId> concat;
+  for (const Partition& pt : plan.partitions()) {
+    concat.insert(concat.end(), pt.endpoints.begin(), pt.endpoints.end());
+  }
+  EXPECT_EQ(concat, graph.endpoints());
+}
+
+TEST(Plan, MaybePlanGatesOnSizeAndOverride) {
+  const Design d = Design::make("xgate", 0.1);
+  const tg::TimingGraph graph(d.netlist);
+  // This design is far below the 4096-pin default budget: no plan.
+  if (live_pins(graph) <= static_cast<std::size_t>(default_partition_budget())) {
+    EXPECT_FALSE(maybe_plan(graph).has_value());
+  }
+  // The test override forces the whole-graph path regardless of size.
+  set_partitioning_enabled(false);
+  EXPECT_FALSE(partitioning_enabled());
+  EXPECT_FALSE(maybe_plan(graph).has_value());
+  set_partitioning_enabled(true);
+  EXPECT_TRUE(partitioning_enabled());
+  reset_partitioning_override();
+}
+
+// ---- fuzz bit-identity ----------------------------------------------------
+
+/// The acceptance fuzz: over designs × budgets × RTP_THREADS {1,4}, the
+/// partitioned STA sweep, streamed GNN inference, and partition-order feature
+/// extraction must be bit-identical to the whole-graph oracle
+/// (RTP_NO_PARTITION path), and the whole trajectory bit-identical between
+/// thread counts.
+TEST(Part, StaGnnFeaturesBitIdenticalToWholeGraphOracle) {
+  struct Snapshot {
+    std::vector<double> arrival, slack;
+    std::vector<float> h;
+    std::vector<float> cell_feat, net_feat;
+  };
+  const auto run = [](int threads) {
+    core::set_num_threads(threads);
+    std::vector<Snapshot> snaps;
+    for (const char* name : {"xgate", "steelcore"}) {
+      const Design d = Design::make(name, 0.08);
+      const tg::TimingGraph graph(d.netlist);
+      sta::StaConfig config;
+      config.delay.tech.clock_period = 600.0;
+
+      // Whole-graph oracle, via the same override RTP_NO_PARTITION drives.
+      set_partitioning_enabled(false);
+      const sta::StaResult oracle = sta::run_sta(graph, d.placement, config);
+      const model::NodeFeatures feat_oracle =
+          model::extract_node_features(graph, d.placement);
+      model::ModelConfig mc;
+      Rng rng(11);
+      model::EndpointGNN gnn(mc, rng);
+      const nn::Tensor h_oracle = gnn.infer(GraphView::full(graph), feat_oracle);
+      set_partitioning_enabled(true);
+
+      for (const int budget : {64, 257, 1023}) {
+        const Plan plan = Plan::build(graph, budget);
+        const sta::StaResult r = sta::run_sta(graph, d.placement, config, &plan);
+        EXPECT_EQ(r.arrival.size(), oracle.arrival.size());
+        for (std::size_t p = 0; p < r.arrival.size(); ++p) {
+          EXPECT_TRUE(bits_eq(r.arrival[p], oracle.arrival[p]))
+              << name << " budget " << budget << " pin " << p;
+          EXPECT_TRUE(bits_eq(r.slack[p], oracle.slack[p]))
+              << name << " budget " << budget << " pin " << p;
+        }
+        EXPECT_TRUE(bits_eq(r.wns, oracle.wns));
+        EXPECT_TRUE(bits_eq(r.tns, oracle.tns));
+
+        const nn::Tensor h = gnn.infer_streamed(plan, feat_oracle);
+        EXPECT_EQ(h.numel(), h_oracle.numel());
+        for (std::size_t i = 0; i < h.numel(); ++i) {
+          EXPECT_TRUE(bits_eq(h[i], h_oracle[i]))
+              << name << " budget " << budget << " elem " << i;
+        }
+
+        const model::NodeFeatures feat =
+            model::extract_node_features(graph, d.placement, &plan);
+        EXPECT_TRUE(feat.kind == feat_oracle.kind);
+        for (std::size_t i = 0; i < feat.cell_feat.numel(); ++i) {
+          EXPECT_TRUE(bits_eq(feat.cell_feat[i], feat_oracle.cell_feat[i]));
+        }
+        for (std::size_t i = 0; i < feat.net_feat.numel(); ++i) {
+          EXPECT_TRUE(bits_eq(feat.net_feat[i], feat_oracle.net_feat[i]));
+        }
+
+        Snapshot s;
+        s.arrival = r.arrival;
+        s.slack = r.slack;
+        s.h.assign(h.data(), h.data() + h.numel());
+        s.cell_feat.assign(feat.cell_feat.data(),
+                           feat.cell_feat.data() + feat.cell_feat.numel());
+        s.net_feat.assign(feat.net_feat.data(),
+                          feat.net_feat.data() + feat.net_feat.numel());
+        snaps.push_back(std::move(s));
+      }
+    }
+    reset_partitioning_override();
+    return snaps;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  core::set_num_threads(0);  // restore the RTP_THREADS / hardware default
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].arrival.size(), parallel[i].arrival.size());
+    for (std::size_t p = 0; p < serial[i].arrival.size(); ++p) {
+      ASSERT_TRUE(bits_eq(serial[i].arrival[p], parallel[i].arrival[p]));
+      ASSERT_TRUE(bits_eq(serial[i].slack[p], parallel[i].slack[p]));
+    }
+    ASSERT_EQ(serial[i].h.size(), parallel[i].h.size());
+    for (std::size_t k = 0; k < serial[i].h.size(); ++k) {
+      ASSERT_TRUE(bits_eq(serial[i].h[k], parallel[i].h[k]));
+    }
+    ASSERT_EQ(serial[i].cell_feat, parallel[i].cell_feat);
+    ASSERT_EQ(serial[i].net_feat, parallel[i].net_feat);
+  }
+}
+
+// ---- workspace lifetime scopes -------------------------------------------
+
+TEST(WorkspaceScope, ScopeFreesTensorsAcquiredInside) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  ASSERT_EQ(ws.pooled_bytes(), 0u);
+
+  // Outside any scope, released tensors stay pooled (seed behavior).
+  ws.release(ws.acquire({64, 64}));
+  const std::size_t baseline = ws.pooled_bytes();
+  EXPECT_GT(baseline, 0u);
+
+  {
+    nn::Workspace::ScopeGuard scope;
+    ws.release(ws.acquire({128, 128}));
+    // Scoped releases pool while the scope is open (reuse still works)...
+    EXPECT_GT(ws.pooled_bytes(), baseline);
+  }
+  // ...and are freed when it exits; the unscoped tensor survives.
+  EXPECT_EQ(ws.pooled_bytes(), baseline);
+  ws.clear();
+}
+
+TEST(WorkspaceScope, ReleaseAfterScopeExitFreesInsteadOfPooling) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  nn::Tensor held;
+  {
+    nn::Workspace::ScopeGuard scope;
+    held = ws.acquire({32, 32});
+  }
+  // The scope closed while `held` was still out: releasing it now must free,
+  // not park storage the stream already accounted as retired.
+  ws.release(std::move(held));
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+  ws.clear();
+}
+
+TEST(WorkspaceScope, NestedScopesFreeLifoAndIndependently) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  {
+    nn::Workspace::ScopeGuard outer;
+    ws.release(ws.acquire({16, 16}));
+    const std::size_t outer_bytes = ws.pooled_bytes();
+    {
+      nn::Workspace::ScopeGuard inner;
+      ws.release(ws.acquire({48, 48}));
+      EXPECT_GT(ws.pooled_bytes(), outer_bytes);
+    }
+    // Inner exit frees only the inner acquisition.
+    EXPECT_EQ(ws.pooled_bytes(), outer_bytes);
+  }
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+}
+
+TEST(WorkspaceScope, AcquireReusesPooledStorageInsideScope) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  {
+    nn::Workspace::ScopeGuard scope;
+    nn::Tensor a = ws.acquire({8, 8});
+    const float* storage = a.data();
+    ws.release(std::move(a));
+    // Same-shape reacquire inside the scope hands the storage back.
+    nn::Tensor b = ws.acquire_dirty({8, 8});
+    EXPECT_EQ(b.data(), storage);
+    ws.release(std::move(b));
+  }
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+}
+
+TEST(WorkspaceScope, PooledBytesPeakTracksHighWaterAndResets) {
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+  ws.reset_pooled_bytes_peak();
+  EXPECT_EQ(ws.pooled_bytes_peak(), 0u);
+  {
+    nn::Workspace::ScopeGuard scope;
+    ws.release(ws.acquire({256, 256}));
+    EXPECT_GE(ws.pooled_bytes_peak(), 256u * 256u * sizeof(float));
+  }
+  // The peak survives the scope freeing the storage...
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+  EXPECT_GE(ws.pooled_bytes_peak(), 256u * 256u * sizeof(float));
+  // ...until explicitly reset (to the current pooled level).
+  ws.reset_pooled_bytes_peak();
+  EXPECT_EQ(ws.pooled_bytes_peak(), 0u);
+  ws.clear();
+}
+
+// ---- streaming executor ---------------------------------------------------
+
+TEST(StreamExecutor, VisitsEveryPartitionInOrderUnderScopes) {
+  const Design d = Design::make("xgate", 0.08);
+  const tg::TimingGraph graph(d.netlist);
+  const Plan plan = Plan::build(graph, 128);
+  nn::Workspace& ws = nn::Workspace::instance();
+  ws.clear();
+
+  std::vector<std::size_t> visited;
+  std::size_t nodes = 0;
+  StreamExecutor(plan).run([&](const GraphView& view, std::size_t i) {
+    visited.push_back(i);
+    // Each partition's scratch is scoped: acquisitions here never outlive
+    // the partition, so the pool stays empty between partitions.
+    ws.release(ws.acquire({4, 4}));
+    for (const auto& group : *view.levels) nodes += group.size();
+  });
+  ASSERT_EQ(visited.size(), plan.num_partitions());
+  for (std::size_t i = 0; i < visited.size(); ++i) EXPECT_EQ(visited[i], i);
+  EXPECT_EQ(nodes, live_pins(graph));
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rtp::part
