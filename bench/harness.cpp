@@ -23,6 +23,7 @@
 #include "nn/conv.hpp"
 #include "nn/kernels.hpp"
 #include "nn/workspace.hpp"
+#include "obs/flight.hpp"
 #include "opt/optimizer.hpp"
 #include "part/partition.hpp"
 #include "place/placer.hpp"
@@ -927,6 +928,20 @@ BenchDoc run_serve_suite(bool smoke) {
     closed_stats = service.stats();
   }
 
+  // Observability overhead: the same closed loop with the flight recorder
+  // off — set_enabled(false) clears the capture bit, so spans and flows stop
+  // at the TraceScope gate, approximating an RTP_OBS=OFF build at runtime.
+  // Report-only (negative tolerance): the ratio is too noisy at smoke sizes
+  // to gate on, but a recorder hot-path regression shows up in the table.
+  ArmResult served_dark;
+  {
+    const bool recorder_was_on = obs::FlightRecorder::enabled();
+    obs::FlightRecorder::set_enabled(false);
+    serve::PredictionService service(snapshot, sc);
+    served_dark = service_arm(service, f, clients, per_client);
+    obs::FlightRecorder::set_enabled(recorder_was_on);
+  }
+
   // Open-loop burst: fire queue_capacity submits back to back; admission
   // control must accept every one (rejected == 0 is the gated invariant).
   std::uint64_t burst_rejected = 0;
@@ -984,6 +999,12 @@ BenchDoc run_serve_suite(bool smoke) {
                          quantile_ms(served.latency_ms, 0.50), "ms", false, -1.0});
   doc.metrics.push_back({"serve.service_p99_ms", served_p99, "ms", false, -1.0});
   doc.metrics.push_back({"serve.mean_batch", mean_batch, "count", true, -1.0});
+  // Recorder-off rps over recorder-on rps: ~1.0 means the always-on flight
+  // recorder is free at this request size.
+  const double obs_overhead = served.rps(total) > 0.0
+                                  ? served_dark.rps(total) / served.rps(total)
+                                  : 0.0;
+  doc.metrics.push_back({"serve.obs_overhead", obs_overhead, "ratio", false, -1.0});
   doc.metrics.push_back(
       {"serve.requests", static_cast<double>(total), "count", true, -1.0});
 

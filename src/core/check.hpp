@@ -5,15 +5,27 @@
 // otherwise corrupt downstream state); RTP_DCHECK compiles out in NDEBUG
 // builds and is meant for hot loops.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace rtp::detail {
 
+/// Called (if set) after the failure message, before abort. The flight
+/// recorder (obs/flight.hpp) installs a dump-on-failure handler here at
+/// startup; a C++17 inline atomic keeps this header-only so check.hpp stays
+/// usable below the obs library without a link cycle. The hook must be
+/// async-signal-tolerant in spirit: best-effort, never throwing.
+inline std::atomic<void (*)()> g_check_failure_hook{nullptr};
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const char* msg) {
   std::fprintf(stderr, "RTP_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
                msg[0] ? " — " : "", msg);
+  if (auto* hook = g_check_failure_hook.load(std::memory_order_acquire)) {
+    g_check_failure_hook.store(nullptr, std::memory_order_release);  // once
+    hook();
+  }
   std::abort();
 }
 

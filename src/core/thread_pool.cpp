@@ -97,7 +97,7 @@ struct ThreadPool::Impl {
         // tracing is off — it is the pool's p99 headline in RTP_REPORT.
         RTP_HIST_NS("pool.queue_wait", obs::detail::now_ns() - posted_ns);
         RTP_TRACE_SCOPE("pool.worker.job");
-        if (obs::trace_enabled()) {
+        if (obs::capture_enabled()) {
           // Flow finish: closes the arrow opened at enqueue for this worker.
           obs::detail::record_flow(seen * kFlowIdStride + std::uint64_t(idx) + 1,
                                    'f');
@@ -212,7 +212,7 @@ void ThreadPool::run_chunked(std::int64_t begin, std::int64_t end, std::int64_t 
     posted_job = ++s.job_id;
   }
 #if !defined(RTP_OBS_DISABLED)
-  if (obs::trace_enabled()) {
+  if (obs::capture_enabled()) {
     // Flow starts, one per worker, recorded inside the "pool.job" span so
     // chrome://tracing anchors each arrow to this slice. A worker that never
     // reaches the job (it drained before waking) leaves its start dangling —

@@ -101,12 +101,25 @@ std::vector<nn::Tensor> infer_batch(const FusionNet& net, float label_mean,
   RTP_COUNT_SCHED("model.infer.requests", static_cast<std::int64_t>(batch.size()));
   RTP_COUNT_SCHED("model.infer.designs", static_cast<std::int64_t>(designs.size()));
 
+  // Compute-stage flow step for every traced request: lands inside the
+  // enclosing model.predict_batch span on this thread, linking each
+  // request's chain to the batch that computes it.
+  if (obs::capture_enabled()) {
+    for (const PredictRequest& req : batch) obs::request_flow(req.trace, 't');
+  }
+
   // One full-design forward per distinct design: the GNN embedding covers
   // every pin and the layout map is endpoint-independent, so any subset of
-  // requested endpoints reads the same tensors.
+  // requested endpoints reads the same tensors. The per-design span label is
+  // interned (bounded by the design population), so a trace or flight dump
+  // shows which design's forward a slow batch was paying for.
   std::vector<nn::Tensor> h(designs.size());
   std::vector<nn::Tensor> maps(designs.size());
   for (std::size_t g = 0; g < designs.size(); ++g) {
+    obs::TraceScope design_span(
+        obs::capture_enabled()
+            ? obs::intern_label("model.infer.design:", designs[g]->name)
+            : "model.infer.design");
     if (net.gnn) {
       // Big designs stream partition views through bounded workspace scratch;
       // small ones take the trivial full view. Same bits either way.

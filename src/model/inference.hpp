@@ -25,12 +25,18 @@
 #include <vector>
 
 #include "model/fusion.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::model {
 
 /// One endpoint-prediction request against one prepared design.
 struct PredictRequest {
   std::shared_ptr<const PreparedDesign> design;
+  /// Causal identity for request-scoped tracing. serve::PredictionService
+  /// mints one per accepted submit and infer_batch emits a flow step for it
+  /// at compute time, so the request's chain spans queue → batch → compute.
+  /// Empty (the default) for direct engine calls — no flow events then.
+  obs::TraceContext trace;
   /// Indices into design->endpoints to predict; empty means all of them.
   std::vector<std::int32_t> endpoints;
   /// Corner selector: an index into design->corners conditions the model on

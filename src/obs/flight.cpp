@@ -1,0 +1,324 @@
+#include "obs/flight.hpp"
+
+#if !defined(RTP_OBS_DISABLED)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/check.hpp"
+#include "obs/obs.hpp"
+
+namespace rtp::obs {
+
+namespace {
+
+constexpr int kDefaultRingCapacity = 4096;
+
+enum SlotKind : std::uint32_t {
+  kSlotSpan = 0,  ///< a = start ns, b = end ns
+  kSlotFlow,      ///< a = timestamp ns, b = chain id, phase in `aux`
+  kSlotNote,      ///< a = timestamp ns, b = value
+};
+
+/// One ring entry. Every field is an atomic so a dump racing the owner
+/// thread is race-free by construction; `seq` orders publication (see the
+/// protocol note in flight.hpp).
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};  ///< 0 = never written; else 1-based index
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::atomic<std::uint32_t> kind{0};
+  std::atomic<std::uint32_t> aux{0};  ///< flow phase char
+};
+
+struct Ring {
+  explicit Ring(int capacity)
+      : cap(capacity), slots(new Slot[static_cast<std::size_t>(capacity)]) {}
+  const int cap;
+  Slot* const slots;  ///< leaked with the ring
+  std::atomic<std::uint64_t> next{0};  ///< events written by the owner thread
+  int tid = 0;
+};
+
+/// All recorder state, leaked like the obs registry (the check-failure hook
+/// and atexit paths may dump during static destruction).
+struct FlightState {
+  std::mutex mu;  ///< guards rings + dump serialization
+  std::vector<Ring*> rings;
+  std::atomic<bool> enabled{false};
+  std::atomic<int> capacity{kDefaultRingCapacity};
+  std::atomic<std::uint64_t> dumps{0};
+  std::mutex path_mu;
+  std::string dump_path = "rtp_flight.json";
+  std::mutex reason_mu;
+  std::set<std::string> fired;
+};
+
+FlightState& state() {
+  static FlightState* s = new FlightState;
+  return *s;
+}
+
+thread_local Ring* tl_ring = nullptr;
+
+Ring* ensure_ring() {
+  Ring* r = tl_ring;
+  if (r == nullptr) {
+    FlightState& st = state();
+    r = new Ring(st.capacity.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(st.mu);
+    r->tid = static_cast<int>(st.rings.size());
+    st.rings.push_back(r);
+    tl_ring = r;
+  }
+  return r;
+}
+
+void write_slot(std::uint32_t kind, const char* name, std::uint64_t a,
+                std::uint64_t b, std::uint32_t aux) {
+  Ring* r = ensure_ring();
+  const std::uint64_t n = r->next.load(std::memory_order_relaxed);
+  Slot& s = r->slots[n % static_cast<std::uint64_t>(r->cap)];
+  s.seq.store(0, std::memory_order_release);  // invalidate while rewriting
+  s.name.store(name, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.kind.store(kind, std::memory_order_relaxed);
+  s.aux.store(aux, std::memory_order_relaxed);
+  s.seq.store(n + 1, std::memory_order_release);  // publish
+  r->next.store(n + 1, std::memory_order_relaxed);
+}
+
+struct DumpEvent {
+  const char* name;
+  std::uint64_t a, b;
+  std::uint32_t kind;
+  std::uint32_t aux;
+  int tid;
+  std::uint64_t seq;
+};
+
+/// Seqlock read of every surviving slot across all rings. Torn slots (a
+/// writer mid-rewrite) are skipped; everything else is consistent.
+std::vector<DumpEvent> collect() {
+  FlightState& st = state();
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    rings = st.rings;
+  }
+  std::vector<DumpEvent> out;
+  for (Ring* r : rings) {
+    for (int i = 0; i < r->cap; ++i) {
+      Slot& s = r->slots[i];
+      const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if (s1 == 0) continue;
+      DumpEvent e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.a = s.a.load(std::memory_order_relaxed);
+      e.b = s.b.load(std::memory_order_relaxed);
+      e.kind = s.kind.load(std::memory_order_relaxed);
+      e.aux = s.aux.load(std::memory_order_relaxed);
+      e.tid = r->tid;
+      e.seq = s1;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+      if (e.name == nullptr) continue;
+      out.push_back(e);
+    }
+  }
+  // Chronological by event start (span t0 / flow t / note t); per-slot seq
+  // breaks ties deterministically.
+  std::sort(out.begin(), out.end(), [](const DumpEvent& x, const DumpEvent& y) {
+    return x.a != y.a ? x.a < y.a : x.seq < y.seq;
+  });
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void flight_startup() {
+  FlightState& st = state();
+  bool on = true;
+  if (const char* env = std::getenv("RTP_FLIGHT")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        env[0] == '\0') {
+      on = false;
+    } else {
+      std::lock_guard<std::mutex> lock(st.path_mu);
+      st.dump_path = env;
+    }
+  }
+  st.enabled.store(on, std::memory_order_relaxed);
+  set_capture_bit(kCaptureFlight, on);
+  rtp::detail::g_check_failure_hook.store(
+      [] { FlightRecorder::trigger("check_failure"); },
+      std::memory_order_release);
+}
+
+void flight_record_span(const char* name, std::uint64_t t0, std::uint64_t t1) {
+  write_slot(kSlotSpan, name, t0, t1, 0);
+}
+
+void flight_record_flow(const char* name, std::uint64_t id, char phase,
+                        std::uint64_t t) {
+  write_slot(kSlotFlow, name, t, id, static_cast<std::uint32_t>(phase));
+}
+
+}  // namespace detail
+
+bool FlightRecorder::enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  state().enabled.store(on, std::memory_order_relaxed);
+  detail::set_capture_bit(detail::kCaptureFlight, on);
+}
+
+int FlightRecorder::ring_capacity() {
+  return state().capacity.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_ring_capacity(int cap) {
+  RTP_CHECK_MSG(cap > 0, "flight ring capacity must be positive");
+  state().capacity.store(cap, std::memory_order_relaxed);
+}
+
+void FlightRecorder::note(const char* name, std::uint64_t value) {
+  if (!enabled()) return;
+  write_slot(kSlotNote, name, detail::now_ns(), value, 0);
+}
+
+std::uint64_t FlightRecorder::events_recorded() {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  std::uint64_t n = 0;
+  for (const Ring* r : st.rings) n += r->next.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::string FlightRecorder::dump_json(const char* reason) {
+  const std::vector<DumpEvent> events = collect();
+  const std::uint64_t epoch = detail::epoch_ns();
+  const auto rel_us = [epoch](std::uint64_t t) {
+    return static_cast<double>(t > epoch ? t - epoch : 0) / 1e3;
+  };
+  double window_lo = 0.0;
+  double window_hi = rel_us(detail::now_ns());
+  if (!events.empty()) window_lo = rel_us(events.front().a);
+
+  std::set<int> tids;
+  for (const DumpEvent& e : events) tids.insert(e.tid);
+
+  std::string out;
+  out.reserve(events.size() * 120 + 512);
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"flight_reason\":\"%s\",\"flight_events\":%zu,"
+                "\"flight_window_start_us\":%.3f,\"flight_window_end_us\":%.3f},"
+                "\n\"traceEvents\":[\n",
+                detail::json_escape(reason).c_str(), events.size(), window_lo,
+                window_hi);
+  out += line;
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"rtp.flight\"}}";
+  for (int tid : tids) {
+    std::snprintf(line, sizeof(line),
+                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"flight.%d\"}}",
+                  tid, tid);
+    out += line;
+  }
+  for (const DumpEvent& e : events) {
+    switch (e.kind) {
+      case kSlotSpan:
+        std::snprintf(line, sizeof(line),
+                      ",\n{\"name\":\"%s\",\"cat\":\"rtp\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+                      detail::json_escape(e.name).c_str(), e.tid, rel_us(e.a),
+                      static_cast<double>(e.b - e.a) / 1e3);
+        break;
+      case kSlotFlow:
+        std::snprintf(line, sizeof(line),
+                      ",\n{\"name\":\"%s\",\"cat\":\"rtp.flow\",\"ph\":\"%c\","
+                      "%s\"id\":%llu,\"pid\":1,\"tid\":%d,\"ts\":%.3f}",
+                      detail::json_escape(e.name).c_str(),
+                      static_cast<char>(e.aux),
+                      static_cast<char>(e.aux) == 'f' ? "\"bp\":\"e\"," : "",
+                      static_cast<unsigned long long>(e.b), e.tid, rel_us(e.a));
+        break;
+      case kSlotNote:
+      default:
+        std::snprintf(line, sizeof(line),
+                      ",\n{\"name\":\"%s\",\"cat\":\"rtp.note\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                      "\"args\":{\"value\":%llu}}",
+                      detail::json_escape(e.name).c_str(), e.tid, rel_us(e.a),
+                      static_cast<unsigned long long>(e.b));
+        break;
+    }
+    out += line;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool FlightRecorder::dump(const std::string& path, const char* reason) {
+  const std::string json = dump_json(reason);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+bool FlightRecorder::trigger(const char* reason) {
+  FlightState& st = state();
+  if (!st.enabled.load(std::memory_order_relaxed)) return false;
+  {
+    std::lock_guard<std::mutex> lock(st.reason_mu);
+    if (!st.fired.insert(reason).second) return false;  // once per reason
+  }
+  const std::string path = dump_path();
+  const bool ok = dump(path, reason);
+  st.dumps.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr, "rtp::obs: flight dump (%s) -> %s%s\n", reason,
+               path.c_str(), ok ? "" : " FAILED");
+  return ok;
+}
+
+void FlightRecorder::rearm() {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.reason_mu);
+  st.fired.clear();
+}
+
+std::string FlightRecorder::dump_path() {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.path_mu);
+  return st.dump_path;
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  FlightState& st = state();
+  std::lock_guard<std::mutex> lock(st.path_mu);
+  st.dump_path = std::move(path);
+}
+
+std::uint64_t FlightRecorder::dumps_written() {
+  return state().dumps.load(std::memory_order_relaxed);
+}
+
+}  // namespace rtp::obs
+
+#endif  // !RTP_OBS_DISABLED

@@ -1,0 +1,123 @@
+#pragma once
+// obs::FlightRecorder — the always-on incident recorder.
+//
+// A fixed-size per-thread ring of recent span / flow / note events, written
+// lock-free (each thread owns its ring; slot fields are relaxed atomics
+// published seqlock-style, so a concurrent dump never tears a record and
+// never blocks a writer). Recording costs one ring store per span on top of
+// the TraceScope clock reads, cheap enough to leave on in production — which
+// is the point: when something goes wrong, the last few thousand events per
+// thread are already captured, and dump() ships them as a valid
+// chrome://tracing JSON document without re-running anything.
+//
+// Dumps auto-trigger once per reason (rearm() resets) on:
+//   - SLO violation: a serve response exceeding RTP_SLO_MS (serve.cpp),
+//   - admission-rejection burst: ServeConfig::reject_burst consecutive
+//     rejections (serve.cpp),
+//   - RTP_CHECK failure: via the rtp::detail::g_check_failure_hook installed
+//     at startup, so a crashing process leaves its own flight dump behind.
+//
+// RTP_FLIGHT controls the recorder: unset → enabled, dumping to
+// "rtp_flight.json"; "off" (or "0") → disabled; any other value → enabled,
+// dumping to that path. Under -DRTP_OBS=OFF everything here is an inert
+// inline stub: no ring, no thread state, dump() is false and records
+// nothing.
+//
+// Slot publication protocol (the lock-free part): the writer stores seq=0
+// (release), then the payload fields (relaxed), then seq=<1-based write
+// index> (release); the owning thread is the only writer, and the per-slot
+// seq strictly increases, so a reader that loads seq (acquire), the fields,
+// and seq again and sees the same nonzero value has a consistent record.
+// Readers skip torn or empty slots — a dump is a best-effort window, never
+// a blocking snapshot.
+
+#include <cstdint>
+#include <string>
+
+namespace rtp::obs {
+
+namespace detail {
+#if defined(RTP_OBS_DISABLED)
+inline void flight_startup() {}
+inline void flight_record_span(const char*, std::uint64_t, std::uint64_t) {}
+inline void flight_record_flow(const char*, std::uint64_t, char, std::uint64_t) {}
+#else
+/// Reads RTP_FLIGHT, arms the capture bit, installs the check-failure hook.
+/// Called from the obs registry initializer; must not call back into it.
+void flight_startup();
+/// Ring-write hooks, routed from obs.cpp's record_span / record_flow when
+/// the flight capture bit is set. `name` must be static or interned.
+void flight_record_span(const char* name, std::uint64_t t0, std::uint64_t t1);
+void flight_record_flow(const char* name, std::uint64_t id, char phase,
+                        std::uint64_t t);
+#endif
+}  // namespace detail
+
+#if defined(RTP_OBS_DISABLED)
+
+/// Inert stub (observability compiled out): records nothing, never dumps.
+class FlightRecorder {
+ public:
+  static bool enabled() { return false; }
+  static void set_enabled(bool) {}
+  static int ring_capacity() { return 0; }
+  static void set_ring_capacity(int) {}
+  static void note(const char*, std::uint64_t) {}
+  static std::uint64_t events_recorded() { return 0; }
+  static std::string dump_json(const char* = "manual") { return {}; }
+  static bool dump(const std::string&, const char* = "manual") { return false; }
+  static bool trigger(const char*) { return false; }
+  static void rearm() {}
+  static std::string dump_path() { return {}; }
+  static void set_dump_path(std::string) {}
+  static std::uint64_t dumps_written() { return 0; }
+};
+
+#else
+
+class FlightRecorder {
+ public:
+  /// Whether rings are recording. Toggling also flips the obs capture bit,
+  /// so spans stop being captured at the TraceScope gate when the recorder
+  /// is the only active sink — set_enabled(false) approximates RTP_OBS=OFF
+  /// capture cost at runtime (what bench obs_overhead measures).
+  static bool enabled();
+  static void set_enabled(bool on);
+
+  /// Slots per thread ring. set_ring_capacity applies to rings created
+  /// afterwards (existing rings keep their size); tests shrink it before
+  /// spawning writers to exercise wraparound cheaply.
+  static int ring_capacity();
+  static void set_ring_capacity(int cap);
+
+  /// Records a named point event with a value into the calling thread's
+  /// ring (instant event in dumps). No-op while disabled.
+  static void note(const char* name, std::uint64_t value);
+
+  /// Total events written across all rings since startup (including ones
+  /// since overwritten).
+  static std::uint64_t events_recorded();
+
+  /// The surviving window as a chrome://tracing JSON document: "X" spans,
+  /// "s"/"t"/"f" flow endpoints, "i" notes, thread-name metadata, and an
+  /// otherData block naming the dump reason and window bounds. Always a
+  /// complete valid document, safe to call while writers are active.
+  static std::string dump_json(const char* reason = "manual");
+  static bool dump(const std::string& path, const char* reason = "manual");
+
+  /// Once-per-reason auto-dump to dump_path(): the first call with a given
+  /// reason writes the file and returns its success; repeats return false
+  /// until rearm(). False when disabled.
+  static bool trigger(const char* reason);
+  static void rearm();
+
+  static std::string dump_path();
+  static void set_dump_path(std::string path);
+
+  /// Dumps written by trigger() (tests / the run report).
+  static std::uint64_t dumps_written();
+};
+
+#endif  // RTP_OBS_DISABLED
+
+}  // namespace rtp::obs

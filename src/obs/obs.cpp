@@ -8,15 +8,27 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "core/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/stats.hpp"
 
 namespace rtp::obs {
 
 namespace detail {
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<int> g_capture_mask{0};
+
+void set_capture_bit(int bit, bool on) {
+  if (on) {
+    g_capture_mask.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_capture_mask.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
 }  // namespace detail
 
 namespace {
@@ -28,9 +40,10 @@ struct SpanRec {
 };
 
 struct FlowRec {
+  const char* name;  ///< chain family ("pool.flow", "serve.request")
   std::uint64_t id;
   std::uint64_t t;
-  char phase;  ///< 's' (enqueue) or 'f' (execute)
+  char phase;  ///< 's' (start), 't' (step), or 'f' (finish)
 };
 
 struct ThreadBuffer {
@@ -77,11 +90,17 @@ Registry& registry() {
     if (const char* env = std::getenv("RTP_METRICS")) reg->metrics_path = env;
     if (!reg->trace_path.empty()) {
       detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+      detail::set_capture_bit(detail::kCaptureTrace, true);
     }
     if (!reg->trace_path.empty() || !reg->report_path.empty() ||
         !reg->metrics_path.empty()) {
       std::atexit(exit_handler);
     }
+    // Bring up the always-on flight recorder (RTP_FLIGHT) and the periodic
+    // stats exporter (RTP_STATS). Neither calls back into registry() — the
+    // static-local guard is still held here.
+    detail::flight_startup();
+    detail::stats_startup();
     return reg;
   }();
   return *r;
@@ -168,13 +187,28 @@ std::uint64_t now_ns() {
           .count());
 }
 
+std::uint64_t epoch_ns() { return registry().epoch_ns; }
+
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
                  int depth) {
-  ensure_buffer()->spans.push_back({name, start_ns, end_ns, depth});
+  const int mask = g_capture_mask.load(std::memory_order_relaxed);
+  if (mask & kCaptureTrace) {
+    ensure_buffer()->spans.push_back({name, start_ns, end_ns, depth});
+  }
+  if (mask & kCaptureFlight) flight_record_span(name, start_ns, end_ns);
 }
 
 void record_flow(std::uint64_t id, char phase) {
-  ensure_buffer()->flows.push_back({id, now_ns(), phase});
+  record_flow("pool.flow", id, phase);
+}
+
+void record_flow(const char* name, std::uint64_t id, char phase) {
+  const int mask = g_capture_mask.load(std::memory_order_relaxed);
+  const std::uint64_t t = now_ns();
+  if (mask & kCaptureTrace) {
+    ensure_buffer()->flows.push_back({name, id, t, phase});
+  }
+  if (mask & kCaptureFlight) flight_record_flow(name, id, phase, t);
 }
 
 int enter_span() { return tl_depth++; }
@@ -208,6 +242,22 @@ std::string json_escape(const std::string& s) {
 void set_trace_enabled(bool on) {
   registry();  // capture the epoch before the first span
   detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+  detail::set_capture_bit(detail::kCaptureTrace, on);
+}
+
+TraceContext TraceContext::create() {
+  static std::atomic<std::uint64_t> next{1};
+  return TraceContext{next.fetch_add(1, std::memory_order_relaxed)};
+}
+
+const char* intern_label(const char* prefix, const std::string& name) {
+  // Node addresses in std::set are stable, so the returned c_str() stays
+  // valid for the process lifetime (the pool is leaked like the registry).
+  static std::mutex* mu = new std::mutex;
+  static std::set<std::string>* pool = new std::set<std::string>;
+  std::string label = std::string(prefix) + name;
+  std::lock_guard<std::mutex> lock(*mu);
+  return pool->insert(std::move(label)).first->c_str();
 }
 
 const std::string& trace_env_path() { return registry().trace_path; }
@@ -224,13 +274,14 @@ Counter& counter(const char* name, CounterKind kind) {
   return *it->second;
 }
 
-Gauge& gauge(const char* name) {
+Gauge& gauge(const char* name, GaugeKind kind) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.gauges.find(name);
   if (it == r.gauges.end()) {
-    it = r.gauges.emplace(name, std::make_unique<Gauge>()).first;
+    it = r.gauges.emplace(name, std::make_unique<Gauge>(kind)).first;
   }
+  RTP_CHECK_MSG(it->second->kind() == kind, "gauge re-registered with another kind");
   return *it->second;
 }
 
@@ -317,7 +368,7 @@ std::vector<HistogramSnapshot> histograms_snapshot(bool include_timing) {
   std::lock_guard<std::mutex> lock(r.mu);
   std::vector<HistogramSnapshot> out;
   for (const auto& [name, h] : r.hists) {
-    if (!include_timing && h->kind() == HistKind::kTiming) continue;
+    if (!include_timing && h->kind() != HistKind::kDeterministic) continue;
     HistogramSnapshot s;
     s.name = name;
     s.kind = h->kind();
@@ -410,11 +461,14 @@ std::map<std::string, std::uint64_t> counters_snapshot(bool include_scheduling) 
   return out;
 }
 
-std::map<std::string, std::uint64_t> gauges_snapshot() {
+std::map<std::string, std::uint64_t> gauges_snapshot(bool include_volatile) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   std::map<std::string, std::uint64_t> out;
-  for (const auto& [name, g] : r.gauges) out[name] = g->value();
+  for (const auto& [name, g] : r.gauges) {
+    if (!include_volatile && g->kind() != GaugeKind::kMax) continue;
+    out[name] = g->value();
+  }
   return out;
 }
 
@@ -469,7 +523,7 @@ std::vector<FlowEvent> flow_events() {
   std::vector<FlowEvent> out;
   for (const ThreadBuffer* buf : r.buffers) {
     for (const FlowRec& f : buf->flows) {
-      out.push_back({f.id, f.t - r.epoch_ns, buf->tid, f.phase});
+      out.push_back({f.id, f.t - r.epoch_ns, buf->tid, f.phase, f.name});
     }
   }
   std::sort(out.begin(), out.end(), [](const FlowEvent& a, const FlowEvent& b) {
@@ -518,13 +572,15 @@ std::string trace_json() {
                   static_cast<double>(e.end_ns - e.start_ns) / 1e3, e.depth);
     out += line;
   }
-  // Cross-thread causality arrows ("s" at enqueue, "f"+bp:"e" at execute).
-  // Each endpoint binds to the X slice enclosing its timestamp on that tid.
+  // Cross-thread causality arrows ("s" at start, optional "t" steps,
+  // "f"+bp:"e" at finish), chained by (name, id). Each endpoint binds to the
+  // X slice enclosing its timestamp on that tid.
   for (const FlowEvent& f : flows) {
     std::snprintf(line, sizeof(line),
-                  ",\n{\"name\":\"pool.flow\",\"cat\":\"rtp.flow\",\"ph\":\"%c\","
+                  ",\n{\"name\":\"%s\",\"cat\":\"rtp.flow\",\"ph\":\"%c\","
                   "%s\"id\":%llu,\"pid\":1,\"tid\":%d,\"ts\":%.3f}",
-                  f.phase, f.phase == 'f' ? "\"bp\":\"e\"," : "",
+                  detail::json_escape(f.name).c_str(), f.phase,
+                  f.phase == 'f' ? "\"bp\":\"e\"," : "",
                   static_cast<unsigned long long>(f.id), f.tid,
                   static_cast<double>(f.t_ns) / 1e3);
     out += line;

@@ -57,8 +57,21 @@ namespace detail {
 
 extern std::atomic<bool> g_trace_enabled;
 
+/// Which capture sinks want span/flow records: a bitmask so the TraceScope
+/// fast path stays one relaxed load even now that two sinks exist. Bit 0 is
+/// the trace buffer (mirrors g_trace_enabled), bit 1 the flight-recorder
+/// ring (obs/flight.hpp). record_span/record_flow route on the mask.
+inline constexpr int kCaptureTrace = 1;
+inline constexpr int kCaptureFlight = 2;
+extern std::atomic<int> g_capture_mask;
+void set_capture_bit(int bit, bool on);
+
 /// Monotonic (steady_clock) nanoseconds.
 std::uint64_t now_ns();
+
+/// The registry's initialization timestamp (now_ns units). Exported times
+/// (trace, flight dumps, stats samples) are relative to this epoch.
+std::uint64_t epoch_ns();
 
 /// Appends one completed span to the calling thread's buffer.
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
@@ -80,6 +93,20 @@ inline bool trace_enabled() {
 }
 void set_trace_enabled(bool on);
 
+/// True when any sink (trace buffer or flight-recorder ring) wants span/flow
+/// records. This is the TraceScope gate; with the always-on recorder it is
+/// normally true, so span capture cost — two clock reads and a ring store —
+/// is what bench_regress --serve's obs_overhead metric tracks.
+inline bool capture_enabled() {
+  return detail::g_capture_mask.load(std::memory_order_relaxed) != 0;
+}
+
+/// Interns prefix+name into a process-lifetime string pool and returns a
+/// stable C pointer, for dynamic span/flow labels (TraceScope and the flight
+/// ring store only the pointer). One pool entry per distinct label, so use
+/// for *bounded* name sets — corners, designs — never per-request values.
+const char* intern_label(const char* prefix, const std::string& name);
+
 /// RTP_TRACE / RTP_REPORT environment values captured at first obs use
 /// (empty when unset). When non-empty, the matching file is written at
 /// process exit.
@@ -89,7 +116,7 @@ const std::string& report_env_path();
 /// RAII trace span. Prefer the RTP_TRACE_SCOPE macro, which compiles out.
 class TraceScope {
  public:
-  explicit TraceScope(const char* name) : active_(trace_enabled()) {
+  explicit TraceScope(const char* name) : active_(capture_enabled()) {
     if (active_) {
       name_ = name;
       depth_ = detail::enter_span();
@@ -138,27 +165,42 @@ class Counter {
   CounterKind kind_;
 };
 
-/// Monotonic high-water mark (max is commutative, same determinism story).
+/// How a gauge's value evolves, and whether it joins the determinism
+/// contract: kMax gauges only grow via commutative max, so their final value
+/// is schedule-independent for a deterministic update multiset; kLast gauges
+/// report the most recent sample (queue depth, occupancy) and are excluded
+/// from gauges_snapshot(false).
+enum class GaugeKind {
+  kMax,   ///< monotone high-water mark
+  kLast,  ///< last-written sample — inherently scheduling-dependent
+};
+
+/// Named scalar gauge; see GaugeKind for the two update disciplines.
 class Gauge {
  public:
+  explicit Gauge(GaugeKind kind = GaugeKind::kMax) : kind_(kind) {}
   void update_max(std::uint64_t v) {
     std::uint64_t cur = value_.load(std::memory_order_relaxed);
     while (v > cur &&
            !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
   }
+  /// Overwrites the value (kLast gauges; one relaxed store).
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
+  GaugeKind kind() const { return kind_; }
 
  private:
   std::atomic<std::uint64_t> value_{0};
+  GaugeKind kind_;
 };
 
 /// Registry lookup, creating on first use. The returned reference is stable
 /// for the process lifetime; hot paths cache it in a function-local static
 /// (what RTP_COUNT does). Re-registering with a different kind is an error.
 Counter& counter(const char* name, CounterKind kind = CounterKind::kDeterministic);
-Gauge& gauge(const char* name);
+Gauge& gauge(const char* name, GaugeKind kind = GaugeKind::kMax);
 
 /// What a histogram's values measure, mirroring CounterKind: value
 /// histograms of deterministic streams merge bit-identically across
@@ -167,6 +209,7 @@ Gauge& gauge(const char* name);
 enum class HistKind {
   kDeterministic,  ///< multiset of recorded values independent of RTP_THREADS
   kTiming,         ///< wall-clock durations (ns) — scheduling-dependent
+  kScheduling,     ///< non-duration values shaped by scheduling (batch occupancy)
 };
 
 // HDR-style log-linear bucket scheme: values below kHistSubBuckets are exact
@@ -236,8 +279,9 @@ struct HistogramSnapshot {
 };
 
 /// Merged snapshots of all registered histograms, sorted by name.
-/// include_timing=false restricts to HistKind::kDeterministic (what the
-/// 1-vs-N bit-identity test compares).
+/// include_timing=false restricts to HistKind::kDeterministic — excluding
+/// both kTiming and kScheduling — which is what the 1-vs-N bit-identity
+/// test compares.
 std::vector<HistogramSnapshot> histograms_snapshot(bool include_timing = true);
 /// Zeroes every registered histogram's shards (tests).
 void reset_histograms();
@@ -267,7 +311,9 @@ class HistTimer {
 /// Counter totals by name; include_scheduling=false restricts to the
 /// deterministic subset (what the 1-vs-N bit-identity test compares).
 std::map<std::string, std::uint64_t> counters_snapshot(bool include_scheduling = true);
-std::map<std::string, std::uint64_t> gauges_snapshot();
+/// Gauge values by name; include_volatile=false restricts to GaugeKind::kMax
+/// (kLast gauges are scheduling-dependent by construction).
+std::map<std::string, std::uint64_t> gauges_snapshot(bool include_volatile = true);
 /// Zeroes every registered counter and gauge (tests).
 void reset_counters();
 
@@ -287,15 +333,19 @@ std::vector<TraceEvent> trace_events();
 std::size_t trace_event_count();
 void clear_trace();
 
-/// One endpoint of a cross-thread causality arrow: phase 's' (flow start,
-/// recorded where work is enqueued) or 'f' (flow finish, recorded where it
-/// executes). Events sharing an id form one arrow; core::ThreadPool emits a
-/// pair per (job, worker) so chrome://tracing draws enqueue→execute arrows.
+/// One endpoint of a cross-thread causality chain: phase 's' (flow start,
+/// recorded where work is enqueued), 't' (an intermediate step), or 'f'
+/// (flow finish, recorded where it completes). Events sharing (name, id)
+/// form one chain; core::ThreadPool emits an s/f pair per (job, worker) as
+/// "pool.flow", and rtp::serve threads a request's whole life — submit →
+/// batch pop → compute → response — through "serve.request" s/t/t/f events,
+/// so chrome://tracing draws one clickable arrow chain per request.
 struct FlowEvent {
   std::uint64_t id = 0;
   std::uint64_t t_ns = 0;  ///< relative to obs initialization, like spans
   int tid = 0;
   char phase = 's';
+  std::string name;  ///< chain family; chrome binds arrows by (name, id)
 };
 
 /// Snapshot of recorded flow events (same quiesce caveat as trace_events).
@@ -305,11 +355,36 @@ std::vector<FlowEvent> flow_events();
 /// Pool workers self-register as "pool.worker.<i>".
 void set_thread_name(std::string name);
 
+/// Per-request causal identity, minted in serve::PredictionService::submit
+/// and carried inside model::PredictRequest through the batcher into the
+/// engine. The id is process-unique and nonzero; it keys the request's
+/// "serve.request" flow chain and is echoed back in PredictResponse so a
+/// client can find its own request in a trace or flight dump.
+struct TraceContext {
+  std::uint64_t request_id = 0;  ///< 0 = no context (direct engine calls)
+  /// Mints a fresh id (one relaxed fetch_add; works under RTP_OBS=OFF).
+  static TraceContext create();
+};
+
+/// Chain-family name for request flow events.
+inline constexpr const char* kRequestFlowName = "serve.request";
+
 namespace detail {
-/// Appends a flow endpoint to the calling thread's buffer. Callers check
-/// trace_enabled() first (flow events only matter inside a trace).
+/// Appends a flow endpoint to the calling thread's buffer (and the flight
+/// ring when recording). Callers check capture_enabled() first. The legacy
+/// two-argument form names the chain "pool.flow"; `name` must be a static
+/// or interned string (only the pointer is stored).
 void record_flow(std::uint64_t id, char phase);
+void record_flow(const char* name, std::uint64_t id, char phase);
 }  // namespace detail
+
+/// Emits one endpoint of `ctx`'s request chain ('s' submit, 't' step, 'f'
+/// response). No-op when the context is empty or no sink is capturing.
+inline void request_flow(const TraceContext& ctx, char phase) {
+  if (ctx.request_id != 0 && capture_enabled()) {
+    detail::record_flow(kRequestFlowName, ctx.request_id, phase);
+  }
+}
 
 /// chrome://tracing JSON ("X" complete events + "s"/"f" flow events +
 /// thread-name metadata, µs timestamps). Always a complete valid document —
@@ -354,8 +429,14 @@ bool flush_trace(const std::string& path);
 #define RTP_GAUGE_MAX(name, value) \
   do {                             \
   } while (0)
+#define RTP_GAUGE_SET(name, value) \
+  do {                             \
+  } while (0)
 #define RTP_HIST(name, value) \
   do {                        \
+  } while (0)
+#define RTP_HIST_SCHED(name, value) \
+  do {                              \
   } while (0)
 #define RTP_HIST_NS(name, value) \
   do {                           \
@@ -389,6 +470,23 @@ bool flush_trace(const std::string& path);
   do {                                                                 \
     static ::rtp::obs::Gauge& rtp_obs_gauge_ = ::rtp::obs::gauge(name); \
     rtp_obs_gauge_.update_max(static_cast<std::uint64_t>(value));      \
+  } while (0)
+
+/// Last-written-sample gauge (GaugeKind::kLast; queue depths, occupancy).
+#define RTP_GAUGE_SET(name, value)                                         \
+  do {                                                                     \
+    static ::rtp::obs::Gauge& rtp_obs_gauge_ =                             \
+        ::rtp::obs::gauge(name, ::rtp::obs::GaugeKind::kLast);             \
+    rtp_obs_gauge_.set(static_cast<std::uint64_t>(value));                 \
+  } while (0)
+
+/// Non-duration histogram whose values are shaped by scheduling (see
+/// HistKind::kScheduling) — excluded from the determinism comparison.
+#define RTP_HIST_SCHED(name, value)                                        \
+  do {                                                                     \
+    static ::rtp::obs::Histogram& rtp_obs_hist_ =                          \
+        ::rtp::obs::histogram(name, ::rtp::obs::HistKind::kScheduling);    \
+    rtp_obs_hist_.record(static_cast<std::uint64_t>(value));               \
   } while (0)
 
 /// Deterministic value histogram (see HistKind).

@@ -59,7 +59,9 @@ std::string run_report_json() {
   {
     bool first = true;
     for (const char* var : {"RTP_THREADS", "RTP_TRACE", "RTP_REPORT",
-                            "RTP_METRICS", "RTP_NAIVE_KERNELS", "RTP_FULL_STA"}) {
+                            "RTP_METRICS", "RTP_NAIVE_KERNELS", "RTP_FULL_STA",
+                            "RTP_FLIGHT", "RTP_SLO_MS", "RTP_STATS",
+                            "RTP_STATS_PERIOD_MS"}) {
       append_kv(out, var, env_or_empty(var), first);
     }
   }
@@ -137,7 +139,9 @@ std::string run_report_json() {
           "\"min\": %llu, \"max\": %llu, \"p50\": %llu, \"p90\": %llu, "
           "\"p99\": %llu}",
           detail::json_escape(h.name).c_str(),
-          h.kind == HistKind::kTiming ? "timing_ns" : "value",
+          h.kind == HistKind::kTiming
+              ? "timing_ns"
+              : h.kind == HistKind::kScheduling ? "sched" : "value",
           static_cast<unsigned long long>(h.count),
           static_cast<unsigned long long>(h.sum),
           static_cast<unsigned long long>(h.min),

@@ -1,0 +1,194 @@
+#include "obs/stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rtp::obs {
+
+std::size_t vm_hwm_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t bytes = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1)
+        bytes = static_cast<std::size_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace rtp::obs
+
+#if !defined(RTP_OBS_DISABLED)
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace rtp::obs {
+
+namespace {
+
+/// Exporter state, leaked like the obs registry. The thread handle itself
+/// lives here too; stop_stats() joins it, and the atexit hook registered at
+/// startup guarantees that happens before static destruction.
+struct StatsState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread worker;
+  std::FILE* file = nullptr;
+  bool running = false;
+  bool stopping = false;
+  int period_ms = 200;
+};
+
+StatsState& state() {
+  static StatsState* s = new StatsState;
+  return *s;
+}
+
+void append_sample(std::FILE* f) {
+  const std::string sample = stats_sample_json();
+  std::fwrite(sample.data(), 1, sample.size(), f);
+  std::fputc('\n', f);
+  std::fflush(f);
+}
+
+void stats_loop() {
+  StatsState& st = state();
+  std::unique_lock<std::mutex> lock(st.mu);
+  while (!st.stopping) {
+    st.cv.wait_for(lock, std::chrono::milliseconds(st.period_ms));
+    if (st.stopping) break;
+    std::FILE* f = st.file;
+    lock.unlock();
+    append_sample(f);  // snapshots take the registry lock; don't hold ours
+    lock.lock();
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void stats_startup() {
+  const char* path = std::getenv("RTP_STATS");
+  if (path == nullptr || path[0] == '\0') return;
+  int period_ms = 200;
+  if (const char* env = std::getenv("RTP_STATS_PERIOD_MS")) {
+    const int v = std::atoi(env);
+    if (v > 0) period_ms = v;
+  }
+  if (start_stats(path, period_ms)) std::atexit(stop_stats);
+}
+
+}  // namespace detail
+
+bool start_stats(const std::string& path, int period_ms) {
+  StatsState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.running) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "rtp::obs: FAILED to open stats file %s\n",
+                 path.c_str());
+    return false;
+  }
+  st.file = f;
+  st.period_ms = period_ms > 0 ? period_ms : 200;
+  st.running = true;
+  st.stopping = false;
+  st.worker = std::thread(stats_loop);
+  return true;
+}
+
+void stop_stats() {
+  StatsState& st = state();
+  std::thread worker;
+  std::FILE* f = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (!st.running) return;
+    st.stopping = true;
+    worker = std::move(st.worker);
+    f = st.file;
+  }
+  st.cv.notify_all();
+  worker.join();
+  append_sample(f);  // final sample: short runs still get one line
+  std::fclose(f);
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.file = nullptr;
+  st.running = false;
+}
+
+bool stats_running() {
+  StatsState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.running;
+}
+
+std::string stats_sample_json() {
+  gauge("proc.peak_rss_bytes").update_max(vm_hwm_bytes());
+  const double t_ms =
+      static_cast<double>(detail::now_ns() - detail::epoch_ns()) / 1e6;
+  std::string out;
+  out.reserve(1024);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "{\"schema\":\"rtp-stats-v1\",\"t_ms\":%.3f",
+                t_ms);
+  out += buf;
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_snapshot(true)) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  detail::json_escape(name).c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_snapshot(true)) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  detail::json_escape(name).c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"hists\":{";
+  first = true;
+  for (const HistogramSnapshot& h : histograms_snapshot(true)) {
+    if (h.count == 0) continue;
+    const char* kind = h.kind == HistKind::kTiming
+                           ? "timing_ns"
+                           : h.kind == HistKind::kScheduling ? "sched" : "value";
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"kind\":\"%s\",\"count\":%llu,\"sum\":%llu,"
+                  "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,\"max\":%llu}",
+                  first ? "" : ",", detail::json_escape(h.name).c_str(), kind,
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.quantile(0.5)),
+                  static_cast<unsigned long long>(h.quantile(0.9)),
+                  static_cast<unsigned long long>(h.quantile(0.99)),
+                  static_cast<unsigned long long>(h.max));
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rtp::obs
+
+#endif  // !RTP_OBS_DISABLED

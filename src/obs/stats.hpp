@@ -1,0 +1,63 @@
+#pragma once
+// obs time-series stats — a background snapshotter that appends one JSONL
+// sample of the live counter/gauge/histogram state every period, so a
+// long-running server's queue depth, batch occupancy, latency quantiles,
+// and memory high-water mark can be plotted over time (rtp_inspect renders
+// the file as a text dashboard).
+//
+// RTP_STATS=<path> starts the exporter at obs startup; RTP_STATS_PERIOD_MS
+// sets the cadence (default 200 ms). Each line is one self-contained JSON
+// object with schema "rtp-stats-v1":
+//   {"schema":"rtp-stats-v1","t_ms":<since obs epoch>,
+//    "counters":{name:total,...},"gauges":{name:value,...},
+//    "hists":{name:{"kind":...,"count":n,"sum":s,"p50":..,"p90":..,
+//                   "p99":..,"max":..},...}}
+// Only non-empty histograms are sampled. The VmHWM gauge
+// (proc.peak_rss_bytes) is refreshed from /proc/self/status on every
+// sample. A final sample is written at shutdown so short runs still
+// produce at least one line.
+//
+// Under -DRTP_OBS=OFF the exporter is an inert inline stub (no thread, no
+// file); vm_hwm_bytes() keeps working — it has no obs dependency.
+
+#include <cstddef>
+#include <string>
+
+namespace rtp::obs {
+
+/// Process peak RSS in bytes (VmHWM from /proc/self/status); 0 where the
+/// proc interface is unavailable. Usable under RTP_OBS=OFF.
+std::size_t vm_hwm_bytes();
+
+#if defined(RTP_OBS_DISABLED)
+
+inline bool start_stats(const std::string&, int) { return false; }
+inline void stop_stats() {}
+inline bool stats_running() { return false; }
+inline std::string stats_sample_json() { return "{}"; }
+
+#else
+
+/// Starts the background snapshotter: truncates `path`, then appends one
+/// sample every `period_ms`. False (and no effect) if already running.
+bool start_stats(const std::string& path, int period_ms);
+/// Stops the snapshotter after one final sample (idempotent, joins).
+void stop_stats();
+bool stats_running();
+/// One sample line (no trailing newline); see the schema above.
+std::string stats_sample_json();
+
+#endif  // RTP_OBS_DISABLED
+
+namespace detail {
+#if defined(RTP_OBS_DISABLED)
+inline void stats_startup() {}
+#else
+/// Reads RTP_STATS / RTP_STATS_PERIOD_MS and starts the exporter. Called
+/// from the obs registry initializer; must not call back into it (the
+/// exporter thread may — it blocks on the init guard until ready).
+void stats_startup();
+#endif
+}  // namespace detail
+
+}  // namespace rtp::obs

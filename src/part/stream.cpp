@@ -1,29 +1,12 @@
 #include "part/stream.hpp"
 
-#include <cstdio>
-#include <cstring>
-
 #include "nn/workspace.hpp"
 #include "obs/obs.hpp"
+#include "obs/stats.hpp"
 
 namespace rtp::part {
 
-std::size_t process_peak_rss_bytes() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
-  char line[256];
-  std::size_t bytes = 0;
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      unsigned long long kb = 0;
-      if (std::sscanf(line + 6, "%llu", &kb) == 1)
-        bytes = static_cast<std::size_t>(kb) * 1024;
-      break;
-    }
-  }
-  std::fclose(f);
-  return bytes;
-}
+std::size_t process_peak_rss_bytes() { return obs::vm_hwm_bytes(); }
 
 void StreamExecutor::run(
     const std::function<void(const GraphView&, std::size_t)>& fn) const {

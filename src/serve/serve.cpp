@@ -5,9 +5,23 @@
 #include <string>
 
 #include "core/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace rtp::serve {
+
+namespace detail {
+
+double env_slo_ms() {
+  if (const char* env = std::getenv("RTP_SLO_MS")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v > 0.0 && v <= 1e9) return v;
+  }
+  return 0.0;
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -59,16 +73,30 @@ std::optional<std::future<PredictResponse>> PredictionService::submit(
   RTP_CHECK_MSG(request.design != nullptr, "serve: request without a design");
   std::future<PredictResponse> fut;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (stop_ || static_cast<int>(queue_.size()) >= config_.queue_capacity) {
       ++stats_.rejected;
+      const bool burst = ++reject_streak_ == config_.reject_burst;
       RTP_COUNT_SCHED("serve.rejected", 1);
+      obs::FlightRecorder::note("serve.rejected", queue_.size());
+      lock.unlock();
+      // A burst of back-to-back rejections = sustained saturation; ship the
+      // window once the streak crosses the threshold. The dump runs on this
+      // (client) thread, outside the service lock; trigger() is
+      // once-per-reason, so only the crossing pays for it.
+      if (burst) obs::FlightRecorder::trigger("reject_burst");
       return std::nullopt;
     }
+    reject_streak_ = 0;
     queue_.emplace_back();
     Pending& p = queue_.back();
     p.request = std::move(request);
+    // The service owns request identity: mint the causal id here so the 's'
+    // endpoint below and everything downstream share one chain.
+    p.request.trace = obs::TraceContext::create();
     p.enqueue = std::chrono::steady_clock::now();
+    obs::request_flow(p.request.trace, 's');
+    RTP_GAUGE_SET("serve.queue_depth", queue_.size());
     fut = p.promise.get_future();
     ++stats_.submitted;
   }
@@ -121,10 +149,15 @@ void PredictionService::worker_loop(int idx) {
     std::vector<Pending> batch;
     std::shared_ptr<const model::InferenceEngine> engine;
     std::uint64_t epoch = 0;
+    std::chrono::steady_clock::time_point woke;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and backlog drained
+
+      // The head request's queue stage ends here: a worker has seen it and
+      // starts forming its batch. Everything until dispatch is batch-wait.
+      woke = std::chrono::steady_clock::now();
 
       // Coalesce: the head request waits at most max_delay_us for company,
       // or until max_batch are queued. Requests stay in the queue while
@@ -141,6 +174,7 @@ void PredictionService::worker_loop(int idx) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      RTP_GAUGE_SET("serve.queue_depth", queue_.size());
       engine = engine_;
       epoch = epoch_;
       ++stats_.batches;
@@ -150,28 +184,76 @@ void PredictionService::worker_loop(int idx) {
       if (!queue_.empty()) cv_work_.notify_one();
     }
 
+    // Batch-membership flow step: each request's chain hops onto this worker
+    // thread; the compute step inside infer_batch follows on the same chain.
+    if (obs::capture_enabled()) {
+      for (const Pending& p : batch) obs::request_flow(p.request.trace, 't');
+    }
+
     const auto dispatched = std::chrono::steady_clock::now();
-    model::PredictBatch requests;
-    requests.reserve(batch.size());
-    for (const Pending& p : batch) requests.push_back(p.request);
-    std::vector<nn::Tensor> results = engine->predict_batch(requests);
+    std::vector<nn::Tensor> results;
+    {
+      obs::TraceScope batch_span("serve.batch");
+      model::PredictBatch requests;
+      requests.reserve(batch.size());
+      for (const Pending& p : batch) requests.push_back(p.request);
+      results = engine->predict_batch(requests);
+    }
     const auto finished = std::chrono::steady_clock::now();
 
     RTP_COUNT_SCHED("serve.batches", 1);
     RTP_GAUGE_MAX("serve.batch_size.max", batch.size());
+    RTP_HIST_SCHED("serve.batch_occupancy",
+                   batch.size() * 100 / static_cast<std::size_t>(config_.max_batch));
+    const std::uint64_t compute_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(finished - dispatched)
+            .count());
+    std::uint64_t slo_breaches = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       Pending& p = batch[i];
       PredictResponse resp;
       resp.arrival_ps = std::move(results[i]);
       resp.snapshot_epoch = epoch;
       resp.batch_size = static_cast<int>(batch.size());
+      resp.request_id = p.request.trace.request_id;
+      // Clamp the queue-stage anchor into [enqueue, dispatched]: requests
+      // that arrived while the batch was already forming never queued at
+      // all. The three stages then telescope — (anchor − enqueue) +
+      // (dispatched − anchor) + (finished − dispatched) — so their integer
+      // ns sum equals (finished − enqueue) exactly.
+      const auto anchor = std::min(std::max(woke, p.enqueue), dispatched);
+      resp.queue_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(anchor - p.enqueue)
+              .count());
+      resp.batch_wait_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dispatched - anchor)
+              .count());
+      resp.compute_ns = compute_ns;
+      resp.total_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(finished - p.enqueue)
+              .count());
       resp.queue_seconds = seconds_between(p.enqueue, dispatched);
-      resp.total_seconds = seconds_between(p.enqueue, finished);
-      RTP_HIST_NS("serve.queue_wait",
-                  static_cast<std::uint64_t>(resp.queue_seconds * 1e9));
-      RTP_HIST_NS("serve.request",
-                  static_cast<std::uint64_t>(resp.total_seconds * 1e9));
+      resp.total_seconds = static_cast<double>(resp.total_ns) / 1e9;
+      RTP_HIST_NS("serve.queue_wait", resp.queue_ns + resp.batch_wait_ns);
+      RTP_HIST_NS("serve.request", resp.total_ns);
+      // Response endpoint: closes the chain on the worker that answered.
+      obs::request_flow(p.request.trace, 'f');
+      if (config_.slo_ms > 0 &&
+          static_cast<double>(resp.total_ns) / 1e6 > config_.slo_ms) {
+        ++slo_breaches;
+        RTP_COUNT_SCHED("serve.slo_violations", 1);
+        obs::FlightRecorder::note("serve.slo_violation", resp.total_ns);
+      }
       p.promise.set_value(std::move(resp));
+    }
+    // Dump after every flow endpoint of the violating batch is in the ring,
+    // so the shipped window contains the offending request's whole chain.
+    if (slo_breaches > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.slo_violations += slo_breaches;
+      }
+      obs::FlightRecorder::trigger("slo_violation");
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -27,7 +27,18 @@
 // RTP_SERVE_WORKERS (see README). Observability: per-request latency and
 // queue-wait histograms (serve.request / serve.queue_wait, p50/p99 in
 // RTP_REPORT / RTP_METRICS), scheduling counters serve.submitted /
-// serve.rejected / serve.batches, and a serve.batch_size.max gauge.
+// serve.rejected / serve.batches / serve.slo_violations, the
+// serve.batch_size.max gauge, a serve.queue_depth last-sample gauge, and a
+// serve.batch_occupancy histogram (batch_size as % of max_batch).
+//
+// Request forensics: every accepted submit mints an obs::TraceContext and
+// threads it through the batcher into the engine, emitting a
+// "serve.request" flow chain — 's' at submit, 't' at batch formation, 't'
+// at compute, 'f' at response — keyed by the request_id echoed in
+// PredictResponse, which also carries an exact queue/batch-wait/compute ns
+// breakdown. SLO breaches (ServeConfig::slo_ms, env RTP_SLO_MS) and
+// admission-rejection bursts (ServeConfig::reject_burst) trigger an
+// obs::FlightRecorder dump so the incident window ships itself.
 
 #include <chrono>
 #include <condition_variable>
@@ -44,11 +55,26 @@
 
 namespace rtp::serve {
 
+namespace detail {
+/// RTP_SLO_MS as a double (> 0) or 0 when unset/invalid. A default member
+/// initializer reads it so directly-constructed configs (bench, tests)
+/// honor the SLO knob too, not just from_env().
+double env_slo_ms();
+}  // namespace detail
+
 struct ServeConfig {
   int max_batch = 8;         ///< coalescing cap per dispatched batch
   int max_delay_us = 200;    ///< how long the head request waits for company
   int queue_capacity = 256;  ///< admission-control bound on queued requests
   int workers = 1;           ///< dedicated service threads
+  /// When > 0, a response whose end-to-end latency exceeds this many ms
+  /// counts an SLO violation and triggers a flight-recorder dump (once;
+  /// obs::FlightRecorder::rearm() re-enables). Seeded from RTP_SLO_MS.
+  double slo_ms = detail::env_slo_ms();
+  /// Consecutive admission rejections that trigger a flight dump — a burst
+  /// means the queue has been saturated long enough that clients are being
+  /// turned away, which is exactly the moment worth a forensic window.
+  int reject_burst = 8;
 
   /// Defaults overridden by RTP_SERVE_MAX_BATCH / RTP_SERVE_MAX_DELAY_US /
   /// RTP_SERVE_QUEUE_CAP / RTP_SERVE_WORKERS (invalid values are ignored).
@@ -58,9 +84,22 @@ struct ServeConfig {
 struct PredictResponse {
   nn::Tensor arrival_ps;  ///< (rows, 1), same contract as InferenceEngine
   std::uint64_t snapshot_epoch = 0;  ///< which published snapshot served this
-  int batch_size = 0;        ///< requests coalesced into the serving batch
-  double queue_seconds = 0;  ///< submit -> batch dispatch
-  double total_seconds = 0;  ///< submit -> response ready
+  int batch_size = 0;  ///< requests coalesced into the serving batch
+  /// The request's causal id (obs::TraceContext), echoed back so a client
+  /// can find its own chain in a trace or flight dump. Always nonzero.
+  std::uint64_t request_id = 0;
+  /// Per-stage latency breakdown, integer ns on one steady clock. The parts
+  /// telescope, so queue_ns + batch_wait_ns + compute_ns == total_ns holds
+  /// EXACTLY (test-enforced): queue = submit until a worker starts forming
+  /// the batch, batch_wait = coalescing + dequeue until dispatch, compute =
+  /// dispatch until the batched forward finished. Requests that arrive while
+  /// the batch is already forming report queue_ns clamped to their own wait.
+  std::uint64_t queue_ns = 0;
+  std::uint64_t batch_wait_ns = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t total_ns = 0;
+  double queue_seconds = 0;  ///< submit -> batch dispatch (legacy, derived)
+  double total_seconds = 0;  ///< submit -> response ready (== total_ns / 1e9)
 };
 
 class PredictionService {
@@ -95,6 +134,7 @@ class PredictionService {
     std::uint64_t completed = 0;
     std::uint64_t batches = 0;
     std::uint64_t max_batch = 0;  ///< largest coalesced batch so far
+    std::uint64_t slo_violations = 0;  ///< responses over ServeConfig::slo_ms
   };
   Stats stats() const;
 
@@ -114,6 +154,7 @@ class PredictionService {
   std::condition_variable cv_work_;  ///< workers wait for requests / shutdown
   std::deque<Pending> queue_;        ///< bounded by config_.queue_capacity
   bool stop_ = false;
+  int reject_streak_ = 0;  ///< consecutive rejections (flight-dump trigger)
   std::shared_ptr<const model::InferenceEngine> engine_;  ///< current epoch's
   std::uint64_t epoch_ = 1;
   Stats stats_;

@@ -2,10 +2,9 @@
 
 #include <cmath>
 #include <cstdlib>
-#include <mutex>
-#include <set>
 
 #include "core/log.hpp"
+#include "obs/obs.hpp"
 
 namespace rtp::sta {
 
@@ -138,14 +137,10 @@ std::vector<Corner> default_corners() {
 }
 
 const char* corner_span_name(const std::string& corner_name) {
-  // std::set gives node stability: inserted strings never move, so the
-  // returned c_str() stays valid for the process lifetime (TraceScope keeps
-  // the pointer until export). MultiCornerSession caches these at
-  // construction, so the lock is off the per-update hot path.
-  static std::mutex mu;
-  static std::set<std::string>* interned = new std::set<std::string>;
-  std::lock_guard<std::mutex> lock(mu);
-  return interned->insert("sta.corner.update:" + corner_name).first->c_str();
+  // Interned for pointer stability (TraceScope keeps the pointer until
+  // export); MultiCornerSession caches these at construction, so the
+  // intern-pool lock is off the per-update hot path.
+  return obs::intern_label("sta.corner.update:", corner_name);
 }
 
 }  // namespace rtp::sta

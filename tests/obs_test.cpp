@@ -171,6 +171,95 @@ TEST(Counters, GaugeTracksMax) {
   EXPECT_EQ(it->second, 42u);
 }
 
+TEST(Counters, LastValueGaugeOverwritesAndIsVolatile) {
+  Gauge& g = gauge("obs_test.last_gauge", GaugeKind::kLast);
+  g.set(10);
+  g.set(3);  // kLast overwrites — no max tracking
+  EXPECT_EQ(g.value(), 3u);
+  const auto full = gauges_snapshot(true);
+  const auto stable = gauges_snapshot(false);
+  ASSERT_NE(full.find("obs_test.last_gauge"), full.end());
+  EXPECT_EQ(full.at("obs_test.last_gauge"), 3u);
+  // kLast gauges are scheduling-dependent (queue depth at sample time), so
+  // the stable snapshot — what determinism comparisons use — excludes them.
+  EXPECT_EQ(stable.find("obs_test.last_gauge"), stable.end());
+  // kMax gauges stay in both.
+  gauge("obs_test.max_gauge").update_max(5);
+  EXPECT_NE(gauges_snapshot(false).find("obs_test.max_gauge"),
+            gauges_snapshot(false).end());
+}
+
+TEST(Counters, SchedulingHistogramExcludedFromDeterministicSnapshot) {
+  histogram("obs_test.sched_hist", HistKind::kScheduling).record(75);
+  bool in_full = false, in_det = false;
+  for (const HistogramSnapshot& h : histograms_snapshot(true)) {
+    if (h.name == "obs_test.sched_hist") {
+      in_full = true;
+      EXPECT_EQ(h.kind, HistKind::kScheduling);
+    }
+  }
+  for (const HistogramSnapshot& h : histograms_snapshot(false)) {
+    if (h.name == "obs_test.sched_hist") in_det = true;
+  }
+  EXPECT_TRUE(in_full);
+  EXPECT_FALSE(in_det);
+}
+
+TEST(Trace, InternLabelReturnsOneStablePointerPerName) {
+  const char* a1 = intern_label("obs_test.intern:", "alpha");
+  const char* a2 = intern_label("obs_test.intern:", "alpha");
+  const char* b = intern_label("obs_test.intern:", "beta");
+  EXPECT_EQ(a1, a2);  // same name -> same interned pointer
+  EXPECT_NE(a1, b);
+  EXPECT_STREQ(a1, "obs_test.intern:alpha");
+  EXPECT_STREQ(b, "obs_test.intern:beta");
+  // Interned labels survive as TraceScope names (pointer kept until export).
+  ObsGuard guard;
+  set_trace_enabled(true);
+  clear_trace();
+  { TraceScope scope(intern_label("obs_test.intern:", "gamma")); }
+  set_trace_enabled(false);
+  const std::vector<TraceEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "obs_test.intern:gamma");
+}
+
+TEST(Trace, RequestFlowEventsCarryTheChainFamilyName) {
+  ObsGuard guard;
+  set_trace_enabled(true);
+  clear_trace();
+  const TraceContext ctx = TraceContext::create();
+  ASSERT_NE(ctx.request_id, 0u);
+  request_flow(ctx, 's');
+  request_flow(ctx, 't');
+  request_flow(ctx, 'f');
+  request_flow(TraceContext{}, 's');  // empty context: must record nothing
+  detail::record_flow(7, 's');        // legacy overload: pool chain family
+  set_trace_enabled(false);
+
+  std::vector<FlowEvent> request_chain;
+  bool saw_pool = false;
+  for (const FlowEvent& e : flow_events()) {
+    if (e.name == kRequestFlowName && e.id == ctx.request_id) {
+      request_chain.push_back(e);
+    }
+    if (e.name == "pool.flow" && e.id == 7) saw_pool = true;
+  }
+  ASSERT_EQ(request_chain.size(), 3u);
+  EXPECT_EQ(request_chain[0].phase, 's');
+  EXPECT_EQ(request_chain[1].phase, 't');
+  EXPECT_EQ(request_chain[2].phase, 'f');
+  EXPECT_TRUE(saw_pool);  // the two families coexist without id collisions
+
+  // The export binds arrows by name: both families appear, and the 'f'
+  // endpoint carries chrome's binding point attribute.
+  set_trace_enabled(true);
+  request_flow(ctx, 's');
+  set_trace_enabled(false);
+  const std::string json = trace_json();
+  EXPECT_NE(json.find("\"serve.request\""), std::string::npos);
+}
+
 // The bit-identity test exercises the instrumentation *sites* (RTP_COUNT in
 // pool chunks, workspace acquires), which only exist when observability is
 // compiled in.

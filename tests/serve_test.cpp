@@ -10,15 +10,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "flow/dataset_flow.hpp"
 #include "model/features.hpp"
 #include "model/inference.hpp"
 #include "nn/kernels.hpp"
 #include "model/trainer.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
 #include "serve/serve.hpp"
 
 namespace rtp {
@@ -408,6 +417,175 @@ TEST(ServeService, ShutdownDrainsTheBacklog) {
   // After shutdown, new submits are rejected.
   EXPECT_FALSE(service.submit(request_for(f.prepared[0])).has_value());
 }
+
+TEST(ServeTracing, FuzzedMixedBatchChainsResolveWithExactBreakdowns) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+  const auto snap = model::WeightSnapshot::from_model(m);
+
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+
+  // Fuzzed service shapes and request mixes: every composition must yield a
+  // complete submit -> batch -> compute -> response chain per request and an
+  // exact per-stage latency decomposition.
+  std::mt19937 rng(20230710);
+  std::vector<std::uint64_t> seen_ids;
+  for (int round = 0; round < 3; ++round) {
+    serve::ServeConfig sc;
+    sc.max_batch = 1 + static_cast<int>(rng() % 6);
+    sc.max_delay_us = 50 + static_cast<int>(rng() % 2000);
+    sc.workers = 1 + static_cast<int>(rng() % 3);
+    sc.queue_capacity = 64;
+    serve::PredictionService service(snap, sc);
+
+    std::vector<std::future<serve::PredictResponse>> futures;
+    const int n = 6 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < n; ++i) {
+      model::PredictRequest req =
+          request_for(f.prepared[rng() % f.prepared.size()]);
+      if (rng() % 2 == 0) {  // endpoint subset, sometimes out of order
+        const int rows = static_cast<int>(req.design->endpoints.size());
+        for (int e = 0; e < std::min(3, rows); ++e) {
+          req.endpoints.push_back(rows - 1 - e);
+        }
+      }
+      auto fut = service.submit(std::move(req));
+      ASSERT_TRUE(fut.has_value());
+      futures.push_back(std::move(*fut));
+    }
+    for (auto& fut : futures) {
+      const serve::PredictResponse resp = fut.get();
+      EXPECT_NE(resp.request_id, 0u);
+      seen_ids.push_back(resp.request_id);
+      // The stage anchors telescope: the breakdown sums to the end-to-end
+      // wall time exactly, in integer nanoseconds — not approximately.
+      EXPECT_EQ(resp.queue_ns + resp.batch_wait_ns + resp.compute_ns,
+                resp.total_ns);
+      EXPECT_GT(resp.total_ns, 0u);
+      EXPECT_GT(resp.compute_ns, 0u);
+      EXPECT_DOUBLE_EQ(resp.total_seconds,
+                       static_cast<double>(resp.total_ns) / 1e9);
+    }
+    service.shutdown();  // quiesce serve workers before reading flow buffers
+  }
+  // A pool worker that slept through a fast job records its flow finish only
+  // when it later wakes; join the pool workers so every buffered write
+  // happens-before the reads below.
+  core::ThreadPool::instance().set_num_threads(1);
+
+  // Every response id is unique across rounds, and every chain resolves:
+  // one 's' first, one 'f' last, the batch-pop and compute 't' steps in
+  // between, timestamps nondecreasing.
+  std::map<std::uint64_t, std::vector<obs::FlowEvent>> chains;
+  for (const obs::FlowEvent& e : obs::flow_events()) {
+    if (e.name == obs::kRequestFlowName) chains[e.id].push_back(e);
+  }
+  std::set<std::uint64_t> unique_ids(seen_ids.begin(), seen_ids.end());
+  ASSERT_EQ(unique_ids.size(), seen_ids.size());
+  for (const std::uint64_t id : seen_ids) {
+    const auto it = chains.find(id);
+    ASSERT_NE(it, chains.end()) << "no chain for request " << id;
+    const std::vector<obs::FlowEvent>& chain = it->second;  // time-sorted
+    ASSERT_GE(chain.size(), 4u) << "request " << id;
+    EXPECT_EQ(chain.front().phase, 's') << "request " << id;
+    EXPECT_EQ(chain.back().phase, 'f') << "request " << id;
+    int steps = 0;
+    for (std::size_t i = 1; i + 1 < chain.size(); ++i) {
+      EXPECT_EQ(chain[i].phase, 't') << "request " << id << " event " << i;
+      ++steps;
+    }
+    EXPECT_GE(steps, 2) << "request " << id;  // batch pop + compute
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_GE(chain[i].t_ns, chain[i - 1].t_ns) << "request " << id;
+    }
+  }
+  obs::set_trace_enabled(false);
+  obs::clear_trace();
+}
+
+// The auto-dump tests need the real recorder; under -DRTP_OBS=OFF the
+// FlightRecorder is an inert stub and no dump can fire.
+#if !defined(RTP_OBS_DISABLED)
+
+TEST(ServeTracing, SloViolationTriggersFlightDumpContainingTheChain) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+
+  const std::string path = "serve_test_slo_dump.json";
+  obs::FlightRecorder::set_enabled(true);
+  obs::FlightRecorder::rearm();
+  obs::FlightRecorder::set_dump_path(path);
+
+  serve::ServeConfig sc;
+  sc.workers = 1;
+  sc.slo_ms = 1e-6;  // everything violates: the dump must fire
+  serve::PredictionService service(model::WeightSnapshot::from_model(m), sc);
+  auto fut = service.submit(request_for(f.prepared[0]));
+  ASSERT_TRUE(fut.has_value());
+  const serve::PredictResponse resp = fut->get();
+  service.shutdown();  // the trigger runs on the worker before it exits
+
+  EXPECT_GE(service.stats().slo_violations, 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "auto-dump missing: " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string dump = ss.str();
+  EXPECT_NE(dump.find("\"flight_reason\":\"slo_violation\""), std::string::npos);
+  // The violating request's whole chain is in the window (ids are emitted
+  // in decimal in the flow events).
+  const std::string id = std::to_string(resp.request_id);
+  EXPECT_NE(dump.find("\"id\":" + id), std::string::npos);
+  EXPECT_NE(dump.find(obs::kRequestFlowName), std::string::npos);
+
+  obs::FlightRecorder::set_dump_path("rtp_flight.json");
+  obs::FlightRecorder::rearm();
+  std::remove(path.c_str());
+}
+
+TEST(ServeTracing, RejectionBurstTriggersFlightDump) {
+  const ServeFixture& f = ServeFixture::instance();
+  model::FusionModel m(f.config);
+  m.set_label_stats(1000.0f, 300.0f);
+
+  const std::string path = "serve_test_reject_dump.json";
+  obs::FlightRecorder::set_enabled(true);
+  obs::FlightRecorder::rearm();
+  obs::FlightRecorder::set_dump_path(path);
+
+  serve::ServeConfig sc;
+  sc.queue_capacity = 1;
+  sc.max_batch = 8;
+  sc.max_delay_us = 200000;  // the head waits; the queue stays full
+  sc.workers = 1;
+  sc.reject_burst = 3;
+  serve::PredictionService service(model::WeightSnapshot::from_model(m), sc);
+
+  auto accepted = service.submit(request_for(f.prepared[0]));
+  ASSERT_TRUE(accepted.has_value());
+  for (int i = 0; i < sc.reject_burst; ++i) {
+    EXPECT_FALSE(service.submit(request_for(f.prepared[0])).has_value());
+  }
+  EXPECT_EQ(service.stats().rejected,
+            static_cast<std::uint64_t>(sc.reject_burst));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "auto-dump missing: " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"flight_reason\":\"reject_burst\""),
+            std::string::npos);
+
+  accepted->get();
+  obs::FlightRecorder::set_dump_path("rtp_flight.json");
+  obs::FlightRecorder::rearm();
+  std::remove(path.c_str());
+}
+
+#endif  // !RTP_OBS_DISABLED
 
 TEST(ServeConfigTest, FromEnvParsesAndValidates) {
   setenv("RTP_SERVE_MAX_BATCH", "16", 1);

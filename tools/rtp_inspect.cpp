@@ -1,0 +1,371 @@
+// rtp_inspect — text dashboard over the repo's observability artifacts.
+//
+//   rtp_inspect <file> [--tail N]
+//
+// The file kind is auto-detected:
+//   - RTP_STATS jsonl ("rtp-stats-v1" samples): prints the queue/latency
+//     trajectory (last N samples, default 20) and a final-sample summary.
+//   - RTP_REPORT run report: build/env provenance, top counters, gauges,
+//     histogram quantiles, and the top spans by total time.
+//   - chrome-tracing JSON (RTP_TRACE or a flight-recorder dump): event
+//     totals, top span names by total duration, and flow-chain resolution
+//     (how many request chains have a matching start and finish).
+//
+// Everything is plain text on stdout; exit status 0 on success, 1 on a
+// missing/unparseable file. No dependencies beyond core::json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+
+namespace {
+
+using rtp::core::json::Value;
+
+double num_at(const Value& obj, const std::string& key, double fallback = 0.0) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string fmt_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string fmt_count(double v) {
+  char buf[64];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+void rule(const char* title) {
+  std::printf("\n== %s %.*s\n", title,
+              static_cast<int>(std::max<std::size_t>(0, 60 - std::strlen(title))),
+              "============================================================");
+}
+
+// ---- stats mode -----------------------------------------------------------
+
+int render_stats(const std::vector<Value>& samples, int tail) {
+  std::printf("rtp-stats-v1: %zu samples, %.1f ms covered\n", samples.size(),
+              num_at(samples.back(), "t_ms") - num_at(samples.front(), "t_ms"));
+
+  // Trajectory columns: every gauge, plus p99 of serve latency histograms —
+  // the queue/latency story over time. Bounded to keep rows readable.
+  std::vector<std::string> gauge_cols, hist_cols;
+  if (const Value* gauges = samples.back().find("gauges")) {
+    for (const auto& [name, v] : gauges->members()) {
+      (void)v;
+      if (gauge_cols.size() < 4) gauge_cols.push_back(name);
+    }
+  }
+  if (const Value* hists = samples.back().find("hists")) {
+    for (const auto& [name, v] : hists->members()) {
+      (void)v;
+      if (name.rfind("serve.", 0) == 0 && hist_cols.size() < 3) {
+        hist_cols.push_back(name);
+      }
+    }
+  }
+
+  rule("trajectory (last samples)");
+  std::printf("%10s", "t_ms");
+  for (const std::string& g : gauge_cols) std::printf("  %18s", g.c_str());
+  for (const std::string& h : hist_cols) {
+    std::printf("  %22s", (h + ".p99").c_str());
+  }
+  std::printf("\n");
+  const std::size_t begin =
+      samples.size() > static_cast<std::size_t>(tail) ? samples.size() - tail : 0;
+  for (std::size_t i = begin; i < samples.size(); ++i) {
+    const Value& s = samples[i];
+    std::printf("%10.1f", num_at(s, "t_ms"));
+    const Value* gauges = s.find("gauges");
+    for (const std::string& g : gauge_cols) {
+      std::printf("  %18s",
+                  gauges ? fmt_count(num_at(*gauges, g)).c_str() : "-");
+    }
+    const Value* hists = s.find("hists");
+    for (const std::string& h : hist_cols) {
+      const Value* hv = hists ? hists->find(h) : nullptr;
+      std::printf("  %22s", hv ? fmt_ns(num_at(*hv, "p99")).c_str() : "-");
+    }
+    std::printf("\n");
+  }
+
+  rule("final sample");
+  const Value& last = samples.back();
+  if (const Value* counters = last.find("counters")) {
+    std::vector<std::pair<std::string, double>> top;
+    for (const auto& [name, v] : counters->members()) {
+      if (v.is_number()) top.emplace_back(name, v.as_number());
+    }
+    std::sort(top.begin(), top.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("counters (top %zu of %zu):\n", std::min<std::size_t>(10, top.size()),
+                top.size());
+    for (std::size_t i = 0; i < top.size() && i < 10; ++i) {
+      std::printf("  %-40s %12s\n", top[i].first.c_str(),
+                  fmt_count(top[i].second).c_str());
+    }
+  }
+  if (const Value* gauges = last.find("gauges")) {
+    std::printf("gauges:\n");
+    for (const auto& [name, v] : gauges->members()) {
+      if (v.is_number())
+        std::printf("  %-40s %12s\n", name.c_str(), fmt_count(v.as_number()).c_str());
+    }
+  }
+  if (const Value* hists = last.find("hists")) {
+    std::printf("histograms:\n  %-32s %10s %10s %10s %10s\n", "name", "count",
+                "p50", "p99", "max");
+    for (const auto& [name, v] : hists->members()) {
+      const bool timing = v.string_or("kind", "") == "timing_ns";
+      const auto q = [&](const char* key) {
+        const double x = num_at(v, key);
+        return timing ? fmt_ns(x) : fmt_count(x);
+      };
+      std::printf("  %-32s %10s %10s %10s %10s\n", name.c_str(),
+                  fmt_count(num_at(v, "count")).c_str(), q("p50").c_str(),
+                  q("p99").c_str(), q("max").c_str());
+    }
+  }
+  return 0;
+}
+
+// ---- run-report mode ------------------------------------------------------
+
+int render_report(const Value& report) {
+  std::printf("run report\n");
+  for (const char* section : {"build", "env", "notes"}) {
+    const Value* v = report.find(section);
+    if (v == nullptr || v->members().empty()) continue;
+    rule(section);
+    for (const auto& [k, val] : v->members()) {
+      if (val.is_string() && !val.as_string().empty()) {
+        std::printf("  %-24s %s\n", k.c_str(), val.as_string().c_str());
+      }
+    }
+  }
+  if (const Value* counters = report.find("counters")) {
+    std::vector<std::pair<std::string, double>> top;
+    for (const auto& [name, v] : counters->members()) {
+      if (v.is_number()) top.emplace_back(name, v.as_number());
+    }
+    std::sort(top.begin(), top.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    rule("counters (by total)");
+    for (std::size_t i = 0; i < top.size() && i < 20; ++i) {
+      std::printf("  %-44s %12s\n", top[i].first.c_str(),
+                  fmt_count(top[i].second).c_str());
+    }
+  }
+  if (const Value* gauges = report.find("gauges")) {
+    if (!gauges->members().empty()) {
+      rule("gauges");
+      for (const auto& [name, v] : gauges->members()) {
+        if (v.is_number())
+          std::printf("  %-44s %12s\n", name.c_str(),
+                      fmt_count(v.as_number()).c_str());
+      }
+    }
+  }
+  if (const Value* hists = report.find("histograms")) {
+    rule("histograms");
+    std::printf("  %-36s %10s %10s %10s %10s %10s\n", "name", "count", "p50",
+                "p90", "p99", "max");
+    for (const auto& [name, v] : hists->members()) {
+      const bool timing = v.string_or("kind", "") == "timing_ns";
+      const auto q = [&](const char* key) {
+        const double x = num_at(v, key);
+        return timing ? fmt_ns(x) : fmt_count(x);
+      };
+      std::printf("  %-36s %10s %10s %10s %10s %10s\n", name.c_str(),
+                  fmt_count(num_at(v, "count")).c_str(), q("p50").c_str(),
+                  q("p90").c_str(), q("p99").c_str(), q("max").c_str());
+    }
+  }
+  if (const Value* spans = report.find("spans")) {
+    std::vector<std::pair<std::string, std::pair<double, double>>> top;
+    for (const auto& [name, v] : spans->members()) {
+      top.emplace_back(name,
+                       std::make_pair(num_at(v, "total_ms"), num_at(v, "count")));
+    }
+    std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+      return a.second.first > b.second.first;
+    });
+    if (!top.empty()) {
+      rule("top spans (by total wall time)");
+      std::printf("  %-44s %10s %12s\n", "name", "count", "total_ms");
+      for (std::size_t i = 0; i < top.size() && i < 15; ++i) {
+        std::printf("  %-44s %10s %12.3f\n", top[i].first.c_str(),
+                    fmt_count(top[i].second.second).c_str(), top[i].second.first);
+      }
+    }
+  }
+  return 0;
+}
+
+// ---- trace / flight-dump mode ---------------------------------------------
+
+int render_trace(const Value& doc) {
+  if (const Value* other = doc.find("otherData")) {
+    const std::string reason = other->string_or("flight_reason", "");
+    if (!reason.empty()) {
+      std::printf("flight dump: reason=%s, %s events, window %.3f..%.3f us\n",
+                  reason.c_str(),
+                  fmt_count(num_at(*other, "flight_events")).c_str(),
+                  num_at(*other, "flight_window_start_us"),
+                  num_at(*other, "flight_window_end_us"));
+    }
+  }
+  const Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "rtp_inspect: no traceEvents array\n");
+    return 1;
+  }
+  std::map<std::string, std::size_t> by_phase;
+  struct SpanAgg {
+    double total_us = 0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  // Flow-chain resolution: per (name, id), which endpoint phases arrived.
+  std::map<std::pair<std::string, double>, int> chains;  // bit0 s, bit1 f
+  for (const Value& e : events->items()) {
+    const std::string ph = e.string_or("ph", "?");
+    ++by_phase[ph];
+    if (ph == "X") {
+      SpanAgg& a = spans[e.string_or("name", "?")];
+      a.total_us += num_at(e, "dur");
+      ++a.count;
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      int& bits = chains[{e.string_or("name", "?"), num_at(e, "id")}];
+      if (ph == "s") bits |= 1;
+      if (ph == "f") bits |= 2;
+    }
+  }
+  std::printf("events:");
+  for (const auto& [ph, n] : by_phase) std::printf(" %s=%zu", ph.c_str(), n);
+  std::printf("\n");
+
+  if (!chains.empty()) {
+    std::map<std::string, std::pair<std::size_t, std::size_t>> per_family;
+    for (const auto& [key, bits] : chains) {
+      auto& [complete, total] = per_family[key.first];
+      ++total;
+      if (bits == 3) ++complete;
+    }
+    rule("flow chains (start+finish resolved)");
+    for (const auto& [family, counts] : per_family) {
+      std::printf("  %-36s %zu/%zu complete\n", family.c_str(), counts.first,
+                  counts.second);
+    }
+  }
+
+  std::vector<std::pair<std::string, SpanAgg>> top(spans.begin(), spans.end());
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  if (!top.empty()) {
+    rule("top spans (by total duration)");
+    std::printf("  %-44s %10s %12s\n", "name", "count", "total");
+    for (std::size_t i = 0; i < top.size() && i < 15; ++i) {
+      std::printf("  %-44s %10s %12s\n", top[i].first.c_str(),
+                  fmt_count(static_cast<double>(top[i].second.count)).c_str(),
+                  fmt_ns(top[i].second.total_us * 1e3).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  int tail = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tail") == 0 && i + 1 < argc) {
+      tail = std::max(1, std::atoi(argv[++i]));
+    } else if (argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: rtp_inspect <file> [--tail N]\n");
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: rtp_inspect <file> [--tail N]\n");
+    return 1;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rtp_inspect: cannot open %s\n", path);
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  // JSONL stats files: every line is its own document.
+  if (text.find("\"rtp-stats-v1\"") != std::string::npos &&
+      text.find("\"traceEvents\"") == std::string::npos) {
+    std::vector<Value> samples;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      std::string error;
+      std::optional<Value> v = rtp::core::json::parse(line, &error);
+      if (!v.has_value()) {
+        std::fprintf(stderr, "rtp_inspect: bad stats line: %s\n", error.c_str());
+        return 1;
+      }
+      samples.push_back(*std::move(v));
+    }
+    if (samples.empty()) {
+      std::fprintf(stderr, "rtp_inspect: empty stats file\n");
+      return 1;
+    }
+    return render_stats(samples, tail);
+  }
+
+  std::string error;
+  std::optional<Value> doc = rtp::core::json::parse(text, &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "rtp_inspect: %s: %s\n", path, error.c_str());
+    return 1;
+  }
+  if (doc->find("traceEvents") != nullptr) return render_trace(*doc);
+  if (doc->find("counters") != nullptr) return render_report(*doc);
+  std::fprintf(stderr,
+               "rtp_inspect: %s: unrecognized document (expected stats jsonl, "
+               "run report, or chrome-tracing JSON)\n",
+               path);
+  return 1;
+}
